@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark suite.
+
+Everything here is deterministic (seeded DRBGs) and session-scoped where
+the state is read-only, so `pytest benchmarks/ --benchmark-only` gives
+stable, comparable numbers run to run.  The parameter preset is TEST80
+— large enough that ratios (pairing vs symmetric, Tate vs Weil, IBE vs
+PKI) are meaningful, small enough that pure-Python math keeps each
+benchmark in milliseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.mws.service import MwsConfig
+
+
+BENCH_PRESET = "TEST80"
+BENCH_RSA_BITS = 768
+
+
+def fresh_deployment(**overrides) -> Deployment:
+    config = DeploymentConfig(
+        preset=overrides.pop("preset", BENCH_PRESET),
+        rsa_bits=overrides.pop("rsa_bits", BENCH_RSA_BITS),
+        seed=overrides.pop("seed", b"bench-deployment"),
+        mws=overrides.pop("mws", MwsConfig()),
+        **overrides,
+    )
+    return Deployment.build(config)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """A module-scoped deployment; benchmarks must not mutate policy."""
+    built = fresh_deployment()
+    yield built
+    built.close()
+
+
+@pytest.fixture(scope="module")
+def loaded_world(deployment):
+    """Deployment + device + RC with 10 deposited messages."""
+    device = deployment.new_smart_device("bench-meter")
+    client = deployment.new_receiving_client(
+        "bench-rc", "bench-pw", attributes=["BENCH-ATTR"]
+    )
+    channel = deployment.sd_channel("bench-meter")
+    for index in range(10):
+        device.deposit(channel, "BENCH-ATTR", f"reading-{index}".encode())
+    return deployment, device, client

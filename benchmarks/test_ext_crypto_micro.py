@@ -1,0 +1,173 @@
+"""EXT-D — cryptographic primitive micro-benchmarks (DESIGN.md
+ablations 1, 4 and 5).
+
+Series: Tate vs Weil pairing (paper §IV says Tate is faster — verify),
+pairing cost by parameter size, scalar multiplication, hash-to-point,
+BasicIdent vs FullIdent vs hybrid KEM, DES vs 3DES vs AES, and RSA.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ibe import BasicIdent, FullIdent, hybrid_encrypt, setup
+from repro.mathlib.rand import HmacDrbg
+from repro.pairing import get_preset, tate_pairing, weil_pairing
+from repro.pairing.hashing import hash_to_point
+from repro.pki.rsa import generate_rsa_keypair
+from repro.symciph import new_cipher
+from repro.symciph.cipher import CIPHER_REGISTRY, SymmetricScheme
+
+PARAMS = get_preset("TEST80")
+GENERATOR = PARAMS.generator
+DISTORTED = PARAMS.distort(GENERATOR)
+MASTER = setup(PARAMS, rng=HmacDrbg(b"ext-d"))
+MESSAGE = b"m" * 64
+
+
+@pytest.mark.benchmark(group="ext-d-pairing")
+def test_ext_d_tate_pairing(benchmark):
+    """One reduced Tate pairing (a single Miller loop + final exp)."""
+    benchmark(tate_pairing, GENERATOR, DISTORTED, PARAMS.q, PARAMS.ext_curve)
+
+
+@pytest.mark.benchmark(group="ext-d-pairing")
+def test_ext_d_weil_pairing(benchmark):
+    """One Weil pairing (two Miller loops) — expect ~2x Tate."""
+    benchmark(weil_pairing, GENERATOR, DISTORTED, PARAMS.q, PARAMS.ext_curve)
+
+
+@pytest.mark.benchmark(group="ext-d-pairing-size")
+@pytest.mark.parametrize("preset", ["TOY64", "TEST80", "SMALL160", "MED256"])
+def test_ext_d_pairing_by_parameter_size(benchmark, preset):
+    """Pairing cost vs field size (pure-Python bigint scaling)."""
+    params = get_preset(preset)
+    distorted = params.distort(params.generator)
+    benchmark(
+        tate_pairing, params.generator, distorted, params.q, params.ext_curve
+    )
+
+
+@pytest.mark.benchmark(group="ext-d-group-ops")
+def test_ext_d_scalar_multiplication(benchmark):
+    scalar = PARAMS.q // 3
+    benchmark(lambda: scalar * GENERATOR)
+
+
+@pytest.mark.benchmark(group="ext-d-group-ops")
+def test_ext_d_hash_to_point(benchmark):
+    """H1 = MapToPoint incl. cofactor clearing."""
+    benchmark(hash_to_point, PARAMS, b"ELECTRIC-GLENBROOK-SV-CA|nonce")
+
+
+@pytest.mark.benchmark(group="ext-d-ibe-scheme")
+def test_ext_d_basic_ident_encrypt(benchmark):
+    scheme = BasicIdent(MASTER.public, rng=HmacDrbg(b"b"))
+    benchmark(scheme.encrypt, b"attr", MESSAGE)
+
+
+@pytest.mark.benchmark(group="ext-d-ibe-scheme")
+def test_ext_d_full_ident_encrypt(benchmark):
+    """FO transform adds one hash-to-scalar; decrypt adds a point-mul."""
+    scheme = FullIdent(MASTER.public, rng=HmacDrbg(b"f"))
+    benchmark(scheme.encrypt, b"attr", MESSAGE)
+
+
+@pytest.mark.benchmark(group="ext-d-ibe-scheme")
+def test_ext_d_hybrid_encrypt(benchmark):
+    """The protocol's actual construction: KEM + DES container."""
+    rng = HmacDrbg(b"h")
+    benchmark(hybrid_encrypt, MASTER.public, b"attr", MESSAGE, "DES", rng)
+
+
+@pytest.mark.benchmark(group="ext-d-ibe-scheme")
+def test_ext_d_basic_ident_decrypt(benchmark):
+    scheme = BasicIdent(MASTER.public, rng=HmacDrbg(b"b"))
+    private_key = MASTER.extract(b"attr")
+    ciphertext = scheme.encrypt(b"attr", MESSAGE)
+    benchmark(scheme.decrypt, private_key, ciphertext)
+
+
+@pytest.mark.benchmark(group="ext-d-ibe-scheme")
+def test_ext_d_full_ident_decrypt(benchmark):
+    scheme = FullIdent(MASTER.public, rng=HmacDrbg(b"f"))
+    private_key = MASTER.extract(b"attr")
+    ciphertext = scheme.encrypt(b"attr", MESSAGE)
+    benchmark(scheme.decrypt, private_key, ciphertext)
+
+
+@pytest.mark.benchmark(group="ext-d-extract")
+def test_ext_d_key_extraction(benchmark):
+    """PKG Extract: hash-to-point + one scalar multiplication."""
+    benchmark(MASTER.extract, b"attr|nonce")
+
+
+@pytest.mark.benchmark(group="ext-d-symmetric")
+@pytest.mark.parametrize("cipher_name", ["DES", "3DES", "AES-128", "AES-256"])
+def test_ext_d_block_cipher_raw(benchmark, cipher_name):
+    """Raw single-block speed per cipher."""
+    spec = CIPHER_REGISTRY[cipher_name]
+    cipher = new_cipher(cipher_name, bytes(spec.key_size))
+    block = bytes(spec.block_size)
+    benchmark(cipher.encrypt_block, block)
+
+
+@pytest.mark.benchmark(group="ext-d-symmetric")
+@pytest.mark.parametrize("cipher_name", ["DES", "AES-128"])
+def test_ext_d_scheme_seal_1kib(benchmark, cipher_name):
+    """Sealed-container cost for a 1 KiB message (CBC + HMAC)."""
+    spec = CIPHER_REGISTRY[cipher_name]
+    scheme = SymmetricScheme(
+        cipher_name, bytes(spec.key_size), mac=True, rng=HmacDrbg(b"s")
+    )
+    benchmark(scheme.seal, b"x" * 1024)
+
+
+RSA_KEYPAIR = generate_rsa_keypair(768, rng=HmacDrbg(b"ext-d-rsa"))
+
+
+@pytest.mark.benchmark(group="ext-d-rsa")
+def test_ext_d_rsa_encrypt(benchmark):
+    benchmark(RSA_KEYPAIR.public.encrypt, b"k" * 16, HmacDrbg(b"r"))
+
+
+@pytest.mark.benchmark(group="ext-d-rsa")
+def test_ext_d_rsa_decrypt(benchmark):
+    ciphertext = RSA_KEYPAIR.public.encrypt(b"k" * 16, HmacDrbg(b"r"))
+    benchmark(RSA_KEYPAIR.private.decrypt, ciphertext)
+
+
+# ---------------------------------------------------------------------------
+# EXT-D addendum: fixed-base precomputation ablation
+# ---------------------------------------------------------------------------
+
+from repro.pairing.precompute import FixedBaseGt, FixedBasePoint  # noqa: E402
+
+_FIXED_POINT = FixedBasePoint(GENERATOR, PARAMS.q)
+_GT_BASE = PARAMS.pair(GENERATOR, GENERATOR)
+_FIXED_GT = FixedBaseGt(_GT_BASE, PARAMS.q)
+_SCALAR = PARAMS.q * 2 // 3
+
+
+@pytest.mark.benchmark(group="ext-d-precompute")
+def test_ext_d_scalar_mult_generic(benchmark):
+    """Baseline double-and-add on the generator."""
+    benchmark(lambda: _SCALAR * GENERATOR)
+
+
+@pytest.mark.benchmark(group="ext-d-precompute")
+def test_ext_d_scalar_mult_fixed_base(benchmark):
+    """Windowed fixed-base table: the device's r*P per deposit."""
+    result = benchmark(_FIXED_POINT, _SCALAR)
+    assert result == _SCALAR * GENERATOR
+
+
+@pytest.mark.benchmark(group="ext-d-precompute")
+def test_ext_d_gt_pow_generic(benchmark):
+    benchmark(lambda: _GT_BASE ** _SCALAR)
+
+
+@pytest.mark.benchmark(group="ext-d-precompute")
+def test_ext_d_gt_pow_fixed_base(benchmark):
+    result = benchmark(_FIXED_GT, _SCALAR)
+    assert result == _GT_BASE ** _SCALAR

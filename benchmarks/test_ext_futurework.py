@@ -1,0 +1,221 @@
+"""EXT-F / EXT-G — the implemented §VIII future-work features.
+
+EXT-F: device authentication modes — shared-key MAC (the paper's
+prototype) vs MAC + identity-based signature (the future-work upgrade):
+device-side and SDA-side cost of non-repudiation.
+
+EXT-G: distributed infrastructure — threshold PKG extraction (t-of-n
+share servers + verified combination) vs centralised extraction, and
+edge distribution-point ingest + pull throughput.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import fresh_deployment
+from repro.core.conventions import identity_string
+from repro.ibe import setup
+from repro.ibe.signatures import IbeSigner, IbeVerifier, extract_signing_key
+from repro.mathlib.rand import HmacDrbg
+from repro.mws.distribution import (
+    BufferedDeposit,
+    DistributionCoordinator,
+    DistributionPoint,
+)
+from repro.pairing.hashing import hash_to_point
+from repro.pkg.distributed import DistributedPkg, KeyShareCombiner
+
+MASTER = setup("TEST80", rng=HmacDrbg(b"ext-fg"))
+
+
+# ---------------------------------------------------------------------------
+# EXT-F: MAC-only vs MAC + identity-based signature
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="ext-f-device-auth")
+@pytest.mark.parametrize("mode", ["mac", "mac+ibs"])
+def test_ext_f_device_deposit_cost(benchmark, mode):
+    """Device-side deposit build cost by authentication mode."""
+    deployment = fresh_deployment(
+        seed=b"ext-f-" + mode.encode(),
+        use_device_signatures=(mode == "mac+ibs"),
+    )
+    device = deployment.new_smart_device("extf-meter")
+    benchmark(device.build_deposit, "EXTF", b"reading" * 8)
+    deployment.close()
+
+
+@pytest.mark.benchmark(group="ext-f-device-auth")
+@pytest.mark.parametrize("mode", ["mac", "mac+ibs"])
+def test_ext_f_sda_verify_cost(benchmark, mode):
+    """SDA-side verification cost: HMAC check vs HMAC + two pairings."""
+    deployment = fresh_deployment(
+        seed=b"ext-f-sda-" + mode.encode(),
+        use_device_signatures=(mode == "mac+ibs"),
+    )
+    device = deployment.new_smart_device("extf-meter")
+
+    def make_request():
+        return (device.build_deposit("EXTF", b"reading" * 8),), {}
+
+    benchmark.pedantic(
+        deployment.mws.sda.authenticate, setup=make_request, rounds=15
+    )
+    deployment.close()
+
+
+@pytest.mark.benchmark(group="ext-f-device-auth")
+def test_ext_f_raw_sign(benchmark):
+    """One Cha–Cheon signature (two scalar multiplications)."""
+    key = extract_signing_key(MASTER, b"extf-device")
+    signer = IbeSigner(MASTER.public, b"extf-device", key, rng=HmacDrbg(b"s"))
+    benchmark(signer.sign, b"payload" * 16)
+
+
+@pytest.mark.benchmark(group="ext-f-device-auth")
+def test_ext_f_raw_verify(benchmark):
+    """One signature verification (two pairings)."""
+    key = extract_signing_key(MASTER, b"extf-device")
+    signer = IbeSigner(MASTER.public, b"extf-device", key, rng=HmacDrbg(b"s"))
+    verifier = IbeVerifier(MASTER.public)
+    signature = signer.sign(b"payload" * 16)
+    result = benchmark(verifier.verify, b"extf-device", b"payload" * 16, signature)
+    assert result
+
+
+# ---------------------------------------------------------------------------
+# EXT-G: threshold PKG and distribution points
+# ---------------------------------------------------------------------------
+
+IDENTITY = identity_string("EXTG-ATTR", b"\x07" * 16)
+Q_ID = hash_to_point(MASTER.public.params, IDENTITY)
+DPKG = DistributedPkg(MASTER, threshold=3, share_count=5, rng=HmacDrbg(b"deal"))
+COMBINER = KeyShareCombiner(MASTER.public, DPKG.commitments(), threshold=3)
+
+
+@pytest.mark.benchmark(group="ext-g-pkg")
+def test_ext_g_centralised_extract(benchmark):
+    """Baseline: one extraction by the centralised PKG."""
+    benchmark(MASTER.extract, IDENTITY)
+
+
+@pytest.mark.benchmark(group="ext-g-pkg")
+def test_ext_g_share_server_partial(benchmark):
+    """One share server's work per extraction (one scalar mult)."""
+    share = DPKG.shares[0]
+    benchmark(share.extract_partial, Q_ID)
+
+
+@pytest.mark.benchmark(group="ext-g-pkg")
+@pytest.mark.parametrize("verify", [True, False], ids=["verified", "unverified"])
+def test_ext_g_combine(benchmark, verify):
+    """Client-side combination of 3 partials; verification costs two
+    pairings per partial (the price of catching a malicious server)."""
+    partials = {
+        share.index: share.extract_partial(Q_ID) for share in DPKG.shares[:3]
+    }
+    key = benchmark(COMBINER.combine, IDENTITY, partials, verify)
+    assert key == MASTER.extract(IDENTITY).point
+
+
+@pytest.mark.benchmark(group="ext-g-distribution")
+def test_ext_g_edge_ingest(benchmark):
+    """Distribution-point deposit acceptance (edge-local SDA + buffer)."""
+    deployment = fresh_deployment(seed=b"ext-g-edge")
+    point = DistributionPoint("edge", deployment.mws.device_keys, deployment.clock)
+    device = deployment.new_smart_device("extg-meter")
+
+    def ingest():
+        response = point.handle_deposit(device.build_deposit("EXTG", b"r" * 32))
+        assert response.accepted
+
+    benchmark(ingest)
+    deployment.close()
+
+
+@pytest.mark.benchmark(group="ext-g-distribution")
+def test_ext_g_pull_throughput(benchmark):
+    """Coordinator pull of a 100-message batch into the warehouse."""
+    deployment = fresh_deployment(seed=b"ext-g-pull")
+    point = DistributionPoint("edge", deployment.mws.device_keys, deployment.clock)
+    coordinator = DistributionCoordinator(deployment.mws)
+    coordinator.register_point(point)
+    device = deployment.new_smart_device("extg-meter")
+    requests = [device.build_deposit("EXTG", b"r" * 32) for _ in range(100)]
+    counter = itertools.count()
+
+    def setup():
+        # Refill the buffer with uniquified copies so dedup never trips.
+        tag = next(counter)
+        for index, request in enumerate(requests):
+            clone = type(request)(**{**request.__dict__})
+            clone.mac = (
+                request.mac[:-8]
+                + tag.to_bytes(4, "big")
+                + index.to_bytes(4, "big")
+            )
+            point._buffer.append(
+                BufferedDeposit(
+                    request=clone, accepted_at_us=deployment.clock.now_us()
+                )
+            )
+        return (), {}
+
+    def pull():
+        stored = coordinator.pull("edge", batch_size=200)
+        assert stored == 100
+
+    benchmark.pedantic(pull, setup=setup, rounds=10)
+    deployment.close()
+
+
+# ---------------------------------------------------------------------------
+# EXT-F addendum: gatekeeper credential modes (password vs IdP assertion)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="ext-f-rc-auth")
+def test_ext_f_gatekeeper_password_auth(benchmark):
+    """The paper's password-blob credential check."""
+    deployment = fresh_deployment(seed=b"ext-f-gk-pw")
+    client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+
+    def make_request():
+        return (client.build_retrieve_request(),), {}
+
+    benchmark.pedantic(
+        deployment.mws.gatekeeper.authenticate, setup=make_request, rounds=20
+    )
+    deployment.close()
+
+
+@pytest.mark.benchmark(group="ext-f-rc-auth")
+def test_ext_f_gatekeeper_assertion_auth(benchmark):
+    """The §VIII IdP-assertion credential check (RSA verify)."""
+    from repro.policy.assertions import AssertionValidator, IdentityProvider
+
+    deployment = fresh_deployment(seed=b"ext-f-gk-sso")
+    idp = IdentityProvider(
+        "idp", deployment.clock, HmacDrbg(b"bench-idp"), rsa_bits=768
+    )
+    validator = AssertionValidator(
+        "mws", deployment.clock, trusted_issuers={"idp": idp.public_key}
+    )
+    deployment.mws.gatekeeper._assertion_validator = validator
+    client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+
+    def make_request():
+        assertion = idp.issue("rc", "mws")
+        return (
+            (client.build_retrieve_request(assertion=assertion.to_bytes()),),
+            {},
+        )
+
+    benchmark.pedantic(
+        deployment.mws.gatekeeper.authenticate, setup=make_request, rounds=20
+    )
+    deployment.close()

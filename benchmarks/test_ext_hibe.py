@@ -1,0 +1,52 @@
+"""EXT-I — hierarchical IBE cost vs hierarchy depth (§VIII delegated PKGs).
+
+Encrypt cost grows by one point multiplication per level; decrypt by
+one pairing per level; delegation (sub-domain key extraction) is one
+hash-to-point + one point multiplication regardless of depth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ibe.hibe import HibeRoot
+from repro.mathlib.rand import HmacDrbg
+from repro.pairing import get_preset
+
+PARAMS = get_preset("TEST80")
+ROOT = HibeRoot(PARAMS, rng=HmacDrbg(b"ext-i"))
+PATHS = {
+    1: ("REGION-SV",),
+    2: ("REGION-SV", "GLENBROOK"),
+    3: ("REGION-SV", "GLENBROOK", "ELECTRIC"),
+}
+REGION = ROOT.domain("REGION-SV")
+COMPLEX = REGION.domain("GLENBROOK")
+KEYS = {
+    1: ROOT.extract("REGION-SV"),
+    2: REGION.extract("GLENBROOK"),
+    3: COMPLEX.extract("ELECTRIC"),
+}
+CIPHERTEXTS = {
+    depth: ROOT.encrypt(path, b"m" * 64, rng=HmacDrbg(bytes([depth])))
+    for depth, path in PATHS.items()
+}
+
+
+@pytest.mark.benchmark(group="ext-i-hibe")
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_ext_i_encrypt_by_depth(benchmark, depth):
+    benchmark(ROOT.encrypt, PATHS[depth], b"m" * 64)
+
+
+@pytest.mark.benchmark(group="ext-i-hibe")
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_ext_i_decrypt_by_depth(benchmark, depth):
+    plaintext = benchmark(ROOT.decrypt, KEYS[depth], CIPHERTEXTS[depth])
+    assert plaintext == b"m" * 64
+
+
+@pytest.mark.benchmark(group="ext-i-hibe")
+def test_ext_i_delegation_cost(benchmark):
+    """One child-key extraction at an interior domain."""
+    benchmark(COMPLEX.extract, "ELECTRIC")

@@ -1,0 +1,117 @@
+"""EXT-A — IBE warehouse vs certificate-PKI baseline.
+
+Quantifies the paper's §I claim that certificate PKI is unsuitable:
+per-message device cost as the recipient set grows (IBE: flat; PKI:
+linear), and the key-management operations behind enrolment and
+revocation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fresh_deployment
+from repro.mathlib.rand import HmacDrbg
+from repro.pki.baseline import PkiBaselineDeployment
+from repro.sim.clock import SimClock
+
+RECIPIENT_COUNTS = [1, 3, 5]
+
+
+@pytest.fixture(scope="module")
+def ibe_world():
+    deployment = fresh_deployment(seed=b"ext-a")
+    device = deployment.new_smart_device("exta-meter")
+    # One attribute covers any number of recipients.
+    for index in range(max(RECIPIENT_COUNTS)):
+        deployment.new_receiving_client(
+            f"exta-rc-{index}", "pw", attributes=["EXTA-ATTR"]
+        )
+    return deployment, device
+
+
+@pytest.fixture(scope="module")
+def pki_world():
+    baseline = PkiBaselineDeployment(
+        rsa_bits=768, rng=HmacDrbg(b"ext-a-pki"), clock=SimClock()
+    )
+    for index in range(max(RECIPIENT_COUNTS)):
+        baseline.enroll_recipient(f"exta-rc-{index}")
+    return baseline
+
+
+@pytest.mark.benchmark(group="ext-a-deposit")
+@pytest.mark.parametrize("recipients", RECIPIENT_COUNTS)
+def test_ext_a_ibe_deposit(benchmark, ibe_world, recipients):
+    """IBE device cost is independent of the recipient count — the same
+    single attribute-encrypted ciphertext serves 1 or 5 companies."""
+    _deployment, device = ibe_world
+    benchmark(device.build_deposit, "EXTA-ATTR", b"reading" * 16)
+
+
+@pytest.mark.benchmark(group="ext-a-deposit")
+@pytest.mark.parametrize("recipients", RECIPIENT_COUNTS)
+def test_ext_a_pki_deposit(benchmark, pki_world, recipients):
+    """PKI device cost grows with recipients (one RSA wrap each)."""
+    names = [f"exta-rc-{index}" for index in range(recipients)]
+    benchmark(pki_world.deposit, b"reading" * 16, names)
+
+
+@pytest.mark.benchmark(group="ext-a-keymgmt")
+def test_ext_a_ibe_enrolment(benchmark, ibe_world):
+    """IBE enrolment of an existing RC into a new recipient class:
+    a single policy-row insert (devices untouched)."""
+    deployment, _device = ibe_world
+    counter = iter(range(10_000_000))
+
+    def enrol():
+        deployment.mws.grant("exta-rc-0", f"NEW-CLASS-{next(counter)}")
+
+    benchmark(enrol)
+
+
+@pytest.mark.benchmark(group="ext-a-keymgmt")
+def test_ext_a_pki_enrolment(benchmark):
+    """PKI enrolment: RSA keygen + certificate issuance (seconds, not
+    microseconds — run few rounds)."""
+    baseline = PkiBaselineDeployment(
+        rsa_bits=768, rng=HmacDrbg(b"ext-a-enrol"), clock=SimClock()
+    )
+    counter = iter(range(10_000_000))
+
+    def enrol():
+        baseline.enroll_recipient(f"new-rc-{next(counter)}")
+
+    benchmark.pedantic(enrol, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="ext-a-keymgmt")
+def test_ext_a_ibe_revocation(benchmark, ibe_world):
+    """IBE revocation: policy-row delete + re-grant (measured together
+    to keep state stationary)."""
+    deployment, _device = ibe_world
+
+    def revoke_and_regrant():
+        deployment.mws.revoke("exta-rc-1", "EXTA-ATTR")
+        deployment.mws.grant("exta-rc-1", "EXTA-ATTR")
+
+    benchmark(revoke_and_regrant)
+
+
+@pytest.mark.benchmark(group="ext-a-keymgmt")
+def test_ext_a_pki_revocation(benchmark, pki_world):
+    """PKI revocation: CRL update; every device must consult the CRL on
+    its next chain validation (cache invalidated)."""
+    benchmark(pki_world.revoke_recipient, "exta-rc-2")
+
+
+def test_ext_a_shape_assertion(ibe_world, pki_world):
+    """The structural claim itself, independent of timing: IBE ships one
+    ciphertext regardless of audience; PKI ships one wrapped key per
+    recipient."""
+    _deployment, device = ibe_world
+    request = device.build_deposit("EXTA-ATTR", b"x")
+    envelope = pki_world.deposit(b"x", [f"exta-rc-{i}" for i in range(5)])
+    assert len(envelope.wrapped_keys) == 5
+    # The IBE deposit has no per-recipient component at all.
+    assert b"exta-rc" not in request.to_bytes()

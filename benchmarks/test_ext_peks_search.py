@@ -1,0 +1,50 @@
+"""EXT-H — encrypted keyword search (paper reference [1], PEKS).
+
+Cost profile of searchable tags: tagging at the device, trapdoor
+derivation at the authority, and the server-side linear scan (one
+pairing per tested tag) at increasing index sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ibe.peks import PeksScheme, SearchableIndex
+from repro.mathlib.rand import HmacDrbg
+from repro.pairing import get_preset
+
+PARAMS = get_preset("TEST80")
+SCHEME = PeksScheme.generate(PARAMS, rng=HmacDrbg(b"ext-h"))
+
+
+@pytest.mark.benchmark(group="ext-h-peks")
+def test_ext_h_tag_cost(benchmark):
+    """Device-side: one tag = one pairing + one point multiplication."""
+    benchmark(SCHEME.tag, "outage")
+
+
+@pytest.mark.benchmark(group="ext-h-peks")
+def test_ext_h_trapdoor_cost(benchmark):
+    """Authority-side: one scalar multiplication."""
+    benchmark(SCHEME.trapdoor, "outage")
+
+
+@pytest.mark.benchmark(group="ext-h-peks")
+def test_ext_h_single_test_cost(benchmark):
+    """Server-side: one pairing per tested tag."""
+    tag = SCHEME.tag("outage")
+    trapdoor = SCHEME.trapdoor("outage")
+    assert benchmark(SCHEME.test, trapdoor, tag)
+
+
+@pytest.mark.benchmark(group="ext-h-peks-scan")
+@pytest.mark.parametrize("index_size", [10, 50])
+def test_ext_h_index_scan(benchmark, index_size):
+    """Linear scan over the index (the PEKS cost model: O(n) pairings)."""
+    index = SearchableIndex(SCHEME)
+    for record_id in range(index_size):
+        keyword = "outage" if record_id % 10 == 0 else f"routine-{record_id % 7}"
+        index.add(record_id, [SCHEME.tag(keyword)])
+    trapdoor = SCHEME.trapdoor("outage")
+    hits = benchmark(index.search, trapdoor)
+    assert len(hits) == index_size // 10

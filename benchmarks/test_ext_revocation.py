@@ -1,0 +1,89 @@
+"""EXT-C — revocation cost (paper requirement iii; DESIGN.md ablation 2).
+
+Measures (a) the revocation operation itself, (b) the steady-state cost
+the per-message-nonce design pays for revocability — one PKG extraction
+per message — against the static-key mode where one extraction serves
+all messages but revocation cannot stop a key that already escaped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fresh_deployment
+from repro.core import RevocationManager
+
+MESSAGES = 10
+
+
+def world(use_nonce: bool):
+    deployment = fresh_deployment(
+        seed=b"ext-c-nonce" if use_nonce else b"ext-c-static",
+        use_nonce=use_nonce,
+    )
+    device = deployment.new_smart_device("extc-meter")
+    client = deployment.new_receiving_client("extc-rc", "pw", attributes=["EXTC"])
+    channel = deployment.sd_channel("extc-meter")
+    for index in range(MESSAGES):
+        device.deposit(channel, "EXTC", f"m-{index}".encode())
+    return deployment, device, client
+
+
+@pytest.mark.benchmark(group="ext-c-retrieval-mode")
+@pytest.mark.parametrize("mode", ["nonce", "static"])
+def test_ext_c_retrieval_cost_by_mode(benchmark, mode):
+    """Retrieve+decrypt 10 messages: nonce mode pays ~10 extractions,
+    static mode pays 1 (ablation 2's cost side)."""
+    deployment, _device, client = world(use_nonce=(mode == "nonce"))
+
+    def retrieve_all():
+        client._key_cache.clear()
+        return client.retrieve_and_decrypt(
+            deployment.rc_mws_channel("extc-rc"),
+            deployment.rc_pkg_channel("extc-rc"),
+        )
+
+    results = benchmark(retrieve_all)
+    assert len(results) == MESSAGES
+    deployment.close()
+
+
+def test_ext_c_extraction_counts_by_mode():
+    """The benefit side: the audit trail shows why static mode is cheap
+    and weak — one identity covers everything."""
+    for mode, expected in (("nonce", MESSAGES), ("static", 1)):
+        deployment, _device, client = world(use_nonce=(mode == "nonce"))
+        client.retrieve_and_decrypt(
+            deployment.rc_mws_channel("extc-rc"),
+            deployment.rc_pkg_channel("extc-rc"),
+        )
+        assert len(deployment.pkg.audit_log) == expected, mode
+        deployment.close()
+
+
+@pytest.mark.benchmark(group="ext-c-revocation-op")
+def test_ext_c_revocation_operation(benchmark):
+    """The revocation operation itself: O(1) policy work, no devices."""
+    deployment, _device, _client = world(use_nonce=True)
+    manager = RevocationManager(deployment)
+
+    def revoke_and_reinstate():
+        manager.revoke("extc-rc", "EXTC")
+        manager.reinstate("extc-rc", "EXTC")
+
+    benchmark(revoke_and_reinstate)
+    deployment.close()
+
+
+@pytest.mark.benchmark(group="ext-c-revocation-op")
+def test_ext_c_survivor_cost_after_revocations(benchmark):
+    """Other clients' retrieval cost is unchanged by 100 revocations of
+    third parties (no CRL-style global state to consult)."""
+    deployment, _device, client = world(use_nonce=True)
+    manager = RevocationManager(deployment)
+    for index in range(100):
+        deployment.mws.register_rc(f"churn-{index}", "pw")
+        deployment.mws.grant(f"churn-{index}", "EXTC")
+        manager.revoke(f"churn-{index}", "EXTC")
+    benchmark(client.retrieve, deployment.rc_mws_channel("extc-rc"))
+    deployment.close()

@@ -1,0 +1,135 @@
+"""EXT-E — storage-backend ablation (DESIGN.md ablation 3).
+
+The paper's prototype used flat files; its future work asked for a real
+database layer.  Same MessageDatabase workload over all three backends:
+in-memory (upper bound), flat-file (the prototype), log-structured (the
+future-work engine), plus the engine's recovery and compaction costs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+
+import pytest
+
+from repro.storage.engine import FlatFileStore, LogStructuredStore, MemoryStore
+from repro.storage.message_db import MessageDatabase
+
+BACKENDS = ["memory", "flatfile", "log"]
+
+
+def make_store(kind: str, tmp_path, tag: str):
+    if kind == "memory":
+        return MemoryStore()
+    if kind == "flatfile":
+        return FlatFileStore(str(tmp_path / f"flat-{tag}"))
+    return LogStructuredStore(str(tmp_path / f"log-{tag}.db"))
+
+
+@pytest.mark.benchmark(group="ext-e-store")
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_ext_e_message_store_cost(benchmark, tmp_path, backend):
+    """One warehouse insert (the hot path of every deposit)."""
+    database = MessageDatabase(make_store(backend, tmp_path, "store"))
+    counter = itertools.count()
+
+    def store():
+        database.store("meter", "ATTR", b"n" * 16, b"ct" * 64, next(counter))
+
+    benchmark(store)
+    database.close()
+
+
+@pytest.mark.benchmark(group="ext-e-fetch")
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_ext_e_attribute_fetch_cost(benchmark, tmp_path, backend):
+    """Fetch 20 records by attribute out of a 500-record warehouse."""
+    database = MessageDatabase(make_store(backend, tmp_path, "fetch"))
+    for index in range(500):
+        attribute = "MINE" if index % 25 == 0 else f"OTHER-{index % 10}"
+        database.store("meter", attribute, b"n", b"ct" * 64, index)
+    result = benchmark(database.by_attribute, "MINE")
+    assert len(result) == 20
+    database.close()
+
+
+@pytest.mark.benchmark(group="ext-e-recovery")
+@pytest.mark.parametrize("record_count", [100, 1000])
+def test_ext_e_log_recovery_scan(benchmark, tmp_path, record_count):
+    """Restart cost: the single recovery scan that rebuilds the index."""
+    path = str(tmp_path / f"recover-{record_count}.db")
+    store = LogStructuredStore(path)
+    for index in range(record_count):
+        store.put(index.to_bytes(8, "big"), b"v" * 128)
+    store.close()
+
+    def recover():
+        recovered = LogStructuredStore(path)
+        count = len(recovered)
+        recovered.close()
+        return count
+
+    assert benchmark(recover) == record_count
+
+
+@pytest.mark.benchmark(group="ext-e-recovery")
+def test_ext_e_log_compaction(benchmark, tmp_path):
+    """Compaction of a churn-heavy log (90% dead records)."""
+    counter = itertools.count()
+
+    def setup():
+        path = str(tmp_path / f"compact-{next(counter)}.db")
+        store = LogStructuredStore(path)
+        for index in range(500):
+            store.put((index % 50).to_bytes(8, "big"), b"v" * 100)
+        return (store,), {}
+
+    def compact(store):
+        store.compact()
+        store.close()
+
+    benchmark.pedantic(compact, setup=setup, rounds=5)
+
+
+@pytest.mark.benchmark(group="ext-e-durability")
+def test_ext_e_sync_write_cost(benchmark, tmp_path):
+    """fsync-per-write durability premium over buffered appends."""
+    store = LogStructuredStore(str(tmp_path / "sync.db"), sync=True)
+    counter = itertools.count()
+
+    def durable_put():
+        store.put(next(counter).to_bytes(8, "big"), b"v" * 128)
+
+    benchmark(durable_put)
+    store.close()
+
+
+@pytest.mark.benchmark(group="ext-e-durability")
+def test_ext_e_buffered_write_cost(benchmark, tmp_path):
+    store = LogStructuredStore(str(tmp_path / "buffered.db"), sync=False)
+    counter = itertools.count()
+
+    def buffered_put():
+        store.put(next(counter).to_bytes(8, "big"), b"v" * 128)
+
+    benchmark(buffered_put)
+    store.close()
+
+
+def test_ext_e_space_amplification(tmp_path):
+    """Structural comparison: flat-file stores one file per record; the
+    log reclaims shadowed space only after compaction."""
+    log_store = LogStructuredStore(str(tmp_path / "amp.db"))
+    for index in range(100):
+        log_store.put(b"same-key", b"v" * 100)
+    assert log_store.file_bytes() > 100 * 100  # 100 shadowed versions
+    log_store.compact()
+    assert log_store.file_bytes() < 2 * 113  # one live frame
+    log_store.close()
+
+    flat_directory = tmp_path / "amp-flat"
+    flat_store = FlatFileStore(str(flat_directory))
+    for index in range(100):
+        flat_store.put(b"same-key", b"v" * 100)
+    assert len(os.listdir(flat_directory)) == 1  # overwrite in place

@@ -1,0 +1,87 @@
+"""FIG2 — private-key retrieval (paper Fig. 2).
+
+The figure shows the RC obtaining per-message private keys from the PKG
+after depositing/retrieving through the MWS.  We benchmark each leg of
+that flow: token opening, PKG authentication, and the ``AID || Nonce ->
+sI`` extraction round-trip (the figure's core arrow).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def key_retrieval_world(loaded_world):
+    deployment, _device, client = loaded_world
+    response = client.retrieve(deployment.rc_mws_channel(client.rc_id))
+    token = client.open_token(response.token)
+    pkg_channel = deployment.rc_pkg_channel(client.rc_id)
+    session_id = client.authenticate_to_pkg(pkg_channel, token)
+    return deployment, client, response, token, pkg_channel, session_id
+
+
+@pytest.mark.benchmark(group="fig2-key-retrieval")
+def test_fig2_open_token(benchmark, key_retrieval_world):
+    """RSA hybrid-open of the token (RC-side, one per retrieval)."""
+    _dep, client, response, _token, _chan, _sid = key_retrieval_world
+    benchmark(client.open_token, response.token)
+
+
+@pytest.mark.benchmark(group="fig2-key-retrieval")
+def test_fig2_pkg_authentication(benchmark, key_retrieval_world):
+    """Ticket + authenticator handshake (one per retrieval session)."""
+    _dep, client, _response, token, pkg_channel, _sid = key_retrieval_world
+    benchmark(client.authenticate_to_pkg, pkg_channel, token)
+
+
+@pytest.mark.benchmark(group="fig2-key-retrieval")
+def test_fig2_key_extraction_roundtrip(benchmark, key_retrieval_world):
+    """One ``AID || Nonce -> sI`` extraction (one per message).
+
+    A fresh nonce is used per iteration so the client cache never hits —
+    this measures the true PKG round-trip incl. the extraction pairing
+    work and the session-key sealing.
+    """
+    _dep, client, response, token, pkg_channel, session_id = key_retrieval_world
+    message = response.messages[0]
+    counter = itertools.count()
+
+    def fetch_fresh_key():
+        nonce = next(counter).to_bytes(16, "big")
+        return client.fetch_key(
+            pkg_channel, session_id, token.session_key,
+            message.attribute_id, nonce,
+        )
+
+    benchmark(fetch_fresh_key)
+
+
+@pytest.mark.benchmark(group="fig2-key-retrieval")
+def test_fig2_cached_key_fetch(benchmark, key_retrieval_world):
+    """The same fetch when the client key cache hits (static-key mode)."""
+    _dep, client, response, token, pkg_channel, session_id = key_retrieval_world
+    message = response.messages[0]
+    client.fetch_key(
+        pkg_channel, session_id, token.session_key,
+        message.attribute_id, message.nonce,
+    )
+    benchmark(
+        client.fetch_key,
+        pkg_channel, session_id, token.session_key,
+        message.attribute_id, message.nonce,
+    )
+
+
+@pytest.mark.benchmark(group="fig2-key-retrieval")
+def test_fig2_decrypt_with_key(benchmark, key_retrieval_world):
+    """Final step of the figure: decrypting the message with ``sI``."""
+    _dep, client, response, token, pkg_channel, session_id = key_retrieval_world
+    message = response.messages[0]
+    private_point = client.fetch_key(
+        pkg_channel, session_id, token.session_key,
+        message.attribute_id, message.nonce,
+    )
+    benchmark(client.decrypt_message, message, private_point)

@@ -1,0 +1,138 @@
+"""FIG3 — per-component micro-benchmarks (paper Fig. 3 architecture).
+
+One benchmark per box in the architecture diagram: Smart Device (the
+encrypt side), Smart Device Authenticator, Message Database, Message
+Management System, Policy Database, Token Generator, User
+Database/Gatekeeper, and the PKG.  Together these decompose the
+end-to-end cost measured by FIG4.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.wire.messages import KeyRequest
+
+
+@pytest.fixture(scope="module")
+def components(deployment):
+    device = deployment.new_smart_device("fig3-meter")
+    client = deployment.new_receiving_client(
+        "fig3-rc", "fig3-pw", attributes=["FIG3-ATTR"]
+    )
+    # Prime the warehouse so retrieval paths have data.
+    channel = deployment.sd_channel("fig3-meter")
+    for index in range(10):
+        device.deposit(channel, "FIG3-ATTR", f"m-{index}".encode())
+    return deployment, device, client
+
+
+@pytest.mark.benchmark(group="fig3-components")
+def test_fig3_smart_device_encrypt(benchmark, components):
+    """SD box: build one deposit (pairing + DES + HMAC)."""
+    _dep, device, _client = components
+    benchmark(device.build_deposit, "FIG3-ATTR", b"x" * 64)
+
+
+@pytest.mark.benchmark(group="fig3-components")
+def test_fig3_sda_verify(benchmark, components):
+    """SDA box: MAC verification + freshness checks.
+
+    pedantic mode: each round verifies a *fresh* deposit, because the
+    SDA's replay cache would reject a repeated one.
+    """
+    deployment, device, _client = components
+
+    def make_request():
+        return (device.build_deposit("FIG3-ATTR", b"x" * 64),), {}
+
+    benchmark.pedantic(
+        deployment.mws.sda.authenticate,
+        setup=make_request,
+        rounds=30,
+    )
+
+
+@pytest.mark.benchmark(group="fig3-components")
+def test_fig3_message_db_store(benchmark, components):
+    """MD box: persist one accepted record."""
+    deployment, _device, _client = components
+    counter = itertools.count()
+
+    def store():
+        deployment.mws.message_db.store(
+            "fig3-meter", "FIG3-STORE", b"n" * 16, b"ct" * 50, next(counter)
+        )
+
+    benchmark(store)
+
+
+@pytest.mark.benchmark(group="fig3-components")
+def test_fig3_mms_retrieve(benchmark, components):
+    """MMS box: policy resolution + attribute fetch + AID rewrite."""
+    deployment, _device, _client = components
+    benchmark(
+        deployment.mws.mms.retrieve_for, "fig3-rc", deployment.clock.now_us()
+    )
+
+
+@pytest.mark.benchmark(group="fig3-components")
+def test_fig3_policy_db_lookup(benchmark, components):
+    """PD box: grants lookup for one identity."""
+    deployment, _device, _client = components
+    benchmark(deployment.mws.policy_db.attributes_for, "fig3-rc")
+
+
+@pytest.mark.benchmark(group="fig3-components")
+def test_fig3_token_generator(benchmark, components):
+    """TG box: mint ticket + token (AES seals + RSA hybrid seal)."""
+    deployment, _device, client = components
+    benchmark(
+        deployment.mws.token_generator.issue,
+        "fig3-rc",
+        client._rsa.public,
+        {1: "FIG3-ATTR"},
+    )
+
+
+@pytest.mark.benchmark(group="fig3-components")
+def test_fig3_gatekeeper_auth(benchmark, components):
+    """Gatekeeper + User DB box: open auth blob, check id/time/nonce.
+
+    Fresh request per round (the nonce cache rejects replays).
+    """
+    deployment, _device, client = components
+
+    def make_request():
+        return (client.build_retrieve_request(),), {}
+
+    benchmark.pedantic(
+        deployment.mws.gatekeeper.authenticate,
+        setup=make_request,
+        rounds=30,
+    )
+
+
+@pytest.mark.benchmark(group="fig3-components")
+def test_fig3_pkg_extraction(benchmark, components):
+    """PKG box: resolve AID, extract sI (one point-mul + hash-to-point),
+    seal under the session key — measured at the byte handler."""
+    deployment, _device, client = components
+    response = client.retrieve(deployment.rc_mws_channel("fig3-rc"))
+    token = client.open_token(response.token)
+    pkg_channel = deployment.rc_pkg_channel("fig3-rc")
+    session_id = client.authenticate_to_pkg(pkg_channel, token)
+    message = response.messages[0]
+    counter = itertools.count()
+
+    def extract():
+        request = KeyRequest(
+            session_id=session_id,
+            attribute_id=message.attribute_id,
+            nonce=next(counter).to_bytes(16, "big"),
+        )
+        return deployment.pkg.handler(b"\x02" + request.to_bytes())
+
+    benchmark(extract)

@@ -1,0 +1,78 @@
+"""FIG5 — the smart-device deposit operation (paper Fig. 5).
+
+The figure is the prototype's deposit UI; the operation behind it is
+"encrypt message under attribute, MAC, transmit, authenticate, store".
+We benchmark that full path across message sizes (the UI's free-text
+body can be anything) and the device-only share of it, which is the
+paper's constrained-device cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+SIZES = [64, 1024, 8192]
+
+
+@pytest.fixture(scope="module")
+def deposit_world(deployment):
+    device = deployment.new_smart_device("fig5-meter")
+    deployment.new_receiving_client("fig5-rc", "pw", attributes=["FIG5-ATTR"])
+    channel = deployment.sd_channel("fig5-meter")
+    return deployment, device, channel
+
+
+@pytest.mark.benchmark(group="fig5-deposit")
+@pytest.mark.parametrize("size", SIZES)
+def test_fig5_full_deposit_path(benchmark, deposit_world, size):
+    """Device + wire + SDA + store, by message size."""
+    _deployment, device, channel = deposit_world
+    message = bytes(i % 251 for i in range(size))
+    benchmark(device.deposit, channel, "FIG5-ATTR", message)
+
+
+@pytest.mark.benchmark(group="fig5-deposit")
+@pytest.mark.parametrize("size", SIZES)
+def test_fig5_device_side_only(benchmark, deposit_world, size):
+    """Just the constrained device's work (no network, no MWS)."""
+    _deployment, device, _channel = deposit_world
+    message = bytes(i % 251 for i in range(size))
+    benchmark(device.build_deposit, "FIG5-ATTR", message)
+
+
+@pytest.mark.benchmark(group="fig5-deposit")
+@pytest.mark.parametrize("cipher_name", ["DES", "3DES", "AES-128"])
+def test_fig5_device_cipher_choice(benchmark, deployment, cipher_name):
+    """Device cost by symmetric cipher (paper used DES)."""
+    from repro.clients.smart_device import SmartDevice
+    from repro.mathlib.rand import HmacDrbg
+
+    shared = deployment.mws.register_device(f"fig5-{cipher_name}")
+    device = SmartDevice(
+        f"fig5-{cipher_name}",
+        deployment.public_params,
+        shared,
+        clock=deployment.clock,
+        rng=HmacDrbg(cipher_name.encode()),
+        cipher_name=cipher_name,
+    )
+    benchmark(device.build_deposit, "FIG5-ATTR", b"x" * 1024)
+
+
+@pytest.mark.benchmark(group="fig5-batching")
+@pytest.mark.parametrize("batch_size", [1, 5, 20])
+def test_fig5_batched_deposit(benchmark, deposit_world, batch_size):
+    """Batched deposits amortise MAC + round-trip over N readings.
+
+    Reported time is per batch; divide by the size for per-reading cost
+    (the crypto per reading is constant, so savings are overhead-only).
+    """
+    deployment, device, _channel = deposit_world
+    batch_channel = deployment.sd_batch_channel(device.device_id)
+    items = [("FIG5-ATTR", b"r" * 64) for _ in range(batch_size)]
+
+    def batched():
+        response = device.deposit_batch(batch_channel, items)
+        assert response.accepted
+
+    benchmark(batched)

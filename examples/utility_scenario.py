@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""The paper's Fig. 1 utility scenario, end to end.
+
+An apartment complex has electric, water and gas meters.  Three
+companies retrieve readings:
+
+* C-Services        — full-service retailer: all three meter kinds
+* Electric & Gas Co — electric + gas
+* Water & Resources — water only
+
+The devices never learn who the companies are; the companies never see
+attribute strings (only opaque ids); the MWS never sees a plaintext.
+The script deposits one reporting round from a simulated fleet and
+prints the resulting access matrix, which must match Fig. 1.
+
+Run:  python examples/utility_scenario.py
+"""
+
+from repro import Deployment, DeploymentConfig
+from repro.sim.workload import MeterKind, SmartMeterFleet, WorkloadConfig
+
+COMPANY_GRANTS = {
+    "c-services": [MeterKind.ELECTRIC, MeterKind.WATER, MeterKind.GAS],
+    "electric-and-gas": [MeterKind.ELECTRIC, MeterKind.GAS],
+    "water-and-resources": [MeterKind.WATER],
+}
+
+
+def main() -> None:
+    deployment = Deployment.build(DeploymentConfig(preset="TEST80", rsa_bits=1024))
+    fleet = SmartMeterFleet(WorkloadConfig(meters_per_kind=2))
+
+    # Register the fleet: every meter gets a MAC key from the MWS.
+    devices = {
+        device_id: deployment.new_smart_device(device_id)
+        for device_id in fleet.device_ids()
+    }
+    print(f"registered {len(devices)} smart meters")
+
+    # Register the companies with their Fig. 1 grants.
+    clients = {}
+    for company, kinds in COMPANY_GRANTS.items():
+        attributes = [fleet.attribute_for(kind) for kind in kinds]
+        clients[company] = deployment.new_receiving_client(
+            company, f"password-{company}", attributes=attributes
+        )
+        print(f"registered {company!r} with grants {attributes}")
+
+    # One reporting round: every meter deposits one encrypted reading.
+    for reading in fleet.round_of_readings():
+        device = devices[reading.device_id]
+        device.deposit(
+            deployment.sd_channel(device.device_id),
+            reading.attribute(),
+            reading.payload(),
+        )
+    print(f"\nwarehouse now holds {len(deployment.mws.message_db)} ciphertexts "
+          f"under attributes {deployment.mws.message_db.attributes()}")
+
+    # Each company retrieves and decrypts what it is entitled to.
+    print("\naccess matrix (rows: company, columns: meter kind):")
+    header = "".join(f"{kind.value:>10}" for kind in MeterKind)
+    print(f"{'':24}{header}")
+    for company, client in clients.items():
+        messages = client.retrieve_and_decrypt(
+            deployment.rc_mws_channel(company),
+            deployment.rc_pkg_channel(company),
+        )
+        kinds_seen = {
+            plain.split(b";")[1].split(b"=")[1].decode()
+            for plain in (m.plaintext for m in messages)
+        }
+        row = "".join(
+            f"{'YES' if kind.value in kinds_seen else '-':>10}"
+            for kind in MeterKind
+        )
+        print(f"{company:24}{row}   ({len(messages)} messages)")
+
+    # Assert the exact Fig. 1 matrix.
+    for company, kinds in COMPANY_GRANTS.items():
+        messages = clients[company].retrieve_and_decrypt(
+            deployment.rc_mws_channel(company),
+            deployment.rc_pkg_channel(company),
+        )
+        expected = 2 * len(kinds)  # 2 meters per kind
+        assert len(messages) == expected, (company, len(messages), expected)
+    print("\nFig. 1 access matrix reproduced exactly")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim so legacy ``pip install -e .`` works without the ``wheel``
+package (offline environments with setuptools < 70).  All real metadata
+lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""repro: end-to-end confidential message warehousing with IBE.
+
+A full reproduction of "End-to-End Confidentiality for a Message
+Warehousing Service Using Identity-Based Encryption" (Karabulut et al.,
+ICDE Workshops 2010), including every substrate from the pairing math
+up: Boneh–Franklin IBE over a from-scratch supersingular-curve pairing,
+DES/AES, SHA/HMAC, an embedded storage engine, the four-party protocol
+(smart device, MWS, PKG, receiving client), a certificate-PKI baseline
+and a KP-ABE extension.
+
+Quickstart::
+
+    from repro import Deployment, DeploymentConfig
+
+    deployment = Deployment.build(DeploymentConfig(preset="TEST80"))
+    meter = deployment.new_smart_device("ELECTRIC-GLENBROOK-001")
+    utility = deployment.new_receiving_client(
+        "c-services", "s3cret", attributes=["ELECTRIC-GLENBROOK-SV-CA"]
+    )
+    meter.deposit(
+        deployment.sd_channel(meter.device_id),
+        "ELECTRIC-GLENBROOK-SV-CA",
+        b"reading=42.7kWh",
+    )
+    messages = utility.retrieve_and_decrypt(
+        deployment.rc_mws_channel(utility.rc_id),
+        deployment.rc_pkg_channel(utility.rc_id),
+    )
+"""
+
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.core.protocol import ProtocolDriver, ProtocolTranscript
+from repro.core.revocation import RevocationManager
+from repro.errors import ReproError
+from repro.ibe import (
+    BasicIdent,
+    FullIdent,
+    hybrid_decrypt,
+    hybrid_encrypt,
+    setup,
+)
+from repro.pairing import BFParams, generate_params, get_preset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Deployment",
+    "DeploymentConfig",
+    "ProtocolDriver",
+    "ProtocolTranscript",
+    "RevocationManager",
+    "ReproError",
+    "setup",
+    "BasicIdent",
+    "FullIdent",
+    "hybrid_encrypt",
+    "hybrid_decrypt",
+    "BFParams",
+    "get_preset",
+    "generate_params",
+    "__version__",
+]

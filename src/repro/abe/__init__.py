@@ -1,0 +1,25 @@
+"""Key-policy attribute-based encryption (paper reference [6]).
+
+The paper's related-work section says its design "adopts the solution
+presented in [6] and applies a variation of it" — Goyal, Pandey, Sahai,
+Waters (CCS 2006).  This package implements that KP-ABE scheme over the
+library's own pairing group: ciphertexts are labelled with attribute
+sets, private keys carry threshold access trees, and decryption succeeds
+exactly when the tree accepts the label set.
+
+It is the natural upgrade path from the paper's single-attribute
+encryption: a utility company's key can express
+``2-of-3(ELECTRIC-*, GAS-*, region)`` instead of one flat string.
+"""
+
+from repro.abe.access_tree import AccessTree, leaf, threshold
+from repro.abe.kpabe import KpAbeAuthority, KpAbeCiphertext, KpAbePrivateKey
+
+__all__ = [
+    "AccessTree",
+    "leaf",
+    "threshold",
+    "KpAbeAuthority",
+    "KpAbePrivateKey",
+    "KpAbeCiphertext",
+]

@@ -1,0 +1,131 @@
+"""Threshold access trees for KP-ABE (Goyal et al. §4).
+
+A tree node is either a leaf naming an attribute or a k-of-n threshold
+gate over child subtrees (AND = n-of-n, OR = 1-of-n).  The tree both
+*evaluates* over attribute sets (plain boolean logic) and *carries
+secret shares*: keygen runs a random polynomial of degree k-1 through
+each gate with the parent's share at x=0 and child shares at x=1..n,
+and decryption recombines with Lagrange coefficients at 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.mathlib.modular import inverse_mod
+from repro.mathlib.rand import RandomSource
+
+__all__ = ["AccessTree", "leaf", "threshold", "lagrange_coefficient"]
+
+
+def lagrange_coefficient(i: int, index_set: list[int], x: int, q: int) -> int:
+    """Lagrange basis polynomial Δ_{i,S}(x) mod q.
+
+    ``i`` must be in ``index_set``; used with x=0 to recombine shares.
+    """
+    if i not in index_set:
+        raise ParameterError(f"index {i} not in the interpolation set {index_set}")
+    numerator, denominator = 1, 1
+    for j in index_set:
+        if j == i:
+            continue
+        numerator = numerator * ((x - j) % q) % q
+        denominator = denominator * ((i - j) % q) % q
+    return numerator * inverse_mod(denominator, q) % q
+
+
+@dataclass
+class AccessTree:
+    """A node: leaf (``attribute`` set) or gate (``threshold_k`` of children)."""
+
+    attribute: str | None = None
+    threshold_k: int = 1
+    children: list["AccessTree"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.is_leaf():
+            if self.children:
+                raise ParameterError("a leaf node cannot have children")
+        else:
+            if not self.children:
+                raise ParameterError("a gate node needs at least one child")
+            if not 1 <= self.threshold_k <= len(self.children):
+                raise ParameterError(
+                    f"threshold {self.threshold_k} invalid for "
+                    f"{len(self.children)} children"
+                )
+
+    def is_leaf(self) -> bool:
+        """True when this node is an attribute leaf."""
+        return self.attribute is not None
+
+    # -- boolean evaluation -------------------------------------------------
+
+    def satisfied_by(self, attributes: set[str]) -> bool:
+        """Does the attribute set satisfy this (sub)tree?"""
+        if self.is_leaf():
+            return self.attribute in attributes
+        satisfied = sum(
+            1 for child in self.children if child.satisfied_by(attributes)
+        )
+        return satisfied >= self.threshold_k
+
+    def leaves(self) -> list["AccessTree"]:
+        """All leaf nodes, left to right."""
+        if self.is_leaf():
+            return [self]
+        result = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+    def attributes(self) -> set[str]:
+        """The set of attribute strings this tree references."""
+        return {node.attribute for node in self.leaves()}
+
+    # -- share distribution -----------------------------------------------------
+
+    def distribute_shares(
+        self, secret: int, q: int, rng: RandomSource
+    ) -> dict[int, int]:
+        """Run keygen's polynomial cascade; returns ``{id(leaf): share}``.
+
+        Each gate draws a random degree-(k-1) polynomial with
+        ``poly(0) = its share`` and hands ``poly(child_index)`` to each
+        child (children indexed from 1).
+        """
+        shares: dict[int, int] = {}
+        self._distribute(secret % q, q, rng, shares)
+        return shares
+
+    def _distribute(
+        self, secret: int, q: int, rng: RandomSource, shares: dict[int, int]
+    ) -> None:
+        if self.is_leaf():
+            shares[id(self)] = secret
+            return
+        # Random polynomial of degree k-1 with constant term = secret.
+        coefficients = [secret] + [
+            rng.randbelow(q) for _ in range(self.threshold_k - 1)
+        ]
+        for child_index, child in enumerate(self.children, start=1):
+            value = 0
+            for power, coefficient in enumerate(coefficients):
+                value = (value + coefficient * pow(child_index, power, q)) % q
+            child._distribute(value, q, rng, shares)
+
+    def __repr__(self) -> str:
+        if self.is_leaf():
+            return f"leaf({self.attribute!r})"
+        return f"threshold({self.threshold_k}, {self.children!r})"
+
+
+def leaf(attribute: str) -> AccessTree:
+    """A leaf node requiring ``attribute``."""
+    return AccessTree(attribute=attribute)
+
+
+def threshold(k: int, *children: AccessTree) -> AccessTree:
+    """A k-of-n gate; ``threshold(len(c), *c)`` is AND, ``threshold(1, *c)`` OR."""
+    return AccessTree(threshold_k=k, children=list(children))

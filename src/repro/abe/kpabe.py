@@ -1,0 +1,199 @@
+"""Goyal–Pandey–Sahai–Waters KP-ABE over the library's pairing group.
+
+Large-universe-free variant (fixed attribute universe, §4.2 of the
+paper's reference [6]) with the symmetric distortion pairing:
+
+* Setup: per attribute ``t_a`` random, ``T_a = t_a * P``; master ``y``,
+  ``Y = e(P, P)^y``.
+* Encrypt to set ``S``: pick ``s``; ``E_a = s * T_a`` for each ``a`` in
+  ``S``; the KEM value is ``Y^s``, which keys an authenticated
+  symmetric container for the message body.
+* KeyGen for tree ``T``: share ``y`` down the tree; each leaf with
+  attribute ``a`` and share ``q_x(0)`` gets ``D_x = (q_x(0)/t_a) * P``.
+* Decrypt: ``e(D_x, E_a) = e(P, P)^(s * q_x(0))`` at satisfied leaves,
+  Lagrange-combined up the tree to ``Y^s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.abe.access_tree import AccessTree, lagrange_coefficient
+from repro.errors import AccessDeniedError, ParameterError
+from repro.mathlib.modular import inverse_mod
+from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.pairing.curve import Point
+from repro.pairing.fields import Fp2Element
+from repro.pairing.hashing import gt_to_bytes, mask_bytes
+from repro.pairing.params import BFParams
+from repro.symciph.cipher import CIPHER_REGISTRY, SymmetricScheme
+
+__all__ = ["KpAbeAuthority", "KpAbePrivateKey", "KpAbeCiphertext"]
+
+_KEM_DOMAIN = b"repro-kpabe-kem"
+
+
+@dataclass
+class KpAbePrivateKey:
+    """An access tree plus one key point per leaf (keyed by leaf identity)."""
+
+    tree: AccessTree
+    leaf_points: dict[int, Point]
+
+
+@dataclass
+class KpAbeCiphertext:
+    """Attribute label set, per-attribute points, sealed body."""
+
+    attributes: set[str]
+    components: dict[str, Point]
+    cipher_name: str
+    sealed: bytes
+
+
+class KpAbeAuthority:
+    """Holds the ABE master key; performs setup, keygen, encrypt helpers.
+
+    Encryption itself needs only the public part
+    (:meth:`public_components`); the authority object doubles as the
+    encryptor in examples for brevity.
+    """
+
+    def __init__(
+        self,
+        params: BFParams,
+        universe: list[str],
+        rng: RandomSource | None = None,
+    ) -> None:
+        if not universe:
+            raise ParameterError("KP-ABE requires a non-empty attribute universe")
+        if len(set(universe)) != len(universe):
+            raise ParameterError("attribute universe contains duplicates")
+        self._params = params
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._master_y = params.random_scalar(self._rng)
+        self._attribute_secrets = {
+            attribute: params.random_scalar(self._rng) for attribute in universe
+        }
+        self.public_t = {
+            attribute: secret * params.generator
+            for attribute, secret in self._attribute_secrets.items()
+        }
+        self.public_y: Fp2Element = (
+            params.pair(params.generator, params.generator) ** self._master_y
+        )
+
+    @property
+    def params(self) -> BFParams:
+        return self._params
+
+    @property
+    def universe(self) -> list[str]:
+        return sorted(self._attribute_secrets)
+
+    def public_components(self) -> tuple[dict[str, Point], Fp2Element]:
+        """Everything an encryptor needs: ``({attr: T_a}, Y)``."""
+        return dict(self.public_t), self.public_y
+
+    # -- keygen -------------------------------------------------------------
+
+    def keygen(self, tree: AccessTree) -> KpAbePrivateKey:
+        """Issue a private key whose policy is ``tree``."""
+        unknown = tree.attributes() - set(self._attribute_secrets)
+        if unknown:
+            raise ParameterError(
+                f"tree references attributes outside the universe: {sorted(unknown)}"
+            )
+        q = self._params.q
+        shares = tree.distribute_shares(self._master_y, q, self._rng)
+        leaf_points = {}
+        for node in tree.leaves():
+            share = shares[id(node)]
+            t_inv = inverse_mod(self._attribute_secrets[node.attribute], q)
+            leaf_points[id(node)] = (share * t_inv % q) * self._params.generator
+        return KpAbePrivateKey(tree=tree, leaf_points=leaf_points)
+
+    # -- encrypt / decrypt ------------------------------------------------------
+
+    def encrypt(
+        self,
+        attributes: set[str],
+        message: bytes,
+        cipher_name: str = "AES-128",
+        rng: RandomSource | None = None,
+    ) -> KpAbeCiphertext:
+        """Encrypt ``message`` labelled with ``attributes``."""
+        rng = rng if rng is not None else self._rng
+        unknown = attributes - set(self._attribute_secrets)
+        if unknown:
+            raise ParameterError(
+                f"ciphertext labels outside the universe: {sorted(unknown)}"
+            )
+        if not attributes:
+            raise ParameterError("ciphertext needs at least one attribute label")
+        s = self._params.random_scalar(rng)
+        components = {
+            attribute: s * self.public_t[attribute] for attribute in attributes
+        }
+        kem_value = self.public_y ** s
+        key = mask_bytes(
+            gt_to_bytes(kem_value),
+            CIPHER_REGISTRY[cipher_name].key_size,
+            _KEM_DOMAIN,
+        )
+        scheme = SymmetricScheme(cipher_name, key, mac=True, rng=rng)
+        return KpAbeCiphertext(
+            attributes=set(attributes),
+            components=components,
+            cipher_name=cipher_name,
+            sealed=scheme.seal(message),
+        )
+
+    def decrypt(self, key: KpAbePrivateKey, ciphertext: KpAbeCiphertext) -> bytes:
+        """Decrypt when ``key.tree`` accepts the ciphertext's label set.
+
+        Raises :class:`AccessDeniedError` when the policy is not
+        satisfied (checked structurally before any pairing work).
+        """
+        if not key.tree.satisfied_by(ciphertext.attributes):
+            raise AccessDeniedError(
+                "access tree not satisfied by ciphertext attributes "
+                f"{sorted(ciphertext.attributes)}"
+            )
+        kem_value = self._decrypt_node(key, ciphertext, key.tree)
+        assert kem_value is not None  # satisfied_by() guaranteed success
+        symmetric_key = mask_bytes(
+            gt_to_bytes(kem_value),
+            CIPHER_REGISTRY[ciphertext.cipher_name].key_size,
+            _KEM_DOMAIN,
+        )
+        scheme = SymmetricScheme(ciphertext.cipher_name, symmetric_key, mac=True)
+        return scheme.open(ciphertext.sealed)
+
+    def _decrypt_node(
+        self,
+        key: KpAbePrivateKey,
+        ciphertext: KpAbeCiphertext,
+        node: AccessTree,
+    ) -> Fp2Element | None:
+        """Recursive DecryptNode of [6]: e(P,P)^(s*q_node(0)) or None."""
+        if node.is_leaf():
+            component = ciphertext.components.get(node.attribute)
+            if component is None:
+                return None
+            return self._params.pair(key.leaf_points[id(node)], component)
+        child_values: list[tuple[int, Fp2Element]] = []
+        for child_index, child in enumerate(node.children, start=1):
+            value = self._decrypt_node(key, ciphertext, child)
+            if value is not None:
+                child_values.append((child_index, value))
+            if len(child_values) == node.threshold_k:
+                break
+        if len(child_values) < node.threshold_k:
+            return None
+        index_set = [index for index, _ in child_values]
+        result = self._params.ext_curve.field.one()
+        for index, value in child_values:
+            coefficient = lagrange_coefficient(index, index_set, 0, self._params.q)
+            result = result * (value ** coefficient)
+        return result

@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The paper's prototype was operated by starting four servers and a web
+form; this CLI is the equivalent operational surface:
+
+* ``repro demo``    — run the end-to-end quickstart flow and print each step.
+* ``repro serve``   — start the MWS-SD / MWS-Client / PKG TCP servers.
+* ``repro params``  — list or validate pairing parameter presets, or
+  generate fresh parameters.
+* ``repro table1``  — print the reproduced paper Table 1.
+* ``repro crypto-check`` — self-test every primitive against its test
+  vectors (useful on a new machine).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="End-to-end confidential message warehousing with IBE "
+        "(ICDE Workshops 2010 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run the end-to-end demo flow")
+    demo.add_argument("--preset", default="TEST80")
+    demo.add_argument("--cipher", default="DES",
+                      choices=["DES", "3DES", "AES-128", "AES-192", "AES-256"])
+    demo.add_argument("--messages", type=int, default=3)
+
+    serve = subparsers.add_parser("serve", help="serve the endpoints over TCP")
+    serve.add_argument("--preset", default="TEST80")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="seconds to serve (default: until Ctrl-C)")
+
+    params = subparsers.add_parser("params", help="inspect pairing parameters")
+    params.add_argument("--preset", default=None, help="validate one preset")
+    params.add_argument("--generate", action="store_true",
+                        help="generate fresh parameters")
+    params.add_argument("--q-bits", type=int, default=80)
+    params.add_argument("--p-bits", type=int, default=160)
+
+    subparsers.add_parser("table1", help="print the reproduced paper Table 1")
+    subparsers.add_parser("crypto-check",
+                          help="self-test primitives against known vectors")
+    return parser
+
+
+def _cmd_demo(args) -> int:
+    from repro.core.deployment import Deployment, DeploymentConfig
+
+    print(f"building deployment (preset={args.preset}, cipher={args.cipher})...")
+    deployment = Deployment.build(
+        DeploymentConfig(preset=args.preset, message_cipher=args.cipher)
+    )
+    device = deployment.new_smart_device("cli-meter-001")
+    client = deployment.new_receiving_client(
+        "cli-utility", "cli-password", attributes=["CLI-DEMO-ATTR"]
+    )
+    print(f"registered device {device.device_id!r} and client {client.rc_id!r}")
+    for index in range(args.messages):
+        body = f"reading={40 + index}.{index}kWh;seq={index}".encode()
+        response = device.deposit(
+            deployment.sd_channel(device.device_id), "CLI-DEMO-ATTR", body
+        )
+        print(f"deposited message {response.message_id}: {len(body)} bytes plaintext")
+    messages = client.retrieve_and_decrypt(
+        deployment.rc_mws_channel(client.rc_id),
+        deployment.rc_pkg_channel(client.rc_id),
+    )
+    for message in messages:
+        print(f"decrypted {message.message_id}: {message.plaintext.decode()}")
+    print(f"PKG extractions audited: {len(deployment.pkg.audit_log)}")
+    print("demo complete")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.core.deployment import Deployment, DeploymentConfig
+    from repro.sim.sockets import serve_deployment
+
+    deployment = Deployment.build(DeploymentConfig(preset=args.preset))
+    served = serve_deployment(deployment, host=args.host)
+    for name, (host, port) in served.addresses().items():
+        print(f"{name}: {host}:{port}")
+    print("serving (Ctrl-C to stop)", flush=True)
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:  # pragma: no cover - interactive path
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover
+        pass
+    finally:
+        served.stop()
+        print("stopped")
+    return 0
+
+
+def _cmd_params(args) -> int:
+    from repro.pairing import PRESETS, generate_params, get_preset
+
+    if args.generate:
+        print(f"generating p~2^{args.p_bits}, q~2^{args.q_bits}...")
+        params = generate_params(q_bits=args.q_bits, p_bits=args.p_bits)
+        params.validate()
+        print(f"p = {hex(params.p)}")
+        print(f"q = {hex(params.q)}")
+        print("validated: OK")
+        return 0
+    names = [args.preset] if args.preset else sorted(PRESETS)
+    for name in names:
+        params = get_preset(name)
+        started = time.perf_counter()
+        params.validate()
+        elapsed = time.perf_counter() - started
+        print(
+            f"{name:10} p:{params.p.bit_length():4} bits  "
+            f"q:{params.q.bit_length():4} bits  validate: {elapsed * 1000:.1f} ms"
+        )
+    return 0
+
+
+def _cmd_table1(_args) -> int:
+    from repro.storage.policy_db import PolicyDatabase
+
+    policy_db = PolicyDatabase()
+    for identity, attribute in [
+        ("IDRC1", "A1"), ("IDRC1", "A2"), ("IDRC2", "A1"),
+        ("IDRC3", "A3"), ("IDRC4", "A4"),
+    ]:
+        policy_db.grant(identity, attribute)
+    print(f"{'Identity':10}{'Attribute':12}{'Attribute ID'}")
+    for row in policy_db.table():
+        print(f"{row.identity:10}{row.attribute:12}{row.attribute_id}")
+    return 0
+
+
+def _cmd_crypto_check(_args) -> int:
+    from repro.hashes import sha1, sha256, md5, crc32, hmac_sha256
+    from repro.symciph import AES, DES
+    from repro.pairing import get_preset
+
+    checks = []
+    checks.append((
+        "SHA-1", sha1(b"abc").hex() == "a9993e364706816aba3e25717850c26c9cd0d89d"
+    ))
+    checks.append((
+        "SHA-256",
+        sha256(b"abc").hex()
+        == "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+    ))
+    checks.append(("MD5", md5(b"abc").hex() == "900150983cd24fb0d6963f7d28e17f72"))
+    checks.append(("CRC-32", crc32(b"123456789") == 0xCBF43926))
+    checks.append((
+        "HMAC-SHA-256",
+        hmac_sha256(b"\x0b" * 20, b"Hi There").hex().startswith("b0344c61d8db"),
+    ))
+    checks.append((
+        "DES",
+        DES(bytes.fromhex("133457799BBCDFF1"))
+        .encrypt_block(bytes.fromhex("0123456789ABCDEF"))
+        .hex()
+        .upper()
+        == "85E813540F0AB405",
+    ))
+    checks.append((
+        "AES-128",
+        AES(bytes(range(16)))
+        .encrypt_block(bytes.fromhex("00112233445566778899aabbccddeeff"))
+        .hex()
+        == "69c4e0d86a7b0430d8cdb78070b4c55a",
+    ))
+    params = get_preset("TOY64")
+    generator = params.generator
+    pairing_ok = (
+        params.pair(3 * generator, 5 * generator)
+        == params.pair(generator, generator) ** 15
+    )
+    checks.append(("pairing bilinearity", pairing_ok))
+
+    failed = 0
+    for name, ok in checks:
+        print(f"{name:22} {'OK' if ok else 'FAIL'}")
+        failed += 0 if ok else 1
+    return 1 if failed else 0
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "serve": _cmd_serve,
+    "params": _cmd_params,
+    "table1": _cmd_table1,
+    "crypto-check": _cmd_crypto_check,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

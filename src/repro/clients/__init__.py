@@ -1,0 +1,6 @@
+"""Client-side implementations: smart devices (DC) and receiving clients (RC)."""
+
+from repro.clients.receiving_client import ReceivingClient, RetrievedMessage
+from repro.clients.smart_device import SmartDevice
+
+__all__ = ["SmartDevice", "ReceivingClient", "RetrievedMessage"]

@@ -1,0 +1,279 @@
+"""The Receiving Client (RC): retrieval, PKG round-trip, decryption.
+
+Implements the client side of §V.D's MWS–RC and RC–PKG phases:
+
+1. authenticate to the gatekeeper with ``E(HashPassword, ID || T || N)``,
+2. receive messages (labelled with opaque AIDs) and a sealed token,
+3. open the token with the RC's RSA private key → session key + ticket,
+4. authenticate to the PKG (ticket + authenticator),
+5. per message, request ``sI`` for ``AID || Nonce`` and decrypt.
+
+Extracted keys are cached by ``(AID, nonce)``; with per-message nonces
+every message needs one extraction (the revocation trade-off the EXT-C
+bench measures), while in static mode the cache hits after the first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.conventions import derive_password_key
+from repro.errors import (
+    AuthenticationError,
+    DecryptionError,
+    ProtocolError,
+    TicketError,
+)
+from repro.ibe.kem import HybridCiphertext, hybrid_decrypt
+from repro.ibe.keys import PublicParams
+from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.pairing.curve import Point
+from repro.pki.rsa import RsaKeyPair, hybrid_open
+from repro.sim.clock import Clock, WallClock
+from repro.sim.network import Channel
+from repro.storage.user_db import UserDatabase
+from repro.symciph.cipher import SymmetricScheme
+from repro.wire.messages import (
+    Authenticator,
+    KeyRequest,
+    KeyResponse,
+    PkgAuthRequest,
+    PkgAuthResponse,
+    RetrieveRequest,
+    RetrieveResponse,
+    StoredMessage,
+    Token,
+)
+
+__all__ = ["ReceivingClient", "RetrievedMessage"]
+
+
+@dataclass
+class RetrievedMessage:
+    """A decrypted message with its warehouse metadata."""
+
+    message_id: int
+    attribute_id: int
+    plaintext: bytes
+    deposited_at_us: int
+
+
+class ReceivingClient:
+    """A registered RC with its password and RSA key pair."""
+
+    def __init__(
+        self,
+        rc_id: str,
+        password: str,
+        public_params: PublicParams,
+        rsa_keypair: RsaKeyPair,
+        clock: Clock | None = None,
+        rng: RandomSource | None = None,
+        gatekeeper_cipher: str = "DES",
+        session_cipher: str = "AES-256",
+    ) -> None:
+        self.rc_id = rc_id
+        self._password = password
+        self._public = public_params
+        self._rsa = rsa_keypair
+        self._clock = clock if clock is not None else WallClock()
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._gatekeeper_cipher = gatekeeper_cipher
+        self._session_cipher = session_cipher
+        self._key_cache: dict[tuple[int, bytes], Point] = {}
+        #: Cached live PKG session: (session_id, session_key) or None.
+        self._pkg_session: tuple[bytes, bytes] | None = None
+        self.stats = {
+            "retrievals": 0,
+            "keys_fetched": 0,
+            "cache_hits": 0,
+            "decrypted": 0,
+            "pkg_auths": 0,
+            "session_reuses": 0,
+        }
+
+    # -- phase 2: MWS-RC ----------------------------------------------------
+
+    def build_retrieve_request(
+        self, since_us: int = 0, assertion: bytes = b""
+    ) -> RetrieveRequest:
+        """``ID_RC || PubK_RC || E(HashPassword, ID_RC || T || N)``.
+
+        With ``assertion`` (serialised IdP assertion) the password blob
+        is omitted and the gatekeeper validates the assertion instead.
+        """
+        if assertion:
+            return RetrieveRequest(
+                rc_id=self.rc_id,
+                rc_public_key=self._rsa.public.to_bytes(),
+                auth_blob=b"",
+                since_us=since_us,
+                assertion=assertion,
+            )
+        nonce = self._rng.randbytes(16)
+        payload = RetrieveRequest.auth_payload(
+            self.rc_id, self._clock.now_us(), nonce
+        )
+        key = derive_password_key(
+            UserDatabase.hash_password(self._password), self._gatekeeper_cipher
+        )
+        scheme = SymmetricScheme(self._gatekeeper_cipher, key, mac=True, rng=self._rng)
+        return RetrieveRequest(
+            rc_id=self.rc_id,
+            rc_public_key=self._rsa.public.to_bytes(),
+            auth_blob=scheme.seal(payload),
+            since_us=since_us,
+        )
+
+    def retrieve(
+        self, channel: Channel, since_us: int = 0, assertion: bytes = b""
+    ) -> RetrieveResponse:
+        """Authenticate and fetch messages + token from the MWS.
+
+        ``since_us`` filters to messages deposited at or after that time
+        (incremental polling); ``assertion`` selects IdP-assertion
+        authentication.
+        """
+        raw = channel.request(
+            self.build_retrieve_request(since_us, assertion).to_bytes()
+        )
+        if raw.startswith(b"ERR:"):
+            parts = raw.split(b":", 2)
+            kind = parts[1].decode() if len(parts) > 1 else "ProtocolError"
+            detail = parts[2].decode() if len(parts) > 2 else ""
+            # Re-raise the MWS's error as the matching local class so
+            # callers can distinguish revocation from a bad password.
+            import repro.errors as errors_module
+
+            error_cls = getattr(errors_module, kind, ProtocolError)
+            if not (isinstance(error_cls, type) and issubclass(error_cls, ProtocolError)):
+                error_cls = ProtocolError
+            raise error_cls(f"MWS rejected retrieval: {detail}")
+        if not raw.startswith(b"OK:"):
+            raise ProtocolError("malformed MWS retrieval response")
+        self.stats["retrievals"] += 1
+        return RetrieveResponse.from_bytes(raw[3:])
+
+    def open_token(self, sealed_token: bytes) -> Token:
+        """Open the token with the RC's RSA private key."""
+        try:
+            return Token.from_bytes(hybrid_open(self._rsa.private, sealed_token))
+        except DecryptionError as exc:
+            raise TicketError(f"token failed to open: {exc}") from exc
+
+    # -- phase 3: RC-PKG --------------------------------------------------------
+
+    def authenticate_to_pkg(self, channel: Channel, token: Token) -> bytes:
+        """Ticket + authenticator handshake; returns the PKG session id."""
+        authenticator = Authenticator(
+            rc_id=self.rc_id, timestamp_us=self._clock.now_us()
+        )
+        scheme = SymmetricScheme(
+            self._session_cipher, token.session_key, mac=True, rng=self._rng
+        )
+        request = PkgAuthRequest(
+            rc_id=self.rc_id,
+            sealed_ticket=token.sealed_ticket,
+            sealed_authenticator=scheme.seal(authenticator.to_bytes()),
+        )
+        response = PkgAuthResponse.from_bytes(
+            channel.request(b"\x01" + request.to_bytes())
+        )
+        if not response.ok:
+            raise TicketError(f"PKG rejected authentication: {response.error}")
+        self._pkg_session = (response.session_id, token.session_key)
+        self.stats["pkg_auths"] += 1
+        return response.session_id
+
+    def fetch_key(
+        self,
+        channel: Channel,
+        session_id: bytes,
+        session_key: bytes,
+        attribute_id: int,
+        nonce: bytes,
+    ) -> Point:
+        """Obtain ``sI`` for ``AID || Nonce`` (cached per pair)."""
+        cache_key = (attribute_id, nonce)
+        cached = self._key_cache.get(cache_key)
+        if cached is not None:
+            self.stats["cache_hits"] += 1
+            return cached
+        request = KeyRequest(
+            session_id=session_id, attribute_id=attribute_id, nonce=nonce
+        )
+        response = KeyResponse.from_bytes(
+            channel.request(b"\x02" + request.to_bytes())
+        )
+        if not response.ok:
+            raise TicketError(f"PKG refused key extraction: {response.error}")
+        scheme = SymmetricScheme(self._session_cipher, session_key, mac=True)
+        point = self._public.params.curve.from_bytes(scheme.open(response.sealed_key))
+        self._key_cache[cache_key] = point
+        self.stats["keys_fetched"] += 1
+        return point
+
+    # -- end-to-end convenience ---------------------------------------------------
+
+    def decrypt_message(self, message: StoredMessage, private_point: Point) -> bytes:
+        ciphertext = HybridCiphertext.from_bytes(
+            message.ciphertext, self._public.params
+        )
+        plaintext = hybrid_decrypt(self._public, private_point, ciphertext)
+        self.stats["decrypted"] += 1
+        return plaintext
+
+    def retrieve_and_decrypt(
+        self,
+        mws_channel: Channel,
+        pkg_channel: Channel,
+    ) -> list[RetrievedMessage]:
+        """The full client-side pipeline across both phases.
+
+        A live PKG session from a previous retrieval is reused (saving
+        the ticket/authenticator handshake); on session expiry the
+        client transparently re-authenticates with the fresh token and
+        retries.
+        """
+        response = self.retrieve(mws_channel)
+        token = self.open_token(response.token)
+        if not response.messages:
+            return []
+        if self._pkg_session is not None:
+            session_id, session_key = self._pkg_session
+            self.stats["session_reuses"] += 1
+        else:
+            session_id = self.authenticate_to_pkg(pkg_channel, token)
+            session_key = token.session_key
+        results = []
+        for message in response.messages:
+            try:
+                private_point = self.fetch_key(
+                    pkg_channel,
+                    session_id,
+                    session_key,
+                    message.attribute_id,
+                    message.nonce,
+                )
+            except TicketError:
+                # Cached session expired server-side: re-auth and retry.
+                self._pkg_session = None
+                session_id = self.authenticate_to_pkg(pkg_channel, token)
+                session_key = token.session_key
+                private_point = self.fetch_key(
+                    pkg_channel,
+                    session_id,
+                    session_key,
+                    message.attribute_id,
+                    message.nonce,
+                )
+            plaintext = self.decrypt_message(message, private_point)
+            results.append(
+                RetrievedMessage(
+                    message_id=message.message_id,
+                    attribute_id=message.attribute_id,
+                    plaintext=plaintext,
+                    deposited_at_us=message.deposited_at_us,
+                )
+            )
+        return results

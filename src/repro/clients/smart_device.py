@@ -1,0 +1,153 @@
+"""The Smart Device (SD): the paper's depositing client.
+
+Per §V.B the SD "uses the public parameters from the PKG and an
+attribute describing an eligible receiver to generate a public key",
+appends a nonce to the attribute for later revocation, encrypts with
+the derived key (DES in the paper, configurable here) and MACs the
+whole deposit with the key shared at registration.
+
+The device is deliberately thin — the computational-constraint argument
+of the paper's §I: one pairing, one point multiplication, one symmetric
+encryption and one HMAC per message.
+"""
+
+from __future__ import annotations
+
+from repro.core.conventions import (
+    NONCE_LENGTH,
+    compute_deposit_mac,
+    identity_string,
+)
+from repro.errors import ProtocolError
+from repro.ibe.kem import hybrid_encrypt
+from repro.ibe.keys import PublicParams
+from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.sim.clock import Clock, WallClock
+from repro.sim.network import Channel
+from repro.wire.messages import (
+    BatchDepositRequest,
+    BatchDepositResponse,
+    BatchEntry,
+    DepositRequest,
+    DepositResponse,
+)
+
+__all__ = ["SmartDevice"]
+
+
+class SmartDevice:
+    """A registered depositing client bound to its MWS shared key."""
+
+    def __init__(
+        self,
+        device_id: str,
+        public_params: PublicParams,
+        shared_key: bytes,
+        clock: Clock | None = None,
+        rng: RandomSource | None = None,
+        cipher_name: str = "DES",
+        use_nonce: bool = True,
+        signer=None,
+    ) -> None:
+        self.device_id = device_id
+        self._public = public_params
+        self._shared_key = shared_key
+        self._clock = clock if clock is not None else WallClock()
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._cipher_name = cipher_name
+        #: ``use_nonce=False`` is the static-key ablation (DESIGN.md §6.2):
+        #: every message under an attribute shares one IBE identity.
+        self._use_nonce = use_nonce
+        #: Optional :class:`repro.ibe.signatures.IbeSigner` — when set,
+        #: deposits additionally carry a non-repudiable identity-based
+        #: signature (§VIII future work).
+        self._signer = signer
+        self.stats = {"deposits_built": 0}
+
+    def build_deposit(self, attribute: str, message: bytes) -> DepositRequest:
+        """Encrypt ``message`` under ``attribute`` and MAC the deposit.
+
+        This is the full §V.D SD-side computation; it does not touch the
+        network, so benchmarks can measure device cost in isolation.
+        """
+        nonce = self._rng.randbytes(NONCE_LENGTH) if self._use_nonce else b""
+        identity = identity_string(attribute, nonce)
+        ciphertext = hybrid_encrypt(
+            self._public,
+            identity,
+            message,
+            cipher_name=self._cipher_name,
+            rng=self._rng,
+        )
+        request = DepositRequest(
+            device_id=self.device_id,
+            attribute=attribute,
+            nonce=nonce,
+            ciphertext=ciphertext.to_bytes(),
+            timestamp_us=self._clock.now_us(),
+        )
+        request.mac = compute_deposit_mac(self._shared_key, request.mac_payload())
+        if self._signer is not None:
+            request.signature = self._signer.sign(request.mac_payload()).to_bytes()
+        self.stats["deposits_built"] += 1
+        return request
+
+    def build_batch(self, items: list[tuple[str, bytes]]) -> BatchDepositRequest:
+        """Encrypt each ``(attribute, message)`` item and MAC the batch.
+
+        Per-item work (pairing + symmetric encryption) is unchanged; the
+        MAC and the network round-trip are amortised over the batch.
+        """
+        entries = []
+        for attribute, message in items:
+            nonce = self._rng.randbytes(NONCE_LENGTH) if self._use_nonce else b""
+            identity = identity_string(attribute, nonce)
+            ciphertext = hybrid_encrypt(
+                self._public,
+                identity,
+                message,
+                cipher_name=self._cipher_name,
+                rng=self._rng,
+            )
+            entries.append(
+                BatchEntry(
+                    attribute=attribute,
+                    nonce=nonce,
+                    ciphertext=ciphertext.to_bytes(),
+                )
+            )
+        request = BatchDepositRequest(
+            device_id=self.device_id,
+            timestamp_us=self._clock.now_us(),
+            entries=entries,
+        )
+        request.mac = compute_deposit_mac(self._shared_key, request.mac_payload())
+        self.stats["deposits_built"] += len(entries)
+        return request
+
+    def deposit_batch(
+        self, channel: Channel, items: list[tuple[str, bytes]]
+    ) -> BatchDepositResponse:
+        """Build and send a batch over ``channel`` (the batch endpoint)."""
+        request = self.build_batch(items)
+        response = BatchDepositResponse.from_bytes(channel.request(request.to_bytes()))
+        if not response.accepted:
+            raise ProtocolError(
+                f"MWS rejected batch from {self.device_id!r}: {response.error}"
+            )
+        return response
+
+    def deposit(
+        self, channel: Channel, attribute: str, message: bytes
+    ) -> DepositResponse:
+        """Build and send a deposit over ``channel``; returns the MWS reply.
+
+        Raises :class:`ProtocolError` when the MWS rejects the deposit.
+        """
+        request = self.build_deposit(attribute, message)
+        response = DepositResponse.from_bytes(channel.request(request.to_bytes()))
+        if not response.accepted:
+            raise ProtocolError(
+                f"MWS rejected deposit from {self.device_id!r}: {response.error}"
+            )
+        return response

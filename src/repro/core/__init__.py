@@ -1,0 +1,41 @@
+"""The paper's primary contribution wired end to end.
+
+:class:`Deployment` builds the whole world (PKG + MWS + network);
+:class:`ProtocolDriver` runs the three Fig. 4 phases with transcripts;
+:class:`RevocationManager` implements requirement iii; the segmentation
+helpers implement the §VIII future-work feature.
+"""
+
+from repro.core.conventions import (
+    compute_deposit_mac,
+    derive_password_key,
+    identity_string,
+)
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.core.protocol import PhaseTiming, ProtocolDriver, ProtocolTranscript
+from repro.core.revocation import RevocationEvent, RevocationManager
+from repro.core.segmentation import (
+    Segment,
+    SegmentedMessage,
+    parse_segment_payload,
+    reassemble,
+    segment_payload,
+)
+
+__all__ = [
+    "Deployment",
+    "DeploymentConfig",
+    "ProtocolDriver",
+    "ProtocolTranscript",
+    "PhaseTiming",
+    "RevocationManager",
+    "RevocationEvent",
+    "Segment",
+    "SegmentedMessage",
+    "segment_payload",
+    "parse_segment_payload",
+    "reassemble",
+    "identity_string",
+    "derive_password_key",
+    "compute_deposit_mac",
+]

@@ -1,0 +1,58 @@
+"""Protocol conventions shared by devices, the MWS, the PKG and RCs.
+
+The paper's security hinges on both ends computing identical byte
+strings (the IBE identity ``A || Nonce``, the MAC payload, the
+password-derived key).  Centralising the canonical encodings here means
+a device and the PKG cannot drift apart, and tests can target the
+conventions directly.
+"""
+
+from __future__ import annotations
+
+from repro.hashes.hmac import Hmac
+from repro.hashes.kdf import kdf2
+from repro.symciph.cipher import CIPHER_REGISTRY
+from repro.wire.encoding import Writer
+
+__all__ = [
+    "identity_string",
+    "derive_password_key",
+    "compute_deposit_mac",
+    "MAC_ALGORITHM",
+    "MAC_LENGTH",
+    "NONCE_LENGTH",
+    "SESSION_KEY_LENGTH",
+]
+
+#: HMAC algorithm for smart-device MACs (the paper's H_K).
+MAC_ALGORITHM = "sha256"
+MAC_LENGTH = 32
+#: Per-message nonce length (the revocation nonce of §V.B).
+NONCE_LENGTH = 16
+#: RC <-> PKG session key length.
+SESSION_KEY_LENGTH = 32
+
+
+def identity_string(attribute: str, nonce: bytes) -> bytes:
+    """The IBE identity ``A || Nonce`` with unambiguous framing.
+
+    This is the string both the SD (at encryption time) and the PKG (at
+    extraction time) hash to a curve point: ``I = H1(A || Nonce)``.
+    An empty nonce is the "static keys" ablation mode (DESIGN.md §6.2).
+    """
+    return Writer().text(attribute).blob(nonce).getvalue()
+
+
+def derive_password_key(password_hash: bytes, cipher_name: str) -> bytes:
+    """Turn the stored ``HashPassword`` into a key for ``cipher_name``.
+
+    The paper uses the hash directly as a DES key; our ciphers have
+    different key sizes, so a KDF bridges them deterministically.
+    """
+    key_size = CIPHER_REGISTRY[cipher_name].key_size
+    return kdf2(b"repro-gatekeeper-key" + password_hash, key_size)
+
+
+def compute_deposit_mac(shared_key: bytes, mac_payload: bytes) -> bytes:
+    """``MAC = H_K(rP || C || (A || Nonce) || ID_SD || T)`` per §V.D."""
+    return Hmac(shared_key, MAC_ALGORITHM, mac_payload).digest()

@@ -1,0 +1,223 @@
+"""One-call construction of a complete deployment (the paper's Fig. 2/3).
+
+``Deployment.build()`` stands up the PKG, the MWS (both servers), the
+simulated network, and factories for smart devices and receiving
+clients — the in-process equivalent of the prototype's "four servers
+are required to be started up".
+
+Everything is deterministic given ``seed``, which is what makes the
+benchmark suite reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ibe import setup
+from repro.ibe.keys import MasterKeyPair, PublicParams
+from repro.clients.receiving_client import ReceivingClient
+from repro.clients.smart_device import SmartDevice
+from repro.core.conventions import SESSION_KEY_LENGTH
+from repro.mathlib.rand import HmacDrbg, RandomSource
+from repro.mws.service import MessageWarehousingService, MwsConfig
+from repro.pki.rsa import RsaKeyPair, generate_rsa_keypair
+from repro.pkg.service import PkgConfig, PrivateKeyGenerator
+from repro.sim.clock import Clock, SimClock
+from repro.sim.network import Channel, Network
+
+__all__ = ["DeploymentConfig", "Deployment"]
+
+#: Process-wide RSA keypair cache.  Deployment RSA keys are derived
+#: deterministically from (seed, rc_id), so caching by that tuple is
+#: semantically transparent and saves seconds of pure-Python keygen per
+#: deployment in tests and benchmarks.
+_RSA_KEYPAIR_CACHE: dict[tuple[bytes, str, int], RsaKeyPair] = {}
+
+#: Endpoint names, mirroring the prototype's servers.
+MWS_SD_ENDPOINT = "mws-sd"
+MWS_SD_BATCH_ENDPOINT = "mws-sd-batch"
+MWS_CLIENT_ENDPOINT = "mws-client"
+PKG_ENDPOINT = "pkg"
+
+
+@dataclass
+class DeploymentConfig:
+    """Deployment-wide knobs with paper-faithful defaults."""
+
+    #: Pairing parameter preset (see repro.pairing.params.PRESETS).
+    preset: str = "TEST80"
+    #: "tate" (default) or "weil" — DESIGN.md ablation 1.
+    pairing_algorithm: str = "tate"
+    #: Device-side message cipher (paper: DES).
+    message_cipher: str = "DES"
+    #: Gatekeeper auth-blob cipher (paper: DES).
+    gatekeeper_cipher: str = "DES"
+    #: RSA modulus bits for RC key pairs (small default: pure-Python math).
+    rsa_bits: int = 1024
+    #: Per-message nonces (True) vs static attribute keys — ablation 2.
+    use_nonce: bool = True
+    #: Devices additionally sign deposits with identity-based signatures
+    #: and the SDA verifies them (§VIII future work).
+    use_device_signatures: bool = False
+    #: Simulated one-way latency added per network message.
+    latency_us: int = 0
+    #: Deterministic seed for every key, nonce and IV in the deployment.
+    seed: bytes = b"repro-deployment"
+    mws: MwsConfig = field(default_factory=MwsConfig)
+    pkg: PkgConfig = field(default_factory=PkgConfig)
+
+
+class Deployment:
+    """A wired SD/MWS/PKG/RC world plus admin conveniences."""
+
+    def __init__(
+        self,
+        config: DeploymentConfig,
+        clock: Clock,
+        network: Network,
+        master: MasterKeyPair,
+        mws: MessageWarehousingService,
+        pkg: PrivateKeyGenerator,
+        rng: HmacDrbg,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.network = network
+        self.master = master
+        self.mws = mws
+        self.pkg = pkg
+        self._rng = rng
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        config: DeploymentConfig | None = None,
+        clock: Clock | None = None,
+    ) -> "Deployment":
+        """Stand up PKG + MWS + network from a config."""
+        config = config if config is not None else DeploymentConfig()
+        # tick_us=7 keeps every timestamp distinct, so replay caches keyed
+        # on timestamps never collide for honest traffic.
+        clock = clock if clock is not None else SimClock(tick_us=7)
+        rng = HmacDrbg(config.seed)
+        master = setup(
+            config.preset,
+            rng=rng.fork(b"master"),
+            pairing_algorithm=config.pairing_algorithm,
+        )
+        mws_pkg_key = rng.fork(b"mws-pkg").randbytes(SESSION_KEY_LENGTH)
+        mws_config = config.mws
+        mws_config.gatekeeper_cipher = config.gatekeeper_cipher
+        if config.use_device_signatures:
+            from repro.ibe.signatures import IbeVerifier
+
+            mws_config.device_signature_verifier = IbeVerifier(master.public)
+            mws_config.require_device_signature = True
+        mws = MessageWarehousingService(
+            mws_pkg_key,
+            clock=clock,
+            rng=rng.fork(b"mws"),
+            config=mws_config,
+        )
+        pkg = PrivateKeyGenerator(
+            master,
+            mws_pkg_key,
+            clock=clock,
+            rng=rng.fork(b"pkg"),
+            config=config.pkg,
+        )
+        network = Network(clock=clock, latency_us=config.latency_us)
+        network.register(MWS_SD_ENDPOINT, mws.deposit_handler)
+        network.register(MWS_SD_BATCH_ENDPOINT, mws.batch_deposit_handler)
+        network.register(MWS_CLIENT_ENDPOINT, mws.retrieve_handler)
+        network.register(PKG_ENDPOINT, pkg.handler)
+        return cls(config, clock, network, master, mws, pkg, rng)
+
+    # -- party factories -----------------------------------------------------
+
+    @property
+    def public_params(self) -> PublicParams:
+        return self.master.public
+
+    def new_smart_device(self, device_id: str) -> SmartDevice:
+        """Register a device with the MWS and hand back the client object.
+
+        With ``use_device_signatures`` the PKG additionally extracts the
+        device's identity-based signing key at registration (the paper's
+        "initial interaction between the PKG and SD ... during the
+        registration of the device").
+        """
+        shared_key = self.mws.register_device(device_id)
+        signer = None
+        if self.config.use_device_signatures:
+            from repro.ibe.signatures import IbeSigner, extract_signing_key
+
+            signing_key = extract_signing_key(self.master, device_id.encode())
+            signer = IbeSigner(
+                self.public_params,
+                device_id.encode(),
+                signing_key,
+                rng=self._rng.fork(b"sig:" + device_id.encode()),
+            )
+        return SmartDevice(
+            device_id,
+            self.public_params,
+            shared_key,
+            clock=self.clock,
+            rng=self._rng.fork(b"sd:" + device_id.encode()),
+            cipher_name=self.config.message_cipher,
+            use_nonce=self.config.use_nonce,
+            signer=signer,
+        )
+
+    def new_receiving_client(
+        self,
+        rc_id: str,
+        password: str,
+        attributes: list[str] | None = None,
+    ) -> ReceivingClient:
+        """Register an RC, grant its attributes, return the client object.
+
+        RSA key generation dominates setup cost, so key pairs are cached
+        per rc_id for repeated builds in benchmarks.
+        """
+        self.mws.register_rc(rc_id, password)
+        for attribute in attributes or []:
+            self.mws.grant(rc_id, attribute)
+        cache_key = (self.config.seed, rc_id, self.config.rsa_bits)
+        keypair = _RSA_KEYPAIR_CACHE.get(cache_key)
+        if keypair is None:
+            keypair = generate_rsa_keypair(
+                self.config.rsa_bits, rng=self._rng.fork(b"rsa:" + rc_id.encode())
+            )
+            _RSA_KEYPAIR_CACHE[cache_key] = keypair
+        return ReceivingClient(
+            rc_id,
+            password,
+            self.public_params,
+            keypair,
+            clock=self.clock,
+            rng=self._rng.fork(b"rc:" + rc_id.encode()),
+            gatekeeper_cipher=self.config.gatekeeper_cipher,
+            session_cipher=self.config.pkg.session_cipher,
+        )
+
+    # -- channels ---------------------------------------------------------------
+
+    def sd_channel(self, device_id: str) -> Channel:
+        return self.network.channel(device_id, MWS_SD_ENDPOINT)
+
+    def sd_batch_channel(self, device_id: str) -> Channel:
+        return self.network.channel(device_id, MWS_SD_BATCH_ENDPOINT)
+
+    def rc_mws_channel(self, rc_id: str) -> Channel:
+        return self.network.channel(rc_id, MWS_CLIENT_ENDPOINT)
+
+    def rc_pkg_channel(self, rc_id: str) -> Channel:
+        return self.network.channel(rc_id, PKG_ENDPOINT)
+
+    def close(self) -> None:
+        """Release underlying resources."""
+        self.mws.close()

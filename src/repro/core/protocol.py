@@ -1,0 +1,142 @@
+"""End-to-end protocol driver with per-phase transcripts.
+
+Runs the paper's Fig. 4 interactions over a deployment and records what
+crossed the wire and how long each phase took — the data behind the
+FIG4 benchmark and the integration tests' assertions about *who saw
+what* (e.g. the MWS never observed a plaintext).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.clients.receiving_client import ReceivingClient, RetrievedMessage
+from repro.clients.smart_device import SmartDevice
+from repro.core.deployment import Deployment
+
+__all__ = ["PhaseTiming", "ProtocolTranscript", "ProtocolDriver"]
+
+
+@dataclass
+class PhaseTiming:
+    """Wall-clock duration and message count of one protocol phase."""
+
+    phase: str
+    duration_s: float
+    network_messages: int
+    network_bytes: int
+
+
+@dataclass
+class ProtocolTranscript:
+    """Everything a full protocol run produced."""
+
+    timings: list[PhaseTiming] = field(default_factory=list)
+    deposited_ids: list[int] = field(default_factory=list)
+    retrieved: list[RetrievedMessage] = field(default_factory=list)
+
+    def phase(self, name: str) -> PhaseTiming:
+        for timing in self.timings:
+            if timing.phase == name:
+                return timing
+        raise KeyError(f"no phase named {name!r} in transcript")
+
+
+class ProtocolDriver:
+    """Convenience orchestration of the three §V.D phases."""
+
+    def __init__(self, deployment: Deployment) -> None:
+        self._deployment = deployment
+
+    def _measure(self, transcript: ProtocolTranscript, phase: str, action):
+        network = self._deployment.network
+        messages_before = network.messages_sent
+        bytes_before = network.bytes_sent
+        started = time.perf_counter()
+        result = action()
+        transcript.timings.append(
+            PhaseTiming(
+                phase=phase,
+                duration_s=time.perf_counter() - started,
+                network_messages=network.messages_sent - messages_before,
+                network_bytes=network.bytes_sent - bytes_before,
+            )
+        )
+        return result
+
+    def run_deposits(
+        self,
+        device: SmartDevice,
+        deposits: list[tuple[str, bytes]],
+        transcript: ProtocolTranscript | None = None,
+    ) -> ProtocolTranscript:
+        """Phase 1 (SD–MWS) for a batch of ``(attribute, message)`` pairs."""
+        transcript = transcript if transcript is not None else ProtocolTranscript()
+        channel = self._deployment.sd_channel(device.device_id)
+
+        def action():
+            ids = []
+            for attribute, message in deposits:
+                response = device.deposit(channel, attribute, message)
+                ids.append(response.message_id)
+            return ids
+
+        transcript.deposited_ids.extend(
+            self._measure(transcript, "SD-MWS", action)
+        )
+        return transcript
+
+    def run_retrieval(
+        self,
+        client: ReceivingClient,
+        transcript: ProtocolTranscript | None = None,
+    ) -> ProtocolTranscript:
+        """Phases 2 + 3 (MWS–RC then RC–PKG), measured separately."""
+        transcript = transcript if transcript is not None else ProtocolTranscript()
+        mws_channel = self._deployment.rc_mws_channel(client.rc_id)
+        pkg_channel = self._deployment.rc_pkg_channel(client.rc_id)
+
+        response = self._measure(
+            transcript, "MWS-RC", lambda: client.retrieve(mws_channel)
+        )
+
+        def pkg_phase():
+            token = client.open_token(response.token)
+            results = []
+            if response.messages:
+                session_id = client.authenticate_to_pkg(pkg_channel, token)
+                for message in response.messages:
+                    private_point = client.fetch_key(
+                        pkg_channel,
+                        session_id,
+                        token.session_key,
+                        message.attribute_id,
+                        message.nonce,
+                    )
+                    results.append(
+                        RetrievedMessage(
+                            message_id=message.message_id,
+                            attribute_id=message.attribute_id,
+                            plaintext=client.decrypt_message(message, private_point),
+                            deposited_at_us=message.deposited_at_us,
+                        )
+                    )
+            return results
+
+        transcript.retrieved.extend(
+            self._measure(transcript, "RC-PKG", pkg_phase)
+        )
+        return transcript
+
+    def run_full(
+        self,
+        device: SmartDevice,
+        client: ReceivingClient,
+        deposits: list[tuple[str, bytes]],
+    ) -> ProtocolTranscript:
+        """All three phases in sequence for one device/client pair."""
+        transcript = ProtocolTranscript()
+        self.run_deposits(device, deposits, transcript)
+        self.run_retrieval(client, transcript)
+        return transcript

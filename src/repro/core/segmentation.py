@@ -1,0 +1,98 @@
+"""Message segmentation (paper §VIII future work).
+
+"Another future feature would be to divide a message into segments,
+where each segment has a different attribute assigned. ... a message may
+provide three parts ... total consumption in a day, error notifications
+and events ... a case may arise where sharing of this information would
+break confidentiality."
+
+Each segment becomes its own deposit under its own attribute, so every
+receiving class decrypts exactly its slice.  Segments of one logical
+message share a group id and carry ``index``/``total`` headers inside
+the encrypted envelope, letting an RC (a) reassemble the parts it is
+entitled to and (b) *know* how many parts it cannot see — without
+learning anything about their content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clients.smart_device import SmartDevice
+from repro.errors import DecodeError
+from repro.sim.network import Channel
+from repro.wire.encoding import Reader, Writer
+
+__all__ = ["Segment", "SegmentedMessage", "segment_payload", "parse_segment_payload"]
+
+
+@dataclass
+class Segment:
+    """One attribute-scoped slice of a logical message."""
+
+    attribute: str
+    body: bytes
+
+
+@dataclass
+class SegmentedMessage:
+    """A logical message split across attributes."""
+
+    group_id: int
+    segments: list[Segment]
+
+    def deposit_all(self, device: SmartDevice, channel: Channel) -> list[int]:
+        """Deposit every segment; returns the warehouse message ids."""
+        ids = []
+        total = len(self.segments)
+        for index, segment in enumerate(self.segments):
+            payload = segment_payload(self.group_id, index, total, segment.body)
+            response = device.deposit(channel, segment.attribute, payload)
+            ids.append(response.message_id)
+        return ids
+
+
+def segment_payload(group_id: int, index: int, total: int, body: bytes) -> bytes:
+    """Envelope a segment body with its reassembly header (encrypted end
+    to end together with the body)."""
+    return (
+        Writer()
+        .u64(group_id)
+        .u8(index)
+        .u8(total)
+        .blob(body)
+        .getvalue()
+    )
+
+
+def parse_segment_payload(payload: bytes) -> tuple[int, int, int, bytes]:
+    """Inverse of :func:`segment_payload`: ``(group_id, index, total, body)``."""
+    reader = Reader(payload)
+    group_id = reader.u64()
+    index = reader.u8()
+    total = reader.u8()
+    body = reader.blob()
+    reader.finish()
+    if total == 0 or index >= total:
+        raise DecodeError(f"invalid segment header index={index} total={total}")
+    return group_id, index, total, body
+
+
+def reassemble(plaintexts: list[bytes]) -> dict[int, dict]:
+    """Group decrypted segment payloads by group id.
+
+    Returns ``{group_id: {"total": n, "parts": {index: body}}}``; callers
+    can see which indices are missing (segments their attributes do not
+    cover).
+    """
+    groups: dict[int, dict] = {}
+    for payload in plaintexts:
+        group_id, index, total, body = parse_segment_payload(payload)
+        entry = groups.setdefault(group_id, {"total": total, "parts": {}})
+        if entry["total"] != total:
+            raise DecodeError(
+                f"segment group {group_id} has inconsistent totals "
+                f"({entry['total']} vs {total})"
+            )
+        entry["parts"][index] = body
+    return groups

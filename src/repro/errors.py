@@ -1,0 +1,203 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an integration boundary.  Subsystems define
+narrower subclasses below; protocol-level failures carry enough context to
+distinguish an attack (tampering, replay) from an operational fault
+(unknown identity, revoked access).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "MathError",
+    "NotInvertibleError",
+    "NoSquareRootError",
+    "ParameterError",
+    "CurveError",
+    "PointNotOnCurveError",
+    "PairingError",
+    "CipherError",
+    "InvalidKeySizeError",
+    "InvalidBlockSizeError",
+    "PaddingError",
+    "EncodingError",
+    "DecodeError",
+    "StorageError",
+    "CorruptRecordError",
+    "DuplicateKeyError",
+    "KeyNotFoundError",
+    "ProtocolError",
+    "AuthenticationError",
+    "MacMismatchError",
+    "ReplayError",
+    "TicketError",
+    "RevokedError",
+    "UnknownIdentityError",
+    "UnknownAttributeError",
+    "DecryptionError",
+    "PolicyError",
+    "AccessDeniedError",
+    "CiphertextFormatError",
+    "NetworkError",
+    "ChannelClosedError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# --------------------------------------------------------------------------
+# Math / algebra substrate
+# --------------------------------------------------------------------------
+
+
+class MathError(ReproError):
+    """Base class for number-theoretic failures."""
+
+
+class NotInvertibleError(MathError):
+    """An element had no multiplicative inverse (gcd with modulus != 1)."""
+
+
+class NoSquareRootError(MathError):
+    """Requested a square root of a quadratic non-residue."""
+
+
+class ParameterError(MathError):
+    """Cryptographic system parameters are malformed or inconsistent."""
+
+
+# --------------------------------------------------------------------------
+# Elliptic curve / pairing substrate
+# --------------------------------------------------------------------------
+
+
+class CurveError(ReproError):
+    """Base class for elliptic-curve failures."""
+
+
+class PointNotOnCurveError(CurveError):
+    """A coordinate pair does not satisfy the curve equation."""
+
+
+class PairingError(CurveError):
+    """The pairing computation hit a degenerate input it cannot handle."""
+
+
+# --------------------------------------------------------------------------
+# Symmetric ciphers and encodings
+# --------------------------------------------------------------------------
+
+
+class CipherError(ReproError):
+    """Base class for symmetric-cipher failures."""
+
+
+class InvalidKeySizeError(CipherError):
+    """Key length is not valid for the selected cipher."""
+
+
+class InvalidBlockSizeError(CipherError):
+    """Input is not a whole number of cipher blocks."""
+
+
+class PaddingError(CipherError):
+    """PKCS#7 (or similar) padding failed to validate on removal."""
+
+
+class EncodingError(ReproError):
+    """Base class for wire-format failures."""
+
+
+class DecodeError(EncodingError):
+    """A byte string could not be parsed as the expected structure."""
+
+
+# --------------------------------------------------------------------------
+# Storage substrate
+# --------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures."""
+
+
+class CorruptRecordError(StorageError):
+    """A stored record failed its checksum or structural validation."""
+
+
+class DuplicateKeyError(StorageError):
+    """Insert attempted with a primary key that already exists."""
+
+
+class KeyNotFoundError(StorageError):
+    """Lookup or delete referenced a key that does not exist."""
+
+
+# --------------------------------------------------------------------------
+# Protocol layer
+# --------------------------------------------------------------------------
+
+
+class ProtocolError(ReproError):
+    """Base class for protocol violations between SD, MWS, PKG and RC."""
+
+
+class AuthenticationError(ProtocolError):
+    """A party failed to authenticate (bad password, bad authenticator)."""
+
+
+class MacMismatchError(AuthenticationError):
+    """A message MAC did not verify; the message is discarded (paper SDA)."""
+
+
+class ReplayError(ProtocolError):
+    """A timestamp or nonce indicates the message was replayed."""
+
+
+class TicketError(ProtocolError):
+    """A PKG ticket failed to decrypt or validate."""
+
+
+class RevokedError(ProtocolError):
+    """The acting identity's access to the attribute has been revoked."""
+
+
+class UnknownIdentityError(ProtocolError):
+    """The referenced identity is not registered."""
+
+
+class UnknownAttributeError(ProtocolError):
+    """The referenced attribute (or attribute id) is not registered."""
+
+
+class DecryptionError(ProtocolError):
+    """Ciphertext failed to decrypt or failed its integrity check."""
+
+
+class CiphertextFormatError(DecryptionError):
+    """A ciphertext container was structurally malformed."""
+
+
+class PolicyError(ProtocolError):
+    """A policy expression is malformed or cannot be evaluated."""
+
+
+class AccessDeniedError(PolicyError):
+    """Policy evaluation denied the requested access."""
+
+
+# --------------------------------------------------------------------------
+# Simulated network
+# --------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-transport failures."""
+
+
+class ChannelClosedError(NetworkError):
+    """Send or receive attempted on a closed channel."""

@@ -1,0 +1,40 @@
+"""From-scratch hash functions, MACs and key-derivation functions.
+
+The paper's protocol names SHA-1 and MD5 (via the Perl Digest libraries)
+and uses keyed MACs for smart-device authentication.  Everything here is
+implemented from the specifications and cross-checked against
+``hashlib`` in the test suite.
+"""
+
+from repro.hashes.crc import crc32
+from repro.hashes.hmac import Hmac, hmac_md5, hmac_sha1, hmac_sha256
+from repro.hashes.kdf import hkdf, kdf1, kdf2
+from repro.hashes.md5 import MD5, md5
+from repro.hashes.sha1 import SHA1, sha1
+from repro.hashes.sha256 import SHA256, sha256
+
+#: Registry of hash constructors by canonical name, used by HMAC and the
+#: KDFs so callers can select an algorithm with a string.
+HASH_REGISTRY = {
+    "sha1": SHA1,
+    "sha256": SHA256,
+    "md5": MD5,
+}
+
+__all__ = [
+    "SHA1",
+    "sha1",
+    "SHA256",
+    "sha256",
+    "MD5",
+    "md5",
+    "Hmac",
+    "hmac_sha1",
+    "hmac_sha256",
+    "hmac_md5",
+    "kdf1",
+    "kdf2",
+    "hkdf",
+    "crc32",
+    "HASH_REGISTRY",
+]

@@ -1,0 +1,86 @@
+"""HMAC (RFC 2104) over any hash in :data:`repro.hashes.HASH_REGISTRY`.
+
+HMAC is the library's message-authentication workhorse: the paper's
+Smart-Device Authenticator verifies ``MAC = H_K(rP || C || ... || T)``
+with a key shared at device registration, and the HMAC-DRBG in
+:mod:`repro.mathlib.rand` is built on :func:`hmac_sha256`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CipherError
+
+__all__ = ["Hmac", "hmac_sha1", "hmac_sha256", "hmac_md5", "constant_time_equal"]
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without data-dependent early exit.
+
+    Unequal lengths are still reported (length is not secret for MACs),
+    but the content comparison touches every byte.
+    """
+    if len(a) != len(b):
+        return False
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    return diff == 0
+
+
+class Hmac:
+    """Incremental HMAC keyed with ``key`` over hash algorithm ``algorithm``.
+
+    >>> import hashlib, hmac as stdlib_hmac
+    >>> ours = Hmac(b"key", "sha256", b"msg").digest()
+    >>> ours == stdlib_hmac.new(b"key", b"msg", hashlib.sha256).digest()
+    True
+    """
+
+    def __init__(self, key: bytes, algorithm: str = "sha256", data: bytes = b"") -> None:
+        from repro.hashes import HASH_REGISTRY
+
+        if algorithm not in HASH_REGISTRY:
+            raise CipherError(f"unknown hash algorithm {algorithm!r}")
+        self._hash_cls = HASH_REGISTRY[algorithm]
+        self.digest_size = self._hash_cls.digest_size
+        block_size = self._hash_cls.block_size
+        if len(key) > block_size:
+            key = self._hash_cls(key).digest()
+        key = key.ljust(block_size, b"\x00")
+        self._outer_key = bytes(b ^ 0x5C for b in key)
+        self._inner = self._hash_cls(bytes(b ^ 0x36 for b in key))
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "Hmac":
+        """Absorb more data; returns self for chaining."""
+        self._inner.update(data)
+        return self
+
+    def digest(self) -> bytes:
+        """The digest of everything absorbed so far (non-finalising)."""
+        inner_digest = self._inner.digest()
+        return self._hash_cls(self._outer_key + inner_digest).digest()
+
+    def hexdigest(self) -> str:
+        """Hex form of :meth:`digest`."""
+        return self.digest().hex()
+
+    def verify(self, expected: bytes) -> bool:
+        """Constant-time comparison of this MAC against ``expected``."""
+        return constant_time_equal(self.digest(), expected)
+
+
+def hmac_sha1(key: bytes, data: bytes) -> bytes:
+    """One-shot HMAC-SHA1."""
+    return Hmac(key, "sha1", data).digest()
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """One-shot HMAC-SHA256."""
+    return Hmac(key, "sha256", data).digest()
+
+
+def hmac_md5(key: bytes, data: bytes) -> bytes:
+    """One-shot HMAC-MD5 (legacy fidelity only)."""
+    return Hmac(key, "md5", data).digest()

@@ -1,0 +1,69 @@
+"""Key-derivation functions.
+
+The protocol derives symmetric message keys from pairing values
+(``K = e(sP, rI)`` is an element of F_p^2, not a DES key), so a KDF sits
+between the IBE-KEM and the symmetric cipher.  KDF1/KDF2 are the
+ISO-18033-2 counter constructions Boneh–Franklin style deployments use;
+HKDF (RFC 5869) is provided as the modern extract-then-expand option.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CipherError
+from repro.hashes.hmac import Hmac
+
+__all__ = ["kdf1", "kdf2", "hkdf"]
+
+
+def _counter_kdf(seed: bytes, length: int, algorithm: str, start: int) -> bytes:
+    from repro.hashes import HASH_REGISTRY
+
+    if algorithm not in HASH_REGISTRY:
+        raise CipherError(f"unknown hash algorithm {algorithm!r}")
+    if length < 0:
+        raise CipherError(f"kdf length must be non-negative, got {length}")
+    hash_cls = HASH_REGISTRY[algorithm]
+    blocks: list[bytes] = []
+    counter = start
+    while sum(len(b) for b in blocks) < length:
+        blocks.append(hash_cls(seed + counter.to_bytes(4, "big")).digest())
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def kdf1(seed: bytes, length: int, algorithm: str = "sha256") -> bytes:
+    """ISO-18033-2 KDF1: ``Hash(seed || 0) || Hash(seed || 1) || ...``."""
+    return _counter_kdf(seed, length, algorithm, start=0)
+
+
+def kdf2(seed: bytes, length: int, algorithm: str = "sha256") -> bytes:
+    """ISO-18033-2 KDF2: identical to KDF1 but the counter starts at 1."""
+    return _counter_kdf(seed, length, algorithm, start=1)
+
+
+def hkdf(
+    ikm: bytes,
+    length: int,
+    salt: bytes = b"",
+    info: bytes = b"",
+    algorithm: str = "sha256",
+) -> bytes:
+    """HKDF (RFC 5869): extract-then-expand from input keying material."""
+    if length < 0:
+        raise CipherError(f"hkdf length must be non-negative, got {length}")
+    digest_size = Hmac(b"", algorithm).digest_size
+    if length > 255 * digest_size:
+        raise CipherError(
+            f"hkdf cannot produce {length} bytes with a {digest_size}-byte hash"
+        )
+    if not salt:
+        salt = b"\x00" * digest_size
+    prk = Hmac(salt, algorithm, ikm).digest()
+    okm = b""
+    block = b""
+    counter = 1
+    while len(okm) < length:
+        block = Hmac(prk, algorithm, block + info + bytes([counter])).digest()
+        okm += block
+        counter += 1
+    return okm[:length]

@@ -1,0 +1,114 @@
+"""MD5 implemented from RFC 1321.
+
+Present because the paper's prototype shipped with ``Perl Digest
+SHA1/MD5``; the library exposes it for fidelity and for hashing
+non-adversarial bookkeeping values, never for new security decisions.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+__all__ = ["MD5", "md5"]
+
+_MASK32 = 0xFFFFFFFF
+
+# Per-round shift amounts from the RFC.
+_SHIFTS = (
+    [7, 12, 17, 22] * 4
+    + [5, 9, 14, 20] * 4
+    + [4, 11, 16, 23] * 4
+    + [6, 10, 15, 21] * 4
+)
+
+# Constants derived from the sine function, as specified by the RFC.
+_K = tuple(int(abs(math.sin(i + 1)) * 2**32) & _MASK32 for i in range(64))
+
+
+def _rotl(value: int, count: int) -> int:
+    return ((value << count) | (value >> (32 - count))) & _MASK32
+
+
+class MD5:
+    """Incremental MD5.
+
+    >>> MD5(b"abc").hexdigest()
+    '900150983cd24fb0d6963f7d28e17f72'
+    """
+
+    digest_size = 16
+    block_size = 64
+    name = "md5"
+
+    _INITIAL_STATE = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = list(self._INITIAL_STATE)
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def copy(self) -> "MD5":
+        """An independent copy of the current hashing state."""
+        clone = MD5()
+        clone._state = list(self._state)
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+    def update(self, data: bytes) -> "MD5":
+        """Absorb more data; returns self for chaining."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError(f"MD5.update expects bytes, got {type(data).__name__}")
+        data = bytes(data)
+        self._length += len(data)
+        self._buffer += data
+        while len(self._buffer) >= self.block_size:
+            self._compress(self._buffer[: self.block_size])
+            self._buffer = self._buffer[self.block_size :]
+        return self
+
+    def _compress(self, block: bytes) -> None:
+        m = struct.unpack("<16I", block)
+        a, b, c, d = self._state
+        for i in range(64):
+            if i < 16:
+                f = (b & c) | (~b & d)
+                g = i
+            elif i < 32:
+                f = (d & b) | (~d & c)
+                g = (5 * i + 1) % 16
+            elif i < 48:
+                f = b ^ c ^ d
+                g = (3 * i + 5) % 16
+            else:
+                f = c ^ (b | (~d & _MASK32))
+                g = (7 * i) % 16
+            f = (f + a + _K[i] + m[g]) & _MASK32
+            a, d, c = d, c, b
+            b = (b + _rotl(f, _SHIFTS[i])) & _MASK32
+        self._state = [
+            (s + v) & _MASK32 for s, v in zip(self._state, (a, b, c, d))
+        ]
+
+    def digest(self) -> bytes:
+        """The digest of everything absorbed so far (non-finalising)."""
+        clone = self.copy()
+        bit_length = (clone._length * 8) & 0xFFFFFFFFFFFFFFFF
+        clone.update(b"\x80")
+        pad_len = (56 - clone._length % 64) % 64
+        clone.update(b"\x00" * pad_len)
+        clone._buffer += struct.pack("<Q", bit_length)
+        clone._compress(clone._buffer)
+        return struct.pack("<4I", *clone._state)
+
+    def hexdigest(self) -> str:
+        """Hex form of :meth:`digest`."""
+        return self.digest().hex()
+
+
+def md5(data: bytes) -> bytes:
+    """One-shot MD5 digest of ``data``."""
+    return MD5(data).digest()

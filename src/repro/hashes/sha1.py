@@ -1,0 +1,106 @@
+"""SHA-1 implemented from FIPS 180-4.
+
+The paper's protocol computes ``I = SHA1(A || Nonce)`` before mapping the
+digest to a curve point, so SHA-1 is a load-bearing primitive here even
+though it is no longer collision-resistant for adversarial inputs.  The
+implementation follows the specification directly: 512-bit blocks,
+80-round compression, Merkle–Damgård length padding.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["SHA1", "sha1"]
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _rotl(value: int, count: int) -> int:
+    return ((value << count) | (value >> (32 - count))) & _MASK32
+
+
+class SHA1:
+    """Incremental SHA-1 with the familiar ``update``/``digest`` interface.
+
+    >>> SHA1(b"abc").hexdigest()
+    'a9993e364706816aba3e25717850c26c9cd0d89d'
+    """
+
+    digest_size = 20
+    block_size = 64
+    name = "sha1"
+
+    _INITIAL_STATE = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = list(self._INITIAL_STATE)
+        self._buffer = b""
+        self._length = 0  # total message length in bytes
+        if data:
+            self.update(data)
+
+    def copy(self) -> "SHA1":
+        """An independent copy of the current hashing state."""
+        clone = SHA1()
+        clone._state = list(self._state)
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+    def update(self, data: bytes) -> "SHA1":
+        """Absorb more data; returns self for chaining."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError(f"SHA1.update expects bytes, got {type(data).__name__}")
+        data = bytes(data)
+        self._length += len(data)
+        self._buffer += data
+        while len(self._buffer) >= self.block_size:
+            self._compress(self._buffer[: self.block_size])
+            self._buffer = self._buffer[self.block_size :]
+        return self
+
+    def _compress(self, block: bytes) -> None:
+        w = list(struct.unpack(">16I", block))
+        for t in range(16, 80):
+            w.append(_rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1))
+        a, b, c, d, e = self._state
+        for t in range(80):
+            if t < 20:
+                f = (b & c) | (~b & d)
+                k = 0x5A827999
+            elif t < 40:
+                f = b ^ c ^ d
+                k = 0x6ED9EBA1
+            elif t < 60:
+                f = (b & c) | (b & d) | (c & d)
+                k = 0x8F1BBCDC
+            else:
+                f = b ^ c ^ d
+                k = 0xCA62C1D6
+            temp = (_rotl(a, 5) + f + e + k + w[t]) & _MASK32
+            e, d, c, b, a = d, c, _rotl(b, 30), a, temp
+        self._state = [
+            (s + v) & _MASK32 for s, v in zip(self._state, (a, b, c, d, e))
+        ]
+
+    def digest(self) -> bytes:
+        # Finalise on a copy so update() can continue afterwards.
+        """The digest of everything absorbed so far (non-finalising)."""
+        clone = self.copy()
+        bit_length = clone._length * 8
+        clone.update(b"\x80")
+        pad_len = (56 - clone._length % 64) % 64
+        clone.update(b"\x00" * pad_len)
+        clone._buffer += struct.pack(">Q", bit_length)
+        clone._compress(clone._buffer)
+        return struct.pack(">5I", *clone._state)
+
+    def hexdigest(self) -> str:
+        """Hex form of :meth:`digest`."""
+        return self.digest().hex()
+
+
+def sha1(data: bytes) -> bytes:
+    """One-shot SHA-1 digest of ``data``."""
+    return SHA1(data).digest()

@@ -1,0 +1,124 @@
+"""SHA-256 implemented from FIPS 180-4.
+
+SHA-256 backs the library's HMAC-DRBG, the KDFs that turn pairing values
+into symmetric keys, and the modern MAC option for smart devices.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["SHA256", "sha256"]
+
+_MASK32 = 0xFFFFFFFF
+
+# Round constants: first 32 bits of the fractional parts of the cube
+# roots of the first 64 primes.
+_K = (
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5,
+    0x3956C25B, 0x59F111F1, 0x923F82A4, 0xAB1C5ED5,
+    0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174,
+    0xE49B69C1, 0xEFBE4786, 0x0FC19DC6, 0x240CA1CC,
+    0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7,
+    0xC6E00BF3, 0xD5A79147, 0x06CA6351, 0x14292967,
+    0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85,
+    0xA2BFE8A1, 0xA81A664B, 0xC24B8B70, 0xC76C51A3,
+    0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5,
+    0x391C0CB3, 0x4ED8AA4A, 0x5B9CCA4F, 0x682E6FF3,
+    0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+)
+
+
+def _rotr(value: int, count: int) -> int:
+    return ((value >> count) | (value << (32 - count))) & _MASK32
+
+
+class SHA256:
+    """Incremental SHA-256.
+
+    >>> SHA256(b"abc").hexdigest()
+    'ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad'
+    """
+
+    digest_size = 32
+    block_size = 64
+    name = "sha256"
+
+    _INITIAL_STATE = (
+        0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+        0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+    )
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = list(self._INITIAL_STATE)
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def copy(self) -> "SHA256":
+        """An independent copy of the current hashing state."""
+        clone = SHA256()
+        clone._state = list(self._state)
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+    def update(self, data: bytes) -> "SHA256":
+        """Absorb more data; returns self for chaining."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError(f"SHA256.update expects bytes, got {type(data).__name__}")
+        data = bytes(data)
+        self._length += len(data)
+        self._buffer += data
+        while len(self._buffer) >= self.block_size:
+            self._compress(self._buffer[: self.block_size])
+            self._buffer = self._buffer[self.block_size :]
+        return self
+
+    def _compress(self, block: bytes) -> None:
+        w = list(struct.unpack(">16I", block))
+        for t in range(16, 64):
+            s0 = _rotr(w[t - 15], 7) ^ _rotr(w[t - 15], 18) ^ (w[t - 15] >> 3)
+            s1 = _rotr(w[t - 2], 17) ^ _rotr(w[t - 2], 19) ^ (w[t - 2] >> 10)
+            w.append((w[t - 16] + s0 + w[t - 7] + s1) & _MASK32)
+        a, b, c, d, e, f, g, h = self._state
+        for t in range(64):
+            big_s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
+            ch = (e & f) ^ (~e & g)
+            temp1 = (h + big_s1 + ch + _K[t] + w[t]) & _MASK32
+            big_s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
+            maj = (a & b) ^ (a & c) ^ (b & c)
+            temp2 = (big_s0 + maj) & _MASK32
+            h, g, f, e, d, c, b, a = (
+                g, f, e, (d + temp1) & _MASK32, c, b, a, (temp1 + temp2) & _MASK32,
+            )
+        self._state = [
+            (s + v) & _MASK32
+            for s, v in zip(self._state, (a, b, c, d, e, f, g, h))
+        ]
+
+    def digest(self) -> bytes:
+        """The digest of everything absorbed so far (non-finalising)."""
+        clone = self.copy()
+        bit_length = clone._length * 8
+        clone.update(b"\x80")
+        pad_len = (56 - clone._length % 64) % 64
+        clone.update(b"\x00" * pad_len)
+        clone._buffer += struct.pack(">Q", bit_length)
+        clone._compress(clone._buffer)
+        return struct.pack(">8I", *clone._state)
+
+    def hexdigest(self) -> str:
+        """Hex form of :meth:`digest`."""
+        return self.digest().hex()
+
+
+def sha256(data: bytes) -> bytes:
+    """One-shot SHA-256 digest of ``data``."""
+    return SHA256(data).digest()

@@ -1,0 +1,57 @@
+"""Boneh–Franklin Identity-Based Encryption (paper reference [2]).
+
+Three schemes, matching the paper's usage:
+
+* :class:`BasicIdent` — the textbook IND-ID-CPA scheme (Setup / Extract /
+  Encrypt / Decrypt exactly as the paper's §IV recounts them).
+* :class:`FullIdent` — BasicIdent hardened with the Fujisaki–Okamoto
+  transform (IND-ID-CCA).
+* :class:`IbeKem` / :func:`hybrid_encrypt` — the IBE-as-KEM construction
+  the paper's protocol actually uses: ``K = e(Q_ID, sP)^r`` keys a
+  symmetric cipher (DES in the paper) and ``rP`` rides along with the
+  ciphertext.
+"""
+
+from repro.ibe.basic_ident import BasicIdent, BasicCiphertext
+from repro.ibe.full_ident import FullIdent, FullCiphertext
+from repro.ibe.kem import HybridCiphertext, IbeKem, hybrid_decrypt, hybrid_encrypt
+from repro.ibe.keys import (
+    IdentityPrivateKey,
+    MasterKeyPair,
+    PublicParams,
+    setup,
+)
+from repro.ibe.hibe import HibeDomain, HibePrivateKey, HibeRoot
+from repro.ibe.peks import PeksScheme, PeksTag, PeksTrapdoor, SearchableIndex
+from repro.ibe.signatures import (
+    IbeSignature,
+    IbeSigner,
+    IbeVerifier,
+    extract_signing_key,
+)
+
+__all__ = [
+    "setup",
+    "PublicParams",
+    "MasterKeyPair",
+    "IdentityPrivateKey",
+    "BasicIdent",
+    "BasicCiphertext",
+    "FullIdent",
+    "FullCiphertext",
+    "IbeKem",
+    "HybridCiphertext",
+    "hybrid_encrypt",
+    "hybrid_decrypt",
+    "IbeSigner",
+    "IbeVerifier",
+    "IbeSignature",
+    "extract_signing_key",
+    "HibeRoot",
+    "HibeDomain",
+    "HibePrivateKey",
+    "PeksScheme",
+    "PeksTag",
+    "PeksTrapdoor",
+    "SearchableIndex",
+]

@@ -1,0 +1,72 @@
+"""BasicIdent: the textbook Boneh–Franklin scheme (IND-ID-CPA).
+
+Encrypt (paper §IV): ``C = (U, V) = (rP, M xor H2(e(Q_ID, P_pub)^r))``.
+Decrypt: ``M = V xor H2(e(d_ID, U))``.  The two pairing values agree
+because ``e(d_ID, rP) = e(s Q_ID, rP) = e(Q_ID, sP)^r``.
+
+This is the one-shot XOR-pad variant; for arbitrary-length messages with
+a symmetric cipher, use :mod:`repro.ibe.kem` (what the warehousing
+protocol does), and for CCA security use :mod:`repro.ibe.full_ident`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DecodeError
+from repro.ibe.keys import IdentityPrivateKey, PublicParams, _decode_blob, _encode_blob
+from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.pairing.curve import Point
+from repro.pairing.hashing import gt_to_bytes, mask_bytes
+from repro.pairing.params import BFParams
+
+__all__ = ["BasicIdent", "BasicCiphertext"]
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+@dataclass
+class BasicCiphertext:
+    """``(U, V)`` with ``U = rP`` and ``V`` the masked message."""
+
+    u: Point
+    v: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return _encode_blob(self.u.to_bytes()) + _encode_blob(self.v)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, params: BFParams) -> "BasicCiphertext":
+        """Parse an instance from its canonical byte encoding."""
+        u_bytes, data = _decode_blob(data)
+        v, data = _decode_blob(data)
+        if data:
+            raise DecodeError(f"{len(data)} trailing bytes after BasicCiphertext")
+        return cls(u=params.curve.from_bytes(u_bytes), v=v)
+
+
+class BasicIdent:
+    """Stateless encrypt/decrypt facade over a parameter set."""
+
+    def __init__(self, public: PublicParams, rng: RandomSource | None = None) -> None:
+        self._public = public
+        self._rng = rng if rng is not None else SystemRandomSource()
+
+    def encrypt(self, identity: bytes, message: bytes) -> BasicCiphertext:
+        """Encrypt ``message`` to the holder of ``identity``'s private key."""
+        params = self._public.params
+        q_id = self._public.hash_identity(identity)
+        r = params.random_scalar(self._rng)
+        g = self._public.pair(q_id, self._public.p_pub) ** r
+        mask = mask_bytes(gt_to_bytes(g), len(message))
+        return BasicCiphertext(u=r * params.generator, v=_xor(message, mask))
+
+    def decrypt(self, private_key: IdentityPrivateKey, ciphertext: BasicCiphertext) -> bytes:
+        """Decrypt with ``d_ID``; any key yields *some* bytes (CPA scheme:
+        authenticity comes from the layers above)."""
+        g = self._public.pair(private_key.point, ciphertext.u)
+        mask = mask_bytes(gt_to_bytes(g), len(ciphertext.v))
+        return _xor(ciphertext.v, mask)

@@ -1,0 +1,237 @@
+"""Hierarchical IBE (Gentry–Silverberg 2002) over the library's pairing.
+
+The paper's future work contemplates multiple PKGs ("a choice between
+PKGs ... a model of trust between the three parties may have to
+pre-exist").  HIBE is the principled version of that: one root PKG
+delegates key generation down a domain hierarchy —
+
+    REGION-SV  →  GLENBROOK  →  ELECTRIC
+
+— so the complex operator can extract keys for its own meter classes
+without ever seeing the root master secret, and a parent domain can
+read (and audit) everything addressed below it.
+
+Scheme (symmetric pairing, generator ``P``):
+
+* Root: master ``s0``, public ``Q0 = s0·P``.
+* Identity tuple ``(I1..It)``: ``P_i = H1(I1‖…‖Ii)``.
+* Entity at level ``i`` holds its own secret ``s_i``; its key is
+  ``S_t = Σ_{i=1..t} s_{i−1}·P_i`` plus ``Q_i = s_i·P`` for ``1 ≤ i < t``.
+* Encrypt to ``(I1..It)``: pick ``r``;
+  ``U0 = rP``, ``U_i = r·P_i`` for ``2 ≤ i ≤ t``;
+  mask with ``H2(e(Q0, P_1)^r)``.
+* Decrypt: ``e(S_t, U0) / Π_{i=2..t} e(Q_{i−1}, U_i) = e(Q0, P_1)^r``.
+
+Correctness: the numerator telescopes to
+``Π e(P_i, P)^{r·s_{i−1}}`` and the denominator cancels every term but
+``i = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DecodeError, DecryptionError, ParameterError
+from repro.ibe.keys import _decode_blob, _encode_blob
+from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.pairing.curve import Point
+from repro.pairing.hashing import gt_to_bytes, hash_to_point, mask_bytes
+from repro.pairing.params import BFParams
+from repro.symciph.cipher import CIPHER_REGISTRY, SymmetricScheme
+
+__all__ = ["HibeCiphertext", "HibePrivateKey", "HibeRoot", "HibeDomain"]
+
+_ID_NAMESPACE = b"repro-hibe-v1:"
+_KEM_DOMAIN = b"repro-hibe-kem"
+
+
+def _level_point(params: BFParams, identity_path: tuple[str, ...], depth: int) -> Point:
+    """``P_depth = H1(I1 ‖ … ‖ I_depth)`` with unambiguous framing."""
+    joined = b"\x00".join(part.encode("utf-8") for part in identity_path[:depth])
+    return hash_to_point(params, _ID_NAMESPACE + joined)
+
+
+@dataclass
+class HibePrivateKey:
+    """A decryption key for one identity path (plus delegation data)."""
+
+    identity_path: tuple[str, ...]
+    s_point: Point  # S_t
+    q_points: list[Point]  # Q_1 .. Q_{t-1}
+
+    @property
+    def depth(self) -> int:
+        return len(self.identity_path)
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        out = _encode_blob("\x00".join(self.identity_path).encode("utf-8"))
+        out += _encode_blob(self.s_point.to_bytes())
+        out += len(self.q_points).to_bytes(2, "big")
+        for point in self.q_points:
+            out += _encode_blob(point.to_bytes())
+        return out
+
+    @classmethod
+    def from_bytes(cls, data: bytes, params: BFParams) -> "HibePrivateKey":
+        """Parse an instance from its canonical byte encoding."""
+        path_raw, data = _decode_blob(data)
+        s_raw, data = _decode_blob(data)
+        if len(data) < 2:
+            raise DecodeError("truncated HibePrivateKey")
+        count = int.from_bytes(data[:2], "big")
+        data = data[2:]
+        q_points = []
+        for _ in range(count):
+            q_raw, data = _decode_blob(data)
+            q_points.append(params.curve.from_bytes(q_raw))
+        if data:
+            raise DecodeError(f"{len(data)} trailing bytes after HibePrivateKey")
+        return cls(
+            identity_path=tuple(path_raw.decode("utf-8").split("\x00")),
+            s_point=params.curve.from_bytes(s_raw),
+            q_points=q_points,
+        )
+
+
+@dataclass
+class HibeCiphertext:
+    """``U0 ‖ U2..Ut ‖ sealed body`` for an identity path of depth t."""
+
+    u0: Point
+    u_tail: list[Point]  # U_2 .. U_t
+    cipher_name: str
+    sealed: bytes
+
+
+class HibeRoot:
+    """The root PKG: holds ``s0``, publishes ``Q0``, spawns level-1 domains."""
+
+    def __init__(self, params: BFParams, rng: RandomSource | None = None) -> None:
+        self.params = params
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._s0 = params.random_scalar(self._rng)
+        self.q0: Point = self._s0 * params.generator
+
+    # -- key generation ----------------------------------------------------
+
+    def extract(self, identity: str) -> HibePrivateKey:
+        """Key for a depth-1 identity (equivalent to plain BF Extract)."""
+        p1 = _level_point(self.params, (identity,), 1)
+        return HibePrivateKey(
+            identity_path=(identity,),
+            s_point=self._s0 * p1,
+            q_points=[],
+        )
+
+    def domain(self, identity: str, rng: RandomSource | None = None) -> "HibeDomain":
+        """Create the level-1 *domain authority* for ``identity`` — it can
+        delegate further without any access to ``s0``."""
+        return HibeDomain(self, self.extract(identity), rng=rng or self._rng)
+
+    # -- encryption ----------------------------------------------------------
+
+    def encrypt(
+        self,
+        identity_path: tuple[str, ...] | list[str],
+        message: bytes,
+        cipher_name: str = "AES-128",
+        rng: RandomSource | None = None,
+    ) -> HibeCiphertext:
+        """Encrypt to any depth; needs only ``Q0`` and public params."""
+        path = tuple(identity_path)
+        if not path:
+            raise ParameterError("HIBE identity path must be non-empty")
+        rng = rng if rng is not None else self._rng
+        params = self.params
+        r = params.random_scalar(rng)
+        p1 = _level_point(params, path, 1)
+        kem_value = params.pair(self.q0, p1) ** r
+        key = mask_bytes(
+            gt_to_bytes(kem_value),
+            CIPHER_REGISTRY[cipher_name].key_size,
+            _KEM_DOMAIN,
+        )
+        scheme = SymmetricScheme(cipher_name, key, mac=True, rng=rng)
+        return HibeCiphertext(
+            u0=r * params.generator,
+            u_tail=[
+                r * _level_point(params, path, depth)
+                for depth in range(2, len(path) + 1)
+            ],
+            cipher_name=cipher_name,
+            sealed=scheme.seal(message),
+        )
+
+    # -- decryption -------------------------------------------------------------
+
+    def decrypt(self, key: HibePrivateKey, ciphertext: HibeCiphertext) -> bytes:
+        """Decrypt with a key whose path matches the ciphertext's target.
+
+        A key for a *prefix* of the target path also works when combined
+        with delegation — see :meth:`HibeDomain.extract_path` — but this
+        method itself requires depth(key) == depth(ciphertext target).
+        """
+        params = self.params
+        if len(key.q_points) != len(ciphertext.u_tail):
+            raise DecryptionError(
+                "key depth does not match ciphertext depth "
+                f"({len(key.q_points) + 1} vs {len(ciphertext.u_tail) + 1})"
+            )
+        value = params.pair(key.s_point, ciphertext.u0)
+        for q_point, u_point in zip(key.q_points, ciphertext.u_tail):
+            value = value * params.pair(q_point, u_point).inverse()
+        symmetric_key = mask_bytes(
+            gt_to_bytes(value),
+            CIPHER_REGISTRY[ciphertext.cipher_name].key_size,
+            _KEM_DOMAIN,
+        )
+        scheme = SymmetricScheme(ciphertext.cipher_name, symmetric_key, mac=True)
+        return scheme.open(ciphertext.sealed)
+
+
+class HibeDomain:
+    """A non-root authority: holds its own ``s_i`` and its path key.
+
+    Can extract keys one level down (and recursively spawn sub-domains),
+    never touching any ancestor's secret.
+    """
+
+    def __init__(
+        self,
+        root: HibeRoot,
+        key: HibePrivateKey,
+        rng: RandomSource | None = None,
+    ) -> None:
+        self._root = root
+        self.key = key
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._secret = root.params.random_scalar(self._rng)
+        self._q: Point = self._secret * root.params.generator
+
+    @property
+    def identity_path(self) -> tuple[str, ...]:
+        return self.key.identity_path
+
+    def extract(self, child_identity: str) -> HibePrivateKey:
+        """Key for ``path + (child_identity,)``."""
+        params = self._root.params
+        child_path = self.key.identity_path + (child_identity,)
+        p_child = _level_point(params, child_path, len(child_path))
+        return HibePrivateKey(
+            identity_path=child_path,
+            s_point=self.key.s_point + self._secret * p_child,
+            q_points=list(self.key.q_points) + [self._q],
+        )
+
+    def domain(self, child_identity: str, rng: RandomSource | None = None) -> "HibeDomain":
+        """Spawn the child as a further delegating authority."""
+        return HibeDomain(self._root, self.extract(child_identity),
+                          rng=rng or self._rng)
+
+    def extract_path(self, descendants: list[str]) -> HibePrivateKey:
+        """Extract for a multi-level descendant in one call."""
+        domain: HibeDomain = self
+        for identity in descendants[:-1]:
+            domain = domain.domain(identity)
+        return domain.extract(descendants[-1])

@@ -1,0 +1,164 @@
+"""IBE key material: system setup, master keys, identity private keys.
+
+``setup`` is the paper's §IV Setup algorithm: the PKG fixes the group
+parameters, draws the master secret ``s`` and publishes ``P_pub = sP``.
+``MasterKeyPair.extract`` is the Extract algorithm producing
+``d_ID = s * H1(ID)``.  All key objects serialise to bytes so they can
+cross the simulated network and be persisted in the storage engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DecodeError, ParameterError
+from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.pairing.curve import Point
+from repro.pairing.fields import Fp2Element
+from repro.pairing.hashing import hash_to_point
+from repro.pairing.params import BFParams, get_preset
+
+__all__ = ["PublicParams", "MasterKeyPair", "IdentityPrivateKey", "setup"]
+
+
+@dataclass
+class PublicParams:
+    """Everything an encryptor needs: group parameters and ``P_pub = sP``.
+
+    Smart devices hold exactly this (the paper notes the SD "uses the
+    public parameters from the PKG"); it contains no secrets.
+    """
+
+    params: BFParams
+    p_pub: Point
+
+    def hash_identity(self, identity: bytes) -> Point:
+        """Q_ID = H1(identity): the public key derived from a string."""
+        return hash_to_point(self.params, identity)
+
+    def pair(self, a: Point, b: Point) -> Fp2Element:
+        """The modified symmetric pairing over base-field points."""
+        return self.params.pair(a, b)
+
+    def to_bytes(self) -> bytes:
+        """Serialise as ``p || q || algorithm || P || P_pub`` (self-describing)."""
+        algorithm = self.params.pairing_algorithm.encode("ascii")
+        chunks = [
+            _encode_int(self.params.p),
+            _encode_int(self.params.q),
+            _encode_blob(algorithm),
+            _encode_blob(self.params.generator.to_bytes()),
+            _encode_blob(self.p_pub.to_bytes()),
+        ]
+        return b"".join(chunks)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PublicParams":
+        """Parse an instance from its canonical byte encoding."""
+        p, data = _decode_int(data)
+        q, data = _decode_int(data)
+        algorithm, data = _decode_blob(data)
+        generator_bytes, data = _decode_blob(data)
+        p_pub_bytes, data = _decode_blob(data)
+        if data:
+            raise DecodeError(f"{len(data)} trailing bytes after PublicParams")
+        params = BFParams.from_primes(
+            p, q, pairing_algorithm=algorithm.decode("ascii")
+        )
+        generator = params.curve.from_bytes(generator_bytes)
+        # The deterministic default generator normally matches, but honour
+        # the serialised one so custom setups round-trip exactly.
+        params.generator = generator
+        return cls(params=params, p_pub=params.curve.from_bytes(p_pub_bytes))
+
+
+@dataclass
+class MasterKeyPair:
+    """The PKG's key material: public parameters plus the master secret ``s``."""
+
+    public: PublicParams
+    master_secret: int
+
+    def extract(self, identity: bytes) -> "IdentityPrivateKey":
+        """Extract: d_ID = s * H1(identity) — the paper's §IV Extract."""
+        q_id = self.public.hash_identity(identity)
+        return IdentityPrivateKey(
+            identity=bytes(identity), point=self.master_secret * q_id
+        )
+
+    def extract_point(self, q_id: Point) -> Point:
+        """Extract from an already-hashed point (used by the PKG service,
+        which receives ``A || Nonce`` and hashes it itself)."""
+        return self.master_secret * q_id
+
+
+@dataclass
+class IdentityPrivateKey:
+    """A private key ``d_ID = s * Q_ID`` bound to the identity string."""
+
+    identity: bytes
+    point: Point
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return _encode_blob(self.identity) + _encode_blob(self.point.to_bytes())
+
+    @classmethod
+    def from_bytes(cls, data: bytes, params: BFParams) -> "IdentityPrivateKey":
+        """Parse an instance from its canonical byte encoding."""
+        identity, data = _decode_blob(data)
+        point_bytes, data = _decode_blob(data)
+        if data:
+            raise DecodeError(f"{len(data)} trailing bytes after IdentityPrivateKey")
+        return cls(identity=identity, point=params.curve.from_bytes(point_bytes))
+
+
+def setup(
+    preset: str | BFParams = "TEST80",
+    rng: RandomSource | None = None,
+    pairing_algorithm: str = "tate",
+) -> MasterKeyPair:
+    """The paper's Setup: fix parameters, draw ``s``, publish ``sP``.
+
+    ``preset`` may be a preset name or a ready :class:`BFParams`.
+    """
+    rng = rng if rng is not None else SystemRandomSource()
+    if isinstance(preset, str):
+        params = get_preset(preset, pairing_algorithm=pairing_algorithm)
+    elif isinstance(preset, BFParams):
+        params = preset
+    else:
+        raise ParameterError(
+            f"preset must be a name or BFParams, got {type(preset).__name__}"
+        )
+    s = params.random_scalar(rng)
+    public = PublicParams(params=params, p_pub=s * params.generator)
+    return MasterKeyPair(public=public, master_secret=s)
+
+
+# -- minimal length-prefixed primitives used by key serialisation ----------
+
+
+def _encode_int(value: int) -> bytes:
+    raw = value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+    return len(raw).to_bytes(2, "big") + raw
+
+
+def _decode_int(data: bytes) -> tuple[int, bytes]:
+    blob, rest = _decode_blob(data)
+    return int.from_bytes(blob, "big"), rest
+
+
+def _encode_blob(blob: bytes) -> bytes:
+    if len(blob) > 0xFFFF:
+        raise DecodeError(f"blob too long to encode ({len(blob)} bytes)")
+    return len(blob).to_bytes(2, "big") + blob
+
+
+def _decode_blob(data: bytes) -> tuple[bytes, bytes]:
+    if len(data) < 2:
+        raise DecodeError("truncated length prefix")
+    length = int.from_bytes(data[:2], "big")
+    if len(data) < 2 + length:
+        raise DecodeError(f"truncated blob (want {length} bytes)")
+    return data[2 : 2 + length], data[2 + length :]

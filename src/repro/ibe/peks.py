@@ -1,0 +1,179 @@
+"""Public-key Encryption with Keyword Search (paper reference [1]).
+
+The paper's related work cites Waters/Balfanz/Durfee/Smetters' encrypted
+searchable audit log, which builds on Boneh–Di Crescenzo–Ostrovsky–
+Persiano PEKS — itself constructed from exactly the BF-IBE machinery
+this library implements.  PEKS closes a real gap in the warehousing
+service: an RC can ask the MWS for "messages about OUTAGE" without the
+MWS ever learning which deposits mention outages or what the RC is
+searching for beyond the trapdoor it was handed.
+
+Construction over the symmetric pairing (generator P, receiver secret
+``x``, public key ``X = xP``):
+
+* Tag(W):      r random; ``tag = (rP, H2(e(H1(W), X)^r))``
+* Trapdoor(W): ``T_W = x * H1(W)``
+* Test:        ``H2(e(T_W, rP)) == tag.check``
+
+In the warehousing deployment the *attribute authority* plays the
+receiver: the PKG derives per-attribute search keys, the Token carries
+trapdoors to authorised RCs, and the MWS runs Test over stored tags.
+This module provides the primitive plus a small searchable index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DecodeError
+from repro.ibe.keys import _decode_blob, _encode_blob
+from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.pairing.curve import Point
+from repro.pairing.hashing import gt_to_bytes, hash_to_point, mask_bytes
+from repro.pairing.params import BFParams
+
+__all__ = ["PeksTag", "PeksTrapdoor", "PeksScheme", "SearchableIndex"]
+
+_KEYWORD_NAMESPACE = b"repro-peks-v1:"
+_CHECK_DOMAIN = b"repro-peks-check"
+_CHECK_LENGTH = 20
+
+
+@dataclass
+class PeksTag:
+    """A searchable tag: reveals nothing about its keyword without the
+    matching trapdoor."""
+
+    point: Point  # rP
+    check: bytes  # H2(e(H1(W), X)^r)
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return _encode_blob(self.point.to_bytes()) + _encode_blob(self.check)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, params: BFParams) -> "PeksTag":
+        """Parse an instance from its canonical byte encoding."""
+        point_bytes, data = _decode_blob(data)
+        check, data = _decode_blob(data)
+        if data:
+            raise DecodeError(f"{len(data)} trailing bytes after PeksTag")
+        return cls(point=params.curve.from_bytes(point_bytes), check=check)
+
+
+@dataclass
+class PeksTrapdoor:
+    """``x * H1(W)`` — lets the holder *test* for W, not learn others."""
+
+    point: Point
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return _encode_blob(self.point.to_bytes())
+
+    @classmethod
+    def from_bytes(cls, data: bytes, params: BFParams) -> "PeksTrapdoor":
+        """Parse an instance from its canonical byte encoding."""
+        point_bytes, data = _decode_blob(data)
+        if data:
+            raise DecodeError(f"{len(data)} trailing bytes after PeksTrapdoor")
+        return cls(point=params.curve.from_bytes(point_bytes))
+
+
+class PeksScheme:
+    """Tag generation (public), trapdoor derivation (secret), testing.
+
+    The secret holder constructs with ``secret``; taggers construct with
+    ``public_point`` only.
+    """
+
+    def __init__(
+        self,
+        params: BFParams,
+        secret: int | None = None,
+        public_point: Point | None = None,
+        rng: RandomSource | None = None,
+    ) -> None:
+        if secret is None and public_point is None:
+            raise DecodeError("PeksScheme needs a secret or a public point")
+        self._params = params
+        self._secret = secret
+        self.public_point = (
+            public_point if public_point is not None else secret * params.generator
+        )
+        self._rng = rng if rng is not None else SystemRandomSource()
+
+    @classmethod
+    def generate(cls, params: BFParams, rng: RandomSource | None = None) -> "PeksScheme":
+        rng = rng if rng is not None else SystemRandomSource()
+        return cls(params, secret=params.random_scalar(rng), rng=rng)
+
+    def _keyword_point(self, keyword: str) -> Point:
+        normalised = keyword.strip().lower().encode("utf-8")
+        return hash_to_point(self._params, _KEYWORD_NAMESPACE + normalised)
+
+    # -- public side ------------------------------------------------------
+
+    def tag(self, keyword: str) -> PeksTag:
+        """Produce a searchable tag for ``keyword`` (public-key side)."""
+        r = self._params.random_scalar(self._rng)
+        shared = self._params.pair(self._keyword_point(keyword), self.public_point) ** r
+        return PeksTag(
+            point=r * self._params.generator,
+            check=mask_bytes(gt_to_bytes(shared), _CHECK_LENGTH, _CHECK_DOMAIN),
+        )
+
+    def tag_all(self, keywords: list[str]) -> list[PeksTag]:
+        """Tags for several keywords (order randomised tags anyway by r)."""
+        return [self.tag(keyword) for keyword in keywords]
+
+    # -- secret side --------------------------------------------------------
+
+    def trapdoor(self, keyword: str) -> PeksTrapdoor:
+        """Derive the trapdoor for ``keyword`` (requires the secret)."""
+        if self._secret is None:
+            raise DecodeError("trapdoor derivation requires the PEKS secret")
+        return PeksTrapdoor(point=self._secret * self._keyword_point(keyword))
+
+    # -- server side ----------------------------------------------------------
+
+    def test(self, trapdoor: PeksTrapdoor, tag: PeksTag) -> bool:
+        """True iff ``tag`` was produced for the trapdoor's keyword.
+
+        Needs no secrets: this is what the MWS runs.
+        """
+        shared = self._params.pair(trapdoor.point, tag.point)
+        expected = mask_bytes(gt_to_bytes(shared), _CHECK_LENGTH, _CHECK_DOMAIN)
+        return expected == tag.check
+
+
+class SearchableIndex:
+    """A server-side index of (record id, tags) supporting trapdoor search.
+
+    The index stores only opaque tags; :meth:`search` evaluates one
+    pairing per (record, tag) pair, so it also exposes the cost profile
+    the EXT-H bench measures.
+    """
+
+    def __init__(self, scheme: PeksScheme) -> None:
+        self._scheme = scheme
+        self._entries: list[tuple[int, list[PeksTag]]] = []
+        self.stats = {"tags_stored": 0, "tests_run": 0}
+
+    def add(self, record_id: int, tags: list[PeksTag]) -> None:
+        self._entries.append((record_id, list(tags)))
+        self.stats["tags_stored"] += len(tags)
+
+    def search(self, trapdoor: PeksTrapdoor) -> list[int]:
+        """Record ids with at least one tag matching the trapdoor."""
+        matches = []
+        for record_id, tags in self._entries:
+            for tag in tags:
+                self.stats["tests_run"] += 1
+                if self._scheme.test(trapdoor, tag):
+                    matches.append(record_id)
+                    break
+        return matches
+
+    def __len__(self) -> int:
+        return len(self._entries)

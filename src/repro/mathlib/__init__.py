@@ -1,0 +1,44 @@
+"""Number-theoretic substrate used by the pairing, IBE and RSA layers.
+
+Everything here is implemented from first principles (extended Euclid,
+Tonelli–Shanks, Miller–Rabin, HMAC-DRBG) so the library has no dependency
+on external cryptographic packages.
+"""
+
+from repro.mathlib.modular import (
+    crt,
+    cube_root_mod_p,
+    egcd,
+    inverse_mod,
+    is_quadratic_residue,
+    jacobi_symbol,
+    legendre_symbol,
+    sqrt_mod_p,
+)
+from repro.mathlib.primes import (
+    generate_bf_prime_pair,
+    generate_prime,
+    generate_safe_prime,
+    is_probable_prime,
+    next_prime,
+)
+from repro.mathlib.rand import HmacDrbg, RandomSource, SystemRandomSource
+
+__all__ = [
+    "egcd",
+    "inverse_mod",
+    "crt",
+    "legendre_symbol",
+    "jacobi_symbol",
+    "is_quadratic_residue",
+    "sqrt_mod_p",
+    "cube_root_mod_p",
+    "is_probable_prime",
+    "generate_prime",
+    "generate_safe_prime",
+    "next_prime",
+    "generate_bf_prime_pair",
+    "RandomSource",
+    "SystemRandomSource",
+    "HmacDrbg",
+]

@@ -1,0 +1,178 @@
+"""Modular arithmetic helpers: inverses, CRT, square roots, cube roots.
+
+These are the primitives beneath the finite-field tower in
+:mod:`repro.pairing.fields` and the RSA baseline in :mod:`repro.pki.rsa`.
+All functions operate on plain Python integers and validate their inputs;
+degenerate requests raise subclasses of :class:`repro.errors.MathError`
+rather than returning sentinel values.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MathError, NoSquareRootError, NotInvertibleError
+
+__all__ = [
+    "egcd",
+    "inverse_mod",
+    "crt",
+    "legendre_symbol",
+    "jacobi_symbol",
+    "is_quadratic_residue",
+    "sqrt_mod_p",
+    "cube_root_mod_p",
+]
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: return ``(g, x, y)`` with ``a*x + b*y == g == gcd(a, b)``.
+
+    Works for any integers, including negatives; ``g`` is non-negative.
+
+    >>> egcd(240, 46)
+    (2, -9, 47)
+    """
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    if old_r < 0:
+        old_r, old_x, old_y = -old_r, -old_x, -old_y
+    return old_r, old_x, old_y
+
+
+def inverse_mod(a: int, m: int) -> int:
+    """Return the multiplicative inverse of ``a`` modulo ``m``.
+
+    Raises :class:`NotInvertibleError` when ``gcd(a, m) != 1``.  The result
+    is always in ``[0, m)``.
+    """
+    if m <= 0:
+        raise MathError(f"modulus must be positive, got {m}")
+    g, x, _ = egcd(a % m, m)
+    if g != 1:
+        raise NotInvertibleError(f"{a} is not invertible modulo {m} (gcd={g})")
+    return x % m
+
+
+def crt(residues: list[int], moduli: list[int]) -> int:
+    """Chinese Remainder Theorem for pairwise-coprime moduli.
+
+    Returns the unique ``x`` in ``[0, prod(moduli))`` with
+    ``x % moduli[i] == residues[i] % moduli[i]`` for every ``i``.
+
+    >>> crt([2, 3, 2], [3, 5, 7])
+    23
+    """
+    if len(residues) != len(moduli):
+        raise MathError("residues and moduli must have equal length")
+    if not moduli:
+        raise MathError("crt requires at least one congruence")
+    x, m = residues[0] % moduli[0], moduli[0]
+    for r, n in zip(residues[1:], moduli[1:]):
+        g, p, _ = egcd(m, n)
+        if g != 1:
+            raise MathError(f"moduli {m} and {n} are not coprime (gcd={g})")
+        # x' = x + m * ((r - x) * m^{-1} mod n)
+        x = (x + m * ((r - x) * p % n)) % (m * n)
+        m *= n
+    return x
+
+
+def legendre_symbol(a: int, p: int) -> int:
+    """Legendre symbol (a/p) for odd prime ``p``: one of ``-1, 0, 1``."""
+    if p <= 2 or p % 2 == 0:
+        raise MathError(f"legendre_symbol requires an odd prime, got {p}")
+    a %= p
+    if a == 0:
+        return 0
+    s = pow(a, (p - 1) // 2, p)
+    return -1 if s == p - 1 else s
+
+
+def jacobi_symbol(a: int, n: int) -> int:
+    """Jacobi symbol (a/n) for odd positive ``n``.
+
+    Generalises the Legendre symbol without factoring ``n``; used by the
+    Miller–Rabin implementation's companion checks and exposed for tests.
+    """
+    if n <= 0 or n % 2 == 0:
+        raise MathError(f"jacobi_symbol requires odd positive n, got {n}")
+    a %= n
+    result = 1
+    while a != 0:
+        while a % 2 == 0:
+            a //= 2
+            if n % 8 in (3, 5):
+                result = -result
+        a, n = n, a
+        if a % 4 == 3 and n % 4 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
+
+
+def is_quadratic_residue(a: int, p: int) -> bool:
+    """True when ``a`` is a non-zero square modulo the odd prime ``p``."""
+    return legendre_symbol(a, p) == 1
+
+
+def sqrt_mod_p(a: int, p: int) -> int:
+    """A square root of ``a`` modulo odd prime ``p`` (the smaller root is
+    not guaranteed; the caller may negate).
+
+    Uses the fast ``p % 4 == 3`` exponentiation when available and the
+    general Tonelli–Shanks algorithm otherwise.  Raises
+    :class:`NoSquareRootError` for non-residues.
+    """
+    if p == 2:
+        return a % 2
+    a %= p
+    if a == 0:
+        return 0
+    if legendre_symbol(a, p) != 1:
+        raise NoSquareRootError(f"{a} is not a quadratic residue mod {p}")
+    if p % 4 == 3:
+        return pow(a, (p + 1) // 4, p)
+    # Tonelli–Shanks: write p - 1 = q * 2^s with q odd.
+    q, s = p - 1, 0
+    while q % 2 == 0:
+        q //= 2
+        s += 1
+    # Find a non-residue z.
+    z = 2
+    while legendre_symbol(z, p) != -1:
+        z += 1
+    m = s
+    c = pow(z, q, p)
+    t = pow(a, q, p)
+    r = pow(a, (q + 1) // 2, p)
+    while t != 1:
+        # Find least i in (0, m) with t^(2^i) == 1.
+        i, t2i = 0, t
+        while t2i != 1:
+            t2i = t2i * t2i % p
+            i += 1
+            if i == m:
+                raise NoSquareRootError(f"Tonelli-Shanks failed for {a} mod {p}")
+        b = pow(c, 1 << (m - i - 1), p)
+        m = i
+        c = b * b % p
+        t = t * c % p
+        r = r * b % p
+    return r
+
+
+def cube_root_mod_p(a: int, p: int) -> int:
+    """The unique cube root of ``a`` modulo prime ``p`` with ``p % 3 == 2``.
+
+    When ``p % 3 == 2`` the cube map is a bijection on F_p and its inverse
+    is ``x -> x ** ((2p - 1) / 3)``; this is the MapToPoint step of
+    Boneh–Franklin (finding x with ``x^3 = y^2 - 1``).
+    """
+    if p % 3 != 2:
+        raise MathError(f"cube_root_mod_p requires p % 3 == 2, got p % 3 == {p % 3}")
+    return pow(a % p, (2 * p - 1) // 3, p)

@@ -1,0 +1,180 @@
+"""Primality testing and prime generation.
+
+Provides Miller–Rabin with deterministic witness sets for small inputs,
+general prime generation for the RSA baseline, and the Boneh–Franklin
+parameter search that produces primes ``p = l*q - 1`` with
+``p % 12 == 11`` so the supersingular curve y^2 = x^3 + 1 and the
+F_p[i] extension both work (see :mod:`repro.pairing.params`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MathError, ParameterError
+from repro.mathlib.rand import RandomSource, SystemRandomSource
+
+__all__ = [
+    "is_probable_prime",
+    "generate_prime",
+    "generate_safe_prime",
+    "next_prime",
+    "generate_bf_prime_pair",
+]
+
+# Trial-division screen: all primes below 1000.
+_SMALL_PRIMES: tuple[int, ...] = tuple(
+    n
+    for n in range(2, 1000)
+    if all(n % d for d in range(2, int(n**0.5) + 1))
+)
+
+# Deterministic Miller-Rabin witness sets (Jaeschke / Sorenson-Webster).
+# Each entry (bound, witnesses) is exact for all n < bound.
+_DETERMINISTIC_WITNESSES: tuple[tuple[int, tuple[int, ...]], ...] = (
+    (2_047, (2,)),
+    (1_373_653, (2, 3)),
+    (9_080_191, (31, 73)),
+    (25_326_001, (2, 3, 5)),
+    (3_215_031_751, (2, 3, 5, 7)),
+    (4_759_123_141, (2, 7, 61)),
+    (1_122_004_669_633, (2, 13, 23, 1662803)),
+    (2_152_302_898_747, (2, 3, 5, 7, 11)),
+    (3_474_749_660_383, (2, 3, 5, 7, 11, 13)),
+    (341_550_071_728_321, (2, 3, 5, 7, 11, 13, 17)),
+    (3_825_123_056_546_413_051, (2, 3, 5, 7, 11, 13, 17, 19, 23)),
+    (318_665_857_834_031_151_167_461, (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)),
+)
+
+
+def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
+    """One Miller-Rabin round; True means 'probably prime for witness a'."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = x * x % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: RandomSource | None = None) -> bool:
+    """Miller–Rabin primality test.
+
+    Deterministic (exact) for ``n`` below ~3.3 * 10**24 via fixed witness
+    sets; probabilistic with ``rounds`` random witnesses above that, giving
+    an error probability below ``4**-rounds``.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n - 1 = d * 2^r with d odd.
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for bound, witnesses in _DETERMINISTIC_WITNESSES:
+        if n < bound:
+            return all(_miller_rabin_round(n, a, d, r) for a in witnesses)
+    rng = rng if rng is not None else SystemRandomSource()
+    for _ in range(rounds):
+        a = rng.randint(2, n - 2)
+        if not _miller_rabin_round(n, a, d, r):
+            return False
+    return True
+
+
+def generate_prime(
+    bits: int,
+    rng: RandomSource | None = None,
+    condition=None,
+    max_attempts: int = 100_000,
+) -> int:
+    """Generate a random prime with exactly ``bits`` bits.
+
+    ``condition`` is an optional predicate the prime must also satisfy
+    (e.g. ``lambda p: p % 4 == 3``).  Raises :class:`MathError` after
+    ``max_attempts`` candidates, which only happens for contradictory
+    conditions.
+    """
+    if bits < 2:
+        raise MathError(f"cannot generate a prime with {bits} bits")
+    rng = rng if rng is not None else SystemRandomSource()
+    for _ in range(max_attempts):
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force exact bit length and oddness
+        if condition is not None and not condition(candidate):
+            continue
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+    raise MathError(f"failed to find a {bits}-bit prime after {max_attempts} attempts")
+
+
+def generate_safe_prime(bits: int, rng: RandomSource | None = None) -> int:
+    """Generate a safe prime ``p`` (``(p - 1) / 2`` also prime).
+
+    Used by tests exercising the RSA baseline with strong moduli; slow for
+    large sizes, as safe primes are.
+    """
+    rng = rng if rng is not None else SystemRandomSource()
+    while True:
+        q = generate_prime(bits - 1, rng=rng)
+        p = 2 * q + 1
+        if is_probable_prime(p, rng=rng):
+            return p
+
+
+def next_prime(n: int) -> int:
+    """The smallest prime strictly greater than ``n``."""
+    candidate = max(n + 1, 2)
+    if candidate > 2 and candidate % 2 == 0:
+        candidate += 1
+    while not is_probable_prime(candidate):
+        candidate += 1 if candidate == 2 else 2
+    return candidate
+
+
+def generate_bf_prime_pair(
+    q_bits: int,
+    p_bits: int,
+    rng: RandomSource | None = None,
+    max_attempts: int = 200_000,
+) -> tuple[int, int, int]:
+    """Find Boneh–Franklin group parameters ``(p, q, l)``.
+
+    Searches for a prime ``q`` of ``q_bits`` bits and a cofactor ``l``
+    such that ``p = l * q - 1`` is a ``p_bits``-bit prime with
+    ``p % 12 == 11``.  The congruence gives both ``p % 3 == 2`` (the curve
+    y^2 = x^3 + 1 is supersingular with #E(F_p) = p + 1, and cube roots
+    are easy) and ``p % 4 == 3`` (so F_p^2 = F_p[i] with i^2 = -1).
+
+    Returns ``(p, q, l)`` with ``p + 1 == l * q``.
+    """
+    if p_bits <= q_bits + 2:
+        raise ParameterError(
+            f"p_bits ({p_bits}) must exceed q_bits ({q_bits}) by at least 3 "
+            "to leave room for the cofactor"
+        )
+    rng = rng if rng is not None else SystemRandomSource()
+    q = generate_prime(q_bits, rng=rng)
+    l_bits = p_bits - q_bits
+    for _ in range(max_attempts):
+        # l must be a multiple of 12 so that p = l*q - 1 == 11 (mod 12).
+        l = rng.getrandbits(l_bits) | (1 << (l_bits - 1))
+        l -= l % 12
+        if l == 0:
+            continue
+        p = l * q - 1
+        if p.bit_length() != p_bits:
+            continue
+        if p % 12 != 11:
+            continue
+        if is_probable_prime(p, rng=rng):
+            return p, q, l
+    raise MathError(
+        f"failed to find BF prime pair (q_bits={q_bits}, p_bits={p_bits}) "
+        f"after {max_attempts} attempts"
+    )

@@ -1,0 +1,27 @@
+"""The Message Warehousing Service: the paper's Fig. 3 box by box.
+
+* :class:`SmartDeviceAuthenticator` (SDA) — MAC verification + replay
+  window for incoming deposits.
+* :class:`MessageManagementSystem` (MMS) — policy-driven retrieval from
+  the Message Database.
+* :class:`TokenGenerator` (TG) — tickets (sealed for the PKG) and tokens
+  (sealed for the RC).
+* :class:`Gatekeeper` — RC authentication and request routing.
+* :class:`MessageWarehousingService` — the facade wiring them together
+  with their databases, exposing byte-level network handlers.
+"""
+
+from repro.mws.authenticator import SmartDeviceAuthenticator
+from repro.mws.gatekeeper import Gatekeeper
+from repro.mws.mms import MessageManagementSystem
+from repro.mws.service import MessageWarehousingService, MwsConfig
+from repro.mws.token_gen import TokenGenerator
+
+__all__ = [
+    "SmartDeviceAuthenticator",
+    "MessageManagementSystem",
+    "TokenGenerator",
+    "Gatekeeper",
+    "MessageWarehousingService",
+    "MwsConfig",
+]

@@ -1,0 +1,93 @@
+"""Administrative operations and monitoring for the MWS.
+
+The paper mentions "a set of administrative operations to manage client
+identities" and alerts "sent to the administrator"; this module
+collects them behind one object: a status report aggregating every
+component's counters, the alert feed, and a retention policy that
+purges warehoused ciphertexts past their useful life (meter readings
+age out; the policy database does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mws.service import MessageWarehousingService
+
+__all__ = ["MwsStatus", "MwsAdmin"]
+
+
+@dataclass
+class MwsStatus:
+    """A point-in-time snapshot of MWS health."""
+
+    messages_stored: int
+    attributes_in_use: int
+    devices_registered: int
+    clients_registered: int
+    grants: int
+    deposits_accepted: int
+    deposits_rejected: int
+    retrievals_served: int
+    tokens_issued: int
+    alerts: int
+
+    def as_rows(self) -> list[tuple[str, int]]:
+        """(name, value) rows for rendering."""
+        return list(self.__dict__.items())
+
+
+class MwsAdmin:
+    """Operator surface over a running MWS."""
+
+    def __init__(self, mws: MessageWarehousingService) -> None:
+        self._mws = mws
+
+    def status(self) -> MwsStatus:
+        """Aggregate counters from every Fig. 3 component."""
+        sda = self._mws.sda.stats
+        rejected = sda["bad_mac"] + sda["replayed"] + sda["unknown_device"]
+        rejected += sda.get("bad_signature", 0)
+        return MwsStatus(
+            messages_stored=len(self._mws.message_db),
+            attributes_in_use=len(self._mws.message_db.attributes()),
+            devices_registered=len(self._mws.device_keys),
+            clients_registered=len(self._mws.user_db),
+            grants=len(self._mws.policy_db),
+            deposits_accepted=sda["accepted"],
+            deposits_rejected=rejected,
+            retrievals_served=self._mws.mms.stats["retrievals"],
+            tokens_issued=self._mws.token_generator.stats["tokens_issued"],
+            alerts=len(self._mws.alerts),
+        )
+
+    def recent_alerts(self, limit: int = 20) -> list[tuple[str, str]]:
+        """The latest (device, reason) alerts, newest last."""
+        return list(self._mws.alerts[-limit:])
+
+    def purge_messages_older_than(self, cutoff_us: int) -> int:
+        """Retention: delete warehoused messages deposited before
+        ``cutoff_us``.  Returns the number removed.
+
+        Only ciphertexts are purged; grants, users and device keys are
+        untouched (they are registrations, not data).
+        """
+        victims = self._mws.message_db.by_time_range(0, cutoff_us - 1)
+        for record in victims:
+            self._mws.message_db.delete(record.message_id)
+        return len(victims)
+
+    def purge_attribute(self, attribute: str) -> int:
+        """Delete every message stored under one attribute (e.g. a
+        decommissioned apartment complex).  Returns the count removed."""
+        victims = self._mws.message_db.by_attribute(attribute)
+        for record in victims:
+            self._mws.message_db.delete(record.message_id)
+        return len(victims)
+
+    def compact_stores(self) -> None:
+        """Run compaction on any log-structured backing stores."""
+        for database in (self._mws.message_db, self._mws.policy_db):
+            store = getattr(database, "_store", None)
+            if hasattr(store, "compact"):
+                store.compact()

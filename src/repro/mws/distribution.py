@@ -1,0 +1,151 @@
+"""Distribution points: the paper's §VIII distributed-MWS sketch.
+
+"A more distributed infrastructure can also be proposed, so the MWS-SD
+and MWS-Client can be located in different areas, and when required
+pull messages. In such a case, distribution points can be considered to
+improve the scalability of the system."
+
+A :class:`DistributionPoint` is an edge ingest node: it runs its own
+Smart Device Authenticator against a (replicated, read-only) view of
+the device key store, buffers accepted ciphertexts locally, and hands
+them to the central MWS when the coordinator *pulls* — exactly the
+pull model the paper describes.  Because messages are end-to-end
+encrypted, a distribution point is no more trusted than the MWS itself:
+it sees ciphertexts and attributes, never plaintext or IBE keys.
+
+Delivery semantics: at-least-once from point to centre (a pull that
+fails mid-batch re-delivers on the next pull); the centre deduplicates
+on the (device, MAC) pair which is unique per message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.mws.authenticator import SmartDeviceAuthenticator
+from repro.mws.service import MessageWarehousingService
+from repro.sim.clock import Clock
+from repro.storage.keystore import DeviceKeyStore
+from repro.wire.messages import DepositRequest, DepositResponse
+
+__all__ = ["BufferedDeposit", "DistributionPoint", "DistributionCoordinator"]
+
+
+@dataclass
+class BufferedDeposit:
+    """An edge-accepted deposit awaiting pull."""
+
+    request: DepositRequest
+    accepted_at_us: int
+
+
+class DistributionPoint:
+    """Edge ingest node with local authentication and buffering."""
+
+    def __init__(
+        self,
+        name: str,
+        keystore: DeviceKeyStore,
+        clock: Clock,
+        max_buffer: int = 100_000,
+    ) -> None:
+        self.name = name
+        self._clock = clock
+        self._buffer: list[BufferedDeposit] = []
+        self._max_buffer = max_buffer
+        self.sda = SmartDeviceAuthenticator(keystore, clock)
+        self.stats = {"accepted": 0, "rejected": 0, "pulled": 0}
+
+    def handle_deposit(self, request: DepositRequest) -> DepositResponse:
+        """Authenticate locally; buffer on success.
+
+        The device gets an immediate acknowledgement from its nearby
+        point — the latency win the paper is after — while the message
+        reaches the central warehouse on the next pull.
+        """
+        try:
+            self.sda.authenticate(request)
+        except ProtocolError as exc:
+            self.stats["rejected"] += 1
+            return DepositResponse(accepted=False, error=str(exc))
+        if len(self._buffer) >= self._max_buffer:
+            self.stats["rejected"] += 1
+            return DepositResponse(accepted=False, error="buffer full")
+        self._buffer.append(
+            BufferedDeposit(request=request, accepted_at_us=self._clock.now_us())
+        )
+        self.stats["accepted"] += 1
+        return DepositResponse(accepted=True, message_id=0)
+
+    def deposit_handler(self, payload: bytes) -> bytes:
+        """Byte-level endpoint, same contract as the central MWS-SD server."""
+        try:
+            request = DepositRequest.from_bytes(payload)
+        except Exception as exc:
+            return DepositResponse(accepted=False, error=f"malformed: {exc}").to_bytes()
+        return self.handle_deposit(request).to_bytes()
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    def peek_batch(self, limit: int) -> list[BufferedDeposit]:
+        """The next ``limit`` deposits, *without* removing them (the
+        coordinator acknowledges after the centre has stored them)."""
+        return list(self._buffer[:limit])
+
+    def acknowledge(self, count: int) -> None:
+        """Drop the first ``count`` deposits after a successful pull."""
+        del self._buffer[:count]
+        self.stats["pulled"] += count
+
+
+class DistributionCoordinator:
+    """Central puller: drains distribution points into the MWS."""
+
+    def __init__(self, mws: MessageWarehousingService) -> None:
+        self._mws = mws
+        self._points: dict[str, DistributionPoint] = {}
+        self._seen: set[tuple[str, bytes]] = set()
+        self.stats = {"pulled": 0, "duplicates": 0}
+
+    def register_point(self, point: DistributionPoint) -> None:
+        self._points[point.name] = point
+
+    @property
+    def points(self) -> list[str]:
+        return sorted(self._points)
+
+    def pull(self, point_name: str, batch_size: int = 1000) -> int:
+        """Pull one batch from one point; returns new messages stored.
+
+        Peek-store-acknowledge ordering makes delivery at-least-once;
+        the (device_id, MAC) dedup set makes it effectively exactly-once
+        at the warehouse.
+        """
+        point = self._points[point_name]
+        batch = point.peek_batch(batch_size)
+        stored = 0
+        for buffered in batch:
+            request = buffered.request
+            key = (request.device_id, request.mac)
+            if key in self._seen:
+                self.stats["duplicates"] += 1
+                continue
+            self._mws.message_db.store(
+                device_id=request.device_id,
+                attribute=request.attribute,
+                nonce=request.nonce,
+                ciphertext=request.ciphertext,
+                deposited_at_us=buffered.accepted_at_us,
+            )
+            self._seen.add(key)
+            stored += 1
+        point.acknowledge(len(batch))
+        self.stats["pulled"] += stored
+        return stored
+
+    def pull_all(self, batch_size: int = 1000) -> int:
+        """One pull round across every registered point."""
+        return sum(self.pull(name, batch_size) for name in self.points)

@@ -1,0 +1,124 @@
+"""The Gatekeeper of Fig. 3: RC authentication and request routing.
+
+"The main role of the Gatekeeper is to authenticate the user ... The
+Gatekeeper then forwards the request to the Message Management System."
+
+Authentication follows §V.D exactly: the RC sends
+``ID_RC || PubK_RC || E(HashPassword, ID_RC || T || N)``; the gatekeeper
+fetches the stored hash, opens the blob, checks the inner identity
+matches the outer one, the timestamp is fresh and the nonce unseen.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.conventions import derive_password_key
+from repro.errors import AuthenticationError, DecryptionError, ReplayError
+from repro.sim.clock import Clock
+from repro.storage.user_db import UserDatabase
+from repro.symciph.cipher import SymmetricScheme
+from repro.wire.messages import RetrieveRequest
+
+__all__ = ["Gatekeeper"]
+
+
+class Gatekeeper:
+    """Authenticates retrieval requests against the User Database."""
+
+    def __init__(
+        self,
+        user_db: UserDatabase,
+        clock: Clock,
+        cipher_name: str = "DES",
+        max_skew_us: int = 300 * 1_000_000,
+        nonce_cache_size: int = 65536,
+        assertion_validator=None,
+    ) -> None:
+        self._user_db = user_db
+        self._clock = clock
+        self._cipher_name = cipher_name
+        self._max_skew_us = max_skew_us
+        self._nonce_cache: OrderedDict[tuple[str, bytes], None] = OrderedDict()
+        self._nonce_cache_size = nonce_cache_size
+        #: Optional repro.policy.assertions.AssertionValidator enabling
+        #: IdP-issued assertions as an alternative credential (§VIII SAML).
+        self._assertion_validator = assertion_validator
+        self.stats = {"authenticated": 0, "rejected": 0, "assertion_auths": 0}
+
+    @property
+    def cipher_name(self) -> str:
+        return self._cipher_name
+
+    def authenticate(self, request: RetrieveRequest) -> bytes:
+        """Validate the credential; returns the RC's fresh nonce ``N``.
+
+        Two credential forms: the paper's password blob, or (when an
+        assertion validator is configured) a signed IdP assertion.
+        Raises :class:`AuthenticationError` (bad credentials),
+        :class:`ReplayError` (stale T / reused N) with specific messages.
+        """
+        if request.assertion:
+            return self._authenticate_assertion(request)
+        password_hash = self._user_db.password_key(request.rc_id)
+        key = derive_password_key(password_hash, self._cipher_name)
+        scheme = SymmetricScheme(self._cipher_name, key, mac=True)
+        try:
+            payload = scheme.open(request.auth_blob)
+        except DecryptionError as exc:
+            self.stats["rejected"] += 1
+            raise AuthenticationError(
+                f"auth blob for {request.rc_id!r} failed to open (wrong password?)"
+            ) from exc
+        inner_id, timestamp_us, nonce = RetrieveRequest.parse_auth_payload(payload)
+        if inner_id != request.rc_id:
+            self.stats["rejected"] += 1
+            raise AuthenticationError(
+                f"auth blob identity {inner_id!r} does not match outer "
+                f"identity {request.rc_id!r}"
+            )
+        now_us = self._clock.now_us()
+        if abs(now_us - timestamp_us) > self._max_skew_us:
+            self.stats["rejected"] += 1
+            raise ReplayError(
+                f"RC auth timestamp {timestamp_us} outside freshness window"
+            )
+        cache_key = (request.rc_id, nonce)
+        if cache_key in self._nonce_cache:
+            self.stats["rejected"] += 1
+            raise ReplayError(f"RC auth nonce replayed for {request.rc_id!r}")
+        self._nonce_cache[cache_key] = None
+        while len(self._nonce_cache) > self._nonce_cache_size:
+            self._nonce_cache.popitem(last=False)
+        self.stats["authenticated"] += 1
+        return nonce
+
+    def _authenticate_assertion(self, request: RetrieveRequest) -> bytes:
+        """Validate an IdP-issued assertion credential."""
+        from repro.policy.assertions import IdentityAssertion
+
+        if self._assertion_validator is None:
+            self.stats["rejected"] += 1
+            raise AuthenticationError(
+                "assertion credentials are not accepted by this gatekeeper"
+            )
+        try:
+            assertion = IdentityAssertion.from_bytes(request.assertion)
+        except Exception as exc:
+            self.stats["rejected"] += 1
+            raise AuthenticationError(f"malformed assertion: {exc}") from exc
+        try:
+            self._assertion_validator.validate(assertion)
+        except AuthenticationError:
+            self.stats["rejected"] += 1
+            raise
+        if assertion.subject != request.rc_id:
+            self.stats["rejected"] += 1
+            raise AuthenticationError(
+                f"assertion subject {assertion.subject!r} does not match "
+                f"requesting identity {request.rc_id!r}"
+            )
+        self.stats["authenticated"] += 1
+        self.stats["assertion_auths"] += 1
+        # The single-use assertion id doubles as the response nonce.
+        return assertion.assertion_id

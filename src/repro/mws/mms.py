@@ -1,0 +1,93 @@
+"""The Message Management System (MMS): Fig. 3's core component.
+
+"It is responsible for maintaining and retrieving messages from the
+message database depending on identity-attribute mapping maintained in
+the policy database."
+
+The MMS is the only component that sees both databases.  For a
+retrieval it resolves the RC's granted attributes from the PD, pulls
+matching ciphertexts from the MD, and rewrites each message's attribute
+string into the RC-specific opaque attribute id before anything leaves
+the MWS — the RC must never see attribute strings (paper §V.A).
+An optional :class:`repro.policy.evaluator.PolicyEngine` adds the
+XACML-style rule layer the paper lists as future work.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AccessDeniedError
+from repro.storage.message_db import MessageDatabase
+from repro.storage.policy_db import PolicyDatabase
+from repro.wire.messages import StoredMessage
+
+__all__ = ["MessageManagementSystem"]
+
+
+class MessageManagementSystem:
+    """Policy-mediated access to the message database."""
+
+    def __init__(
+        self,
+        message_db: MessageDatabase,
+        policy_db: PolicyDatabase,
+        policy_engine=None,
+    ) -> None:
+        self._message_db = message_db
+        self._policy_db = policy_db
+        self._policy_engine = policy_engine
+        self.stats = {"retrievals": 0, "messages_served": 0, "policy_denials": 0}
+
+    @property
+    def policy_db(self) -> PolicyDatabase:
+        return self._policy_db
+
+    @property
+    def message_db(self) -> MessageDatabase:
+        return self._message_db
+
+    def attributes_for(self, rc_id: str, now_us: int) -> dict[int, str]:
+        """The RC's AID -> attribute map after policy filtering."""
+        granted = self._policy_db.attributes_for(rc_id)
+        if self._policy_engine is None:
+            return granted
+        allowed = {}
+        for attribute_id, attribute in granted.items():
+            if self._policy_engine.is_permitted(rc_id, attribute, now_us):
+                allowed[attribute_id] = attribute
+            else:
+                self.stats["policy_denials"] += 1
+        if not allowed:
+            raise AccessDeniedError(
+                f"policy engine denied every grant for {rc_id!r}"
+            )
+        return allowed
+
+    def retrieve_for(
+        self,
+        rc_id: str,
+        now_us: int,
+        since_us: int = 0,
+    ) -> tuple[dict[int, str], list[StoredMessage]]:
+        """Resolve grants and fetch matching messages.
+
+        Returns ``(attribute_map, messages)`` where every message's
+        attribute string has been replaced by the RC's AID.  ``since_us``
+        lets an RC poll incrementally.
+        """
+        attribute_map = self.attributes_for(rc_id, now_us)
+        attribute_to_id = {attr: aid for aid, attr in attribute_map.items()}
+        records = self._message_db.by_attributes(list(attribute_to_id))
+        messages = [
+            StoredMessage(
+                message_id=record.message_id,
+                attribute_id=attribute_to_id[record.attribute],
+                nonce=record.nonce,
+                ciphertext=record.ciphertext,
+                deposited_at_us=record.deposited_at_us,
+            )
+            for record in records
+            if record.deposited_at_us >= since_us
+        ]
+        self.stats["retrievals"] += 1
+        self.stats["messages_served"] += len(messages)
+        return attribute_map, messages

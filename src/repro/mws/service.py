@@ -1,0 +1,232 @@
+"""The Message Warehousing Service facade: Fig. 3 wired together.
+
+Owns the four databases (message, policy, user, device-key), the SDA,
+MMS, TG and Gatekeeper components, and exposes two byte-level handlers
+matching the paper's two servers (MWS-SD and MWS-Client) plus an
+administrative API (register/revoke devices and RCs, grant/revoke
+attributes).
+
+The MWS never holds IBE key material: it can verify device MACs and
+route by attribute but cannot decrypt a single message — requirement i.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError, ReproError
+from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.mws.authenticator import SmartDeviceAuthenticator
+from repro.mws.gatekeeper import Gatekeeper
+from repro.mws.mms import MessageManagementSystem
+from repro.mws.token_gen import TokenGenerator
+from repro.pki.rsa import RsaPublicKey
+from repro.sim.clock import Clock, SimClock
+from repro.storage.engine import RecordStore
+from repro.storage.keystore import DeviceKeyStore
+from repro.storage.message_db import MessageDatabase
+from repro.storage.policy_db import PolicyDatabase
+from repro.storage.user_db import UserDatabase
+from repro.wire.messages import (
+    BatchDepositRequest,
+    BatchDepositResponse,
+    DepositRequest,
+    DepositResponse,
+    RetrieveRequest,
+    RetrieveResponse,
+)
+
+__all__ = ["MwsConfig", "MessageWarehousingService"]
+
+
+@dataclass
+class MwsConfig:
+    """Deployment knobs for the MWS."""
+
+    #: Cipher for RC auth blobs (paper: DES).
+    gatekeeper_cipher: str = "DES"
+    #: Cipher for token/ticket sealing.
+    token_cipher: str = "AES-128"
+    #: Freshness window for deposits and RC auth.
+    max_skew_us: int = 300 * 1_000_000
+    #: Ticket lifetime handed to the token generator.
+    ticket_lifetime_us: int = 3600 * 1_000_000
+    #: Optional stores; None means in-memory.
+    message_store: RecordStore | None = None
+    policy_store: RecordStore | None = None
+    user_store: RecordStore | None = None
+    keystore_store: RecordStore | None = None
+    alerts: list = field(default_factory=list)
+    #: Optional IbeVerifier: deposits may carry identity-based signatures
+    #: (§VIII future work); with ``require_device_signature`` they must.
+    device_signature_verifier: object | None = None
+    require_device_signature: bool = False
+    #: Optional AssertionValidator: the gatekeeper additionally accepts
+    #: IdP-signed assertions as RC credentials (§VIII "SAML").
+    assertion_validator: object | None = None
+
+
+class MessageWarehousingService:
+    """The complete MWS with admin, deposit and retrieve surfaces."""
+
+    def __init__(
+        self,
+        mws_pkg_key: bytes,
+        clock: Clock | None = None,
+        rng: RandomSource | None = None,
+        config: MwsConfig | None = None,
+        policy_engine=None,
+    ) -> None:
+        self._clock = clock if clock is not None else SimClock()
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._config = config if config is not None else MwsConfig()
+        self.message_db = MessageDatabase(self._config.message_store)
+        self.policy_db = PolicyDatabase(self._config.policy_store)
+        self.user_db = UserDatabase(self._config.user_store)
+        self.device_keys = DeviceKeyStore(self._config.keystore_store, rng=self._rng)
+        self.alerts: list[tuple[str, str]] = self._config.alerts
+        self.sda = SmartDeviceAuthenticator(
+            self.device_keys,
+            self._clock,
+            max_skew_us=self._config.max_skew_us,
+            alert_sink=lambda device, reason: self.alerts.append((device, reason)),
+            signature_verifier=self._config.device_signature_verifier,
+            require_signature=self._config.require_device_signature,
+        )
+        self.mms = MessageManagementSystem(
+            self.message_db, self.policy_db, policy_engine=policy_engine
+        )
+        self.token_generator = TokenGenerator(
+            mws_pkg_key,
+            self._clock,
+            self._rng,
+            cipher_name=self._config.token_cipher,
+            ticket_lifetime_us=self._config.ticket_lifetime_us,
+        )
+        self.gatekeeper = Gatekeeper(
+            self.user_db,
+            self._clock,
+            cipher_name=self._config.gatekeeper_cipher,
+            max_skew_us=self._config.max_skew_us,
+            assertion_validator=self._config.assertion_validator,
+        )
+
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    @property
+    def config(self) -> MwsConfig:
+        return self._config
+
+    # -- administrative API (the paper's "administrative operations") -----
+
+    def register_device(self, device_id: str) -> bytes:
+        """Register an SD; returns the shared MAC key for provisioning."""
+        return self.device_keys.register(device_id)
+
+    def revoke_device(self, device_id: str) -> None:
+        self.device_keys.revoke(device_id)
+
+    def register_rc(self, rc_id: str, password: str, display_name: str = "") -> None:
+        self.user_db.register(rc_id, password, display_name)
+
+    def grant(self, rc_id: str, attribute: str) -> int:
+        """Authorize an RC for an attribute; returns the opaque AID."""
+        return self.policy_db.grant(rc_id, attribute)
+
+    def revoke(self, rc_id: str, attribute: str) -> None:
+        self.policy_db.revoke(rc_id, attribute)
+
+    # -- deposit path (MWS-SD server) --------------------------------------
+
+    def handle_deposit(self, request: DepositRequest) -> DepositResponse:
+        """SDA-check then store; mirrors the paper's accept/discard flow."""
+        try:
+            self.sda.authenticate(request)
+        except ProtocolError as exc:
+            return DepositResponse(accepted=False, error=str(exc))
+        record = self.message_db.store(
+            device_id=request.device_id,
+            attribute=request.attribute,
+            nonce=request.nonce,
+            ciphertext=request.ciphertext,
+            deposited_at_us=self._clock.now_us(),
+        )
+        return DepositResponse(accepted=True, message_id=record.message_id)
+
+    def handle_batch_deposit(self, request: BatchDepositRequest) -> BatchDepositResponse:
+        """All-or-nothing batch ingest under a single MAC."""
+        try:
+            self.sda.authenticate_batch(request)
+        except ProtocolError as exc:
+            return BatchDepositResponse(accepted=False, error=str(exc))
+        message_ids = []
+        now_us = self._clock.now_us()
+        for entry in request.entries:
+            record = self.message_db.store(
+                device_id=request.device_id,
+                attribute=entry.attribute,
+                nonce=entry.nonce,
+                ciphertext=entry.ciphertext,
+                deposited_at_us=now_us,
+            )
+            message_ids.append(record.message_id)
+        return BatchDepositResponse(accepted=True, message_ids=message_ids)
+
+    # -- retrieve path (MWS-Client server) -----------------------------------
+
+    def handle_retrieve(self, request: RetrieveRequest) -> RetrieveResponse:
+        """Gatekeeper-auth, MMS-fetch, TG-issue — the full §V.D MWS-RC phase.
+
+        Raises the specific protocol error on failure (the transport
+        layer maps it to an error response).
+        """
+        rc_nonce = self.gatekeeper.authenticate(request)
+        attribute_map, messages = self.mms.retrieve_for(
+            request.rc_id, self._clock.now_us(), since_us=request.since_us
+        )
+        rc_public_key = RsaPublicKey.from_bytes(request.rc_public_key)
+        token = self.token_generator.issue(request.rc_id, rc_public_key, attribute_map)
+        return RetrieveResponse(token=token, rc_nonce=rc_nonce, messages=messages)
+
+    # -- byte-level network handlers ------------------------------------------
+
+    def deposit_handler(self, payload: bytes) -> bytes:
+        """Network endpoint: bytes in, bytes out (MWS-SD server)."""
+        try:
+            request = DepositRequest.from_bytes(payload)
+        except ReproError as exc:
+            return DepositResponse(accepted=False, error=f"malformed: {exc}").to_bytes()
+        return self.handle_deposit(request).to_bytes()
+
+    def batch_deposit_handler(self, payload: bytes) -> bytes:
+        """Network endpoint for batched deposits."""
+        try:
+            request = BatchDepositRequest.from_bytes(payload)
+        except ReproError as exc:
+            return BatchDepositResponse(
+                accepted=False, error=f"malformed: {exc}"
+            ).to_bytes()
+        return self.handle_batch_deposit(request).to_bytes()
+
+    def retrieve_handler(self, payload: bytes) -> bytes:
+        """Network endpoint: bytes in, bytes out (MWS-Client server).
+
+        Errors are returned as an empty response with the token field
+        carrying a tagged error string — the RC client surfaces them as
+        exceptions.
+        """
+        try:
+            request = RetrieveRequest.from_bytes(payload)
+            response = self.handle_retrieve(request)
+        except ReproError as exc:
+            return b"ERR:" + type(exc).__name__.encode() + b":" + str(exc).encode()
+        return b"OK:" + response.to_bytes()
+
+    def close(self) -> None:
+        """Release underlying resources."""
+        self.message_db.close()
+        self.policy_db.close()
+        self.user_db.close()
+        self.device_keys.close()

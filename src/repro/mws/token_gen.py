@@ -1,0 +1,84 @@
+"""The Token Generator (TG) of Fig. 3.
+
+"This component generates a ticket, which a RC uses to authenticate
+with PKG. ... The Token Generator component of MWS generates a token
+which is a cipher text of a ticket and a session key SecK_RC-PKG ...
+encrypted with the public key PubK_RC of RC."
+
+The ticket is sealed under the MWS–PKG shared secret; the RC can carry
+it but not open it, which is how attribute strings stay hidden from RCs
+(only AIDs travel in the clear).  The token wraps the session key and
+the sealed ticket under the RC's public key via RSA hybrid sealing.
+"""
+
+from __future__ import annotations
+
+from repro.core.conventions import SESSION_KEY_LENGTH
+from repro.mathlib.rand import RandomSource
+from repro.pki.rsa import RsaPublicKey, hybrid_seal
+from repro.sim.clock import Clock
+from repro.symciph.cipher import SymmetricScheme
+from repro.wire.messages import Ticket, Token
+
+__all__ = ["TokenGenerator"]
+
+
+class TokenGenerator:
+    """Issues (sealed token, session key) pairs for authenticated RCs."""
+
+    DEFAULT_TICKET_LIFETIME_US = 3600 * 1_000_000  # 1 hour
+
+    def __init__(
+        self,
+        mws_pkg_key: bytes,
+        clock: Clock,
+        rng: RandomSource,
+        cipher_name: str = "AES-128",
+        ticket_lifetime_us: int | None = None,
+    ) -> None:
+        self._mws_pkg_key = mws_pkg_key
+        self._clock = clock
+        self._rng = rng
+        self._cipher_name = cipher_name
+        self._ticket_lifetime_us = (
+            ticket_lifetime_us
+            if ticket_lifetime_us is not None
+            else self.DEFAULT_TICKET_LIFETIME_US
+        )
+        self.stats = {"tokens_issued": 0}
+
+    def issue(
+        self,
+        rc_id: str,
+        rc_public_key: RsaPublicKey,
+        attribute_map: dict[int, str],
+    ) -> bytes:
+        """Build the sealed token for ``rc_id``.
+
+        Generates a fresh RC–PKG session key, embeds it (with the AID ->
+        attribute mapping) in a ticket sealed under the MWS–PKG secret,
+        then seals ``session_key || ticket`` under the RC's public key.
+        Returns the sealed token bytes ready for transmission.
+        """
+        session_key = self._rng.randbytes(SESSION_KEY_LENGTH)
+        ticket = Ticket(
+            rc_id=rc_id,
+            session_key=session_key,
+            attribute_map=dict(attribute_map),
+            issued_at_us=self._clock.now_us(),
+            lifetime_us=self._ticket_lifetime_us,
+        )
+        ticket_scheme = SymmetricScheme(
+            "AES-256", self._ticket_key(), mac=True, rng=self._rng
+        )
+        sealed_ticket = ticket_scheme.seal(ticket.to_bytes())
+        token = Token(session_key=session_key, sealed_ticket=sealed_ticket)
+        sealed_token = hybrid_seal(
+            rc_public_key, token.to_bytes(), self._cipher_name, self._rng
+        )
+        self.stats["tokens_issued"] += 1
+        return sealed_token
+
+    def _ticket_key(self) -> bytes:
+        """The MWS-PKG shared key, sized for AES-256 by construction."""
+        return self._mws_pkg_key

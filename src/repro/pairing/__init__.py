@@ -1,0 +1,47 @@
+"""Pairing-based cryptography substrate.
+
+Implements what the paper obtained from Ben Lynn's PBC library: the
+supersingular curve ``y^2 = x^3 + 1`` over F_p with ``p % 12 == 11``,
+the quadratic extension F_p^2 = F_p[i], Miller's algorithm, the reduced
+Tate pairing (default) and the Weil pairing (the paper's §IV discusses
+both), the distortion-map "modified" pairing that makes e(P, P)
+non-degenerate, and the Boneh–Franklin MapToPoint hash.
+"""
+
+from repro.pairing.curve import Curve, Point
+from repro.pairing.fields import Fp, Fp2, FpElement, Fp2Element
+from repro.pairing.hashing import (
+    gt_to_bytes,
+    hash_to_point,
+    hash_to_scalar,
+    mask_bytes,
+)
+from repro.pairing.precompute import FixedBaseGt, FixedBasePoint
+from repro.pairing.params import (
+    PRESETS,
+    BFParams,
+    generate_params,
+    get_preset,
+)
+from repro.pairing.tate import tate_pairing, weil_pairing
+
+__all__ = [
+    "Fp",
+    "Fp2",
+    "FpElement",
+    "Fp2Element",
+    "Curve",
+    "Point",
+    "tate_pairing",
+    "FixedBasePoint",
+    "FixedBaseGt",
+    "weil_pairing",
+    "BFParams",
+    "generate_params",
+    "get_preset",
+    "PRESETS",
+    "hash_to_point",
+    "hash_to_scalar",
+    "gt_to_bytes",
+    "mask_bytes",
+]

@@ -1,0 +1,220 @@
+"""The supersingular curve E: y^2 = x^3 + 1 and its point group.
+
+Over F_p with ``p % 3 == 2`` this curve is supersingular with
+``#E(F_p) = p + 1``; Boneh–Franklin's concrete IBE instantiates on
+exactly this family.  Points carry coordinates in either F_p or F_p^2
+(the same :class:`Curve` object works over both via the ``field``
+argument), and the distortion map ``phi(x, y) = (zeta * x, y)`` carries
+F_p points to linearly independent F_p^2 points so the modified pairing
+``e(P, phi(Q))`` is non-degenerate on the base-field subgroup.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CurveError, PointNotOnCurveError
+from repro.mathlib.modular import cube_root_mod_p
+from repro.mathlib.rand import RandomSource
+from repro.pairing.fields import Fp, Fp2, Fp2Element, FpElement
+
+__all__ = ["Curve", "Point"]
+
+
+class Point:
+    """A point on ``y^2 = x^3 + 1``, affine or the point at infinity.
+
+    Immutable; supports ``P + Q``, ``-P``, ``P - Q``, ``k * P`` and
+    equality.  Scalar multiplication is double-and-add (left-to-right).
+    """
+
+    __slots__ = ("curve", "x", "y", "infinity")
+
+    def __init__(self, curve: "Curve", x=None, y=None, infinity: bool = False) -> None:
+        self.curve = curve
+        self.infinity = infinity
+        if infinity:
+            self.x = None
+            self.y = None
+        else:
+            if x is None or y is None:
+                raise CurveError("affine point requires both coordinates")
+            self.x = x
+            self.y = y
+
+    # -- predicates -----------------------------------------------------
+
+    def is_infinity(self) -> bool:
+        return self.infinity
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        if self.infinity or other.infinity:
+            return self.infinity and other.infinity
+        return self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        if self.infinity:
+            return hash(("point-inf", self.curve.field))
+        return hash(("point", self.x, self.y))
+
+    def __repr__(self) -> str:
+        if self.infinity:
+            return "Point(infinity)"
+        return f"Point(x={self.x!r}, y={self.y!r})"
+
+    # -- group law ------------------------------------------------------
+
+    def __neg__(self) -> "Point":
+        if self.infinity:
+            return self
+        return Point(self.curve, self.x, -self.y)
+
+    def __add__(self, other: "Point") -> "Point":
+        if not isinstance(other, Point):
+            return NotImplemented
+        if self.curve is not other.curve and self.curve != other.curve:
+            raise CurveError("cannot add points on different curves/fields")
+        if self.infinity:
+            return other
+        if other.infinity:
+            return self
+        if self.x == other.x:
+            if self.y == -other.y:
+                return self.curve.infinity()
+            # Doubling (y != 0 guaranteed here because y == -y would have
+            # matched the branch above for odd fields).
+            slope = (3 * self.x * self.x) / (2 * self.y)
+        else:
+            slope = (other.y - self.y) / (other.x - self.x)
+        x3 = slope * slope - self.x - other.x
+        y3 = slope * (self.x - x3) - self.y
+        return Point(self.curve, x3, y3)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return self + (-other)
+
+    def double(self) -> "Point":
+        return self + self
+
+    def __rmul__(self, scalar: int) -> "Point":
+        return self.__mul__(scalar)
+
+    def __mul__(self, scalar: int) -> "Point":
+        if not isinstance(scalar, int):
+            return NotImplemented
+        if scalar < 0:
+            return (-self) * (-scalar)
+        result = self.curve.infinity()
+        addend = self
+        while scalar:
+            if scalar & 1:
+                result = result + addend
+            addend = addend.double()
+            scalar >>= 1
+        return result
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Uncompressed encoding: tag byte then fixed-width coordinates."""
+        if self.infinity:
+            return b"\x00"
+        return b"\x04" + self.x.to_bytes() + self.y.to_bytes()
+
+
+class Curve:
+    """``y^2 = x^3 + 1`` over ``field`` (an :class:`Fp` or :class:`Fp2`)."""
+
+    def __init__(self, field) -> None:
+        self.field = field
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Curve) and other.field == self.field
+
+    def __hash__(self) -> int:
+        return hash(("curve", self.field))
+
+    def __repr__(self) -> str:
+        return f"Curve(y^2=x^3+1 over {self.field!r})"
+
+    def infinity(self) -> Point:
+        return Point(self, infinity=True)
+
+    def contains(self, x, y) -> bool:
+        """True when (x, y) satisfies y^2 = x^3 + 1."""
+        return y * y == x * x * x + 1
+
+    def point(self, x, y) -> Point:
+        """Construct a validated affine point.
+
+        Integer coordinates are promoted into the curve's field; raises
+        :class:`PointNotOnCurveError` when the equation fails.
+        """
+        if isinstance(x, int):
+            x = self.field(x)
+        if isinstance(y, int):
+            y = self.field(y)
+        if not self.contains(x, y):
+            raise PointNotOnCurveError(f"({x!r}, {y!r}) is not on y^2 = x^3 + 1")
+        return Point(self, x, y)
+
+    def from_bytes(self, data: bytes) -> Point:
+        """Inverse of :meth:`Point.to_bytes`."""
+        if data == b"\x00":
+            return self.infinity()
+        if not data or data[0] != 0x04:
+            raise CurveError(f"unknown point encoding tag {data[:1]!r}")
+        body = data[1:]
+        if isinstance(self.field, Fp):
+            width = self.field.byte_length
+            if len(body) != 2 * width:
+                raise CurveError(f"bad point encoding length {len(data)}")
+            x = self.field.from_bytes(body[:width])
+            y = self.field.from_bytes(body[width:])
+        else:
+            width = 2 * self.field.byte_length
+            if len(body) != 2 * width:
+                raise CurveError(f"bad point encoding length {len(data)}")
+            x = self.field.from_bytes(body[:width])
+            y = self.field.from_bytes(body[width:])
+        return self.point(x, y)
+
+    def lift_x(self, y_value: int) -> Point:
+        """Find the unique point with the given y (base field only).
+
+        With ``p % 3 == 2`` the map ``x -> x^3`` is a bijection on F_p,
+        so every y lifts to exactly one x with ``x^3 = y^2 - 1``; this is
+        the core of Boneh–Franklin's MapToPoint.
+        """
+        if not isinstance(self.field, Fp):
+            raise CurveError("lift_x is defined over the base field only")
+        p = self.field.p
+        x = cube_root_mod_p((y_value * y_value - 1) % p, p)
+        return self.point(x, y_value)
+
+    def random_point(self, rng: RandomSource) -> Point:
+        """Uniform random affine point over the base field."""
+        if not isinstance(self.field, Fp):
+            raise CurveError("random_point is defined over the base field only")
+        while True:
+            y = rng.randbelow(self.field.p)
+            point = self.lift_x(y)
+            if not point.is_infinity():
+                return point
+
+    def distort(self, point: Point, zeta: Fp2Element, ext_curve: "Curve") -> Point:
+        """Apply the distortion map phi(x, y) = (zeta * x, y).
+
+        Maps an F_p point onto ``ext_curve`` (the same equation over
+        F_p^2).  ``zeta`` must be a primitive cube root of unity in
+        F_p^2; then phi(P) is linearly independent from P, which makes
+        ``e(P, phi(P)) != 1``.
+        """
+        if point.is_infinity():
+            return ext_curve.infinity()
+        if not isinstance(ext_curve.field, Fp2):
+            raise CurveError("distortion target must be the extension curve")
+        ext_field: Fp2 = ext_curve.field
+        x = zeta * ext_field.lift(point.x)
+        y = ext_field.lift(point.y)
+        return ext_curve.point(x, y)

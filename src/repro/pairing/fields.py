@@ -1,0 +1,388 @@
+"""Finite fields F_p and F_p^2 = F_p[i] (i^2 = -1, requires p % 4 == 3).
+
+Elements are small immutable objects with operator overloading; the
+underlying arithmetic is plain Python big-integer math.  The quadratic
+extension is exactly what the embedding-degree-2 supersingular curve
+needs: pairing values and distortion-mapped point coordinates live in
+F_p^2.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MathError, NoSquareRootError, NotInvertibleError, ParameterError
+from repro.mathlib.modular import inverse_mod, sqrt_mod_p
+from repro.mathlib.rand import RandomSource
+
+__all__ = ["Fp", "FpElement", "Fp2", "Fp2Element"]
+
+
+class FpElement:
+    """An element of the prime field F_p."""
+
+    __slots__ = ("value", "field")
+
+    def __init__(self, field: "Fp", value: int) -> None:
+        self.field = field
+        self.value = value % field.p
+
+    # -- arithmetic ---------------------------------------------------
+
+    def _coerce(self, other) -> "FpElement":
+        if isinstance(other, FpElement):
+            if other.field.p != self.field.p:
+                raise MathError("mixed-field arithmetic between different primes")
+            return other
+        if isinstance(other, int):
+            return FpElement(self.field, other)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return FpElement(self.field, self.value + other.value)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return FpElement(self.field, self.value - other.value)
+
+    def __rsub__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return FpElement(self.field, other.value - self.value)
+
+    def __mul__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return FpElement(self.field, self.value * other.value)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self * other.inverse()
+
+    def __rtruediv__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return other * self.inverse()
+
+    def __neg__(self):
+        return FpElement(self.field, -self.value)
+
+    def __pow__(self, exponent: int):
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        return FpElement(self.field, pow(self.value, exponent, self.field.p))
+
+    def inverse(self) -> "FpElement":
+        if self.value == 0:
+            raise NotInvertibleError("zero has no inverse in F_p")
+        return FpElement(self.field, inverse_mod(self.value, self.field.p))
+
+    def sqrt(self) -> "FpElement":
+        """A square root, raising :class:`NoSquareRootError` for non-residues."""
+        return FpElement(self.field, sqrt_mod_p(self.value, self.field.p))
+
+    # -- predicates / conversions --------------------------------------
+
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, int):
+            return self.value == other % self.field.p
+        return (
+            isinstance(other, FpElement)
+            and other.field.p == self.field.p
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field.p, self.value))
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"FpElement({self.value} mod {self.field.p})"
+
+    def to_bytes(self) -> bytes:
+        """Fixed-width big-endian encoding (width = field byte length)."""
+        return self.value.to_bytes(self.field.byte_length, "big")
+
+
+class Fp:
+    """The prime field F_p; acts as a factory for :class:`FpElement`."""
+
+    def __init__(self, p: int) -> None:
+        if p < 3:
+            raise ParameterError(f"field prime must be >= 3, got {p}")
+        self.p = p
+        self.byte_length = (p.bit_length() + 7) // 8
+
+    def __call__(self, value: int) -> FpElement:
+        return FpElement(self, value)
+
+    def zero(self) -> FpElement:
+        return FpElement(self, 0)
+
+    def one(self) -> FpElement:
+        return FpElement(self, 1)
+
+    def random(self, rng: RandomSource) -> FpElement:
+        return FpElement(self, rng.randbelow(self.p))
+
+    def from_bytes(self, data: bytes) -> FpElement:
+        """Parse an instance from its canonical byte encoding."""
+        return FpElement(self, int.from_bytes(data, "big"))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Fp) and other.p == self.p
+
+    def __hash__(self) -> int:
+        return hash(("Fp", self.p))
+
+    def __repr__(self) -> str:
+        return f"Fp(p~2^{self.p.bit_length()})"
+
+
+class Fp2Element:
+    """An element ``a + b*i`` of F_p^2 with ``i^2 = -1``."""
+
+    __slots__ = ("a", "b", "field")
+
+    def __init__(self, field: "Fp2", a: int, b: int) -> None:
+        self.field = field
+        self.a = a % field.p
+        self.b = b % field.p
+
+    def _coerce(self, other) -> "Fp2Element":
+        if isinstance(other, Fp2Element):
+            if other.field.p != self.field.p:
+                raise MathError("mixed-field arithmetic between different primes")
+            return other
+        if isinstance(other, int):
+            return Fp2Element(self.field, other, 0)
+        if isinstance(other, FpElement):
+            if other.field.p != self.field.p:
+                raise MathError("mixed-field arithmetic between different primes")
+            return Fp2Element(self.field, other.value, 0)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return Fp2Element(self.field, self.a + other.a, self.b + other.b)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return Fp2Element(self.field, self.a - other.a, self.b - other.b)
+
+    def __rsub__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return other - self
+
+    def __mul__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        p = self.field.p
+        # (a + bi)(c + di) = (ac - bd) + (ad + bc) i
+        ac = self.a * other.a
+        bd = self.b * other.b
+        # Karatsuba-style: ad + bc = (a + b)(c + d) - ac - bd
+        cross = (self.a + self.b) * (other.a + other.b) - ac - bd
+        return Fp2Element(self.field, (ac - bd) % p, cross % p)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self * other.inverse()
+
+    def __rtruediv__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return other * self.inverse()
+
+    def __neg__(self):
+        return Fp2Element(self.field, -self.a, -self.b)
+
+    def square(self) -> "Fp2Element":
+        p = self.field.p
+        # (a + bi)^2 = (a - b)(a + b) + 2ab i
+        return Fp2Element(
+            self.field,
+            (self.a - self.b) * (self.a + self.b) % p,
+            2 * self.a * self.b % p,
+        )
+
+    def __pow__(self, exponent: int) -> "Fp2Element":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result = self.field.one()
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base.square()
+            exponent >>= 1
+        return result
+
+    def inverse(self) -> "Fp2Element":
+        p = self.field.p
+        norm = (self.a * self.a + self.b * self.b) % p
+        if norm == 0:
+            raise NotInvertibleError("zero has no inverse in F_p^2")
+        inv_norm = inverse_mod(norm, p)
+        return Fp2Element(self.field, self.a * inv_norm % p, -self.b * inv_norm % p)
+
+    def conjugate(self) -> "Fp2Element":
+        """The Frobenius map x -> x^p, which for F_p[i] is conjugation."""
+        return Fp2Element(self.field, self.a, -self.b)
+
+    def norm(self) -> FpElement:
+        """The field norm N(a + bi) = a^2 + b^2 as an F_p element."""
+        return FpElement(self.field.base, self.a * self.a + self.b * self.b)
+
+    def sqrt(self) -> "Fp2Element":
+        """A square root in F_p^2 via the norm trick (p % 4 == 3).
+
+        For z = a + bi, find w with w^2 = z using
+        w = (z + N)^((p+1)/4-ish) style two-case construction; raises
+        :class:`NoSquareRootError` when z is a non-square.
+        """
+        p = self.field.p
+        if self.is_zero():
+            return self.field.zero()
+        if self.b == 0:
+            # Purely real: either sqrt(a) in F_p or sqrt(-a)*i.
+            try:
+                root = sqrt_mod_p(self.a, p)
+                return Fp2Element(self.field, root, 0)
+            except NoSquareRootError:
+                root = sqrt_mod_p(-self.a % p, p)
+                return Fp2Element(self.field, 0, root)
+        # General case: |z| = sqrt(norm) must exist in F_p for z square.
+        try:
+            magnitude = sqrt_mod_p((self.a * self.a + self.b * self.b) % p, p)
+        except NoSquareRootError as exc:
+            raise NoSquareRootError("element is not a square in F_p^2") from exc
+        two_inv = inverse_mod(2, p)
+        for sign in (magnitude, (-magnitude) % p):
+            alpha = (self.a + sign) * two_inv % p
+            try:
+                x = sqrt_mod_p(alpha, p)
+            except NoSquareRootError:
+                continue
+            if x == 0:
+                continue
+            y = self.b * inverse_mod(2 * x % p, p) % p
+            candidate = Fp2Element(self.field, x, y)
+            if candidate.square() == self:
+                return candidate
+        raise NoSquareRootError("element is not a square in F_p^2")
+
+    # -- predicates / conversions --------------------------------------
+
+    def is_zero(self) -> bool:
+        return self.a == 0 and self.b == 0
+
+    def is_one(self) -> bool:
+        return self.a == 1 and self.b == 0
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, int):
+            return self.b == 0 and self.a == other % self.field.p
+        return (
+            isinstance(other, Fp2Element)
+            and other.field.p == self.field.p
+            and other.a == self.a
+            and other.b == self.b
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field.p, self.a, self.b))
+
+    def __repr__(self) -> str:
+        return f"Fp2Element({self.a} + {self.b}*i mod {self.field.p})"
+
+    def to_bytes(self) -> bytes:
+        """Fixed-width encoding: ``a || b`` big-endian."""
+        width = self.field.byte_length
+        return self.a.to_bytes(width, "big") + self.b.to_bytes(width, "big")
+
+
+class Fp2:
+    """The quadratic extension F_p[i] with i^2 = -1 (requires p % 4 == 3)."""
+
+    def __init__(self, p: int) -> None:
+        if p % 4 != 3:
+            raise ParameterError(
+                f"F_p[i] with i^2 = -1 requires p % 4 == 3, got p % 4 == {p % 4}"
+            )
+        self.p = p
+        self.base = Fp(p)
+        self.byte_length = self.base.byte_length
+
+    def __call__(self, a: int, b: int = 0) -> Fp2Element:
+        return Fp2Element(self, a, b)
+
+    def zero(self) -> Fp2Element:
+        return Fp2Element(self, 0, 0)
+
+    def one(self) -> Fp2Element:
+        return Fp2Element(self, 1, 0)
+
+    def i(self) -> Fp2Element:
+        return Fp2Element(self, 0, 1)
+
+    def lift(self, element: FpElement | int) -> Fp2Element:
+        """Embed an F_p element into F_p^2."""
+        value = element.value if isinstance(element, FpElement) else element
+        return Fp2Element(self, value, 0)
+
+    def random(self, rng: RandomSource) -> Fp2Element:
+        return Fp2Element(self, rng.randbelow(self.p), rng.randbelow(self.p))
+
+    def from_bytes(self, data: bytes) -> Fp2Element:
+        """Parse an instance from its canonical byte encoding."""
+        width = self.byte_length
+        if len(data) != 2 * width:
+            raise MathError(
+                f"Fp2 element encoding must be {2 * width} bytes, got {len(data)}"
+            )
+        return Fp2Element(
+            self,
+            int.from_bytes(data[:width], "big"),
+            int.from_bytes(data[width:], "big"),
+        )
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Fp2) and other.p == self.p
+
+    def __hash__(self) -> int:
+        return hash(("Fp2", self.p))
+
+    def __repr__(self) -> str:
+        return f"Fp2(p~2^{self.p.bit_length()})"

@@ -1,0 +1,72 @@
+"""The Boneh–Franklin hash functions H1..H4 and G_T serialisation.
+
+The paper's protocol computes ``I = SHA1(A || Nonce)`` and treats ``I``
+as a curve point; this module implements the full MapToPoint step that
+makes that sound: hash to a y-coordinate, lift to the unique curve point
+with that y (possible because ``x -> x^3`` is a bijection when
+``p % 3 == 2``), then clear the cofactor to land in the order-q
+subgroup.
+
+* ``hash_to_point``  — H1: {0,1}* -> G1*   (identity/attribute hashing)
+* ``hash_to_scalar`` — H3: {0,1}* -> [1, q-1] (FullIdent randomness)
+* ``gt_to_bytes``    — canonical encoding of pairing values
+* ``mask_bytes``     — H2/H4-style XOR masks derived via KDF2
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.hashes.kdf import kdf2
+from repro.hashes.sha1 import sha1
+from repro.pairing.curve import Point
+from repro.pairing.fields import Fp2Element
+from repro.pairing.params import BFParams
+
+__all__ = ["hash_to_point", "hash_to_scalar", "gt_to_bytes", "mask_bytes"]
+
+_H1_DOMAIN = b"repro-bf-h1"
+_H3_DOMAIN = b"repro-bf-h3"
+
+
+def hash_to_point(params: BFParams, identity: bytes) -> Point:
+    """H1: map an identity/attribute string to a point of order q.
+
+    Follows BF MapToPoint: derive ``y`` from the identity hash (retrying
+    with a counter on the negligible chance the cofactor multiple is the
+    identity), lift to the curve, multiply by the cofactor.
+    """
+    if not isinstance(identity, (bytes, bytearray)):
+        raise ParameterError(
+            f"identity must be bytes, got {type(identity).__name__}"
+        )
+    width = params.curve.field.byte_length
+    counter = 0
+    while True:
+        seed = _H1_DOMAIN + counter.to_bytes(4, "big") + sha1(bytes(identity))
+        # Over-sample by 16 bytes so the mod-p bias is negligible.
+        y_value = int.from_bytes(kdf2(seed, width + 16), "big") % params.p
+        point = params.cofactor * params.curve.lift_x(y_value)
+        if not point.is_infinity():
+            return point
+        counter += 1
+
+
+def hash_to_scalar(params: BFParams, data: bytes) -> int:
+    """H3: map bytes to a scalar in [1, q-1] (uniform up to negligible bias)."""
+    width = (params.q.bit_length() + 7) // 8 + 16
+    value = int.from_bytes(kdf2(_H3_DOMAIN + data, width), "big")
+    return value % (params.q - 1) + 1
+
+
+def gt_to_bytes(value: Fp2Element) -> bytes:
+    """Canonical fixed-width encoding of a pairing value (a || b)."""
+    return value.to_bytes()
+
+
+def mask_bytes(seed: bytes, length: int, domain: bytes = b"repro-bf-h2") -> bytes:
+    """H2/H4: derive a ``length``-byte XOR mask from ``seed``.
+
+    Used both to mask messages in BasicIdent/FullIdent and to derive
+    symmetric keys from pairing values in the hybrid KEM.
+    """
+    return kdf2(domain + seed, length)

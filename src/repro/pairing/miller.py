@@ -1,0 +1,96 @@
+"""Miller's algorithm for evaluating f_{n,P} at a point.
+
+This is the inner loop of both the Tate and Weil pairings.  The
+function f_{n,P} has divisor ``n(P) - (nP) - (n-1)(O)``; Miller's
+double-and-add builds it incrementally from chord-and-tangent line
+functions.  We track numerator and denominator separately and perform a
+single field inversion at the end.
+
+Degenerate line evaluations (the evaluation point lying on a chord or a
+vertical) cannot occur for the distortion-mapped arguments the IBE layer
+uses — the x-coordinate of phi(Q) has a non-zero imaginary component
+while all chord coefficients are real — but the code still detects a
+zero and raises :class:`repro.errors.PairingError` so misuse fails loudly
+instead of silently returning a wrong pairing value.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PairingError
+from repro.pairing.curve import Point
+
+__all__ = ["miller_loop"]
+
+
+def _line_value(t_point: Point, p_point: Point, eval_x, eval_y, one):
+    """Evaluate the line through ``t_point`` and ``p_point`` at (eval_x, eval_y),
+    together with the vertical through their sum.
+
+    Returns ``(numerator, denominator, t_plus_p)`` where the Miller update
+    is ``f *= numerator / denominator``.  Handles the tangent case
+    (t == p), the vertical case (t == -p, sum is infinity) and points at
+    infinity.
+    """
+    curve = t_point.curve
+    if t_point.is_infinity() or p_point.is_infinity():
+        # Adding O contributes a trivial line.
+        result = p_point if t_point.is_infinity() else t_point
+        return one, one, result
+    tx, ty = t_point.x, t_point.y
+    px, py = p_point.x, p_point.y
+    if tx == px and ty == -py:
+        # Vertical line through t and -t; the sum is O.
+        return eval_x - tx, one, curve.infinity()
+    if t_point == p_point:
+        denominator = 2 * ty
+        if denominator.is_zero():
+            # Order-2 point: tangent is vertical (cannot happen in an
+            # odd-order subgroup, kept for completeness).
+            return eval_x - tx, one, curve.infinity()
+        slope = (3 * tx * tx) / denominator
+    else:
+        slope = (py - ty) / (px - tx)
+    x3 = slope * slope - tx - px
+    y3 = slope * (tx - x3) - ty
+    total = Point(curve, x3, y3)
+    line_num = (eval_y - ty) - slope * (eval_x - tx)
+    line_den = eval_x - x3
+    return line_num, line_den, total
+
+
+def miller_loop(p_point: Point, q_point: Point, n: int):
+    """Compute f_{n,P}(Q) for points on the same curve/field.
+
+    ``p_point`` is the function's base point, ``q_point`` the evaluation
+    point, ``n`` the (positive) subgroup order.  Returns a field element
+    of ``p_point.curve.field``.
+    """
+    if n <= 0:
+        raise PairingError(f"Miller loop requires n > 0, got {n}")
+    field = p_point.curve.field
+    one = field.one()
+    if p_point.is_infinity() or q_point.is_infinity():
+        return one
+    eval_x, eval_y = q_point.x, q_point.y
+    f_num = one
+    f_den = one
+    t_point = p_point
+    bits = bin(n)[3:]  # skip the leading 1; process remaining MSB->LSB
+    for bit in bits:
+        line_num, line_den, t_point = _line_value(
+            t_point, t_point, eval_x, eval_y, one
+        )
+        f_num = f_num * f_num * line_num
+        f_den = f_den * f_den * line_den
+        if bit == "1":
+            line_num, line_den, t_point = _line_value(
+                t_point, p_point, eval_x, eval_y, one
+            )
+            f_num = f_num * line_num
+            f_den = f_den * line_den
+    if f_den.is_zero() or f_num.is_zero():
+        raise PairingError(
+            "degenerate Miller evaluation (evaluation point lies on a "
+            "chord/vertical of the base point's multiples)"
+        )
+    return f_num / f_den

@@ -1,0 +1,208 @@
+"""Boneh–Franklin system parameters: the group setup behind the PKG.
+
+A parameter set fixes the primes ``p`` (field) and ``q`` (subgroup
+order, ``q | p + 1``), the curve objects over F_p and F_p^2, a generator
+``P`` of the order-q subgroup, and the cube root of unity ``zeta`` used
+by the distortion map.  The PKG's ``setup`` (paper §IV) draws the master
+secret ``s`` and publishes ``(params, sP)``; everything in this module is
+public.
+
+Deterministic presets span toy (fast unit tests) to paper-scale sizes.
+All were produced by :func:`repro.mathlib.generate_bf_prime_pair` from
+fixed seeds; ``validate`` re-checks every stated property so a corrupted
+preset cannot slip through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.mathlib.modular import sqrt_mod_p
+from repro.mathlib.primes import is_probable_prime
+from repro.mathlib.rand import HmacDrbg, RandomSource
+from repro.pairing.curve import Curve, Point
+from repro.pairing.fields import Fp, Fp2, Fp2Element
+from repro.pairing.tate import tate_pairing, weil_pairing
+
+__all__ = ["BFParams", "generate_params", "get_preset", "PRESETS"]
+
+#: Deterministic (p, q) presets, named by the bit length of p.  Approximate
+#: classical security: TOY64/TEST80 none (tests only), SMALL160 toy,
+#: MED256 weak, STD512 comparable to the paper era's 512-bit deployments.
+PRESETS: dict[str, tuple[int, int]] = {
+    "TOY64": (0x81D8DE76572CE693, 0x9864963B),
+    "TEST80": (0xBAC5493FBE4F1EDA8767, 0xD857788E3F),
+    "SMALL160": (0xC219C7B79ED563FD1C6FD7BF29B5BE507486F5CB, 0xCD576E4D532878805ED1),
+    "MED256": (
+        0xC6383AD9CE22018BC4BABCB31ABB2994809223ABF8658951694A1D0646C9F53B,
+        0xCF87894612DE57E6B4A5E1100BD1,
+    ),
+    "STD512": (
+        0xCFF4410FA70D9A5CC9107287362A2901D78B197E7991D33599FCF23C00553022EEEA014E66342B9DD24CB983DCDD4D7E583769CDA192A4BB43C99480F6269737,
+        0xE311DFB8BFD2AB2D20C4605C471709BFAEDCE795,
+    ),
+}
+
+
+@dataclass
+class BFParams:
+    """Public Boneh–Franklin group parameters.
+
+    Attributes
+    ----------
+    p, q:
+        Field prime (``p % 12 == 11``) and subgroup order (``q | p+1``).
+    cofactor:
+        ``(p + 1) // q``; multiplying a random point by it lands in the
+        order-q subgroup.
+    curve, ext_curve:
+        ``y^2 = x^3 + 1`` over F_p and over F_p^2.
+    generator:
+        A fixed point of order q over F_p (the paper's base point ``P``).
+    zeta:
+        Primitive cube root of unity in F_p^2 for the distortion map.
+    pairing_algorithm:
+        ``"tate"`` (default) or ``"weil"`` — DESIGN.md ablation 1.
+    """
+
+    p: int
+    q: int
+    cofactor: int
+    curve: Curve
+    ext_curve: Curve
+    generator: Point
+    zeta: Fp2Element
+    pairing_algorithm: str = "tate"
+    name: str = field(default="custom")
+
+    @classmethod
+    def from_primes(
+        cls,
+        p: int,
+        q: int,
+        generator_seed: bytes = b"repro-bf-generator",
+        pairing_algorithm: str = "tate",
+        name: str = "custom",
+    ) -> "BFParams":
+        """Build the full parameter object from the two primes.
+
+        The generator is derived deterministically from
+        ``generator_seed`` so independently constructed parties agree on
+        it without communication.
+        """
+        if p % 12 != 11:
+            raise ParameterError(f"p % 12 must be 11, got {p % 12}")
+        if (p + 1) % q != 0:
+            raise ParameterError("q must divide p + 1")
+        if pairing_algorithm not in ("tate", "weil"):
+            raise ParameterError(
+                f"pairing_algorithm must be 'tate' or 'weil', got {pairing_algorithm!r}"
+            )
+        cofactor = (p + 1) // q
+        base_field = Fp(p)
+        ext_field = Fp2(p)
+        curve = Curve(base_field)
+        ext_curve = Curve(ext_field)
+        # zeta = (-1 + sqrt(3) * i) / 2: a primitive cube root of unity.
+        # (p % 12 == 11 makes 3 a quadratic residue and i^2 = -1 valid.)
+        s = sqrt_mod_p(3, p)
+        inv2 = pow(2, p - 2, p)
+        zeta = ext_field((p - 1) * inv2 % p, s * inv2 % p)
+        generator = cls._derive_generator(curve, cofactor, q, generator_seed)
+        return cls(
+            p=p,
+            q=q,
+            cofactor=cofactor,
+            curve=curve,
+            ext_curve=ext_curve,
+            generator=generator,
+            zeta=zeta,
+            pairing_algorithm=pairing_algorithm,
+            name=name,
+        )
+
+    @staticmethod
+    def _derive_generator(curve: Curve, cofactor: int, q: int, seed: bytes) -> Point:
+        rng = HmacDrbg(seed)
+        while True:
+            candidate = cofactor * curve.random_point(rng)
+            if not candidate.is_infinity():
+                return candidate
+
+    # -- pairing helpers -------------------------------------------------
+
+    def distort(self, point: Point) -> Point:
+        """phi(x, y) = (zeta * x, y): F_p point -> independent F_p^2 point."""
+        return self.curve.distort(point, self.zeta, self.ext_curve)
+
+    def pair(self, p_point: Point, q_point: Point) -> Fp2Element:
+        """The modified (symmetric) pairing e(P, phi(Q)) on base-field points."""
+        distorted = self.distort(q_point)
+        if self.pairing_algorithm == "weil":
+            return weil_pairing(p_point, distorted, self.q, self.ext_curve)
+        return tate_pairing(p_point, distorted, self.q, self.ext_curve)
+
+    def random_scalar(self, rng: RandomSource) -> int:
+        """Uniform scalar in [1, q-1] (exponents of the pairing groups)."""
+        return rng.randint(1, self.q - 1)
+
+    def validate(self) -> None:
+        """Re-verify every stated property; raises ParameterError on failure.
+
+        Checks: primality of p and q, the congruence and divisibility
+        conditions, that the generator has exact order q, that zeta is a
+        primitive cube root of unity, and that the pairing of the
+        generator with itself is non-degenerate with order q.
+        """
+        if not is_probable_prime(self.p):
+            raise ParameterError("p is not prime")
+        if not is_probable_prime(self.q):
+            raise ParameterError("q is not prime")
+        if self.p % 12 != 11:
+            raise ParameterError("p % 12 != 11")
+        if (self.p + 1) % self.q != 0 or self.cofactor != (self.p + 1) // self.q:
+            raise ParameterError("cofactor inconsistent with q | p + 1")
+        if self.generator.is_infinity():
+            raise ParameterError("generator is the point at infinity")
+        if not (self.q * self.generator).is_infinity():
+            raise ParameterError("generator order does not divide q")
+        one = self.ext_curve.field.one()
+        if self.zeta == one or self.zeta ** 3 != one:
+            raise ParameterError("zeta is not a primitive cube root of unity")
+        g = self.pair(self.generator, self.generator)
+        if g == one:
+            raise ParameterError("pairing of generator with itself is degenerate")
+        if g ** self.q != one:
+            raise ParameterError("pairing value does not lie in the order-q subgroup")
+
+    def __repr__(self) -> str:
+        return (
+            f"BFParams(name={self.name!r}, p~2^{self.p.bit_length()}, "
+            f"q~2^{self.q.bit_length()}, pairing={self.pairing_algorithm})"
+        )
+
+
+def get_preset(name: str = "TEST80", pairing_algorithm: str = "tate") -> BFParams:
+    """Load a named deterministic parameter preset (see :data:`PRESETS`)."""
+    if name not in PRESETS:
+        raise ParameterError(f"unknown preset {name!r}; known: {sorted(PRESETS)}")
+    p, q = PRESETS[name]
+    return BFParams.from_primes(
+        p, q, pairing_algorithm=pairing_algorithm, name=name
+    )
+
+
+def generate_params(
+    q_bits: int = 160,
+    p_bits: int = 512,
+    rng: RandomSource | None = None,
+    pairing_algorithm: str = "tate",
+) -> BFParams:
+    """Generate fresh parameters (the PKG's one-time group setup)."""
+    from repro.mathlib.primes import generate_bf_prime_pair
+
+    p, q, _l = generate_bf_prime_pair(q_bits, p_bits, rng=rng)
+    return BFParams.from_primes(
+        p, q, pairing_algorithm=pairing_algorithm, name=f"gen-{p_bits}/{q_bits}"
+    )

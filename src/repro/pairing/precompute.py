@@ -1,0 +1,116 @@
+"""Fixed-base scalar-multiplication precomputation.
+
+Protocol hot paths multiply the *same* bases over and over: every
+deposit computes ``r·P`` (the generator) and every KEM computes a power
+of ``e(Q_ID, P_pub)`` for a cached pairing value.  A windowed
+fixed-base table trades one-time setup (and memory) for ~3–4× faster
+per-operation cost — the classic comb/window method:
+
+write the scalar base-``2^w``; precompute ``T[i][d] = d · 2^(w·i) · B``
+for every window position ``i`` and digit ``d``; a multiplication is
+then just ``ceil(bits/w)`` point additions with no doublings.
+
+:class:`FixedBasePoint` wraps a curve point; :class:`FixedBaseGt`
+applies the same idea to G_T exponentiation (field multiplications
+instead of point additions).  Both are drop-in: call them like
+functions.  The EXT-D addendum bench measures the gain.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.pairing.curve import Point
+from repro.pairing.fields import Fp2Element
+
+__all__ = ["FixedBasePoint", "FixedBaseGt"]
+
+
+class FixedBasePoint:
+    """Windowed fixed-base table for a curve point.
+
+    >>> from repro.pairing import get_preset
+    >>> params = get_preset("TOY64")
+    >>> fast = FixedBasePoint(params.generator, params.q)
+    >>> fast(12345) == 12345 * params.generator
+    True
+    """
+
+    def __init__(self, base: Point, order: int, window_bits: int = 4) -> None:
+        if not 1 <= window_bits <= 8:
+            raise ParameterError(f"window_bits must be in [1, 8], got {window_bits}")
+        self.base = base
+        self._order = order
+        self._window_bits = window_bits
+        digits = 1 << window_bits
+        windows = (order.bit_length() + window_bits - 1) // window_bits
+        self._table: list[list[Point]] = []
+        infinity = base.curve.infinity()
+        row_base = base
+        for _ in range(windows):
+            row = [infinity]
+            for _d in range(1, digits):
+                row.append(row[-1] + row_base)
+            self._table.append(row)
+            # Advance the row base by 2^window_bits doublings.
+            for _ in range(window_bits):
+                row_base = row_base.double()
+
+    @property
+    def table_points(self) -> int:
+        """Number of precomputed points (memory footprint indicator)."""
+        return sum(len(row) for row in self._table)
+
+    def __call__(self, scalar: int) -> Point:
+        """``scalar * base`` via table lookups + additions only."""
+        scalar %= self._order
+        mask = (1 << self._window_bits) - 1
+        result = self.base.curve.infinity()
+        window = 0
+        while scalar:
+            digit = scalar & mask
+            if digit:
+                result = result + self._table[window][digit]
+            scalar >>= self._window_bits
+            window += 1
+        return result
+
+
+class FixedBaseGt:
+    """Windowed fixed-base table for G_T exponentiation.
+
+    Used for the encryptor-side KEM: ``g = e(Q_ID, P_pub)`` is fixed per
+    (attribute, key) pair, and per-message work reduces to ``g^r`` —
+    with this table, additions-only in the multiplicative group.
+    """
+
+    def __init__(self, base: Fp2Element, order: int, window_bits: int = 4) -> None:
+        if not 1 <= window_bits <= 8:
+            raise ParameterError(f"window_bits must be in [1, 8], got {window_bits}")
+        self.base = base
+        self._order = order
+        self._window_bits = window_bits
+        digits = 1 << window_bits
+        windows = (order.bit_length() + window_bits - 1) // window_bits
+        one = base.field.one()
+        self._table: list[list[Fp2Element]] = []
+        row_base = base
+        for _ in range(windows):
+            row = [one]
+            for _d in range(1, digits):
+                row.append(row[-1] * row_base)
+            self._table.append(row)
+            for _ in range(window_bits):
+                row_base = row_base.square()
+
+    def __call__(self, exponent: int) -> Fp2Element:
+        exponent %= self._order
+        mask = (1 << self._window_bits) - 1
+        result = self.base.field.one()
+        window = 0
+        while exponent:
+            digit = exponent & mask
+            if digit:
+                result = result * self._table[window][digit]
+            exponent >>= self._window_bits
+            window += 1
+        return result

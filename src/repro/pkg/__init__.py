@@ -1,0 +1,5 @@
+"""The Private Key Generator service (the paper's trusted party)."""
+
+from repro.pkg.service import PkgConfig, PrivateKeyGenerator
+
+__all__ = ["PrivateKeyGenerator", "PkgConfig"]

@@ -1,0 +1,152 @@
+"""Threshold (distributed) PKG — paper §VIII future work.
+
+"A form of threshold cryptography may also be considered, to create a
+distributed PKG, instead of a key escrow."
+
+The master secret ``s`` is Shamir-shared across ``n`` share servers so
+that any ``t`` of them jointly extract a private key while ``t - 1``
+colluding servers learn nothing about ``s``.  Extraction is
+non-interactive on the client side:
+
+* share server ``i`` returns the partial key ``s_i * Q_ID``;
+* the combiner multiplies each partial by the Lagrange coefficient
+  ``L_i = Δ_{i,S}(0)`` and sums:
+  ``Σ L_i * (s_i * Q_ID) = (Σ L_i s_i) * Q_ID = s * Q_ID``.
+
+Partials are verifiable against the public commitments ``s_i * P``
+(a pairing check per partial), so a malicious share server cannot
+corrupt the combined key undetected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.abe.access_tree import lagrange_coefficient
+from repro.errors import AuthenticationError, ParameterError
+from repro.ibe.keys import MasterKeyPair, PublicParams
+from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.pairing.curve import Point
+from repro.pairing.hashing import hash_to_point
+
+__all__ = ["PkgShare", "DistributedPkg", "KeyShareCombiner"]
+
+
+@dataclass
+class PkgShare:
+    """One share server: index, secret share and public commitment."""
+
+    index: int  # the Shamir x-coordinate, >= 1
+    secret_share: int
+    commitment: Point  # s_i * P, published at setup
+
+    def extract_partial(self, q_id: Point) -> Point:
+        """Return the partial private key ``s_i * Q_ID``."""
+        return self.secret_share * q_id
+
+
+class DistributedPkg:
+    """Dealer + registry for a t-of-n shared master secret.
+
+    Built from an existing :class:`MasterKeyPair` (the dealer splits
+    ``s``), so a deployment can switch between centralised and
+    distributed extraction with identical public parameters — the
+    ciphertexts and ``P_pub`` do not change.
+    """
+
+    def __init__(
+        self,
+        master: MasterKeyPair,
+        threshold: int,
+        share_count: int,
+        rng: RandomSource | None = None,
+    ) -> None:
+        if not 1 <= threshold <= share_count:
+            raise ParameterError(
+                f"invalid threshold {threshold} of {share_count} shares"
+            )
+        self._public = master.public
+        self.threshold = threshold
+        rng = rng if rng is not None else SystemRandomSource()
+        q = self._public.params.q
+        # Shamir polynomial with constant term s.
+        coefficients = [master.master_secret % q] + [
+            rng.randbelow(q) for _ in range(threshold - 1)
+        ]
+        generator = self._public.params.generator
+        self.shares: list[PkgShare] = []
+        for index in range(1, share_count + 1):
+            value = 0
+            for power, coefficient in enumerate(coefficients):
+                value = (value + coefficient * pow(index, power, q)) % q
+            self.shares.append(
+                PkgShare(
+                    index=index,
+                    secret_share=value,
+                    commitment=value * generator,
+                )
+            )
+
+    @property
+    def public(self) -> PublicParams:
+        return self._public
+
+    def commitments(self) -> dict[int, Point]:
+        """Public verification keys, one per share server."""
+        return {share.index: share.commitment for share in self.shares}
+
+
+class KeyShareCombiner:
+    """Client-side combination and verification of partial keys."""
+
+    def __init__(self, public: PublicParams, commitments: dict[int, Point],
+                 threshold: int) -> None:
+        self._public = public
+        self._commitments = dict(commitments)
+        self._threshold = threshold
+
+    def verify_partial(self, index: int, q_id: Point, partial: Point) -> None:
+        """Check ``e(partial, P) == e(Q_ID, commitment_i)``.
+
+        Raises :class:`AuthenticationError` for a corrupt or misrouted
+        partial — this is what stops one malicious share server from
+        poisoning the combined key.
+        """
+        commitment = self._commitments.get(index)
+        if commitment is None:
+            raise AuthenticationError(f"no commitment for share server {index}")
+        params = self._public.params
+        left = params.pair(partial, params.generator)
+        right = params.pair(q_id, commitment)
+        if left != right:
+            raise AuthenticationError(
+                f"partial key from share server {index} failed verification"
+            )
+
+    def combine(
+        self,
+        identity: bytes,
+        partials: dict[int, Point],
+        verify: bool = True,
+    ) -> Point:
+        """Lagrange-combine ``threshold`` partials into ``s * H1(identity)``.
+
+        ``partials`` maps share index -> ``s_i * Q_ID``.  Extra partials
+        beyond the threshold are ignored deterministically (lowest
+        indices win).
+        """
+        if len(partials) < self._threshold:
+            raise ParameterError(
+                f"need {self._threshold} partials, got {len(partials)}"
+            )
+        params = self._public.params
+        q_id = hash_to_point(params, identity)
+        chosen = sorted(partials)[: self._threshold]
+        if verify:
+            for index in chosen:
+                self.verify_partial(index, q_id, partials[index])
+        combined = params.curve.infinity()
+        for index in chosen:
+            coefficient = lagrange_coefficient(index, chosen, 0, params.q)
+            combined = combined + coefficient * partials[index]
+        return combined

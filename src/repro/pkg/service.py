@@ -1,0 +1,225 @@
+"""The Private Key Generator (PKG): key escrow and extraction service.
+
+Responsibilities per the paper's Fig. 3:
+
+* maintain the master secret ``s`` (created at :func:`repro.ibe.setup`),
+* share a secret key with the Token Generator (``SecK_MWS-PKG``),
+* authenticate RCs via tickets + authenticators (Kerberos-style),
+* resolve the opaque AID the RC presents back to the attribute string
+  (from inside the ticket — the RC never learns it) and extract
+  ``sI = s * H1(A || Nonce)``.
+
+Extensions beyond the prototype: ticket expiry, authenticator replay
+cache, per-attribute deny list (the paper's future-work "certain
+policies may have to be placed at the PKG"), and an extraction audit
+log the EXT benches and tests read.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.conventions import identity_string
+from repro.errors import (
+    AccessDeniedError,
+    DecryptionError,
+    ReplayError,
+    TicketError,
+    UnknownAttributeError,
+)
+from repro.ibe.keys import MasterKeyPair
+from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.pairing.hashing import hash_to_point
+from repro.sim.clock import Clock, SimClock
+from repro.symciph.cipher import SymmetricScheme
+from repro.wire.messages import (
+    Authenticator,
+    KeyRequest,
+    KeyResponse,
+    PkgAuthRequest,
+    PkgAuthResponse,
+    Ticket,
+)
+
+__all__ = ["PkgConfig", "PrivateKeyGenerator"]
+
+
+@dataclass
+class PkgConfig:
+    """PKG deployment knobs."""
+
+    #: Cipher for sealing extracted keys under the session key.
+    session_cipher: str = "AES-256"
+    #: Authenticator freshness window.
+    max_skew_us: int = 300 * 1_000_000
+    #: Attributes the PKG refuses to extract for (PKG-side policy).
+    denied_attributes: set = field(default_factory=set)
+    #: Maximum live sessions before the oldest is evicted.
+    session_cache_size: int = 4096
+
+
+@dataclass
+class _Session:
+    rc_id: str
+    session_key: bytes
+    attribute_map: dict[int, str]
+    expires_at_us: int
+
+
+class PrivateKeyGenerator:
+    """Ticket-authenticated extraction of identity private keys."""
+
+    def __init__(
+        self,
+        master: MasterKeyPair,
+        mws_pkg_key: bytes,
+        clock: Clock | None = None,
+        rng: RandomSource | None = None,
+        config: PkgConfig | None = None,
+    ) -> None:
+        self._master = master
+        self._mws_pkg_key = mws_pkg_key
+        self._clock = clock if clock is not None else SimClock()
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._config = config if config is not None else PkgConfig()
+        self._sessions: OrderedDict[bytes, _Session] = OrderedDict()
+        self._seen_authenticators: OrderedDict[tuple[str, int], None] = OrderedDict()
+        #: (rc_id, attribute, nonce_hex, timestamp) extraction audit trail.
+        self.audit_log: list[tuple[str, str, str, int]] = []
+        self.stats = {
+            "sessions_established": 0,
+            "keys_extracted": 0,
+            "auth_failures": 0,
+            "extract_denials": 0,
+        }
+
+    @property
+    def public_params(self):
+        """The public parameters devices and RCs consume."""
+        return self._master.public
+
+    def deny_attribute(self, attribute: str) -> None:
+        """PKG-side policy: refuse future extractions for ``attribute``."""
+        self._config.denied_attributes.add(attribute)
+
+    # -- phase 3a: authentication ------------------------------------------
+
+    def handle_auth(self, request: PkgAuthRequest) -> PkgAuthResponse:
+        """Open the ticket, verify the authenticator, establish a session."""
+        try:
+            session = self._validate(request)
+        except (TicketError, ReplayError, DecryptionError) as exc:
+            self.stats["auth_failures"] += 1
+            return PkgAuthResponse(ok=False, error=str(exc))
+        session_id = self._rng.randbytes(16)
+        self._sessions[session_id] = session
+        while len(self._sessions) > self._config.session_cache_size:
+            self._sessions.popitem(last=False)
+        self.stats["sessions_established"] += 1
+        return PkgAuthResponse(ok=True, session_id=session_id)
+
+    def _validate(self, request: PkgAuthRequest) -> _Session:
+        ticket_scheme = SymmetricScheme("AES-256", self._mws_pkg_key, mac=True)
+        try:
+            ticket = Ticket.from_bytes(ticket_scheme.open(request.sealed_ticket))
+        except DecryptionError as exc:
+            raise TicketError(f"ticket failed to open: {exc}") from exc
+        now_us = self._clock.now_us()
+        expires_at_us = ticket.issued_at_us + ticket.lifetime_us
+        if now_us > expires_at_us:
+            raise TicketError(
+                f"ticket expired at {expires_at_us} (now {now_us})"
+            )
+        if ticket.rc_id != request.rc_id:
+            raise TicketError(
+                f"ticket issued to {ticket.rc_id!r}, presented by {request.rc_id!r}"
+            )
+        auth_scheme = SymmetricScheme(
+            self._config.session_cipher, ticket.session_key, mac=True
+        )
+        try:
+            authenticator = Authenticator.from_bytes(
+                auth_scheme.open(request.sealed_authenticator)
+            )
+        except DecryptionError as exc:
+            raise TicketError(f"authenticator failed to open: {exc}") from exc
+        if authenticator.rc_id != request.rc_id:
+            raise TicketError("authenticator identity mismatch")
+        if abs(now_us - authenticator.timestamp_us) > self._config.max_skew_us:
+            raise ReplayError("authenticator timestamp outside freshness window")
+        replay_key = (request.rc_id, authenticator.timestamp_us)
+        if replay_key in self._seen_authenticators:
+            raise ReplayError("authenticator replayed")
+        self._seen_authenticators[replay_key] = None
+        while len(self._seen_authenticators) > 65536:
+            self._seen_authenticators.popitem(last=False)
+        return _Session(
+            rc_id=ticket.rc_id,
+            session_key=ticket.session_key,
+            attribute_map=dict(ticket.attribute_map),
+            expires_at_us=expires_at_us,
+        )
+
+    # -- phase 3b: extraction --------------------------------------------------
+
+    def handle_key_request(self, request: KeyRequest) -> KeyResponse:
+        """Resolve AID -> attribute, extract ``sI``, seal it for the RC."""
+        session = self._sessions.get(request.session_id)
+        if session is None:
+            self.stats["extract_denials"] += 1
+            return KeyResponse(ok=False, error="unknown or expired session")
+        now_us = self._clock.now_us()
+        if now_us > session.expires_at_us:
+            self._sessions.pop(request.session_id, None)
+            self.stats["extract_denials"] += 1
+            return KeyResponse(ok=False, error="session ticket expired")
+        attribute = session.attribute_map.get(request.attribute_id)
+        if attribute is None:
+            self.stats["extract_denials"] += 1
+            return KeyResponse(
+                ok=False,
+                error=f"attribute id {request.attribute_id} not in ticket",
+            )
+        if attribute in self._config.denied_attributes:
+            self.stats["extract_denials"] += 1
+            return KeyResponse(
+                ok=False, error="attribute denied by PKG policy"
+            )
+        identity = identity_string(attribute, request.nonce)
+        q_point = hash_to_point(self._master.public.params, identity)
+        private_point = self._master.extract_point(q_point)
+        scheme = SymmetricScheme(
+            self._config.session_cipher, session.session_key, mac=True, rng=self._rng
+        )
+        sealed_key = scheme.seal(private_point.to_bytes())
+        self.audit_log.append(
+            (session.rc_id, attribute, request.nonce.hex(), now_us)
+        )
+        self.stats["keys_extracted"] += 1
+        return KeyResponse(ok=True, sealed_key=sealed_key)
+
+    # -- byte-level network handler ---------------------------------------------
+
+    #: Message-type tags on the single PKG endpoint.
+    TAG_AUTH = 0x01
+    TAG_KEY = 0x02
+
+    def handler(self, payload: bytes) -> bytes:
+        """Single endpoint: first byte selects auth vs key extraction."""
+        if not payload:
+            return PkgAuthResponse(ok=False, error="empty request").to_bytes()
+        tag, body = payload[0], payload[1:]
+        if tag == self.TAG_AUTH:
+            try:
+                request = PkgAuthRequest.from_bytes(body)
+            except Exception as exc:
+                return PkgAuthResponse(ok=False, error=f"malformed: {exc}").to_bytes()
+            return self.handle_auth(request).to_bytes()
+        if tag == self.TAG_KEY:
+            try:
+                request = KeyRequest.from_bytes(body)
+            except Exception as exc:
+                return KeyResponse(ok=False, error=f"malformed: {exc}").to_bytes()
+            return self.handle_key_request(request).to_bytes()
+        return PkgAuthResponse(ok=False, error=f"unknown tag {tag}").to_bytes()

@@ -1,0 +1,26 @@
+"""Conventional public-key infrastructure: RSA and a minimal X.509.
+
+Two roles in the reproduction:
+
+1. The protocol's Token is ``E(PubK_RC, ...)`` — a conventional PKE
+   under the RC's public key; :mod:`repro.pki.rsa` provides it.
+2. The paper's introduction argues certificate-based PKI is too heavy
+   for this setting; :mod:`repro.pki.baseline` implements that
+   certificate-based alternative end-to-end so benchmark EXT-A can
+   quantify the claim instead of repeating it.
+"""
+
+from repro.pki.baseline import PkiBaselineDeployment
+from repro.pki.rsa import RsaKeyPair, RsaPrivateKey, RsaPublicKey, generate_rsa_keypair
+from repro.pki.x509lite import Certificate, CertificateAuthority, verify_chain
+
+__all__ = [
+    "RsaPublicKey",
+    "RsaPrivateKey",
+    "RsaKeyPair",
+    "generate_rsa_keypair",
+    "Certificate",
+    "CertificateAuthority",
+    "verify_chain",
+    "PkiBaselineDeployment",
+]

@@ -1,0 +1,184 @@
+"""The certificate-based alternative the paper argues against (§I).
+
+In this baseline there is no IBE: a depositing device must know, fetch
+and validate a certificate for *every* receiving client class, then
+encrypt a copy of the message per recipient (RSA-KEM + symmetric).
+Adding a recipient means provisioning every device with a new
+certificate; revocation means distributing CRLs to every device.
+
+Benchmark EXT-A runs this deployment against the IBE one on identical
+workloads to quantify the paper's two claims: per-message cost when
+recipients multiply, and key-management cost when recipients change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AccessDeniedError, UnknownIdentityError
+from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.pki.rsa import RsaKeyPair, generate_rsa_keypair
+from repro.pki.x509lite import Certificate, CertificateAuthority, verify_chain
+from repro.sim.clock import Clock, WallClock
+from repro.symciph.cipher import CIPHER_REGISTRY, SymmetricScheme
+from repro.wire.encoding import Reader, Writer
+
+__all__ = ["PkiBaselineDeployment", "PkiEnvelope"]
+
+
+@dataclass
+class PkiEnvelope:
+    """One deposited message: a per-recipient wrapped key + shared body."""
+
+    wrapped_keys: dict[str, bytes]  # recipient subject -> RSA-OAEP(key)
+    cipher_name: str
+    sealed_body: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        writer = Writer().text(self.cipher_name).blob(self.sealed_body)
+        writer.u32(len(self.wrapped_keys))
+        for subject in sorted(self.wrapped_keys):
+            writer.text(subject).blob(self.wrapped_keys[subject])
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PkiEnvelope":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        cipher_name = reader.text()
+        sealed_body = reader.blob()
+        count = reader.u32()
+        wrapped_keys = {}
+        for _ in range(count):
+            subject = reader.text()
+            wrapped_keys[subject] = reader.blob()
+        reader.finish()
+        return cls(
+            wrapped_keys=wrapped_keys,
+            cipher_name=cipher_name,
+            sealed_body=sealed_body,
+        )
+
+
+class PkiBaselineDeployment:
+    """An end-to-end certificate-PKI message warehouse.
+
+    Single root CA, per-recipient certificates, devices hold the root
+    and must fetch + verify recipient chains before each deposit (a
+    device-side certificate cache models the realistic middle ground and
+    can be disabled for the worst case).
+    """
+
+    def __init__(
+        self,
+        cipher_name: str = "AES-128",
+        rsa_bits: int = 1024,
+        rng: RandomSource | None = None,
+        clock: Clock | None = None,
+        device_cert_cache: bool = True,
+    ) -> None:
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._clock = clock if clock is not None else WallClock()
+        self._cipher_name = cipher_name
+        self._rsa_bits = rsa_bits
+        self._ca = CertificateAuthority("root-ca", rng=self._rng, key_bits=rsa_bits)
+        self._root = self._ca.self_signed(self._clock.now_us())
+        self._recipients: dict[str, tuple[RsaKeyPair, Certificate]] = {}
+        self._warehouse: list[PkiEnvelope] = []
+        self._device_cache_enabled = device_cert_cache
+        self._device_cert_cache: dict[str, Certificate] = {}
+        #: Counters the EXT-A benchmark reads out.
+        self.stats = {
+            "chain_verifications": 0,
+            "rsa_wraps": 0,
+            "certs_issued": 0,
+            "crl_distributions": 0,
+        }
+
+    # -- enrolment ----------------------------------------------------------
+
+    def enroll_recipient(self, subject: str) -> Certificate:
+        """Provision a recipient: keygen + CA-signed certificate.
+
+        This is the operation the paper contrasts with IBE's "just add a
+        policy row": every enrolment mints key material and (without the
+        cache) touches every device.
+        """
+        keypair = generate_rsa_keypair(self._rsa_bits, rng=self._rng)
+        certificate = self._ca.issue(subject, keypair.public, self._clock.now_us())
+        self._recipients[subject] = (keypair, certificate)
+        self.stats["certs_issued"] += 1
+        self._device_cert_cache.pop(subject, None)  # force re-fetch
+        return certificate
+
+    def revoke_recipient(self, subject: str) -> None:
+        """Revoke: CRL update that every device must subsequently consult."""
+        entry = self._recipients.get(subject)
+        if entry is None:
+            raise UnknownIdentityError(f"recipient {subject!r} not enrolled")
+        self._ca.revoke(entry[1].serial)
+        self.stats["crl_distributions"] += 1
+
+    def _fetch_and_verify(self, subject: str) -> Certificate:
+        if self._device_cache_enabled and subject in self._device_cert_cache:
+            cached = self._device_cert_cache[subject]
+            if not self._ca.is_revoked(cached.serial):
+                return cached
+        entry = self._recipients.get(subject)
+        if entry is None:
+            raise UnknownIdentityError(f"recipient {subject!r} not enrolled")
+        certificate = entry[1]
+        verify_chain(
+            [certificate],
+            self._root,
+            self._clock.now_us(),
+            crls={self._ca.name: self._ca.crl()},
+        )
+        self.stats["chain_verifications"] += 1
+        if self._device_cache_enabled:
+            self._device_cert_cache[subject] = certificate
+        return certificate
+
+    # -- data path ------------------------------------------------------------
+
+    def deposit(self, message: bytes, recipients: list[str]) -> PkiEnvelope:
+        """Device-side deposit: verify every recipient chain, wrap a fresh
+        symmetric key per recipient, seal one body."""
+        key_size = CIPHER_REGISTRY[self._cipher_name].key_size
+        session_key = self._rng.randbytes(key_size)
+        scheme = SymmetricScheme(self._cipher_name, session_key, mac=True, rng=self._rng)
+        wrapped: dict[str, bytes] = {}
+        for subject in recipients:
+            certificate = self._fetch_and_verify(subject)
+            wrapped[subject] = certificate.public_key.encrypt(session_key, self._rng)
+            self.stats["rsa_wraps"] += 1
+        envelope = PkiEnvelope(
+            wrapped_keys=wrapped,
+            cipher_name=self._cipher_name,
+            sealed_body=scheme.seal(message),
+        )
+        self._warehouse.append(envelope)
+        return envelope
+
+    def retrieve(self, subject: str) -> list[bytes]:
+        """Recipient-side retrieval: unwrap + decrypt every addressed message."""
+        entry = self._recipients.get(subject)
+        if entry is None:
+            raise UnknownIdentityError(f"recipient {subject!r} not enrolled")
+        keypair, certificate = entry
+        if self._ca.is_revoked(certificate.serial):
+            raise AccessDeniedError(f"certificate for {subject!r} is revoked")
+        plaintexts = []
+        for envelope in self._warehouse:
+            wrapped = envelope.wrapped_keys.get(subject)
+            if wrapped is None:
+                continue
+            session_key = keypair.private.decrypt(wrapped)
+            scheme = SymmetricScheme(envelope.cipher_name, session_key, mac=True)
+            plaintexts.append(scheme.open(envelope.sealed_body))
+        return plaintexts
+
+    @property
+    def warehouse_size(self) -> int:
+        return len(self._warehouse)

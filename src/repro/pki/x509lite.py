@@ -1,0 +1,183 @@
+"""A minimal certificate infrastructure ("x509lite").
+
+Implements just enough of the certificate machinery the paper's §I
+dismisses — subject binding, CA signatures, validity windows, chain
+verification, revocation lists — so the EXT-A benchmark can price it
+honestly against the IBE approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AuthenticationError, DecodeError
+from repro.pki.rsa import RsaKeyPair, RsaPublicKey, generate_rsa_keypair
+from repro.mathlib.rand import RandomSource
+from repro.wire.encoding import Reader, Writer
+
+__all__ = ["Certificate", "CertificateAuthority", "verify_chain"]
+
+
+@dataclass
+class Certificate:
+    """Subject name + public key, signed by an issuer."""
+
+    subject: str
+    issuer: str
+    public_key: RsaPublicKey
+    serial: int
+    not_before_us: int
+    not_after_us: int
+    signature: bytes = b""
+
+    def tbs_bytes(self) -> bytes:
+        """The to-be-signed encoding (everything except the signature)."""
+        return (
+            Writer()
+            .text(self.subject)
+            .text(self.issuer)
+            .blob(self.public_key.to_bytes())
+            .u64(self.serial)
+            .u64(self.not_before_us)
+            .u64(self.not_after_us)
+            .getvalue()
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return Writer().blob(self.tbs_bytes()).blob(self.signature).getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Certificate":
+        """Parse an instance from its canonical byte encoding."""
+        outer = Reader(data)
+        tbs = outer.blob()
+        signature = outer.blob()
+        outer.finish()
+        reader = Reader(tbs)
+        certificate = cls(
+            subject=reader.text(),
+            issuer=reader.text(),
+            public_key=RsaPublicKey.from_bytes(reader.blob()),
+            serial=reader.u64(),
+            not_before_us=reader.u64(),
+            not_after_us=reader.u64(),
+            signature=signature,
+        )
+        reader.finish()
+        return certificate
+
+    def is_valid_at(self, now_us: int) -> bool:
+        return self.not_before_us <= now_us <= self.not_after_us
+
+
+class CertificateAuthority:
+    """A CA: issues, verifies and revokes certificates.
+
+    Supports intermediate CAs (an intermediate is just a CA whose own
+    certificate was issued by a parent), which lets EXT-A price chains
+    of realistic depth.
+    """
+
+    DEFAULT_LIFETIME_US = 365 * 24 * 3600 * 1_000_000
+
+    def __init__(
+        self,
+        name: str,
+        rng: RandomSource | None = None,
+        key_bits: int = 1024,
+        keypair: RsaKeyPair | None = None,
+    ) -> None:
+        self.name = name
+        self._keypair = (
+            keypair if keypair is not None else generate_rsa_keypair(key_bits, rng=rng)
+        )
+        self._next_serial = 1
+        self._revoked_serials: set[int] = set()
+        self.certificate: Certificate | None = None  # set for intermediates
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self._keypair.public
+
+    def self_signed(self, now_us: int) -> Certificate:
+        """Produce (and remember) this CA's self-signed root certificate."""
+        certificate = self.issue(self.name, self.public_key, now_us)
+        self.certificate = certificate
+        return certificate
+
+    def issue(
+        self,
+        subject: str,
+        public_key: RsaPublicKey,
+        now_us: int,
+        lifetime_us: int | None = None,
+    ) -> Certificate:
+        """Sign a certificate binding ``subject`` to ``public_key``."""
+        lifetime_us = lifetime_us if lifetime_us is not None else self.DEFAULT_LIFETIME_US
+        certificate = Certificate(
+            subject=subject,
+            issuer=self.name,
+            public_key=public_key,
+            serial=self._next_serial,
+            not_before_us=now_us,
+            not_after_us=now_us + lifetime_us,
+        )
+        self._next_serial += 1
+        certificate.signature = self._keypair.private.sign(certificate.tbs_bytes())
+        return certificate
+
+    def revoke(self, serial: int) -> None:
+        self._revoked_serials.add(serial)
+
+    def is_revoked(self, serial: int) -> bool:
+        return serial in self._revoked_serials
+
+    def crl(self) -> set[int]:
+        """The certificate revocation list (copy)."""
+        return set(self._revoked_serials)
+
+
+def verify_chain(
+    chain: list[Certificate],
+    trusted_root: Certificate,
+    now_us: int,
+    crls: dict[str, set[int]] | None = None,
+) -> None:
+    """Verify ``chain`` (leaf first) up to ``trusted_root``.
+
+    Checks signatures, issuer/subject linkage, validity windows and
+    optional per-issuer CRLs.  Raises :class:`AuthenticationError` with a
+    specific reason on the first failure; returns None on success.
+    """
+    if not chain:
+        raise AuthenticationError("empty certificate chain")
+    crls = crls or {}
+    for index, certificate in enumerate(chain):
+        if not certificate.is_valid_at(now_us):
+            raise AuthenticationError(
+                f"certificate for {certificate.subject!r} outside validity window"
+            )
+        if certificate.serial in crls.get(certificate.issuer, set()):
+            raise AuthenticationError(
+                f"certificate for {certificate.subject!r} is revoked"
+            )
+        issuer_cert = chain[index + 1] if index + 1 < len(chain) else trusted_root
+        if certificate.issuer != issuer_cert.subject:
+            raise AuthenticationError(
+                f"chain broken: {certificate.subject!r} issued by "
+                f"{certificate.issuer!r}, next link is {issuer_cert.subject!r}"
+            )
+        if not issuer_cert.public_key.verify(
+            certificate.tbs_bytes(), certificate.signature
+        ):
+            raise AuthenticationError(
+                f"bad signature on certificate for {certificate.subject!r}"
+            )
+    # Finally anchor the root itself.
+    if not trusted_root.is_valid_at(now_us):
+        raise AuthenticationError("trusted root outside validity window")
+    if not trusted_root.public_key.verify(
+        trusted_root.tbs_bytes(), trusted_root.signature
+    ):
+        raise AuthenticationError("trusted root certificate is not self-consistent")

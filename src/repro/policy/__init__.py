@@ -1,0 +1,28 @@
+"""Attribute access-policy language (paper §VIII future work).
+
+"The attributes that are currently used can be improved by considering
+an access policy, similar to XACML standards."
+
+A small rule language over (subject, attribute, time) with XACML's
+combining algorithms.  The MMS accepts a :class:`PolicyEngine` and
+filters each RC's granted attributes through it before issuing tickets,
+adding a rule layer on top of the Table 1 grants.
+"""
+
+from repro.policy.evaluator import PolicyEngine
+from repro.policy.language import (
+    CombiningAlgorithm,
+    Effect,
+    Policy,
+    Rule,
+    parse_policy,
+)
+
+__all__ = [
+    "Effect",
+    "CombiningAlgorithm",
+    "Rule",
+    "Policy",
+    "parse_policy",
+    "PolicyEngine",
+]

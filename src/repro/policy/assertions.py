@@ -1,0 +1,201 @@
+"""Signed identity assertions — the paper's §VIII "SAML" hook.
+
+"The basic architecture the MWS should be enhanced so that it can
+easily encompass Web Security standards such as SAML and XACML."
+
+This module is the SAML-shaped half (XACML-shaped policies live in
+:mod:`repro.policy.language`): an identity provider (IdP) issues signed
+assertions binding a subject to attributes for a validity window; the
+MWS gatekeeper can accept an assertion instead of the password blob, so
+enterprise RCs authenticate through their existing IdP while devices
+and the rest of the protocol are untouched.
+
+The assertion is deliberately minimal — subject, issuer, audience,
+attribute statements, validity, one RSA signature over a canonical
+encoding — i.e. the part of SAML the protocol actually consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AuthenticationError, DecodeError
+from repro.mathlib.rand import RandomSource
+from repro.pki.rsa import RsaKeyPair, RsaPublicKey, generate_rsa_keypair
+from repro.sim.clock import Clock
+from repro.wire.encoding import Reader, Writer
+
+__all__ = ["IdentityAssertion", "IdentityProvider", "AssertionValidator"]
+
+
+@dataclass
+class IdentityAssertion:
+    """A signed statement: ``issuer`` says ``subject`` has ``attributes``."""
+
+    subject: str
+    issuer: str
+    audience: str
+    attributes: dict[str, str]
+    not_before_us: int
+    not_after_us: int
+    assertion_id: bytes = b""
+    signature: bytes = b""
+
+    def signed_payload(self) -> bytes:
+        """The exact bytes covered by the signature."""
+        writer = (
+            Writer()
+            .text(self.subject)
+            .text(self.issuer)
+            .text(self.audience)
+            .u64(self.not_before_us)
+            .u64(self.not_after_us)
+            .blob(self.assertion_id)
+            .u32(len(self.attributes))
+        )
+        for key in sorted(self.attributes):
+            writer.text(key).text(self.attributes[key])
+        return writer.getvalue()
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return Writer().blob(self.signed_payload()).blob(self.signature).getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IdentityAssertion":
+        """Parse an instance from its canonical byte encoding."""
+        outer = Reader(data)
+        payload = outer.blob()
+        signature = outer.blob()
+        outer.finish()
+        reader = Reader(payload)
+        subject = reader.text()
+        issuer = reader.text()
+        audience = reader.text()
+        not_before_us = reader.u64()
+        not_after_us = reader.u64()
+        assertion_id = reader.blob()
+        count = reader.u32()
+        attributes = {}
+        for _ in range(count):
+            key = reader.text()
+            attributes[key] = reader.text()
+        reader.finish()
+        return cls(
+            subject=subject,
+            issuer=issuer,
+            audience=audience,
+            attributes=attributes,
+            not_before_us=not_before_us,
+            not_after_us=not_after_us,
+            assertion_id=assertion_id,
+            signature=signature,
+        )
+
+
+class IdentityProvider:
+    """An IdP: holds a signing key, issues assertions for its subjects."""
+
+    DEFAULT_LIFETIME_US = 600 * 1_000_000  # 10 minutes
+
+    def __init__(
+        self,
+        name: str,
+        clock: Clock,
+        rng: RandomSource,
+        keypair: RsaKeyPair | None = None,
+        rsa_bits: int = 768,
+    ) -> None:
+        self.name = name
+        self._clock = clock
+        self._rng = rng
+        self._keypair = (
+            keypair if keypair is not None else generate_rsa_keypair(rsa_bits, rng=rng)
+        )
+        self.stats = {"assertions_issued": 0}
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self._keypair.public
+
+    def issue(
+        self,
+        subject: str,
+        audience: str,
+        attributes: dict[str, str] | None = None,
+        lifetime_us: int | None = None,
+    ) -> IdentityAssertion:
+        """Sign a fresh assertion for ``subject`` toward ``audience``."""
+        now_us = self._clock.now_us()
+        lifetime_us = (
+            lifetime_us if lifetime_us is not None else self.DEFAULT_LIFETIME_US
+        )
+        assertion = IdentityAssertion(
+            subject=subject,
+            issuer=self.name,
+            audience=audience,
+            attributes=dict(attributes or {}),
+            not_before_us=now_us,
+            not_after_us=now_us + lifetime_us,
+            assertion_id=self._rng.randbytes(16),
+        )
+        assertion.signature = self._keypair.private.sign(assertion.signed_payload())
+        self.stats["assertions_issued"] += 1
+        return assertion
+
+
+class AssertionValidator:
+    """Service-side validation: trusted issuers, audience, window, replay."""
+
+    def __init__(
+        self,
+        audience: str,
+        clock: Clock,
+        trusted_issuers: dict[str, RsaPublicKey] | None = None,
+        replay_cache_size: int = 65536,
+    ) -> None:
+        self._audience = audience
+        self._clock = clock
+        self._trusted: dict[str, RsaPublicKey] = dict(trusted_issuers or {})
+        self._seen_ids: dict[bytes, None] = {}
+        self._replay_cache_size = replay_cache_size
+        self.stats = {"accepted": 0, "rejected": 0}
+
+    def trust(self, issuer: str, public_key: RsaPublicKey) -> None:
+        """Register an IdP's verification key."""
+        self._trusted[issuer] = public_key
+
+    def validate(self, assertion: IdentityAssertion) -> None:
+        """Raise :class:`AuthenticationError` on any defect; None if valid.
+
+        Checks, in order: trusted issuer, signature, audience, validity
+        window, single-use assertion id.
+        """
+        try:
+            self._validate(assertion)
+        except AuthenticationError:
+            self.stats["rejected"] += 1
+            raise
+        self.stats["accepted"] += 1
+
+    def _validate(self, assertion: IdentityAssertion) -> None:
+        issuer_key = self._trusted.get(assertion.issuer)
+        if issuer_key is None:
+            raise AuthenticationError(
+                f"assertion issuer {assertion.issuer!r} is not trusted"
+            )
+        if not issuer_key.verify(assertion.signed_payload(), assertion.signature):
+            raise AuthenticationError("assertion signature invalid")
+        if assertion.audience != self._audience:
+            raise AuthenticationError(
+                f"assertion audience {assertion.audience!r} is not "
+                f"{self._audience!r}"
+            )
+        now_us = self._clock.now_us()
+        if not assertion.not_before_us <= now_us <= assertion.not_after_us:
+            raise AuthenticationError("assertion outside its validity window")
+        if assertion.assertion_id in self._seen_ids:
+            raise AuthenticationError("assertion replayed")
+        self._seen_ids[assertion.assertion_id] = None
+        while len(self._seen_ids) > self._replay_cache_size:
+            self._seen_ids.pop(next(iter(self._seen_ids)))

@@ -1,0 +1,54 @@
+"""The policy engine the MMS consults per retrieval.
+
+Wraps a :class:`repro.policy.language.Policy` with decision counters and
+an audit trail; :meth:`is_permitted` is the single hook the MMS calls
+for every (RC, attribute) pair before the attribute enters a ticket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.policy.language import Effect, Policy
+
+__all__ = ["PolicyEngine", "PolicyDecision"]
+
+
+@dataclass
+class PolicyDecision:
+    """Audit record of one evaluation."""
+
+    subject: str
+    attribute: str
+    now_us: int
+    effect: Effect
+
+
+@dataclass
+class PolicyEngine:
+    """Stateful wrapper: policy + audit log + counters."""
+
+    policy: Policy
+    audit: list[PolicyDecision] = field(default_factory=list)
+    audit_limit: int = 100_000
+
+    def is_permitted(self, subject: str, attribute: str, now_us: int) -> bool:
+        """Evaluate and record one access decision."""
+        effect = self.policy.decide(subject, attribute, now_us)
+        if len(self.audit) < self.audit_limit:
+            self.audit.append(
+                PolicyDecision(
+                    subject=subject,
+                    attribute=attribute,
+                    now_us=now_us,
+                    effect=effect,
+                )
+            )
+        return effect is Effect.PERMIT
+
+    def denials(self) -> list[PolicyDecision]:
+        return [d for d in self.audit if d.effect is Effect.DENY]
+
+    def replace_policy(self, policy: Policy) -> None:
+        """Hot-swap the rule set (policy updates without MWS restart)."""
+        self.policy = policy

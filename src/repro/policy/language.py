@@ -1,0 +1,140 @@
+"""The policy rule language: data model and text parser.
+
+A policy is an ordered list of rules under a combining algorithm.  A
+rule has an effect (permit/deny) and a target: glob patterns over the
+subject (RC identity) and attribute string, plus an optional validity
+window.  Example policy text::
+
+    # C-Services may read everything in the complex, business hours only
+    permit subject=c-services attribute=*-GLENBROOK-SV-CA
+    deny   subject=* attribute=GAS-*   # gas data embargoed for everyone
+    permit subject=*-auditor attribute=* from=1000000 until=2000000
+
+The format is line-oriented: ``effect key=value ...`` with ``#``
+comments.  Unknown keys and malformed lines raise
+:class:`repro.errors.PolicyError` with the line number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from fnmatch import fnmatchcase
+
+from repro.errors import PolicyError
+
+__all__ = ["Effect", "CombiningAlgorithm", "Rule", "Policy", "parse_policy"]
+
+
+class Effect(str, Enum):
+    PERMIT = "permit"
+    DENY = "deny"
+
+
+class CombiningAlgorithm(str, Enum):
+    """How rule decisions combine (the XACML trio)."""
+
+    FIRST_APPLICABLE = "first-applicable"
+    DENY_OVERRIDES = "deny-overrides"
+    PERMIT_OVERRIDES = "permit-overrides"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One rule: effect + target patterns + optional validity window."""
+
+    effect: Effect
+    subject_pattern: str = "*"
+    attribute_pattern: str = "*"
+    not_before_us: int | None = None
+    not_after_us: int | None = None
+
+    def matches(self, subject: str, attribute: str, now_us: int) -> bool:
+        """True when this rule's target covers the request."""
+        if not fnmatchcase(subject, self.subject_pattern):
+            return False
+        if not fnmatchcase(attribute, self.attribute_pattern):
+            return False
+        if self.not_before_us is not None and now_us < self.not_before_us:
+            return False
+        if self.not_after_us is not None and now_us > self.not_after_us:
+            return False
+        return True
+
+
+@dataclass
+class Policy:
+    """An ordered rule set under a combining algorithm."""
+
+    rules: list[Rule]
+    algorithm: CombiningAlgorithm = CombiningAlgorithm.FIRST_APPLICABLE
+    default_effect: Effect = Effect.DENY
+
+    def decide(self, subject: str, attribute: str, now_us: int) -> Effect:
+        """Evaluate the request; always returns a definite effect."""
+        applicable = [
+            rule.effect
+            for rule in self.rules
+            if rule.matches(subject, attribute, now_us)
+        ]
+        if not applicable:
+            return self.default_effect
+        if self.algorithm is CombiningAlgorithm.FIRST_APPLICABLE:
+            return applicable[0]
+        if self.algorithm is CombiningAlgorithm.DENY_OVERRIDES:
+            return Effect.DENY if Effect.DENY in applicable else Effect.PERMIT
+        return Effect.PERMIT if Effect.PERMIT in applicable else Effect.DENY
+
+
+_RULE_KEYS = {"subject", "attribute", "from", "until"}
+
+
+def parse_policy(
+    text: str,
+    algorithm: CombiningAlgorithm = CombiningAlgorithm.FIRST_APPLICABLE,
+    default_effect: Effect = Effect.DENY,
+) -> Policy:
+    """Parse the line-oriented policy format (see module docstring)."""
+    rules: list[Rule] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        effect_word = parts[0].lower()
+        if effect_word not in (Effect.PERMIT.value, Effect.DENY.value):
+            raise PolicyError(
+                f"line {line_number}: expected 'permit' or 'deny', got {parts[0]!r}"
+            )
+        fields: dict[str, str] = {}
+        for part in parts[1:]:
+            if "=" not in part:
+                raise PolicyError(
+                    f"line {line_number}: expected key=value, got {part!r}"
+                )
+            key, _, value = part.partition("=")
+            if key not in _RULE_KEYS:
+                raise PolicyError(
+                    f"line {line_number}: unknown key {key!r} "
+                    f"(known: {sorted(_RULE_KEYS)})"
+                )
+            if key in fields:
+                raise PolicyError(f"line {line_number}: duplicate key {key!r}")
+            fields[key] = value
+        try:
+            not_before = int(fields["from"]) if "from" in fields else None
+            not_after = int(fields["until"]) if "until" in fields else None
+        except ValueError as exc:
+            raise PolicyError(
+                f"line {line_number}: from/until must be integer microseconds"
+            ) from exc
+        rules.append(
+            Rule(
+                effect=Effect(effect_word),
+                subject_pattern=fields.get("subject", "*"),
+                attribute_pattern=fields.get("attribute", "*"),
+                not_before_us=not_before,
+                not_after_us=not_after,
+            )
+        )
+    return Policy(rules=rules, algorithm=algorithm, default_effect=default_effect)

@@ -1,0 +1,30 @@
+"""Experiment substrate: simulated time, transport and workloads.
+
+The paper evaluated on four Perl servers on one machine; we simulate the
+deployment in-process so experiments are deterministic, fast and fault-
+injectable (latency, tampering, drops) while exercising the same wire
+encodings a socket deployment would.
+"""
+
+from repro.sim.clock import Clock, SimClock, WallClock
+from repro.sim.network import Channel, Endpoint, Network, TamperInjector
+from repro.sim.workload import (
+    MeterKind,
+    MeterReading,
+    SmartMeterFleet,
+    WorkloadConfig,
+)
+
+__all__ = [
+    "Clock",
+    "SimClock",
+    "WallClock",
+    "Network",
+    "Channel",
+    "Endpoint",
+    "TamperInjector",
+    "MeterKind",
+    "MeterReading",
+    "SmartMeterFleet",
+    "WorkloadConfig",
+]

@@ -1,0 +1,158 @@
+"""In-process request/response transport with fault injection.
+
+Models the paper's deployment ("four servers ... all ports and IP
+addresses hardcoded") as named endpoints on a :class:`Network`.  Every
+message crosses the wire as bytes — services register a handler taking
+and returning ``bytes`` — so the codec layer is genuinely exercised, and
+interceptors can delay, tamper with or drop traffic to test the
+protocol's failure behaviour (MAC rejection, replay detection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ChannelClosedError, NetworkError
+from repro.mathlib.rand import RandomSource
+from repro.sim.clock import Clock, SimClock
+
+__all__ = ["Network", "Endpoint", "Channel", "TamperInjector"]
+
+Handler = Callable[[bytes], bytes]
+Interceptor = Callable[[str, str, bytes], bytes | None]
+
+
+@dataclass
+class Endpoint:
+    """A named service on the network."""
+
+    name: str
+    handler: Handler
+    requests_served: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+
+class Network:
+    """A message bus connecting endpoints by name.
+
+    ``send(src, dst, payload)`` delivers synchronously and returns the
+    response bytes.  Interceptors run in registration order on the
+    request path; an interceptor may return modified bytes, the original
+    bytes, or ``None`` to drop the message (which surfaces to the sender
+    as :class:`NetworkError`, like a timeout would).
+    """
+
+    def __init__(self, clock: Clock | None = None, latency_us: int = 0) -> None:
+        self._endpoints: dict[str, Endpoint] = {}
+        self._interceptors: list[Interceptor] = []
+        self._clock = clock if clock is not None else SimClock()
+        self._latency_us = latency_us
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def register(self, name: str, handler: Handler) -> Endpoint:
+        """Attach a service; re-registering a name raises."""
+        if name in self._endpoints:
+            raise NetworkError(f"endpoint {name!r} already registered")
+        endpoint = Endpoint(name=name, handler=handler)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def unregister(self, name: str) -> None:
+        self._endpoints.pop(name, None)
+
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        """Install a fault-injection hook on the request path."""
+        self._interceptors.append(interceptor)
+
+    def clear_interceptors(self) -> None:
+        self._interceptors.clear()
+
+    def send(self, source: str, destination: str, payload: bytes) -> bytes:
+        """Deliver ``payload`` and return the endpoint's response bytes."""
+        endpoint = self._endpoints.get(destination)
+        if endpoint is None:
+            raise NetworkError(f"no endpoint named {destination!r}")
+        for interceptor in self._interceptors:
+            result = interceptor(source, destination, payload)
+            if result is None:
+                raise NetworkError(
+                    f"message from {source!r} to {destination!r} was dropped"
+                )
+            payload = result
+        if self._latency_us and isinstance(self._clock, SimClock):
+            self._clock.advance(self._latency_us)
+        self.messages_sent += 1
+        self.bytes_sent += len(payload)
+        endpoint.requests_served += 1
+        endpoint.bytes_in += len(payload)
+        response = endpoint.handler(payload)
+        endpoint.bytes_out += len(response)
+        return response
+
+    def channel(self, source: str, destination: str) -> "Channel":
+        """A bound sender convenience object."""
+        return Channel(network=self, source=source, destination=destination)
+
+    def endpoint_stats(self) -> dict[str, tuple[int, int, int]]:
+        """name -> (requests, bytes_in, bytes_out)."""
+        return {
+            name: (ep.requests_served, ep.bytes_in, ep.bytes_out)
+            for name, ep in self._endpoints.items()
+        }
+
+
+@dataclass
+class Channel:
+    """A (source, destination) pair with a ``request`` method."""
+
+    network: Network
+    source: str
+    destination: str
+    closed: bool = False
+
+    def request(self, payload: bytes) -> bytes:
+        if self.closed:
+            raise ChannelClosedError(
+                f"channel {self.source!r} -> {self.destination!r} is closed"
+            )
+        return self.network.send(self.source, self.destination, payload)
+
+    def close(self) -> None:
+        """Release underlying resources."""
+        self.closed = True
+
+
+@dataclass
+class TamperInjector:
+    """Interceptor that flips one bit in matching messages.
+
+    ``destination`` filters which endpoint's traffic is attacked;
+    ``probability`` (with ``rng``) or ``every_nth`` selects messages.
+    Used by integrity tests and the FIG5 fault-injection bench.
+    """
+
+    destination: str
+    rng: RandomSource | None = None
+    probability: float = 1.0
+    every_nth: int = 1
+    bit_index: int = 7
+    tampered: int = field(default=0)
+    _seen: int = field(default=0)
+
+    def __call__(self, source: str, destination: str, payload: bytes) -> bytes:
+        if destination != self.destination or not payload:
+            return payload
+        self._seen += 1
+        if self.every_nth > 1 and self._seen % self.every_nth != 0:
+            return payload
+        if self.rng is not None and self.probability < 1.0:
+            if self.rng.randbelow(1_000_000) >= int(self.probability * 1_000_000):
+                return payload
+        position = min(self.bit_index // 8, len(payload) - 1)
+        mutated = bytearray(payload)
+        mutated[position] ^= 1 << (self.bit_index % 8)
+        self.tampered += 1
+        return bytes(mutated)

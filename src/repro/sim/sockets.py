@@ -1,0 +1,216 @@
+"""Real TCP transport for the deployment's endpoints.
+
+The paper's prototype ran four Perl servers on hardcoded ports.  This
+module makes that literal: any byte handler (the same ones the
+in-process :class:`repro.sim.network.Network` serves) can be exposed on
+a TCP port with a 4-byte length-prefixed framing, and
+:class:`SocketChannel` is a drop-in replacement for
+:class:`repro.sim.network.Channel` — the smart-device and RC client
+code runs unmodified over real sockets.
+
+``serve_deployment`` starts the three servers (MWS-SD, MWS-Client, PKG)
+on ephemeral localhost ports and returns their addresses.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import NetworkError
+
+__all__ = ["FrameServer", "SocketChannel", "ServedDeployment", "serve_deployment"]
+
+_LENGTH = struct.Struct(">I")
+_MAX_FRAME = 64 * 1024 * 1024  # defensive cap
+
+
+def _recv_exact(connection: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = connection.recv(remaining)
+        if not chunk:
+            raise NetworkError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(connection: socket.socket) -> bytes:
+    """Read one length-prefixed frame."""
+    (length,) = _LENGTH.unpack(_recv_exact(connection, _LENGTH.size))
+    if length > _MAX_FRAME:
+        raise NetworkError(f"frame of {length} bytes exceeds the {_MAX_FRAME} cap")
+    return _recv_exact(connection, length)
+
+
+def write_frame(connection: socket.socket, payload: bytes) -> None:
+    """Write one length-prefixed frame."""
+    if len(payload) > _MAX_FRAME:
+        raise NetworkError(f"frame of {len(payload)} bytes exceeds the cap")
+    connection.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+class FrameServer:
+    """A threaded TCP server running ``handler(bytes) -> bytes`` per frame.
+
+    Connections are persistent: a client may send many frames over one
+    connection (each answered in order), mirroring how the prototype's
+    servers "listen for messages on a particular port".
+    """
+
+    def __init__(self, handler: Callable[[bytes], bytes],
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        outer = self
+
+        class _Handler(socketserver.BaseRequestHandler):
+            def handle(self) -> None:  # pragma: no cover - thread body
+                while True:
+                    try:
+                        request = read_frame(self.request)
+                    except (NetworkError, OSError):
+                        return
+                    try:
+                        response = outer._handler(request)
+                    except Exception as exc:  # handler bug: report, keep serving
+                        response = b"ERR:InternalError:" + str(exc).encode()
+                    try:
+                        write_frame(self.request, response)
+                    except OSError:
+                        return
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._handler = handler
+        self._server = _Server((host, port), _Handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.server_address[:2]
+
+    def start(self) -> "FrameServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "FrameServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+class SocketChannel:
+    """Client side: a persistent framed connection with ``request()``.
+
+    Drop-in for :class:`repro.sim.network.Channel`; reconnects lazily if
+    the server closed the connection.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 10.0) -> None:
+        self._address = (host, port)
+        self._timeout_s = timeout_s
+        self._connection: socket.socket | None = None
+        self._lock = threading.Lock()
+
+    def _connect(self) -> socket.socket:
+        connection = socket.create_connection(self._address, self._timeout_s)
+        connection.settimeout(self._timeout_s)
+        return connection
+
+    def request(self, payload: bytes) -> bytes:
+        with self._lock:
+            for attempt in (0, 1):
+                if self._connection is None:
+                    self._connection = self._connect()
+                try:
+                    write_frame(self._connection, payload)
+                    return read_frame(self._connection)
+                except (NetworkError, OSError):
+                    self.close()
+                    if attempt:
+                        raise NetworkError(
+                            f"request to {self._address} failed after reconnect"
+                        )
+            raise NetworkError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        """Release underlying resources."""
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            finally:
+                self._connection = None
+
+    def __enter__(self) -> "SocketChannel":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+@dataclass
+class ServedDeployment:
+    """Handle on a deployment exposed over TCP."""
+
+    deployment: object
+    mws_sd: FrameServer
+    mws_sd_batch: FrameServer
+    mws_client: FrameServer
+    pkg: FrameServer
+
+    def addresses(self) -> dict[str, tuple[str, int]]:
+        return {
+            "mws-sd": self.mws_sd.address,
+            "mws-sd-batch": self.mws_sd_batch.address,
+            "mws-client": self.mws_client.address,
+            "pkg": self.pkg.address,
+        }
+
+    def channel(self, endpoint: str) -> SocketChannel:
+        host, port = self.addresses()[endpoint]
+        return SocketChannel(host, port)
+
+    def stop(self) -> None:
+        self.mws_sd.stop()
+        self.mws_sd_batch.stop()
+        self.mws_client.stop()
+        self.pkg.stop()
+
+    def __enter__(self) -> "ServedDeployment":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def serve_deployment(deployment, host: str = "127.0.0.1") -> ServedDeployment:
+    """Expose a deployment's four endpoints on ephemeral TCP ports
+    (the prototype's "four servers are required to be started up")."""
+    mws_sd = FrameServer(deployment.mws.deposit_handler, host).start()
+    mws_sd_batch = FrameServer(deployment.mws.batch_deposit_handler, host).start()
+    mws_client = FrameServer(deployment.mws.retrieve_handler, host).start()
+    pkg = FrameServer(deployment.pkg.handler, host).start()
+    return ServedDeployment(
+        deployment=deployment,
+        mws_sd=mws_sd,
+        mws_sd_batch=mws_sd_batch,
+        mws_client=mws_client,
+        pkg=pkg,
+    )

@@ -1,0 +1,42 @@
+"""Embedded storage substrate for the Message Warehousing Service.
+
+The paper's prototype used flat files and called a real database layer
+future work; this package provides both, behind one key-value interface:
+
+* :class:`MemoryStore`        — dict-backed, for tests and benchmarks.
+* :class:`FlatFileStore`      — one-file-per-record, the paper's prototype
+  ablation baseline (EXT-E).
+* :class:`LogStructuredStore` — append-only segmented log with CRC-checked
+  records, crash recovery and compaction.
+
+On top of the engine sit the paper's Fig. 3 databases: the Message
+Database (MD), Policy Database (PD, Table 1), User Database and the
+smart-device key store.
+"""
+
+from repro.storage.engine import (
+    FlatFileStore,
+    LogStructuredStore,
+    MemoryStore,
+    RecordStore,
+)
+from repro.storage.indexes import HashIndex, SortedIndex
+from repro.storage.keystore import DeviceKeyStore
+from repro.storage.message_db import MessageDatabase, MessageRecord
+from repro.storage.policy_db import PolicyDatabase, PolicyRow
+from repro.storage.user_db import UserDatabase
+
+__all__ = [
+    "RecordStore",
+    "MemoryStore",
+    "FlatFileStore",
+    "LogStructuredStore",
+    "HashIndex",
+    "SortedIndex",
+    "MessageDatabase",
+    "MessageRecord",
+    "PolicyDatabase",
+    "PolicyRow",
+    "UserDatabase",
+    "DeviceKeyStore",
+]

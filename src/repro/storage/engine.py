@@ -1,0 +1,304 @@
+"""Key-value storage engines behind one :class:`RecordStore` interface.
+
+Three backends with identical semantics (binary keys and values, last
+write wins, explicit tombstone deletes):
+
+* :class:`MemoryStore` — a dict; the default for tests and benchmarks.
+* :class:`FlatFileStore` — one file per record under a directory, which
+  is faithful to the paper's Perl prototype ("instead of databases,
+  flat files are used") and serves as the EXT-E ablation baseline.
+* :class:`LogStructuredStore` — what the paper's future-work section
+  asks for: an append-only log with CRC-32-framed records, an in-memory
+  hash index built by a single recovery scan on open, crash recovery
+  that truncates at the first corrupt frame, and offline compaction
+  that drops shadowed and deleted records.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from repro.errors import CorruptRecordError, KeyNotFoundError, StorageError
+from repro.hashes.crc import crc32
+
+__all__ = ["RecordStore", "MemoryStore", "FlatFileStore", "LogStructuredStore"]
+
+
+class RecordStore:
+    """Abstract key-value store with byte keys/values.
+
+    Context-manager friendly: ``with LogStructuredStore(path) as store:``.
+    """
+
+    def put(self, key: bytes, value: bytes) -> None:
+        raise NotImplementedError
+
+    def get(self, key: bytes) -> bytes:
+        """Return the value for ``key``; raises :class:`KeyNotFoundError`."""
+        raise NotImplementedError
+
+    def delete(self, key: bytes) -> None:
+        """Delete ``key``; raises :class:`KeyNotFoundError` if absent."""
+        raise NotImplementedError
+
+    def contains(self, key: bytes) -> bool:
+        try:
+            self.get(key)
+            return True
+        except KeyNotFoundError:
+            return False
+
+    def keys(self) -> list[bytes]:
+        """All live keys (unordered)."""
+        raise NotImplementedError
+
+    def items(self):
+        """Iterate ``(key, value)`` pairs for all live records."""
+        for key in self.keys():
+            yield key, self.get(key)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def close(self) -> None:
+        """Release any resources; further operations are undefined."""
+
+    def __enter__(self) -> "RecordStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class MemoryStore(RecordStore):
+    """Dict-backed store; fastest, no durability."""
+
+    def __init__(self) -> None:
+        self._data: dict[bytes, bytes] = {}
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._data[bytes(key)] = bytes(value)
+
+    def get(self, key: bytes) -> bytes:
+        try:
+            return self._data[bytes(key)]
+        except KeyError:
+            raise KeyNotFoundError(f"key {key!r} not found") from None
+
+    def delete(self, key: bytes) -> None:
+        if bytes(key) not in self._data:
+            raise KeyNotFoundError(f"key {key!r} not found")
+        del self._data[bytes(key)]
+
+    def keys(self) -> list[bytes]:
+        """All live keys (unordered)."""
+        return list(self._data.keys())
+
+
+class FlatFileStore(RecordStore):
+    """One file per record in a directory — the paper prototype's design.
+
+    Keys are hex-encoded into file names.  Every ``get`` is an open +
+    read; every ``put`` rewrites the whole file.  Correct but slow at
+    scale, which is exactly what the EXT-E ablation demonstrates.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self._directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, key: bytes) -> str:
+        return os.path.join(self._directory, bytes(key).hex() + ".rec")
+
+    def put(self, key: bytes, value: bytes) -> None:
+        path = self._path(key)
+        temp_path = path + ".tmp"
+        with open(temp_path, "wb") as handle:
+            handle.write(value)
+        os.replace(temp_path, path)
+
+    def get(self, key: bytes) -> bytes:
+        try:
+            with open(self._path(key), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            raise KeyNotFoundError(f"key {key!r} not found") from None
+
+    def delete(self, key: bytes) -> None:
+        try:
+            os.remove(self._path(key))
+        except FileNotFoundError:
+            raise KeyNotFoundError(f"key {key!r} not found") from None
+
+    def keys(self) -> list[bytes]:
+        """All live keys (unordered)."""
+        result = []
+        for name in os.listdir(self._directory):
+            if name.endswith(".rec"):
+                try:
+                    result.append(bytes.fromhex(name[:-4]))
+                except ValueError:
+                    continue  # foreign file in the directory
+        return result
+
+
+# Log record framing: crc32 | flags | key_len | value_len | key | value.
+_HEADER = struct.Struct(">IBII")
+_FLAG_TOMBSTONE = 0x01
+
+
+class LogStructuredStore(RecordStore):
+    """Append-only log with CRC-framed records and an in-memory index.
+
+    Durability model: every mutation is appended and flushed; ``fsync``
+    is optional (``sync=True``) and costs throughput.  Opening scans the
+    log once to rebuild ``{key -> (offset, length)}``, truncating at the
+    first corrupt frame (a torn final write after a crash).  The index
+    maps to value offsets so ``get`` is one seek + read + CRC check.
+
+    :meth:`compact` rewrites live records to ``path + '.compact'`` and
+    atomically replaces the log, reclaiming space from shadowed writes
+    and tombstones.
+    """
+
+    def __init__(self, path: str, sync: bool = False) -> None:
+        self._path = path
+        self._sync = sync
+        self._index: dict[bytes, tuple[int, int, int]] = {}  # key -> (off, klen, vlen)
+        self._recover()
+        self._append_handle = open(path, "ab")
+
+    # -- recovery ---------------------------------------------------------
+
+    def _recover(self) -> None:
+        self._index.clear()
+        if not os.path.exists(self._path):
+            with open(self._path, "wb"):
+                pass
+            return
+        valid_until = 0
+        with open(self._path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        while offset + _HEADER.size <= len(data):
+            stored_crc, flags, key_len, value_len = _HEADER.unpack_from(data, offset)
+            body_end = offset + _HEADER.size + key_len + value_len
+            if body_end > len(data):
+                break  # torn final record
+            body = data[offset + 4 : body_end]  # flags + lengths + key + value
+            if crc32(body) != stored_crc:
+                break  # corruption: stop replay here
+            key = data[offset + _HEADER.size : offset + _HEADER.size + key_len]
+            if flags & _FLAG_TOMBSTONE:
+                self._index.pop(key, None)
+            else:
+                self._index[key] = (offset, key_len, value_len)
+            offset = body_end
+            valid_until = offset
+        if valid_until < len(data):
+            # Truncate the torn/corrupt tail so future appends are clean.
+            with open(self._path, "r+b") as handle:
+                handle.truncate(valid_until)
+
+    # -- primitives ---------------------------------------------------------
+
+    def _append(self, key: bytes, value: bytes, flags: int) -> int:
+        header_tail = struct.pack(">BII", flags, len(key), len(value))
+        body = header_tail + key + value
+        frame = struct.pack(">I", crc32(body)) + body
+        offset = self._append_handle.tell()
+        self._append_handle.write(frame)
+        self._append_handle.flush()
+        if self._sync:
+            os.fsync(self._append_handle.fileno())
+        return offset
+
+    def put(self, key: bytes, value: bytes) -> None:
+        key, value = bytes(key), bytes(value)
+        offset = self._append(key, value, flags=0)
+        self._index[key] = (offset, len(key), len(value))
+
+    def get(self, key: bytes) -> bytes:
+        key = bytes(key)
+        entry = self._index.get(key)
+        if entry is None:
+            raise KeyNotFoundError(f"key {key!r} not found")
+        offset, key_len, value_len = entry
+        with open(self._path, "rb") as handle:
+            handle.seek(offset)
+            frame = handle.read(_HEADER.size + key_len + value_len)
+        if len(frame) != _HEADER.size + key_len + value_len:
+            raise CorruptRecordError(f"short read for key {key!r}")
+        stored_crc = struct.unpack_from(">I", frame)[0]
+        if crc32(frame[4:]) != stored_crc:
+            raise CorruptRecordError(f"checksum mismatch for key {key!r}")
+        return frame[_HEADER.size + key_len :]
+
+    def delete(self, key: bytes) -> None:
+        key = bytes(key)
+        if key not in self._index:
+            raise KeyNotFoundError(f"key {key!r} not found")
+        self._append(key, b"", flags=_FLAG_TOMBSTONE)
+        del self._index[key]
+
+    def keys(self) -> list[bytes]:
+        """All live keys (unordered)."""
+        return list(self._index.keys())
+
+    # -- maintenance --------------------------------------------------------
+
+    def live_bytes(self) -> int:
+        """Bytes occupied by live records (excludes shadowed/tombstoned)."""
+        return sum(
+            _HEADER.size + key_len + value_len
+            for (_, key_len, value_len) in self._index.values()
+        )
+
+    def file_bytes(self) -> int:
+        """Current size of the log file."""
+        self._append_handle.flush()
+        return os.path.getsize(self._path)
+
+    def compact(self) -> None:
+        """Rewrite only live records, atomically replacing the log."""
+        compact_path = self._path + ".compact"
+        live = [(key, self.get(key)) for key in self.keys()]
+        self._append_handle.close()
+        with open(compact_path, "wb") as handle:
+            for key, value in live:
+                header_tail = struct.pack(">BII", 0, len(key), len(value))
+                body = header_tail + key + value
+                handle.write(struct.pack(">I", crc32(body)) + body)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(compact_path, self._path)
+        self._recover()
+        self._append_handle = open(self._path, "ab")
+
+    def close(self) -> None:
+        """Release underlying resources."""
+        if not self._append_handle.closed:
+            self._append_handle.flush()
+            self._append_handle.close()
+
+    def reopen(self) -> None:
+        """Close and recover from disk (simulates a process restart)."""
+        self.close()
+        self._recover()
+        self._append_handle = open(self._path, "ab")
+
+
+def open_store(kind: str, path: str | None = None, **kwargs) -> RecordStore:
+    """Factory: ``memory``, ``flatfile`` or ``log``."""
+    if kind == "memory":
+        return MemoryStore()
+    if kind == "flatfile":
+        if path is None:
+            raise StorageError("flatfile store requires a directory path")
+        return FlatFileStore(path)
+    if kind == "log":
+        if path is None:
+            raise StorageError("log store requires a file path")
+        return LogStructuredStore(path, **kwargs)
+    raise StorageError(f"unknown store kind {kind!r}")

@@ -1,0 +1,85 @@
+"""In-memory secondary indexes maintained by the database layer.
+
+The record stores are plain key-value; the Message and Policy databases
+keep these indexes beside them (rebuilding on open by scanning), which
+is the classic log-structured-storage split: durable primary data,
+volatile derived indexes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+
+__all__ = ["HashIndex", "SortedIndex"]
+
+
+class HashIndex:
+    """Multimap from an indexed value to the set of primary keys."""
+
+    def __init__(self) -> None:
+        self._map: dict = {}
+
+    def add(self, value, key) -> None:
+        self._map.setdefault(value, set()).add(key)
+
+    def remove(self, value, key) -> None:
+        bucket = self._map.get(value)
+        if bucket is None:
+            return
+        bucket.discard(key)
+        if not bucket:
+            del self._map[value]
+
+    def lookup(self, value) -> set:
+        """Primary keys whose indexed field equals ``value`` (a copy)."""
+        return set(self._map.get(value, ()))
+
+    def values(self) -> list:
+        """All distinct indexed values."""
+        return list(self._map.keys())
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, value) -> bool:
+        return value in self._map
+
+
+class SortedIndex:
+    """Sorted multimap supporting range queries (e.g. by timestamp)."""
+
+    def __init__(self) -> None:
+        self._entries: list[tuple] = []  # (value, key), kept sorted
+
+    def add(self, value, key) -> None:
+        insort(self._entries, (value, key))
+
+    def remove(self, value, key) -> None:
+        position = bisect_left(self._entries, (value, key))
+        if position < len(self._entries) and self._entries[position] == (value, key):
+            del self._entries[position]
+
+    def range(self, low, high) -> list:
+        """Primary keys with indexed value in the inclusive range [low, high]."""
+        start = bisect_left(self._entries, (low,))
+        stop = bisect_right(self._entries, (high, _Top()))
+        return [key for _, key in self._entries[start:stop]]
+
+    def min_value(self):
+        return self._entries[0][0] if self._entries else None
+
+    def max_value(self):
+        return self._entries[-1][0] if self._entries else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class _Top:
+    """Sorts after every other object; sentinel for inclusive upper bounds."""
+
+    def __lt__(self, other) -> bool:
+        return False
+
+    def __gt__(self, other) -> bool:
+        return True

@@ -1,0 +1,70 @@
+"""Smart-device key store: the MAC keys shared at device registration.
+
+Paper assumption ii: "SD and MWS share a secret key, which is used by SD
+to generate a Message Authentication Code and by MWS to confirm message
+authenticity and integrity."  The initial exchange is out of the paper's
+scope; here registration hands both sides the key.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DuplicateKeyError, UnknownIdentityError
+from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.storage.engine import MemoryStore, RecordStore
+
+__all__ = ["DeviceKeyStore"]
+
+
+class DeviceKeyStore:
+    """device_id -> shared MAC key, backed by any record store."""
+
+    KEY_LENGTH = 32
+
+    def __init__(
+        self,
+        store: RecordStore | None = None,
+        rng: RandomSource | None = None,
+    ) -> None:
+        self._store = store if store is not None else MemoryStore()
+        self._rng = rng if rng is not None else SystemRandomSource()
+
+    @staticmethod
+    def _key(device_id: str) -> bytes:
+        return b"dev:" + device_id.encode("utf-8")
+
+    def register(self, device_id: str) -> bytes:
+        """Register a device and return the freshly generated shared key."""
+        key = self._key(device_id)
+        if self._store.contains(key):
+            raise DuplicateKeyError(f"device {device_id!r} already registered")
+        shared = self._rng.randbytes(self.KEY_LENGTH)
+        self._store.put(key, shared)
+        return shared
+
+    def revoke(self, device_id: str) -> None:
+        """Remove a device; future deposits from it will fail the MAC check."""
+        try:
+            self._store.delete(self._key(device_id))
+        except Exception as exc:
+            raise UnknownIdentityError(f"device {device_id!r} not registered") from exc
+
+    def shared_key(self, device_id: str) -> bytes:
+        try:
+            return self._store.get(self._key(device_id))
+        except Exception as exc:
+            raise UnknownIdentityError(f"device {device_id!r} not registered") from exc
+
+    def exists(self, device_id: str) -> bool:
+        return self._store.contains(self._key(device_id))
+
+    def device_ids(self) -> list[str]:
+        return sorted(
+            key[len(b"dev:"):].decode("utf-8") for key in self._store.keys()
+        )
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def close(self) -> None:
+        """Release underlying resources."""
+        self._store.close()

@@ -1,0 +1,148 @@
+"""The Message Database (MD) of the paper's Fig. 3.
+
+Stores authenticated, still-encrypted deposits: ``rP || C`` (inside the
+hybrid ciphertext blob) together with the attribute string, the
+per-message nonce and bookkeeping metadata.  The MWS can *route* on the
+attribute but never decrypt — the whole point of the paper.
+
+Primary data lives in any :class:`repro.storage.engine.RecordStore`;
+an attribute hash-index and a deposit-time sorted index are rebuilt by
+scanning on open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.storage.engine import MemoryStore, RecordStore
+from repro.storage.indexes import HashIndex, SortedIndex
+from repro.wire.encoding import Reader, Writer
+
+__all__ = ["MessageRecord", "MessageDatabase"]
+
+
+@dataclass
+class MessageRecord:
+    """One warehoused message: what the paper stores after SDA accepts it."""
+
+    message_id: int
+    device_id: str
+    attribute: str
+    nonce: bytes
+    ciphertext: bytes
+    deposited_at_us: int
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return (
+            Writer()
+            .u64(self.message_id)
+            .text(self.device_id)
+            .text(self.attribute)
+            .blob(self.nonce)
+            .blob(self.ciphertext)
+            .u64(self.deposited_at_us)
+            .getvalue()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MessageRecord":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        record = cls(
+            message_id=reader.u64(),
+            device_id=reader.text(),
+            attribute=reader.text(),
+            nonce=reader.blob(),
+            ciphertext=reader.blob(),
+            deposited_at_us=reader.u64(),
+        )
+        reader.finish()
+        return record
+
+
+class MessageDatabase:
+    """MD operations: store, fetch by attribute, fetch by time range."""
+
+    def __init__(self, store: RecordStore | None = None) -> None:
+        self._store = store if store is not None else MemoryStore()
+        self._by_attribute = HashIndex()
+        self._by_time = SortedIndex()
+        self._next_id = 1
+        self._rebuild_indexes()
+
+    def _rebuild_indexes(self) -> None:
+        for key, value in self._store.items():
+            record = MessageRecord.from_bytes(value)
+            self._by_attribute.add(record.attribute, record.message_id)
+            self._by_time.add(record.deposited_at_us, record.message_id)
+            self._next_id = max(self._next_id, record.message_id + 1)
+
+    @staticmethod
+    def _key(message_id: int) -> bytes:
+        return message_id.to_bytes(8, "big")
+
+    # -- writes -------------------------------------------------------------
+
+    def store(
+        self,
+        device_id: str,
+        attribute: str,
+        nonce: bytes,
+        ciphertext: bytes,
+        deposited_at_us: int,
+    ) -> MessageRecord:
+        """Persist an accepted deposit; assigns and returns the record."""
+        record = MessageRecord(
+            message_id=self._next_id,
+            device_id=device_id,
+            attribute=attribute,
+            nonce=nonce,
+            ciphertext=ciphertext,
+            deposited_at_us=deposited_at_us,
+        )
+        self._store.put(self._key(record.message_id), record.to_bytes())
+        self._by_attribute.add(attribute, record.message_id)
+        self._by_time.add(deposited_at_us, record.message_id)
+        self._next_id += 1
+        return record
+
+    def delete(self, message_id: int) -> None:
+        """Remove a message (e.g. retention policy)."""
+        record = self.fetch(message_id)
+        self._store.delete(self._key(message_id))
+        self._by_attribute.remove(record.attribute, message_id)
+        self._by_time.remove(record.deposited_at_us, message_id)
+
+    # -- reads --------------------------------------------------------------
+
+    def fetch(self, message_id: int) -> MessageRecord:
+        return MessageRecord.from_bytes(self._store.get(self._key(message_id)))
+
+    def by_attribute(self, attribute: str) -> list[MessageRecord]:
+        """All messages deposited under one attribute string, oldest first."""
+        ids = sorted(self._by_attribute.lookup(attribute))
+        return [self.fetch(message_id) for message_id in ids]
+
+    def by_attributes(self, attributes: list[str]) -> list[MessageRecord]:
+        """Union over several attributes (what MMS runs per RC request)."""
+        ids: set[int] = set()
+        for attribute in attributes:
+            ids |= self._by_attribute.lookup(attribute)
+        return [self.fetch(message_id) for message_id in sorted(ids)]
+
+    def by_time_range(self, low_us: int, high_us: int) -> list[MessageRecord]:
+        """Messages deposited in the inclusive time window."""
+        return [self.fetch(message_id) for message_id in self._by_time.range(low_us, high_us)]
+
+    def attributes(self) -> list[str]:
+        """Distinct attribute strings present in the warehouse."""
+        return sorted(self._by_attribute.values())
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def close(self) -> None:
+        """Release underlying resources."""
+        self._store.close()

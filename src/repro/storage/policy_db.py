@@ -1,0 +1,163 @@
+"""The Policy Database (PD): the paper's Table 1 made operational.
+
+Maintains the ``Identity - Attribute - Attribute ID`` mapping:
+
+====== ========= ============
+IDRC1  A1        1
+IDRC1  A2        2
+IDRC2  A1        3
+====== ========= ============
+
+Attribute IDs are *per grant* (the same attribute gets a different AID
+for each identity, exactly as in the table), so an RC can never learn
+its attribute strings or correlate them with another RC's — the
+property the paper relies on for device-free revocation.
+
+Revocation (requirement iii) is a row delete: the identity keeps any
+private keys it already extracted (old messages stay readable — the
+paper's model) but is never handed keys for future messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnknownAttributeError, UnknownIdentityError
+from repro.storage.engine import MemoryStore, RecordStore
+from repro.wire.encoding import Reader, Writer
+
+__all__ = ["PolicyRow", "PolicyDatabase"]
+
+
+@dataclass
+class PolicyRow:
+    """One Table 1 row."""
+
+    identity: str
+    attribute: str
+    attribute_id: int
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return (
+            Writer()
+            .text(self.identity)
+            .text(self.attribute)
+            .u64(self.attribute_id)
+            .getvalue()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PolicyRow":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        row = cls(
+            identity=reader.text(),
+            attribute=reader.text(),
+            attribute_id=reader.u64(),
+        )
+        reader.finish()
+        return row
+
+
+class PolicyDatabase:
+    """Identity/attribute grants with opaque per-grant attribute ids."""
+
+    def __init__(self, store: RecordStore | None = None) -> None:
+        self._store = store if store is not None else MemoryStore()
+        self._by_identity: dict[str, dict[int, str]] = {}
+        self._by_pair: dict[tuple[str, str], int] = {}
+        self._next_attribute_id = 1
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        for _key, value in self._store.items():
+            row = PolicyRow.from_bytes(value)
+            self._by_identity.setdefault(row.identity, {})[row.attribute_id] = (
+                row.attribute
+            )
+            self._by_pair[(row.identity, row.attribute)] = row.attribute_id
+            self._next_attribute_id = max(
+                self._next_attribute_id, row.attribute_id + 1
+            )
+
+    @staticmethod
+    def _key(attribute_id: int) -> bytes:
+        return attribute_id.to_bytes(8, "big")
+
+    # -- grants ---------------------------------------------------------
+
+    def grant(self, identity: str, attribute: str) -> int:
+        """Authorize ``identity`` for ``attribute``; returns the AID.
+
+        Idempotent: granting an existing pair returns the existing AID.
+        """
+        existing = self._by_pair.get((identity, attribute))
+        if existing is not None:
+            return existing
+        attribute_id = self._next_attribute_id
+        self._next_attribute_id += 1
+        row = PolicyRow(identity=identity, attribute=attribute, attribute_id=attribute_id)
+        self._store.put(self._key(attribute_id), row.to_bytes())
+        self._by_identity.setdefault(identity, {})[attribute_id] = attribute
+        self._by_pair[(identity, attribute)] = attribute_id
+        return attribute_id
+
+    def revoke(self, identity: str, attribute: str) -> None:
+        """Remove a grant (paper requirement iii).  Unknown pairs raise."""
+        attribute_id = self._by_pair.pop((identity, attribute), None)
+        if attribute_id is None:
+            raise UnknownAttributeError(
+                f"no grant of {attribute!r} to {identity!r} to revoke"
+            )
+        self._store.delete(self._key(attribute_id))
+        bucket = self._by_identity.get(identity, {})
+        bucket.pop(attribute_id, None)
+        if not bucket:
+            self._by_identity.pop(identity, None)
+
+    def revoke_identity(self, identity: str) -> int:
+        """Remove every grant for ``identity``; returns the count removed."""
+        attributes = list(self._by_identity.get(identity, {}).values())
+        for attribute in attributes:
+            self.revoke(identity, attribute)
+        return len(attributes)
+
+    # -- queries ----------------------------------------------------------
+
+    def attributes_for(self, identity: str) -> dict[int, str]:
+        """AID -> attribute map for an identity (what MMS and TG consume).
+
+        Raises :class:`UnknownIdentityError` for identities with no grants,
+        matching the MWS behaviour of rejecting unknown clients.
+        """
+        bucket = self._by_identity.get(identity)
+        if bucket is None:
+            raise UnknownIdentityError(f"identity {identity!r} has no grants")
+        return dict(bucket)
+
+    def is_authorized(self, identity: str, attribute: str) -> bool:
+        return (identity, attribute) in self._by_pair
+
+    def identities_for(self, attribute: str) -> list[str]:
+        """All identities granted ``attribute`` (admin/audit view)."""
+        return sorted(
+            identity
+            for (identity, attr) in self._by_pair
+            if attr == attribute
+        )
+
+    def table(self) -> list[PolicyRow]:
+        """The full Table 1, ordered by attribute id."""
+        rows = [
+            PolicyRow(identity=identity, attribute=attribute, attribute_id=attribute_id)
+            for (identity, attribute), attribute_id in self._by_pair.items()
+        ]
+        return sorted(rows, key=lambda row: row.attribute_id)
+
+    def __len__(self) -> int:
+        return len(self._by_pair)
+
+    def close(self) -> None:
+        """Release underlying resources."""
+        self._store.close()

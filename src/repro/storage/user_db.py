@@ -1,0 +1,101 @@
+"""The User Database: RC identities and password-derived keys.
+
+The paper's gatekeeper authenticates an RC by decrypting
+``E(HashPassword, ID_RC || T || N)`` with "the hashed password from the
+User Database" — i.e. ``H(password)`` acts as a shared symmetric key.
+We store exactly that (SHA-256 of the password), which reproduces the
+protocol faithfully; the docstring of :meth:`password_key` records the
+known limitation (an unsalted hash is a password-equivalent secret).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AuthenticationError, DuplicateKeyError, UnknownIdentityError
+from repro.hashes.hmac import constant_time_equal
+from repro.hashes.sha256 import sha256
+from repro.storage.engine import MemoryStore, RecordStore
+from repro.wire.encoding import Reader, Writer
+
+__all__ = ["UserDatabase"]
+
+
+class UserDatabase:
+    """RC registry: identity -> hashed password (+ optional metadata)."""
+
+    def __init__(self, store: RecordStore | None = None) -> None:
+        self._store = store if store is not None else MemoryStore()
+
+    @staticmethod
+    def _key(rc_id: str) -> bytes:
+        return b"user:" + rc_id.encode("utf-8")
+
+    @staticmethod
+    def hash_password(password: str) -> bytes:
+        """The protocol's ``HashPassword``: SHA-256 of the UTF-8 password."""
+        return sha256(password.encode("utf-8"))
+
+    def register(self, rc_id: str, password: str, display_name: str = "") -> None:
+        """Add an RC; raises :class:`DuplicateKeyError` when the id exists."""
+        key = self._key(rc_id)
+        if self._store.contains(key):
+            raise DuplicateKeyError(f"RC identity {rc_id!r} already registered")
+        record = (
+            Writer()
+            .blob(self.hash_password(password))
+            .text(display_name)
+            .getvalue()
+        )
+        self._store.put(key, record)
+
+    def unregister(self, rc_id: str) -> None:
+        try:
+            self._store.delete(self._key(rc_id))
+        except Exception as exc:  # KeyNotFoundError -> domain error
+            raise UnknownIdentityError(f"RC identity {rc_id!r} not registered") from exc
+
+    def _record(self, rc_id: str) -> tuple[bytes, str]:
+        try:
+            raw = self._store.get(self._key(rc_id))
+        except Exception as exc:
+            raise UnknownIdentityError(f"RC identity {rc_id!r} not registered") from exc
+        reader = Reader(raw)
+        hashed = reader.blob()
+        display_name = reader.text()
+        reader.finish()
+        return hashed, display_name
+
+    def password_key(self, rc_id: str) -> bytes:
+        """The stored ``HashPassword`` for ``rc_id``.
+
+        The gatekeeper uses this as the symmetric key to open the RC's
+        auth blob.  Because the protocol needs the raw hash as a key, it
+        cannot be salted server-side; a production deployment would move
+        to a PAKE or TLS-client-auth — see DESIGN.md §7.
+        """
+        hashed, _ = self._record(rc_id)
+        return hashed
+
+    def verify_password(self, rc_id: str, password: str) -> None:
+        """Constant-time check; raises :class:`AuthenticationError` on mismatch."""
+        hashed, _ = self._record(rc_id)
+        if not constant_time_equal(hashed, self.hash_password(password)):
+            raise AuthenticationError(f"bad password for RC {rc_id!r}")
+
+    def display_name(self, rc_id: str) -> str:
+        _, display_name = self._record(rc_id)
+        return display_name
+
+    def exists(self, rc_id: str) -> bool:
+        return self._store.contains(self._key(rc_id))
+
+    def identities(self) -> list[str]:
+        return sorted(
+            key[len(b"user:"):].decode("utf-8") for key in self._store.keys()
+        )
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def close(self) -> None:
+        """Release underlying resources."""
+        self._store.close()

@@ -1,0 +1,36 @@
+"""Symmetric ciphers implemented from their specifications.
+
+The paper's protocol says "We have used DES encryption method throughout
+this protocol"; DES and 3DES are implemented from FIPS 46-3 and AES from
+FIPS 197 so the protocol layer can swap ciphers by name.  Block modes
+(ECB/CBC/CTR) and PKCS#7 padding live in their own modules, and
+:func:`new_cipher` is the registry-backed factory the protocol uses.
+"""
+
+from repro.symciph.aes import AES
+from repro.symciph.cipher import CIPHER_REGISTRY, CipherSpec, new_cipher
+from repro.symciph.des import DES, TripleDES
+from repro.symciph.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_transform,
+    ecb_decrypt,
+    ecb_encrypt,
+)
+from repro.symciph.padding import pkcs7_pad, pkcs7_unpad
+
+__all__ = [
+    "DES",
+    "TripleDES",
+    "AES",
+    "ecb_encrypt",
+    "ecb_decrypt",
+    "cbc_encrypt",
+    "cbc_decrypt",
+    "ctr_transform",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "new_cipher",
+    "CipherSpec",
+    "CIPHER_REGISTRY",
+]

@@ -1,0 +1,179 @@
+"""AES-128/192/256 implemented from FIPS 197.
+
+The S-box is derived algebraically (multiplicative inverse in GF(2^8)
+followed by the affine transform) rather than hard-coded, which both
+documents where it comes from and removes a 256-entry transcription
+risk.  AES is the modern drop-in for the paper's DES; the protocol layer
+selects it through :func:`repro.symciph.new_cipher`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidBlockSizeError, InvalidKeySizeError
+
+__all__ = ["AES"]
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        carry = a & 0x80
+        a = (a << 1) & 0xFF
+        if carry:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Derive the AES S-box and its inverse from the field structure."""
+    # Multiplicative inverses via exhaustive search (256 elements; done once).
+    inverse = [0] * 256
+    for x in range(1, 256):
+        for y in range(1, 256):
+            if _gf_mul(x, y) == 1:
+                inverse[x] = y
+                break
+    sbox = [0] * 256
+    for x in range(256):
+        b = inverse[x]
+        # Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
+        value = b
+        for shift in range(1, 5):
+            value ^= ((b << shift) | (b >> (8 - shift))) & 0xFF
+        sbox[x] = value ^ 0x63
+    inv_sbox = [0] * 256
+    for x, s in enumerate(sbox):
+        inv_sbox[s] = x
+    return tuple(sbox), tuple(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+# Round constants for the key schedule: powers of x in GF(2^8).
+_RCON = [1]
+while len(_RCON) < 14:
+    _RCON.append(_gf_mul(_RCON[-1], 2))
+
+
+class AES:
+    """AES with 16/24/32-byte keys over 16-byte blocks.
+
+    >>> key = bytes(range(16))
+    >>> pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+    >>> AES(key).encrypt_block(pt).hex()
+    '69c4e0d86a7b0430d8cdb78070b4c55a'
+    """
+
+    block_size = 16
+    key_sizes = (16, 24, 32)
+    name = "AES"
+
+    _ROUNDS_BY_KEY_SIZE = {16: 10, 24: 12, 32: 14}
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in self._ROUNDS_BY_KEY_SIZE:
+            raise InvalidKeySizeError(
+                f"AES requires a 16-, 24- or 32-byte key, got {len(key)}"
+            )
+        self._rounds = self._ROUNDS_BY_KEY_SIZE[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    def _expand_key(self, key: bytes) -> list[list[int]]:
+        """Key expansion: list of 4-byte words, grouped later per round."""
+        nk = len(key) // 4
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        total_words = 4 * (self._rounds + 1)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [_SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([w ^ t for w, t in zip(words[i - nk], temp)])
+        return words
+
+    @staticmethod
+    def _bytes_to_state(block: bytes) -> list[list[int]]:
+        """Column-major 4x4 state: state[row][col] = block[4*col + row]."""
+        return [[block[4 * col + row] for col in range(4)] for row in range(4)]
+
+    @staticmethod
+    def _state_to_bytes(state: list[list[int]]) -> bytes:
+        return bytes(state[row][col] for col in range(4) for row in range(4))
+
+    def _add_round_key(self, state: list[list[int]], round_index: int) -> None:
+        for col in range(4):
+            word = self._round_keys[4 * round_index + col]
+            for row in range(4):
+                state[row][col] ^= word[row]
+
+    @staticmethod
+    def _sub_bytes(state: list[list[int]], box: tuple[int, ...]) -> None:
+        for row in range(4):
+            for col in range(4):
+                state[row][col] = box[state[row][col]]
+
+    @staticmethod
+    def _shift_rows(state: list[list[int]], inverse: bool = False) -> None:
+        for row in range(1, 4):
+            shift = -row if inverse else row
+            state[row] = state[row][shift:] + state[row][:shift]
+
+    @staticmethod
+    def _mix_columns(state: list[list[int]], inverse: bool = False) -> None:
+        matrix = (
+            ((14, 11, 13, 9), (9, 14, 11, 13), (13, 9, 14, 11), (11, 13, 9, 14))
+            if inverse
+            else ((2, 3, 1, 1), (1, 2, 3, 1), (1, 1, 2, 3), (3, 1, 1, 2))
+        )
+        for col in range(4):
+            column = [state[row][col] for row in range(4)]
+            for row in range(4):
+                state[row][col] = (
+                    _gf_mul(matrix[row][0], column[0])
+                    ^ _gf_mul(matrix[row][1], column[1])
+                    ^ _gf_mul(matrix[row][2], column[2])
+                    ^ _gf_mul(matrix[row][3], column[3])
+                )
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != 16:
+            raise InvalidBlockSizeError(
+                f"AES operates on 16-byte blocks, got {len(block)}"
+            )
+        state = self._bytes_to_state(block)
+        self._add_round_key(state, 0)
+        for round_index in range(1, self._rounds):
+            self._sub_bytes(state, _SBOX)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, round_index)
+        self._sub_bytes(state, _SBOX)
+        self._shift_rows(state)
+        self._add_round_key(state, self._rounds)
+        return self._state_to_bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != 16:
+            raise InvalidBlockSizeError(
+                f"AES operates on 16-byte blocks, got {len(block)}"
+            )
+        state = self._bytes_to_state(block)
+        self._add_round_key(state, self._rounds)
+        for round_index in range(self._rounds - 1, 0, -1):
+            self._shift_rows(state, inverse=True)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, round_index)
+            self._mix_columns(state, inverse=True)
+        self._shift_rows(state, inverse=True)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, 0)
+        return self._state_to_bytes(state)

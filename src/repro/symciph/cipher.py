@@ -1,0 +1,132 @@
+"""Cipher registry and the high-level authenticated container.
+
+The protocol layer never touches raw blocks: it calls
+:class:`SymmetricScheme` (CBC + PKCS#7 + random IV, optionally with an
+encrypt-then-MAC tag), selecting the block cipher by registry name so
+the paper's DES and the modern AES are interchangeable — one of the
+ablations DESIGN.md §6 calls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CipherError, DecryptionError
+from repro.hashes.hmac import Hmac, constant_time_equal
+from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.symciph.aes import AES
+from repro.symciph.des import DES, TripleDES
+from repro.symciph.modes import cbc_decrypt, cbc_encrypt
+from repro.symciph.padding import pkcs7_pad, pkcs7_unpad
+
+__all__ = ["CipherSpec", "CIPHER_REGISTRY", "new_cipher", "SymmetricScheme"]
+
+
+@dataclass(frozen=True)
+class CipherSpec:
+    """Registry entry describing a block cipher choice."""
+
+    name: str
+    factory: type
+    key_size: int
+    block_size: int
+
+
+#: Canonical cipher names the protocol configuration accepts.
+CIPHER_REGISTRY: dict[str, CipherSpec] = {
+    "DES": CipherSpec("DES", DES, 8, 8),
+    "3DES": CipherSpec("3DES", TripleDES, 24, 8),
+    "AES-128": CipherSpec("AES-128", AES, 16, 16),
+    "AES-192": CipherSpec("AES-192", AES, 24, 16),
+    "AES-256": CipherSpec("AES-256", AES, 32, 16),
+}
+
+
+def new_cipher(name: str, key: bytes):
+    """Instantiate a registered block cipher by name.
+
+    >>> c = new_cipher("DES", bytes(8))
+    >>> c.block_size
+    8
+    """
+    spec = CIPHER_REGISTRY.get(name)
+    if spec is None:
+        raise CipherError(
+            f"unknown cipher {name!r}; known: {sorted(CIPHER_REGISTRY)}"
+        )
+    return spec.factory(key)
+
+
+class SymmetricScheme:
+    """CBC + PKCS#7 symmetric encryption with an optional HMAC tag.
+
+    ``seal``/``open`` produce/consume self-contained byte strings
+    (``IV || ciphertext [|| tag]``).  With ``mac=True`` the scheme is
+    encrypt-then-MAC under a key derived by domain separation from the
+    data key, and ``open`` rejects any modification.
+    """
+
+    _MAC_INFO = b"repro-symmetric-scheme-mac-key"
+
+    def __init__(
+        self,
+        cipher_name: str,
+        key: bytes,
+        mac: bool = False,
+        rng: RandomSource | None = None,
+    ) -> None:
+        spec = CIPHER_REGISTRY.get(cipher_name)
+        if spec is None:
+            raise CipherError(
+                f"unknown cipher {cipher_name!r}; known: {sorted(CIPHER_REGISTRY)}"
+            )
+        if len(key) != spec.key_size:
+            raise CipherError(
+                f"{cipher_name} requires a {spec.key_size}-byte key, got {len(key)}"
+            )
+        self._spec = spec
+        self._cipher = spec.factory(key)
+        self._mac_key = (
+            Hmac(key, "sha256", self._MAC_INFO).digest() if mac else None
+        )
+        self._rng = rng if rng is not None else SystemRandomSource()
+
+    @property
+    def cipher_name(self) -> str:
+        return self._spec.name
+
+    @property
+    def tag_size(self) -> int:
+        return 32 if self._mac_key is not None else 0
+
+    def seal(self, plaintext: bytes) -> bytes:
+        """Encrypt ``plaintext``; returns ``IV || ct [|| tag]``."""
+        iv = self._rng.randbytes(self._spec.block_size)
+        padded = pkcs7_pad(plaintext, self._spec.block_size)
+        ciphertext = cbc_encrypt(self._cipher, padded, iv)
+        sealed = iv + ciphertext
+        if self._mac_key is not None:
+            sealed += Hmac(self._mac_key, "sha256", sealed).digest()
+        return sealed
+
+    def open(self, sealed: bytes) -> bytes:
+        """Decrypt a sealed container, verifying the tag when present."""
+        block_size = self._spec.block_size
+        if self._mac_key is not None:
+            if len(sealed) < 32:
+                raise DecryptionError("sealed container shorter than its MAC tag")
+            body, tag = sealed[:-32], sealed[-32:]
+            expected = Hmac(self._mac_key, "sha256", body).digest()
+            if not constant_time_equal(tag, expected):
+                raise DecryptionError("MAC verification failed")
+            sealed = body
+        if len(sealed) < 2 * block_size or len(sealed) % block_size != 0:
+            raise DecryptionError(
+                f"sealed container has invalid length {len(sealed)}"
+            )
+        iv, ciphertext = sealed[:block_size], sealed[block_size:]
+        padded = cbc_decrypt(self._cipher, ciphertext, iv)
+        try:
+            return pkcs7_unpad(padded, block_size)
+        except CipherError as exc:
+            raise DecryptionError(f"padding check failed: {exc}") from exc

@@ -1,0 +1,99 @@
+"""Block-cipher modes of operation: ECB, CBC, CTR.
+
+These operate over any object exposing ``block_size``,
+``encrypt_block`` and ``decrypt_block`` (DES, 3DES, AES).  ECB is
+provided because the paper's Perl prototype used raw DES, but the
+protocol layer defaults to CBC with a random IV.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CipherError, InvalidBlockSizeError
+
+__all__ = [
+    "ecb_encrypt",
+    "ecb_decrypt",
+    "cbc_encrypt",
+    "cbc_decrypt",
+    "ctr_transform",
+]
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _iter_blocks(data: bytes, block_size: int):
+    if len(data) % block_size != 0:
+        raise InvalidBlockSizeError(
+            f"data length {len(data)} is not a multiple of block size {block_size}"
+        )
+    for offset in range(0, len(data), block_size):
+        yield data[offset : offset + block_size]
+
+
+def ecb_encrypt(cipher, plaintext: bytes) -> bytes:
+    """Encrypt block-aligned ``plaintext`` in ECB mode."""
+    return b"".join(
+        cipher.encrypt_block(block)
+        for block in _iter_blocks(plaintext, cipher.block_size)
+    )
+
+
+def ecb_decrypt(cipher, ciphertext: bytes) -> bytes:
+    """Decrypt block-aligned ``ciphertext`` in ECB mode."""
+    return b"".join(
+        cipher.decrypt_block(block)
+        for block in _iter_blocks(ciphertext, cipher.block_size)
+    )
+
+
+def cbc_encrypt(cipher, plaintext: bytes, iv: bytes) -> bytes:
+    """Encrypt block-aligned ``plaintext`` in CBC mode under ``iv``."""
+    if len(iv) != cipher.block_size:
+        raise CipherError(
+            f"IV must be {cipher.block_size} bytes, got {len(iv)}"
+        )
+    previous = iv
+    blocks = []
+    for block in _iter_blocks(plaintext, cipher.block_size):
+        previous = cipher.encrypt_block(_xor_bytes(block, previous))
+        blocks.append(previous)
+    return b"".join(blocks)
+
+
+def cbc_decrypt(cipher, ciphertext: bytes, iv: bytes) -> bytes:
+    """Decrypt block-aligned ``ciphertext`` in CBC mode under ``iv``."""
+    if len(iv) != cipher.block_size:
+        raise CipherError(
+            f"IV must be {cipher.block_size} bytes, got {len(iv)}"
+        )
+    previous = iv
+    blocks = []
+    for block in _iter_blocks(ciphertext, cipher.block_size):
+        blocks.append(_xor_bytes(cipher.decrypt_block(block), previous))
+        previous = block
+    return b"".join(blocks)
+
+
+def ctr_transform(cipher, data: bytes, nonce: bytes) -> bytes:
+    """Encrypt or decrypt ``data`` in CTR mode (the operations coincide).
+
+    ``nonce`` seeds a big-endian counter filling one cipher block; the
+    data need not be block-aligned.
+    """
+    block_size = cipher.block_size
+    if len(nonce) > block_size:
+        raise CipherError(
+            f"CTR nonce must be at most {block_size} bytes, got {len(nonce)}"
+        )
+    counter = int.from_bytes(nonce.ljust(block_size, b"\x00"), "big")
+    out = bytearray()
+    for offset in range(0, len(data), block_size):
+        keystream = cipher.encrypt_block(
+            (counter % (1 << (8 * block_size))).to_bytes(block_size, "big")
+        )
+        chunk = data[offset : offset + block_size]
+        out.extend(_xor_bytes(chunk, keystream[: len(chunk)]))
+        counter += 1
+    return bytes(out)

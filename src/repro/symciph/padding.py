@@ -1,0 +1,35 @@
+"""PKCS#7 padding (RFC 5652 §6.3).
+
+All CBC/ECB protocol payloads are padded with PKCS#7; removal validates
+every padding byte and raises :class:`repro.errors.PaddingError` on any
+inconsistency so a tampered ciphertext cannot silently truncate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PaddingError
+
+__all__ = ["pkcs7_pad", "pkcs7_unpad"]
+
+
+def pkcs7_pad(data: bytes, block_size: int) -> bytes:
+    """Pad ``data`` to a multiple of ``block_size`` (1..255)."""
+    if not 1 <= block_size <= 255:
+        raise PaddingError(f"block size must be in [1, 255], got {block_size}")
+    pad_len = block_size - len(data) % block_size
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes, block_size: int) -> bytes:
+    """Remove PKCS#7 padding, validating every pad byte."""
+    if not data or len(data) % block_size != 0:
+        raise PaddingError(
+            f"padded data length {len(data)} is not a positive multiple "
+            f"of block size {block_size}"
+        )
+    pad_len = data[-1]
+    if pad_len == 0 or pad_len > block_size:
+        raise PaddingError(f"invalid padding length byte {pad_len}")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise PaddingError("padding bytes are inconsistent")
+    return data[:-pad_len]

@@ -1,0 +1,41 @@
+"""Wire format: a small TLV-style codec plus the typed protocol messages.
+
+The paper's prototype serialised Perl structures over raw sockets; here
+every protocol unit (deposit, retrieve, ticket, token, authenticator,
+key request) is a dataclass with a canonical byte encoding.  Canonical
+matters: MACs are computed over these bytes, so encoding ambiguity would
+translate directly into forgery room.
+"""
+
+from repro.wire.encoding import Reader, Writer
+from repro.wire.messages import (
+    Authenticator,
+    DepositRequest,
+    DepositResponse,
+    KeyRequest,
+    KeyResponse,
+    PkgAuthRequest,
+    PkgAuthResponse,
+    RetrieveRequest,
+    RetrieveResponse,
+    StoredMessage,
+    Ticket,
+    Token,
+)
+
+__all__ = [
+    "Writer",
+    "Reader",
+    "DepositRequest",
+    "DepositResponse",
+    "RetrieveRequest",
+    "RetrieveResponse",
+    "StoredMessage",
+    "Ticket",
+    "Token",
+    "Authenticator",
+    "PkgAuthRequest",
+    "PkgAuthResponse",
+    "KeyRequest",
+    "KeyResponse",
+]

@@ -1,0 +1,135 @@
+"""Binary writer/reader with length-prefixed fields.
+
+All multi-byte integers are big-endian.  Variable-length fields carry a
+4-byte length prefix; strings are UTF-8.  The reader validates every
+length against the remaining buffer and raises
+:class:`repro.errors.DecodeError` on any truncation or trailing bytes,
+so malformed network input cannot produce a half-parsed message.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodeError, EncodingError
+
+__all__ = ["Writer", "Reader"]
+
+_U64_MAX = 2**64 - 1
+_U32_MAX = 2**32 - 1
+
+
+class Writer:
+    """Append-only builder for canonical message encodings."""
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+
+    def u8(self, value: int) -> "Writer":
+        if not 0 <= value <= 0xFF:
+            raise EncodingError(f"u8 out of range: {value}")
+        self._chunks.append(bytes([value]))
+        return self
+
+    def u32(self, value: int) -> "Writer":
+        if not 0 <= value <= _U32_MAX:
+            raise EncodingError(f"u32 out of range: {value}")
+        self._chunks.append(value.to_bytes(4, "big"))
+        return self
+
+    def u64(self, value: int) -> "Writer":
+        if not 0 <= value <= _U64_MAX:
+            raise EncodingError(f"u64 out of range: {value}")
+        self._chunks.append(value.to_bytes(8, "big"))
+        return self
+
+    def bool(self, value: bool) -> "Writer":
+        return self.u8(1 if value else 0)
+
+    def blob(self, value: bytes) -> "Writer":
+        if len(value) > _U32_MAX:
+            raise EncodingError(f"blob too long: {len(value)} bytes")
+        self._chunks.append(len(value).to_bytes(4, "big"))
+        self._chunks.append(bytes(value))
+        return self
+
+    def text(self, value: str) -> "Writer":
+        return self.blob(value.encode("utf-8"))
+
+    def bigint(self, value: int) -> "Writer":
+        if value < 0:
+            raise EncodingError(f"bigint must be non-negative, got {value}")
+        raw = value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+        return self.blob(raw)
+
+    def blob_list(self, values: list[bytes]) -> "Writer":
+        self.u32(len(values))
+        for value in values:
+            self.blob(value)
+        return self
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+class Reader:
+    """Sequential decoder over a byte buffer with strict bounds checks."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+        self._offset = 0
+
+    def _take(self, count: int) -> bytes:
+        if count < 0 or self._offset + count > len(self._data):
+            raise DecodeError(
+                f"truncated message: need {count} bytes at offset {self._offset}, "
+                f"have {len(self._data) - self._offset}"
+            )
+        chunk = self._data[self._offset : self._offset + count]
+        self._offset += count
+        return chunk
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u32(self) -> int:
+        return int.from_bytes(self._take(4), "big")
+
+    def u64(self) -> int:
+        return int.from_bytes(self._take(8), "big")
+
+    def bool(self) -> bool:
+        value = self.u8()
+        if value not in (0, 1):
+            raise DecodeError(f"invalid boolean byte {value}")
+        return value == 1
+
+    def blob(self) -> bytes:
+        length = self.u32()
+        return self._take(length)
+
+    def text(self) -> str:
+        raw = self.blob()
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DecodeError(f"invalid UTF-8 text field: {exc}") from exc
+
+    def bigint(self) -> int:
+        return int.from_bytes(self.blob(), "big")
+
+    def blob_list(self) -> list[bytes]:
+        count = self.u32()
+        # Each entry needs at least its 4-byte length prefix; reject
+        # counts that could not possibly fit to avoid huge allocations.
+        if count * 4 > len(self._data) - self._offset:
+            raise DecodeError(f"blob list count {count} exceeds remaining buffer")
+        return [self.blob() for _ in range(count)]
+
+    def finish(self) -> None:
+        """Assert the whole buffer was consumed."""
+        remaining = len(self._data) - self._offset
+        if remaining:
+            raise DecodeError(f"{remaining} trailing bytes after message")
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._offset

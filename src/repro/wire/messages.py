@@ -1,0 +1,597 @@
+"""Typed protocol messages for the three phases of the paper's protocol.
+
+Each dataclass mirrors a line of the paper's §V.D notation:
+
+* :class:`DepositRequest`    — ``rP || C || (A || Nonce) || ID_SD || T || MAC``
+* :class:`RetrieveRequest`   — ``ID_RC || PubK_RC || E(HashPassword, ID_RC || T || N)``
+* :class:`StoredMessage` / :class:`RetrieveResponse`
+                              — ``rP || C || (AID || Nonce) || N`` plus the Token
+* :class:`Ticket`            — ``E(SecK_MWS-PKG, AID-A pairs || SecK_RC-PKG ...)``
+  (this class is the *plaintext* structure; the MWS token generator
+  seals it)
+* :class:`Token`             — ``E(PubK_RC, SecK_RC-PKG || Ticket)`` (plaintext
+  structure, sealed by the token generator under the RC's public key)
+* :class:`Authenticator`     — ``E(SecK_RC-PKG, ID_RC || T)`` (plaintext structure)
+* :class:`KeyRequest` / :class:`KeyResponse`
+                              — the ``AID || Nonce -> sI`` exchange with the PKG
+
+``mac_payload``/``auth_payload`` helpers return the exact byte strings
+MACs and authenticators are computed over, so the signer and the
+verifier cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.wire.encoding import Reader, Writer
+
+__all__ = [
+    "DepositRequest",
+    "DepositResponse",
+    "RetrieveRequest",
+    "RetrieveResponse",
+    "StoredMessage",
+    "Ticket",
+    "Token",
+    "Authenticator",
+    "PkgAuthRequest",
+    "PkgAuthResponse",
+    "KeyRequest",
+    "KeyResponse",
+    "BatchEntry",
+    "BatchDepositRequest",
+    "BatchDepositResponse",
+]
+
+
+# ---------------------------------------------------------------------------
+# Phase 1: SD -> MWS
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DepositRequest:
+    """A smart device depositing one encrypted message.
+
+    ``ciphertext`` is the serialised hybrid ciphertext (it embeds ``rP``;
+    the paper writes ``rP || C`` separately, we keep them in the one
+    container the IBE layer produced).  ``attribute`` and ``nonce`` are
+    stored by the MWS for routing; the MWS cannot decrypt with them.
+    """
+
+    device_id: str
+    attribute: str
+    nonce: bytes
+    ciphertext: bytes
+    timestamp_us: int
+    mac: bytes = b""
+    #: Optional identity-based signature over :meth:`mac_payload` —
+    #: the §VIII future-work alternative to the shared-key MAC.
+    signature: bytes = b""
+
+    def mac_payload(self) -> bytes:
+        """The exact bytes the paper MACs: rP || C || (A || Nonce) || ID_SD || T."""
+        return (
+            Writer()
+            .blob(self.ciphertext)
+            .text(self.attribute)
+            .blob(self.nonce)
+            .text(self.device_id)
+            .u64(self.timestamp_us)
+            .getvalue()
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return (
+            Writer()
+            .text(self.device_id)
+            .text(self.attribute)
+            .blob(self.nonce)
+            .blob(self.ciphertext)
+            .u64(self.timestamp_us)
+            .blob(self.mac)
+            .blob(self.signature)
+            .getvalue()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DepositRequest":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        message = cls(
+            device_id=reader.text(),
+            attribute=reader.text(),
+            nonce=reader.blob(),
+            ciphertext=reader.blob(),
+            timestamp_us=reader.u64(),
+            mac=reader.blob(),
+            signature=reader.blob(),
+        )
+        reader.finish()
+        return message
+
+
+@dataclass
+class DepositResponse:
+    """MWS acknowledgement: accepted + message id, or a rejection reason."""
+
+    accepted: bool
+    message_id: int = 0
+    error: str = ""
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return (
+            Writer()
+            .bool(self.accepted)
+            .u64(self.message_id)
+            .text(self.error)
+            .getvalue()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DepositResponse":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        message = cls(
+            accepted=reader.bool(),
+            message_id=reader.u64(),
+            error=reader.text(),
+        )
+        reader.finish()
+        return message
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: MWS <-> RC
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RetrieveRequest:
+    """RC authentication + retrieval request.
+
+    ``auth_blob`` is ``E(HashPassword, ID_RC || T || N)`` — the gatekeeper
+    decrypts it with the stored password hash and checks the inner id.
+    """
+
+    rc_id: str
+    rc_public_key: bytes
+    auth_blob: bytes
+    #: Only messages deposited at or after this time are returned —
+    #: lets an RC poll incrementally instead of re-downloading history.
+    since_us: int = 0
+    #: Alternative credential: a serialised signed identity assertion
+    #: (repro.policy.assertions).  When present, ``auth_blob`` may be
+    #: empty and the gatekeeper validates the assertion instead.
+    assertion: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return (
+            Writer()
+            .text(self.rc_id)
+            .blob(self.rc_public_key)
+            .blob(self.auth_blob)
+            .u64(self.since_us)
+            .blob(self.assertion)
+            .getvalue()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RetrieveRequest":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        message = cls(
+            rc_id=reader.text(),
+            rc_public_key=reader.blob(),
+            auth_blob=reader.blob(),
+            since_us=reader.u64(),
+            assertion=reader.blob(),
+        )
+        reader.finish()
+        return message
+
+    @staticmethod
+    def auth_payload(rc_id: str, timestamp_us: int, nonce: bytes) -> bytes:
+        """Plaintext of the auth blob: ``ID_RC || T || N``."""
+        return Writer().text(rc_id).u64(timestamp_us).blob(nonce).getvalue()
+
+    @staticmethod
+    def parse_auth_payload(data: bytes) -> tuple[str, int, bytes]:
+        reader = Reader(data)
+        rc_id = reader.text()
+        timestamp_us = reader.u64()
+        nonce = reader.blob()
+        reader.finish()
+        return rc_id, timestamp_us, nonce
+
+
+@dataclass
+class StoredMessage:
+    """One warehoused message as delivered to an RC.
+
+    The RC sees the opaque ``attribute_id`` (AID), never the attribute
+    string — the paper hides attributes from RCs so revocation never
+    requires re-keying smart devices.
+    """
+
+    message_id: int
+    attribute_id: int
+    nonce: bytes
+    ciphertext: bytes
+    deposited_at_us: int
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return (
+            Writer()
+            .u64(self.message_id)
+            .u64(self.attribute_id)
+            .blob(self.nonce)
+            .blob(self.ciphertext)
+            .u64(self.deposited_at_us)
+            .getvalue()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "StoredMessage":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        message = cls(
+            message_id=reader.u64(),
+            attribute_id=reader.u64(),
+            nonce=reader.blob(),
+            ciphertext=reader.blob(),
+            deposited_at_us=reader.u64(),
+        )
+        reader.finish()
+        return message
+
+
+@dataclass
+class RetrieveResponse:
+    """Messages for the RC plus the sealed token for the PKG round-trip."""
+
+    token: bytes
+    rc_nonce: bytes
+    messages: list[StoredMessage] = field(default_factory=list)
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        writer = Writer().blob(self.token).blob(self.rc_nonce)
+        writer.blob_list([m.to_bytes() for m in self.messages])
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RetrieveResponse":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        token = reader.blob()
+        rc_nonce = reader.blob()
+        raw_messages = reader.blob_list()
+        reader.finish()
+        return cls(
+            token=token,
+            rc_nonce=rc_nonce,
+            messages=[StoredMessage.from_bytes(raw) for raw in raw_messages],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Phase 3: RC <-> PKG (ticket, token, authenticator)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Ticket:
+    """Plaintext ticket contents, sealed under ``SecK_MWS-PKG``.
+
+    Contains the AID -> attribute mapping (so the PKG can resolve the
+    opaque ids the RC presents), the RC-PKG session key, the RC identity
+    it was issued to, and an expiry for freshness.
+    """
+
+    rc_id: str
+    session_key: bytes
+    attribute_map: dict[int, str]
+    issued_at_us: int
+    lifetime_us: int
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        writer = (
+            Writer()
+            .text(self.rc_id)
+            .blob(self.session_key)
+            .u64(self.issued_at_us)
+            .u64(self.lifetime_us)
+            .u32(len(self.attribute_map))
+        )
+        for attribute_id in sorted(self.attribute_map):
+            writer.u64(attribute_id).text(self.attribute_map[attribute_id])
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Ticket":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        rc_id = reader.text()
+        session_key = reader.blob()
+        issued_at_us = reader.u64()
+        lifetime_us = reader.u64()
+        count = reader.u32()
+        attribute_map = {}
+        for _ in range(count):
+            attribute_id = reader.u64()
+            attribute_map[attribute_id] = reader.text()
+        reader.finish()
+        return cls(
+            rc_id=rc_id,
+            session_key=session_key,
+            attribute_map=attribute_map,
+            issued_at_us=issued_at_us,
+            lifetime_us=lifetime_us,
+        )
+
+
+@dataclass
+class Token:
+    """Plaintext token contents, sealed under the RC's public key.
+
+    ``session_key`` duplicates the ticket's session key so the RC learns
+    it; ``sealed_ticket`` stays opaque to the RC (it cannot read the
+    attribute strings inside).
+    """
+
+    session_key: bytes
+    sealed_ticket: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return Writer().blob(self.session_key).blob(self.sealed_ticket).getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Token":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        token = cls(session_key=reader.blob(), sealed_ticket=reader.blob())
+        reader.finish()
+        return token
+
+
+@dataclass
+class Authenticator:
+    """Plaintext authenticator ``ID_RC || T``, sealed under the session key."""
+
+    rc_id: str
+    timestamp_us: int
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return Writer().text(self.rc_id).u64(self.timestamp_us).getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Authenticator":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        message = cls(rc_id=reader.text(), timestamp_us=reader.u64())
+        reader.finish()
+        return message
+
+
+@dataclass
+class PkgAuthRequest:
+    """``ID_RC || Ticket || Authenticator`` sent to the PKG."""
+
+    rc_id: str
+    sealed_ticket: bytes
+    sealed_authenticator: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return (
+            Writer()
+            .text(self.rc_id)
+            .blob(self.sealed_ticket)
+            .blob(self.sealed_authenticator)
+            .getvalue()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PkgAuthRequest":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        message = cls(
+            rc_id=reader.text(),
+            sealed_ticket=reader.blob(),
+            sealed_authenticator=reader.blob(),
+        )
+        reader.finish()
+        return message
+
+
+@dataclass
+class PkgAuthResponse:
+    """PKG confirmation; ``session_id`` names the established session."""
+
+    ok: bool
+    session_id: bytes = b""
+    error: str = ""
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return Writer().bool(self.ok).blob(self.session_id).text(self.error).getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PkgAuthResponse":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        message = cls(ok=reader.bool(), session_id=reader.blob(), error=reader.text())
+        reader.finish()
+        return message
+
+
+@dataclass
+class KeyRequest:
+    """``AID || Nonce`` — asks the PKG to extract ``sI`` for H1(A || Nonce)."""
+
+    session_id: bytes
+    attribute_id: int
+    nonce: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return (
+            Writer()
+            .blob(self.session_id)
+            .u64(self.attribute_id)
+            .blob(self.nonce)
+            .getvalue()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "KeyRequest":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        message = cls(
+            session_id=reader.blob(),
+            attribute_id=reader.u64(),
+            nonce=reader.blob(),
+        )
+        reader.finish()
+        return message
+
+
+@dataclass
+class KeyResponse:
+    """The extracted private key point ``sI`` (sealed under the session key
+    by the PKG service before transmission), or an error."""
+
+    ok: bool
+    sealed_key: bytes = b""
+    error: str = ""
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return Writer().bool(self.ok).blob(self.sealed_key).text(self.error).getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "KeyResponse":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        message = cls(ok=reader.bool(), sealed_key=reader.blob(), error=reader.text())
+        reader.finish()
+        return message
+
+
+# ---------------------------------------------------------------------------
+# Batched deposits (device-side buffering: N readings, one MAC, one trip)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchEntry:
+    """One message inside a batch: its attribute, nonce and ciphertext."""
+
+    attribute: str
+    nonce: bytes
+    ciphertext: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return (
+            Writer()
+            .text(self.attribute)
+            .blob(self.nonce)
+            .blob(self.ciphertext)
+            .getvalue()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BatchEntry":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        entry = cls(
+            attribute=reader.text(),
+            nonce=reader.blob(),
+            ciphertext=reader.blob(),
+        )
+        reader.finish()
+        return entry
+
+
+@dataclass
+class BatchDepositRequest:
+    """A buffered batch of deposits under a single MAC.
+
+    Devices that report on a schedule can amortise the MAC and the
+    network round-trip over many readings; each entry still has its own
+    attribute, nonce and independently encrypted ciphertext, so
+    confidentiality and revocation granularity are unchanged.
+    """
+
+    device_id: str
+    timestamp_us: int
+    entries: list = field(default_factory=list)
+    mac: bytes = b""
+
+    def mac_payload(self) -> bytes:
+        """The exact bytes covered by the MAC."""
+        writer = Writer().text(self.device_id).u64(self.timestamp_us)
+        writer.blob_list([entry.to_bytes() for entry in self.entries])
+        return writer.getvalue()
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        writer = Writer().text(self.device_id).u64(self.timestamp_us)
+        writer.blob_list([entry.to_bytes() for entry in self.entries])
+        writer.blob(self.mac)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BatchDepositRequest":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        device_id = reader.text()
+        timestamp_us = reader.u64()
+        entries = [BatchEntry.from_bytes(raw) for raw in reader.blob_list()]
+        mac = reader.blob()
+        reader.finish()
+        return cls(
+            device_id=device_id,
+            timestamp_us=timestamp_us,
+            entries=entries,
+            mac=mac,
+        )
+
+
+@dataclass
+class BatchDepositResponse:
+    """All-or-nothing acknowledgement of a batch."""
+
+    accepted: bool
+    message_ids: list = field(default_factory=list)
+    error: str = ""
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        writer = Writer().bool(self.accepted)
+        writer.u32(len(self.message_ids))
+        for message_id in self.message_ids:
+            writer.u64(message_id)
+        writer.text(self.error)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BatchDepositResponse":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        accepted = reader.bool()
+        count = reader.u32()
+        message_ids = [reader.u64() for _ in range(count)]
+        error = reader.text()
+        reader.finish()
+        return cls(accepted=accepted, message_ids=message_ids, error=error)

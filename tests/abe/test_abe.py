@@ -1,0 +1,210 @@
+"""Access trees, Lagrange interpolation and the KP-ABE scheme."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abe import KpAbeAuthority, leaf, threshold
+from repro.abe.access_tree import lagrange_coefficient
+from repro.errors import AccessDeniedError, ParameterError
+from repro.mathlib.rand import HmacDrbg
+from repro.pairing import get_preset
+
+PARAMS = get_preset("TOY64")
+Q = PARAMS.q
+
+
+@pytest.fixture(scope="module")
+def authority():
+    return KpAbeAuthority(
+        PARAMS,
+        ["ELECTRIC", "GAS", "WATER", "REGION-SV", "REGION-NY"],
+        rng=HmacDrbg(b"abe-authority"),
+    )
+
+
+class TestLagrange:
+    def test_interpolation_recovers_secret(self):
+        """Shamir reconstruction: shares of a random polynomial at x=0."""
+        rng = HmacDrbg(b"shamir")
+        secret = rng.randbelow(Q)
+        coefficients = [secret] + [rng.randbelow(Q) for _ in range(2)]  # degree 2
+
+        def poly(x):
+            return sum(c * pow(x, i, Q) for i, c in enumerate(coefficients)) % Q
+
+        index_set = [1, 3, 5]
+        recovered = (
+            sum(
+                poly(i) * lagrange_coefficient(i, index_set, 0, Q)
+                for i in index_set
+            )
+            % Q
+        )
+        assert recovered == secret
+
+    def test_index_must_be_in_set(self):
+        with pytest.raises(ParameterError):
+            lagrange_coefficient(2, [1, 3], 0, Q)
+
+    def test_basis_property(self):
+        """Δ_i(j) is 1 at i and 0 at other interpolation points."""
+        index_set = [1, 2, 4]
+        for i in index_set:
+            for j in index_set:
+                value = lagrange_coefficient(i, index_set, j, Q)
+                assert value == (1 if i == j else 0)
+
+
+class TestAccessTree:
+    def test_leaf_satisfaction(self):
+        assert leaf("A").satisfied_by({"A", "B"})
+        assert not leaf("A").satisfied_by({"B"})
+
+    def test_and_gate(self):
+        tree = threshold(2, leaf("A"), leaf("B"))
+        assert tree.satisfied_by({"A", "B"})
+        assert not tree.satisfied_by({"A"})
+
+    def test_or_gate(self):
+        tree = threshold(1, leaf("A"), leaf("B"))
+        assert tree.satisfied_by({"A"})
+        assert tree.satisfied_by({"B"})
+        assert not tree.satisfied_by({"C"})
+
+    def test_nested_threshold(self):
+        # 2-of-(A, B, 2-of-(C, D))
+        tree = threshold(2, leaf("A"), leaf("B"), threshold(2, leaf("C"), leaf("D")))
+        assert tree.satisfied_by({"A", "B"})
+        assert tree.satisfied_by({"A", "C", "D"})
+        assert not tree.satisfied_by({"A", "C"})
+
+    def test_leaves_ordering(self):
+        tree = threshold(1, leaf("X"), threshold(2, leaf("Y"), leaf("Z")))
+        assert [node.attribute for node in tree.leaves()] == ["X", "Y", "Z"]
+        assert tree.attributes() == {"X", "Y", "Z"}
+
+    def test_invalid_structures(self):
+        with pytest.raises(ParameterError):
+            threshold(3, leaf("A"), leaf("B"))  # k > n
+        with pytest.raises(ParameterError):
+            threshold(0, leaf("A"))
+        with pytest.raises(ParameterError):
+            threshold(1)  # no children
+
+    def test_share_distribution_reconstructs(self):
+        """Shares at an AND gate must Lagrange-combine back to the secret."""
+        rng = HmacDrbg(b"shares")
+        tree = threshold(2, leaf("A"), leaf("B"))
+        secret = 123456789 % Q
+        shares = tree.distribute_shares(secret, Q, rng)
+        values = [shares[id(node)] for node in tree.leaves()]
+        index_set = [1, 2]
+        recovered = (
+            sum(
+                v * lagrange_coefficient(i, index_set, 0, Q)
+                for i, v in zip(index_set, values)
+            )
+            % Q
+        )
+        assert recovered == secret
+
+    def test_or_gate_shares_equal_secret(self):
+        rng = HmacDrbg(b"or")
+        tree = threshold(1, leaf("A"), leaf("B"))
+        shares = tree.distribute_shares(42, Q, rng)
+        assert all(share == 42 for share in shares.values())
+
+
+class TestKpAbe:
+    def test_simple_leaf_policy(self, authority):
+        key = authority.keygen(leaf("ELECTRIC"))
+        ciphertext = authority.encrypt(
+            {"ELECTRIC"}, b"reading", rng=HmacDrbg(b"e0")
+        )
+        assert authority.decrypt(key, ciphertext) == b"reading"
+
+    def test_and_policy(self, authority):
+        key = authority.keygen(threshold(2, leaf("ELECTRIC"), leaf("REGION-SV")))
+        good = authority.encrypt(
+            {"ELECTRIC", "REGION-SV"}, b"sv electric", rng=HmacDrbg(b"e1")
+        )
+        assert authority.decrypt(key, good) == b"sv electric"
+        bad = authority.encrypt(
+            {"ELECTRIC", "REGION-NY"}, b"ny electric", rng=HmacDrbg(b"e2")
+        )
+        with pytest.raises(AccessDeniedError):
+            authority.decrypt(key, bad)
+
+    def test_or_policy(self, authority):
+        key = authority.keygen(threshold(1, leaf("ELECTRIC"), leaf("GAS")))
+        for label, body in ((("ELECTRIC",), b"e"), (("GAS",), b"g")):
+            ciphertext = authority.encrypt(set(label), body, rng=HmacDrbg(body))
+            assert authority.decrypt(key, ciphertext) == body
+
+    def test_2_of_3_policy(self, authority):
+        key = authority.keygen(
+            threshold(2, leaf("ELECTRIC"), leaf("GAS"), leaf("WATER"))
+        )
+        ciphertext = authority.encrypt(
+            {"GAS", "WATER"}, b"two of three", rng=HmacDrbg(b"e3")
+        )
+        assert authority.decrypt(key, ciphertext) == b"two of three"
+        single = authority.encrypt({"GAS"}, b"just one", rng=HmacDrbg(b"e4"))
+        with pytest.raises(AccessDeniedError):
+            authority.decrypt(key, single)
+
+    def test_utility_scenario_policy(self, authority):
+        """The paper's C-Services as one ABE key instead of three grants."""
+        c_services = authority.keygen(
+            threshold(
+                2,
+                threshold(1, leaf("ELECTRIC"), leaf("GAS"), leaf("WATER")),
+                leaf("REGION-SV"),
+            )
+        )
+        for kind in ("ELECTRIC", "GAS", "WATER"):
+            ciphertext = authority.encrypt(
+                {kind, "REGION-SV"}, kind.encode(), rng=HmacDrbg(kind.encode())
+            )
+            assert authority.decrypt(c_services, ciphertext) == kind.encode()
+
+    def test_unknown_attribute_in_tree_rejected(self, authority):
+        with pytest.raises(ParameterError):
+            authority.keygen(leaf("SOLAR"))
+
+    def test_unknown_label_rejected(self, authority):
+        with pytest.raises(ParameterError):
+            authority.encrypt({"SOLAR"}, b"x")
+
+    def test_empty_label_set_rejected(self, authority):
+        with pytest.raises(ParameterError):
+            authority.encrypt(set(), b"x")
+
+    def test_universe_validation(self):
+        with pytest.raises(ParameterError):
+            KpAbeAuthority(PARAMS, [])
+        with pytest.raises(ParameterError):
+            KpAbeAuthority(PARAMS, ["A", "A"])
+
+    def test_two_keys_cannot_collude(self, authority):
+        """Separate keys for ELECTRIC and REGION-SV must not combine to
+        satisfy an AND — shares are blinded per key."""
+        electric_key = authority.keygen(
+            threshold(2, leaf("ELECTRIC"), leaf("REGION-SV"))
+        )
+        ciphertext = authority.encrypt(
+            {"ELECTRIC", "REGION-NY"}, b"ny data", rng=HmacDrbg(b"nc")
+        )
+        # electric_key requires REGION-SV which the ciphertext lacks.
+        with pytest.raises(AccessDeniedError):
+            authority.decrypt(electric_key, ciphertext)
+
+    def test_tampered_body_rejected(self, authority):
+        key = authority.keygen(leaf("WATER"))
+        ciphertext = authority.encrypt({"WATER"}, b"secret", rng=HmacDrbg(b"t"))
+        mutated = bytearray(ciphertext.sealed)
+        mutated[-1] ^= 1
+        ciphertext.sealed = bytes(mutated)
+        with pytest.raises(Exception):
+            authority.decrypt(key, ciphertext)

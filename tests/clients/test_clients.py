@@ -1,0 +1,155 @@
+"""Smart-device and receiving-client behaviour at the client boundary."""
+
+import pytest
+
+from repro.core.conventions import compute_deposit_mac, identity_string
+from repro.errors import AuthenticationError, ProtocolError, TicketError
+from repro.ibe.kem import HybridCiphertext, hybrid_decrypt
+
+
+class TestSmartDevice:
+    def test_deposit_request_structure(self, deployment):
+        device = deployment.new_smart_device("meter-7")
+        request = device.build_deposit("ELECTRIC-X", b"reading")
+        assert request.device_id == "meter-7"
+        assert request.attribute == "ELECTRIC-X"
+        assert len(request.nonce) == 16
+        assert request.timestamp_us > 0
+        assert len(request.mac) == 32
+
+    def test_mac_verifies_under_shared_key(self, deployment):
+        device = deployment.new_smart_device("meter-7")
+        request = device.build_deposit("A", b"x")
+        shared_key = deployment.mws.device_keys.shared_key("meter-7")
+        assert request.mac == compute_deposit_mac(shared_key, request.mac_payload())
+
+    def test_fresh_nonce_per_message(self, deployment):
+        device = deployment.new_smart_device("meter-7")
+        first = device.build_deposit("A", b"x")
+        second = device.build_deposit("A", b"x")
+        assert first.nonce != second.nonce
+        assert first.ciphertext != second.ciphertext
+
+    def test_ciphertext_decrypts_under_identity_key(self, deployment):
+        """White-box check of the §V.D encryption: the identity is
+        exactly H1(A || nonce) and the hybrid container opens with its
+        extracted key."""
+        device = deployment.new_smart_device("meter-7")
+        request = device.build_deposit("ELECTRIC-X", b"the reading")
+        identity = identity_string(request.attribute, request.nonce)
+        private_point = deployment.master.extract(identity).point
+        ciphertext = HybridCiphertext.from_bytes(
+            request.ciphertext, deployment.public_params.params
+        )
+        plaintext = hybrid_decrypt(
+            deployment.public_params, private_point, ciphertext
+        )
+        assert plaintext == b"the reading"
+
+    def test_paper_default_cipher_is_des(self, deployment):
+        device = deployment.new_smart_device("meter-7")
+        request = device.build_deposit("A", b"x")
+        ciphertext = HybridCiphertext.from_bytes(
+            request.ciphertext, deployment.public_params.params
+        )
+        assert ciphertext.cipher_name == "DES"
+
+    def test_rejected_deposit_raises(self, deployment):
+        device = deployment.new_smart_device("meter-7")
+        deployment.mws.revoke_device("meter-7")
+        with pytest.raises(ProtocolError):
+            device.deposit(deployment.sd_channel("meter-7"), "A", b"x")
+
+    def test_stats_counter(self, deployment):
+        device = deployment.new_smart_device("meter-7")
+        device.build_deposit("A", b"x")
+        device.build_deposit("A", b"y")
+        assert device.stats["deposits_built"] == 2
+
+
+class TestReceivingClient:
+    def test_wrong_password_rejected_end_to_end(self, deployment):
+        deployment.new_receiving_client("rc", "correct-pw", attributes=["A"])
+        impostor = deployment.new_receiving_client.__self__  # noqa: just clarity
+        # Build a second client object with the wrong password.
+        from repro.clients.receiving_client import ReceivingClient
+        from repro.pki.rsa import generate_rsa_keypair
+        from repro.mathlib.rand import HmacDrbg
+
+        bad_client = ReceivingClient(
+            "rc",
+            "wrong-pw",
+            deployment.public_params,
+            generate_rsa_keypair(768, rng=HmacDrbg(b"imp")),
+            clock=deployment.clock,
+            rng=HmacDrbg(b"imp2"),
+            gatekeeper_cipher=deployment.config.gatekeeper_cipher,
+        )
+        with pytest.raises(AuthenticationError):
+            bad_client.retrieve(deployment.rc_mws_channel("rc"))
+
+    def test_token_for_other_rsa_key_unopenable(self, deployment):
+        """A token sealed for alice's public key is useless to an
+        eavesdropper holding a different private key."""
+        device = deployment.new_smart_device("meter")
+        alice = deployment.new_receiving_client("alice", "pw", attributes=["A"])
+        device.deposit(deployment.sd_channel("meter"), "A", b"m")
+        response = alice.retrieve(deployment.rc_mws_channel("alice"))
+
+        from repro.clients.receiving_client import ReceivingClient
+        from repro.pki.rsa import generate_rsa_keypair
+        from repro.mathlib.rand import HmacDrbg
+
+        eavesdropper = ReceivingClient(
+            "eve",
+            "pw",
+            deployment.public_params,
+            generate_rsa_keypair(768, rng=HmacDrbg(b"eve")),
+            clock=deployment.clock,
+        )
+        with pytest.raises(TicketError):
+            eavesdropper.open_token(response.token)
+
+    def test_key_cache_hits_for_repeated_nonce(self, deployment):
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+        device.deposit(deployment.sd_channel("meter"), "A", b"m")
+        client.retrieve_and_decrypt(
+            deployment.rc_mws_channel("rc"), deployment.rc_pkg_channel("rc")
+        )
+        # Second retrieval of the same message: key comes from the cache.
+        client.retrieve_and_decrypt(
+            deployment.rc_mws_channel("rc"), deployment.rc_pkg_channel("rc")
+        )
+        assert client.stats["keys_fetched"] == 1
+        assert client.stats["cache_hits"] == 1
+
+    def test_ticket_expiry_blocks_pkg(self):
+        from tests.conftest import build_deployment
+        from repro.mws.service import MwsConfig
+
+        deployment = build_deployment(
+            mws=MwsConfig(ticket_lifetime_us=1_000_000)
+        )
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+        device.deposit(deployment.sd_channel("meter"), "A", b"m")
+        response = client.retrieve(deployment.rc_mws_channel("rc"))
+        token = client.open_token(response.token)
+        deployment.clock.advance(2_000_000)  # ticket now expired
+        with pytest.raises(TicketError):
+            client.authenticate_to_pkg(deployment.rc_pkg_channel("rc"), token)
+        deployment.close()
+
+    def test_stats_counters(self, deployment):
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+        device.deposit(deployment.sd_channel("meter"), "A", b"m1")
+        device.deposit(deployment.sd_channel("meter"), "A", b"m2")
+        results = client.retrieve_and_decrypt(
+            deployment.rc_mws_channel("rc"), deployment.rc_pkg_channel("rc")
+        )
+        assert len(results) == 2
+        assert client.stats["retrievals"] == 1
+        assert client.stats["decrypted"] == 2
+        assert client.stats["keys_fetched"] == 2

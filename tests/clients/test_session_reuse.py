@@ -1,0 +1,58 @@
+"""PKG session reuse across retrievals (ticket caching in the RC)."""
+
+import pytest
+
+from repro.mws.service import MwsConfig
+from tests.conftest import build_deployment
+
+
+def deposit(deployment, device, attribute, message):
+    return device.deposit(deployment.sd_channel(device.device_id), attribute, message)
+
+
+def retrieve(deployment, client):
+    return client.retrieve_and_decrypt(
+        deployment.rc_mws_channel(client.rc_id),
+        deployment.rc_pkg_channel(client.rc_id),
+    )
+
+
+class TestSessionReuse:
+    def test_second_retrieval_skips_pkg_auth(self, deployment):
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+        deposit(deployment, device, "A", b"m1")
+        retrieve(deployment, client)
+        deposit(deployment, device, "A", b"m2")
+        retrieve(deployment, client)
+        assert client.stats["pkg_auths"] == 1
+        assert client.stats["session_reuses"] == 1
+        assert deployment.pkg.stats["sessions_established"] == 1
+
+    def test_expired_session_reauthenticates_transparently(self):
+        deployment = build_deployment(
+            mws=MwsConfig(ticket_lifetime_us=5_000_000),
+            seed=b"tests-session-expiry",
+        )
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+        deposit(deployment, device, "A", b"m1")
+        assert [m.plaintext for m in retrieve(deployment, client)] == [b"m1"]
+        # Let the cached session die, then deposit and retrieve again.
+        deployment.clock.advance(10_000_000)
+        deposit(deployment, device, "A", b"m2")
+        messages = retrieve(deployment, client)
+        assert {m.plaintext for m in messages} == {b"m1", b"m2"}
+        assert client.stats["pkg_auths"] == 2  # re-auth happened
+        deployment.close()
+
+    def test_reused_session_decrypts_correctly(self, deployment):
+        """Keys fetched under a reused session (sealed with the *old*
+        session key) must still open correctly."""
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+        deposit(deployment, device, "A", b"first")
+        retrieve(deployment, client)
+        deposit(deployment, device, "A", b"second")
+        messages = retrieve(deployment, client)
+        assert {m.plaintext for m in messages} == {b"first", b"second"}

@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite.
+
+Everything uses the TOY64 parameter preset and deterministic DRBG seeds
+so runs are reproducible; RSA key pairs are cached process-wide by the
+deployment layer, so building a fresh deployment per test is cheap
+after the first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.ibe import setup
+from repro.mathlib.rand import HmacDrbg
+from repro.pairing import get_preset
+
+
+@pytest.fixture(scope="session")
+def toy_params():
+    """Session-wide TOY64 pairing parameters (read-only)."""
+    return get_preset("TOY64")
+
+
+@pytest.fixture(scope="session")
+def master_keypair():
+    """Session-wide IBE master key over TOY64 (read-only)."""
+    return setup("TOY64", rng=HmacDrbg(b"tests-master"))
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic DRBG per test."""
+    return HmacDrbg(b"tests-rng")
+
+
+def build_deployment(**overrides) -> Deployment:
+    """A deployment with fast test defaults; see DeploymentConfig."""
+    config = DeploymentConfig(
+        preset=overrides.pop("preset", "TOY64"),
+        rsa_bits=overrides.pop("rsa_bits", 768),
+        seed=overrides.pop("seed", b"tests-deployment"),
+        **overrides,
+    )
+    return Deployment.build(config)
+
+
+@pytest.fixture()
+def deployment():
+    """A fresh TOY64 deployment per test."""
+    built = build_deployment()
+    yield built
+    built.close()
+
+
+@pytest.fixture()
+def utility_world(deployment):
+    """The Fig. 1 cast: three meters, three companies, paper-true grants."""
+    complex_attr = lambda kind: f"{kind}-GLENBROOK-SV-CA"
+    devices = {
+        kind: deployment.new_smart_device(f"{kind}-GLENBROOK-001")
+        for kind in ("ELECTRIC", "WATER", "GAS")
+    }
+    clients = {
+        "c-services": deployment.new_receiving_client(
+            "c-services",
+            "pw-cs",
+            attributes=[complex_attr(k) for k in ("ELECTRIC", "WATER", "GAS")],
+        ),
+        "electric-gas": deployment.new_receiving_client(
+            "electric-gas",
+            "pw-eg",
+            attributes=[complex_attr("ELECTRIC"), complex_attr("GAS")],
+        ),
+        "water-resources": deployment.new_receiving_client(
+            "water-resources", "pw-wr", attributes=[complex_attr("WATER")]
+        ),
+    }
+    return deployment, devices, clients

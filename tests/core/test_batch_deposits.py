@@ -1,0 +1,123 @@
+"""Batched deposits: N readings, one MAC, one round-trip."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.wire.messages import BatchDepositRequest, BatchDepositResponse, BatchEntry
+
+
+@pytest.fixture()
+def batch_world(deployment):
+    device = deployment.new_smart_device("batch-meter")
+    client = deployment.new_receiving_client("rc", "pw", attributes=["B1", "B2"])
+    return deployment, device, client
+
+
+class TestWireFormat:
+    def test_roundtrip(self):
+        request = BatchDepositRequest(
+            device_id="meter",
+            timestamp_us=123,
+            entries=[
+                BatchEntry("B1", b"n1", b"ct1"),
+                BatchEntry("B2", b"n2", b"ct2"),
+            ],
+            mac=b"m" * 32,
+        )
+        assert BatchDepositRequest.from_bytes(request.to_bytes()) == request
+
+    def test_response_roundtrip(self):
+        response = BatchDepositResponse(accepted=True, message_ids=[1, 2, 3])
+        assert BatchDepositResponse.from_bytes(response.to_bytes()) == response
+
+    def test_mac_payload_covers_entries(self):
+        base = BatchDepositRequest(
+            "meter", 1, [BatchEntry("A", b"n", b"c")], b""
+        )
+        mutated = BatchDepositRequest(
+            "meter", 1, [BatchEntry("A", b"n", b"d")], b""
+        )
+        assert base.mac_payload() != mutated.mac_payload()
+
+
+class TestBatchFlow:
+    def test_batch_deposit_and_retrieve(self, batch_world):
+        deployment, device, client = batch_world
+        response = device.deposit_batch(
+            deployment.sd_batch_channel("batch-meter"),
+            [("B1", b"reading-1"), ("B2", b"reading-2"), ("B1", b"reading-3")],
+        )
+        assert response.accepted
+        assert response.message_ids == [1, 2, 3]
+        messages = client.retrieve_and_decrypt(
+            deployment.rc_mws_channel("rc"), deployment.rc_pkg_channel("rc")
+        )
+        assert {m.plaintext for m in messages} == {
+            b"reading-1", b"reading-2", b"reading-3",
+        }
+
+    def test_each_entry_independently_encrypted(self, batch_world):
+        """Per-message nonces survive batching: every entry has its own
+        IBE identity, so revocation granularity is unchanged."""
+        deployment, device, _client = batch_world
+        request = device.build_batch([("B1", b"x"), ("B1", b"y")])
+        nonces = {entry.nonce for entry in request.entries}
+        assert len(nonces) == 2
+
+    def test_tampered_batch_rejected_entirely(self, batch_world):
+        deployment, device, _client = batch_world
+        request = device.build_batch([("B1", b"x"), ("B2", b"y")])
+        ciphertext = bytearray(request.entries[1].ciphertext)
+        ciphertext[len(ciphertext) // 2] ^= 0x01
+        request.entries[1].ciphertext = bytes(ciphertext)
+        raw = deployment.network.send(
+            "batch-meter", "mws-sd-batch", request.to_bytes()
+        )
+        response = BatchDepositResponse.from_bytes(raw)
+        assert not response.accepted
+        assert len(deployment.mws.message_db) == 0  # all-or-nothing
+
+    def test_replayed_batch_rejected(self, batch_world):
+        deployment, device, _client = batch_world
+        request = device.build_batch([("B1", b"x")])
+        first = deployment.network.send(
+            "batch-meter", "mws-sd-batch", request.to_bytes()
+        )
+        assert BatchDepositResponse.from_bytes(first).accepted
+        second = deployment.network.send(
+            "batch-meter", "mws-sd-batch", request.to_bytes()
+        )
+        assert not BatchDepositResponse.from_bytes(second).accepted
+        assert len(deployment.mws.message_db) == 1
+
+    def test_unknown_device_rejected(self, batch_world):
+        deployment, device, _client = batch_world
+        deployment.mws.revoke_device("batch-meter")
+        with pytest.raises(ProtocolError):
+            device.deposit_batch(
+                deployment.sd_batch_channel("batch-meter"), [("B1", b"x")]
+            )
+
+    def test_empty_batch_accepted_as_noop(self, batch_world):
+        deployment, device, _client = batch_world
+        response = device.deposit_batch(
+            deployment.sd_batch_channel("batch-meter"), []
+        )
+        assert response.accepted and response.message_ids == []
+
+    def test_malformed_batch_bytes(self, batch_world):
+        deployment, _device, _client = batch_world
+        raw = deployment.network.send("x", "mws-sd-batch", b"garbage")
+        response = BatchDepositResponse.from_bytes(raw)
+        assert not response.accepted and "malformed" in response.error
+
+    def test_batch_wire_overhead_amortised(self, batch_world):
+        """Total bytes for N batched deposits < N single deposits."""
+        deployment, device, _client = batch_world
+        items = [("B1", b"reading-%d" % i) for i in range(5)]
+        batch_bytes = len(device.build_batch(items).to_bytes())
+        single_bytes = sum(
+            len(device.build_deposit(attribute, body).to_bytes())
+            for attribute, body in items
+        )
+        assert batch_bytes < single_bytes

@@ -1,0 +1,192 @@
+"""Full-system integration: the Fig. 1 scenario over the wire."""
+
+import pytest
+
+from repro.core import ProtocolDriver
+from repro.errors import NetworkError, ProtocolError
+from repro.sim.network import TamperInjector
+from tests.conftest import build_deployment
+
+
+def deposit(deployment, device, attribute, message):
+    return device.deposit(deployment.sd_channel(device.device_id), attribute, message)
+
+
+def retrieve(deployment, client):
+    return client.retrieve_and_decrypt(
+        deployment.rc_mws_channel(client.rc_id),
+        deployment.rc_pkg_channel(client.rc_id),
+    )
+
+
+class TestUtilityScenario:
+    """The exact Fig. 1 access matrix: C-Services sees all three meter
+    kinds, Electric & Gas Company sees electric+gas, Water & Resources
+    sees water only."""
+
+    def test_fig1_access_matrix(self, utility_world):
+        deployment, devices, clients = utility_world
+        bodies = {}
+        for kind, device in devices.items():
+            body = f"{kind} reading 42.7".encode()
+            bodies[kind] = body
+            deposit(deployment, device, f"{kind}-GLENBROOK-SV-CA", body)
+
+        expected = {
+            "c-services": {"ELECTRIC", "WATER", "GAS"},
+            "electric-gas": {"ELECTRIC", "GAS"},
+            "water-resources": {"WATER"},
+        }
+        for rc_id, kinds in expected.items():
+            messages = retrieve(deployment, clients[rc_id])
+            received = {m.plaintext for m in messages}
+            assert received == {bodies[k] for k in kinds}, rc_id
+
+    def test_multiple_messages_per_attribute(self, utility_world):
+        deployment, devices, clients = utility_world
+        for sequence in range(5):
+            deposit(
+                deployment,
+                devices["WATER"],
+                "WATER-GLENBROOK-SV-CA",
+                f"water-{sequence}".encode(),
+            )
+        messages = retrieve(deployment, clients["water-resources"])
+        assert sorted(m.plaintext for m in messages) == [
+            f"water-{i}".encode() for i in range(5)
+        ]
+
+    def test_messages_from_multiple_devices_same_attribute(self, deployment):
+        first = deployment.new_smart_device("ELECTRIC-GLENBROOK-001")
+        second = deployment.new_smart_device("ELECTRIC-GLENBROOK-002")
+        client = deployment.new_receiving_client(
+            "utility", "pw", attributes=["ELECTRIC-GLENBROOK-SV-CA"]
+        )
+        deposit(deployment, first, "ELECTRIC-GLENBROOK-SV-CA", b"from-001")
+        deposit(deployment, second, "ELECTRIC-GLENBROOK-SV-CA", b"from-002")
+        messages = retrieve(deployment, client)
+        assert {m.plaintext for m in messages} == {b"from-001", b"from-002"}
+
+    def test_empty_retrieval(self, deployment):
+        client = deployment.new_receiving_client(
+            "lonely", "pw", attributes=["NOTHING-YET"]
+        )
+        assert retrieve(deployment, client) == []
+
+    def test_retrieval_is_idempotent(self, utility_world):
+        deployment, devices, clients = utility_world
+        deposit(deployment, devices["WATER"], "WATER-GLENBROOK-SV-CA", b"w1")
+        first = retrieve(deployment, clients["water-resources"])
+        second = retrieve(deployment, clients["water-resources"])
+        assert [m.plaintext for m in first] == [m.plaintext for m in second]
+
+    def test_large_message_bodies(self, utility_world):
+        deployment, devices, clients = utility_world
+        blob = bytes(range(256)) * 40  # 10 KiB
+        deposit(deployment, devices["GAS"], "GAS-GLENBROOK-SV-CA", blob)
+        messages = retrieve(deployment, clients["electric-gas"])
+        assert messages[0].plaintext == blob
+
+
+class TestModernCipherDeployment:
+    def test_aes_deployment_end_to_end(self):
+        deployment = build_deployment(
+            message_cipher="AES-128", gatekeeper_cipher="AES-256"
+        )
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["ATTR"])
+        deposit(deployment, device, "ATTR", b"modern ciphers")
+        assert [m.plaintext for m in retrieve(deployment, client)] == [
+            b"modern ciphers"
+        ]
+        deployment.close()
+
+    def test_weil_pairing_deployment_end_to_end(self):
+        deployment = build_deployment(pairing_algorithm="weil")
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["ATTR"])
+        deposit(deployment, device, "ATTR", b"weil works too")
+        assert [m.plaintext for m in retrieve(deployment, client)] == [
+            b"weil works too"
+        ]
+        deployment.close()
+
+
+class TestFaultInjection:
+    def test_tampered_deposit_discarded(self, deployment):
+        device = deployment.new_smart_device("meter")
+        deployment.new_receiving_client("rc", "pw", attributes=["ATTR"])
+        injector = TamperInjector(destination="mws-sd", bit_index=100)
+        deployment.network.add_interceptor(injector)
+        with pytest.raises(ProtocolError) as excinfo:
+            deposit(deployment, device, "ATTR", b"will be tampered")
+        assert "MAC" in str(excinfo.value) or "malformed" in str(excinfo.value)
+        assert injector.tampered == 1
+        # Nothing entered the warehouse.
+        assert len(deployment.mws.message_db) == 0
+
+    def test_tamper_alert_raised(self, deployment):
+        device = deployment.new_smart_device("meter")
+        injector = TamperInjector(destination="mws-sd", bit_index=800)
+        deployment.network.add_interceptor(injector)
+        try:
+            deposit(deployment, device, "ATTR", b"x")
+        except ProtocolError:
+            pass
+        assert deployment.mws.alerts  # SDA alerted the administrator
+
+    def test_clean_traffic_resumes_after_attack(self, deployment):
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["ATTR"])
+        injector = TamperInjector(destination="mws-sd", every_nth=2)
+        deployment.network.add_interceptor(injector)
+        results = []
+        for index in range(4):
+            try:
+                deposit(deployment, device, "ATTR", f"m{index}".encode())
+                results.append("ok")
+            except ProtocolError:
+                results.append("rejected")
+        assert results.count("rejected") == 2
+        deployment.network.clear_interceptors()
+        messages = retrieve(deployment, client)
+        assert len(messages) == 2  # only untampered deposits stored
+
+    def test_dropped_message_surfaces_as_network_error(self, deployment):
+        device = deployment.new_smart_device("meter")
+        deployment.network.add_interceptor(lambda s, d, p: None)
+        with pytest.raises(NetworkError):
+            deposit(deployment, device, "ATTR", b"dropped")
+
+
+class TestProtocolDriver:
+    def test_transcript_phases(self, utility_world):
+        deployment, devices, clients = utility_world
+        driver = ProtocolDriver(deployment)
+        transcript = driver.run_full(
+            devices["ELECTRIC"],
+            clients["c-services"],
+            [("ELECTRIC-GLENBROOK-SV-CA", b"r1"), ("ELECTRIC-GLENBROOK-SV-CA", b"r2")],
+        )
+        assert [t.phase for t in transcript.timings] == ["SD-MWS", "MWS-RC", "RC-PKG"]
+        assert len(transcript.deposited_ids) == 2
+        assert {m.plaintext for m in transcript.retrieved} == {b"r1", b"r2"}
+        # Phase 1 sends one network message per deposit.
+        assert transcript.phase("SD-MWS").network_messages == 2
+        assert transcript.phase("MWS-RC").network_messages == 1
+        # RC-PKG: one auth + one key fetch per message (fresh nonces).
+        assert transcript.phase("RC-PKG").network_messages == 3
+        assert all(t.duration_s >= 0 for t in transcript.timings)
+
+    def test_missing_phase_raises(self, deployment):
+        from repro.core.protocol import ProtocolTranscript
+
+        with pytest.raises(KeyError):
+            ProtocolTranscript().phase("SD-MWS")
+
+    def test_retrieval_with_no_messages_skips_pkg(self, deployment):
+        client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+        driver = ProtocolDriver(deployment)
+        transcript = driver.run_retrieval(client)
+        assert transcript.phase("RC-PKG").network_messages == 0
+        assert transcript.retrieved == []

@@ -1,0 +1,158 @@
+"""Requirements iii (revocation) and v (dynamic recipients)."""
+
+import pytest
+
+from repro.core import RevocationManager
+from repro.errors import ProtocolError, UnknownIdentityError
+from tests.conftest import build_deployment
+
+
+def deposit(deployment, device, attribute, message):
+    return device.deposit(deployment.sd_channel(device.device_id), attribute, message)
+
+
+def retrieve(deployment, client):
+    return client.retrieve_and_decrypt(
+        deployment.rc_mws_channel(client.rc_id),
+        deployment.rc_pkg_channel(client.rc_id),
+    )
+
+
+class TestRevocation:
+    def test_revoked_rc_loses_attribute(self, deployment):
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client(
+            "rc", "pw", attributes=["WATER-X", "GAS-X"]
+        )
+        deposit(deployment, device, "WATER-X", b"water-1")
+        deposit(deployment, device, "GAS-X", b"gas-1")
+        manager = RevocationManager(deployment)
+        manager.revoke("rc", "WATER-X")
+        deposit(deployment, device, "WATER-X", b"water-2")
+        messages = retrieve(deployment, client)
+        assert {m.plaintext for m in messages} == {b"gas-1"}
+        assert len(manager.events) == 1
+
+    def test_fully_revoked_rc_rejected(self, deployment):
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+        deposit(deployment, device, "A", b"m")
+        manager = RevocationManager(deployment)
+        events = manager.revoke_all("rc")
+        assert len(events) == 1
+        with pytest.raises((ProtocolError, UnknownIdentityError)):
+            retrieve(deployment, client)
+
+    def test_no_device_interaction_needed(self, deployment):
+        """The paper's headline property: revocation touches only the
+        policy DB; the device keeps depositing unchanged and other RCs
+        keep reading."""
+        device = deployment.new_smart_device("meter")
+        victim = deployment.new_receiving_client("victim", "pw1", attributes=["A"])
+        survivor = deployment.new_receiving_client("survivor", "pw2", attributes=["A"])
+        deposit(deployment, device, "A", b"before")
+        RevocationManager(deployment).revoke("victim", "A")
+        deposit(deployment, device, "A", b"after")  # device unchanged
+        messages = retrieve(deployment, survivor)
+        assert {m.plaintext for m in messages} == {b"before", b"after"}
+
+    def test_exposure_frozen_at_revocation(self, deployment):
+        """After revocation the RC can decrypt exactly the messages it
+        already extracted keys for — nothing more, ever."""
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+        deposit(deployment, device, "A", b"seen-before-revocation")
+        retrieve(deployment, client)  # extracts one key
+        manager = RevocationManager(deployment)
+        exposure_before = manager.effective_exposure("rc")
+        manager.revoke("rc", "A")
+        deposit(deployment, device, "A", b"never-seen")
+        with pytest.raises((ProtocolError, UnknownIdentityError)):
+            retrieve(deployment, client)
+        assert manager.effective_exposure("rc") == exposure_before
+        assert len(exposure_before) == 1
+
+    def test_reinstate_issues_fresh_aid(self, deployment):
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+        original_aid = deployment.mws.policy_db.attributes_for("rc")
+        manager = RevocationManager(deployment)
+        manager.revoke("rc", "A")
+        new_aid = manager.reinstate("rc", "A")
+        assert new_aid not in original_aid
+        deposit(deployment, device, "A", b"post-reinstate")
+        messages = retrieve(deployment, client)
+        assert {m.plaintext for m in messages} == {b"post-reinstate"}
+
+    def test_static_mode_contrast(self):
+        """Ablation 2: without per-message nonces, one extracted key opens
+        every past AND future message under the attribute — the audit
+        trail shows a single identity reused."""
+        deployment = build_deployment(use_nonce=False)
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+        for index in range(3):
+            deposit(deployment, device, "A", f"m{index}".encode())
+        messages = retrieve(deployment, client)
+        assert len(messages) == 3
+        # All three decrypted with ONE extraction (cache hits for the rest).
+        assert client.stats["keys_fetched"] == 1
+        assert client.stats["cache_hits"] == 2
+        assert len(deployment.pkg.audit_log) == 1
+        deployment.close()
+
+    def test_nonce_mode_extracts_per_message(self, deployment):
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+        for index in range(3):
+            deposit(deployment, device, "A", f"m{index}".encode())
+        retrieve(deployment, client)
+        assert client.stats["keys_fetched"] == 3
+        assert len(deployment.pkg.audit_log) == 3
+
+    def test_pkg_side_denylist_blocks_extraction(self, deployment):
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+        deposit(deployment, device, "A", b"m")
+        deployment.pkg.deny_attribute("A")
+        with pytest.raises(ProtocolError):
+            retrieve(deployment, client)
+
+
+class TestDynamicRecipients:
+    def test_new_rc_joins_later_and_reads_backlog(self, deployment):
+        """Requirement v: an energy-management company joins after the
+        devices have been deployed — a policy row, nothing else."""
+        device = deployment.new_smart_device("meter")
+        deposit(deployment, device, "ELECTRIC-X", b"historic-1")
+        deposit(deployment, device, "ELECTRIC-X", b"historic-2")
+        # Device has no idea this client exists:
+        newcomer = deployment.new_receiving_client(
+            "energy-mgmt", "pw", attributes=["ELECTRIC-X"]
+        )
+        messages = retrieve(deployment, newcomer)
+        assert {m.plaintext for m in messages} == {b"historic-1", b"historic-2"}
+
+    def test_attribute_for_future_recipient_class(self, deployment):
+        """A device can address a recipient class nobody occupies yet."""
+        device = deployment.new_smart_device("meter")
+        deposit(deployment, device, "FUTURE-CLASS", b"time capsule")
+        assert len(deployment.mws.message_db) == 1
+        late_client = deployment.new_receiving_client(
+            "late", "pw", attributes=["FUTURE-CLASS"]
+        )
+        assert [m.plaintext for m in retrieve(deployment, late_client)] == [
+            b"time capsule"
+        ]
+
+    def test_grant_extension_at_runtime(self, deployment):
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+        deposit(deployment, device, "A", b"a-msg")
+        deposit(deployment, device, "B", b"b-msg")
+        assert {m.plaintext for m in retrieve(deployment, client)} == {b"a-msg"}
+        deployment.mws.grant("rc", "B")
+        assert {m.plaintext for m in retrieve(deployment, client)} == {
+            b"a-msg",
+            b"b-msg",
+        }

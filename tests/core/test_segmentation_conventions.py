@@ -1,0 +1,132 @@
+"""Message segmentation (§VIII future work) and protocol conventions."""
+
+import pytest
+
+from repro.core import (
+    Segment,
+    SegmentedMessage,
+    compute_deposit_mac,
+    derive_password_key,
+    identity_string,
+    parse_segment_payload,
+    reassemble,
+    segment_payload,
+)
+from repro.errors import DecodeError
+
+
+def retrieve(deployment, client):
+    return client.retrieve_and_decrypt(
+        deployment.rc_mws_channel(client.rc_id),
+        deployment.rc_pkg_channel(client.rc_id),
+    )
+
+
+class TestConventions:
+    def test_identity_string_unambiguous(self):
+        """('ab', 'c') and ('a', 'bc') must produce different identities."""
+        assert identity_string("ab", b"c") != identity_string("a", b"bc")
+
+    def test_identity_string_deterministic(self):
+        assert identity_string("A", b"n") == identity_string("A", b"n")
+
+    def test_empty_nonce_is_static_mode(self):
+        static = identity_string("A", b"")
+        assert static != identity_string("A", b"\x00")
+
+    def test_password_key_sized_for_cipher(self):
+        hashed = b"\x11" * 32
+        assert len(derive_password_key(hashed, "DES")) == 8
+        assert len(derive_password_key(hashed, "AES-256")) == 32
+
+    def test_password_key_differs_per_hash(self):
+        assert derive_password_key(b"\x01" * 32, "DES") != derive_password_key(
+            b"\x02" * 32, "DES"
+        )
+
+    def test_deposit_mac_keyed(self):
+        payload = b"payload"
+        assert compute_deposit_mac(b"key-1", payload) != compute_deposit_mac(
+            b"key-2", payload
+        )
+
+
+class TestSegmentPayloads:
+    def test_roundtrip(self):
+        payload = segment_payload(42, 1, 3, b"segment body")
+        assert parse_segment_payload(payload) == (42, 1, 3, b"segment body")
+
+    def test_invalid_header_rejected(self):
+        with pytest.raises(DecodeError):
+            parse_segment_payload(segment_payload(1, 3, 3, b"x"))  # index >= total
+        with pytest.raises(DecodeError):
+            parse_segment_payload(segment_payload(1, 0, 0, b"x"))  # total == 0
+
+    def test_reassemble_groups(self):
+        payloads = [
+            segment_payload(7, 0, 2, b"part-a"),
+            segment_payload(7, 1, 2, b"part-b"),
+            segment_payload(9, 0, 1, b"solo"),
+        ]
+        groups = reassemble(payloads)
+        assert groups[7]["parts"] == {0: b"part-a", 1: b"part-b"}
+        assert groups[9]["total"] == 1
+
+    def test_reassemble_detects_inconsistent_totals(self):
+        payloads = [
+            segment_payload(7, 0, 2, b"a"),
+            segment_payload(7, 1, 3, b"b"),
+        ]
+        with pytest.raises(DecodeError):
+            reassemble(payloads)
+
+
+class TestSegmentedDeposits:
+    def test_per_segment_confidentiality(self, deployment):
+        """The paper's three-part message: consumption, errors, events —
+        each readable only by its own recipient class."""
+        device = deployment.new_smart_device("meter")
+        billing = deployment.new_receiving_client(
+            "billing", "pw1", attributes=["CONSUMPTION-X"]
+        )
+        maintenance = deployment.new_receiving_client(
+            "maintenance", "pw2", attributes=["ERRORS-X", "EVENTS-X"]
+        )
+        message = SegmentedMessage(
+            group_id=1,
+            segments=[
+                Segment("CONSUMPTION-X", b"total=12.5kWh"),
+                Segment("ERRORS-X", b"errors=none"),
+                Segment("EVENTS-X", b"events=powercycle"),
+            ],
+        )
+        ids = message.deposit_all(device, deployment.sd_channel("meter"))
+        assert len(ids) == 3
+
+        billing_groups = reassemble(
+            [m.plaintext for m in retrieve(deployment, billing)]
+        )
+        assert billing_groups[1]["parts"] == {0: b"total=12.5kWh"}
+        assert billing_groups[1]["total"] == 3  # knows 2 parts are hidden
+
+        maintenance_groups = reassemble(
+            [m.plaintext for m in retrieve(deployment, maintenance)]
+        )
+        assert maintenance_groups[1]["parts"] == {
+            1: b"errors=none",
+            2: b"events=powercycle",
+        }
+
+    def test_multiple_groups_interleaved(self, deployment):
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["S"])
+        for group_id in (1, 2):
+            SegmentedMessage(
+                group_id=group_id,
+                segments=[Segment("S", f"g{group_id}-a".encode()),
+                          Segment("S", f"g{group_id}-b".encode())],
+            ).deposit_all(device, deployment.sd_channel("meter"))
+        groups = reassemble([m.plaintext for m in retrieve(deployment, client)])
+        assert set(groups) == {1, 2}
+        assert groups[1]["parts"][0] == b"g1-a"
+        assert groups[2]["parts"][1] == b"g2-b"

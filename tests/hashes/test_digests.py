@@ -1,0 +1,113 @@
+"""SHA-1, SHA-256, MD5 against published vectors and hashlib."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashes import MD5, SHA1, SHA256, md5, sha1, sha256
+
+IMPLEMENTATIONS = [
+    (SHA1, sha1, hashlib.sha1),
+    (SHA256, sha256, hashlib.sha256),
+    (MD5, md5, hashlib.md5),
+]
+
+
+class TestPublishedVectors:
+    def test_sha1_vectors(self):
+        assert sha1(b"abc").hex() == "a9993e364706816aba3e25717850c26c9cd0d89d"
+        assert sha1(b"").hex() == "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        assert (
+            sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").hex()
+            == "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        )
+
+    def test_sha256_vectors(self):
+        assert (
+            sha256(b"abc").hex()
+            == "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+        assert (
+            sha256(b"").hex()
+            == "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_md5_vectors(self):
+        assert md5(b"").hex() == "d41d8cd98f00b204e9800998ecf8427e"
+        assert md5(b"abc").hex() == "900150983cd24fb0d6963f7d28e17f72"
+        assert (
+            md5(b"message digest").hex() == "f96b697d7cb7938d525a2f31aaf161d0"
+        )
+
+    def test_sha1_million_a(self):
+        digest = SHA1(b"a" * 1_000_000).hexdigest()
+        assert digest == "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+
+
+class TestAgainstHashlib:
+    @pytest.mark.parametrize("cls,func,ref", IMPLEMENTATIONS)
+    @given(data=st.binary(max_size=512))
+    @settings(max_examples=60, deadline=None)
+    def test_random_inputs(self, cls, func, ref, data):
+        assert func(data) == ref(data).digest()
+
+    @pytest.mark.parametrize("cls,func,ref", IMPLEMENTATIONS)
+    def test_block_boundary_lengths(self, cls, func, ref):
+        """Padding edge cases: lengths around the 64-byte block size."""
+        for n in (0, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128, 129, 1000):
+            data = bytes(i % 251 for i in range(n))
+            assert func(data) == ref(data).digest(), n
+
+
+class TestIncrementalInterface:
+    @pytest.mark.parametrize("cls,func,ref", IMPLEMENTATIONS)
+    def test_update_chunks_equals_one_shot(self, cls, func, ref):
+        data = bytes(range(256)) * 3
+        h = cls()
+        for offset in range(0, len(data), 13):
+            h.update(data[offset : offset + 13])
+        assert h.digest() == func(data)
+
+    @pytest.mark.parametrize("cls,func,ref", IMPLEMENTATIONS)
+    def test_digest_does_not_finalise(self, cls, func, ref):
+        """digest() must be repeatable and not disturb further updates."""
+        h = cls(b"hello")
+        first = h.digest()
+        second = h.digest()
+        assert first == second
+        h.update(b" world")
+        assert h.digest() == func(b"hello world")
+
+    @pytest.mark.parametrize("cls,func,ref", IMPLEMENTATIONS)
+    def test_copy_is_independent(self, cls, func, ref):
+        h = cls(b"abc")
+        clone = h.copy()
+        clone.update(b"def")
+        assert h.digest() == func(b"abc")
+        assert clone.digest() == func(b"abcdef")
+
+    @pytest.mark.parametrize("cls,func,ref", IMPLEMENTATIONS)
+    def test_update_returns_self_for_chaining(self, cls, func, ref):
+        assert cls().update(b"a").update(b"b").digest() == func(b"ab")
+
+    @pytest.mark.parametrize("cls,func,ref", IMPLEMENTATIONS)
+    def test_rejects_str(self, cls, func, ref):
+        with pytest.raises(TypeError):
+            cls().update("not bytes")
+
+    @pytest.mark.parametrize("cls,func,ref", IMPLEMENTATIONS)
+    def test_accepts_bytearray_and_memoryview(self, cls, func, ref):
+        assert cls(bytearray(b"xy")).digest() == func(b"xy")
+        h = cls()
+        h.update(memoryview(b"xy"))
+        assert h.digest() == func(b"xy")
+
+    @pytest.mark.parametrize("cls,func,ref", IMPLEMENTATIONS)
+    def test_metadata(self, cls, func, ref):
+        h = cls()
+        assert h.digest_size == ref().digest_size
+        assert h.block_size == 64
+        assert len(h.digest()) == h.digest_size
+        assert h.hexdigest() == h.digest().hex()

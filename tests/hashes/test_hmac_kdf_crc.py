@@ -1,0 +1,152 @@
+"""HMAC vs the standard library, KDFs vs RFC vectors, CRC-32 vs zlib."""
+
+import hashlib
+import hmac as stdlib_hmac
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CipherError
+from repro.hashes import Hmac, crc32, hkdf, hmac_md5, hmac_sha1, hmac_sha256, kdf1, kdf2
+from repro.hashes.hmac import constant_time_equal
+
+REFS = {
+    "sha1": hashlib.sha1,
+    "sha256": hashlib.sha256,
+    "md5": hashlib.md5,
+}
+
+
+class TestHmac:
+    @pytest.mark.parametrize("algorithm", ["sha1", "sha256", "md5"])
+    @given(key=st.binary(max_size=100), data=st.binary(max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_stdlib(self, algorithm, key, data):
+        ours = Hmac(key, algorithm, data).digest()
+        theirs = stdlib_hmac.new(key, data, REFS[algorithm]).digest()
+        assert ours == theirs
+
+    def test_rfc4231_case_1(self):
+        """RFC 4231 test case 1 for HMAC-SHA-256."""
+        digest = hmac_sha256(b"\x0b" * 20, b"Hi There")
+        assert digest.hex() == (
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        )
+
+    def test_rfc4231_long_key(self):
+        """Keys longer than the block size are hashed first (case 6)."""
+        key = b"\xaa" * 131
+        data = b"Test Using Larger Than Block-Size Key - Hash Key First"
+        assert hmac_sha256(key, data).hex() == (
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        )
+
+    def test_one_shot_helpers(self):
+        assert hmac_sha1(b"k", b"m") == stdlib_hmac.new(b"k", b"m", hashlib.sha1).digest()
+        assert hmac_md5(b"k", b"m") == stdlib_hmac.new(b"k", b"m", hashlib.md5).digest()
+
+    def test_incremental_update(self):
+        h = Hmac(b"key", "sha256")
+        h.update(b"part one ").update(b"part two")
+        assert h.digest() == hmac_sha256(b"key", b"part one part two")
+
+    def test_verify(self):
+        h = Hmac(b"key", "sha256", b"data")
+        assert h.verify(hmac_sha256(b"key", b"data"))
+        assert not h.verify(hmac_sha256(b"key", b"datb"))
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(CipherError):
+            Hmac(b"k", "sha512")
+
+
+class TestConstantTimeEqual:
+    def test_equal(self):
+        assert constant_time_equal(b"abc", b"abc")
+
+    def test_unequal_content(self):
+        assert not constant_time_equal(b"abc", b"abd")
+
+    def test_unequal_length(self):
+        assert not constant_time_equal(b"abc", b"abcd")
+
+    def test_empty(self):
+        assert constant_time_equal(b"", b"")
+
+
+class TestKdf:
+    def test_lengths(self):
+        for n in (0, 1, 31, 32, 33, 100):
+            assert len(kdf1(b"seed", n)) == n
+            assert len(kdf2(b"seed", n)) == n
+
+    def test_deterministic(self):
+        assert kdf2(b"s", 64) == kdf2(b"s", 64)
+
+    def test_kdf1_kdf2_differ(self):
+        assert kdf1(b"s", 32) != kdf2(b"s", 32)
+
+    def test_prefix_property(self):
+        """Longer outputs extend shorter ones (counter construction)."""
+        assert kdf2(b"s", 64)[:32] == kdf2(b"s", 32)
+
+    def test_different_seeds_differ(self):
+        assert kdf2(b"a", 32) != kdf2(b"b", 32)
+
+    def test_negative_length_raises(self):
+        with pytest.raises(CipherError):
+            kdf2(b"s", -1)
+
+    def test_unknown_hash_raises(self):
+        with pytest.raises(CipherError):
+            kdf2(b"s", 16, algorithm="sha3")
+
+
+class TestHkdf:
+    def test_rfc5869_case_1(self):
+        """RFC 5869 appendix A.1 (SHA-256)."""
+        okm = hkdf(
+            ikm=b"\x0b" * 22,
+            length=42,
+            salt=bytes.fromhex("000102030405060708090a0b0c"),
+            info=bytes.fromhex("f0f1f2f3f4f5f6f7f8f9"),
+        )
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_rfc5869_case_3_no_salt_no_info(self):
+        okm = hkdf(ikm=b"\x0b" * 22, length=42)
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+    def test_length_cap(self):
+        with pytest.raises(CipherError):
+            hkdf(b"ikm", 255 * 32 + 1)
+
+    def test_negative_length(self):
+        with pytest.raises(CipherError):
+            hkdf(b"ikm", -5)
+
+
+class TestCrc32:
+    def test_check_value(self):
+        assert crc32(b"123456789") == 0xCBF43926
+
+    @given(data=st.binary(max_size=2000))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_zlib(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    @given(a=st.binary(max_size=200), b=st.binary(max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_continuation(self, a, b):
+        assert crc32(b, crc32(a)) == crc32(a + b)
+
+    def test_empty(self):
+        assert crc32(b"") == 0

@@ -1,0 +1,129 @@
+"""Hierarchical IBE (Gentry–Silverberg) over the warehouse's domains."""
+
+import pytest
+
+from repro.errors import DecryptionError, ParameterError
+from repro.ibe.hibe import HibePrivateKey, HibeRoot
+from repro.mathlib.rand import HmacDrbg
+from repro.pairing import get_preset
+
+PARAMS = get_preset("TOY64")
+PATH = ("REGION-SV", "GLENBROOK", "ELECTRIC")
+
+
+@pytest.fixture(scope="module")
+def root():
+    return HibeRoot(PARAMS, rng=HmacDrbg(b"hibe-tests"))
+
+
+@pytest.fixture(scope="module")
+def region(root):
+    return root.domain("REGION-SV")
+
+
+@pytest.fixture(scope="module")
+def complex_domain(region):
+    return region.domain("GLENBROOK")
+
+
+class TestRoundtrips:
+    def test_depth_1(self, root):
+        key = root.extract("REGION-SV")
+        ciphertext = root.encrypt(("REGION-SV",), b"d1", rng=HmacDrbg(b"1"))
+        assert root.decrypt(key, ciphertext) == b"d1"
+
+    def test_depth_2_via_delegation(self, root, region):
+        key = region.extract("GLENBROOK")
+        ciphertext = root.encrypt(PATH[:2], b"d2", rng=HmacDrbg(b"2"))
+        assert root.decrypt(key, ciphertext) == b"d2"
+
+    def test_depth_3(self, root, complex_domain):
+        key = complex_domain.extract("ELECTRIC")
+        ciphertext = root.encrypt(PATH, b"d3", rng=HmacDrbg(b"3"))
+        assert root.decrypt(key, ciphertext) == b"d3"
+
+    def test_extract_path_shortcut(self, root, region):
+        key = region.extract_path(["GLENBROOK", "ELECTRIC"])
+        ciphertext = root.encrypt(PATH, b"shortcut", rng=HmacDrbg(b"4"))
+        assert root.decrypt(key, ciphertext) == b"shortcut"
+
+    def test_list_path_accepted(self, root):
+        key = root.extract("REGION-SV")
+        ciphertext = root.encrypt(["REGION-SV"], b"list", rng=HmacDrbg(b"5"))
+        assert root.decrypt(key, ciphertext) == b"list"
+
+    def test_large_message(self, root, complex_domain):
+        key = complex_domain.extract("ELECTRIC")
+        blob = bytes(range(256)) * 8
+        ciphertext = root.encrypt(PATH, blob, rng=HmacDrbg(b"6"))
+        assert root.decrypt(key, ciphertext) == blob
+
+
+class TestIsolation:
+    def test_sibling_cannot_decrypt(self, root, complex_domain):
+        water_key = complex_domain.extract("WATER")
+        ciphertext = root.encrypt(PATH, b"electric only", rng=HmacDrbg(b"7"))
+        with pytest.raises(DecryptionError):
+            root.decrypt(water_key, ciphertext)
+
+    def test_other_region_cannot_decrypt(self, root):
+        ny = root.domain("REGION-NY")
+        key = ny.extract_path(["GLENBROOK", "ELECTRIC"])
+        ciphertext = root.encrypt(PATH, b"sv only", rng=HmacDrbg(b"8"))
+        with pytest.raises(DecryptionError):
+            root.decrypt(key, ciphertext)
+
+    def test_depth_mismatch_rejected(self, root, region):
+        shallow_key = root.extract("REGION-SV")
+        deep_ciphertext = root.encrypt(PATH, b"deep", rng=HmacDrbg(b"9"))
+        with pytest.raises(DecryptionError):
+            root.decrypt(shallow_key, deep_ciphertext)
+
+    def test_independent_roots_incompatible(self):
+        root_a = HibeRoot(PARAMS, rng=HmacDrbg(b"root-a"))
+        root_b = HibeRoot(PARAMS, rng=HmacDrbg(b"root-b"))
+        key = root_a.extract("X")
+        ciphertext = root_b.encrypt(("X",), b"m", rng=HmacDrbg(b"10"))
+        with pytest.raises(DecryptionError):
+            root_b.decrypt(key, ciphertext)
+
+    def test_path_framing_unambiguous(self, root):
+        """('AB','C') and ('A','BC') must be different targets."""
+        region_ab = root.domain("AB")
+        key = region_ab.extract("C")
+        ciphertext = root.encrypt(("A", "BC"), b"m", rng=HmacDrbg(b"11"))
+        with pytest.raises(DecryptionError):
+            root.decrypt(key, ciphertext)
+
+    def test_delegation_never_exposes_ancestor_secrets(self, root, region):
+        """The domain object holds its own secret only; the root's s0
+        stays with the root (structural check)."""
+        assert not hasattr(region, "_s0")
+        assert region.key.identity_path == ("REGION-SV",)
+
+
+class TestMisc:
+    def test_empty_path_rejected(self, root):
+        with pytest.raises(ParameterError):
+            root.encrypt((), b"m")
+
+    def test_key_serialisation(self, root, complex_domain):
+        key = complex_domain.extract("ELECTRIC")
+        rebuilt = HibePrivateKey.from_bytes(key.to_bytes(), PARAMS)
+        assert rebuilt.identity_path == key.identity_path
+        ciphertext = root.encrypt(PATH, b"serialised", rng=HmacDrbg(b"12"))
+        assert root.decrypt(rebuilt, ciphertext) == b"serialised"
+
+    def test_randomised_encryption(self, root):
+        first = root.encrypt(("X",), b"same")
+        second = root.encrypt(("X",), b"same")
+        assert first.u0 != second.u0
+
+    def test_tampered_body_rejected(self, root):
+        key = root.extract("X")
+        ciphertext = root.encrypt(("X",), b"m", rng=HmacDrbg(b"13"))
+        mutated = bytearray(ciphertext.sealed)
+        mutated[-1] ^= 1
+        ciphertext.sealed = bytes(mutated)
+        with pytest.raises(DecryptionError):
+            root.decrypt(key, ciphertext)

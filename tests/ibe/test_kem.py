@@ -1,0 +1,118 @@
+"""The IBE-KEM and hybrid construction (the protocol's §V.D encryption)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecryptionError
+from repro.ibe import IbeKem, hybrid_decrypt, hybrid_encrypt, setup
+from repro.ibe.kem import HybridCiphertext
+from repro.mathlib.rand import HmacDrbg
+
+
+@pytest.fixture(scope="module")
+def master():
+    return setup("TOY64", rng=HmacDrbg(b"kem-master"))
+
+
+class TestKem:
+    def test_encapsulate_decapsulate_agree(self, master):
+        kem = IbeKem(master.public, rng=HmacDrbg(b"k"))
+        r_p, key = kem.encapsulate(b"attr|nonce", 16)
+        private_point = master.extract(b"attr|nonce").point
+        assert kem.decapsulate(private_point, r_p, 16) == key
+
+    def test_wrong_identity_key_differs(self, master):
+        kem = IbeKem(master.public, rng=HmacDrbg(b"k"))
+        r_p, key = kem.encapsulate(b"attr-a", 16)
+        wrong_point = master.extract(b"attr-b").point
+        assert kem.decapsulate(wrong_point, r_p, 16) != key
+
+    def test_fresh_randomness_per_encapsulation(self, master):
+        kem = IbeKem(master.public, rng=HmacDrbg(b"k"))
+        first = kem.encapsulate(b"id", 16)
+        second = kem.encapsulate(b"id", 16)
+        assert first[0] != second[0]
+        assert first[1] != second[1]
+
+    def test_key_length_honoured(self, master):
+        kem = IbeKem(master.public, rng=HmacDrbg(b"k"))
+        for length in (8, 16, 24, 32):
+            _, key = kem.encapsulate(b"id", length)
+            assert len(key) == length
+
+    def test_kem_key_prefix_consistency(self, master):
+        """Same encapsulation, different lengths: KDF prefix property."""
+        kem = IbeKem(master.public, rng=HmacDrbg(b"k"))
+        r_p, _ = kem.encapsulate(b"id", 8)
+        private_point = master.extract(b"id").point
+        short = kem.decapsulate(private_point, r_p, 8)
+        long = kem.decapsulate(private_point, r_p, 32)
+        assert long[:8] == short
+
+
+class TestHybrid:
+    @pytest.mark.parametrize("cipher_name", ["DES", "3DES", "AES-128", "AES-256"])
+    def test_roundtrip_all_ciphers(self, master, cipher_name):
+        message = b"meter reading 42.7 kWh at 10:15" * 4
+        ciphertext = hybrid_encrypt(
+            master.public, b"ELECTRIC-X", message,
+            cipher_name=cipher_name, rng=HmacDrbg(b"h"),
+        )
+        private_point = master.extract(b"ELECTRIC-X").point
+        assert hybrid_decrypt(master.public, private_point, ciphertext) == message
+
+    @given(message=st.binary(max_size=500))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_arbitrary_messages(self, master, message):
+        ciphertext = hybrid_encrypt(
+            master.public, b"any-id", message, rng=HmacDrbg(message + b"!")
+        )
+        private_point = master.extract(b"any-id").point
+        assert hybrid_decrypt(master.public, private_point, ciphertext) == message
+
+    def test_wrong_key_rejected(self, master):
+        ciphertext = hybrid_encrypt(
+            master.public, b"intended-attr", b"secret", rng=HmacDrbg(b"h")
+        )
+        wrong_point = master.extract(b"other-attr").point
+        with pytest.raises(DecryptionError):
+            hybrid_decrypt(master.public, wrong_point, ciphertext)
+
+    def test_sealed_body_tamper_rejected(self, master):
+        ciphertext = hybrid_encrypt(
+            master.public, b"attr", b"secret", rng=HmacDrbg(b"h")
+        )
+        mutated = bytearray(ciphertext.sealed)
+        mutated[len(mutated) // 2] ^= 1
+        ciphertext.sealed = bytes(mutated)
+        private_point = master.extract(b"attr").point
+        with pytest.raises(DecryptionError):
+            hybrid_decrypt(master.public, private_point, ciphertext)
+
+    def test_transported_point_tamper_rejected(self, master):
+        ciphertext = hybrid_encrypt(
+            master.public, b"attr", b"secret", rng=HmacDrbg(b"h")
+        )
+        ciphertext.r_p = 2 * ciphertext.r_p
+        private_point = master.extract(b"attr").point
+        with pytest.raises(DecryptionError):
+            hybrid_decrypt(master.public, private_point, ciphertext)
+
+    def test_serialisation_roundtrip(self, master):
+        ciphertext = hybrid_encrypt(
+            master.public, b"attr", b"wire bytes", rng=HmacDrbg(b"h")
+        )
+        rebuilt = HybridCiphertext.from_bytes(
+            ciphertext.to_bytes(), master.public.params
+        )
+        assert rebuilt.cipher_name == ciphertext.cipher_name
+        private_point = master.extract(b"attr").point
+        assert hybrid_decrypt(master.public, private_point, rebuilt) == b"wire bytes"
+
+    def test_ciphertext_never_contains_plaintext(self, master):
+        message = b"THE-PLAINTEXT-MARKER-0123456789"
+        ciphertext = hybrid_encrypt(
+            master.public, b"attr", message, rng=HmacDrbg(b"h")
+        )
+        assert message not in ciphertext.to_bytes()

@@ -1,0 +1,124 @@
+"""PEKS: encrypted keyword search (paper reference [1])."""
+
+import pytest
+
+from repro.errors import DecodeError
+from repro.ibe.peks import PeksScheme, PeksTag, PeksTrapdoor, SearchableIndex
+from repro.mathlib.rand import HmacDrbg
+from repro.pairing import get_preset
+
+PARAMS = get_preset("TOY64")
+
+
+@pytest.fixture()
+def scheme():
+    return PeksScheme.generate(PARAMS, rng=HmacDrbg(b"peks"))
+
+
+class TestPrimitive:
+    def test_matching_keyword_tests_true(self, scheme):
+        tag = scheme.tag("outage")
+        assert scheme.test(scheme.trapdoor("outage"), tag)
+
+    def test_non_matching_keyword_tests_false(self, scheme):
+        tag = scheme.tag("outage")
+        assert not scheme.test(scheme.trapdoor("billing"), tag)
+
+    def test_keyword_normalisation(self, scheme):
+        """'  OUTAGE ' and 'outage' are the same keyword."""
+        tag = scheme.tag("  OUTAGE ")
+        assert scheme.test(scheme.trapdoor("outage"), tag)
+
+    def test_tags_are_randomised(self, scheme):
+        first = scheme.tag("outage")
+        second = scheme.tag("outage")
+        assert first.point != second.point
+        assert first.check != second.check
+        trapdoor = scheme.trapdoor("outage")
+        assert scheme.test(trapdoor, first) and scheme.test(trapdoor, second)
+
+    def test_public_side_cannot_derive_trapdoors(self, scheme):
+        tagger = PeksScheme(PARAMS, public_point=scheme.public_point,
+                            rng=HmacDrbg(b"tagger"))
+        tag = tagger.tag("outage")
+        assert scheme.test(scheme.trapdoor("outage"), tag)
+        with pytest.raises(DecodeError):
+            tagger.trapdoor("outage")
+
+    def test_trapdoor_from_other_secret_fails(self):
+        alice = PeksScheme.generate(PARAMS, rng=HmacDrbg(b"alice"))
+        mallory = PeksScheme.generate(PARAMS, rng=HmacDrbg(b"mallory"))
+        tag = alice.tag("outage")
+        assert not alice.test(mallory.trapdoor("outage"), tag)
+
+    def test_serialisation_roundtrips(self, scheme):
+        tag = scheme.tag("kw")
+        trapdoor = scheme.trapdoor("kw")
+        tag2 = PeksTag.from_bytes(tag.to_bytes(), PARAMS)
+        trapdoor2 = PeksTrapdoor.from_bytes(trapdoor.to_bytes(), PARAMS)
+        assert scheme.test(trapdoor2, tag2)
+
+    def test_construction_requires_key_material(self):
+        with pytest.raises(DecodeError):
+            PeksScheme(PARAMS)
+
+
+class TestSearchableIndex:
+    def test_search_returns_matching_records(self, scheme):
+        index = SearchableIndex(scheme)
+        index.add(1, scheme.tag_all(["outage", "voltage"]))
+        index.add(2, scheme.tag_all(["billing"]))
+        index.add(3, scheme.tag_all(["outage"]))
+        assert index.search(scheme.trapdoor("outage")) == [1, 3]
+        assert index.search(scheme.trapdoor("billing")) == [2]
+        assert index.search(scheme.trapdoor("nothing")) == []
+
+    def test_tags_reveal_no_keywords(self, scheme):
+        """The stored bytes contain neither keyword text nor stable
+        per-keyword values (randomised tags)."""
+        tags = scheme.tag_all(["outage", "outage"])
+        blob = b"".join(tag.to_bytes() for tag in tags)
+        assert b"outage" not in blob
+        assert tags[0].to_bytes() != tags[1].to_bytes()
+
+    def test_stats(self, scheme):
+        index = SearchableIndex(scheme)
+        index.add(1, scheme.tag_all(["a", "b"]))
+        assert index.stats["tags_stored"] == 2
+        index.search(scheme.trapdoor("zzz"))
+        assert index.stats["tests_run"] == 2
+        assert len(index) == 1
+
+    def test_short_circuit_on_first_match(self, scheme):
+        index = SearchableIndex(scheme)
+        index.add(1, scheme.tag_all(["a", "a", "a"]))
+        index.search(scheme.trapdoor("a"))
+        assert index.stats["tests_run"] == 1
+
+
+class TestWarehouseIntegration:
+    def test_search_then_decrypt_flow(self, deployment):
+        """The intended deployment shape: the SD tags deposits, the MWS
+        indexes tags, an RC searches by trapdoor then decrypts only the
+        hits — the MWS learns match/no-match, never the keyword."""
+        scheme = PeksScheme.generate(
+            deployment.public_params.params, rng=HmacDrbg(b"whs")
+        )
+        index = SearchableIndex(scheme)
+        device = deployment.new_smart_device("peks-meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["P"])
+        channel = deployment.sd_channel("peks-meter")
+        bodies = {1: (b"outage at 03:12", ["outage", "event"]),
+                  2: (b"normal reading", ["reading"]),
+                  3: (b"outage resolved", ["outage"])}
+        for _record_id, (body, keywords) in bodies.items():
+            response = device.deposit(channel, "P", body)
+            index.add(response.message_id, scheme.tag_all(keywords))
+        hits = index.search(scheme.trapdoor("outage"))
+        assert hits == [1, 3]
+        # Decrypt only the hits via the normal protocol.
+        messages = client.retrieve_and_decrypt(
+            deployment.rc_mws_channel("rc"), deployment.rc_pkg_channel("rc")
+        )
+        matched = [m.plaintext for m in messages if m.message_id in hits]
+        assert matched == [b"outage at 03:12", b"outage resolved"]

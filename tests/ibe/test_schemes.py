@@ -1,0 +1,175 @@
+"""BasicIdent, FullIdent and the key-material layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecryptionError, ParameterError
+from repro.ibe import BasicIdent, FullIdent, setup
+from repro.ibe.basic_ident import BasicCiphertext
+from repro.ibe.full_ident import FullCiphertext
+from repro.ibe.keys import IdentityPrivateKey, PublicParams
+from repro.mathlib.rand import HmacDrbg
+from repro.pairing import get_preset
+
+
+@pytest.fixture(scope="module")
+def master():
+    return setup("TOY64", rng=HmacDrbg(b"master"))
+
+
+@pytest.fixture()
+def drbg():
+    return HmacDrbg(b"scheme-rng")
+
+
+class TestSetup:
+    def test_p_pub_is_s_times_generator(self, master):
+        params = master.public.params
+        assert master.public.p_pub == master.master_secret * params.generator
+
+    def test_accepts_params_object(self):
+        params = get_preset("TOY64")
+        keypair = setup(params, rng=HmacDrbg(b"x"))
+        assert keypair.public.params is params
+
+    def test_rejects_garbage_preset(self):
+        with pytest.raises(ParameterError):
+            setup(12345)
+
+    def test_master_secret_in_range(self, master):
+        assert 1 <= master.master_secret < master.public.params.q
+
+    def test_deterministic_with_seeded_rng(self):
+        a = setup("TOY64", rng=HmacDrbg(b"same"))
+        b = setup("TOY64", rng=HmacDrbg(b"same"))
+        assert a.master_secret == b.master_secret
+
+
+class TestExtract:
+    def test_private_key_is_s_times_hash(self, master):
+        key = master.extract(b"identity-alpha")
+        q_point = master.public.hash_identity(b"identity-alpha")
+        assert key.point == master.master_secret * q_point
+
+    def test_extract_deterministic(self, master):
+        assert master.extract(b"id").point == master.extract(b"id").point
+
+    def test_extract_point_matches_extract(self, master):
+        q_point = master.public.hash_identity(b"id-x")
+        assert master.extract_point(q_point) == master.extract(b"id-x").point
+
+    def test_private_key_serialisation(self, master):
+        key = master.extract(b"serial-me")
+        rebuilt = IdentityPrivateKey.from_bytes(
+            key.to_bytes(), master.public.params
+        )
+        assert rebuilt.identity == b"serial-me"
+        assert rebuilt.point == key.point
+
+
+class TestPublicParamsSerialisation:
+    def test_roundtrip(self, master):
+        rebuilt = PublicParams.from_bytes(master.public.to_bytes())
+        assert rebuilt.p_pub == master.public.p_pub
+        assert rebuilt.params.p == master.public.params.p
+        assert rebuilt.params.q == master.public.params.q
+        assert rebuilt.params.generator == master.public.params.generator
+
+    def test_roundtrip_preserves_pairing_algorithm(self):
+        keypair = setup(
+            get_preset("TOY64", pairing_algorithm="weil"), rng=HmacDrbg(b"w")
+        )
+        rebuilt = PublicParams.from_bytes(keypair.public.to_bytes())
+        assert rebuilt.params.pairing_algorithm == "weil"
+
+    def test_cross_party_interop(self, master):
+        """A device that only ever saw the serialised params must produce
+        ciphertexts the original master's extracts can decrypt."""
+        device_view = PublicParams.from_bytes(master.public.to_bytes())
+        encryptor = BasicIdent(device_view, rng=HmacDrbg(b"dev"))
+        ciphertext = encryptor.encrypt(b"shared-id", b"interop works")
+        decryptor = BasicIdent(master.public)
+        assert decryptor.decrypt(master.extract(b"shared-id"), ciphertext) == (
+            b"interop works"
+        )
+
+
+class TestBasicIdent:
+    @given(message=st.binary(max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, master, message):
+        scheme = BasicIdent(master.public, rng=HmacDrbg(message + b"r"))
+        ciphertext = scheme.encrypt(b"round-trip-id", message)
+        assert scheme.decrypt(master.extract(b"round-trip-id"), ciphertext) == message
+
+    def test_wrong_identity_garbles(self, master, drbg):
+        scheme = BasicIdent(master.public, rng=drbg)
+        ciphertext = scheme.encrypt(b"intended", b"sensitive reading")
+        wrong = scheme.decrypt(master.extract(b"interloper"), ciphertext)
+        assert wrong != b"sensitive reading"
+
+    def test_randomised_encryption(self, master, drbg):
+        scheme = BasicIdent(master.public, rng=drbg)
+        first = scheme.encrypt(b"id", b"same message")
+        second = scheme.encrypt(b"id", b"same message")
+        assert first.u != second.u
+        assert first.v != second.v
+
+    def test_ciphertext_roundtrip_bytes(self, master, drbg):
+        scheme = BasicIdent(master.public, rng=drbg)
+        ciphertext = scheme.encrypt(b"id", b"serialise me")
+        rebuilt = BasicCiphertext.from_bytes(
+            ciphertext.to_bytes(), master.public.params
+        )
+        assert rebuilt.u == ciphertext.u
+        assert rebuilt.v == ciphertext.v
+
+    def test_empty_message(self, master, drbg):
+        scheme = BasicIdent(master.public, rng=drbg)
+        ciphertext = scheme.encrypt(b"id", b"")
+        assert scheme.decrypt(master.extract(b"id"), ciphertext) == b""
+
+
+class TestFullIdent:
+    @given(message=st.binary(max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip(self, master, message):
+        scheme = FullIdent(master.public, rng=HmacDrbg(message + b"f"))
+        ciphertext = scheme.encrypt(b"cca-id", message)
+        assert scheme.decrypt(master.extract(b"cca-id"), ciphertext) == message
+
+    def test_wrong_identity_rejected(self, master, drbg):
+        scheme = FullIdent(master.public, rng=drbg)
+        ciphertext = scheme.encrypt(b"right-id", b"msg")
+        with pytest.raises(DecryptionError):
+            scheme.decrypt(master.extract(b"wrong-id"), ciphertext)
+
+    @pytest.mark.parametrize("component", ["u", "v", "w"])
+    def test_any_component_tamper_rejected(self, master, drbg, component):
+        scheme = FullIdent(master.public, rng=drbg)
+        ciphertext = scheme.encrypt(b"id", b"integrity matters here")
+        if component == "u":
+            # Replace U with a different valid point.
+            ciphertext.u = 2 * ciphertext.u
+        elif component == "v":
+            ciphertext.v = bytes([ciphertext.v[0] ^ 1]) + ciphertext.v[1:]
+        else:
+            ciphertext.w = bytes([ciphertext.w[0] ^ 1]) + ciphertext.w[1:]
+        with pytest.raises(DecryptionError):
+            scheme.decrypt(master.extract(b"id"), ciphertext)
+
+    def test_bad_sigma_length_rejected(self, master):
+        ciphertext = FullCiphertext(
+            u=master.public.params.generator, v=b"short", w=b"x"
+        )
+        with pytest.raises(DecryptionError):
+            FullIdent(master.public).decrypt(master.extract(b"id"), ciphertext)
+
+    def test_serialisation_roundtrip(self, master, drbg):
+        scheme = FullIdent(master.public, rng=drbg)
+        ciphertext = scheme.encrypt(b"id", b"bytes on the wire")
+        rebuilt = FullCiphertext.from_bytes(
+            ciphertext.to_bytes(), master.public.params
+        )
+        assert scheme.decrypt(master.extract(b"id"), rebuilt) == b"bytes on the wire"

@@ -1,0 +1,142 @@
+"""Identity-based signatures (Cha–Cheon) and their deposit integration."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.ibe import setup
+from repro.ibe.signatures import (
+    IbeSignature,
+    IbeSigner,
+    IbeVerifier,
+    extract_signing_key,
+)
+from repro.mathlib.rand import HmacDrbg
+from tests.conftest import build_deployment
+
+
+@pytest.fixture(scope="module")
+def master():
+    return setup("TOY64", rng=HmacDrbg(b"ibs-master"))
+
+
+@pytest.fixture()
+def signer(master):
+    key = extract_signing_key(master, b"meter-1")
+    return IbeSigner(master.public, b"meter-1", key, rng=HmacDrbg(b"ibs-rng"))
+
+
+@pytest.fixture()
+def verifier(master):
+    return IbeVerifier(master.public)
+
+
+class TestSignScheme:
+    def test_valid_signature_verifies(self, signer, verifier):
+        signature = signer.sign(b"reading 42")
+        assert verifier.verify(b"meter-1", b"reading 42", signature)
+
+    def test_message_tamper_rejected(self, signer, verifier):
+        signature = signer.sign(b"reading 42")
+        assert not verifier.verify(b"meter-1", b"reading 43", signature)
+
+    def test_identity_substitution_rejected(self, signer, verifier):
+        signature = signer.sign(b"reading 42")
+        assert not verifier.verify(b"meter-2", b"reading 42", signature)
+
+    def test_signature_component_tamper_rejected(self, signer, verifier):
+        signature = signer.sign(b"m")
+        forged_u = IbeSignature(u=2 * signature.u, v=signature.v)
+        forged_v = IbeSignature(u=signature.u, v=2 * signature.v)
+        assert not verifier.verify(b"meter-1", b"m", forged_u)
+        assert not verifier.verify(b"meter-1", b"m", forged_v)
+
+    def test_infinity_components_rejected(self, master, signer, verifier):
+        infinity = master.public.params.curve.infinity()
+        assert not verifier.verify(
+            b"meter-1", b"m", IbeSignature(u=infinity, v=infinity)
+        )
+
+    def test_signatures_are_randomised(self, signer, verifier):
+        first = signer.sign(b"same message")
+        second = signer.sign(b"same message")
+        assert first.u != second.u
+        assert verifier.verify(b"meter-1", b"same message", first)
+        assert verifier.verify(b"meter-1", b"same message", second)
+
+    def test_serialisation_roundtrip(self, master, signer, verifier):
+        signature = signer.sign(b"wire")
+        rebuilt = IbeSignature.from_bytes(
+            signature.to_bytes(), master.public.params
+        )
+        assert verifier.verify(b"meter-1", b"wire", rebuilt)
+
+    def test_signing_key_cannot_decrypt_encryption_identity(self, master):
+        """Domain separation: the signing key is NOT the encryption key
+        for the same identity string."""
+        signing_key = extract_signing_key(master, b"meter-1")
+        encryption_key = master.extract(b"meter-1")
+        assert signing_key.point != encryption_key.point
+
+    def test_key_from_wrong_master_fails(self, master, verifier):
+        other_master = setup("TOY64", rng=HmacDrbg(b"other"))
+        rogue_key = extract_signing_key(other_master, b"meter-1")
+        rogue = IbeSigner(
+            master.public, b"meter-1", rogue_key, rng=HmacDrbg(b"r")
+        )
+        assert not verifier.verify(b"meter-1", b"m", rogue.sign(b"m"))
+
+
+class TestDeploymentIntegration:
+    @pytest.fixture()
+    def signed_deployment(self):
+        deployment = build_deployment(
+            use_device_signatures=True, seed=b"tests-ibs-deploy"
+        )
+        yield deployment
+        deployment.close()
+
+    def test_signed_deposit_end_to_end(self, signed_deployment):
+        deployment = signed_deployment
+        device = deployment.new_smart_device("meter-ibs")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+        device.deposit(deployment.sd_channel("meter-ibs"), "A", b"signed")
+        messages = client.retrieve_and_decrypt(
+            deployment.rc_mws_channel("rc"), deployment.rc_pkg_channel("rc")
+        )
+        assert [m.plaintext for m in messages] == [b"signed"]
+
+    def test_unsigned_deposit_rejected(self, signed_deployment):
+        """A device that skips the signature is turned away even with a
+        valid MAC."""
+        from repro.clients.smart_device import SmartDevice
+
+        deployment = signed_deployment
+        shared = deployment.mws.register_device("bare-meter")
+        bare = SmartDevice(
+            "bare-meter",
+            deployment.public_params,
+            shared,
+            clock=deployment.clock,
+            rng=HmacDrbg(b"bare"),
+        )
+        with pytest.raises(ProtocolError):
+            bare.deposit(deployment.sd_channel("bare-meter"), "A", b"x")
+        assert deployment.mws.sda.stats["bad_signature"] == 1
+
+    def test_tampered_signature_rejected(self, signed_deployment):
+        deployment = signed_deployment
+        device = deployment.new_smart_device("meter-ibs")
+        request = device.build_deposit("A", b"x")
+        request.signature = request.signature[:-4] + bytes(4)
+        from repro.wire.messages import DepositResponse
+
+        raw = deployment.network.send("meter-ibs", "mws-sd", request.to_bytes())
+        response = DepositResponse.from_bytes(raw)
+        assert not response.accepted
+        assert "signature" in response.error
+
+    def test_signature_optional_when_not_required(self, deployment):
+        """Default deployments ignore the signature field entirely."""
+        device = deployment.new_smart_device("meter-plain")
+        request = device.build_deposit("A", b"x")
+        assert request.signature == b""

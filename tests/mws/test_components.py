@@ -1,0 +1,301 @@
+"""Unit tests for each Fig. 3 MWS component in isolation."""
+
+import pytest
+
+from repro.core.conventions import compute_deposit_mac, derive_password_key
+from repro.errors import (
+    AccessDeniedError,
+    AuthenticationError,
+    MacMismatchError,
+    ReplayError,
+    UnknownIdentityError,
+)
+from repro.mathlib.rand import HmacDrbg
+from repro.mws.authenticator import SmartDeviceAuthenticator
+from repro.mws.gatekeeper import Gatekeeper
+from repro.mws.mms import MessageManagementSystem
+from repro.mws.token_gen import TokenGenerator
+from repro.pki.rsa import generate_rsa_keypair, hybrid_open
+from repro.policy import PolicyEngine, parse_policy
+from repro.sim.clock import SimClock
+from repro.storage import DeviceKeyStore, MessageDatabase, PolicyDatabase, UserDatabase
+from repro.symciph.cipher import SymmetricScheme
+from repro.wire.messages import DepositRequest, RetrieveRequest, Ticket, Token
+
+
+def make_deposit(shared_key, clock, device_id="meter-1", attribute="A", **overrides):
+    request = DepositRequest(
+        device_id=device_id,
+        attribute=attribute,
+        nonce=b"\x07" * 16,
+        ciphertext=b"\xcc" * 40,
+        timestamp_us=overrides.pop("timestamp_us", clock.now_us()),
+    )
+    for field, value in overrides.items():
+        setattr(request, field, value)
+    request.mac = compute_deposit_mac(shared_key, request.mac_payload())
+    return request
+
+
+class TestSmartDeviceAuthenticator:
+    @pytest.fixture()
+    def world(self):
+        clock = SimClock(tick_us=7)
+        keystore = DeviceKeyStore(rng=HmacDrbg(b"ks"))
+        shared_key = keystore.register("meter-1")
+        alerts = []
+        sda = SmartDeviceAuthenticator(
+            keystore, clock, alert_sink=lambda device, reason: alerts.append(reason)
+        )
+        return clock, keystore, shared_key, sda, alerts
+
+    def test_accepts_valid_deposit(self, world):
+        clock, _ks, shared_key, sda, _alerts = world
+        sda.authenticate(make_deposit(shared_key, clock))
+        assert sda.stats["accepted"] == 1
+
+    def test_rejects_bad_mac(self, world):
+        clock, _ks, shared_key, sda, alerts = world
+        request = make_deposit(shared_key, clock)
+        request.mac = bytes(32)
+        with pytest.raises(MacMismatchError):
+            sda.authenticate(request)
+        assert "MAC mismatch" in alerts
+
+    def test_rejects_tampered_ciphertext(self, world):
+        clock, _ks, shared_key, sda, _alerts = world
+        request = make_deposit(shared_key, clock)
+        request.ciphertext = b"\xcd" + request.ciphertext[1:]
+        with pytest.raises(MacMismatchError):
+            sda.authenticate(request)
+
+    def test_rejects_unknown_device(self, world):
+        clock, _ks, shared_key, sda, alerts = world
+        request = make_deposit(shared_key, clock, device_id="ghost")
+        with pytest.raises(UnknownIdentityError):
+            sda.authenticate(request)
+        assert "unknown device" in alerts
+        assert sda.stats["unknown_device"] == 1
+
+    def test_rejects_stale_timestamp(self, world):
+        clock, _ks, shared_key, sda, _alerts = world
+        request = make_deposit(shared_key, clock)
+        clock.advance(600 * 1_000_000)  # beyond the 300s window
+        with pytest.raises(ReplayError):
+            sda.authenticate(request)
+
+    def test_rejects_future_timestamp(self, world):
+        clock, _ks, shared_key, sda, _alerts = world
+        request = make_deposit(
+            shared_key, clock, timestamp_us=clock.now_us() + 600 * 1_000_000
+        )
+        with pytest.raises(ReplayError):
+            sda.authenticate(request)
+
+    def test_rejects_replayed_deposit(self, world):
+        clock, _ks, shared_key, sda, _alerts = world
+        request = make_deposit(shared_key, clock)
+        sda.authenticate(request)
+        with pytest.raises(ReplayError):
+            sda.authenticate(request)
+        assert sda.stats["replayed"] == 1
+
+    def test_revoked_device_rejected(self, world):
+        clock, keystore, shared_key, sda, _alerts = world
+        request = make_deposit(shared_key, clock)
+        keystore.revoke("meter-1")
+        with pytest.raises(UnknownIdentityError):
+            sda.authenticate(request)
+
+
+class TestGatekeeper:
+    @pytest.fixture()
+    def world(self):
+        clock = SimClock(tick_us=7)
+        user_db = UserDatabase()
+        user_db.register("c-services", "hunter2")
+        gatekeeper = Gatekeeper(user_db, clock, cipher_name="DES")
+        return clock, user_db, gatekeeper
+
+    def _request(self, clock, rc_id="c-services", password="hunter2", nonce=b"n" * 16):
+        key = derive_password_key(UserDatabase.hash_password(password), "DES")
+        scheme = SymmetricScheme("DES", key, mac=True, rng=HmacDrbg(nonce))
+        payload = RetrieveRequest.auth_payload(rc_id, clock.now_us(), nonce)
+        return RetrieveRequest(
+            rc_id=rc_id, rc_public_key=b"\x01" * 16, auth_blob=scheme.seal(payload)
+        )
+
+    def test_valid_auth_returns_nonce(self, world):
+        clock, _db, gatekeeper = world
+        assert gatekeeper.authenticate(self._request(clock)) == b"n" * 16
+
+    def test_wrong_password_rejected(self, world):
+        clock, _db, gatekeeper = world
+        with pytest.raises(AuthenticationError):
+            gatekeeper.authenticate(self._request(clock, password="wrong"))
+        assert gatekeeper.stats["rejected"] == 1
+
+    def test_unknown_identity_rejected(self, world):
+        clock, _db, gatekeeper = world
+        with pytest.raises(UnknownIdentityError):
+            gatekeeper.authenticate(self._request(clock, rc_id="ghost"))
+
+    def test_inner_outer_id_mismatch_rejected(self, world):
+        clock, _db, gatekeeper = world
+        request = self._request(clock)
+        # Mallory intercepts and replaces the outer id with her own...
+        # but she'd need the blob decryptable under *her* hash. Simulate
+        # the simpler attack: tamper with the outer id only.
+        request.rc_id = "mallory"
+        with pytest.raises((AuthenticationError, UnknownIdentityError)):
+            gatekeeper.authenticate(request)
+
+    def test_id_substitution_with_shared_password(self, world):
+        """Two RCs with the same password: the inner/outer check must
+        still prevent presenting alice's blob as bob."""
+        clock, user_db, gatekeeper = world
+        user_db.register("other-rc", "hunter2")
+        request = self._request(clock)  # built for c-services
+        request.rc_id = "other-rc"  # same password hash, so blob opens
+        with pytest.raises(AuthenticationError):
+            gatekeeper.authenticate(request)
+
+    def test_stale_timestamp_rejected(self, world):
+        clock, _db, gatekeeper = world
+        request = self._request(clock)
+        clock.advance(601 * 1_000_000)
+        with pytest.raises(ReplayError):
+            gatekeeper.authenticate(request)
+
+    def test_nonce_replay_rejected(self, world):
+        clock, _db, gatekeeper = world
+        gatekeeper.authenticate(self._request(clock, nonce=b"x" * 16))
+        with pytest.raises(ReplayError):
+            gatekeeper.authenticate(self._request(clock, nonce=b"x" * 16))
+
+    def test_distinct_nonces_accepted(self, world):
+        clock, _db, gatekeeper = world
+        gatekeeper.authenticate(self._request(clock, nonce=b"a" * 16))
+        gatekeeper.authenticate(self._request(clock, nonce=b"b" * 16))
+        assert gatekeeper.stats["authenticated"] == 2
+
+
+class TestMms:
+    @pytest.fixture()
+    def world(self):
+        message_db = MessageDatabase()
+        policy_db = PolicyDatabase()
+        mms = MessageManagementSystem(message_db, policy_db)
+        return message_db, policy_db, mms
+
+    def test_attribute_rewrite_to_aid(self, world):
+        message_db, policy_db, mms = world
+        aid = policy_db.grant("rc", "ELECTRIC-X")
+        message_db.store("dev", "ELECTRIC-X", b"n", b"ct", 100)
+        attribute_map, messages = mms.retrieve_for("rc", now_us=200)
+        assert attribute_map == {aid: "ELECTRIC-X"}
+        assert messages[0].attribute_id == aid
+        # Attribute string must not appear anywhere in the RC-bound bytes.
+        assert b"ELECTRIC-X" not in messages[0].to_bytes()
+
+    def test_only_granted_attributes_served(self, world):
+        message_db, policy_db, mms = world
+        policy_db.grant("rc", "A")
+        message_db.store("dev", "A", b"", b"1", 10)
+        message_db.store("dev", "B", b"", b"2", 20)
+        _map, messages = mms.retrieve_for("rc", now_us=100)
+        assert [m.message_id for m in messages] == [1]
+
+    def test_since_filter(self, world):
+        message_db, policy_db, mms = world
+        policy_db.grant("rc", "A")
+        message_db.store("dev", "A", b"", b"1", 10)
+        message_db.store("dev", "A", b"", b"2", 500)
+        _map, messages = mms.retrieve_for("rc", now_us=1000, since_us=100)
+        assert [m.message_id for m in messages] == [2]
+
+    def test_unknown_identity_propagates(self, world):
+        _md, _pd, mms = world
+        with pytest.raises(UnknownIdentityError):
+            mms.retrieve_for("ghost", now_us=0)
+
+    def test_policy_engine_filters(self, world):
+        message_db, policy_db, _ = world
+        engine = PolicyEngine(parse_policy("permit attribute=ELECTRIC-*"))
+        mms = MessageManagementSystem(message_db, policy_db, policy_engine=engine)
+        policy_db.grant("rc", "ELECTRIC-1")
+        policy_db.grant("rc", "WATER-1")
+        message_db.store("dev", "ELECTRIC-1", b"", b"e", 10)
+        message_db.store("dev", "WATER-1", b"", b"w", 20)
+        attribute_map, messages = mms.retrieve_for("rc", now_us=100)
+        assert list(attribute_map.values()) == ["ELECTRIC-1"]
+        assert len(messages) == 1
+        assert mms.stats["policy_denials"] == 1
+
+    def test_policy_engine_denying_everything_raises(self, world):
+        message_db, policy_db, _ = world
+        engine = PolicyEngine(parse_policy("deny attribute=*"))
+        mms = MessageManagementSystem(message_db, policy_db, policy_engine=engine)
+        policy_db.grant("rc", "A")
+        with pytest.raises(AccessDeniedError):
+            mms.retrieve_for("rc", now_us=0)
+
+
+class TestTokenGenerator:
+    @pytest.fixture()
+    def world(self):
+        clock = SimClock(tick_us=7)
+        mws_pkg_key = HmacDrbg(b"shared").randbytes(32)
+        generator = TokenGenerator(mws_pkg_key, clock, HmacDrbg(b"tg"))
+        rc_keys = generate_rsa_keypair(768, rng=HmacDrbg(b"rc-rsa"))
+        return clock, mws_pkg_key, generator, rc_keys
+
+    def test_token_opens_with_rc_private_key(self, world):
+        _clock, _key, generator, rc_keys = world
+        sealed = generator.issue("rc", rc_keys.public, {1: "ELECTRIC"})
+        token = Token.from_bytes(hybrid_open(rc_keys.private, sealed))
+        assert len(token.session_key) == 32
+
+    def test_ticket_opens_only_with_pkg_key(self, world):
+        _clock, mws_pkg_key, generator, rc_keys = world
+        sealed = generator.issue("rc", rc_keys.public, {1: "ELECTRIC", 4: "GAS"})
+        token = Token.from_bytes(hybrid_open(rc_keys.private, sealed))
+        ticket_scheme = SymmetricScheme("AES-256", mws_pkg_key, mac=True)
+        ticket = Ticket.from_bytes(ticket_scheme.open(token.sealed_ticket))
+        assert ticket.rc_id == "rc"
+        assert ticket.attribute_map == {1: "ELECTRIC", 4: "GAS"}
+        assert ticket.session_key == token.session_key
+
+    def test_attribute_strings_hidden_from_rc_view(self, world):
+        """Everything the RC can decrypt (the Token) must not contain the
+        attribute string; only the sealed ticket does."""
+        _clock, _key, generator, rc_keys = world
+        sealed = generator.issue("rc", rc_keys.public, {1: "SECRET-ATTRIBUTE"})
+        token = Token.from_bytes(hybrid_open(rc_keys.private, sealed))
+        assert b"SECRET-ATTRIBUTE" not in token.session_key
+        # The sealed ticket is AES-encrypted: the attribute must not be
+        # recoverable as plaintext bytes.
+        assert b"SECRET-ATTRIBUTE" not in token.sealed_ticket
+
+    def test_fresh_session_key_per_token(self, world):
+        _clock, _key, generator, rc_keys = world
+        first = Token.from_bytes(
+            hybrid_open(rc_keys.private, generator.issue("rc", rc_keys.public, {1: "A"}))
+        )
+        second = Token.from_bytes(
+            hybrid_open(rc_keys.private, generator.issue("rc", rc_keys.public, {1: "A"}))
+        )
+        assert first.session_key != second.session_key
+
+    def test_ticket_lifetime_from_config(self):
+        clock = SimClock()
+        generator = TokenGenerator(
+            bytes(32), clock, HmacDrbg(b"tg"), ticket_lifetime_us=12345
+        )
+        rc_keys = generate_rsa_keypair(768, rng=HmacDrbg(b"rc-rsa"))
+        sealed = generator.issue("rc", rc_keys.public, {1: "A"})
+        token = Token.from_bytes(hybrid_open(rc_keys.private, sealed))
+        ticket = Ticket.from_bytes(
+            SymmetricScheme("AES-256", bytes(32), mac=True).open(token.sealed_ticket)
+        )
+        assert ticket.lifetime_us == 12345

@@ -1,0 +1,120 @@
+"""Distribution points and the pull coordinator (§VIII future work)."""
+
+import pytest
+
+from repro.mws.distribution import DistributionCoordinator, DistributionPoint
+from repro.wire.messages import DepositRequest
+
+
+@pytest.fixture()
+def distributed_world(deployment):
+    """Central MWS + two edge points sharing the device key store."""
+    north = DistributionPoint(
+        "north", deployment.mws.device_keys, deployment.clock
+    )
+    south = DistributionPoint(
+        "south", deployment.mws.device_keys, deployment.clock
+    )
+    coordinator = DistributionCoordinator(deployment.mws)
+    coordinator.register_point(north)
+    coordinator.register_point(south)
+    device = deployment.new_smart_device("edge-meter")
+    client = deployment.new_receiving_client("rc", "pw", attributes=["EDGE"])
+    return deployment, north, south, coordinator, device, client
+
+
+class TestDistributionPoint:
+    def test_edge_accepts_and_buffers(self, distributed_world):
+        _dep, north, _south, _coord, device, _client = distributed_world
+        request = device.build_deposit("EDGE", b"edge reading")
+        response = north.handle_deposit(request)
+        assert response.accepted
+        assert north.buffered == 1
+
+    def test_edge_rejects_tampered(self, distributed_world):
+        _dep, north, _south, _coord, device, _client = distributed_world
+        request = device.build_deposit("EDGE", b"x")
+        request.mac = bytes(32)
+        response = north.handle_deposit(request)
+        assert not response.accepted
+        assert north.buffered == 0
+        assert north.stats["rejected"] == 1
+
+    def test_edge_rejects_unknown_device(self, distributed_world):
+        deployment, north, _south, _coord, device, _client = distributed_world
+        request = device.build_deposit("EDGE", b"x")
+        deployment.mws.revoke_device("edge-meter")
+        assert not north.handle_deposit(request).accepted
+
+    def test_buffer_cap(self, deployment):
+        point = DistributionPoint(
+            "tiny", deployment.mws.device_keys, deployment.clock, max_buffer=2
+        )
+        device = deployment.new_smart_device("cap-meter")
+        for _ in range(2):
+            assert point.handle_deposit(device.build_deposit("A", b"x")).accepted
+        overflow = point.handle_deposit(device.build_deposit("A", b"x"))
+        assert not overflow.accepted and "buffer full" in overflow.error
+
+    def test_byte_handler(self, distributed_world):
+        _dep, north, _south, _coord, device, _client = distributed_world
+        request = device.build_deposit("EDGE", b"bytes")
+        raw = north.deposit_handler(request.to_bytes())
+        from repro.wire.messages import DepositResponse
+
+        assert DepositResponse.from_bytes(raw).accepted
+        assert not DepositResponse.from_bytes(
+            north.deposit_handler(b"garbage")
+        ).accepted
+
+
+class TestCoordinator:
+    def test_pull_moves_messages_to_centre(self, distributed_world):
+        deployment, north, south, coordinator, device, client = distributed_world
+        north.handle_deposit(device.build_deposit("EDGE", b"from north"))
+        south.handle_deposit(device.build_deposit("EDGE", b"from south"))
+        assert len(deployment.mws.message_db) == 0
+        assert coordinator.pull_all() == 2
+        assert len(deployment.mws.message_db) == 2
+        assert north.buffered == 0 and south.buffered == 0
+        # The RC reads both through the normal protocol.
+        messages = client.retrieve_and_decrypt(
+            deployment.rc_mws_channel("rc"), deployment.rc_pkg_channel("rc")
+        )
+        assert {m.plaintext for m in messages} == {b"from north", b"from south"}
+
+    def test_redelivery_is_deduplicated(self, distributed_world):
+        """At-least-once from the edge, exactly-once at the warehouse."""
+        deployment, north, _south, coordinator, device, _client = distributed_world
+        request = device.build_deposit("EDGE", b"once only")
+        north.handle_deposit(request)
+        batch = north.peek_batch(10)
+        coordinator.pull("north")
+        # Simulate a crashed acknowledgement: the same request re-enters
+        # the buffer (as a retry would re-send it).
+        north._buffer.extend(batch)
+        coordinator.pull("north")
+        assert len(deployment.mws.message_db) == 1
+        assert coordinator.stats["duplicates"] == 1
+
+    def test_batched_pull(self, distributed_world):
+        deployment, north, _south, coordinator, device, _client = distributed_world
+        for index in range(5):
+            north.handle_deposit(device.build_deposit("EDGE", f"m{index}".encode()))
+        assert coordinator.pull("north", batch_size=2) == 2
+        assert north.buffered == 3
+        assert coordinator.pull("north", batch_size=10) == 3
+        assert len(deployment.mws.message_db) == 5
+
+    def test_pull_preserves_edge_timestamps(self, distributed_world):
+        deployment, north, _south, coordinator, device, _client = distributed_world
+        request = device.build_deposit("EDGE", b"stamped")
+        north.handle_deposit(request)
+        accepted_at = north.peek_batch(1)[0].accepted_at_us
+        coordinator.pull("north")
+        record = deployment.mws.message_db.fetch(1)
+        assert record.deposited_at_us == accepted_at
+
+    def test_points_listing(self, distributed_world):
+        _dep, _north, _south, coordinator, _device, _client = distributed_world
+        assert coordinator.points == ["north", "south"]

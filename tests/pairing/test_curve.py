@@ -1,0 +1,192 @@
+"""Elliptic-curve group law and point utilities on y^2 = x^3 + 1."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CurveError, PointNotOnCurveError
+from repro.mathlib.rand import HmacDrbg
+from repro.pairing import get_preset
+from repro.pairing.curve import Curve
+from repro.pairing.fields import Fp
+
+PARAMS = get_preset("TOY64")
+CURVE = PARAMS.curve
+EXT_CURVE = PARAMS.ext_curve
+
+
+def random_points(count, seed=b"pts"):
+    rng = HmacDrbg(seed)
+    return [CURVE.random_point(rng) for _ in range(count)]
+
+
+scalars = st.integers(-3 * PARAMS.q, 3 * PARAMS.q)
+
+
+class TestGroupLaw:
+    def test_identity_element(self):
+        infinity = CURVE.infinity()
+        for point in random_points(5):
+            assert point + infinity == point
+            assert infinity + point == point
+        assert infinity + infinity == infinity
+
+    def test_inverse_element(self):
+        for point in random_points(5):
+            assert (point + (-point)).is_infinity()
+            assert point - point == CURVE.infinity()
+
+    def test_commutativity(self):
+        a, b = random_points(2, b"comm")
+        assert a + b == b + a
+
+    def test_associativity(self):
+        for seed in (b"a1", b"a2", b"a3"):
+            a, b, c = random_points(3, seed)
+            assert (a + b) + c == a + (b + c)
+
+    def test_doubling_matches_addition(self):
+        (point,) = random_points(1, b"dbl")
+        assert point.double() == point + point
+
+    def test_order_2_points_double_to_infinity(self):
+        """(x, 0) has order 2; on this curve x = -1 since x^3 = -1."""
+        p = PARAMS.p
+        point = CURVE.point(p - 1, 0)
+        assert point.double().is_infinity()
+
+    @given(k=scalars)
+    @settings(max_examples=30, deadline=None)
+    def test_scalar_multiplication_linearity(self, k):
+        (point,) = random_points(1, b"lin")
+        assert (k + 1) * point == k * point + point
+
+    def test_scalar_edge_cases(self):
+        (point,) = random_points(1, b"edge")
+        assert (0 * point).is_infinity()
+        assert 1 * point == point
+        assert -1 * point == -point
+        assert 2 * point == point.double()
+
+    def test_subgroup_order(self):
+        generator = PARAMS.generator
+        assert (PARAMS.q * generator).is_infinity()
+        assert not ((PARAMS.q - 1) * generator).is_infinity()
+
+    def test_group_order_p_plus_1(self):
+        """Supersingular: #E(F_p) = p + 1 — any point times p+1 is O."""
+        for point in random_points(3, b"ord"):
+            assert ((PARAMS.p + 1) * point).is_infinity()
+
+
+class TestPointValidation:
+    def test_point_on_curve_accepted(self):
+        (point,) = random_points(1, b"val")
+        rebuilt = CURVE.point(point.x, point.y)
+        assert rebuilt == point
+
+    def test_point_off_curve_rejected(self):
+        with pytest.raises(PointNotOnCurveError):
+            CURVE.point(1, 1)  # 1 != 1 + 1
+
+    def test_integer_coordinates_promoted(self):
+        assert CURVE.point(0, 1).x == CURVE.field(0)
+
+    def test_known_small_point(self):
+        """(0, ±1) is always on y^2 = x^3 + 1."""
+        point = CURVE.point(0, 1)
+        assert point + CURVE.point(0, PARAMS.p - 1) == CURVE.infinity()
+
+    def test_contains(self):
+        assert CURVE.contains(CURVE.field(0), CURVE.field(1))
+        assert not CURVE.contains(CURVE.field(1), CURVE.field(1))
+
+
+class TestLiftAndRandom:
+    @given(y=st.integers(0, 2**32))
+    @settings(max_examples=30)
+    def test_lift_x_lands_on_curve(self, y):
+        point = CURVE.lift_x(y % PARAMS.p)
+        assert CURVE.contains(point.x, point.y)
+        assert point.y.value == y % PARAMS.p
+
+    def test_lift_x_base_field_only(self):
+        with pytest.raises(CurveError):
+            EXT_CURVE.lift_x(1)
+
+    def test_random_point_on_curve(self):
+        point = CURVE.random_point(HmacDrbg(b"rp"))
+        assert CURVE.contains(point.x, point.y)
+
+    def test_random_point_deterministic(self):
+        assert CURVE.random_point(HmacDrbg(b"s")) == CURVE.random_point(HmacDrbg(b"s"))
+
+
+class TestSerialisation:
+    def test_affine_roundtrip(self):
+        (point,) = random_points(1, b"ser")
+        assert CURVE.from_bytes(point.to_bytes()) == point
+
+    def test_infinity_roundtrip(self):
+        assert CURVE.from_bytes(CURVE.infinity().to_bytes()).is_infinity()
+
+    def test_ext_curve_roundtrip(self):
+        point = PARAMS.distort(PARAMS.generator)
+        assert EXT_CURVE.from_bytes(point.to_bytes()) == point
+
+    def test_bad_tag_rejected(self):
+        with pytest.raises(CurveError):
+            CURVE.from_bytes(b"\x07" + bytes(16))
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(CurveError):
+            CURVE.from_bytes(b"\x04" + bytes(3))
+
+    def test_off_curve_encoding_rejected(self):
+        (point,) = random_points(1, b"oc")
+        corrupt = bytearray(point.to_bytes())
+        corrupt[-1] ^= 1
+        with pytest.raises((PointNotOnCurveError, CurveError)):
+            CURVE.from_bytes(bytes(corrupt))
+
+
+class TestDistortionMap:
+    def test_image_is_on_extension_curve(self):
+        point = PARAMS.generator
+        distorted = PARAMS.distort(point)
+        assert distorted.curve == EXT_CURVE
+        assert EXT_CURVE.contains(distorted.x, distorted.y)
+
+    def test_distortion_is_homomorphic(self):
+        point = PARAMS.generator
+        assert PARAMS.distort(5 * point) == 5 * PARAMS.distort(point)
+
+    def test_distortion_of_infinity(self):
+        assert PARAMS.distort(CURVE.infinity()).is_infinity()
+
+    def test_image_linearly_independent(self):
+        """phi(P) has an x-coordinate outside F_p, so it cannot be a
+        base-field multiple of P."""
+        distorted = PARAMS.distort(PARAMS.generator)
+        assert distorted.x.b != 0
+
+    def test_zeta_is_primitive_cube_root(self):
+        one = EXT_CURVE.field.one()
+        assert PARAMS.zeta != one
+        assert PARAMS.zeta**3 == one
+        assert PARAMS.zeta**2 + PARAMS.zeta + one == EXT_CURVE.field.zero()
+
+
+class TestErrors:
+    def test_mixed_curve_addition_raises(self):
+        other = Curve(Fp(10007))
+        point_a = CURVE.point(0, 1)
+        point_b = other.point(0, 1)
+        with pytest.raises(CurveError):
+            point_a + point_b
+
+    def test_affine_requires_both_coordinates(self):
+        from repro.pairing.curve import Point
+
+        with pytest.raises(CurveError):
+            Point(CURVE, x=CURVE.field(1), y=None)

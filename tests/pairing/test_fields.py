@@ -1,0 +1,209 @@
+"""Field axioms and operations for F_p and F_p^2 (property-based)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    MathError,
+    NoSquareRootError,
+    NotInvertibleError,
+    ParameterError,
+)
+from repro.mathlib.rand import HmacDrbg
+from repro.pairing.fields import Fp, Fp2
+
+# A small prime with p % 12 == 11 so both field constructions work.
+P = 10007  # 10007 % 12 == 11
+FP = Fp(P)
+FP2 = Fp2(P)
+
+fp_elements = st.integers(0, P - 1).map(FP)
+fp2_elements = st.tuples(st.integers(0, P - 1), st.integers(0, P - 1)).map(
+    lambda ab: FP2(ab[0], ab[1])
+)
+
+
+class TestFpAxioms:
+    @given(a=fp_elements, b=fp_elements, c=fp_elements)
+    @settings(max_examples=60)
+    def test_ring_axioms(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+        assert (a * b) * c == a * (b * c)
+        assert a + b == b + a
+        assert a * b == b * a
+        assert a * (b + c) == a * b + a * c
+
+    @given(a=fp_elements)
+    def test_identities(self, a):
+        assert a + FP.zero() == a
+        assert a * FP.one() == a
+        assert a - a == FP.zero()
+        assert a + (-a) == FP.zero()
+
+    @given(a=fp_elements)
+    def test_multiplicative_inverse(self, a):
+        if a.is_zero():
+            with pytest.raises(NotInvertibleError):
+                a.inverse()
+        else:
+            assert a * a.inverse() == FP.one()
+            assert a / a == FP.one()
+
+    @given(a=fp_elements, e=st.integers(0, 50))
+    @settings(max_examples=40)
+    def test_pow_matches_repeated_multiplication(self, a, e):
+        expected = FP.one()
+        for _ in range(e):
+            expected = expected * a
+        assert a**e == expected
+
+    @given(a=fp_elements)
+    def test_negative_exponent(self, a):
+        if not a.is_zero():
+            assert a**-3 == (a**3).inverse()
+
+    def test_fermat_little_theorem(self):
+        assert FP(1234) ** (P - 1) == FP.one()
+
+
+class TestFpOperations:
+    def test_int_coercion_both_sides(self):
+        a = FP(10)
+        assert a + 5 == FP(15)
+        assert 5 + a == FP(15)
+        assert a - 3 == FP(7)
+        assert 3 - a == FP(P - 7)
+        assert 2 * a == FP(20)
+        assert a / 2 == FP(5)
+        assert 100 / FP(10) == FP(10)
+
+    def test_mixed_prime_raises(self):
+        with pytest.raises(MathError):
+            FP(1) + Fp(11)(1)
+
+    @given(a=fp_elements)
+    def test_sqrt_of_square(self, a):
+        square = a * a
+        root = square.sqrt()
+        assert root * root == square
+
+    def test_sqrt_nonresidue_raises(self):
+        # Find a non-residue.
+        for x in range(2, P):
+            try:
+                FP(x).sqrt()
+            except NoSquareRootError:
+                return
+        pytest.fail("no quadratic non-residue found (impossible)")
+
+    def test_bytes_roundtrip(self):
+        a = FP(12345 % P)
+        assert FP.from_bytes(a.to_bytes()) == a
+        assert len(a.to_bytes()) == FP.byte_length
+
+    def test_random_in_range(self):
+        value = FP.random(HmacDrbg(b"f"))
+        assert 0 <= value.value < P
+
+    def test_repr_and_hash(self):
+        assert "10007" in repr(FP(3))
+        assert hash(FP(3)) == hash(FP(3 + P))
+
+    def test_field_equality(self):
+        assert Fp(P) == Fp(P)
+        assert Fp(P) != Fp(11)
+
+    def test_rejects_tiny_prime(self):
+        with pytest.raises(ParameterError):
+            Fp(2)
+
+
+class TestFp2Axioms:
+    @given(a=fp2_elements, b=fp2_elements, c=fp2_elements)
+    @settings(max_examples=60)
+    def test_ring_axioms(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+        assert (a * b) * c == a * (b * c)
+        assert a * b == b * a
+        assert a * (b + c) == a * b + a * c
+
+    @given(a=fp2_elements)
+    def test_inverse(self, a):
+        if a.is_zero():
+            with pytest.raises(NotInvertibleError):
+                a.inverse()
+        else:
+            assert a * a.inverse() == FP2.one()
+
+    @given(a=fp2_elements)
+    def test_square_matches_mul(self, a):
+        assert a.square() == a * a
+
+    @given(a=fp2_elements, e=st.integers(0, 40))
+    @settings(max_examples=40)
+    def test_pow(self, a, e):
+        expected = FP2.one()
+        for _ in range(e):
+            expected = expected * a
+        assert a**e == expected
+
+    def test_i_squared_is_minus_one(self):
+        assert FP2.i() * FP2.i() == FP2(P - 1, 0)
+
+    @given(a=fp2_elements)
+    def test_frobenius_is_pth_power(self, a):
+        assert a.conjugate() == a**P
+
+    @given(a=fp2_elements, b=fp2_elements)
+    @settings(max_examples=40)
+    def test_conjugate_is_multiplicative(self, a, b):
+        assert (a * b).conjugate() == a.conjugate() * b.conjugate()
+
+    @given(a=fp2_elements)
+    def test_norm_matches_conjugate_product(self, a):
+        product = a * a.conjugate()
+        assert product.b == 0
+        assert product.a == a.norm().value
+
+    def test_multiplicative_group_order(self):
+        assert FP2(3, 4) ** (P * P - 1) == FP2.one()
+
+
+class TestFp2Operations:
+    @given(a=fp2_elements)
+    @settings(max_examples=60)
+    def test_sqrt_of_square(self, a):
+        square = a.square()
+        root = square.sqrt()
+        assert root.square() == square
+
+    def test_sqrt_nonsquare_raises(self):
+        # g generates F_p2*; an odd power of a generator is a non-square.
+        # Find one by trial: x is a non-square iff x^((p^2-1)/2) == -1.
+        exponent = (P * P - 1) // 2
+        for a in range(2, 50):
+            candidate = FP2(a, 1)
+            if candidate**exponent == FP2(P - 1, 0):
+                with pytest.raises(NoSquareRootError):
+                    candidate.sqrt()
+                return
+        pytest.fail("no non-square found (astronomically unlikely)")
+
+    def test_lift_embeds_base_field(self):
+        assert FP2.lift(FP(7)) == FP2(7, 0)
+        assert FP2.lift(9) == FP2(9, 0)
+
+    def test_bytes_roundtrip(self):
+        a = FP2(123, 456)
+        assert FP2.from_bytes(a.to_bytes()) == a
+        with pytest.raises(MathError):
+            FP2.from_bytes(a.to_bytes() + b"x")
+
+    def test_requires_p_3_mod_4(self):
+        with pytest.raises(ParameterError):
+            Fp2(13)  # 13 % 4 == 1
+
+    def test_int_equality(self):
+        assert FP2(5, 0) == 5
+        assert FP2(5, 1) != 5

@@ -1,0 +1,146 @@
+"""Bilinearity, non-degeneracy and consistency of the Tate/Weil pairings.
+
+These properties are everything the IBE layer relies on; if they hold,
+BasicIdent correctness is a corollary.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PairingError
+from repro.mathlib.rand import HmacDrbg
+from repro.pairing import get_preset, tate_pairing, weil_pairing
+from repro.pairing.miller import miller_loop
+from repro.pairing.tate import _final_exponentiation
+
+PARAMS = get_preset("TOY64")
+Q = PARAMS.q
+GENERATOR = PARAMS.generator
+ONE = PARAMS.ext_curve.field.one()
+
+scalars = st.integers(1, Q - 1)
+
+
+def pairing_functions():
+    tate = lambda a, b: tate_pairing(a, PARAMS.distort(b), Q, PARAMS.ext_curve)
+    weil = lambda a, b: weil_pairing(a, PARAMS.distort(b), Q, PARAMS.ext_curve)
+    return [("tate", tate), ("weil", weil)]
+
+
+@pytest.mark.parametrize("name,pairing", pairing_functions())
+class TestPairingProperties:
+    def test_non_degenerate(self, name, pairing):
+        assert pairing(GENERATOR, GENERATOR) != ONE
+
+    def test_output_has_order_q(self, name, pairing):
+        value = pairing(GENERATOR, GENERATOR)
+        assert value**Q == ONE
+        assert value != ONE
+
+    @given(a=scalars, b=scalars)
+    @settings(max_examples=15, deadline=None)
+    def test_bilinearity(self, name, pairing, a, b):
+        base = pairing(GENERATOR, GENERATOR)
+        assert pairing(a * GENERATOR, b * GENERATOR) == base ** (a * b % Q)
+
+    def test_linearity_left_right(self, name, pairing):
+        a, b = 12345 % Q, 67890 % Q
+        left = pairing(a * GENERATOR, GENERATOR)
+        right = pairing(GENERATOR, a * GENERATOR)
+        assert left == right  # symmetric via distortion map
+        assert pairing(GENERATOR, GENERATOR) ** a == left
+
+    def test_additivity(self, name, pairing):
+        a, b = 777 % Q, 999 % Q
+        combined = pairing((a * GENERATOR) + (b * GENERATOR), GENERATOR)
+        assert combined == pairing(GENERATOR, GENERATOR) ** ((a + b) % Q)
+
+    def test_infinity_maps_to_one(self, name, pairing):
+        infinity = PARAMS.curve.infinity()
+        assert pairing(infinity, GENERATOR) == ONE
+        assert pairing(GENERATOR, infinity) == ONE
+
+    def test_ibe_key_agreement_identity(self, name, pairing):
+        """e(sP, rI) == e(rP, sI): the equation the whole paper rests on."""
+        rng = HmacDrbg(b"ibe:" + name.encode())
+        s = PARAMS.random_scalar(rng)
+        r = PARAMS.random_scalar(rng)
+        identity_point = PARAMS.cofactor * PARAMS.curve.random_point(rng)
+        lhs = pairing(s * GENERATOR, r * identity_point)
+        rhs = pairing(r * GENERATOR, s * identity_point)
+        assert lhs == rhs
+
+
+class TestTateSpecifics:
+    def test_deterministic(self):
+        a = PARAMS.pair(GENERATOR, GENERATOR)
+        b = PARAMS.pair(GENERATOR, GENERATOR)
+        assert a == b
+
+    def test_final_exponentiation_matches_direct_pow(self):
+        """The Frobenius shortcut must equal the naive exponentiation."""
+        rng = HmacDrbg(b"fe")
+        value = PARAMS.ext_curve.field.random(rng)
+        expected = value ** ((PARAMS.p**2 - 1) // Q)
+        assert _final_exponentiation(value, PARAMS.p, Q) == expected
+
+    def test_final_exponentiation_rejects_zero(self):
+        with pytest.raises(PairingError):
+            _final_exponentiation(PARAMS.ext_curve.field.zero(), PARAMS.p, Q)
+
+    def test_requires_extension_curve(self):
+        with pytest.raises(PairingError):
+            tate_pairing(GENERATOR, GENERATOR, Q, PARAMS.curve)
+
+
+class TestWeilSpecifics:
+    def test_weil_self_pairing_after_lift_is_one(self):
+        """e_w(P, P) = 1 for the *same* point (alternating property)."""
+        lifted = PARAMS.distort(GENERATOR)
+        assert weil_pairing(lifted, lifted, Q, PARAMS.ext_curve) == ONE
+
+    def test_weil_antisymmetry(self):
+        """e_w(P, Q) * e_w(Q, P) == 1."""
+        distorted = PARAMS.distort(GENERATOR)
+        forward = weil_pairing(GENERATOR, distorted, Q, PARAMS.ext_curve)
+        backward = weil_pairing(distorted, GENERATOR, Q, PARAMS.ext_curve)
+        assert forward * backward == ONE
+
+    def test_params_pair_weil_mode(self):
+        weil_params = get_preset("TOY64", pairing_algorithm="weil")
+        value = weil_params.pair(weil_params.generator, weil_params.generator)
+        assert value != ONE
+        assert value**Q == ONE
+
+
+class TestMillerLoop:
+    def test_rejects_nonpositive_n(self):
+        distorted = PARAMS.distort(GENERATOR)
+        with pytest.raises(PairingError):
+            miller_loop(distorted, distorted, 0)
+
+    def test_infinity_inputs_give_one(self):
+        ext_infinity = PARAMS.ext_curve.infinity()
+        distorted = PARAMS.distort(GENERATOR)
+        assert miller_loop(ext_infinity, distorted, Q) == ONE
+        assert miller_loop(distorted, ext_infinity, Q) == ONE
+
+    def test_degenerate_evaluation_detected(self):
+        """Evaluating f_{q,P} at a multiple of P hits a vertical zero and
+        must raise, not return a wrong value."""
+        from repro.pairing.tate import _lift_point
+
+        lifted = _lift_point(GENERATOR, PARAMS.ext_curve)
+        with pytest.raises(PairingError):
+            miller_loop(lifted, lifted, Q)
+
+
+class TestCrossPresetSanity:
+    @pytest.mark.parametrize("preset", ["TOY64", "TEST80"])
+    def test_bilinearity_across_presets(self, preset):
+        params = get_preset(preset)
+        generator = params.generator
+        base = params.pair(generator, generator)
+        a, b = 17, 23
+        assert params.pair(a * generator, b * generator) == base ** (a * b)

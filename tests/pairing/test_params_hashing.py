@@ -1,0 +1,136 @@
+"""Parameter presets/generation and the H1/H2/H3 hash functions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.mathlib.rand import HmacDrbg
+from repro.pairing import PRESETS, BFParams, generate_params, get_preset
+from repro.pairing.hashing import (
+    gt_to_bytes,
+    hash_to_point,
+    hash_to_scalar,
+    mask_bytes,
+)
+
+PARAMS = get_preset("TOY64")
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", ["TOY64", "TEST80", "SMALL160"])
+    def test_presets_validate(self, name):
+        get_preset(name).validate()
+
+    def test_preset_bit_lengths_match_names(self):
+        for name, (p, _q) in PRESETS.items():
+            expected_bits = int("".join(c for c in name if c.isdigit()))
+            assert p.bit_length() == expected_bits, name
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ParameterError):
+            get_preset("HUGE9000")
+
+    def test_preset_objects_are_independent(self):
+        a = get_preset("TOY64")
+        b = get_preset("TOY64")
+        assert a is not b
+        assert a.generator == b.generator  # deterministic derivation
+
+    def test_repr_mentions_sizes(self):
+        assert "2^64" in repr(get_preset("TOY64"))
+
+
+class TestFromPrimes:
+    def test_rejects_wrong_congruence(self):
+        # 13 % 12 == 1, not 11.
+        with pytest.raises(ParameterError):
+            BFParams.from_primes(13, 7)
+
+    def test_rejects_non_divisor(self):
+        p, _q = PRESETS["TOY64"]
+        with pytest.raises(ParameterError):
+            BFParams.from_primes(p, 7919)  # prime, but does not divide p+1
+
+    def test_rejects_unknown_pairing_algorithm(self):
+        p, q = PRESETS["TOY64"]
+        with pytest.raises(ParameterError):
+            BFParams.from_primes(p, q, pairing_algorithm="ate")
+
+    def test_validate_catches_corrupt_generator(self):
+        params = get_preset("TOY64")
+        params.generator = params.curve.point(0, 1)  # order 3, not q
+        with pytest.raises(ParameterError):
+            params.validate()
+
+    def test_custom_generator_seed_changes_generator(self):
+        p, q = PRESETS["TOY64"]
+        a = BFParams.from_primes(p, q, generator_seed=b"seed-a")
+        b = BFParams.from_primes(p, q, generator_seed=b"seed-b")
+        assert a.generator != b.generator
+        a.validate()
+        b.validate()
+
+
+class TestGenerateParams:
+    def test_fresh_parameters_validate(self):
+        params = generate_params(q_bits=32, p_bits=72, rng=HmacDrbg(b"gen"))
+        params.validate()
+        assert params.p.bit_length() == 72
+        assert params.q.bit_length() == 32
+
+
+class TestHashToPoint:
+    def test_output_in_subgroup(self):
+        point = hash_to_point(PARAMS, b"ELECTRIC-GLENBROOK-SV-CA")
+        assert not point.is_infinity()
+        assert (PARAMS.q * point).is_infinity()
+
+    def test_deterministic(self):
+        assert hash_to_point(PARAMS, b"attr") == hash_to_point(PARAMS, b"attr")
+
+    def test_distinct_identities_distinct_points(self):
+        points = {
+            hash_to_point(PARAMS, f"attr-{i}".encode()).to_bytes()
+            for i in range(50)
+        }
+        assert len(points) == 50
+
+    def test_nonce_changes_point(self):
+        base = hash_to_point(PARAMS, b"attr|nonce-1")
+        other = hash_to_point(PARAMS, b"attr|nonce-2")
+        assert base != other
+
+    def test_rejects_str(self):
+        with pytest.raises(ParameterError):
+            hash_to_point(PARAMS, "not-bytes")
+
+    def test_accepts_bytearray(self):
+        assert hash_to_point(PARAMS, bytearray(b"x")) == hash_to_point(PARAMS, b"x")
+
+
+class TestHashToScalar:
+    @given(data=st.binary(max_size=64))
+    @settings(max_examples=50)
+    def test_range(self, data):
+        value = hash_to_scalar(PARAMS, data)
+        assert 1 <= value <= PARAMS.q - 1
+
+    def test_deterministic_and_spread(self):
+        values = {hash_to_scalar(PARAMS, bytes([i])) for i in range(100)}
+        assert len(values) > 95  # collisions astronomically unlikely
+        assert hash_to_scalar(PARAMS, b"x") == hash_to_scalar(PARAMS, b"x")
+
+
+class TestMasks:
+    def test_mask_length(self):
+        for n in (0, 1, 16, 100):
+            assert len(mask_bytes(b"seed", n)) == n
+
+    def test_domain_separation(self):
+        assert mask_bytes(b"s", 32, b"domain-a") != mask_bytes(b"s", 32, b"domain-b")
+
+    def test_gt_serialisation_injective_on_samples(self):
+        base = PARAMS.pair(PARAMS.generator, PARAMS.generator)
+        encodings = {gt_to_bytes(base**k) for k in range(1, 50)}
+        assert len(encodings) == 49

@@ -1,0 +1,78 @@
+"""Fixed-base precomputation: correctness against the generic paths."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.mathlib.rand import HmacDrbg
+from repro.pairing import get_preset
+from repro.pairing.precompute import FixedBaseGt, FixedBasePoint
+
+PARAMS = get_preset("TOY64")
+Q = PARAMS.q
+GENERATOR = PARAMS.generator
+GT_BASE = PARAMS.pair(GENERATOR, GENERATOR)
+
+
+class TestFixedBasePoint:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return FixedBasePoint(GENERATOR, Q)
+
+    @given(scalar=st.integers(0, 3 * Q))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_double_and_add(self, table, scalar):
+        assert table(scalar) == (scalar % Q) * GENERATOR
+
+    def test_edge_scalars(self, table):
+        assert table(0).is_infinity()
+        assert table(Q).is_infinity()
+        assert table(1) == GENERATOR
+        assert table(Q - 1) == -GENERATOR
+
+    @pytest.mark.parametrize("window_bits", [1, 2, 4, 6])
+    def test_any_window_size(self, window_bits):
+        table = FixedBasePoint(GENERATOR, Q, window_bits=window_bits)
+        assert table(123456789 % Q) == (123456789 % Q) * GENERATOR
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ParameterError):
+            FixedBasePoint(GENERATOR, Q, window_bits=0)
+        with pytest.raises(ParameterError):
+            FixedBasePoint(GENERATOR, Q, window_bits=9)
+
+    def test_non_generator_base(self):
+        rng = HmacDrbg(b"base")
+        base = PARAMS.cofactor * PARAMS.curve.random_point(rng)
+        table = FixedBasePoint(base, Q)
+        assert table(777) == 777 * base
+
+    def test_table_size_reported(self, table):
+        assert table.table_points > 0
+
+
+class TestFixedBaseGt:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return FixedBaseGt(GT_BASE, Q)
+
+    @given(exponent=st.integers(0, 3 * Q))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_square_and_multiply(self, table, exponent):
+        assert table(exponent) == GT_BASE ** (exponent % Q)
+
+    def test_edge_exponents(self, table):
+        one = PARAMS.ext_curve.field.one()
+        assert table(0) == one
+        assert table(Q) == one
+        assert table(1) == GT_BASE
+
+    def test_kem_equivalence(self, table):
+        """The encryptor identity the KEM relies on: table(r) is the
+        same shared value the decryptor derives."""
+        rng = HmacDrbg(b"kem")
+        r = PARAMS.random_scalar(rng)
+        fast = table(r)
+        slow = PARAMS.pair(GENERATOR, r * GENERATOR)
+        assert fast == slow

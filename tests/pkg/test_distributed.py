@@ -1,0 +1,114 @@
+"""Threshold (distributed) PKG: Shamir-shared master secret."""
+
+import pytest
+
+from repro.core.conventions import identity_string
+from repro.errors import AuthenticationError, ParameterError
+from repro.ibe import setup
+from repro.ibe.kem import hybrid_decrypt, hybrid_encrypt
+from repro.mathlib.rand import HmacDrbg
+from repro.pairing.hashing import hash_to_point
+from repro.pkg.distributed import DistributedPkg, KeyShareCombiner
+
+
+@pytest.fixture(scope="module")
+def master():
+    return setup("TOY64", rng=HmacDrbg(b"dpkg-master"))
+
+
+@pytest.fixture(scope="module")
+def dpkg(master):
+    return DistributedPkg(master, threshold=3, share_count=5, rng=HmacDrbg(b"deal"))
+
+
+@pytest.fixture(scope="module")
+def combiner(master, dpkg):
+    return KeyShareCombiner(master.public, dpkg.commitments(), threshold=3)
+
+
+def partials_for(dpkg, master, identity, indices):
+    q_id = hash_to_point(master.public.params, identity)
+    by_index = {share.index: share for share in dpkg.shares}
+    return {index: by_index[index].extract_partial(q_id) for index in indices}
+
+
+class TestSharing:
+    def test_shares_differ_from_master(self, master, dpkg):
+        assert all(
+            share.secret_share != master.master_secret for share in dpkg.shares
+        )
+
+    def test_commitments_match_shares(self, master, dpkg):
+        generator = master.public.params.generator
+        for share in dpkg.shares:
+            assert share.commitment == share.secret_share * generator
+
+    def test_invalid_threshold_rejected(self, master):
+        with pytest.raises(ParameterError):
+            DistributedPkg(master, threshold=0, share_count=3)
+        with pytest.raises(ParameterError):
+            DistributedPkg(master, threshold=4, share_count=3)
+
+    def test_public_params_unchanged(self, master, dpkg):
+        """Distribution must not change what encryptors see."""
+        assert dpkg.public.p_pub == master.public.p_pub
+
+
+class TestCombination:
+    IDENTITY = identity_string("ATTR-D", b"\x09" * 16)
+
+    def test_any_t_of_n_reconstructs(self, master, dpkg, combiner):
+        expected = master.extract(self.IDENTITY).point
+        for indices in ([1, 2, 3], [1, 3, 5], [2, 4, 5], [3, 4, 5]):
+            partials = partials_for(dpkg, master, self.IDENTITY, indices)
+            assert combiner.combine(self.IDENTITY, partials) == expected, indices
+
+    def test_extra_partials_tolerated(self, master, dpkg, combiner):
+        partials = partials_for(dpkg, master, self.IDENTITY, [1, 2, 3, 4, 5])
+        assert combiner.combine(self.IDENTITY, partials) == master.extract(
+            self.IDENTITY
+        ).point
+
+    def test_too_few_partials_rejected(self, master, dpkg, combiner):
+        partials = partials_for(dpkg, master, self.IDENTITY, [1, 2])
+        with pytest.raises(ParameterError):
+            combiner.combine(self.IDENTITY, partials)
+
+    def test_fewer_than_t_shares_give_wrong_key(self, master, dpkg):
+        """t-1 shares combined with t-1 Lagrange coefficients produce a
+        point that does not decrypt — the threshold is real."""
+        weak_combiner = KeyShareCombiner(
+            master.public, dpkg.commitments(), threshold=2
+        )
+        partials = partials_for(dpkg, master, self.IDENTITY, [1, 2])
+        wrong = weak_combiner.combine(self.IDENTITY, partials, verify=False)
+        assert wrong != master.extract(self.IDENTITY).point
+
+    def test_corrupt_partial_detected(self, master, dpkg, combiner):
+        partials = partials_for(dpkg, master, self.IDENTITY, [1, 2, 3])
+        partials[2] = 2 * partials[2]
+        with pytest.raises(AuthenticationError):
+            combiner.combine(self.IDENTITY, partials)
+
+    def test_unknown_share_index_rejected(self, master, dpkg, combiner):
+        partials = partials_for(dpkg, master, self.IDENTITY, [1, 2, 3])
+        partials[9] = partials.pop(3)
+        with pytest.raises(AuthenticationError):
+            combiner.combine(self.IDENTITY, partials)
+
+    def test_combined_key_decrypts(self, master, dpkg, combiner):
+        """End-to-end: a ciphertext for the identity opens under the
+        threshold-combined key."""
+        ciphertext = hybrid_encrypt(
+            master.public, self.IDENTITY, b"threshold secret", rng=HmacDrbg(b"e")
+        )
+        partials = partials_for(dpkg, master, self.IDENTITY, [2, 3, 4])
+        key = combiner.combine(self.IDENTITY, partials)
+        assert hybrid_decrypt(master.public, key, ciphertext) == b"threshold secret"
+
+    def test_deterministic_dealing(self, master):
+        first = DistributedPkg(master, 2, 3, rng=HmacDrbg(b"same"))
+        second = DistributedPkg(master, 2, 3, rng=HmacDrbg(b"same"))
+        assert [s.secret_share for s in first.shares] == [
+            s.secret_share for s in second.shares
+        ]

@@ -1,0 +1,231 @@
+"""The Private Key Generator service: tickets, sessions, extraction."""
+
+import pytest
+
+from repro.core.conventions import identity_string
+from repro.ibe import setup
+from repro.mathlib.rand import HmacDrbg
+from repro.pairing.hashing import hash_to_point
+from repro.pkg.service import PkgConfig, PrivateKeyGenerator
+from repro.sim.clock import SimClock
+from repro.symciph.cipher import SymmetricScheme
+from repro.wire.messages import (
+    Authenticator,
+    KeyRequest,
+    KeyResponse,
+    PkgAuthRequest,
+    PkgAuthResponse,
+    Ticket,
+)
+
+MWS_PKG_KEY = HmacDrbg(b"mws-pkg").randbytes(32)
+
+
+@pytest.fixture()
+def world():
+    clock = SimClock(tick_us=7)
+    master = setup("TOY64", rng=HmacDrbg(b"pkg-master"))
+    pkg = PrivateKeyGenerator(
+        master, MWS_PKG_KEY, clock=clock, rng=HmacDrbg(b"pkg-rng")
+    )
+    return clock, master, pkg
+
+
+def make_sealed_ticket(clock, rc_id="rc", attribute_map=None, session_key=None,
+                       lifetime_us=3600 * 1_000_000, key=MWS_PKG_KEY):
+    session_key = session_key or HmacDrbg(b"sess").randbytes(32)
+    ticket = Ticket(
+        rc_id=rc_id,
+        session_key=session_key,
+        attribute_map=attribute_map or {1: "ELECTRIC-X"},
+        issued_at_us=clock.now_us(),
+        lifetime_us=lifetime_us,
+    )
+    scheme = SymmetricScheme("AES-256", key, mac=True, rng=HmacDrbg(b"seal"))
+    return session_key, scheme.seal(ticket.to_bytes())
+
+
+def make_auth_request(clock, session_key, sealed_ticket, rc_id="rc",
+                      timestamp_us=None):
+    authenticator = Authenticator(
+        rc_id=rc_id,
+        timestamp_us=timestamp_us if timestamp_us is not None else clock.now_us(),
+    )
+    scheme = SymmetricScheme("AES-256", session_key, mac=True, rng=HmacDrbg(b"auth"))
+    return PkgAuthRequest(
+        rc_id=rc_id,
+        sealed_ticket=sealed_ticket,
+        sealed_authenticator=scheme.seal(authenticator.to_bytes()),
+    )
+
+
+class TestAuthentication:
+    def test_valid_ticket_establishes_session(self, world):
+        clock, _master, pkg = world
+        session_key, sealed = make_sealed_ticket(clock)
+        response = pkg.handle_auth(make_auth_request(clock, session_key, sealed))
+        assert response.ok and len(response.session_id) == 16
+        assert pkg.stats["sessions_established"] == 1
+
+    def test_forged_ticket_rejected(self, world):
+        clock, _master, pkg = world
+        session_key, sealed = make_sealed_ticket(clock, key=bytes(32))  # wrong key
+        response = pkg.handle_auth(make_auth_request(clock, session_key, sealed))
+        assert not response.ok and "ticket" in response.error
+        assert pkg.stats["auth_failures"] == 1
+
+    def test_expired_ticket_rejected(self, world):
+        clock, _master, pkg = world
+        session_key, sealed = make_sealed_ticket(clock, lifetime_us=1000)
+        clock.advance(10_000_000)
+        response = pkg.handle_auth(make_auth_request(clock, session_key, sealed))
+        assert not response.ok and "expired" in response.error
+
+    def test_stolen_ticket_wrong_rc_rejected(self, world):
+        """Mallory presents a ticket issued to rc with her own id."""
+        clock, _master, pkg = world
+        session_key, sealed = make_sealed_ticket(clock, rc_id="rc")
+        request = make_auth_request(clock, session_key, sealed, rc_id="mallory")
+        response = pkg.handle_auth(request)
+        assert not response.ok
+
+    def test_authenticator_wrong_session_key_rejected(self, world):
+        clock, _master, pkg = world
+        _right_key, sealed = make_sealed_ticket(clock)
+        response = pkg.handle_auth(
+            make_auth_request(clock, HmacDrbg(b"wrong").randbytes(32), sealed)
+        )
+        assert not response.ok and "authenticator" in response.error
+
+    def test_stale_authenticator_rejected(self, world):
+        clock, _master, pkg = world
+        session_key, sealed = make_sealed_ticket(clock)
+        old_timestamp = clock.now_us()
+        clock.advance(600 * 1_000_000)
+        # Re-issue ticket so the ticket itself is fresh; authenticator stale.
+        session_key, sealed = make_sealed_ticket(clock, session_key=session_key)
+        request = make_auth_request(
+            clock, session_key, sealed, timestamp_us=old_timestamp
+        )
+        response = pkg.handle_auth(request)
+        assert not response.ok and "freshness" in response.error
+
+    def test_authenticator_replay_rejected(self, world):
+        clock, _master, pkg = world
+        session_key, sealed = make_sealed_ticket(clock)
+        request = make_auth_request(clock, session_key, sealed)
+        assert pkg.handle_auth(request).ok
+        response = pkg.handle_auth(request)
+        assert not response.ok and "replayed" in response.error
+
+
+class TestExtraction:
+    def _session(self, clock, pkg, attribute_map=None):
+        session_key, sealed = make_sealed_ticket(clock, attribute_map=attribute_map)
+        response = pkg.handle_auth(make_auth_request(clock, session_key, sealed))
+        assert response.ok
+        return session_key, response.session_id
+
+    def test_extraction_returns_correct_key(self, world):
+        clock, master, pkg = world
+        session_key, session_id = self._session(clock, pkg)
+        nonce = b"\x05" * 16
+        response = pkg.handle_key_request(
+            KeyRequest(session_id=session_id, attribute_id=1, nonce=nonce)
+        )
+        assert response.ok
+        scheme = SymmetricScheme("AES-256", session_key, mac=True)
+        point = master.public.params.curve.from_bytes(scheme.open(response.sealed_key))
+        identity = identity_string("ELECTRIC-X", nonce)
+        expected = master.master_secret * hash_to_point(
+            master.public.params, identity
+        )
+        assert point == expected
+
+    def test_unknown_session_rejected(self, world):
+        _clock, _master, pkg = world
+        response = pkg.handle_key_request(
+            KeyRequest(session_id=b"\x00" * 16, attribute_id=1, nonce=b"")
+        )
+        assert not response.ok and "session" in response.error
+
+    def test_attribute_id_outside_ticket_rejected(self, world):
+        clock, _master, pkg = world
+        _key, session_id = self._session(clock, pkg, attribute_map={3: "WATER"})
+        response = pkg.handle_key_request(
+            KeyRequest(session_id=session_id, attribute_id=9, nonce=b"")
+        )
+        assert not response.ok and "not in ticket" in response.error
+        assert pkg.stats["extract_denials"] == 1
+
+    def test_session_expires_with_ticket(self, world):
+        clock, _master, pkg = world
+        session_key, sealed = make_sealed_ticket(clock, lifetime_us=1_000_000)
+        auth = pkg.handle_auth(make_auth_request(clock, session_key, sealed))
+        clock.advance(2_000_000)
+        response = pkg.handle_key_request(
+            KeyRequest(session_id=auth.session_id, attribute_id=1, nonce=b"")
+        )
+        assert not response.ok and "expired" in response.error
+
+    def test_pkg_side_policy_denies_attribute(self, world):
+        clock, _master, pkg = world
+        pkg.deny_attribute("ELECTRIC-X")
+        _key, session_id = self._session(clock, pkg)
+        response = pkg.handle_key_request(
+            KeyRequest(session_id=session_id, attribute_id=1, nonce=b"")
+        )
+        assert not response.ok and "policy" in response.error
+
+    def test_audit_log_records_extractions(self, world):
+        clock, _master, pkg = world
+        _key, session_id = self._session(clock, pkg)
+        pkg.handle_key_request(
+            KeyRequest(session_id=session_id, attribute_id=1, nonce=b"\xaa")
+        )
+        assert pkg.audit_log == [("rc", "ELECTRIC-X", "aa", pytest.approx(
+            pkg.audit_log[0][3]))]
+        assert pkg.stats["keys_extracted"] == 1
+
+    def test_per_nonce_keys_differ(self, world):
+        clock, _master, pkg = world
+        session_key, session_id = self._session(clock, pkg)
+        scheme = SymmetricScheme("AES-256", session_key, mac=True)
+        keys = []
+        for nonce in (b"\x01" * 16, b"\x02" * 16):
+            response = pkg.handle_key_request(
+                KeyRequest(session_id=session_id, attribute_id=1, nonce=nonce)
+            )
+            keys.append(scheme.open(response.sealed_key))
+        assert keys[0] != keys[1]
+
+
+class TestByteHandler:
+    def test_tagged_dispatch(self, world):
+        clock, _master, pkg = world
+        session_key, sealed = make_sealed_ticket(clock)
+        request = make_auth_request(clock, session_key, sealed)
+        raw = pkg.handler(b"\x01" + request.to_bytes())
+        response = PkgAuthResponse.from_bytes(raw)
+        assert response.ok
+        key_raw = pkg.handler(
+            b"\x02"
+            + KeyRequest(
+                session_id=response.session_id, attribute_id=1, nonce=b"x"
+            ).to_bytes()
+        )
+        assert KeyResponse.from_bytes(key_raw).ok
+
+    def test_unknown_tag(self, world):
+        _clock, _master, pkg = world
+        response = PkgAuthResponse.from_bytes(pkg.handler(b"\x09payload"))
+        assert not response.ok and "unknown tag" in response.error
+
+    def test_empty_request(self, world):
+        _clock, _master, pkg = world
+        assert not PkgAuthResponse.from_bytes(pkg.handler(b"")).ok
+
+    def test_malformed_bodies(self, world):
+        _clock, _master, pkg = world
+        assert not PkgAuthResponse.from_bytes(pkg.handler(b"\x01garbage")).ok
+        assert not KeyResponse.from_bytes(pkg.handler(b"\x02garbage")).ok

@@ -1,0 +1,253 @@
+"""RSA, x509lite and the certificate-PKI baseline deployment."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    AccessDeniedError,
+    AuthenticationError,
+    DecryptionError,
+    ParameterError,
+    UnknownIdentityError,
+)
+from repro.mathlib.rand import HmacDrbg
+from repro.pki.baseline import PkiBaselineDeployment, PkiEnvelope
+from repro.pki.rsa import (
+    RsaPrivateKey,
+    RsaPublicKey,
+    generate_rsa_keypair,
+    hybrid_open,
+    hybrid_seal,
+)
+from repro.pki.x509lite import CertificateAuthority, Certificate, verify_chain
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_rsa_keypair(768, rng=HmacDrbg(b"rsa-tests"))
+
+
+class TestRsaCore:
+    def test_key_material_consistent(self, keypair):
+        private = keypair.private
+        assert private.p * private.q == private.n
+        assert private.e * private.d % ((private.p - 1) * (private.q - 1)) == 1
+
+    def test_modulus_bit_length(self, keypair):
+        assert keypair.private.n.bit_length() == 768
+
+    @given(message=st.binary(max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_oaep_roundtrip(self, keypair, message):
+        ciphertext = keypair.public.encrypt(message, rng=HmacDrbg(message + b"e"))
+        assert keypair.private.decrypt(ciphertext) == message
+
+    def test_oaep_randomised(self, keypair):
+        rng = HmacDrbg(b"r")
+        assert keypair.public.encrypt(b"m", rng) != keypair.public.encrypt(b"m", rng)
+
+    def test_oaep_rejects_oversized_message(self, keypair):
+        limit = keypair.public.max_message_length()
+        with pytest.raises(ParameterError):
+            keypair.public.encrypt(bytes(limit + 1))
+
+    def test_oaep_max_length_message_works(self, keypair):
+        message = b"x" * keypair.public.max_message_length()
+        ciphertext = keypair.public.encrypt(message, rng=HmacDrbg(b"max"))
+        assert keypair.private.decrypt(ciphertext) == message
+
+    def test_oaep_tamper_detected(self, keypair):
+        ciphertext = bytearray(keypair.public.encrypt(b"msg", rng=HmacDrbg(b"t")))
+        for position in (0, len(ciphertext) // 2, len(ciphertext) - 1):
+            mutated = bytearray(ciphertext)
+            mutated[position] ^= 1
+            with pytest.raises(DecryptionError):
+                keypair.private.decrypt(bytes(mutated))
+
+    def test_decrypt_rejects_wrong_length(self, keypair):
+        with pytest.raises(DecryptionError):
+            keypair.private.decrypt(b"short")
+
+    def test_decrypt_rejects_out_of_range(self, keypair):
+        oversized = (keypair.private.n + 1).to_bytes(keypair.private.byte_length, "big")
+        with pytest.raises(DecryptionError):
+            keypair.private.decrypt(oversized)
+
+    def test_sign_verify(self, keypair):
+        signature = keypair.private.sign(b"the tbs bytes")
+        assert keypair.public.verify(b"the tbs bytes", signature)
+        assert not keypair.public.verify(b"other bytes", signature)
+        assert not keypair.public.verify(b"the tbs bytes", signature[:-1])
+        assert not keypair.public.verify(b"the tbs bytes", bytes(len(signature)))
+
+    def test_signature_deterministic(self, keypair):
+        assert keypair.private.sign(b"m") == keypair.private.sign(b"m")
+
+    def test_key_serialisation(self, keypair):
+        public = RsaPublicKey.from_bytes(keypair.public.to_bytes())
+        assert public.n == keypair.public.n and public.e == keypair.public.e
+        private = RsaPrivateKey.from_bytes(keypair.private.to_bytes())
+        assert private.d == keypair.private.d
+
+    def test_rejects_tiny_modulus_request(self):
+        with pytest.raises(ParameterError):
+            generate_rsa_keypair(256)
+
+
+class TestRsaHybrid:
+    def test_roundtrip_large_payload(self, keypair):
+        payload = b"token material far beyond OAEP capacity " * 50
+        sealed = hybrid_seal(keypair.public, payload, rng=HmacDrbg(b"h"))
+        assert hybrid_open(keypair.private, sealed) == payload
+
+    def test_tamper_detected(self, keypair):
+        sealed = bytearray(hybrid_seal(keypair.public, b"payload", rng=HmacDrbg(b"h")))
+        sealed[-1] ^= 1
+        with pytest.raises(DecryptionError):
+            hybrid_open(keypair.private, bytes(sealed))
+
+    def test_wrong_private_key_rejected(self, keypair):
+        other = generate_rsa_keypair(768, rng=HmacDrbg(b"other"))
+        sealed = hybrid_seal(keypair.public, b"payload", rng=HmacDrbg(b"h"))
+        with pytest.raises(DecryptionError):
+            hybrid_open(other.private, sealed)
+
+
+class TestCertificates:
+    @pytest.fixture()
+    def world(self):
+        clock = SimClock()
+        ca = CertificateAuthority("root", rng=HmacDrbg(b"ca"), key_bits=768)
+        root = ca.self_signed(clock.now_us())
+        return clock, ca, root
+
+    def test_single_link_chain(self, world):
+        clock, ca, root = world
+        keypair = generate_rsa_keypair(768, rng=HmacDrbg(b"leaf"))
+        leaf = ca.issue("c-services", keypair.public, clock.now_us())
+        verify_chain([leaf], root, clock.now_us())
+
+    def test_intermediate_chain(self, world):
+        clock, ca, root = world
+        intermediate = CertificateAuthority(
+            "intermediate", rng=HmacDrbg(b"int"), key_bits=768
+        )
+        intermediate_cert = ca.issue(
+            "intermediate", intermediate.public_key, clock.now_us()
+        )
+        leaf_keys = generate_rsa_keypair(768, rng=HmacDrbg(b"leaf2"))
+        leaf = intermediate.issue("device-42", leaf_keys.public, clock.now_us())
+        verify_chain([leaf, intermediate_cert], root, clock.now_us())
+
+    def test_expired_certificate_rejected(self, world):
+        clock, ca, root = world
+        keypair = generate_rsa_keypair(768, rng=HmacDrbg(b"leaf"))
+        leaf = ca.issue("x", keypair.public, clock.now_us(), lifetime_us=1000)
+        clock.advance(10_000)
+        with pytest.raises(AuthenticationError):
+            verify_chain([leaf], root, clock.now_us())
+
+    def test_not_yet_valid_rejected(self, world):
+        clock, ca, root = world
+        keypair = generate_rsa_keypair(768, rng=HmacDrbg(b"leaf"))
+        leaf = ca.issue("x", keypair.public, clock.now_us() + 10_000_000)
+        with pytest.raises(AuthenticationError):
+            verify_chain([leaf], root, clock.now_us())
+
+    def test_revoked_rejected(self, world):
+        clock, ca, root = world
+        keypair = generate_rsa_keypair(768, rng=HmacDrbg(b"leaf"))
+        leaf = ca.issue("x", keypair.public, clock.now_us())
+        ca.revoke(leaf.serial)
+        with pytest.raises(AuthenticationError):
+            verify_chain([leaf], root, clock.now_us(), crls={"root": ca.crl()})
+
+    def test_tampered_certificate_rejected(self, world):
+        clock, ca, root = world
+        keypair = generate_rsa_keypair(768, rng=HmacDrbg(b"leaf"))
+        leaf = ca.issue("x", keypair.public, clock.now_us())
+        leaf.subject = "mallory"
+        with pytest.raises(AuthenticationError):
+            verify_chain([leaf], root, clock.now_us())
+
+    def test_broken_linkage_rejected(self, world):
+        clock, ca, root = world
+        rogue = CertificateAuthority("rogue", rng=HmacDrbg(b"rogue"), key_bits=768)
+        keypair = generate_rsa_keypair(768, rng=HmacDrbg(b"leaf"))
+        leaf = rogue.issue("x", keypair.public, clock.now_us())
+        with pytest.raises(AuthenticationError):
+            verify_chain([leaf], root, clock.now_us())
+
+    def test_empty_chain_rejected(self, world):
+        clock, _ca, root = world
+        with pytest.raises(AuthenticationError):
+            verify_chain([], root, clock.now_us())
+
+    def test_certificate_serialisation(self, world):
+        clock, ca, root = world
+        keypair = generate_rsa_keypair(768, rng=HmacDrbg(b"leaf"))
+        leaf = ca.issue("serial-me", keypair.public, clock.now_us())
+        rebuilt = Certificate.from_bytes(leaf.to_bytes())
+        assert rebuilt.subject == "serial-me"
+        assert rebuilt.signature == leaf.signature
+        verify_chain([rebuilt], root, clock.now_us())
+
+
+class TestBaselineDeployment:
+    @pytest.fixture()
+    def baseline(self):
+        return PkiBaselineDeployment(
+            rsa_bits=768, rng=HmacDrbg(b"baseline"), clock=SimClock()
+        )
+
+    def test_multi_recipient_deposit_and_retrieve(self, baseline):
+        baseline.enroll_recipient("c-services")
+        baseline.enroll_recipient("water-co")
+        baseline.deposit(b"reading-1", ["c-services", "water-co"])
+        baseline.deposit(b"reading-2", ["c-services"])
+        assert baseline.retrieve("c-services") == [b"reading-1", b"reading-2"]
+        assert baseline.retrieve("water-co") == [b"reading-1"]
+
+    def test_unenrolled_recipient_rejected(self, baseline):
+        with pytest.raises(UnknownIdentityError):
+            baseline.deposit(b"x", ["ghost"])
+        with pytest.raises(UnknownIdentityError):
+            baseline.retrieve("ghost")
+
+    def test_revocation_blocks_retrieval(self, baseline):
+        baseline.enroll_recipient("victim")
+        baseline.deposit(b"pre-revocation", ["victim"])
+        baseline.revoke_recipient("victim")
+        with pytest.raises(AccessDeniedError):
+            baseline.retrieve("victim")
+
+    def test_stats_track_operations(self, baseline):
+        baseline.enroll_recipient("a")
+        baseline.enroll_recipient("b")
+        baseline.deposit(b"x", ["a", "b"])
+        baseline.deposit(b"y", ["a"])
+        assert baseline.stats["certs_issued"] == 2
+        assert baseline.stats["rsa_wraps"] == 3
+        # Cache: chain verified once per recipient, not per deposit.
+        assert baseline.stats["chain_verifications"] == 2
+
+    def test_cache_disabled_verifies_every_deposit(self):
+        baseline = PkiBaselineDeployment(
+            rsa_bits=768,
+            rng=HmacDrbg(b"nocache"),
+            clock=SimClock(),
+            device_cert_cache=False,
+        )
+        baseline.enroll_recipient("a")
+        baseline.deposit(b"x", ["a"])
+        baseline.deposit(b"y", ["a"])
+        assert baseline.stats["chain_verifications"] == 2
+
+    def test_envelope_serialisation(self, baseline):
+        baseline.enroll_recipient("a")
+        envelope = baseline.deposit(b"wire", ["a"])
+        rebuilt = PkiEnvelope.from_bytes(envelope.to_bytes())
+        assert rebuilt.wrapped_keys.keys() == envelope.wrapped_keys.keys()
+        assert rebuilt.sealed_body == envelope.sealed_body

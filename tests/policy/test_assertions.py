@@ -1,0 +1,174 @@
+"""Signed identity assertions and their gatekeeper integration (§VIII SAML)."""
+
+import pytest
+
+from repro.errors import AuthenticationError, ProtocolError
+from repro.mathlib.rand import HmacDrbg
+from repro.mws.service import MwsConfig
+from repro.policy.assertions import (
+    AssertionValidator,
+    IdentityAssertion,
+    IdentityProvider,
+)
+from repro.sim.clock import SimClock
+from tests.conftest import build_deployment
+
+AUDIENCE = "mws.example"
+
+
+@pytest.fixture(scope="module")
+def idp_world():
+    clock = SimClock(tick_us=7)
+    idp = IdentityProvider("corp-idp", clock, HmacDrbg(b"idp"), rsa_bits=768)
+    validator = AssertionValidator(
+        AUDIENCE, clock, trusted_issuers={"corp-idp": idp.public_key}
+    )
+    return clock, idp, validator
+
+
+class TestAssertionPrimitive:
+    def test_valid_assertion_accepted(self, idp_world):
+        _clock, idp, validator = idp_world
+        assertion = idp.issue("c-services", AUDIENCE, {"role": "retailer"})
+        validator.validate(assertion)
+        assert validator.stats["accepted"] >= 1
+
+    def test_serialisation_roundtrip(self, idp_world):
+        _clock, idp, validator = idp_world
+        assertion = idp.issue("rc", AUDIENCE, {"a": "1", "b": "2"})
+        rebuilt = IdentityAssertion.from_bytes(assertion.to_bytes())
+        assert rebuilt.attributes == {"a": "1", "b": "2"}
+        validator.validate(rebuilt)
+
+    def test_untrusted_issuer_rejected(self, idp_world):
+        clock, _idp, validator = idp_world
+        rogue = IdentityProvider("rogue-idp", clock, HmacDrbg(b"rogue"),
+                                 rsa_bits=768)
+        with pytest.raises(AuthenticationError, match="not trusted"):
+            validator.validate(rogue.issue("rc", AUDIENCE))
+
+    def test_tampered_subject_rejected(self, idp_world):
+        _clock, idp, validator = idp_world
+        assertion = idp.issue("alice", AUDIENCE)
+        assertion.subject = "mallory"
+        with pytest.raises(AuthenticationError, match="signature"):
+            validator.validate(assertion)
+
+    def test_wrong_audience_rejected(self, idp_world):
+        _clock, idp, validator = idp_world
+        assertion = idp.issue("rc", "other-service")
+        with pytest.raises(AuthenticationError, match="audience"):
+            validator.validate(assertion)
+
+    def test_expired_assertion_rejected(self, idp_world):
+        clock, idp, validator = idp_world
+        assertion = idp.issue("rc", AUDIENCE, lifetime_us=1000)
+        clock.advance(10_000_000)
+        with pytest.raises(AuthenticationError, match="validity"):
+            validator.validate(assertion)
+
+    def test_replay_rejected(self, idp_world):
+        _clock, idp, validator = idp_world
+        assertion = idp.issue("rc", AUDIENCE)
+        validator.validate(assertion)
+        with pytest.raises(AuthenticationError, match="replayed"):
+            validator.validate(assertion)
+
+    def test_attribute_tamper_rejected(self, idp_world):
+        _clock, idp, validator = idp_world
+        assertion = idp.issue("rc", AUDIENCE, {"role": "viewer"})
+        assertion.attributes["role"] = "admin"
+        with pytest.raises(AuthenticationError, match="signature"):
+            validator.validate(assertion)
+
+
+class TestGatekeeperIntegration:
+    @pytest.fixture()
+    def sso_deployment(self):
+        """A deployment whose gatekeeper trusts one corporate IdP."""
+        # Build deployment first to share its clock with the IdP.
+        deployment = build_deployment(seed=b"tests-sso")
+        idp = IdentityProvider(
+            "corp-idp", deployment.clock, HmacDrbg(b"sso-idp"), rsa_bits=768
+        )
+        validator = AssertionValidator(
+            "mws", deployment.clock,
+            trusted_issuers={"corp-idp": idp.public_key},
+        )
+        deployment.mws.gatekeeper._assertion_validator = validator
+        yield deployment, idp
+        deployment.close()
+
+    def test_assertion_login_end_to_end(self, sso_deployment):
+        deployment, idp = sso_deployment
+        device = deployment.new_smart_device("meter")
+        client = deployment.new_receiving_client("sso-rc", "unused-pw",
+                                                 attributes=["A"])
+        device.deposit(deployment.sd_channel("meter"), "A", b"sso message")
+        assertion = idp.issue("sso-rc", "mws")
+        response = client.retrieve(
+            deployment.rc_mws_channel("sso-rc"),
+            assertion=assertion.to_bytes(),
+        )
+        assert len(response.messages) == 1
+        assert deployment.mws.gatekeeper.stats["assertion_auths"] == 1
+        # The rest of the protocol proceeds normally.
+        token = client.open_token(response.token)
+        session_id = client.authenticate_to_pkg(
+            deployment.rc_pkg_channel("sso-rc"), token
+        )
+        message = response.messages[0]
+        point = client.fetch_key(
+            deployment.rc_pkg_channel("sso-rc"), session_id,
+            token.session_key, message.attribute_id, message.nonce,
+        )
+        assert client.decrypt_message(message, point) == b"sso message"
+
+    def test_subject_mismatch_rejected(self, sso_deployment):
+        deployment, idp = sso_deployment
+        deployment.new_receiving_client("victim", "pw", attributes=["A"])
+        attacker = deployment.new_receiving_client("attacker", "pw2",
+                                                   attributes=["A"])
+        # Attacker presents an assertion issued for themselves but claims
+        # to be the victim.
+        assertion = idp.issue("attacker", "mws")
+        request = attacker.build_retrieve_request(
+            assertion=assertion.to_bytes()
+        )
+        request.rc_id = "victim"
+        raw = deployment.network.send("attacker", "mws-client",
+                                      request.to_bytes())
+        assert raw.startswith(b"ERR:AuthenticationError")
+
+    def test_assertions_rejected_when_not_configured(self, deployment):
+        idp = IdentityProvider("idp", deployment.clock, HmacDrbg(b"x"),
+                               rsa_bits=768)
+        client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+        assertion = idp.issue("rc", "mws")
+        with pytest.raises(ProtocolError):
+            client.retrieve(
+                deployment.rc_mws_channel("rc"),
+                assertion=assertion.to_bytes(),
+            )
+
+    def test_mws_config_plumbs_validator(self):
+        clock = SimClock(tick_us=7)
+        idp = IdentityProvider("idp", clock, HmacDrbg(b"cfg"), rsa_bits=768)
+        validator = AssertionValidator(
+            "mws", clock, trusted_issuers={"idp": idp.public_key}
+        )
+        deployment = build_deployment(
+            mws=MwsConfig(assertion_validator=validator),
+            seed=b"tests-sso-config",
+        )
+        # SimClock of deployment differs from the validator's; issue with
+        # the deployment clock to stay inside the window.
+        idp._clock = deployment.clock
+        validator._clock = deployment.clock
+        client = deployment.new_receiving_client("rc", "pw", attributes=["A"])
+        assertion = idp.issue("rc", "mws")
+        response = client.retrieve(
+            deployment.rc_mws_channel("rc"), assertion=assertion.to_bytes()
+        )
+        assert response.rc_nonce == assertion.assertion_id
+        deployment.close()

@@ -1,0 +1,130 @@
+"""The XACML-lite rule language, parser and engine."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy import (
+    CombiningAlgorithm,
+    Effect,
+    Policy,
+    PolicyEngine,
+    Rule,
+    parse_policy,
+)
+
+
+class TestRuleMatching:
+    def test_exact_match(self):
+        rule = Rule(Effect.PERMIT, "c-services", "ELECTRIC-X")
+        assert rule.matches("c-services", "ELECTRIC-X", 0)
+        assert not rule.matches("other", "ELECTRIC-X", 0)
+        assert not rule.matches("c-services", "WATER-X", 0)
+
+    def test_glob_patterns(self):
+        rule = Rule(Effect.PERMIT, "c-*", "*-GLENBROOK-*")
+        assert rule.matches("c-services", "GAS-GLENBROOK-SV-CA", 0)
+        assert not rule.matches("x-services", "GAS-GLENBROOK-SV-CA", 0)
+
+    def test_case_sensitive(self):
+        rule = Rule(Effect.PERMIT, "RC", "*")
+        assert not rule.matches("rc", "A", 0)
+
+    def test_time_window(self):
+        rule = Rule(Effect.PERMIT, "*", "*", not_before_us=100, not_after_us=200)
+        assert not rule.matches("s", "a", 99)
+        assert rule.matches("s", "a", 100)
+        assert rule.matches("s", "a", 200)
+        assert not rule.matches("s", "a", 201)
+
+
+class TestCombiningAlgorithms:
+    RULES = [
+        Rule(Effect.DENY, "*", "GAS-*"),
+        Rule(Effect.PERMIT, "*", "*"),
+    ]
+
+    def test_first_applicable(self):
+        policy = Policy(self.RULES, CombiningAlgorithm.FIRST_APPLICABLE)
+        assert policy.decide("rc", "GAS-X", 0) is Effect.DENY
+        assert policy.decide("rc", "WATER-X", 0) is Effect.PERMIT
+
+    def test_deny_overrides(self):
+        policy = Policy(
+            list(reversed(self.RULES)), CombiningAlgorithm.DENY_OVERRIDES
+        )
+        assert policy.decide("rc", "GAS-X", 0) is Effect.DENY
+
+    def test_permit_overrides(self):
+        policy = Policy(self.RULES, CombiningAlgorithm.PERMIT_OVERRIDES)
+        assert policy.decide("rc", "GAS-X", 0) is Effect.PERMIT
+
+    def test_default_effect_when_nothing_applies(self):
+        policy = Policy([Rule(Effect.PERMIT, "x", "y")])
+        assert policy.decide("a", "b", 0) is Effect.DENY
+        permissive = Policy(
+            [Rule(Effect.DENY, "x", "y")], default_effect=Effect.PERMIT
+        )
+        assert permissive.decide("a", "b", 0) is Effect.PERMIT
+
+
+class TestParser:
+    def test_full_example(self):
+        policy = parse_policy(
+            """
+            # comments are fine
+            permit subject=c-services attribute=*-GLENBROOK-SV-CA
+            deny   subject=* attribute=GAS-*   # trailing comment
+            permit subject=*-auditor attribute=* from=1000 until=2000
+            """
+        )
+        assert len(policy.rules) == 3
+        assert policy.rules[0].subject_pattern == "c-services"
+        assert policy.rules[2].not_before_us == 1000
+        assert policy.rules[2].not_after_us == 2000
+
+    def test_defaults_to_wildcards(self):
+        policy = parse_policy("permit")
+        assert policy.rules[0].subject_pattern == "*"
+        assert policy.rules[0].attribute_pattern == "*"
+
+    def test_empty_policy(self):
+        assert parse_policy("") .rules == []
+        assert parse_policy("# only comments\n\n").rules == []
+
+    @pytest.mark.parametrize(
+        "bad_line,fragment",
+        [
+            ("allow subject=x", "permit"),
+            ("permit subject", "key=value"),
+            ("permit color=red", "unknown key"),
+            ("permit subject=a subject=b", "duplicate"),
+            ("permit from=yesterday", "integer"),
+        ],
+    )
+    def test_malformed_lines_raise_with_line_number(self, bad_line, fragment):
+        with pytest.raises(PolicyError) as excinfo:
+            parse_policy("permit\n" + bad_line)
+        assert "line 2" in str(excinfo.value)
+        assert fragment in str(excinfo.value)
+
+
+class TestEngine:
+    def test_audit_trail(self):
+        engine = PolicyEngine(parse_policy("deny attribute=GAS-*\npermit"))
+        assert engine.is_permitted("rc", "WATER-1", 0)
+        assert not engine.is_permitted("rc", "GAS-1", 0)
+        assert len(engine.audit) == 2
+        assert len(engine.denials()) == 1
+        assert engine.denials()[0].attribute == "GAS-1"
+
+    def test_audit_limit(self):
+        engine = PolicyEngine(parse_policy("permit"), audit_limit=3)
+        for index in range(10):
+            engine.is_permitted("rc", str(index), 0)
+        assert len(engine.audit) == 3
+
+    def test_hot_swap(self):
+        engine = PolicyEngine(parse_policy("deny"))
+        assert not engine.is_permitted("rc", "A", 0)
+        engine.replace_policy(parse_policy("permit"))
+        assert engine.is_permitted("rc", "A", 0)

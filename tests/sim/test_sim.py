@@ -1,0 +1,187 @@
+"""Simulated clock, network (with fault injection) and meter workload."""
+
+import pytest
+
+from repro.errors import ChannelClosedError, NetworkError
+from repro.mathlib.rand import HmacDrbg
+from repro.sim import (
+    MeterKind,
+    Network,
+    SimClock,
+    SmartMeterFleet,
+    TamperInjector,
+    WallClock,
+    WorkloadConfig,
+)
+
+
+class TestClocks:
+    def test_sim_clock_manual_control(self):
+        clock = SimClock(start_us=100)
+        assert clock.now_us() == 100
+        clock.advance(50)
+        assert clock.now_us() == 150
+        clock.set(99)
+        assert clock.now_us() == 99
+
+    def test_sim_clock_auto_tick(self):
+        clock = SimClock(start_us=0, tick_us=7)
+        assert clock.now_us() == 0
+        assert clock.now_us() == 7
+        assert clock.now_us() == 14
+
+    def test_sim_clock_negative_advance(self):
+        clock = SimClock(start_us=1000)
+        clock.advance(-500)
+        assert clock.now_us() == 500
+
+    def test_wall_clock_monotone_enough(self):
+        clock = WallClock()
+        assert clock.now_us() <= clock.now_us()
+
+
+class TestNetwork:
+    def _echo_network(self):
+        network = Network()
+        network.register("echo", lambda payload: b"echo:" + payload)
+        return network
+
+    def test_request_response(self):
+        network = self._echo_network()
+        assert network.send("client", "echo", b"hi") == b"echo:hi"
+
+    def test_unknown_endpoint_raises(self):
+        with pytest.raises(NetworkError):
+            self._echo_network().send("client", "ghost", b"x")
+
+    def test_duplicate_registration_raises(self):
+        network = self._echo_network()
+        with pytest.raises(NetworkError):
+            network.register("echo", lambda payload: payload)
+
+    def test_unregister(self):
+        network = self._echo_network()
+        network.unregister("echo")
+        with pytest.raises(NetworkError):
+            network.send("c", "echo", b"x")
+
+    def test_channel_convenience(self):
+        channel = self._echo_network().channel("client", "echo")
+        assert channel.request(b"ping") == b"echo:ping"
+
+    def test_closed_channel_raises(self):
+        channel = self._echo_network().channel("client", "echo")
+        channel.close()
+        with pytest.raises(ChannelClosedError):
+            channel.request(b"x")
+
+    def test_stats_accumulate(self):
+        network = self._echo_network()
+        network.send("a", "echo", b"12345")
+        network.send("b", "echo", b"6")
+        assert network.messages_sent == 2
+        assert network.bytes_sent == 6
+        requests, bytes_in, bytes_out = network.endpoint_stats()["echo"]
+        assert requests == 2 and bytes_in == 6 and bytes_out == 16
+
+    def test_latency_advances_sim_clock(self):
+        clock = SimClock(start_us=0)
+        network = Network(clock=clock, latency_us=250)
+        network.register("svc", lambda payload: payload)
+        network.send("c", "svc", b"x")
+        assert clock.now_us() == 250
+
+    def test_interceptor_can_modify(self):
+        network = self._echo_network()
+        network.add_interceptor(lambda src, dst, payload: payload.upper())
+        assert network.send("c", "echo", b"abc") == b"echo:ABC"
+
+    def test_interceptor_can_drop(self):
+        network = self._echo_network()
+        network.add_interceptor(lambda src, dst, payload: None)
+        with pytest.raises(NetworkError):
+            network.send("c", "echo", b"x")
+        network.clear_interceptors()
+        assert network.send("c", "echo", b"x") == b"echo:x"
+
+    def test_tamper_injector_flips_one_bit(self):
+        network = self._echo_network()
+        injector = TamperInjector(destination="echo")
+        network.add_interceptor(injector)
+        response = network.send("c", "echo", b"\x00\x00")
+        assert response != b"echo:\x00\x00"
+        assert injector.tampered == 1
+
+    def test_tamper_injector_every_nth(self):
+        network = self._echo_network()
+        injector = TamperInjector(destination="echo", every_nth=2)
+        network.add_interceptor(injector)
+        first = network.send("c", "echo", b"\x00")
+        second = network.send("c", "echo", b"\x00")
+        assert first == b"echo:\x00"
+        assert second != b"echo:\x00"
+
+    def test_tamper_injector_other_destination_untouched(self):
+        network = self._echo_network()
+        network.register("other", lambda payload: payload)
+        injector = TamperInjector(destination="other")
+        network.add_interceptor(injector)
+        assert network.send("c", "echo", b"\x00") == b"echo:\x00"
+
+
+class TestWorkload:
+    def test_fleet_size(self):
+        fleet = SmartMeterFleet(WorkloadConfig(meters_per_kind=3))
+        assert len(fleet.device_ids()) == 9
+
+    def test_deterministic_readings(self):
+        first = [r.value for r in SmartMeterFleet().readings("ELECTRIC-GLENBROOK-000", 10)]
+        second = [r.value for r in SmartMeterFleet().readings("ELECTRIC-GLENBROOK-000", 10)]
+        assert first == second
+
+    def test_devices_have_independent_streams(self):
+        fleet = SmartMeterFleet()
+        a = [r.value for r in fleet.readings("ELECTRIC-GLENBROOK-000", 5)]
+        b = [r.value for r in fleet.readings("ELECTRIC-GLENBROOK-001", 5)]
+        assert a != b
+
+    def test_attribute_format_matches_paper(self):
+        fleet = SmartMeterFleet()
+        reading = next(iter(fleet.readings("WATER-GLENBROOK-002", 1)))
+        assert reading.attribute() == "WATER-GLENBROOK-SV-CA"
+        assert fleet.attribute_for(MeterKind.WATER) == "WATER-GLENBROOK-SV-CA"
+
+    def test_readings_monotone_timestamps(self):
+        fleet = SmartMeterFleet()
+        readings = list(fleet.readings("GAS-GLENBROOK-000", 20))
+        timestamps = [r.timestamp_us for r in readings]
+        assert timestamps == sorted(timestamps)
+        assert len(set(timestamps)) == len(timestamps)
+
+    def test_values_nonnegative_and_plausible(self):
+        fleet = SmartMeterFleet()
+        for device_id in fleet.device_ids():
+            for reading in fleet.readings(device_id, 10):
+                assert reading.value >= 0
+                assert reading.value < 100  # sane magnitude for all kinds
+
+    def test_payload_contains_reading_fields(self):
+        fleet = SmartMeterFleet()
+        reading = next(iter(fleet.readings("ELECTRIC-GLENBROOK-000", 1)))
+        payload = reading.payload()
+        assert b"ELECTRIC" in payload and b"kWh" in payload
+
+    def test_round_of_readings_covers_fleet(self):
+        fleet = SmartMeterFleet(WorkloadConfig(meters_per_kind=2))
+        round_readings = list(fleet.round_of_readings())
+        assert len(round_readings) == 6
+        assert {r.device_id for r in round_readings} == set(fleet.device_ids())
+
+    def test_kind_of(self):
+        fleet = SmartMeterFleet()
+        assert fleet.kind_of("GAS-GLENBROOK-001") is MeterKind.GAS
+
+    def test_meter_kind_units(self):
+        assert MeterKind.ELECTRIC.unit == "kWh"
+        assert MeterKind.WATER.unit == "L"
+        assert MeterKind.GAS.unit == "m3"

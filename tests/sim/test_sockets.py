@@ -1,0 +1,102 @@
+"""The TCP transport: framing, persistence, and the full protocol over
+real localhost sockets."""
+
+import socket
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.sim.sockets import (
+    FrameServer,
+    SocketChannel,
+    serve_deployment,
+)
+
+
+class TestFraming:
+    def test_echo_roundtrip(self):
+        with FrameServer(lambda payload: b"echo:" + payload) as server:
+            with SocketChannel(*server.address) as channel:
+                assert channel.request(b"hello") == b"echo:hello"
+
+    def test_multiple_frames_one_connection(self):
+        with FrameServer(lambda payload: payload[::-1]) as server:
+            with SocketChannel(*server.address) as channel:
+                for message in (b"a", b"bb", b"ccc" * 100):
+                    assert channel.request(message) == message[::-1]
+
+    def test_empty_frame(self):
+        with FrameServer(lambda payload: b"got:" + payload) as server:
+            with SocketChannel(*server.address) as channel:
+                assert channel.request(b"") == b"got:"
+
+    def test_large_frame(self):
+        blob = bytes(range(256)) * 4096  # 1 MiB
+        with FrameServer(lambda payload: payload) as server:
+            with SocketChannel(*server.address) as channel:
+                assert channel.request(blob) == blob
+
+    def test_handler_exception_reported_not_fatal(self):
+        def exploding(payload):
+            raise ValueError("boom")
+
+        with FrameServer(exploding) as server:
+            with SocketChannel(*server.address) as channel:
+                assert channel.request(b"x").startswith(b"ERR:InternalError")
+                # The server keeps serving after a handler error.
+                assert channel.request(b"y").startswith(b"ERR:InternalError")
+
+    def test_reconnect_after_server_side_close(self):
+        """A channel survives the server dropping the connection."""
+        with FrameServer(lambda payload: payload) as server:
+            channel = SocketChannel(*server.address)
+            assert channel.request(b"first") == b"first"
+            channel._connection.close()  # simulate broken connection
+            assert channel.request(b"second") == b"second"
+            channel.close()
+
+    def test_connection_refused_raises(self):
+        # Find an unused port by binding and closing.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        _, port = probe.getsockname()
+        probe.close()
+        channel = SocketChannel("127.0.0.1", port, timeout_s=0.5)
+        with pytest.raises((NetworkError, OSError)):
+            channel.request(b"x")
+
+
+class TestProtocolOverTcp:
+    def test_full_protocol_over_real_sockets(self, deployment):
+        """The complete deposit/retrieve/PKG flow over localhost TCP —
+        the clients are byte-compatible with the in-process network."""
+        device = deployment.new_smart_device("tcp-meter")
+        client = deployment.new_receiving_client("tcp-rc", "pw", attributes=["T"])
+        with serve_deployment(deployment) as served:
+            sd_channel = served.channel("mws-sd")
+            response = device.deposit(sd_channel, "T", b"over tcp")
+            assert response.accepted
+            messages = client.retrieve_and_decrypt(
+                served.channel("mws-client"), served.channel("pkg")
+            )
+            assert [m.plaintext for m in messages] == [b"over tcp"]
+            sd_channel.close()
+
+    def test_addresses_are_distinct(self, deployment):
+        with serve_deployment(deployment) as served:
+            addresses = served.addresses()
+            assert len({port for _, port in addresses.values()}) == 4
+
+    def test_batch_deposit_over_tcp(self, deployment):
+        device = deployment.new_smart_device("tcp-batch-meter")
+        client = deployment.new_receiving_client("tcp-rc2", "pw", attributes=["T"])
+        with serve_deployment(deployment) as served:
+            response = device.deposit_batch(
+                served.channel("mws-sd-batch"),
+                [("T", b"batched-1"), ("T", b"batched-2")],
+            )
+            assert response.accepted and len(response.message_ids) == 2
+            messages = client.retrieve_and_decrypt(
+                served.channel("mws-client"), served.channel("pkg")
+            )
+            assert {m.plaintext for m in messages} == {b"batched-1", b"batched-2"}

@@ -1,0 +1,303 @@
+"""Message DB, Policy DB (Table 1), User DB, device key store, indexes."""
+
+import pytest
+
+from repro.errors import (
+    AuthenticationError,
+    DuplicateKeyError,
+    UnknownAttributeError,
+    UnknownIdentityError,
+)
+from repro.mathlib.rand import HmacDrbg
+from repro.storage import (
+    DeviceKeyStore,
+    HashIndex,
+    LogStructuredStore,
+    MessageDatabase,
+    PolicyDatabase,
+    SortedIndex,
+    UserDatabase,
+)
+
+
+class TestHashIndex:
+    def test_add_lookup_remove(self):
+        index = HashIndex()
+        index.add("attr-a", 1)
+        index.add("attr-a", 2)
+        index.add("attr-b", 3)
+        assert index.lookup("attr-a") == {1, 2}
+        index.remove("attr-a", 1)
+        assert index.lookup("attr-a") == {2}
+        index.remove("attr-a", 2)
+        assert index.lookup("attr-a") == set()
+        assert "attr-a" not in index
+
+    def test_lookup_returns_copy(self):
+        index = HashIndex()
+        index.add("a", 1)
+        index.lookup("a").add(99)
+        assert index.lookup("a") == {1}
+
+    def test_remove_missing_is_noop(self):
+        index = HashIndex()
+        index.remove("ghost", 1)  # no exception
+
+    def test_values(self):
+        index = HashIndex()
+        index.add("x", 1)
+        index.add("y", 2)
+        assert sorted(index.values()) == ["x", "y"]
+
+
+class TestSortedIndex:
+    def test_range_inclusive(self):
+        index = SortedIndex()
+        for timestamp, key in [(10, "a"), (20, "b"), (30, "c"), (20, "d")]:
+            index.add(timestamp, key)
+        assert index.range(20, 20) == ["b", "d"]
+        assert index.range(10, 30) == ["a", "b", "d", "c"]
+        assert index.range(31, 99) == []
+
+    def test_remove(self):
+        index = SortedIndex()
+        index.add(5, "x")
+        index.add(5, "y")
+        index.remove(5, "x")
+        assert index.range(0, 10) == ["y"]
+        index.remove(5, "zz")  # absent: no-op
+        assert len(index) == 1
+
+    def test_min_max(self):
+        index = SortedIndex()
+        assert index.min_value() is None and index.max_value() is None
+        index.add(7, "a")
+        index.add(3, "b")
+        assert index.min_value() == 3 and index.max_value() == 7
+
+
+class TestMessageDatabase:
+    @pytest.fixture()
+    def message_db(self):
+        return MessageDatabase()
+
+    def test_store_assigns_sequential_ids(self, message_db):
+        first = message_db.store("dev", "A", b"n", b"ct", 100)
+        second = message_db.store("dev", "A", b"n", b"ct", 200)
+        assert (first.message_id, second.message_id) == (1, 2)
+
+    def test_fetch_roundtrip(self, message_db):
+        record = message_db.store("dev-9", "ELECTRIC-X", b"nonce", b"cipher", 123)
+        fetched = message_db.fetch(record.message_id)
+        assert fetched == record
+
+    def test_by_attribute_ordering(self, message_db):
+        message_db.store("d", "A", b"", b"1", 10)
+        message_db.store("d", "B", b"", b"2", 20)
+        message_db.store("d", "A", b"", b"3", 30)
+        ids = [r.message_id for r in message_db.by_attribute("A")]
+        assert ids == [1, 3]
+
+    def test_by_attributes_union(self, message_db):
+        message_db.store("d", "A", b"", b"1", 10)
+        message_db.store("d", "B", b"", b"2", 20)
+        message_db.store("d", "C", b"", b"3", 30)
+        records = message_db.by_attributes(["A", "C"])
+        assert [r.message_id for r in records] == [1, 3]
+
+    def test_by_time_range(self, message_db):
+        for timestamp in (100, 200, 300):
+            message_db.store("d", "A", b"", b"x", timestamp)
+        assert [r.deposited_at_us for r in message_db.by_time_range(150, 300)] == [
+            200,
+            300,
+        ]
+
+    def test_delete_updates_indexes(self, message_db):
+        record = message_db.store("d", "A", b"", b"x", 100)
+        message_db.delete(record.message_id)
+        assert message_db.by_attribute("A") == []
+        assert message_db.by_time_range(0, 1000) == []
+        assert len(message_db) == 0
+
+    def test_attributes_listing(self, message_db):
+        message_db.store("d", "B", b"", b"x", 1)
+        message_db.store("d", "A", b"", b"x", 2)
+        assert message_db.attributes() == ["A", "B"]
+
+    def test_index_rebuild_from_persistent_store(self, tmp_path):
+        path = str(tmp_path / "md.log")
+        database = MessageDatabase(LogStructuredStore(path))
+        database.store("d", "ELECTRIC", b"n1", b"ct1", 100)
+        database.store("d", "WATER", b"n2", b"ct2", 200)
+        database.close()
+        recovered = MessageDatabase(LogStructuredStore(path))
+        assert [r.ciphertext for r in recovered.by_attribute("WATER")] == [b"ct2"]
+        # New ids continue after the recovered maximum.
+        record = recovered.store("d", "GAS", b"n3", b"ct3", 300)
+        assert record.message_id == 3
+        recovered.close()
+
+
+class TestPolicyDatabase:
+    def test_reproduces_paper_table_1(self):
+        """Build exactly the paper's Table 1 and read it back row by row."""
+        policy_db = PolicyDatabase()
+        policy_db.grant("IDRC1", "A1")
+        policy_db.grant("IDRC1", "A2")
+        policy_db.grant("IDRC2", "A1")
+        policy_db.grant("IDRC3", "A3")
+        policy_db.grant("IDRC4", "A4")
+        table = [
+            (row.identity, row.attribute, row.attribute_id)
+            for row in policy_db.table()
+        ]
+        assert table == [
+            ("IDRC1", "A1", 1),
+            ("IDRC1", "A2", 2),
+            ("IDRC2", "A1", 3),
+            ("IDRC3", "A3", 4),
+            ("IDRC4", "A4", 5),
+        ]
+
+    def test_same_attribute_distinct_aids_per_identity(self):
+        """IDRC1 and IDRC2 both hold A1 under *different* AIDs (unlinkable)."""
+        policy_db = PolicyDatabase()
+        first = policy_db.grant("IDRC1", "A1")
+        second = policy_db.grant("IDRC2", "A1")
+        assert first != second
+
+    def test_grant_idempotent(self):
+        policy_db = PolicyDatabase()
+        assert policy_db.grant("rc", "A") == policy_db.grant("rc", "A")
+        assert len(policy_db) == 1
+
+    def test_attributes_for(self):
+        policy_db = PolicyDatabase()
+        aid = policy_db.grant("rc", "ELECTRIC")
+        assert policy_db.attributes_for("rc") == {aid: "ELECTRIC"}
+
+    def test_unknown_identity_raises(self):
+        with pytest.raises(UnknownIdentityError):
+            PolicyDatabase().attributes_for("ghost")
+
+    def test_revoke(self):
+        policy_db = PolicyDatabase()
+        policy_db.grant("rc", "A")
+        policy_db.grant("rc", "B")
+        policy_db.revoke("rc", "A")
+        assert list(policy_db.attributes_for("rc").values()) == ["B"]
+        assert not policy_db.is_authorized("rc", "A")
+
+    def test_revoke_unknown_raises(self):
+        with pytest.raises(UnknownAttributeError):
+            PolicyDatabase().revoke("rc", "A")
+
+    def test_revoke_identity_removes_everything(self):
+        policy_db = PolicyDatabase()
+        policy_db.grant("rc", "A")
+        policy_db.grant("rc", "B")
+        assert policy_db.revoke_identity("rc") == 2
+        with pytest.raises(UnknownIdentityError):
+            policy_db.attributes_for("rc")
+
+    def test_regrant_after_revoke_gets_fresh_aid(self):
+        policy_db = PolicyDatabase()
+        original = policy_db.grant("rc", "A")
+        policy_db.revoke("rc", "A")
+        fresh = policy_db.grant("rc", "A")
+        assert fresh != original
+
+    def test_identities_for(self):
+        policy_db = PolicyDatabase()
+        policy_db.grant("rc-b", "A")
+        policy_db.grant("rc-a", "A")
+        policy_db.grant("rc-c", "B")
+        assert policy_db.identities_for("A") == ["rc-a", "rc-b"]
+
+    def test_rebuild_from_persistent_store(self, tmp_path):
+        path = str(tmp_path / "pd.log")
+        policy_db = PolicyDatabase(LogStructuredStore(path))
+        aid = policy_db.grant("rc", "A")
+        policy_db.close()
+        recovered = PolicyDatabase(LogStructuredStore(path))
+        assert recovered.attributes_for("rc") == {aid: "A"}
+        assert recovered.grant("rc2", "B") == aid + 1
+        recovered.close()
+
+
+class TestUserDatabase:
+    def test_register_and_verify(self):
+        user_db = UserDatabase()
+        user_db.register("rc-1", "hunter2", display_name="C-Services")
+        user_db.verify_password("rc-1", "hunter2")
+        assert user_db.display_name("rc-1") == "C-Services"
+
+    def test_wrong_password_raises(self):
+        user_db = UserDatabase()
+        user_db.register("rc-1", "correct")
+        with pytest.raises(AuthenticationError):
+            user_db.verify_password("rc-1", "incorrect")
+
+    def test_duplicate_registration_raises(self):
+        user_db = UserDatabase()
+        user_db.register("rc", "pw")
+        with pytest.raises(DuplicateKeyError):
+            user_db.register("rc", "other")
+
+    def test_unknown_identity_raises(self):
+        user_db = UserDatabase()
+        with pytest.raises(UnknownIdentityError):
+            user_db.password_key("ghost")
+        with pytest.raises(UnknownIdentityError):
+            user_db.unregister("ghost")
+
+    def test_password_key_is_hash(self):
+        user_db = UserDatabase()
+        user_db.register("rc", "pw")
+        assert user_db.password_key("rc") == UserDatabase.hash_password("pw")
+
+    def test_unregister(self):
+        user_db = UserDatabase()
+        user_db.register("rc", "pw")
+        user_db.unregister("rc")
+        assert not user_db.exists("rc")
+
+    def test_identities(self):
+        user_db = UserDatabase()
+        user_db.register("b", "x")
+        user_db.register("a", "y")
+        assert user_db.identities() == ["a", "b"]
+
+
+class TestDeviceKeyStore:
+    def test_register_returns_key_both_sides_share(self):
+        keystore = DeviceKeyStore(rng=HmacDrbg(b"ks"))
+        key = keystore.register("meter-1")
+        assert keystore.shared_key("meter-1") == key
+        assert len(key) == DeviceKeyStore.KEY_LENGTH
+
+    def test_duplicate_raises(self):
+        keystore = DeviceKeyStore(rng=HmacDrbg(b"ks"))
+        keystore.register("meter-1")
+        with pytest.raises(DuplicateKeyError):
+            keystore.register("meter-1")
+
+    def test_revoke(self):
+        keystore = DeviceKeyStore(rng=HmacDrbg(b"ks"))
+        keystore.register("meter-1")
+        keystore.revoke("meter-1")
+        with pytest.raises(UnknownIdentityError):
+            keystore.shared_key("meter-1")
+
+    def test_unknown_device(self):
+        keystore = DeviceKeyStore()
+        with pytest.raises(UnknownIdentityError):
+            keystore.shared_key("ghost")
+        with pytest.raises(UnknownIdentityError):
+            keystore.revoke("ghost")
+
+    def test_distinct_keys_per_device(self):
+        keystore = DeviceKeyStore(rng=HmacDrbg(b"ks"))
+        assert keystore.register("a") != keystore.register("b")
+        assert keystore.device_ids() == ["a", "b"]

@@ -1,0 +1,236 @@
+"""The three storage backends: shared contract + log-structured specifics."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyNotFoundError, StorageError
+from repro.storage.engine import (
+    FlatFileStore,
+    LogStructuredStore,
+    MemoryStore,
+    open_store,
+)
+
+
+@pytest.fixture(params=["memory", "flatfile", "log"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        backend = MemoryStore()
+    elif request.param == "flatfile":
+        backend = FlatFileStore(str(tmp_path / "flat"))
+    else:
+        backend = LogStructuredStore(str(tmp_path / "store.log"))
+    yield backend
+    backend.close()
+
+
+class TestContract:
+    """Behaviour every backend must share."""
+
+    def test_put_get(self, store):
+        store.put(b"key", b"value")
+        assert store.get(b"key") == b"value"
+
+    def test_missing_key_raises(self, store):
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"ghost")
+
+    def test_overwrite_last_write_wins(self, store):
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+        assert len(store) == 1
+
+    def test_delete(self, store):
+        store.put(b"k", b"v")
+        store.delete(b"k")
+        assert not store.contains(b"k")
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"k")
+
+    def test_delete_missing_raises(self, store):
+        with pytest.raises(KeyNotFoundError):
+            store.delete(b"ghost")
+
+    def test_keys_and_items(self, store):
+        entries = {bytes([i]): bytes([i]) * 3 for i in range(10)}
+        for key, value in entries.items():
+            store.put(key, value)
+        assert sorted(store.keys()) == sorted(entries)
+        assert dict(store.items()) == entries
+
+    def test_empty_value_allowed(self, store):
+        store.put(b"empty", b"")
+        assert store.get(b"empty") == b""
+
+    def test_binary_keys_and_values(self, store):
+        key = bytes(range(256))[:32]
+        value = bytes(range(256))
+        store.put(key, value)
+        assert store.get(key) == value
+
+    def test_contains(self, store):
+        assert not store.contains(b"x")
+        store.put(b"x", b"1")
+        assert store.contains(b"x")
+
+    @given(
+        operations=st.lists(
+            st.tuples(st.binary(min_size=1, max_size=8), st.binary(max_size=32)),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_matches_dict_model(self, operations):
+        """Property: any put sequence must behave exactly like a dict."""
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as directory:
+            backend = LogStructuredStore(os.path.join(directory, "model.log"))
+            model = {}
+            for key, value in operations:
+                backend.put(key, value)
+                model[key] = value
+            assert dict(backend.items()) == model
+            backend.close()
+
+
+class TestLogStructuredSpecifics:
+    def test_persists_across_reopen(self, tmp_path):
+        path = str(tmp_path / "p.log")
+        store = LogStructuredStore(path)
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        store.delete(b"a")
+        store.close()
+        recovered = LogStructuredStore(path)
+        assert recovered.get(b"b") == b"2"
+        assert not recovered.contains(b"a")
+        recovered.close()
+
+    def test_reopen_method(self, tmp_path):
+        store = LogStructuredStore(str(tmp_path / "r.log"))
+        store.put(b"k", b"v")
+        store.reopen()
+        assert store.get(b"k") == b"v"
+        store.put(b"k2", b"v2")  # appends still work after reopen
+        assert store.get(b"k2") == b"v2"
+        store.close()
+
+    def test_torn_final_write_truncated(self, tmp_path):
+        path = str(tmp_path / "torn.log")
+        store = LogStructuredStore(path)
+        store.put(b"good", b"record")
+        store.close()
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\x01\x02\x03\x04")  # half a frame
+        recovered = LogStructuredStore(path)
+        assert recovered.get(b"good") == b"record"
+        # The torn tail was truncated, so new appends read back fine.
+        recovered.put(b"new", b"entry")
+        recovered.reopen()
+        assert recovered.get(b"new") == b"entry"
+        recovered.close()
+
+    def test_corrupt_middle_record_stops_replay(self, tmp_path):
+        path = str(tmp_path / "corrupt.log")
+        store = LogStructuredStore(path)
+        store.put(b"first", b"1")
+        store.put(b"second", b"2")
+        store.close()
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0xFF  # corrupt somewhere in record 2
+        with open(path, "wb") as handle:
+            handle.write(data)
+        recovered = LogStructuredStore(path)
+        assert recovered.get(b"first") == b"1"
+        assert not recovered.contains(b"second")
+        recovered.close()
+
+    def test_compaction_reclaims_space(self, tmp_path):
+        store = LogStructuredStore(str(tmp_path / "c.log"))
+        for round_number in range(20):
+            store.put(b"hot-key", b"v" * 100 + bytes([round_number]))
+        store.put(b"cold", b"keep me")
+        store.delete(b"hot-key")
+        before = store.file_bytes()
+        store.compact()
+        after = store.file_bytes()
+        assert after < before
+        assert store.get(b"cold") == b"keep me"
+        assert not store.contains(b"hot-key")
+        store.close()
+
+    def test_live_bytes_vs_file_bytes(self, tmp_path):
+        store = LogStructuredStore(str(tmp_path / "lb.log"))
+        store.put(b"k", b"v" * 50)
+        store.put(b"k", b"v" * 50)  # shadowed write
+        assert store.live_bytes() < store.file_bytes()
+        store.compact()
+        assert store.live_bytes() == store.file_bytes()
+        store.close()
+
+    def test_compaction_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "cr.log")
+        store = LogStructuredStore(path)
+        for i in range(10):
+            store.put(bytes([i]), bytes([i]) * 10)
+        store.compact()
+        store.close()
+        recovered = LogStructuredStore(path)
+        assert len(recovered) == 10
+        recovered.close()
+
+    def test_sync_mode_works(self, tmp_path):
+        store = LogStructuredStore(str(tmp_path / "s.log"), sync=True)
+        store.put(b"durable", b"yes")
+        assert store.get(b"durable") == b"yes"
+        store.close()
+
+    def test_context_manager(self, tmp_path):
+        with LogStructuredStore(str(tmp_path / "cm.log")) as store:
+            store.put(b"k", b"v")
+        # close() ran; reopening sees the data.
+        with LogStructuredStore(str(tmp_path / "cm.log")) as store:
+            assert store.get(b"k") == b"v"
+
+
+class TestFlatFileSpecifics:
+    def test_foreign_files_ignored(self, tmp_path):
+        directory = tmp_path / "ff"
+        store = FlatFileStore(str(directory))
+        store.put(b"\x01", b"v")
+        (directory / "not-a-record.txt").write_text("noise")
+        (directory / "zzzz.rec").write_text("bad hex name")
+        assert store.keys() == [b"\x01"]
+
+    def test_atomic_replacement(self, tmp_path):
+        """No .tmp files left behind after writes."""
+        directory = tmp_path / "ff2"
+        store = FlatFileStore(str(directory))
+        for i in range(10):
+            store.put(b"k", bytes([i]))
+        leftovers = [n for n in os.listdir(directory) if n.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestFactory:
+    def test_open_store_kinds(self, tmp_path):
+        assert isinstance(open_store("memory"), MemoryStore)
+        assert isinstance(
+            open_store("flatfile", str(tmp_path / "f")), FlatFileStore
+        )
+        log_store = open_store("log", str(tmp_path / "l.log"))
+        assert isinstance(log_store, LogStructuredStore)
+        log_store.close()
+
+    def test_open_store_errors(self, tmp_path):
+        with pytest.raises(StorageError):
+            open_store("sqlite")
+        with pytest.raises(StorageError):
+            open_store("flatfile")
+        with pytest.raises(StorageError):
+            open_store("log")

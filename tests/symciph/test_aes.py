@@ -1,0 +1,86 @@
+"""AES against FIPS-197 vectors and the ``cryptography`` package."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidBlockSizeError, InvalidKeySizeError
+from repro.symciph import AES
+from repro.symciph.aes import _INV_SBOX, _SBOX, _gf_mul
+
+try:
+    from cryptography.hazmat.primitives.ciphers import Cipher as RefCipher
+    from cryptography.hazmat.primitives.ciphers import algorithms as ref_algorithms
+    from cryptography.hazmat.primitives.ciphers import modes as ref_modes
+
+    HAVE_REFERENCE = True
+except ImportError:  # pragma: no cover
+    HAVE_REFERENCE = False
+
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+class TestFips197Vectors:
+    def test_aes128(self):
+        ciphertext = AES(bytes(range(16))).encrypt_block(FIPS_PLAINTEXT)
+        assert ciphertext.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_aes192(self):
+        ciphertext = AES(bytes(range(24))).encrypt_block(FIPS_PLAINTEXT)
+        assert ciphertext.hex() == "dda97ca4864cdfe06eaf70a0ec0d7191"
+
+    def test_aes256(self):
+        ciphertext = AES(bytes(range(32))).encrypt_block(FIPS_PLAINTEXT)
+        assert ciphertext.hex() == "8ea2b7ca516745bfeafc49904b496089"
+
+    @pytest.mark.parametrize("key_size", [16, 24, 32])
+    def test_decrypt_inverts(self, key_size):
+        cipher = AES(bytes(range(key_size)))
+        assert cipher.decrypt_block(cipher.encrypt_block(FIPS_PLAINTEXT)) == FIPS_PLAINTEXT
+
+
+class TestDerivedSbox:
+    def test_known_entries(self):
+        assert _SBOX[0x00] == 0x63
+        assert _SBOX[0x01] == 0x7C
+        assert _SBOX[0x53] == 0xED
+        assert _SBOX[0xFF] == 0x16
+
+    def test_inverse_sbox_is_inverse(self):
+        for x in range(256):
+            assert _INV_SBOX[_SBOX[x]] == x
+
+    def test_sbox_is_permutation(self):
+        assert sorted(_SBOX) == list(range(256))
+
+    def test_gf_mul_known_values(self):
+        assert _gf_mul(0x57, 0x83) == 0xC1  # FIPS-197 example
+        assert _gf_mul(0x57, 0x13) == 0xFE
+        assert _gf_mul(1, 0xAB) == 0xAB
+        assert _gf_mul(0, 0xAB) == 0
+
+
+@pytest.mark.skipif(not HAVE_REFERENCE, reason="cryptography package unavailable")
+class TestAesAgainstCryptography:
+    @pytest.mark.parametrize("key_size", [16, 24, 32])
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_random_keys_and_blocks(self, key_size, data):
+        key = data.draw(st.binary(min_size=key_size, max_size=key_size))
+        block = data.draw(st.binary(min_size=16, max_size=16))
+        ref = RefCipher(ref_algorithms.AES(key), ref_modes.ECB()).encryptor()
+        assert AES(key).encrypt_block(block) == ref.update(block) + ref.finalize()
+
+
+class TestAesErrors:
+    def test_bad_key_size(self):
+        with pytest.raises(InvalidKeySizeError):
+            AES(bytes(15))
+
+    def test_bad_block_size_encrypt(self):
+        with pytest.raises(InvalidBlockSizeError):
+            AES(bytes(16)).encrypt_block(bytes(15))
+
+    def test_bad_block_size_decrypt(self):
+        with pytest.raises(InvalidBlockSizeError):
+            AES(bytes(16)).decrypt_block(bytes(17))

@@ -1,0 +1,106 @@
+"""DES / 3DES against FIPS vectors and the ``cryptography`` package."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidBlockSizeError, InvalidKeySizeError
+from repro.mathlib.rand import HmacDrbg
+from repro.symciph import DES, TripleDES
+
+try:
+    from cryptography.hazmat.decrepit.ciphers.algorithms import TripleDES as RefTDES
+    from cryptography.hazmat.primitives.ciphers import Cipher as RefCipher
+    from cryptography.hazmat.primitives.ciphers import modes as ref_modes
+
+    HAVE_REFERENCE = True
+except ImportError:  # pragma: no cover - environment without cryptography
+    HAVE_REFERENCE = False
+
+
+def _reference_des(key: bytes, block: bytes) -> bytes:
+    encryptor = RefCipher(RefTDES(key * 3), ref_modes.ECB()).encryptor()
+    return encryptor.update(block) + encryptor.finalize()
+
+
+class TestDesVectors:
+    def test_fips_walkthrough_vector(self):
+        """The classic worked example from the DES specification."""
+        cipher = DES(bytes.fromhex("133457799BBCDFF1"))
+        ciphertext = cipher.encrypt_block(bytes.fromhex("0123456789ABCDEF"))
+        assert ciphertext.hex().upper() == "85E813540F0AB405"
+
+    def test_all_zero_key_and_block(self):
+        cipher = DES(bytes(8))
+        assert cipher.encrypt_block(bytes(8)).hex().upper() == "8CA64DE9C1B123A7"
+
+    def test_weak_key_identity_property(self):
+        """Encrypting twice with the all-ones weak key is the identity."""
+        cipher = DES(b"\xff" * 8)
+        block = bytes.fromhex("0011223344556677")
+        assert cipher.encrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_decrypt_inverts(self):
+        cipher = DES(bytes.fromhex("133457799BBCDFF1"))
+        block = bytes.fromhex("0123456789ABCDEF")
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_complementation_property(self):
+        """DES(~k, ~m) == ~DES(k, m) — a structural property of the cipher."""
+        key = bytes.fromhex("133457799BBCDFF1")
+        block = bytes.fromhex("0123456789ABCDEF")
+        comp_key = bytes(b ^ 0xFF for b in key)
+        comp_block = bytes(b ^ 0xFF for b in block)
+        regular = DES(key).encrypt_block(block)
+        complemented = DES(comp_key).encrypt_block(comp_block)
+        assert complemented == bytes(b ^ 0xFF for b in regular)
+
+
+@pytest.mark.skipif(not HAVE_REFERENCE, reason="cryptography package unavailable")
+class TestDesAgainstCryptography:
+    @given(data=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=40, deadline=None)
+    def test_random_keys_and_blocks(self, data):
+        key, block = data[:8], data[8:]
+        assert DES(key).encrypt_block(block) == _reference_des(key, block)
+
+
+class TestDesErrors:
+    def test_bad_key_size(self):
+        with pytest.raises(InvalidKeySizeError):
+            DES(b"short")
+
+    def test_bad_block_size(self):
+        with pytest.raises(InvalidBlockSizeError):
+            DES(bytes(8)).encrypt_block(b"toolongblock")
+
+
+class TestTripleDes:
+    @given(data=st.binary(min_size=32, max_size=32))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_3key(self, data):
+        cipher = TripleDES(data[:24])
+        assert cipher.decrypt_block(cipher.encrypt_block(data[24:])) == data[24:]
+
+    def test_2key_expansion(self):
+        """16-byte keys are K1 || K2 || K1."""
+        key16 = HmacDrbg(b"k").randbytes(16)
+        block = bytes(8)
+        assert (
+            TripleDES(key16).encrypt_block(block)
+            == TripleDES(key16 + key16[:8]).encrypt_block(block)
+        )
+
+    def test_degenerates_to_single_des(self):
+        key = HmacDrbg(b"d").randbytes(8)
+        block = HmacDrbg(b"b").randbytes(8)
+        assert TripleDES(key * 3).encrypt_block(block) == DES(key).encrypt_block(block)
+
+    def test_bad_key_size(self):
+        with pytest.raises(InvalidKeySizeError):
+            TripleDES(bytes(20))
+
+    def test_differs_from_single_des_with_distinct_keys(self):
+        key = HmacDrbg(b"x").randbytes(24)
+        block = bytes(8)
+        assert TripleDES(key).encrypt_block(block) != DES(key[:8]).encrypt_block(block)

@@ -1,0 +1,194 @@
+"""Block modes, PKCS#7 padding and the sealed SymmetricScheme container."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CipherError, DecryptionError, InvalidBlockSizeError, PaddingError
+from repro.mathlib.rand import HmacDrbg
+from repro.symciph import (
+    AES,
+    DES,
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_transform,
+    ecb_decrypt,
+    ecb_encrypt,
+    new_cipher,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+from repro.symciph.cipher import CIPHER_REGISTRY, SymmetricScheme
+
+
+def _cipher(name="AES-128"):
+    return new_cipher(name, HmacDrbg(b"key:" + name.encode()).randbytes(
+        CIPHER_REGISTRY[name].key_size
+    ))
+
+
+class TestPadding:
+    @given(data=st.binary(max_size=200), block_size=st.sampled_from([8, 16]))
+    @settings(max_examples=60)
+    def test_roundtrip(self, data, block_size):
+        padded = pkcs7_pad(data, block_size)
+        assert len(padded) % block_size == 0
+        assert len(padded) > len(data)
+        assert pkcs7_unpad(padded, block_size) == data
+
+    def test_full_block_added_when_aligned(self):
+        padded = pkcs7_pad(b"x" * 8, 8)
+        assert len(padded) == 16
+        assert padded[8:] == bytes([8]) * 8
+
+    def test_unpad_rejects_zero_byte(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"\x01\x02\x03\x04\x05\x06\x07\x00", 8)
+
+    def test_unpad_rejects_oversized_byte(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"\x00" * 7 + b"\x09", 8)
+
+    def test_unpad_rejects_inconsistent_bytes(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"\x00" * 5 + b"\x01\x02\x03", 8)
+
+    def test_unpad_rejects_empty_and_misaligned(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"", 8)
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"\x01" * 9, 8)
+
+    def test_bad_block_size(self):
+        with pytest.raises(PaddingError):
+            pkcs7_pad(b"x", 0)
+        with pytest.raises(PaddingError):
+            pkcs7_pad(b"x", 256)
+
+
+class TestEcb:
+    def test_roundtrip(self):
+        cipher = _cipher()
+        data = HmacDrbg(b"d").randbytes(64)
+        assert ecb_decrypt(cipher, ecb_encrypt(cipher, data)) == data
+
+    def test_identical_blocks_leak(self):
+        """The well-known ECB weakness — documented behaviour, not a bug."""
+        cipher = _cipher()
+        ciphertext = ecb_encrypt(cipher, bytes(32))
+        assert ciphertext[:16] == ciphertext[16:]
+
+    def test_misaligned_raises(self):
+        with pytest.raises(InvalidBlockSizeError):
+            ecb_encrypt(_cipher(), bytes(10))
+
+
+class TestCbc:
+    def test_roundtrip(self):
+        cipher = _cipher()
+        iv = HmacDrbg(b"iv").randbytes(16)
+        data = HmacDrbg(b"d").randbytes(80)
+        assert cbc_decrypt(cipher, cbc_encrypt(cipher, data, iv), iv) == data
+
+    def test_identical_blocks_hidden(self):
+        cipher = _cipher()
+        iv = HmacDrbg(b"iv").randbytes(16)
+        ciphertext = cbc_encrypt(cipher, bytes(32), iv)
+        assert ciphertext[:16] != ciphertext[16:]
+
+    def test_iv_changes_ciphertext(self):
+        cipher = _cipher()
+        data = bytes(16)
+        c1 = cbc_encrypt(cipher, data, b"\x00" * 16)
+        c2 = cbc_encrypt(cipher, data, b"\x01" + b"\x00" * 15)
+        assert c1 != c2
+
+    def test_wrong_iv_length_raises(self):
+        with pytest.raises(CipherError):
+            cbc_encrypt(_cipher(), bytes(16), b"short")
+        with pytest.raises(CipherError):
+            cbc_decrypt(_cipher(), bytes(16), b"short")
+
+    def test_works_with_des_block_size(self):
+        cipher = _cipher("DES")
+        iv = bytes(8)
+        data = HmacDrbg(b"d8").randbytes(24)
+        assert cbc_decrypt(cipher, cbc_encrypt(cipher, data, iv), iv) == data
+
+
+class TestCtr:
+    @given(data=st.binary(max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_any_length(self, data):
+        cipher = _cipher()
+        nonce = b"\x42" * 8
+        assert ctr_transform(cipher, ctr_transform(cipher, data, nonce), nonce) == data
+
+    def test_nonce_too_long_raises(self):
+        with pytest.raises(CipherError):
+            ctr_transform(_cipher(), b"data", bytes(17))
+
+    def test_counter_wraps_without_crash(self):
+        cipher = _cipher()
+        nonce = b"\xff" * 16  # counter starts at max
+        assert len(ctr_transform(cipher, bytes(40), nonce)) == 40
+
+    def test_keystream_differs_per_block(self):
+        cipher = _cipher()
+        out = ctr_transform(cipher, bytes(32), bytes(8))
+        assert out[:16] != out[16:]
+
+
+class TestSymmetricScheme:
+    @pytest.mark.parametrize("name", sorted(CIPHER_REGISTRY))
+    def test_seal_open_roundtrip(self, name):
+        key = HmacDrbg(b"sk").randbytes(CIPHER_REGISTRY[name].key_size)
+        scheme = SymmetricScheme(name, key, mac=True, rng=HmacDrbg(b"r"))
+        message = b"the MWS must never read this" * 3
+        assert scheme.open(scheme.seal(message)) == message
+
+    def test_empty_message(self):
+        scheme = SymmetricScheme("AES-128", bytes(16), mac=True, rng=HmacDrbg(b"r"))
+        assert scheme.open(scheme.seal(b"")) == b""
+
+    def test_fresh_iv_per_seal(self):
+        scheme = SymmetricScheme("AES-128", bytes(16), rng=HmacDrbg(b"r"))
+        assert scheme.seal(b"same") != scheme.seal(b"same")
+
+    def test_mac_detects_every_byte_flip(self):
+        key = bytes(16)
+        scheme = SymmetricScheme("AES-128", key, mac=True, rng=HmacDrbg(b"r"))
+        sealed = scheme.seal(b"attack at dawn")
+        for position in range(len(sealed)):
+            tampered = bytearray(sealed)
+            tampered[position] ^= 0x01
+            with pytest.raises(DecryptionError):
+                scheme.open(bytes(tampered))
+
+    def test_wrong_key_rejected_with_mac(self):
+        sealed = SymmetricScheme("AES-128", bytes(16), mac=True,
+                                 rng=HmacDrbg(b"r")).seal(b"msg")
+        other = SymmetricScheme("AES-128", b"\x01" * 16, mac=True)
+        with pytest.raises(DecryptionError):
+            other.open(sealed)
+
+    def test_truncated_container_rejected(self):
+        scheme = SymmetricScheme("AES-128", bytes(16), mac=True, rng=HmacDrbg(b"r"))
+        sealed = scheme.seal(b"msg")
+        with pytest.raises(DecryptionError):
+            scheme.open(sealed[:10])
+
+    def test_wrong_key_size(self):
+        with pytest.raises(CipherError):
+            SymmetricScheme("DES", bytes(16))
+
+    def test_unknown_cipher(self):
+        with pytest.raises(CipherError):
+            SymmetricScheme("ROT13", bytes(16))
+        with pytest.raises(CipherError):
+            new_cipher("ROT13", bytes(16))
+
+    def test_registry_metadata_consistent(self):
+        for name, spec in CIPHER_REGISTRY.items():
+            instance = spec.factory(bytes(spec.key_size))
+            assert instance.block_size == spec.block_size, name

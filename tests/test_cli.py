@@ -1,0 +1,60 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.preset == "TEST80"
+        assert args.cipher == "DES"
+
+    def test_demo_rejects_unknown_cipher(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--cipher", "ROT13"])
+
+
+class TestCommands:
+    def test_crypto_check_passes(self, capsys):
+        assert main(["crypto-check"]) == 0
+        output = capsys.readouterr().out
+        assert "FAIL" not in output
+        assert "pairing bilinearity" in output
+
+    def test_table1_output(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "IDRC1     A1          1" in output
+        assert "IDRC4     A4          5" in output
+
+    def test_params_validates_preset(self, capsys):
+        assert main(["params", "--preset", "TOY64"]) == 0
+        assert "TOY64" in capsys.readouterr().out
+
+    def test_params_generate(self, capsys):
+        assert main(["params", "--generate", "--q-bits", "32",
+                     "--p-bits", "72"]) == 0
+        output = capsys.readouterr().out
+        assert "validated: OK" in output
+
+    def test_demo_end_to_end(self, capsys):
+        assert main(["demo", "--preset", "TOY64", "--messages", "2"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("deposited message") == 2
+        assert output.count("decrypted") == 2
+        assert "demo complete" in output
+
+    def test_serve_for_a_moment(self, capsys):
+        assert main(["serve", "--preset", "TOY64", "--duration", "0.2"]) == 0
+        output = capsys.readouterr().out
+        assert "mws-sd" in output and "pkg" in output and "stopped" in output

@@ -1,0 +1,64 @@
+"""The exception hierarchy: every error is catchable at the right levels."""
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    AccessDeniedError,
+    AuthenticationError,
+    CipherError,
+    CurveError,
+    MacMismatchError,
+    MathError,
+    PolicyError,
+    ProtocolError,
+    ReplayError,
+    ReproError,
+    StorageError,
+)
+
+
+class TestHierarchy:
+    def test_every_exported_error_derives_from_repro_error(self):
+        for name in errors_module.__all__:
+            error_cls = getattr(errors_module, name)
+            assert issubclass(error_cls, ReproError), name
+            assert issubclass(error_cls, Exception), name
+
+    def test_all_list_matches_module_contents(self):
+        module_errors = {
+            name
+            for name, value in vars(errors_module).items()
+            if isinstance(value, type) and issubclass(value, ReproError)
+        }
+        assert module_errors == set(errors_module.__all__)
+
+    @pytest.mark.parametrize(
+        "child,parent",
+        [
+            (MacMismatchError, AuthenticationError),
+            (AuthenticationError, ProtocolError),
+            (ReplayError, ProtocolError),
+            (AccessDeniedError, PolicyError),
+            (PolicyError, ProtocolError),
+        ],
+    )
+    def test_protocol_error_nesting(self, child, parent):
+        assert issubclass(child, parent)
+
+    def test_subsystem_roots_are_disjoint(self):
+        """A math error must not be a protocol error and vice versa —
+        callers distinguish attack handling from bug handling."""
+        for a, b in [
+            (MathError, ProtocolError),
+            (CipherError, ProtocolError),
+            (CurveError, ProtocolError),
+            (StorageError, ProtocolError),
+        ]:
+            assert not issubclass(a, b)
+            assert not issubclass(b, a)
+
+    def test_errors_carry_messages(self):
+        error = MacMismatchError("deposit from 'x' failed")
+        assert "deposit from 'x' failed" in str(error)
+        assert isinstance(error, ReproError)

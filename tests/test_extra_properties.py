@@ -1,0 +1,161 @@
+"""Cross-cutting property tests that did not fit a single subsystem."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyNotFoundError
+from repro.mathlib.rand import HmacDrbg
+from repro.pairing import get_preset
+from repro.storage.engine import MemoryStore
+from repro.wire.encoding import Reader, Writer
+
+PARAMS = get_preset("TOY64")
+
+
+class TestStoreModelWithDeletes:
+    """The storage contract under interleaved puts and deletes."""
+
+    operations = st.lists(
+        st.one_of(
+            st.tuples(
+                st.just("put"),
+                st.binary(min_size=1, max_size=4),
+                st.binary(max_size=16),
+            ),
+            st.tuples(st.just("del"), st.binary(min_size=1, max_size=4)),
+        ),
+        max_size=40,
+    )
+
+    @given(operations=operations)
+    @settings(max_examples=60)
+    def test_memory_store_matches_dict(self, operations):
+        store = MemoryStore()
+        model = {}
+        for operation in operations:
+            if operation[0] == "put":
+                _, key, value = operation
+                store.put(key, value)
+                model[key] = value
+            else:
+                _, key = operation
+                if key in model:
+                    store.delete(key)
+                    del model[key]
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        store.delete(key)
+        assert dict(store.items()) == model
+
+
+class TestCodecSequenceModel:
+    """Arbitrary field sequences written then read back must round-trip."""
+
+    field_values = st.lists(
+        st.one_of(
+            st.integers(0, 255),           # u8
+            st.booleans(),                 # bool
+            st.binary(max_size=40),        # blob
+            st.text(max_size=20),          # text
+            st.integers(0, 2**64 - 1),     # u64 (distinguished by size)
+        ),
+        max_size=15,
+    )
+
+    @given(values=field_values)
+    @settings(max_examples=80)
+    def test_heterogeneous_sequence_roundtrip(self, values):
+        writer = Writer()
+        plan = []
+        for value in values:
+            if isinstance(value, bool):
+                writer.bool(value)
+                plan.append("bool")
+            elif isinstance(value, int) and value <= 255:
+                writer.u8(value)
+                plan.append("u8")
+            elif isinstance(value, int):
+                writer.u64(value)
+                plan.append("u64")
+            elif isinstance(value, bytes):
+                writer.blob(value)
+                plan.append("blob")
+            else:
+                writer.text(value)
+                plan.append("text")
+        reader = Reader(writer.getvalue())
+        for kind, expected in zip(plan, values):
+            assert getattr(reader, kind)() == expected
+        reader.finish()
+
+
+class TestGtSubgroup:
+    """Every pairing output lies in the order-q subgroup of F_p^2*."""
+
+    @given(a=st.integers(1, PARAMS.q - 1), b=st.integers(1, PARAMS.q - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_pair_output_order_divides_q(self, a, b):
+        generator = PARAMS.generator
+        value = PARAMS.pair(a * generator, b * generator)
+        assert value ** PARAMS.q == PARAMS.ext_curve.field.one()
+        assert not value.is_zero()
+
+    @given(scalar=st.integers(1, PARAMS.q - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_hash_points_pair_into_subgroup(self, scalar):
+        from repro.pairing.hashing import hash_to_point
+
+        point = hash_to_point(PARAMS, scalar.to_bytes(8, "big"))
+        value = PARAMS.pair(point, PARAMS.generator)
+        assert value ** PARAMS.q == PARAMS.ext_curve.field.one()
+
+
+class TestDeploymentLatencyModel:
+    def test_network_latency_advances_sim_clock(self):
+        from tests.conftest import build_deployment
+
+        deployment = build_deployment(latency_us=1000, seed=b"latency-test")
+        device = deployment.new_smart_device("meter")
+        before = deployment.clock.now_us()
+        device.deposit(deployment.sd_channel("meter"), "A", b"m")
+        after = deployment.clock.now_us()
+        assert after - before >= 1000  # at least one hop of latency
+        deployment.close()
+
+    def test_message_and_byte_accounting(self):
+        from tests.conftest import build_deployment
+
+        deployment = build_deployment(seed=b"accounting-test")
+        device = deployment.new_smart_device("meter")
+        device.deposit(deployment.sd_channel("meter"), "A", b"m")
+        assert deployment.network.messages_sent == 1
+        assert deployment.network.bytes_sent > 100  # a real ciphertext went by
+        stats = deployment.network.endpoint_stats()["mws-sd"]
+        assert stats[0] == 1
+        deployment.close()
+
+
+class TestHybridCiphertextSizeModel:
+    """Ciphertext size = fixed KEM overhead + padded symmetric body."""
+
+    @given(length=st.integers(0, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_size_is_affine_in_message_length(self, length):
+        from repro.ibe import hybrid_encrypt, setup
+
+        master = setup(PARAMS, rng=HmacDrbg(b"size"))
+        ciphertext = hybrid_encrypt(
+            master.public, b"attr", b"x" * length, rng=HmacDrbg(b"r")
+        )
+        encoded = len(ciphertext.to_bytes())
+        # DES blocks: body = IV(8) + ceil((len+1)/8)*8 + tag(32).
+        expected_body = 8 + ((length // 8) + 1) * 8 + 32
+        overhead = encoded - expected_body
+        # Fixed overhead: rP point + cipher tag + framing. Must not vary.
+        assert 0 < overhead < 100
+        reference = hybrid_encrypt(
+            master.public, b"attr", b"", rng=HmacDrbg(b"r2")
+        )
+        reference_overhead = len(reference.to_bytes()) - (8 + 8 + 32)
+        assert overhead == reference_overhead

@@ -1,0 +1,129 @@
+"""Decoder robustness: hostile bytes must raise library errors, never
+leak arbitrary exceptions or accept half-parsed structures.
+
+Two strategies per decoder: (a) fully random bytes, (b) valid encodings
+with byte-level mutations (the realistic network-corruption case).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.ibe.basic_ident import BasicCiphertext
+from repro.ibe.full_ident import FullCiphertext
+from repro.ibe.kem import HybridCiphertext
+from repro.ibe.keys import IdentityPrivateKey, PublicParams
+from repro.pairing import get_preset
+from repro.pki.rsa import RsaPrivateKey, RsaPublicKey
+from repro.pki.x509lite import Certificate
+from repro.wire.messages import (
+    Authenticator,
+    DepositRequest,
+    DepositResponse,
+    KeyRequest,
+    KeyResponse,
+    PkgAuthRequest,
+    PkgAuthResponse,
+    RetrieveRequest,
+    RetrieveResponse,
+    StoredMessage,
+    Ticket,
+    Token,
+)
+
+PARAMS = get_preset("TOY64")
+
+BYTE_DECODERS = [
+    DepositRequest.from_bytes,
+    DepositResponse.from_bytes,
+    RetrieveRequest.from_bytes,
+    RetrieveResponse.from_bytes,
+    StoredMessage.from_bytes,
+    Ticket.from_bytes,
+    Token.from_bytes,
+    Authenticator.from_bytes,
+    PkgAuthRequest.from_bytes,
+    PkgAuthResponse.from_bytes,
+    KeyRequest.from_bytes,
+    KeyResponse.from_bytes,
+    RsaPublicKey.from_bytes,
+    RsaPrivateKey.from_bytes,
+    Certificate.from_bytes,
+]
+
+PARAMS_DECODERS = [
+    BasicCiphertext.from_bytes,
+    FullCiphertext.from_bytes,
+    HybridCiphertext.from_bytes,
+    IdentityPrivateKey.from_bytes,
+]
+
+
+@pytest.mark.parametrize("decoder", BYTE_DECODERS,
+                         ids=lambda d: d.__qualname__.split(".")[0])
+@given(data=st.binary(max_size=200))
+@settings(max_examples=30, deadline=None)
+def test_random_bytes_never_escape_error_hierarchy(decoder, data):
+    try:
+        decoder(data)
+    except ReproError:
+        pass  # the contract: a library error, with a message
+    except (OverflowError, MemoryError):
+        pytest.fail(f"{decoder.__qualname__} resource blowup on fuzz input")
+
+
+@pytest.mark.parametrize("decoder", PARAMS_DECODERS,
+                         ids=lambda d: d.__qualname__.split(".")[0])
+@given(data=st.binary(max_size=200))
+@settings(max_examples=30, deadline=None)
+def test_random_bytes_params_decoders(decoder, data):
+    try:
+        decoder(data, PARAMS)
+    except ReproError:
+        pass
+    except (OverflowError, MemoryError):
+        pytest.fail(f"{decoder.__qualname__} resource blowup on fuzz input")
+
+
+@given(data=st.binary(max_size=300))
+@settings(max_examples=30, deadline=None)
+def test_public_params_decoder_robust(data):
+    try:
+        PublicParams.from_bytes(data)
+    except ReproError:
+        pass
+
+
+class TestMutationFuzz:
+    """Flip each byte of a valid encoding: decode must either raise a
+    ReproError or produce an object that re-encodes differently (no
+    silent canonicalisation collisions)."""
+
+    VALID = DepositRequest(
+        device_id="meter",
+        attribute="ATTR",
+        nonce=b"n" * 16,
+        ciphertext=b"c" * 32,
+        timestamp_us=12345,
+        mac=b"m" * 32,
+    ).to_bytes()
+
+    @given(position=st.integers(0, len(VALID) - 1), flip=st.integers(1, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_single_byte_mutations(self, position, flip):
+        mutated = bytearray(self.VALID)
+        mutated[position] ^= flip
+        try:
+            decoded = DepositRequest.from_bytes(bytes(mutated))
+        except ReproError:
+            return
+        assert decoded.to_bytes() != self.VALID
+
+    def test_truncations_all_rejected_or_distinct(self):
+        for cut in range(len(self.VALID)):
+            try:
+                decoded = DepositRequest.from_bytes(self.VALID[:cut])
+            except ReproError:
+                continue
+            pytest.fail(f"truncation at {cut} accepted: {decoded!r}")

@@ -1,0 +1,201 @@
+"""The TLV codec and every protocol message's canonical encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecodeError, EncodingError
+from repro.wire import (
+    Authenticator,
+    DepositRequest,
+    DepositResponse,
+    KeyRequest,
+    KeyResponse,
+    PkgAuthRequest,
+    PkgAuthResponse,
+    Reader,
+    RetrieveRequest,
+    RetrieveResponse,
+    StoredMessage,
+    Ticket,
+    Token,
+    Writer,
+)
+
+
+class TestCodecPrimitives:
+    @given(value=st.integers(0, 255))
+    def test_u8_roundtrip(self, value):
+        assert Reader(Writer().u8(value).getvalue()).u8() == value
+
+    @given(value=st.integers(0, 2**32 - 1))
+    def test_u32_roundtrip(self, value):
+        assert Reader(Writer().u32(value).getvalue()).u32() == value
+
+    @given(value=st.integers(0, 2**64 - 1))
+    def test_u64_roundtrip(self, value):
+        assert Reader(Writer().u64(value).getvalue()).u64() == value
+
+    @given(value=st.binary(max_size=500))
+    def test_blob_roundtrip(self, value):
+        assert Reader(Writer().blob(value).getvalue()).blob() == value
+
+    @given(value=st.text(max_size=100))
+    def test_text_roundtrip(self, value):
+        assert Reader(Writer().text(value).getvalue()).text() == value
+
+    @given(value=st.integers(0, 2**512))
+    @settings(max_examples=40)
+    def test_bigint_roundtrip(self, value):
+        assert Reader(Writer().bigint(value).getvalue()).bigint() == value
+
+    @given(values=st.lists(st.binary(max_size=30), max_size=10))
+    def test_blob_list_roundtrip(self, values):
+        assert Reader(Writer().blob_list(values).getvalue()).blob_list() == values
+
+    @given(value=st.booleans())
+    def test_bool_roundtrip(self, value):
+        assert Reader(Writer().bool(value).getvalue()).bool() is value
+
+    def test_sequencing(self):
+        payload = Writer().u8(7).text("id").blob(b"xyz").u64(99).getvalue()
+        reader = Reader(payload)
+        assert (reader.u8(), reader.text(), reader.blob(), reader.u64()) == (
+            7, "id", b"xyz", 99,
+        )
+        reader.finish()
+
+
+class TestCodecErrors:
+    def test_out_of_range_writes_rejected(self):
+        with pytest.raises(EncodingError):
+            Writer().u8(256)
+        with pytest.raises(EncodingError):
+            Writer().u32(2**32)
+        with pytest.raises(EncodingError):
+            Writer().u64(-1)
+        with pytest.raises(EncodingError):
+            Writer().bigint(-5)
+
+    def test_truncated_reads_rejected(self):
+        with pytest.raises(DecodeError):
+            Reader(b"\x00\x00\x00\x05ab").blob()  # claims 5, has 2
+        with pytest.raises(DecodeError):
+            Reader(b"\x00").u32()
+
+    def test_trailing_bytes_rejected(self):
+        reader = Reader(b"\x01\x02")
+        reader.u8()
+        with pytest.raises(DecodeError):
+            reader.finish()
+
+    def test_invalid_bool_rejected(self):
+        with pytest.raises(DecodeError):
+            Reader(b"\x02").bool()
+
+    def test_invalid_utf8_rejected(self):
+        with pytest.raises(DecodeError):
+            Reader(Writer().blob(b"\xff\xfe").getvalue()).text()
+
+    def test_blob_list_count_bomb_rejected(self):
+        """A count claiming more entries than the buffer could hold must
+        fail fast rather than loop/allocate."""
+        with pytest.raises(DecodeError):
+            Reader(b"\xff\xff\xff\xff").blob_list()
+
+    def test_remaining_property(self):
+        reader = Reader(b"abcd")
+        assert reader.remaining == 4
+        reader.u8()
+        assert reader.remaining == 3
+
+
+DEPOSIT = DepositRequest(
+    device_id="ELECTRIC-GLENBROOK-001",
+    attribute="ELECTRIC-GLENBROOK-SV-CA",
+    nonce=b"\x01" * 16,
+    ciphertext=b"\xaa" * 64,
+    timestamp_us=1_700_000_000_000_000,
+    mac=b"\xbb" * 32,
+)
+
+
+class TestMessageRoundtrips:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            DEPOSIT,
+            DepositResponse(accepted=True, message_id=7),
+            DepositResponse(accepted=False, error="MAC mismatch"),
+            RetrieveRequest(rc_id="c-services", rc_public_key=b"\x01" * 64,
+                            auth_blob=b"\x02" * 48),
+            StoredMessage(message_id=3, attribute_id=9, nonce=b"n" * 16,
+                          ciphertext=b"c" * 80, deposited_at_us=123),
+            Ticket(rc_id="rc", session_key=b"k" * 32,
+                   attribute_map={1: "A1", 5: "A5"}, issued_at_us=10,
+                   lifetime_us=1000),
+            Token(session_key=b"k" * 32, sealed_ticket=b"t" * 90),
+            Authenticator(rc_id="rc", timestamp_us=555),
+            PkgAuthRequest(rc_id="rc", sealed_ticket=b"t" * 40,
+                           sealed_authenticator=b"a" * 40),
+            PkgAuthResponse(ok=True, session_id=b"s" * 16),
+            PkgAuthResponse(ok=False, error="expired"),
+            KeyRequest(session_id=b"s" * 16, attribute_id=4, nonce=b"n" * 16),
+            KeyResponse(ok=True, sealed_key=b"k" * 60),
+            KeyResponse(ok=False, error="denied"),
+        ],
+        ids=lambda message: type(message).__name__ + str(id(message))[-3:],
+    )
+    def test_roundtrip(self, message):
+        rebuilt = type(message).from_bytes(message.to_bytes())
+        assert rebuilt == message
+
+    def test_retrieve_response_with_messages(self):
+        response = RetrieveResponse(
+            token=b"tok" * 20,
+            rc_nonce=b"n" * 16,
+            messages=[
+                StoredMessage(1, 2, b"a", b"ct1", 10),
+                StoredMessage(2, 2, b"b", b"ct2", 20),
+            ],
+        )
+        rebuilt = RetrieveResponse.from_bytes(response.to_bytes())
+        assert rebuilt == response
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DecodeError):
+            DepositRequest.from_bytes(DEPOSIT.to_bytes() + b"x")
+
+
+class TestMacPayloadCanonicality:
+    def test_mac_payload_excludes_mac_field(self):
+        with_mac = DEPOSIT
+        without_mac = DepositRequest(**{**DEPOSIT.__dict__, "mac": b""})
+        assert with_mac.mac_payload() == without_mac.mac_payload()
+
+    def test_mac_payload_changes_with_every_protected_field(self):
+        base = DEPOSIT.mac_payload()
+        for field, value in [
+            ("device_id", "other-device"),
+            ("attribute", "OTHER-ATTR"),
+            ("nonce", b"\x02" * 16),
+            ("ciphertext", b"\xab" * 64),
+            ("timestamp_us", 1),
+        ]:
+            mutated = DepositRequest(**{**DEPOSIT.__dict__, field: value})
+            assert mutated.mac_payload() != base, field
+
+    def test_no_field_concatenation_ambiguity(self):
+        """'ab'+'c' and 'a'+'bc' must MAC differently (length prefixes)."""
+        first = DepositRequest("ab", "c", b"", b"", 0)
+        second = DepositRequest("a", "bc", b"", b"", 0)
+        assert first.mac_payload() != second.mac_payload()
+
+    def test_auth_payload_roundtrip(self):
+        payload = RetrieveRequest.auth_payload("rc-1", 42, b"nonce")
+        assert RetrieveRequest.parse_auth_payload(payload) == ("rc-1", 42, b"nonce")
+
+    def test_ticket_attribute_map_order_canonical(self):
+        a = Ticket("rc", b"k", {2: "B", 1: "A"}, 0, 1)
+        b = Ticket("rc", b"k", {1: "A", 2: "B"}, 0, 1)
+        assert a.to_bytes() == b.to_bytes()
