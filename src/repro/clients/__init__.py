@@ -2,5 +2,12 @@
 
 from repro.clients.receiving_client import ReceivingClient, RetrievedMessage
 from repro.clients.smart_device import SmartDevice
+from repro.clients.transport import RetryingTransport, RetryPolicy
 
-__all__ = ["SmartDevice", "ReceivingClient", "RetrievedMessage"]
+__all__ = [
+    "SmartDevice",
+    "ReceivingClient",
+    "RetrievedMessage",
+    "RetryPolicy",
+    "RetryingTransport",
+]

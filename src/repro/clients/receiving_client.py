@@ -17,10 +17,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.clients.transport import RetryingTransport, RetryPolicy
 from repro.core.conventions import derive_password_key
 from repro.errors import (
     AuthenticationError,
+    CipherError,
+    DecodeError,
     DecryptionError,
+    NetworkError,
     ProtocolError,
     TicketError,
 )
@@ -71,6 +75,7 @@ class ReceivingClient:
         rng: RandomSource | None = None,
         gatekeeper_cipher: str = "DES",
         session_cipher: str = "AES-256",
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.rc_id = rc_id
         self._password = password
@@ -83,6 +88,10 @@ class ReceivingClient:
         self._key_cache: dict[tuple[int, bytes], Point] = {}
         #: Cached live PKG session: (session_id, session_key) or None.
         self._pkg_session: tuple[bytes, bytes] | None = None
+        #: Retrying transport; every retrieval/PKG operation is either a
+        #: pure read or rebuilt with a fresh nonce per attempt, so
+        #: retries never trip the server-side replay caches.
+        self.transport = RetryingTransport(retry_policy, self._clock, self._rng)
         self.stats = {
             "retrievals": 0,
             "keys_fetched": 0,
@@ -133,26 +142,40 @@ class ReceivingClient:
         ``since_us`` filters to messages deposited at or after that time
         (incremental polling); ``assertion`` selects IdP-assertion
         authentication.
-        """
-        raw = channel.request(
-            self.build_retrieve_request(since_us, assertion).to_bytes()
-        )
-        if raw.startswith(b"ERR:"):
-            parts = raw.split(b":", 2)
-            kind = parts[1].decode() if len(parts) > 1 else "ProtocolError"
-            detail = parts[2].decode() if len(parts) > 2 else ""
-            # Re-raise the MWS's error as the matching local class so
-            # callers can distinguish revocation from a bad password.
-            import repro.errors as errors_module
 
-            error_cls = getattr(errors_module, kind, ProtocolError)
-            if not (isinstance(error_cls, type) and issubclass(error_cls, ProtocolError)):
-                error_cls = ProtocolError
-            raise error_cls(f"MWS rejected retrieval: {detail}")
-        if not raw.startswith(b"OK:"):
-            raise ProtocolError("malformed MWS retrieval response")
+        Each retry attempt rebuilds the request with a fresh nonce and
+        timestamp — retrieval is a read, so rebuilding is safe and keeps
+        the gatekeeper's nonce replay cache out of the way.
+        """
+
+        def attempt() -> RetrieveResponse:
+            raw = channel.request(
+                self.build_retrieve_request(since_us, assertion).to_bytes()
+            )
+            if raw.startswith(b"ERR:"):
+                parts = raw.split(b":", 2)
+                kind = parts[1].decode() if len(parts) > 1 else "ProtocolError"
+                detail = parts[2].decode() if len(parts) > 2 else ""
+                # Re-raise the MWS's error as the matching local class so
+                # callers can distinguish revocation from a bad password.
+                import repro.errors as errors_module
+
+                error_cls = getattr(errors_module, kind, ProtocolError)
+                if not (
+                    isinstance(error_cls, type)
+                    and issubclass(error_cls, ProtocolError)
+                ):
+                    error_cls = ProtocolError
+                raise error_cls(f"MWS rejected retrieval: {detail}")
+            if not raw.startswith(b"OK:"):
+                raise ProtocolError("malformed MWS retrieval response")
+            return RetrieveResponse.from_bytes(raw[3:])
+
+        response = self.transport.call(
+            attempt, transient=(NetworkError, DecodeError, ProtocolError)
+        )
         self.stats["retrievals"] += 1
-        return RetrieveResponse.from_bytes(raw[3:])
+        return response
 
     def open_token(self, sealed_token: bytes) -> Token:
         """Open the token with the RC's RSA private key."""
@@ -164,23 +187,35 @@ class ReceivingClient:
     # -- phase 3: RC-PKG --------------------------------------------------------
 
     def authenticate_to_pkg(self, channel: Channel, token: Token) -> bytes:
-        """Ticket + authenticator handshake; returns the PKG session id."""
-        authenticator = Authenticator(
-            rc_id=self.rc_id, timestamp_us=self._clock.now_us()
+        """Ticket + authenticator handshake; returns the PKG session id.
+
+        Each retry attempt seals a fresh authenticator (new timestamp),
+        so a duplicated or retransmitted handshake never collides with
+        the PKG's authenticator replay cache.
+        """
+
+        def attempt() -> PkgAuthResponse:
+            authenticator = Authenticator(
+                rc_id=self.rc_id, timestamp_us=self._clock.now_us()
+            )
+            scheme = SymmetricScheme(
+                self._session_cipher, token.session_key, mac=True, rng=self._rng
+            )
+            request = PkgAuthRequest(
+                rc_id=self.rc_id,
+                sealed_ticket=token.sealed_ticket,
+                sealed_authenticator=scheme.seal(authenticator.to_bytes()),
+            )
+            response = PkgAuthResponse.from_bytes(
+                channel.request(b"\x01" + request.to_bytes())
+            )
+            if not response.ok:
+                raise TicketError(f"PKG rejected authentication: {response.error}")
+            return response
+
+        response = self.transport.call(
+            attempt, transient=(NetworkError, DecodeError, TicketError)
         )
-        scheme = SymmetricScheme(
-            self._session_cipher, token.session_key, mac=True, rng=self._rng
-        )
-        request = PkgAuthRequest(
-            rc_id=self.rc_id,
-            sealed_ticket=token.sealed_ticket,
-            sealed_authenticator=scheme.seal(authenticator.to_bytes()),
-        )
-        response = PkgAuthResponse.from_bytes(
-            channel.request(b"\x01" + request.to_bytes())
-        )
-        if not response.ok:
-            raise TicketError(f"PKG rejected authentication: {response.error}")
         self._pkg_session = (response.session_id, token.session_key)
         self.stats["pkg_auths"] += 1
         return response.session_id
@@ -199,16 +234,30 @@ class ReceivingClient:
         if cached is not None:
             self.stats["cache_hits"] += 1
             return cached
-        request = KeyRequest(
-            session_id=session_id, attribute_id=attribute_id, nonce=nonce
+        raw = (
+            b"\x02"
+            + KeyRequest(
+                session_id=session_id, attribute_id=attribute_id, nonce=nonce
+            ).to_bytes()
         )
-        response = KeyResponse.from_bytes(
-            channel.request(b"\x02" + request.to_bytes())
+
+        def attempt() -> Point:
+            # A pure idempotent read: resending the same bytes is safe.
+            response = KeyResponse.from_bytes(channel.request(raw))
+            if not response.ok:
+                raise TicketError(f"PKG refused key extraction: {response.error}")
+            scheme = SymmetricScheme(self._session_cipher, session_key, mac=True)
+            return self._public.params.curve.from_bytes(
+                scheme.open(response.sealed_key)
+            )
+
+        # TicketError is deliberately NOT transient here: it signals an
+        # expired session, which retrieve_and_decrypt cures by
+        # re-authenticating, not by resending the same session id.
+        point = self.transport.call(
+            attempt,
+            transient=(NetworkError, DecodeError, CipherError, DecryptionError),
         )
-        if not response.ok:
-            raise TicketError(f"PKG refused key extraction: {response.error}")
-        scheme = SymmetricScheme(self._session_cipher, session_key, mac=True)
-        point = self._public.params.curve.from_bytes(scheme.open(response.sealed_key))
         self._key_cache[cache_key] = point
         self.stats["keys_fetched"] += 1
         return point
@@ -219,7 +268,17 @@ class ReceivingClient:
         ciphertext = HybridCiphertext.from_bytes(
             message.ciphertext, self._public.params
         )
-        plaintext = hybrid_decrypt(self._public, private_point, ciphertext)
+        try:
+            plaintext = hybrid_decrypt(self._public, private_point, ciphertext)
+        except DecryptionError:
+            # A failed decrypt implicates the cached key as much as the
+            # ciphertext: the key request travels unauthenticated, so a
+            # bit-flip in transit makes the PKG extract a key for the
+            # wrong identity — which the client would otherwise cache
+            # under the right one and fail with forever.  Evict so a
+            # retry re-fetches.
+            self._key_cache.pop((message.attribute_id, message.nonce), None)
+            raise
         self.stats["decrypted"] += 1
         return plaintext
 
@@ -234,7 +293,29 @@ class ReceivingClient:
         the ticket/authenticator handshake); on session expiry the
         client transparently re-authenticates with the fresh token and
         retries.
+
+        With a :class:`RetryPolicy`, a failure anywhere in the pipeline
+        — including a decryption failure from a response corrupted in
+        transit — restarts the whole retrieval, so the client either
+        returns correctly decrypted messages or raises.
         """
+        return self.transport.call(
+            lambda: self._retrieve_and_decrypt_once(mws_channel, pkg_channel),
+            transient=(
+                NetworkError,
+                DecodeError,
+                ProtocolError,
+                CipherError,
+                DecryptionError,
+            ),
+        )
+
+    def _retrieve_and_decrypt_once(
+        self,
+        mws_channel: Channel,
+        pkg_channel: Channel,
+    ) -> list[RetrievedMessage]:
+        """One attempt of the full pipeline (see retrieve_and_decrypt)."""
         response = self.retrieve(mws_channel)
         token = self.open_token(response.token)
         if not response.messages:

@@ -13,12 +13,13 @@ encryption and one HMAC per message.
 
 from __future__ import annotations
 
+from repro.clients.transport import RetryingTransport, RetryPolicy
 from repro.core.conventions import (
     NONCE_LENGTH,
     compute_deposit_mac,
     identity_string,
 )
-from repro.errors import ProtocolError
+from repro.errors import DecodeError, NetworkError, ProtocolError
 from repro.ibe.kem import hybrid_encrypt
 from repro.ibe.keys import PublicParams
 from repro.mathlib.rand import RandomSource, SystemRandomSource
@@ -34,6 +35,13 @@ from repro.wire.messages import (
 
 __all__ = ["SmartDevice"]
 
+#: A deposit attempt can fail three ways, all safely retryable because
+#: the retransmit is byte-identical and the SDA replays committed
+#: responses: transport loss, a response corrupted beyond parsing, and
+#: an MWS rejection (a corrupted *request* fails its MAC; the clean
+#: retransmit then succeeds).
+_DEPOSIT_TRANSIENT = (NetworkError, DecodeError, ProtocolError)
+
 
 class SmartDevice:
     """A registered depositing client bound to its MWS shared key."""
@@ -48,6 +56,7 @@ class SmartDevice:
         cipher_name: str = "DES",
         use_nonce: bool = True,
         signer=None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.device_id = device_id
         self._public = public_params
@@ -62,6 +71,9 @@ class SmartDevice:
         #: deposits additionally carry a non-repudiable identity-based
         #: signature (§VIII future work).
         self._signer = signer
+        #: Retrying transport; with ``retry_policy=None`` it is a plain
+        #: single-attempt pass-through.
+        self.transport = RetryingTransport(retry_policy, self._clock, self._rng)
         self.stats = {"deposits_built": 0}
 
     def build_deposit(self, attribute: str, message: bytes) -> DepositRequest:
@@ -128,26 +140,43 @@ class SmartDevice:
     def deposit_batch(
         self, channel: Channel, items: list[tuple[str, bytes]]
     ) -> BatchDepositResponse:
-        """Build and send a batch over ``channel`` (the batch endpoint)."""
-        request = self.build_batch(items)
-        response = BatchDepositResponse.from_bytes(channel.request(request.to_bytes()))
-        if not response.accepted:
-            raise ProtocolError(
-                f"MWS rejected batch from {self.device_id!r}: {response.error}"
-            )
-        return response
+        """Build and send a batch over ``channel`` (the batch endpoint).
+
+        With a :class:`RetryPolicy` the identical batch bytes are
+        retransmitted on transient failures; the SDA's idempotent
+        replay cache guarantees at-most-once storage.
+        """
+        raw = self.build_batch(items).to_bytes()
+
+        def attempt() -> BatchDepositResponse:
+            response = BatchDepositResponse.from_bytes(channel.request(raw))
+            if not response.accepted:
+                raise ProtocolError(
+                    f"MWS rejected batch from {self.device_id!r}: {response.error}"
+                )
+            return response
+
+        return self.transport.call(attempt, transient=_DEPOSIT_TRANSIENT)
 
     def deposit(
         self, channel: Channel, attribute: str, message: bytes
     ) -> DepositResponse:
         """Build and send a deposit over ``channel``; returns the MWS reply.
 
-        Raises :class:`ProtocolError` when the MWS rejects the deposit.
+        Raises :class:`ProtocolError` when the MWS rejects the deposit
+        (after exhausting any retry budget).  Retransmits reuse the
+        original request bytes — same timestamp, same MAC — so the SDA
+        recognises them and replays the committed acknowledgement
+        instead of storing twice or raising ``ReplayError``.
         """
-        request = self.build_deposit(attribute, message)
-        response = DepositResponse.from_bytes(channel.request(request.to_bytes()))
-        if not response.accepted:
-            raise ProtocolError(
-                f"MWS rejected deposit from {self.device_id!r}: {response.error}"
-            )
-        return response
+        raw = self.build_deposit(attribute, message).to_bytes()
+
+        def attempt() -> DepositResponse:
+            response = DepositResponse.from_bytes(channel.request(raw))
+            if not response.accepted:
+                raise ProtocolError(
+                    f"MWS rejected deposit from {self.device_id!r}: {response.error}"
+                )
+            return response
+
+        return self.transport.call(attempt, transient=_DEPOSIT_TRANSIENT)

@@ -1,0 +1,142 @@
+"""Resilient client transport: bounded retries with deterministic backoff.
+
+The paper assumes a reliable LAN between its four servers; real
+deployments (and the chaos suite) do not get one.  This module gives
+the depositing and receiving clients a :class:`RetryPolicy` — maximum
+attempts, exponential backoff, deterministic jitter — and a
+:class:`RetryingTransport` that executes one protocol operation under
+that policy, absorbing transient :class:`NetworkError`\\ s and
+corruption-induced protocol failures.
+
+Backoff *advances the simulated clock* when the client holds a
+:class:`SimClock`, so chaos soaks with thousands of retries finish in
+milliseconds of wall time and remain bit-for-bit reproducible; under a
+:class:`WallClock` it really sleeps.
+
+Safety: retries are only sound because every retried operation is
+idempotent — deposits are retransmitted byte-identically and the SDA
+replays the cached response for a seen MAC (see
+``repro.mws.authenticator``), while retrieval/key-fetch operations are
+reads rebuilt with fresh nonces so replay caches never trip.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import (
+    ChannelClosedError,
+    DecodeError,
+    NetworkError,
+    RetriesExhaustedError,
+)
+from repro.mathlib.rand import RandomSource
+from repro.sim.clock import Clock, SimClock
+
+__all__ = ["RetryPolicy", "RetryingTransport", "DEFAULT_TRANSIENT"]
+
+#: Failures every operation may retry: transport loss and corrupted
+#: responses that no longer parse.  Clients widen this per operation
+#: (e.g. a deposit also retries MWS rejections, since a rejection of a
+#: corrupted request is cured by retransmitting the clean bytes).
+DEFAULT_TRANSIENT: tuple[type[Exception], ...] = (NetworkError, DecodeError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard a client tries before surfacing a failure.
+
+    Backoff for the ``n``-th retry is
+    ``min(base_backoff_us * multiplier**(n-1), max_backoff_us)`` plus a
+    deterministic jitter of ``±jitter`` (a fraction) drawn from the
+    client's seeded :class:`RandomSource`, so two clients sharing a plan
+    never synchronise their retry storms yet every run replays exactly.
+    """
+
+    max_attempts: int = 4
+    base_backoff_us: int = 50_000
+    multiplier: float = 2.0
+    max_backoff_us: int = 2_000_000
+    jitter: float = 0.1
+
+    def backoff_us(self, failures: int, rng: RandomSource | None) -> int:
+        """Pause before the retry following the ``failures``-th failure."""
+        raw = self.base_backoff_us * self.multiplier ** max(0, failures - 1)
+        raw = min(int(raw), self.max_backoff_us)
+        if self.jitter and rng is not None:
+            span = int(raw * self.jitter)
+            if span:
+                raw += rng.randbelow(2 * span + 1) - span
+        return max(0, raw)
+
+
+class RetryingTransport:
+    """Executes operations under a :class:`RetryPolicy`.
+
+    With ``policy=None`` every call is a single attempt and failures
+    propagate untouched — the pre-resilience behaviour, so callers can
+    route through the transport unconditionally.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy | None,
+        clock: Clock,
+        rng: RandomSource | None = None,
+    ) -> None:
+        self.policy = policy
+        self._clock = clock
+        self._rng = rng
+        self.stats = {
+            "attempts": 0,
+            "retries": 0,
+            "recovered": 0,
+            "exhausted": 0,
+        }
+
+    def _pause(self, backoff_us: int) -> None:
+        if backoff_us <= 0:
+            return
+        if isinstance(self._clock, SimClock):
+            self._clock.advance(backoff_us)
+        else:
+            time.sleep(backoff_us / 1_000_000)
+
+    def call(
+        self,
+        operation,
+        transient: tuple[type[Exception], ...] = DEFAULT_TRANSIENT,
+    ):
+        """Run ``operation()`` until it succeeds or the budget is spent.
+
+        ``transient`` lists the exception types worth retrying; a
+        :class:`ChannelClosedError` is never retried (the channel will
+        not reopen by itself).  On exhaustion the last *protocol* error
+        re-raises as itself — so a wrong password still surfaces as
+        ``AuthenticationError`` — while a final transport loss raises
+        :class:`RetriesExhaustedError` chained to the last drop.
+        """
+        policy = self.policy
+        failures = 0
+        while True:
+            self.stats["attempts"] += 1
+            try:
+                result = operation()
+            except ChannelClosedError:
+                raise
+            except transient as exc:
+                failures += 1
+                if policy is None or failures >= policy.max_attempts:
+                    self.stats["exhausted"] += 1
+                    if policy is not None and isinstance(exc, NetworkError):
+                        raise RetriesExhaustedError(
+                            f"gave up after {failures} attempt(s): {exc}"
+                        ) from exc
+                    raise
+                self.stats["retries"] += 1
+                self._pause(policy.backoff_us(failures, self._rng))
+            else:
+                if failures:
+                    self.stats["recovered"] += 1
+                return result

@@ -17,12 +17,14 @@ from repro.ibe import setup
 from repro.ibe.keys import MasterKeyPair, PublicParams
 from repro.clients.receiving_client import ReceivingClient
 from repro.clients.smart_device import SmartDevice
+from repro.clients.transport import RetryPolicy
 from repro.core.conventions import SESSION_KEY_LENGTH
 from repro.mathlib.rand import HmacDrbg, RandomSource
 from repro.mws.service import MessageWarehousingService, MwsConfig
 from repro.pki.rsa import RsaKeyPair, generate_rsa_keypair
 from repro.pkg.service import PkgConfig, PrivateKeyGenerator
 from repro.sim.clock import Clock, SimClock
+from repro.sim.faults import FaultPlan, FaultSpec
 from repro.sim.network import Channel, Network
 
 __all__ = ["DeploymentConfig", "Deployment"]
@@ -61,6 +63,13 @@ class DeploymentConfig:
     use_device_signatures: bool = False
     #: Simulated one-way latency added per network message.
     latency_us: int = 0
+    #: Chaos: fault probabilities applied to every link in both
+    #: directions (a seeded FaultPlan is built from the deployment DRBG,
+    #: so a chaos run replays exactly from ``seed``).  None = clean net.
+    faults: FaultSpec | None = None
+    #: Client resilience: retry policy handed to every smart device and
+    #: receiving client the deployment constructs.  None = no retries.
+    retry_policy: RetryPolicy | None = None
     #: Deterministic seed for every key, nonce and IV in the deployment.
     seed: bytes = b"repro-deployment"
     mws: MwsConfig = field(default_factory=MwsConfig)
@@ -133,6 +142,10 @@ class Deployment:
         network.register(MWS_SD_BATCH_ENDPOINT, mws.batch_deposit_handler)
         network.register(MWS_CLIENT_ENDPOINT, mws.retrieve_handler)
         network.register(PKG_ENDPOINT, pkg.handler)
+        if config.faults is not None:
+            network.install_fault_plan(
+                FaultPlan(rng.fork(b"faults"), default=config.faults)
+            )
         return cls(config, clock, network, master, mws, pkg, rng)
 
     # -- party factories -----------------------------------------------------
@@ -140,6 +153,11 @@ class Deployment:
     @property
     def public_params(self) -> PublicParams:
         return self.master.public
+
+    @property
+    def fault_plan(self) -> FaultPlan | None:
+        """The seeded chaos plan, when the config asked for one."""
+        return self.network.fault_plan
 
     def new_smart_device(self, device_id: str) -> SmartDevice:
         """Register a device with the MWS and hand back the client object.
@@ -170,6 +188,7 @@ class Deployment:
             cipher_name=self.config.message_cipher,
             use_nonce=self.config.use_nonce,
             signer=signer,
+            retry_policy=self.config.retry_policy,
         )
 
     def new_receiving_client(
@@ -202,6 +221,7 @@ class Deployment:
             rng=self._rng.fork(b"rc:" + rc_id.encode()),
             gatekeeper_cipher=self.config.gatekeeper_cipher,
             session_cipher=self.config.pkg.session_cipher,
+            retry_policy=self.config.retry_policy,
         )
 
     # -- channels ---------------------------------------------------------------

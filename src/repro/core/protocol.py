@@ -4,6 +4,13 @@ Runs the paper's Fig. 4 interactions over a deployment and records what
 crossed the wire and how long each phase took — the data behind the
 FIG4 benchmark and the integration tests' assertions about *who saw
 what* (e.g. the MWS never observed a plaintext).
+
+Under a chaos plan the transcript additionally records, per phase, how
+many faults the network injected, how many attempts the clients
+retried, and how many operations recovered after at least one failure.
+:meth:`ProtocolTranscript.fingerprint` hashes every deterministic field
+(wall-clock durations excluded), which is what the chaos suite compares
+across same-seed runs to prove bit-for-bit reproducibility.
 """
 
 from __future__ import annotations
@@ -13,7 +20,9 @@ from dataclasses import dataclass, field
 
 from repro.clients.receiving_client import ReceivingClient, RetrievedMessage
 from repro.clients.smart_device import SmartDevice
+from repro.clients.transport import RetryingTransport
 from repro.core.deployment import Deployment
+from repro.errors import ReproError
 
 __all__ = ["PhaseTiming", "ProtocolTranscript", "ProtocolDriver"]
 
@@ -26,6 +35,12 @@ class PhaseTiming:
     duration_s: float
     network_messages: int
     network_bytes: int
+    #: Chaos bookkeeping: faults the network injected during the phase,
+    #: retry attempts the acting client spent, and how many operations
+    #: succeeded only after retrying (i.e. messages recovered).
+    faults_injected: int = 0
+    retries: int = 0
+    recovered: int = 0
 
 
 @dataclass
@@ -42,6 +57,46 @@ class ProtocolTranscript:
                 return timing
         raise KeyError(f"no phase named {name!r} in transcript")
 
+    def total_faults_injected(self) -> int:
+        return sum(t.faults_injected for t in self.timings)
+
+    def total_retries(self) -> int:
+        return sum(t.retries for t in self.timings)
+
+    def total_recovered(self) -> int:
+        return sum(t.recovered for t in self.timings)
+
+    def fingerprint(self) -> bytes:
+        """SHA-256 over every deterministic field of the transcript.
+
+        Durations are excluded (wall-clock noise); everything else —
+        phase order, wire traffic counts, fault/retry tallies, message
+        ids and recovered plaintexts — must replay identically for the
+        same deployment seed and fault plan.
+        """
+        from repro.hashes import sha256
+        from repro.wire.encoding import Writer
+
+        writer = Writer()
+        writer.u32(len(self.timings))
+        for timing in self.timings:
+            writer.text(timing.phase)
+            writer.u64(timing.network_messages)
+            writer.u64(timing.network_bytes)
+            writer.u64(timing.faults_injected)
+            writer.u64(timing.retries)
+            writer.u64(timing.recovered)
+        writer.u32(len(self.deposited_ids))
+        for message_id in self.deposited_ids:
+            writer.u64(message_id)
+        writer.u32(len(self.retrieved))
+        for message in self.retrieved:
+            writer.u64(message.message_id)
+            writer.u64(message.attribute_id)
+            writer.blob(message.plaintext)
+            writer.u64(message.deposited_at_us)
+        return sha256(writer.getvalue())
+
 
 class ProtocolDriver:
     """Convenience orchestration of the three §V.D phases."""
@@ -49,10 +104,20 @@ class ProtocolDriver:
     def __init__(self, deployment: Deployment) -> None:
         self._deployment = deployment
 
-    def _measure(self, transcript: ProtocolTranscript, phase: str, action):
+    def _measure(
+        self,
+        transcript: ProtocolTranscript,
+        phase: str,
+        action,
+        transport: RetryingTransport | None = None,
+    ):
         network = self._deployment.network
+        plan = network.fault_plan
         messages_before = network.messages_sent
         bytes_before = network.bytes_sent
+        faults_before = plan.total_injected() if plan is not None else 0
+        retries_before = transport.stats["retries"] if transport else 0
+        recovered_before = transport.stats["recovered"] if transport else 0
         started = time.perf_counter()
         result = action()
         transcript.timings.append(
@@ -61,6 +126,21 @@ class ProtocolDriver:
                 duration_s=time.perf_counter() - started,
                 network_messages=network.messages_sent - messages_before,
                 network_bytes=network.bytes_sent - bytes_before,
+                faults_injected=(
+                    plan.total_injected() - faults_before
+                    if plan is not None
+                    else 0
+                ),
+                retries=(
+                    transport.stats["retries"] - retries_before
+                    if transport
+                    else 0
+                ),
+                recovered=(
+                    transport.stats["recovered"] - recovered_before
+                    if transport
+                    else 0
+                ),
             )
         )
         return result
@@ -83,7 +163,7 @@ class ProtocolDriver:
             return ids
 
         transcript.deposited_ids.extend(
-            self._measure(transcript, "SD-MWS", action)
+            self._measure(transcript, "SD-MWS", action, transport=device.transport)
         )
         return transcript
 
@@ -98,10 +178,13 @@ class ProtocolDriver:
         pkg_channel = self._deployment.rc_pkg_channel(client.rc_id)
 
         response = self._measure(
-            transcript, "MWS-RC", lambda: client.retrieve(mws_channel)
+            transcript,
+            "MWS-RC",
+            lambda: client.retrieve(mws_channel),
+            transport=client.transport,
         )
 
-        def pkg_phase():
+        def pkg_phase_once():
             token = client.open_token(response.token)
             results = []
             if response.messages:
@@ -124,8 +207,23 @@ class ProtocolDriver:
                     )
             return results
 
+        def pkg_phase():
+            try:
+                return pkg_phase_once()
+            except ReproError:
+                # A fault slipped past the per-call retries (e.g. the
+                # retrieval response parsed but carried a corrupted
+                # token or ciphertext).  With a retry policy the client
+                # restarts the pipeline end-to-end; without one the
+                # failure surfaces as before.
+                if client.transport.policy is None:
+                    raise
+                return client.retrieve_and_decrypt(mws_channel, pkg_channel)
+
         transcript.retrieved.extend(
-            self._measure(transcript, "RC-PKG", pkg_phase)
+            self._measure(
+                transcript, "RC-PKG", pkg_phase, transport=client.transport
+            )
         )
         return transcript
 

@@ -42,6 +42,9 @@ __all__ = [
     "CiphertextFormatError",
     "NetworkError",
     "ChannelClosedError",
+    "RequestDroppedError",
+    "ResponseDroppedError",
+    "RetriesExhaustedError",
 ]
 
 
@@ -201,3 +204,26 @@ class NetworkError(ReproError):
 
 class ChannelClosedError(NetworkError):
     """Send or receive attempted on a closed channel."""
+
+
+class RequestDroppedError(NetworkError):
+    """The request was lost before reaching the destination handler.
+
+    The operation definitely did **not** execute; a retry is always safe.
+    """
+
+
+class ResponseDroppedError(NetworkError):
+    """The handler ran but its response was lost in transit.
+
+    The operation **may have committed** server-side; retries must be
+    idempotent (the SDA replays the cached response for a retransmitted
+    deposit MAC instead of raising :class:`ReplayError`).
+    """
+
+
+class RetriesExhaustedError(NetworkError):
+    """A retrying transport gave up after its attempt budget.
+
+    Chained from the last underlying failure (``__cause__``).
+    """

@@ -28,6 +28,14 @@ class MwsStatus:
     grants: int
     deposits_accepted: int
     deposits_rejected: int
+    #: Stale-timestamp rejections, broken out of the replay count (a
+    #: slow clock is an operational fault, not an attack signal).
+    deposits_stale: int
+    #: True replay rejections (seen MAC from a different source, or
+    #: post-eviction).
+    deposits_replayed: int
+    #: Honest retransmits served from the idempotent response cache.
+    retransmits_served: int
     retrievals_served: int
     tokens_issued: int
     alerts: int
@@ -47,6 +55,7 @@ class MwsAdmin:
         """Aggregate counters from every Fig. 3 component."""
         sda = self._mws.sda.stats
         rejected = sda["bad_mac"] + sda["replayed"] + sda["unknown_device"]
+        rejected += sda.get("stale_timestamp", 0)
         rejected += sda.get("bad_signature", 0)
         return MwsStatus(
             messages_stored=len(self._mws.message_db),
@@ -56,6 +65,9 @@ class MwsAdmin:
             grants=len(self._mws.policy_db),
             deposits_accepted=sda["accepted"],
             deposits_rejected=rejected,
+            deposits_stale=sda.get("stale_timestamp", 0),
+            deposits_replayed=sda["replayed"],
+            retransmits_served=sda.get("retransmits_replayed", 0),
             retrievals_served=self._mws.mms.stats["retrievals"],
             tokens_issued=self._mws.token_generator.stats["tokens_issued"],
             alerts=len(self._mws.alerts),

@@ -8,6 +8,14 @@ administrator."
 Beyond the paper's prototype (which skipped timestamps entirely) the
 SDA enforces a freshness window and a seen-MAC cache, so replaying a
 captured deposit is rejected even inside the window.
+
+The seen-MAC cache doubles as an **idempotent retransmit cache**: the
+committed response for each accepted deposit is stored alongside the
+MAC, so a device retransmitting after a lost acknowledgement gets the
+original response replayed instead of a :class:`ReplayError` — without
+that, a single dropped ack would turn an honest retry into data loss.
+True replays stay fail-closed: a cached MAC presented under a different
+device id, or one whose cache entry has been evicted, is rejected.
 """
 
 from __future__ import annotations
@@ -43,7 +51,11 @@ class SmartDeviceAuthenticator:
         self._keystore = keystore
         self._clock = clock
         self._max_skew_us = max_skew_us
-        self._replay_cache: OrderedDict[bytes, None] = OrderedDict()
+        #: MAC -> (device_id, committed response bytes or None).  Doubles
+        #: as the replay guard and the idempotent retransmit cache.
+        self._replay_cache: OrderedDict[bytes, tuple[str, bytes | None]] = (
+            OrderedDict()
+        )
         self._replay_cache_size = replay_cache_size
         self._alert_sink = alert_sink
         #: Optional :class:`repro.ibe.signatures.IbeVerifier` for the
@@ -56,6 +68,8 @@ class SmartDeviceAuthenticator:
             "accepted": 0,
             "bad_mac": 0,
             "replayed": 0,
+            "stale_timestamp": 0,
+            "retransmits_replayed": 0,
             "unknown_device": 0,
             "bad_signature": 0,
         }
@@ -105,7 +119,7 @@ class SmartDeviceAuthenticator:
             )
         now_us = self._clock.now_us()
         if abs(now_us - timestamp_us) > self._max_skew_us:
-            self.stats["replayed"] += 1
+            self.stats["stale_timestamp"] += 1
             self._alert(device_id, "stale timestamp")
             raise ReplayError(
                 f"deposit timestamp {timestamp_us} outside the "
@@ -117,10 +131,41 @@ class SmartDeviceAuthenticator:
             raise ReplayError(f"deposit from {device_id!r} replayed")
 
     def _commit(self, device_id: str, mac: bytes) -> None:
-        self._replay_cache[mac] = None
+        self._replay_cache[mac] = (device_id, None)
         while len(self._replay_cache) > self._replay_cache_size:
             self._replay_cache.popitem(last=False)
         self.stats["accepted"] += 1
+
+    # -- idempotent retransmits -------------------------------------------
+
+    def cached_response(self, device_id: str, mac: bytes) -> bytes | None:
+        """Resolve a possibly-retransmitted deposit before authenticating.
+
+        Returns ``None`` for a first-seen MAC (proceed with
+        :meth:`authenticate`), the committed response bytes for an
+        honest retransmit (same device id, response recorded), and
+        raises :class:`ReplayError` fail-closed for everything else: a
+        replay under a different device id, or a MAC seen before any
+        response was recorded.
+        """
+        entry = self._replay_cache.get(mac)
+        if entry is None:
+            return None
+        source, response = entry
+        if source != device_id or response is None:
+            self.stats["replayed"] += 1
+            self._alert(device_id, "replayed deposit")
+            raise ReplayError(f"deposit MAC replayed by {device_id!r}")
+        self._replay_cache.move_to_end(mac)
+        self.stats["retransmits_replayed"] += 1
+        return response
+
+    def record_response(self, mac: bytes, response: bytes) -> None:
+        """Attach the committed response to an authenticated MAC so a
+        future retransmit can replay it byte-identically."""
+        entry = self._replay_cache.get(mac)
+        if entry is not None:
+            self._replay_cache[mac] = (entry[0], response)
 
     def _check_signature(self, request: DepositRequest) -> None:
         """Verify the optional identity-based signature when configured."""

@@ -141,7 +141,19 @@ class MessageWarehousingService:
     # -- deposit path (MWS-SD server) --------------------------------------
 
     def handle_deposit(self, request: DepositRequest) -> DepositResponse:
-        """SDA-check then store; mirrors the paper's accept/discard flow."""
+        """SDA-check then store; mirrors the paper's accept/discard flow.
+
+        A retransmit of an already-committed deposit (same device id,
+        same MAC) replays the original acknowledgement instead of
+        storing twice or rejecting — see
+        :meth:`SmartDeviceAuthenticator.cached_response`.
+        """
+        try:
+            cached = self.sda.cached_response(request.device_id, request.mac)
+        except ProtocolError as exc:
+            return DepositResponse(accepted=False, error=str(exc))
+        if cached is not None:
+            return DepositResponse.from_bytes(cached)
         try:
             self.sda.authenticate(request)
         except ProtocolError as exc:
@@ -153,10 +165,22 @@ class MessageWarehousingService:
             ciphertext=request.ciphertext,
             deposited_at_us=self._clock.now_us(),
         )
-        return DepositResponse(accepted=True, message_id=record.message_id)
+        response = DepositResponse(accepted=True, message_id=record.message_id)
+        self.sda.record_response(request.mac, response.to_bytes())
+        return response
 
     def handle_batch_deposit(self, request: BatchDepositRequest) -> BatchDepositResponse:
-        """All-or-nothing batch ingest under a single MAC."""
+        """All-or-nothing batch ingest under a single MAC.
+
+        Retransmitted batches replay the committed acknowledgement
+        exactly like single deposits.
+        """
+        try:
+            cached = self.sda.cached_response(request.device_id, request.mac)
+        except ProtocolError as exc:
+            return BatchDepositResponse(accepted=False, error=str(exc))
+        if cached is not None:
+            return BatchDepositResponse.from_bytes(cached)
         try:
             self.sda.authenticate_batch(request)
         except ProtocolError as exc:
@@ -172,7 +196,9 @@ class MessageWarehousingService:
                 deposited_at_us=now_us,
             )
             message_ids.append(record.message_id)
-        return BatchDepositResponse(accepted=True, message_ids=message_ids)
+        response = BatchDepositResponse(accepted=True, message_ids=message_ids)
+        self.sda.record_response(request.mac, response.to_bytes())
+        return response
 
     # -- retrieve path (MWS-Client server) -----------------------------------
 

@@ -7,7 +7,14 @@ encodings a socket deployment would.
 """
 
 from repro.sim.clock import Clock, SimClock, WallClock
-from repro.sim.network import Channel, Endpoint, Network, TamperInjector
+from repro.sim.faults import FaultDecision, FaultPlan, FaultSpec
+from repro.sim.network import (
+    Channel,
+    Endpoint,
+    EndpointStats,
+    Network,
+    TamperInjector,
+)
 from repro.sim.workload import (
     MeterKind,
     MeterReading,
@@ -22,7 +29,11 @@ __all__ = [
     "Network",
     "Channel",
     "Endpoint",
+    "EndpointStats",
     "TamperInjector",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultSpec",
     "MeterKind",
     "MeterReading",
     "SmartMeterFleet",

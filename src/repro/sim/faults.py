@@ -1,0 +1,191 @@
+"""Deterministic fault injection for the simulated network.
+
+The paper's prototype ran four servers over a real LAN and simply
+assumed delivery; a warehousing service cannot.  This module models the
+failure modes of a lossy deployment — drops, duplicates, bit
+corruption, delays and partitions — as a seeded :class:`FaultPlan` the
+:class:`repro.sim.network.Network` consults on **both** the request and
+the response path of every message.
+
+Every decision is drawn from a :class:`RandomSource`, so a chaos run is
+exactly reproducible from its seed: the same plan over the same traffic
+injects the same faults in the same order.  That property is what lets
+the chaos suite assert byte-identical transcripts across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mathlib.rand import RandomSource
+
+__all__ = ["FaultSpec", "FaultDecision", "FaultPlan", "apply_corruption"]
+
+#: The two directions a plan is consulted for.
+REQUEST = "request"
+RESPONSE = "response"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-link fault probabilities (each in ``[0, 1]``, independent).
+
+    ``delay`` adds a uniform ``[min_delay_us, max_delay_us]`` pause by
+    advancing the simulated clock — no wall-clock sleeping, so chaos
+    soaks stay fast and deterministic.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    delay: float = 0.0
+    min_delay_us: int = 1_000
+    max_delay_us: int = 20_000
+
+    def any_faults(self) -> bool:
+        return any((self.drop, self.duplicate, self.corrupt, self.delay))
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the plan decided for one message crossing one link."""
+
+    drop: bool = False
+    duplicate: bool = False
+    #: (byte_index, bit_mask) to XOR into the payload, or None.
+    corrupt: tuple[int, int] | None = None
+    delay_us: int = 0
+    #: True when the drop came from a partition, not a probability.
+    partitioned: bool = False
+
+    def faults(self) -> int:
+        """How many distinct faults this decision injects."""
+        return (
+            int(self.drop)
+            + int(self.duplicate)
+            + int(self.corrupt is not None)
+            + int(self.delay_us > 0)
+        )
+
+
+#: No-fault singleton so the hot path allocates nothing when clean.
+_CLEAN = FaultDecision()
+
+
+class FaultPlan:
+    """A seeded schedule of per-link faults.
+
+    Links are directional ``(source, destination)`` pairs; the network
+    consults the plan once for the request direction and once for the
+    response direction, so a plan can model asymmetric loss (e.g. ACKs
+    dropping while deposits get through).  ``default`` applies to every
+    link without an explicit override.
+    """
+
+    def __init__(
+        self,
+        rng: RandomSource,
+        default: FaultSpec | None = None,
+    ) -> None:
+        self._rng = rng
+        self._default = default if default is not None else FaultSpec()
+        self._links: dict[tuple[str, str], FaultSpec] = {}
+        self._partitions: set[frozenset[str]] = set()
+        #: Aggregate counters, also mirrored per-endpoint by the network.
+        self.counters = {
+            "drops": 0,
+            "duplicates": 0,
+            "corruptions": 0,
+            "delays": 0,
+            "partition_drops": 0,
+        }
+
+    # -- configuration ----------------------------------------------------
+
+    def set_link(self, source: str, destination: str, spec: FaultSpec) -> None:
+        """Override faults for one direction of one link."""
+        self._links[(source, destination)] = spec
+
+    def set_endpoint(self, endpoint: str, spec: FaultSpec) -> None:
+        """Override faults for all traffic *to* ``endpoint`` (requests in,
+        responses consulted with the endpoint as source use ``set_link``)."""
+        self._links[("*", endpoint)] = spec
+
+    def partition(self, a: str, b: str) -> None:
+        """Sever the link between ``a`` and ``b`` in both directions."""
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore a severed link."""
+        self._partitions.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        self._partitions.clear()
+
+    def spec_for(self, source: str, destination: str) -> FaultSpec:
+        spec = self._links.get((source, destination))
+        if spec is None:
+            spec = self._links.get(("*", destination), self._default)
+        return spec
+
+    # -- decisions --------------------------------------------------------
+
+    def _hit(self, probability: float) -> bool:
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self._rng.randbelow(1_000_000) < int(probability * 1_000_000)
+
+    def decide(
+        self, source: str, destination: str, payload_len: int
+    ) -> FaultDecision:
+        """Roll the dice for one message from ``source`` to ``destination``."""
+        if frozenset((source, destination)) in self._partitions:
+            self.counters["partition_drops"] += 1
+            self.counters["drops"] += 1
+            return FaultDecision(drop=True, partitioned=True)
+        spec = self.spec_for(source, destination)
+        if not spec.any_faults():
+            return _CLEAN
+        delay_us = 0
+        if self._hit(spec.delay):
+            delay_us = spec.min_delay_us + self._rng.randbelow(
+                max(1, spec.max_delay_us - spec.min_delay_us + 1)
+            )
+            self.counters["delays"] += 1
+        if self._hit(spec.drop):
+            self.counters["drops"] += 1
+            return FaultDecision(drop=True, delay_us=delay_us)
+        corrupt = None
+        if payload_len > 0 and self._hit(spec.corrupt):
+            corrupt = (
+                self._rng.randbelow(payload_len),
+                1 << self._rng.randbelow(8),
+            )
+            self.counters["corruptions"] += 1
+        duplicate = self._hit(spec.duplicate)
+        if duplicate:
+            self.counters["duplicates"] += 1
+        if not (delay_us or corrupt or duplicate):
+            return _CLEAN
+        return FaultDecision(
+            duplicate=duplicate, corrupt=corrupt, delay_us=delay_us
+        )
+
+    def total_injected(self) -> int:
+        """Total faults injected so far (partition drops count once)."""
+        return (
+            self.counters["drops"]
+            + self.counters["duplicates"]
+            + self.counters["corruptions"]
+            + self.counters["delays"]
+        )
+
+
+def apply_corruption(payload: bytes, corrupt: tuple[int, int]) -> bytes:
+    """XOR ``mask`` into ``payload[index]`` (index clamped to length)."""
+    index, mask = corrupt
+    mutated = bytearray(payload)
+    mutated[min(index, len(mutated) - 1)] ^= mask
+    return bytes(mutated)

@@ -4,20 +4,34 @@ Models the paper's deployment ("four servers ... all ports and IP
 addresses hardcoded") as named endpoints on a :class:`Network`.  Every
 message crosses the wire as bytes — services register a handler taking
 and returning ``bytes`` — so the codec layer is genuinely exercised, and
-interceptors can delay, tamper with or drop traffic to test the
-protocol's failure behaviour (MAC rejection, replay detection).
+interceptors plus a seeded :class:`repro.sim.faults.FaultPlan` can
+delay, tamper with, duplicate or drop traffic on *both* the request and
+the response path to test the protocol's failure behaviour (MAC
+rejection, replay detection, idempotent retransmits).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, NamedTuple
 
-from repro.errors import ChannelClosedError, NetworkError
+from repro.errors import (
+    ChannelClosedError,
+    NetworkError,
+    RequestDroppedError,
+    ResponseDroppedError,
+)
 from repro.mathlib.rand import RandomSource
 from repro.sim.clock import Clock, SimClock
+from repro.sim.faults import FaultPlan, apply_corruption
 
-__all__ = ["Network", "Endpoint", "Channel", "TamperInjector"]
+__all__ = [
+    "Network",
+    "Endpoint",
+    "EndpointStats",
+    "Channel",
+    "TamperInjector",
+]
 
 Handler = Callable[[bytes], bytes]
 Interceptor = Callable[[str, str, bytes], bytes | None]
@@ -25,13 +39,41 @@ Interceptor = Callable[[str, str, bytes], bytes | None]
 
 @dataclass
 class Endpoint:
-    """A named service on the network."""
+    """A named service on the network.
+
+    ``requests_served``/``bytes_in`` count only requests whose handler
+    returned normally; a handler that raises increments
+    ``handler_errors`` instead.  The ``fault_*`` counters attribute
+    every injected fault on the endpoint's links (either direction) to
+    the service side, so operators can see which server a chaos plan is
+    hitting.
+    """
 
     name: str
     handler: Handler
     requests_served: int = 0
     bytes_in: int = 0
     bytes_out: int = 0
+    handler_errors: int = 0
+    fault_drops: int = 0
+    fault_duplicates: int = 0
+    fault_corruptions: int = 0
+    fault_delays: int = 0
+    fault_delay_us: int = 0
+
+
+class EndpointStats(NamedTuple):
+    """Per-endpoint counters; index 0-2 keep the legacy tuple layout."""
+
+    requests_served: int
+    bytes_in: int
+    bytes_out: int
+    handler_errors: int
+    fault_drops: int
+    fault_duplicates: int
+    fault_corruptions: int
+    fault_delays: int
+    fault_delay_us: int
 
 
 class Network:
@@ -39,18 +81,23 @@ class Network:
 
     ``send(src, dst, payload)`` delivers synchronously and returns the
     response bytes.  Interceptors run in registration order on the
-    request path; an interceptor may return modified bytes, the original
-    bytes, or ``None`` to drop the message (which surfaces to the sender
-    as :class:`NetworkError`, like a timeout would).
+    request path (and, separately, on the response path); an interceptor
+    may return modified bytes, the original bytes, or ``None`` to drop
+    the message (which surfaces to the sender as :class:`NetworkError`,
+    like a timeout would).  An installed :class:`FaultPlan` is consulted
+    after the interceptors in each direction.
     """
 
     def __init__(self, clock: Clock | None = None, latency_us: int = 0) -> None:
         self._endpoints: dict[str, Endpoint] = {}
         self._interceptors: list[Interceptor] = []
+        self._response_interceptors: list[Interceptor] = []
         self._clock = clock if clock is not None else SimClock()
         self._latency_us = latency_us
+        self._fault_plan: FaultPlan | None = None
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.handler_errors = 0
 
     def register(self, name: str, handler: Handler) -> Endpoint:
         """Attach a service; re-registering a name raises."""
@@ -67,39 +114,134 @@ class Network:
         """Install a fault-injection hook on the request path."""
         self._interceptors.append(interceptor)
 
+    def add_response_interceptor(self, interceptor: Interceptor) -> None:
+        """Install a hook on the response path.
+
+        Called as ``interceptor(destination, source, response)`` — the
+        first argument is the responding endpoint — and may modify or
+        drop (``None``) the response after the handler has already run,
+        which is exactly the "deposit accepted, ack lost" case the
+        idempotent-retransmit machinery exists for.
+        """
+        self._response_interceptors.append(interceptor)
+
     def clear_interceptors(self) -> None:
         self._interceptors.clear()
+        self._response_interceptors.clear()
+
+    # -- fault plan -------------------------------------------------------
+
+    def install_fault_plan(self, plan: FaultPlan | None) -> None:
+        """Attach (or with ``None`` remove) the seeded fault plan."""
+        self._fault_plan = plan
+
+    @property
+    def fault_plan(self) -> FaultPlan | None:
+        return self._fault_plan
+
+    def _advance(self, delta_us: int) -> None:
+        if delta_us and isinstance(self._clock, SimClock):
+            self._clock.advance(delta_us)
 
     def send(self, source: str, destination: str, payload: bytes) -> bytes:
-        """Deliver ``payload`` and return the endpoint's response bytes."""
+        """Deliver ``payload`` and return the endpoint's response bytes.
+
+        Raises :class:`RequestDroppedError` when the request never
+        reached the handler, and :class:`ResponseDroppedError` when the
+        handler ran but its response was lost — callers that retry must
+        treat the latter as "possibly committed" and retransmit
+        idempotently.
+        """
         endpoint = self._endpoints.get(destination)
         if endpoint is None:
             raise NetworkError(f"no endpoint named {destination!r}")
         for interceptor in self._interceptors:
             result = interceptor(source, destination, payload)
             if result is None:
-                raise NetworkError(
+                raise RequestDroppedError(
                     f"message from {source!r} to {destination!r} was dropped"
                 )
             payload = result
-        if self._latency_us and isinstance(self._clock, SimClock):
-            self._clock.advance(self._latency_us)
-        self.messages_sent += 1
-        self.bytes_sent += len(payload)
-        endpoint.requests_served += 1
-        endpoint.bytes_in += len(payload)
-        response = endpoint.handler(payload)
-        endpoint.bytes_out += len(response)
+        plan = self._fault_plan
+        deliveries = 1
+        if plan is not None:
+            decision = plan.decide(source, destination, len(payload))
+            if decision.delay_us:
+                endpoint.fault_delays += 1
+                endpoint.fault_delay_us += decision.delay_us
+                self._advance(decision.delay_us)
+            if decision.drop:
+                endpoint.fault_drops += 1
+                raise RequestDroppedError(
+                    f"message from {source!r} to {destination!r} was "
+                    + ("partitioned" if decision.partitioned else "dropped")
+                )
+            if decision.corrupt is not None:
+                endpoint.fault_corruptions += 1
+                payload = apply_corruption(payload, decision.corrupt)
+            if decision.duplicate:
+                endpoint.fault_duplicates += 1
+                deliveries = 2
+        self._advance(self._latency_us)
+        response = b""
+        for _ in range(deliveries):
+            self.messages_sent += 1
+            self.bytes_sent += len(payload)
+            try:
+                response = endpoint.handler(payload)
+            except Exception:
+                endpoint.handler_errors += 1
+                self.handler_errors += 1
+                raise
+            endpoint.requests_served += 1
+            endpoint.bytes_in += len(payload)
+            endpoint.bytes_out += len(response)
+        for interceptor in self._response_interceptors:
+            result = interceptor(destination, source, response)
+            if result is None:
+                raise ResponseDroppedError(
+                    f"response from {destination!r} to {source!r} was dropped"
+                )
+            response = result
+        if plan is not None:
+            decision = plan.decide(destination, source, len(response))
+            if decision.delay_us:
+                endpoint.fault_delays += 1
+                endpoint.fault_delay_us += decision.delay_us
+                self._advance(decision.delay_us)
+            if decision.drop:
+                endpoint.fault_drops += 1
+                raise ResponseDroppedError(
+                    f"response from {destination!r} to {source!r} was "
+                    + ("partitioned" if decision.partitioned else "dropped")
+                )
+            if decision.corrupt is not None:
+                endpoint.fault_corruptions += 1
+                response = apply_corruption(response, decision.corrupt)
+            if decision.duplicate:
+                # The sender keeps one copy of a duplicated response;
+                # counted so transcripts still record the fault.
+                endpoint.fault_duplicates += 1
         return response
 
     def channel(self, source: str, destination: str) -> "Channel":
         """A bound sender convenience object."""
         return Channel(network=self, source=source, destination=destination)
 
-    def endpoint_stats(self) -> dict[str, tuple[int, int, int]]:
-        """name -> (requests, bytes_in, bytes_out)."""
+    def endpoint_stats(self) -> dict[str, EndpointStats]:
+        """name -> :class:`EndpointStats` (legacy indexes 0-2 preserved)."""
         return {
-            name: (ep.requests_served, ep.bytes_in, ep.bytes_out)
+            name: EndpointStats(
+                requests_served=ep.requests_served,
+                bytes_in=ep.bytes_in,
+                bytes_out=ep.bytes_out,
+                handler_errors=ep.handler_errors,
+                fault_drops=ep.fault_drops,
+                fault_duplicates=ep.fault_duplicates,
+                fault_corruptions=ep.fault_corruptions,
+                fault_delays=ep.fault_delays,
+                fault_delay_us=ep.fault_delay_us,
+            )
             for name, ep in self._endpoints.items()
         }
 

@@ -1,0 +1,115 @@
+"""RetryPolicy backoff math and RetryingTransport behaviour."""
+
+import pytest
+
+from repro.clients.transport import RetryingTransport, RetryPolicy
+from repro.errors import (
+    AuthenticationError,
+    ChannelClosedError,
+    NetworkError,
+    RetriesExhaustedError,
+)
+from repro.mathlib.rand import HmacDrbg
+from repro.sim.clock import SimClock
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            base_backoff_us=100, multiplier=2.0, max_backoff_us=10_000, jitter=0.0
+        )
+        assert policy.backoff_us(1, None) == 100
+        assert policy.backoff_us(2, None) == 200
+        assert policy.backoff_us(3, None) == 400
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(
+            base_backoff_us=100, multiplier=10.0, max_backoff_us=500, jitter=0.0
+        )
+        assert policy.backoff_us(5, None) == 500
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_backoff_us=10_000, jitter=0.1)
+        values_a = [policy.backoff_us(1, HmacDrbg(b"j")) for _ in range(1)]
+        values_b = [policy.backoff_us(1, HmacDrbg(b"j")) for _ in range(1)]
+        assert values_a == values_b
+        for _ in range(50):
+            value = policy.backoff_us(1, HmacDrbg(b"j2"))
+            assert 9_000 <= value <= 11_000
+
+
+class TestRetryingTransport:
+    def flaky(self, failures_before_success, exc=NetworkError):
+        state = {"calls": 0}
+
+        def operation():
+            state["calls"] += 1
+            if state["calls"] <= failures_before_success:
+                raise exc("transient")
+            return "ok"
+
+        return operation, state
+
+    def test_no_policy_is_single_attempt(self):
+        transport = RetryingTransport(None, SimClock())
+        operation, state = self.flaky(1)
+        with pytest.raises(NetworkError):
+            transport.call(operation)
+        assert state["calls"] == 1
+        assert transport.stats["exhausted"] == 1
+
+    def test_recovers_within_budget(self):
+        transport = RetryingTransport(
+            RetryPolicy(max_attempts=4, jitter=0.0), SimClock()
+        )
+        operation, state = self.flaky(2)
+        assert transport.call(operation) == "ok"
+        assert state["calls"] == 3
+        assert transport.stats["retries"] == 2
+        assert transport.stats["recovered"] == 1
+
+    def test_exhaustion_wraps_network_errors(self):
+        transport = RetryingTransport(
+            RetryPolicy(max_attempts=3, jitter=0.0), SimClock()
+        )
+        operation, state = self.flaky(99)
+        with pytest.raises(RetriesExhaustedError):
+            transport.call(operation)
+        assert state["calls"] == 3
+
+    def test_exhaustion_preserves_protocol_error_class(self):
+        """A wrong password must still surface as AuthenticationError."""
+        transport = RetryingTransport(
+            RetryPolicy(max_attempts=3, jitter=0.0), SimClock()
+        )
+        operation, _ = self.flaky(99, exc=AuthenticationError)
+        with pytest.raises(AuthenticationError):
+            transport.call(operation, transient=(AuthenticationError,))
+
+    def test_closed_channel_never_retried(self):
+        transport = RetryingTransport(
+            RetryPolicy(max_attempts=5, jitter=0.0), SimClock()
+        )
+        operation, state = self.flaky(99, exc=ChannelClosedError)
+        with pytest.raises(ChannelClosedError):
+            transport.call(operation)
+        assert state["calls"] == 1
+
+    def test_non_transient_errors_propagate_immediately(self):
+        transport = RetryingTransport(
+            RetryPolicy(max_attempts=5, jitter=0.0), SimClock()
+        )
+        operation, state = self.flaky(99, exc=ValueError)
+        with pytest.raises(ValueError):
+            transport.call(operation)
+        assert state["calls"] == 1
+
+    def test_backoff_advances_sim_clock_not_wall_time(self):
+        clock = SimClock(start_us=0)
+        policy = RetryPolicy(
+            max_attempts=3, base_backoff_us=1_000_000, multiplier=2.0, jitter=0.0
+        )
+        transport = RetryingTransport(policy, clock)
+        operation, _ = self.flaky(2)
+        assert transport.call(operation) == "ok"
+        assert clock.now_us() == 3_000_000  # 1s + 2s, simulated only

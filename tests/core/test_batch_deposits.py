@@ -77,18 +77,22 @@ class TestBatchFlow:
         assert not response.accepted
         assert len(deployment.mws.message_db) == 0  # all-or-nothing
 
-    def test_replayed_batch_rejected(self, batch_world):
+    def test_retransmitted_batch_replays_committed_response(self, batch_world):
+        """A byte-identical retransmit (the lost-ack case) is served the
+        original response idempotently: nothing is stored twice."""
         deployment, device, _client = batch_world
         request = device.build_batch([("B1", b"x")])
-        first = deployment.network.send(
-            "batch-meter", "mws-sd-batch", request.to_bytes()
+        first = BatchDepositResponse.from_bytes(
+            deployment.network.send("batch-meter", "mws-sd-batch", request.to_bytes())
         )
-        assert BatchDepositResponse.from_bytes(first).accepted
-        second = deployment.network.send(
-            "batch-meter", "mws-sd-batch", request.to_bytes()
+        assert first.accepted
+        second = BatchDepositResponse.from_bytes(
+            deployment.network.send("batch-meter", "mws-sd-batch", request.to_bytes())
         )
-        assert not BatchDepositResponse.from_bytes(second).accepted
+        assert second.accepted
+        assert second.message_ids == first.message_ids
         assert len(deployment.mws.message_db) == 1
+        assert deployment.mws.sda.stats["retransmits_replayed"] == 1
 
     def test_unknown_device_rejected(self, batch_world):
         deployment, device, _client = batch_world

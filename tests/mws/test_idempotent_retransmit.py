@@ -1,0 +1,161 @@
+"""Lost-ack retransmits vs. true replays (ISSUE satellite: idempotency).
+
+The paper's replay defence (§V.D) must not punish an honest device whose
+acknowledgement was lost in transit: a byte-identical retransmit is served
+the originally committed response, while a replay from any other identity
+still fails closed with ``ReplayError``.
+"""
+
+import pytest
+
+from tests.conftest import build_deployment
+from repro.clients.transport import RetryPolicy
+from repro.core.conventions import compute_deposit_mac
+from repro.errors import ReplayError
+from repro.mathlib.rand import HmacDrbg
+from repro.mws.admin import MwsAdmin
+from repro.mws.authenticator import SmartDeviceAuthenticator
+from repro.sim.clock import SimClock
+from repro.storage import DeviceKeyStore
+from repro.wire.messages import DepositRequest, DepositResponse
+
+
+def make_deposit(shared_key, clock, device_id="meter-1", **overrides):
+    request = DepositRequest(
+        device_id=device_id,
+        attribute="A",
+        nonce=b"\x07" * 16,
+        ciphertext=b"\xcc" * 40,
+        timestamp_us=overrides.pop("timestamp_us", clock.now_us()),
+    )
+    for field, value in overrides.items():
+        setattr(request, field, value)
+    request.mac = compute_deposit_mac(shared_key, request.mac_payload())
+    return request
+
+
+class TestAuthenticatorCache:
+    @pytest.fixture()
+    def world(self):
+        clock = SimClock(tick_us=7)
+        keystore = DeviceKeyStore(rng=HmacDrbg(b"ks"))
+        shared_key = keystore.register("meter-1")
+        sda = SmartDeviceAuthenticator(keystore, clock)
+        return clock, keystore, shared_key, sda
+
+    def test_retransmit_replays_recorded_response(self, world):
+        clock, _ks, shared_key, sda = world
+        request = make_deposit(shared_key, clock)
+        assert sda.cached_response("meter-1", request.mac) is None
+        sda.authenticate(request)
+        sda.record_response(request.mac, b"ack-bytes")
+        assert sda.cached_response("meter-1", request.mac) == b"ack-bytes"
+        assert sda.stats["retransmits_replayed"] == 1
+        assert sda.stats["replayed"] == 0
+
+    def test_replay_from_other_device_fails_closed(self, world):
+        clock, keystore, shared_key, sda = world
+        keystore.register("meter-2")
+        request = make_deposit(shared_key, clock)
+        sda.authenticate(request)
+        sda.record_response(request.mac, b"ack-bytes")
+        with pytest.raises(ReplayError):
+            sda.cached_response("meter-2", request.mac)
+        assert sda.stats["replayed"] == 1
+        assert sda.stats["retransmits_replayed"] == 0
+
+    def test_replay_before_response_recorded_fails_closed(self, world):
+        """A MAC committed but never acknowledged (store crashed mid-way)
+        must not be replayable — there is no response to replay."""
+        clock, _ks, shared_key, sda = world
+        request = make_deposit(shared_key, clock)
+        sda.authenticate(request)
+        with pytest.raises(ReplayError):
+            sda.cached_response("meter-1", request.mac)
+        assert sda.stats["replayed"] == 1
+
+    def test_stale_and_replayed_counted_separately(self, world):
+        clock, _ks, shared_key, sda = world
+        stale = make_deposit(
+            shared_key, clock, timestamp_us=clock.now_us() - 600 * 1_000_000
+        )
+        with pytest.raises(ReplayError):
+            sda.authenticate(stale)
+        assert sda.stats["stale_timestamp"] == 1
+        assert sda.stats["replayed"] == 0
+
+    def test_eviction_closes_the_retransmit_window(self, world):
+        clock, _ks, shared_key, sda = world
+        sda._replay_cache_size = 2  # shrink for the test
+        first = make_deposit(shared_key, clock)
+        sda.authenticate(first)
+        sda.record_response(first.mac, b"ack-1")
+        for _ in range(2):  # push `first` out of the LRU cache
+            request = make_deposit(shared_key, clock)
+            sda.authenticate(request)
+            sda.record_response(request.mac, b"ack")
+        assert sda.cached_response("meter-1", first.mac) is None
+
+
+class TestEndToEndRetransmit:
+    def test_dropped_ack_recovered_with_original_message_id(self):
+        """Deposit whose response is dropped; the client's retransmit must
+        succeed idempotently — one stored message, the original id."""
+        deployment = build_deployment(
+            retry_policy=RetryPolicy(max_attempts=4, jitter=0.0)
+        )
+        device = deployment.new_smart_device("meter-1")
+        dropped = []
+
+        def drop_first_ack(destination, source, response):
+            if destination == "mws-sd" and not dropped:
+                dropped.append(response)
+                return None
+            return response
+
+        deployment.network.add_response_interceptor(drop_first_ack)
+        response = device.deposit(
+            deployment.sd_channel("meter-1"), "A1", b"reading"
+        )
+        assert response.accepted
+        assert len(dropped) == 1  # the fault really fired
+        # The dropped ack and the replayed ack carry the same message id.
+        original = DepositResponse.from_bytes(dropped[0])
+        assert response.message_id == original.message_id
+        assert len(deployment.mws.message_db) == 1
+        assert deployment.mws.sda.stats["retransmits_replayed"] == 1
+        assert device.transport.stats["recovered"] == 1
+        deployment.close()
+
+    def test_cross_device_replay_rejected_on_the_wire(self, deployment):
+        """An attacker re-tagging a committed deposit with another device
+        id must be rejected even though the MAC is in the cache."""
+        device = deployment.new_smart_device("meter-1")
+        deployment.new_smart_device("meter-2")
+        request = device.build_deposit("A1", b"reading")
+        first = DepositResponse.from_bytes(
+            deployment.network.send("meter-1", "mws-sd", request.to_bytes())
+        )
+        assert first.accepted
+        forged = DepositRequest.from_bytes(request.to_bytes())
+        forged.device_id = "meter-2"
+        second = DepositResponse.from_bytes(
+            deployment.network.send("meter-2", "mws-sd", forged.to_bytes())
+        )
+        assert not second.accepted
+        assert "replayed" in second.error
+        assert len(deployment.mws.message_db) == 1
+        assert deployment.mws.sda.stats["replayed"] == 1
+
+    def test_admin_status_reports_split_counters(self, deployment):
+        device = deployment.new_smart_device("meter-1")
+        request = device.build_deposit("A1", b"reading")
+        deployment.network.send("meter-1", "mws-sd", request.to_bytes())
+        deployment.network.send("meter-1", "mws-sd", request.to_bytes())
+        status = MwsAdmin(deployment.mws).status()
+        assert status.deposits_accepted == 1
+        assert status.retransmits_served == 1
+        assert status.deposits_replayed == 0
+        assert status.deposits_stale == 0
+        # Retransmits are served, not rejected.
+        assert status.deposits_rejected == 0

@@ -1,0 +1,172 @@
+"""The deterministic fault-injection engine and its network integration."""
+
+import pytest
+
+from repro.errors import (
+    NetworkError,
+    RequestDroppedError,
+    ResponseDroppedError,
+)
+from repro.mathlib.rand import HmacDrbg
+from repro.sim import FaultPlan, FaultSpec, Network, SimClock
+
+
+def echo_network(clock=None):
+    network = Network(clock=clock)
+    network.register("echo", lambda payload: b"echo:" + payload)
+    return network
+
+
+class TestFaultPlanDecisions:
+    def test_clean_plan_touches_nothing(self):
+        plan = FaultPlan(HmacDrbg(b"s"))
+        decision = plan.decide("a", "b", 100)
+        assert decision.faults() == 0
+        assert plan.total_injected() == 0
+
+    def test_same_seed_same_decisions(self):
+        spec = FaultSpec(drop=0.3, duplicate=0.3, corrupt=0.3, delay=0.3)
+        first = FaultPlan(HmacDrbg(b"seed"), default=spec)
+        second = FaultPlan(HmacDrbg(b"seed"), default=spec)
+        decisions_a = [first.decide("a", "b", 64) for _ in range(200)]
+        decisions_b = [second.decide("a", "b", 64) for _ in range(200)]
+        assert decisions_a == decisions_b
+        assert first.counters == second.counters
+
+    def test_probabilities_roughly_respected(self):
+        plan = FaultPlan(HmacDrbg(b"p"), default=FaultSpec(drop=0.25))
+        drops = sum(plan.decide("a", "b", 8).drop for _ in range(2000))
+        assert 350 < drops < 650  # ~500 expected
+
+    def test_per_link_override(self):
+        plan = FaultPlan(HmacDrbg(b"l"), default=FaultSpec())
+        plan.set_link("a", "b", FaultSpec(drop=1.0))
+        assert plan.decide("a", "b", 8).drop
+        assert not plan.decide("b", "a", 8).drop  # response dir clean
+        assert not plan.decide("a", "c", 8).drop
+
+    def test_endpoint_wildcard_override(self):
+        plan = FaultPlan(HmacDrbg(b"w"))
+        plan.set_endpoint("svc", FaultSpec(corrupt=1.0))
+        assert plan.decide("anyone", "svc", 8).corrupt is not None
+        assert plan.decide("svc", "anyone", 8).corrupt is None
+
+    def test_partition_and_heal(self):
+        plan = FaultPlan(HmacDrbg(b"part"))
+        plan.partition("a", "b")
+        assert plan.decide("a", "b", 8).partitioned
+        assert plan.decide("b", "a", 8).partitioned
+        assert not plan.decide("a", "c", 8).drop
+        plan.heal("a", "b")
+        assert not plan.decide("a", "b", 8).drop
+        assert plan.counters["partition_drops"] == 2
+
+    def test_corruption_location_within_payload(self):
+        plan = FaultPlan(HmacDrbg(b"c"), default=FaultSpec(corrupt=1.0))
+        for _ in range(50):
+            index, mask = plan.decide("a", "b", 16).corrupt
+            assert 0 <= index < 16
+            assert mask in {1 << b for b in range(8)}
+
+
+class TestNetworkFaultIntegration:
+    def test_request_drop_surfaces_as_request_dropped(self):
+        network = echo_network()
+        plan = FaultPlan(HmacDrbg(b"d"))
+        plan.set_link("c", "echo", FaultSpec(drop=1.0))
+        network.install_fault_plan(plan)
+        with pytest.raises(RequestDroppedError):
+            network.send("c", "echo", b"x")
+        stats = network.endpoint_stats()["echo"]
+        assert stats.fault_drops == 1
+        assert stats.requests_served == 0  # handler never ran
+
+    def test_response_drop_after_handler_ran(self):
+        """The critical case: the service processed the request but the
+        sender never learns — must be distinguishable from a lost request."""
+        network = echo_network()
+        served = []
+        network.unregister("echo")
+        network.register("echo", lambda p: (served.append(p), b"ok")[1])
+        plan = FaultPlan(HmacDrbg(b"r"))
+        plan.set_link("echo", "c", FaultSpec(drop=1.0))  # response dir only
+        network.install_fault_plan(plan)
+        with pytest.raises(ResponseDroppedError):
+            network.send("c", "echo", b"x")
+        assert served == [b"x"]  # handler DID run
+        assert network.endpoint_stats()["echo"].requests_served == 1
+
+    def test_duplicate_delivers_twice(self):
+        network = Network()
+        hits = []
+        network.register("svc", lambda p: (hits.append(p), b"ok")[1])
+        plan = FaultPlan(HmacDrbg(b"dup"))
+        plan.set_link("c", "svc", FaultSpec(duplicate=1.0))
+        network.install_fault_plan(plan)
+        assert network.send("c", "svc", b"x") == b"ok"
+        assert hits == [b"x", b"x"]
+        assert network.endpoint_stats()["svc"].fault_duplicates == 1
+
+    def test_corrupt_flips_one_bit(self):
+        network = echo_network()
+        plan = FaultPlan(HmacDrbg(b"cor"))
+        plan.set_link("c", "echo", FaultSpec(corrupt=1.0))
+        network.install_fault_plan(plan)
+        response = network.send("c", "echo", b"\x00\x00\x00\x00")
+        corrupted = response[len(b"echo:"):]
+        assert corrupted != b"\x00\x00\x00\x00"
+        assert sum(bin(b).count("1") for b in corrupted) == 1
+        assert network.endpoint_stats()["echo"].fault_corruptions == 1
+
+    def test_delay_advances_sim_clock(self):
+        clock = SimClock(start_us=0)
+        network = echo_network(clock)
+        plan = FaultPlan(
+            HmacDrbg(b"slow"),
+            default=FaultSpec(delay=1.0, min_delay_us=100, max_delay_us=200),
+        )
+        network.install_fault_plan(plan)
+        network.send("c", "echo", b"x")
+        # One delay per direction, each in [100, 200].
+        assert 200 <= clock.now_us() <= 400
+        stats = network.endpoint_stats()["echo"]
+        assert stats.fault_delays == 2
+        assert stats.fault_delay_us == clock.now_us()
+
+    def test_partition_blocks_both_directions(self):
+        network = echo_network()
+        network.register("other", lambda p: p)
+        plan = FaultPlan(HmacDrbg(b"net-split"))
+        plan.partition("c", "echo")
+        network.install_fault_plan(plan)
+        with pytest.raises(NetworkError):
+            network.send("c", "echo", b"x")
+        assert network.send("c", "other", b"x") == b"x"
+        plan.heal_all()
+        assert network.send("c", "echo", b"x") == b"echo:x"
+
+    def test_response_interceptor_can_drop_and_modify(self):
+        network = echo_network()
+        network.add_response_interceptor(lambda dst, src, resp: resp.upper())
+        assert network.send("c", "echo", b"abc") == b"ECHO:ABC"
+        network.clear_interceptors()
+        network.add_response_interceptor(lambda dst, src, resp: None)
+        with pytest.raises(ResponseDroppedError):
+            network.send("c", "echo", b"abc")
+
+    def test_identical_seeds_identical_traffic(self):
+        spec = FaultSpec(drop=0.2, duplicate=0.2, corrupt=0.2)
+
+        def run(seed):
+            network = echo_network()
+            network.install_fault_plan(FaultPlan(HmacDrbg(seed), default=spec))
+            outcomes = []
+            for i in range(100):
+                try:
+                    outcomes.append(network.send("c", "echo", bytes([i])))
+                except NetworkError as exc:
+                    outcomes.append(type(exc).__name__)
+            return outcomes, network.messages_sent
+
+        assert run(b"same") == run(b"same")
+        assert run(b"same") != run(b"different")

@@ -81,8 +81,27 @@ class TestNetwork:
         network.send("b", "echo", b"6")
         assert network.messages_sent == 2
         assert network.bytes_sent == 6
-        requests, bytes_in, bytes_out = network.endpoint_stats()["echo"]
-        assert requests == 2 and bytes_in == 6 and bytes_out == 16
+        stats = network.endpoint_stats()["echo"]
+        assert stats.requests_served == 2
+        assert stats.bytes_in == 6 and stats.bytes_out == 16
+        assert stats.handler_errors == 0
+        # Legacy positional access is preserved.
+        assert stats[0] == 2
+
+    def test_handler_error_not_counted_as_served(self):
+        network = Network()
+
+        def exploding(payload: bytes) -> bytes:
+            raise ValueError("boom")
+
+        network.register("svc", exploding)
+        with pytest.raises(ValueError):
+            network.send("c", "svc", b"x")
+        stats = network.endpoint_stats()["svc"]
+        assert stats.requests_served == 0
+        assert stats.bytes_in == 0
+        assert stats.handler_errors == 1
+        assert network.handler_errors == 1
 
     def test_latency_advances_sim_clock(self):
         clock = SimClock(start_us=0)

@@ -19,6 +19,9 @@ from repro.pki.rsa import RsaPrivateKey, RsaPublicKey
 from repro.pki.x509lite import Certificate
 from repro.wire.messages import (
     Authenticator,
+    BatchDepositRequest,
+    BatchDepositResponse,
+    BatchEntry,
     DepositRequest,
     DepositResponse,
     KeyRequest,
@@ -127,3 +130,171 @@ class TestMutationFuzz:
             except ReproError:
                 continue
             pytest.fail(f"truncation at {cut} accepted: {decoded!r}")
+
+
+# -- encode/decode round-trip properties over every wire dataclass ----------
+
+U64 = st.integers(0, 2**64 - 1)
+SHORT_TEXT = st.text(max_size=16)
+SHORT_BYTES = st.binary(max_size=48)
+
+STORED_MESSAGES = st.builds(
+    StoredMessage,
+    message_id=U64,
+    attribute_id=U64,
+    nonce=SHORT_BYTES,
+    ciphertext=SHORT_BYTES,
+    deposited_at_us=U64,
+)
+BATCH_ENTRIES = st.builds(
+    BatchEntry, attribute=SHORT_TEXT, nonce=SHORT_BYTES, ciphertext=SHORT_BYTES
+)
+
+MESSAGE_STRATEGIES = [
+    (
+        DepositRequest,
+        st.builds(
+            DepositRequest,
+            device_id=SHORT_TEXT,
+            attribute=SHORT_TEXT,
+            nonce=SHORT_BYTES,
+            ciphertext=SHORT_BYTES,
+            timestamp_us=U64,
+            mac=SHORT_BYTES,
+            signature=SHORT_BYTES,
+        ),
+    ),
+    (
+        DepositResponse,
+        st.builds(
+            DepositResponse,
+            accepted=st.booleans(),
+            message_id=U64,
+            error=SHORT_TEXT,
+        ),
+    ),
+    (
+        RetrieveRequest,
+        st.builds(
+            RetrieveRequest,
+            rc_id=SHORT_TEXT,
+            rc_public_key=SHORT_BYTES,
+            auth_blob=SHORT_BYTES,
+            since_us=U64,
+            assertion=SHORT_BYTES,
+        ),
+    ),
+    (StoredMessage, STORED_MESSAGES),
+    (
+        RetrieveResponse,
+        st.builds(
+            RetrieveResponse,
+            token=SHORT_BYTES,
+            rc_nonce=SHORT_BYTES,
+            messages=st.lists(STORED_MESSAGES, max_size=3),
+        ),
+    ),
+    (
+        Ticket,
+        st.builds(
+            Ticket,
+            rc_id=SHORT_TEXT,
+            session_key=SHORT_BYTES,
+            attribute_map=st.dictionaries(U64, SHORT_TEXT, max_size=4),
+            issued_at_us=U64,
+            lifetime_us=U64,
+        ),
+    ),
+    (Token, st.builds(Token, session_key=SHORT_BYTES, sealed_ticket=SHORT_BYTES)),
+    (Authenticator, st.builds(Authenticator, rc_id=SHORT_TEXT, timestamp_us=U64)),
+    (
+        PkgAuthRequest,
+        st.builds(
+            PkgAuthRequest,
+            rc_id=SHORT_TEXT,
+            sealed_ticket=SHORT_BYTES,
+            sealed_authenticator=SHORT_BYTES,
+        ),
+    ),
+    (
+        PkgAuthResponse,
+        st.builds(
+            PkgAuthResponse,
+            ok=st.booleans(),
+            session_id=SHORT_BYTES,
+            error=SHORT_TEXT,
+        ),
+    ),
+    (
+        KeyRequest,
+        st.builds(
+            KeyRequest, session_id=SHORT_BYTES, attribute_id=U64, nonce=SHORT_BYTES
+        ),
+    ),
+    (
+        KeyResponse,
+        st.builds(
+            KeyResponse, ok=st.booleans(), sealed_key=SHORT_BYTES, error=SHORT_TEXT
+        ),
+    ),
+    (BatchEntry, BATCH_ENTRIES),
+    (
+        BatchDepositRequest,
+        st.builds(
+            BatchDepositRequest,
+            device_id=SHORT_TEXT,
+            timestamp_us=U64,
+            entries=st.lists(BATCH_ENTRIES, max_size=3),
+            mac=SHORT_BYTES,
+        ),
+    ),
+    (
+        BatchDepositResponse,
+        st.builds(
+            BatchDepositResponse,
+            accepted=st.booleans(),
+            message_ids=st.lists(U64, max_size=5),
+            error=SHORT_TEXT,
+        ),
+    ),
+]
+
+MESSAGE_IDS = [cls.__name__ for cls, _ in MESSAGE_STRATEGIES]
+
+
+@pytest.mark.parametrize(("cls", "strategy"), MESSAGE_STRATEGIES, ids=MESSAGE_IDS)
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_every_wire_dataclass(cls, strategy, data):
+    message = data.draw(strategy)
+    assert cls.from_bytes(message.to_bytes()) == message
+
+
+@pytest.mark.parametrize(("cls", "strategy"), MESSAGE_STRATEGIES, ids=MESSAGE_IDS)
+@given(data=st.data())
+@settings(max_examples=10, deadline=None)
+def test_truncations_rejected_every_wire_dataclass(cls, strategy, data):
+    encoded = data.draw(strategy).to_bytes()
+    for cut in range(len(encoded)):
+        try:
+            decoded = cls.from_bytes(encoded[:cut])
+        except ReproError:
+            continue
+        pytest.fail(f"{cls.__name__} truncation at {cut} accepted: {decoded!r}")
+
+
+@pytest.mark.parametrize(("cls", "strategy"), MESSAGE_STRATEGIES, ids=MESSAGE_IDS)
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_bit_flips_rejected_or_decode_differently(cls, strategy, data):
+    """A single flipped bit must never yield an object that re-encodes
+    to the original bytes — the property the chaos corruption relies on."""
+    encoded = data.draw(strategy).to_bytes()
+    position = data.draw(st.integers(0, len(encoded) - 1))
+    mutated = bytearray(encoded)
+    mutated[position] ^= 1 << data.draw(st.integers(0, 7))
+    try:
+        decoded = cls.from_bytes(bytes(mutated))
+    except ReproError:
+        return
+    assert decoded.to_bytes() != encoded
