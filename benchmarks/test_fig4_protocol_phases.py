@@ -7,6 +7,8 @@ latency/byte split — the quantitative rendering of the figure.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from benchmarks.conftest import fresh_deployment
@@ -21,7 +23,18 @@ def phase_world():
         "fig4-rc", "pw", attributes=["FIG4-ATTR"]
     )
     driver = ProtocolDriver(deployment)
-    return deployment, device, client, driver
+    yield deployment, device, client, driver
+    # CI's bench-smoke job sets OBS_DUMP_PATH to archive the metrics,
+    # trace and crypto-profile state accumulated across the benchmarks.
+    dump_path = os.environ.get("OBS_DUMP_PATH")
+    if dump_path:
+        with open(dump_path, "w", encoding="utf-8") as handle:
+            handle.write(
+                deployment.obs_dump_json(
+                    meta={"workload": "bench-fig4"}, indent=2
+                )
+            )
+    deployment.close()
 
 
 @pytest.mark.benchmark(group="fig4-phases")

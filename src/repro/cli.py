@@ -51,6 +51,25 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("table1", help="print the reproduced paper Table 1")
     subparsers.add_parser("crypto-check",
                           help="self-test primitives against known vectors")
+
+    obs = subparsers.add_parser(
+        "obs", help="observability: dump metrics/traces/crypto profiles"
+    )
+    obs.add_argument("action", choices=["dump"],
+                     help="'dump': run a workload, emit the obs dump JSON")
+    obs.add_argument("--preset", default="TOY64")
+    obs.add_argument("--seed", default="repro-obs-dump",
+                     help="deployment seed (same seed => byte-identical dump)")
+    obs.add_argument("--messages", type=int, default=5)
+    obs.add_argument("--drop", type=float, default=0.0)
+    obs.add_argument("--duplicate", type=float, default=0.0)
+    obs.add_argument("--corrupt", type=float, default=0.0)
+    obs.add_argument("--retries", type=int, default=0,
+                     help="max retry attempts per operation (0: no retries)")
+    obs.add_argument("--indent", type=int, default=None,
+                     help="pretty-print with this indent (default: compact)")
+    obs.add_argument("--out", default=None,
+                     help="write the JSON here instead of stdout")
     return parser
 
 
@@ -195,12 +214,61 @@ def _cmd_crypto_check(_args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_obs(args) -> int:
+    """Run a small deterministic workload and emit the obs dump JSON."""
+    from repro.clients.transport import RetryPolicy
+    from repro.core.deployment import Deployment, DeploymentConfig
+    from repro.core.protocol import ProtocolDriver
+    from repro.sim.faults import FaultSpec
+
+    faults = FaultSpec(
+        drop=args.drop, duplicate=args.duplicate, corrupt=args.corrupt
+    )
+    policy = (
+        RetryPolicy(max_attempts=args.retries, base_backoff_us=1_000)
+        if args.retries > 0
+        else None
+    )
+    deployment = Deployment.build(
+        DeploymentConfig(
+            preset=args.preset,
+            seed=args.seed.encode(),
+            faults=faults if faults.any_faults() else None,
+            retry_policy=policy,
+        )
+    )
+    try:
+        device = deployment.new_smart_device("obs-meter-001")
+        client = deployment.new_receiving_client(
+            "obs-utility", "obs-password", attributes=["OBS-ATTR"]
+        )
+        deposits = [
+            ("OBS-ATTR", f"reading={index};obs".encode())
+            for index in range(args.messages)
+        ]
+        ProtocolDriver(deployment).run_full(device, client, deposits)
+        text = deployment.obs_dump_json(
+            meta={"workload": "cli-obs-dump", "messages": args.messages},
+            indent=args.indent,
+        )
+    finally:
+        deployment.close()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(text)} bytes to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "serve": _cmd_serve,
     "params": _cmd_params,
     "table1": _cmd_table1,
     "crypto-check": _cmd_crypto_check,
+    "obs": _cmd_obs,
 }
 
 

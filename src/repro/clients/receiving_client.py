@@ -31,6 +31,7 @@ from repro.errors import (
 from repro.ibe.kem import HybridCiphertext, hybrid_decrypt
 from repro.ibe.keys import PublicParams
 from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.obs.tracing import NULL_TRACER
 from repro.pairing.curve import Point
 from repro.pki.rsa import RsaKeyPair, hybrid_open
 from repro.sim.clock import Clock, WallClock
@@ -76,6 +77,8 @@ class ReceivingClient:
         gatekeeper_cipher: str = "DES",
         session_cipher: str = "AES-256",
         retry_policy: RetryPolicy | None = None,
+        registry=None,
+        tracer=None,
     ) -> None:
         self.rc_id = rc_id
         self._password = password
@@ -88,18 +91,29 @@ class ReceivingClient:
         self._key_cache: dict[tuple[int, bytes], Point] = {}
         #: Cached live PKG session: (session_id, session_key) or None.
         self._pkg_session: tuple[bytes, bytes] | None = None
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         #: Retrying transport; every retrieval/PKG operation is either a
         #: pure read or rebuilt with a fresh nonce per attempt, so
         #: retries never trip the server-side replay caches.
-        self.transport = RetryingTransport(retry_policy, self._clock, self._rng)
-        self.stats = {
-            "retrievals": 0,
-            "keys_fetched": 0,
-            "cache_hits": 0,
-            "decrypted": 0,
-            "pkg_auths": 0,
-            "session_reuses": 0,
-        }
+        self.transport = RetryingTransport(
+            retry_policy,
+            self._clock,
+            self._rng,
+            registry=registry,
+            name=f"client.rc.{rc_id}.transport",
+        )
+        stat_keys = (
+            "retrievals",
+            "keys_fetched",
+            "cache_hits",
+            "decrypted",
+            "pkg_auths",
+            "session_reuses",
+        )
+        if registry is not None:
+            self.stats = registry.stats_dict(f"client.rc.{rc_id}", stat_keys)
+        else:
+            self.stats = {key: 0 for key in stat_keys}
 
     # -- phase 2: MWS-RC ----------------------------------------------------
 
@@ -149,6 +163,10 @@ class ReceivingClient:
         """
 
         def attempt() -> RetrieveResponse:
+            with self._tracer.span("rc.retrieve_attempt"):
+                return attempt_inner()
+
+        def attempt_inner() -> RetrieveResponse:
             raw = channel.request(
                 self.build_retrieve_request(since_us, assertion).to_bytes()
             )
@@ -179,10 +197,11 @@ class ReceivingClient:
 
     def open_token(self, sealed_token: bytes) -> Token:
         """Open the token with the RC's RSA private key."""
-        try:
-            return Token.from_bytes(hybrid_open(self._rsa.private, sealed_token))
-        except DecryptionError as exc:
-            raise TicketError(f"token failed to open: {exc}") from exc
+        with self._tracer.span("rc.open_token"):
+            try:
+                return Token.from_bytes(hybrid_open(self._rsa.private, sealed_token))
+            except DecryptionError as exc:
+                raise TicketError(f"token failed to open: {exc}") from exc
 
     # -- phase 3: RC-PKG --------------------------------------------------------
 
@@ -195,23 +214,26 @@ class ReceivingClient:
         """
 
         def attempt() -> PkgAuthResponse:
-            authenticator = Authenticator(
-                rc_id=self.rc_id, timestamp_us=self._clock.now_us()
-            )
-            scheme = SymmetricScheme(
-                self._session_cipher, token.session_key, mac=True, rng=self._rng
-            )
-            request = PkgAuthRequest(
-                rc_id=self.rc_id,
-                sealed_ticket=token.sealed_ticket,
-                sealed_authenticator=scheme.seal(authenticator.to_bytes()),
-            )
-            response = PkgAuthResponse.from_bytes(
-                channel.request(b"\x01" + request.to_bytes())
-            )
-            if not response.ok:
-                raise TicketError(f"PKG rejected authentication: {response.error}")
-            return response
+            with self._tracer.span("rc.pkg_auth_attempt"):
+                authenticator = Authenticator(
+                    rc_id=self.rc_id, timestamp_us=self._clock.now_us()
+                )
+                scheme = SymmetricScheme(
+                    self._session_cipher, token.session_key, mac=True, rng=self._rng
+                )
+                request = PkgAuthRequest(
+                    rc_id=self.rc_id,
+                    sealed_ticket=token.sealed_ticket,
+                    sealed_authenticator=scheme.seal(authenticator.to_bytes()),
+                )
+                response = PkgAuthResponse.from_bytes(
+                    channel.request(b"\x01" + request.to_bytes())
+                )
+                if not response.ok:
+                    raise TicketError(
+                        f"PKG rejected authentication: {response.error}"
+                    )
+                return response
 
         response = self.transport.call(
             attempt, transient=(NetworkError, DecodeError, TicketError)
@@ -243,13 +265,16 @@ class ReceivingClient:
 
         def attempt() -> Point:
             # A pure idempotent read: resending the same bytes is safe.
-            response = KeyResponse.from_bytes(channel.request(raw))
-            if not response.ok:
-                raise TicketError(f"PKG refused key extraction: {response.error}")
-            scheme = SymmetricScheme(self._session_cipher, session_key, mac=True)
-            return self._public.params.curve.from_bytes(
-                scheme.open(response.sealed_key)
-            )
+            with self._tracer.span("rc.fetch_key_attempt"):
+                response = KeyResponse.from_bytes(channel.request(raw))
+                if not response.ok:
+                    raise TicketError(
+                        f"PKG refused key extraction: {response.error}"
+                    )
+                scheme = SymmetricScheme(self._session_cipher, session_key, mac=True)
+                return self._public.params.curve.from_bytes(
+                    scheme.open(response.sealed_key)
+                )
 
         # TicketError is deliberately NOT transient here: it signals an
         # expired session, which retrieve_and_decrypt cures by
@@ -265,6 +290,10 @@ class ReceivingClient:
     # -- end-to-end convenience ---------------------------------------------------
 
     def decrypt_message(self, message: StoredMessage, private_point: Point) -> bytes:
+        with self._tracer.span("rc.ibe_decrypt"):
+            return self._decrypt_message(message, private_point)
+
+    def _decrypt_message(self, message: StoredMessage, private_point: Point) -> bytes:
         ciphertext = HybridCiphertext.from_bytes(
             message.ciphertext, self._public.params
         )

@@ -23,6 +23,7 @@ from repro.errors import DecodeError, NetworkError, ProtocolError
 from repro.ibe.kem import hybrid_encrypt
 from repro.ibe.keys import PublicParams
 from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.clock import Clock, WallClock
 from repro.sim.network import Channel
 from repro.wire.messages import (
@@ -57,6 +58,8 @@ class SmartDevice:
         use_nonce: bool = True,
         signer=None,
         retry_policy: RetryPolicy | None = None,
+        registry=None,
+        tracer=None,
     ) -> None:
         self.device_id = device_id
         self._public = public_params
@@ -71,10 +74,22 @@ class SmartDevice:
         #: deposits additionally carry a non-repudiable identity-based
         #: signature (§VIII future work).
         self._signer = signer
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         #: Retrying transport; with ``retry_policy=None`` it is a plain
         #: single-attempt pass-through.
-        self.transport = RetryingTransport(retry_policy, self._clock, self._rng)
-        self.stats = {"deposits_built": 0}
+        self.transport = RetryingTransport(
+            retry_policy,
+            self._clock,
+            self._rng,
+            registry=registry,
+            name=f"client.sd.{device_id}.transport",
+        )
+        if registry is not None:
+            self.stats = registry.stats_dict(
+                f"client.sd.{device_id}", ["deposits_built"]
+            )
+        else:
+            self.stats = {"deposits_built": 0}
 
     def build_deposit(self, attribute: str, message: bytes) -> DepositRequest:
         """Encrypt ``message`` under ``attribute`` and MAC the deposit.
@@ -82,27 +97,35 @@ class SmartDevice:
         This is the full §V.D SD-side computation; it does not touch the
         network, so benchmarks can measure device cost in isolation.
         """
-        nonce = self._rng.randbytes(NONCE_LENGTH) if self._use_nonce else b""
-        identity = identity_string(attribute, nonce)
-        ciphertext = hybrid_encrypt(
-            self._public,
-            identity,
-            message,
-            cipher_name=self._cipher_name,
-            rng=self._rng,
-        )
-        request = DepositRequest(
-            device_id=self.device_id,
-            attribute=attribute,
-            nonce=nonce,
-            ciphertext=ciphertext.to_bytes(),
-            timestamp_us=self._clock.now_us(),
-        )
-        request.mac = compute_deposit_mac(self._shared_key, request.mac_payload())
-        if self._signer is not None:
-            request.signature = self._signer.sign(request.mac_payload()).to_bytes()
-        self.stats["deposits_built"] += 1
-        return request
+        with self._tracer.span("sd.build_deposit") as span:
+            span.annotate("message_bytes", len(message))
+            nonce = self._rng.randbytes(NONCE_LENGTH) if self._use_nonce else b""
+            identity = identity_string(attribute, nonce)
+            with self._tracer.span("sd.ibe_encrypt"):
+                ciphertext = hybrid_encrypt(
+                    self._public,
+                    identity,
+                    message,
+                    cipher_name=self._cipher_name,
+                    rng=self._rng,
+                )
+            request = DepositRequest(
+                device_id=self.device_id,
+                attribute=attribute,
+                nonce=nonce,
+                ciphertext=ciphertext.to_bytes(),
+                timestamp_us=self._clock.now_us(),
+            )
+            with self._tracer.span("sd.mac"):
+                request.mac = compute_deposit_mac(
+                    self._shared_key, request.mac_payload()
+                )
+            if self._signer is not None:
+                request.signature = self._signer.sign(
+                    request.mac_payload()
+                ).to_bytes()
+            self.stats["deposits_built"] += 1
+            return request
 
     def build_batch(self, items: list[tuple[str, bytes]]) -> BatchDepositRequest:
         """Encrypt each ``(attribute, message)`` item and MAC the batch.
@@ -172,11 +195,13 @@ class SmartDevice:
         raw = self.build_deposit(attribute, message).to_bytes()
 
         def attempt() -> DepositResponse:
-            response = DepositResponse.from_bytes(channel.request(raw))
-            if not response.accepted:
-                raise ProtocolError(
-                    f"MWS rejected deposit from {self.device_id!r}: {response.error}"
-                )
-            return response
+            with self._tracer.span("sd.deposit_attempt"):
+                response = DepositResponse.from_bytes(channel.request(raw))
+                if not response.accepted:
+                    raise ProtocolError(
+                        f"MWS rejected deposit from {self.device_id!r}: "
+                        f"{response.error}"
+                    )
+                return response
 
         return self.transport.call(attempt, transient=_DEPOSIT_TRANSIENT)

@@ -84,16 +84,17 @@ class RetryingTransport:
         policy: RetryPolicy | None,
         clock: Clock,
         rng: RandomSource | None = None,
+        registry=None,
+        name: str = "transport",
     ) -> None:
         self.policy = policy
         self._clock = clock
         self._rng = rng
-        self.stats = {
-            "attempts": 0,
-            "retries": 0,
-            "recovered": 0,
-            "exhausted": 0,
-        }
+        keys = ("attempts", "retries", "recovered", "exhausted")
+        if registry is not None:
+            self.stats = registry.stats_dict(name, keys)
+        else:
+            self.stats = {key: 0 for key in keys}
 
     def _pause(self, backoff_us: int) -> None:
         if backoff_us <= 0:

@@ -21,6 +21,10 @@ from repro.clients.transport import RetryPolicy
 from repro.core.conventions import SESSION_KEY_LENGTH
 from repro.mathlib.rand import HmacDrbg, RandomSource
 from repro.mws.service import MessageWarehousingService, MwsConfig
+from repro.obs import crypto as obs_crypto
+from repro.obs.export import build_dump, dump_to_json
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.pki.rsa import RsaKeyPair, generate_rsa_keypair
 from repro.pkg.service import PkgConfig, PrivateKeyGenerator
 from repro.sim.clock import Clock, SimClock
@@ -88,6 +92,9 @@ class Deployment:
         mws: MessageWarehousingService,
         pkg: PrivateKeyGenerator,
         rng: HmacDrbg,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        crypto_counters: obs_crypto.CryptoCounters | None = None,
     ) -> None:
         self.config = config
         self.clock = clock
@@ -96,6 +103,11 @@ class Deployment:
         self.mws = mws
         self.pkg = pkg
         self._rng = rng
+        #: Deployment-wide observability: one registry and one tracer
+        #: shared by every component (see repro.obs).
+        self.registry = registry if registry is not None else MetricsRegistry(clock)
+        self.tracer = tracer if tracer is not None else Tracer(clock)
+        self.crypto_counters = crypto_counters
 
     # -- construction ----------------------------------------------------
 
@@ -111,6 +123,14 @@ class Deployment:
         # on timestamps never collide for honest traffic.
         clock = clock if clock is not None else SimClock(tick_us=7)
         rng = HmacDrbg(config.seed)
+        registry = MetricsRegistry(clock)
+        tracer = Tracer(clock)
+        # Process-global crypto profiler (last built deployment wins);
+        # exported through the registry so pairing counts land in the
+        # same snapshot as everything else.
+        crypto_counters = obs_crypto.CryptoCounters()
+        obs_crypto.install(crypto_counters)
+        registry.add_collector(crypto_counters.as_dict)
         master = setup(
             config.preset,
             rng=rng.fork(b"master"),
@@ -129,6 +149,8 @@ class Deployment:
             clock=clock,
             rng=rng.fork(b"mws"),
             config=mws_config,
+            registry=registry,
+            tracer=tracer,
         )
         pkg = PrivateKeyGenerator(
             master,
@@ -136,17 +158,34 @@ class Deployment:
             clock=clock,
             rng=rng.fork(b"pkg"),
             config=config.pkg,
+            registry=registry,
+            tracer=tracer,
         )
-        network = Network(clock=clock, latency_us=config.latency_us)
+        network = Network(
+            clock=clock, latency_us=config.latency_us, registry=registry
+        )
         network.register(MWS_SD_ENDPOINT, mws.deposit_handler)
         network.register(MWS_SD_BATCH_ENDPOINT, mws.batch_deposit_handler)
         network.register(MWS_CLIENT_ENDPOINT, mws.retrieve_handler)
         network.register(PKG_ENDPOINT, pkg.handler)
         if config.faults is not None:
             network.install_fault_plan(
-                FaultPlan(rng.fork(b"faults"), default=config.faults)
+                FaultPlan(
+                    rng.fork(b"faults"), default=config.faults, registry=registry
+                )
             )
-        return cls(config, clock, network, master, mws, pkg, rng)
+        return cls(
+            config,
+            clock,
+            network,
+            master,
+            mws,
+            pkg,
+            rng,
+            registry=registry,
+            tracer=tracer,
+            crypto_counters=crypto_counters,
+        )
 
     # -- party factories -----------------------------------------------------
 
@@ -189,6 +228,8 @@ class Deployment:
             use_nonce=self.config.use_nonce,
             signer=signer,
             retry_policy=self.config.retry_policy,
+            registry=self.registry,
+            tracer=self.tracer,
         )
 
     def new_receiving_client(
@@ -222,6 +263,8 @@ class Deployment:
             gatekeeper_cipher=self.config.gatekeeper_cipher,
             session_cipher=self.config.pkg.session_cipher,
             retry_policy=self.config.retry_policy,
+            registry=self.registry,
+            tracer=self.tracer,
         )
 
     # -- channels ---------------------------------------------------------------
@@ -238,6 +281,32 @@ class Deployment:
     def rc_pkg_channel(self, rc_id: str) -> Channel:
         return self.network.channel(rc_id, PKG_ENDPOINT)
 
+    # -- observability ----------------------------------------------------------
+
+    def obs_dump(self, meta: dict | None = None) -> dict:
+        """The full observability state (metrics + trace + crypto counts).
+
+        Byte-identical across same-seed runs when serialised with
+        :func:`repro.obs.export.dump_to_json`.
+        """
+        info = {
+            "preset": self.config.preset,
+            "pairing_algorithm": self.config.pairing_algorithm,
+            "seed": self.config.seed.hex(),
+        }
+        if meta:
+            info.update(meta)
+        return build_dump(
+            self.registry,
+            tracer=self.tracer,
+            crypto=self.crypto_counters,
+            meta=info,
+        )
+
+    def obs_dump_json(self, meta: dict | None = None, indent: int | None = None) -> str:
+        return dump_to_json(self.obs_dump(meta), indent=indent)
+
     def close(self) -> None:
         """Release underlying resources."""
         self.mws.close()
+        obs_crypto.uninstall(self.crypto_counters)

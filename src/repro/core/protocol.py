@@ -111,7 +111,8 @@ class ProtocolDriver:
         action,
         transport: RetryingTransport | None = None,
     ):
-        network = self._deployment.network
+        deployment = self._deployment
+        network = deployment.network
         plan = network.fault_plan
         messages_before = network.messages_sent
         bytes_before = network.bytes_sent
@@ -119,30 +120,41 @@ class ProtocolDriver:
         retries_before = transport.stats["retries"] if transport else 0
         recovered_before = transport.stats["recovered"] if transport else 0
         started = time.perf_counter()
-        result = action()
-        transcript.timings.append(
-            PhaseTiming(
-                phase=phase,
-                duration_s=time.perf_counter() - started,
-                network_messages=network.messages_sent - messages_before,
-                network_bytes=network.bytes_sent - bytes_before,
-                faults_injected=(
-                    plan.total_injected() - faults_before
-                    if plan is not None
-                    else 0
-                ),
-                retries=(
-                    transport.stats["retries"] - retries_before
-                    if transport
-                    else 0
-                ),
-                recovered=(
-                    transport.stats["recovered"] - recovered_before
-                    if transport
-                    else 0
-                ),
-            )
+        # The phase span is the root of the trace tree: every client and
+        # server span opened while the action runs nests underneath it.
+        with deployment.tracer.span(f"phase.{phase}") as span:
+            result = action()
+        timing = PhaseTiming(
+            phase=phase,
+            duration_s=time.perf_counter() - started,
+            network_messages=network.messages_sent - messages_before,
+            network_bytes=network.bytes_sent - bytes_before,
+            faults_injected=(
+                plan.total_injected() - faults_before
+                if plan is not None
+                else 0
+            ),
+            retries=(
+                transport.stats["retries"] - retries_before
+                if transport
+                else 0
+            ),
+            recovered=(
+                transport.stats["recovered"] - recovered_before
+                if transport
+                else 0
+            ),
         )
+        span.annotate("network_messages", timing.network_messages)
+        span.annotate("network_bytes", timing.network_bytes)
+        span.annotate("faults_injected", timing.faults_injected)
+        span.annotate("retries", timing.retries)
+        span.annotate("recovered", timing.recovered)
+        # Sim-time duration histogram: deterministic, unlike duration_s.
+        deployment.registry.histogram(
+            f"protocol.phase.{phase}.duration_us"
+        ).observe(span.end_us - span.start_us)
+        transcript.timings.append(timing)
         return result
 
     def run_deposits(
@@ -155,10 +167,13 @@ class ProtocolDriver:
         transcript = transcript if transcript is not None else ProtocolTranscript()
         channel = self._deployment.sd_channel(device.device_id)
 
+        registry = self._deployment.registry
+
         def action():
             ids = []
             for attribute, message in deposits:
-                response = device.deposit(channel, attribute, message)
+                with registry.timer("protocol.deposit.duration_us"):
+                    response = device.deposit(channel, attribute, message)
                 ids.append(response.message_id)
             return ids
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.errors import DecodeError
 from repro.ibe.keys import IdentityPrivateKey, PublicParams, _decode_blob, _encode_blob
 from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.obs import crypto as _obs_crypto
 from repro.pairing.curve import Point
 from repro.pairing.hashing import gt_to_bytes, mask_bytes
 from repro.pairing.params import BFParams
@@ -57,6 +58,9 @@ class BasicIdent:
 
     def encrypt(self, identity: bytes, message: bytes) -> BasicCiphertext:
         """Encrypt ``message`` to the holder of ``identity``'s private key."""
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.ibe_encrypts += 1
         params = self._public.params
         q_id = self._public.hash_identity(identity)
         r = params.random_scalar(self._rng)
@@ -67,6 +71,9 @@ class BasicIdent:
     def decrypt(self, private_key: IdentityPrivateKey, ciphertext: BasicCiphertext) -> bytes:
         """Decrypt with ``d_ID``; any key yields *some* bytes (CPA scheme:
         authenticity comes from the layers above)."""
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.ibe_decrypts += 1
         g = self._public.pair(private_key.point, ciphertext.u)
         mask = mask_bytes(gt_to_bytes(g), len(ciphertext.v))
         return _xor(ciphertext.v, mask)

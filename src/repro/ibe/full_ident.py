@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.errors import DecodeError, DecryptionError
 from repro.ibe.keys import IdentityPrivateKey, PublicParams, _decode_blob, _encode_blob
 from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.obs import crypto as _obs_crypto
 from repro.pairing.curve import Point
 from repro.pairing.hashing import gt_to_bytes, hash_to_scalar, mask_bytes
 from repro.pairing.params import BFParams
@@ -65,6 +66,9 @@ class FullIdent:
 
     def encrypt(self, identity: bytes, message: bytes) -> FullCiphertext:
         """FO-transformed encryption of ``message`` to ``identity``."""
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.ibe_encrypts += 1
         params = self._public.params
         q_id = self._public.hash_identity(identity)
         sigma = self._rng.randbytes(_SIGMA_LEN)
@@ -81,6 +85,9 @@ class FullIdent:
         i.e. for any ciphertext not produced by honest encryption under
         this identity.
         """
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.ibe_decrypts += 1
         params = self._public.params
         if len(ciphertext.v) != _SIGMA_LEN:
             raise DecryptionError(

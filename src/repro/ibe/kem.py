@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.errors import DecodeError
 from repro.ibe.keys import PublicParams, _decode_blob, _encode_blob
 from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.obs import crypto as _obs_crypto
 from repro.pairing.curve import Point
 from repro.pairing.hashing import gt_to_bytes, mask_bytes
 from repro.pairing.params import BFParams
@@ -42,6 +43,9 @@ class IbeKem:
 
         ``K = KDF(e(I, P_pub)^r)`` where ``I = H1(identity)``.
         """
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.kem_encapsulations += 1
         params = self._public.params
         i_point = self._public.hash_identity(identity)
         r = params.random_scalar(self._rng)
@@ -51,6 +55,9 @@ class IbeKem:
 
     def decapsulate(self, private_point: Point, r_p: Point, key_length: int) -> bytes:
         """Recompute ``K`` from ``sI`` (the extracted key) and ``rP``."""
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.kem_decapsulations += 1
         shared = self._public.pair(private_point, r_p)
         return mask_bytes(gt_to_bytes(shared), key_length, _KEM_DOMAIN)
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.errors import DecodeError, ParameterError
 from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.obs import crypto as _obs_crypto
 from repro.pairing.curve import Point
 from repro.pairing.fields import Fp2Element
 from repro.pairing.hashing import hash_to_point
@@ -81,6 +82,9 @@ class MasterKeyPair:
 
     def extract(self, identity: bytes) -> "IdentityPrivateKey":
         """Extract: d_ID = s * H1(identity) — the paper's §IV Extract."""
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.key_extractions += 1
         q_id = self.public.hash_identity(identity)
         return IdentityPrivateKey(
             identity=bytes(identity), point=self.master_secret * q_id
@@ -89,6 +93,9 @@ class MasterKeyPair:
     def extract_point(self, q_id: Point) -> Point:
         """Extract from an already-hashed point (used by the PKG service,
         which receives ``A || Nonce`` and hashes it itself)."""
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.key_extractions += 1
         return self.master_secret * q_id
 
 

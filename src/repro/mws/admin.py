@@ -39,6 +39,13 @@ class MwsStatus:
     retrievals_served: int
     tokens_issued: int
     alerts: int
+    #: Deposits that failed to parse before reaching the SDA (the field
+    #: set below this line extends the pre-observability report; new
+    #: fields append so ``as_rows()`` keeps the historical order).
+    deposits_malformed: int = 0
+    messages_served: int = 0
+    policy_denials: int = 0
+    gatekeeper_rejections: int = 0
 
     def as_rows(self) -> list[tuple[str, int]]:
         """(name, value) rows for rendering."""
@@ -54,9 +61,11 @@ class MwsAdmin:
     def status(self) -> MwsStatus:
         """Aggregate counters from every Fig. 3 component."""
         sda = self._mws.sda.stats
-        rejected = sda["bad_mac"] + sda["replayed"] + sda["unknown_device"]
-        rejected += sda.get("stale_timestamp", 0)
-        rejected += sda.get("bad_signature", 0)
+        # Derive the rejection total from the registry's name prefix
+        # rather than summing a hard-coded key list: a rejection counter
+        # added (or renamed) under ``mws.sda.rejections.`` can no longer
+        # silently drop out of the report.
+        rejected = self._mws.registry.sum_prefix("mws.sda.rejections.")
         return MwsStatus(
             messages_stored=len(self._mws.message_db),
             attributes_in_use=len(self._mws.message_db.attributes()),
@@ -71,7 +80,17 @@ class MwsAdmin:
             retrievals_served=self._mws.mms.stats["retrievals"],
             tokens_issued=self._mws.token_generator.stats["tokens_issued"],
             alerts=len(self._mws.alerts),
+            deposits_malformed=self._mws.registry.counter(
+                "mws.deposits.malformed"
+            ).value,
+            messages_served=self._mws.mms.stats["messages_served"],
+            policy_denials=self._mws.mms.stats["policy_denials"],
+            gatekeeper_rejections=self._mws.gatekeeper.stats["rejected"],
         )
+
+    def metrics(self) -> dict[str, int]:
+        """Every counter the MWS registry knows, by canonical name."""
+        return self._mws.registry.counter_values()
 
     def recent_alerts(self, limit: int = 20) -> list[tuple[str, str]]:
         """The latest (device, reason) alerts, newest last."""

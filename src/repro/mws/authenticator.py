@@ -26,6 +26,7 @@ from typing import Callable
 from repro.core.conventions import compute_deposit_mac
 from repro.errors import MacMismatchError, ReplayError, UnknownIdentityError
 from repro.hashes.hmac import constant_time_equal
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.clock import Clock
 from repro.storage.keystore import DeviceKeyStore
 from repro.wire.messages import DepositRequest
@@ -33,6 +34,19 @@ from repro.wire.messages import DepositRequest
 __all__ = ["SmartDeviceAuthenticator"]
 
 AlertSink = Callable[[str, str], None]
+
+#: Registry names for the SDA's stats keys.  Every rejection reason is
+#: parked under ``mws.sda.rejections.`` so aggregate totals can be
+#: derived with ``sum_prefix`` instead of a hand-maintained key list.
+_STAT_NAMES = {
+    "accepted": "mws.sda.accepted",
+    "retransmits_replayed": "mws.sda.retransmits_replayed",
+    "bad_mac": "mws.sda.rejections.bad_mac",
+    "replayed": "mws.sda.rejections.replayed",
+    "stale_timestamp": "mws.sda.rejections.stale_timestamp",
+    "unknown_device": "mws.sda.rejections.unknown_device",
+    "bad_signature": "mws.sda.rejections.bad_signature",
+}
 
 
 class SmartDeviceAuthenticator:
@@ -47,6 +61,8 @@ class SmartDeviceAuthenticator:
         alert_sink: AlertSink | None = None,
         signature_verifier=None,
         require_signature: bool = False,
+        registry=None,
+        tracer=None,
     ) -> None:
         self._keystore = keystore
         self._clock = clock
@@ -63,16 +79,14 @@ class SmartDeviceAuthenticator:
         #: signatures in addition to the MAC.
         self._signature_verifier = signature_verifier
         self._require_signature = require_signature
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         #: Counters for the FIG3 component bench and admin dashboards.
-        self.stats = {
-            "accepted": 0,
-            "bad_mac": 0,
-            "replayed": 0,
-            "stale_timestamp": 0,
-            "retransmits_replayed": 0,
-            "unknown_device": 0,
-            "bad_signature": 0,
-        }
+        #: Dict-shaped either way; with a registry they are live views of
+        #: ``mws.sda.*`` counters (see :data:`_STAT_NAMES`).
+        if registry is not None:
+            self.stats = registry.stats_dict("mws.sda", names=_STAT_NAMES)
+        else:
+            self.stats = {key: 0 for key in _STAT_NAMES}
 
     def _alert(self, device_id: str, reason: str) -> None:
         if self._alert_sink is not None:
@@ -110,13 +124,15 @@ class SmartDeviceAuthenticator:
             self.stats["unknown_device"] += 1
             self._alert(device_id, "unknown device")
             raise
-        expected = compute_deposit_mac(shared_key, payload)
-        if not constant_time_equal(expected, mac):
-            self.stats["bad_mac"] += 1
-            self._alert(device_id, "MAC mismatch")
-            raise MacMismatchError(
-                f"deposit from {device_id!r} failed MAC verification"
-            )
+        with self._tracer.span("sda.mac_verify") as span:
+            span.annotate("payload_bytes", len(payload))
+            expected = compute_deposit_mac(shared_key, payload)
+            if not constant_time_equal(expected, mac):
+                self.stats["bad_mac"] += 1
+                self._alert(device_id, "MAC mismatch")
+                raise MacMismatchError(
+                    f"deposit from {device_id!r} failed MAC verification"
+                )
         now_us = self._clock.now_us()
         if abs(now_us - timestamp_us) > self._max_skew_us:
             self.stats["stale_timestamp"] += 1

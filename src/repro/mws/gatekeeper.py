@@ -15,6 +15,7 @@ from collections import OrderedDict
 
 from repro.core.conventions import derive_password_key
 from repro.errors import AuthenticationError, DecryptionError, ReplayError
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.clock import Clock
 from repro.storage.user_db import UserDatabase
 from repro.symciph.cipher import SymmetricScheme
@@ -34,6 +35,8 @@ class Gatekeeper:
         max_skew_us: int = 300 * 1_000_000,
         nonce_cache_size: int = 65536,
         assertion_validator=None,
+        registry=None,
+        tracer=None,
     ) -> None:
         self._user_db = user_db
         self._clock = clock
@@ -44,7 +47,13 @@ class Gatekeeper:
         #: Optional repro.policy.assertions.AssertionValidator enabling
         #: IdP-issued assertions as an alternative credential (§VIII SAML).
         self._assertion_validator = assertion_validator
-        self.stats = {"authenticated": 0, "rejected": 0, "assertion_auths": 0}
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        if registry is not None:
+            self.stats = registry.stats_dict(
+                "mws.gatekeeper", ["authenticated", "rejected", "assertion_auths"]
+            )
+        else:
+            self.stats = {"authenticated": 0, "rejected": 0, "assertion_auths": 0}
 
     @property
     def cipher_name(self) -> str:
@@ -58,6 +67,10 @@ class Gatekeeper:
         Raises :class:`AuthenticationError` (bad credentials),
         :class:`ReplayError` (stale T / reused N) with specific messages.
         """
+        with self._tracer.span("gatekeeper.auth"):
+            return self._authenticate(request)
+
+    def _authenticate(self, request: RetrieveRequest) -> bytes:
         if request.assertion:
             return self._authenticate_assertion(request)
         password_hash = self._user_db.password_key(request.rc_id)

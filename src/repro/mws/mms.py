@@ -31,11 +31,17 @@ class MessageManagementSystem:
         message_db: MessageDatabase,
         policy_db: PolicyDatabase,
         policy_engine=None,
+        registry=None,
     ) -> None:
         self._message_db = message_db
         self._policy_db = policy_db
         self._policy_engine = policy_engine
-        self.stats = {"retrievals": 0, "messages_served": 0, "policy_denials": 0}
+        if registry is not None:
+            self.stats = registry.stats_dict(
+                "mws.mms", ["retrievals", "messages_served", "policy_denials"]
+            )
+        else:
+            self.stats = {"retrievals": 0, "messages_served": 0, "policy_denials": 0}
 
     @property
     def policy_db(self) -> PolicyDatabase:

@@ -20,6 +20,8 @@ from repro.mws.authenticator import SmartDeviceAuthenticator
 from repro.mws.gatekeeper import Gatekeeper
 from repro.mws.mms import MessageManagementSystem
 from repro.mws.token_gen import TokenGenerator
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER
 from repro.pki.rsa import RsaPublicKey
 from repro.sim.clock import Clock, SimClock
 from repro.storage.engine import RecordStore
@@ -76,10 +78,19 @@ class MessageWarehousingService:
         rng: RandomSource | None = None,
         config: MwsConfig | None = None,
         policy_engine=None,
+        registry: MetricsRegistry | None = None,
+        tracer=None,
     ) -> None:
         self._clock = clock if clock is not None else SimClock()
         self._rng = rng if rng is not None else SystemRandomSource()
         self._config = config if config is not None else MwsConfig()
+        #: One registry backs every component counter; a standalone MWS
+        #: gets its own so the admin surface works without a deployment.
+        self.registry = (
+            registry if registry is not None else MetricsRegistry(self._clock)
+        )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._malformed = self.registry.counter("mws.deposits.malformed")
         self.message_db = MessageDatabase(self._config.message_store)
         self.policy_db = PolicyDatabase(self._config.policy_store)
         self.user_db = UserDatabase(self._config.user_store)
@@ -92,9 +103,14 @@ class MessageWarehousingService:
             alert_sink=lambda device, reason: self.alerts.append((device, reason)),
             signature_verifier=self._config.device_signature_verifier,
             require_signature=self._config.require_device_signature,
+            registry=self.registry,
+            tracer=self.tracer,
         )
         self.mms = MessageManagementSystem(
-            self.message_db, self.policy_db, policy_engine=policy_engine
+            self.message_db,
+            self.policy_db,
+            policy_engine=policy_engine,
+            registry=self.registry,
         )
         self.token_generator = TokenGenerator(
             mws_pkg_key,
@@ -102,6 +118,8 @@ class MessageWarehousingService:
             self._rng,
             cipher_name=self._config.token_cipher,
             ticket_lifetime_us=self._config.ticket_lifetime_us,
+            registry=self.registry,
+            tracer=self.tracer,
         )
         self.gatekeeper = Gatekeeper(
             self.user_db,
@@ -109,6 +127,8 @@ class MessageWarehousingService:
             cipher_name=self._config.gatekeeper_cipher,
             max_skew_us=self._config.max_skew_us,
             assertion_validator=self._config.assertion_validator,
+            registry=self.registry,
+            tracer=self.tracer,
         )
 
     @property
@@ -223,6 +243,7 @@ class MessageWarehousingService:
         try:
             request = DepositRequest.from_bytes(payload)
         except ReproError as exc:
+            self._malformed.inc()
             return DepositResponse(accepted=False, error=f"malformed: {exc}").to_bytes()
         return self.handle_deposit(request).to_bytes()
 
@@ -231,6 +252,7 @@ class MessageWarehousingService:
         try:
             request = BatchDepositRequest.from_bytes(payload)
         except ReproError as exc:
+            self._malformed.inc()
             return BatchDepositResponse(
                 accepted=False, error=f"malformed: {exc}"
             ).to_bytes()

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.core.conventions import SESSION_KEY_LENGTH
 from repro.mathlib.rand import RandomSource
+from repro.obs.tracing import NULL_TRACER
 from repro.pki.rsa import RsaPublicKey, hybrid_seal
 from repro.sim.clock import Clock
 from repro.symciph.cipher import SymmetricScheme
@@ -35,6 +36,8 @@ class TokenGenerator:
         rng: RandomSource,
         cipher_name: str = "AES-128",
         ticket_lifetime_us: int | None = None,
+        registry=None,
+        tracer=None,
     ) -> None:
         self._mws_pkg_key = mws_pkg_key
         self._clock = clock
@@ -45,7 +48,11 @@ class TokenGenerator:
             if ticket_lifetime_us is not None
             else self.DEFAULT_TICKET_LIFETIME_US
         )
-        self.stats = {"tokens_issued": 0}
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        if registry is not None:
+            self.stats = registry.stats_dict("mws.tg", ["tokens_issued"])
+        else:
+            self.stats = {"tokens_issued": 0}
 
     def issue(
         self,
@@ -60,24 +67,26 @@ class TokenGenerator:
         then seals ``session_key || ticket`` under the RC's public key.
         Returns the sealed token bytes ready for transmission.
         """
-        session_key = self._rng.randbytes(SESSION_KEY_LENGTH)
-        ticket = Ticket(
-            rc_id=rc_id,
-            session_key=session_key,
-            attribute_map=dict(attribute_map),
-            issued_at_us=self._clock.now_us(),
-            lifetime_us=self._ticket_lifetime_us,
-        )
-        ticket_scheme = SymmetricScheme(
-            "AES-256", self._ticket_key(), mac=True, rng=self._rng
-        )
-        sealed_ticket = ticket_scheme.seal(ticket.to_bytes())
-        token = Token(session_key=session_key, sealed_ticket=sealed_ticket)
-        sealed_token = hybrid_seal(
-            rc_public_key, token.to_bytes(), self._cipher_name, self._rng
-        )
-        self.stats["tokens_issued"] += 1
-        return sealed_token
+        with self._tracer.span("tg.issue_token") as span:
+            span.annotate("attributes", len(attribute_map))
+            session_key = self._rng.randbytes(SESSION_KEY_LENGTH)
+            ticket = Ticket(
+                rc_id=rc_id,
+                session_key=session_key,
+                attribute_map=dict(attribute_map),
+                issued_at_us=self._clock.now_us(),
+                lifetime_us=self._ticket_lifetime_us,
+            )
+            ticket_scheme = SymmetricScheme(
+                "AES-256", self._ticket_key(), mac=True, rng=self._rng
+            )
+            sealed_ticket = ticket_scheme.seal(ticket.to_bytes())
+            token = Token(session_key=session_key, sealed_ticket=sealed_ticket)
+            sealed_token = hybrid_seal(
+                rc_public_key, token.to_bytes(), self._cipher_name, self._rng
+            )
+            self.stats["tokens_issued"] += 1
+            return sealed_token
 
     def _ticket_key(self) -> bytes:
         """The MWS-PKG shared key, sized for AES-256 by construction."""

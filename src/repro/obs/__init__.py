@@ -1,0 +1,48 @@
+"""Unified observability: metrics registry, protocol tracing, crypto profiling.
+
+The paper's MWS is an operator-run service with an admin surface and an
+alert feed (Fig. 3); this package gives the reproduction the matching
+instrumentation layer:
+
+* :mod:`repro.obs.registry` — a zero-dependency :class:`MetricsRegistry`
+  with typed counters, gauges and SimClock-timed histograms whose output
+  is seed-deterministic (fixed bucket boundaries, integer microseconds).
+* :mod:`repro.obs.tracing` — a span tracer for the three Fig. 4 protocol
+  phases with nested child spans (MAC verify, IBE encrypt/decrypt, token
+  generation, key extraction) and fault/retry annotations.
+* :mod:`repro.obs.crypto` — process-global profiling hooks fed by the
+  pairing hot paths (Miller-loop iterations, F_p^2 mul/inv counts,
+  pairing invocations), so "pairings per deposit" is an asserted
+  invariant rather than folklore.
+* :mod:`repro.obs.export` — one stable JSON-able dict (``obs dump``)
+  combining all of the above; byte-identical across same-seed runs.
+
+Everything is import-cycle-free with the crypto layers: nothing in this
+package imports from :mod:`repro.pairing` or :mod:`repro.ibe`.
+"""
+
+from repro.obs.crypto import CryptoCounters, profiled
+from repro.obs.export import build_dump, dump_to_json
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StatsView,
+)
+from repro.obs.tracing import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StatsView",
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "CryptoCounters",
+    "profiled",
+    "build_dump",
+    "dump_to_json",
+]

@@ -1,0 +1,106 @@
+"""Profiling hooks for the pairing / IBE hot paths.
+
+The inner loops (``Fp2Element.__mul__``, the Miller loop) run millions
+of times per benchmark, so the hooks must cost almost nothing when
+profiling is off.  The design: one process-global ``ACTIVE`` slot read
+into a local at each hot-path entry; when it is ``None`` (the default)
+the instrumented code pays a single ``is not None`` test.  When a
+:class:`CryptoCounters` is installed, counts are bumped by plain
+attribute adds on a ``__slots__`` object — no dict hashing, no locks
+(the reproduction is single-threaded by design).
+
+``Deployment.build()`` installs a fresh ``CryptoCounters`` and registers
+it as a registry collector under ``crypto.*`` names; ``Deployment.close()``
+uninstalls it if it is still the active one.  For scoped measurement in
+tests use the :func:`profiled` context manager, which saves and restores
+whatever was active around the block.
+
+This module imports nothing from :mod:`repro` — the pairing layer
+imports *it*, and any dependency in the other direction would be a
+cycle.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = ["CryptoCounters", "install", "uninstall", "active", "profiled"]
+
+
+class CryptoCounters:
+    """Operation counts from the pairing, field and IBE layers.
+
+    Every field is an exact integer operation count, so tests can assert
+    equalities like "FullIdent encrypt costs exactly one pairing" or
+    "one Miller loop over TOY64 performs ``q.bit_length() - 1``
+    doublings" — the crypto-cost invariants of ``tests/obs/``.
+    """
+
+    __slots__ = (
+        "pairings",
+        "miller_loops",
+        "miller_doublings",
+        "miller_additions",
+        "fp2_mul",
+        "fp2_sqr",
+        "fp2_inv",
+        "ibe_encrypts",
+        "ibe_decrypts",
+        "kem_encapsulations",
+        "kem_decapsulations",
+        "key_extractions",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for field in self.__slots__:
+            setattr(self, field, 0)
+
+    def as_dict(self, prefix: str = "crypto.") -> dict[str, int]:
+        return {prefix + field: getattr(self, field) for field in self.__slots__}
+
+    def __repr__(self) -> str:
+        nonzero = {k: v for k, v in self.as_dict("").items() if v}
+        return f"CryptoCounters({nonzero})"
+
+
+#: The counters currently receiving hot-path increments, or None.
+ACTIVE: CryptoCounters | None = None
+
+
+def install(counters: CryptoCounters) -> None:
+    """Make ``counters`` the process-wide profiling sink (last wins)."""
+    global ACTIVE
+    ACTIVE = counters
+
+
+def uninstall(counters: CryptoCounters | None = None) -> None:
+    """Clear the sink; with an argument, only if it is still the active one."""
+    global ACTIVE
+    if counters is None or ACTIVE is counters:
+        ACTIVE = None
+
+
+def active() -> CryptoCounters | None:
+    return ACTIVE
+
+
+@contextmanager
+def profiled(counters: CryptoCounters | None = None):
+    """Scope-install counters, restoring the previous sink on exit.
+
+    >>> with profiled() as ops:
+    ...     params.pair(p, q)
+    >>> assert ops.pairings == 1
+    """
+    global ACTIVE
+    if counters is None:
+        counters = CryptoCounters()
+    previous = ACTIVE
+    ACTIVE = counters
+    try:
+        yield counters
+    finally:
+        ACTIVE = previous

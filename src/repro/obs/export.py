@@ -1,0 +1,51 @@
+"""Stable JSON export of a deployment's full observability state.
+
+``build_dump`` assembles the registry snapshot, span forest and crypto
+counters into one plain dict; ``dump_to_json`` renders it with sorted
+keys and fixed separators so a same-seed run serialises to the *same
+bytes* — the property the determinism tests assert and the reason the
+dump is suitable for committed ``BENCH_*.json`` trajectories (diffs are
+meaningful, not noise).
+
+Anything wall-clock or host-specific (timestamps, hostnames, pids) is
+deliberately absent.  Context that varies per run on purpose — preset
+name, seed, workload shape — belongs in the ``meta`` argument supplied
+by the caller.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["build_dump", "dump_to_json"]
+
+#: Bumped when the dump layout changes shape (not when values change).
+DUMP_SCHEMA_VERSION = 1
+
+
+def build_dump(registry, tracer=None, crypto=None, meta=None) -> dict:
+    """One JSON-able dict for the whole deployment's observability state.
+
+    ``crypto`` counters usually also arrive via a registry collector;
+    passing them here as well gives the dump a dedicated ``crypto``
+    section that is convenient to diff in isolation.
+    """
+    dump: dict = {
+        "schema_version": DUMP_SCHEMA_VERSION,
+        "meta": dict(meta) if meta else {},
+        "metrics": registry.snapshot(),
+    }
+    if tracer is not None:
+        dump["trace"] = tracer.to_dict()
+    if crypto is not None:
+        dump["crypto"] = crypto.as_dict()
+    return dump
+
+
+def dump_to_json(dump: dict, indent: int | None = None) -> str:
+    """Canonical serialisation: sorted keys, fixed separators, trailing \\n."""
+    if indent is None:
+        text = json.dumps(dump, sort_keys=True, separators=(",", ":"))
+    else:
+        text = json.dumps(dump, sort_keys=True, indent=indent)
+    return text + "\n"

@@ -1,0 +1,330 @@
+"""The metrics registry: typed counters, gauges and deterministic histograms.
+
+One :class:`MetricsRegistry` is built per deployment and injected into
+every component (SDA, TG, MMS, gatekeeper, PKG, network, fault plan,
+clients), replacing the scattered per-component ``stats`` dicts.  The
+old dict API is preserved by :class:`StatsView`, a mutable mapping whose
+items are registry counters — ``stats["accepted"] += 1`` keeps working
+in component code and tests while the value lands in the registry under
+a stable dotted name.
+
+Determinism: histograms use *fixed* bucket boundaries and integer
+values (microseconds, bytes), and the timer reads a simulation clock,
+so a same-seed run produces a byte-identical snapshot.  Nothing here
+reads wall-clock time.
+
+Naming convention: lowercase dotted paths, ``layer.component.metric``
+(e.g. ``mws.sda.accepted``, ``net.endpoint.mws-sd.requests_served``).
+Rejection-style counters that must aggregate live under a common
+prefix (``mws.sda.rejections.*``) so a total derived with
+:meth:`MetricsRegistry.sum_prefix` can never silently lose a renamed or
+newly added reason.
+"""
+
+from __future__ import annotations
+
+from collections.abc import MutableMapping
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "StatsView",
+    "MetricsRegistry",
+    "DURATION_BOUNDS_US",
+    "SIZE_BOUNDS_BYTES",
+]
+
+#: Fixed boundaries for duration histograms, in microseconds.  Spans the
+#: SimClock tick (7 us) through fault delays (1-20 ms) and retry
+#: backoffs (up to 2 s).
+DURATION_BOUNDS_US: tuple[int, ...] = (
+    10, 50, 100, 500,
+    1_000, 5_000, 10_000, 50_000, 100_000, 500_000,
+    1_000_000, 5_000_000, 10_000_000,
+)
+
+#: Fixed boundaries for message-size histograms, in bytes.
+SIZE_BOUNDS_BYTES: tuple[int, ...] = (
+    64, 128, 256, 512, 1_024, 2_048, 4_096, 8_192, 16_384, 65_536,
+)
+
+
+class Counter:
+    """A monotonically used integer metric (resettable via :meth:`set`)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def set(self, value: int) -> None:
+        self.value = int(value)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time integer measurement (queue depth, cache size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value: int) -> None:
+        self.value = int(value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-boundary histogram with deterministic percentile estimates.
+
+    ``bounds`` are inclusive upper edges of the first ``len(bounds)``
+    buckets; one overflow bucket catches everything beyond the last
+    edge.  Because the boundaries are fixed at construction and the
+    observed values are integers from deterministic sources (SimClock
+    durations, payload sizes), the snapshot is identical across
+    same-seed runs.
+
+    Percentiles are estimated as the upper edge of the bucket containing
+    the requested quantile, clamped to the exact observed min/max — a
+    coarse but *stable* estimator (no interpolation on float division).
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Iterable[int] = DURATION_BOUNDS_US) -> None:
+        self.name = name
+        self.bounds = tuple(int(b) for b in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(f"histogram bounds must be strictly increasing: {bounds}")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min: int | None = None
+        self.max: int | None = None
+
+    def observe(self, value: int) -> None:
+        value = int(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def percentile(self, fraction: float) -> int:
+        """Deterministic estimate of the ``fraction`` quantile (0 < f <= 1)."""
+        if self.count == 0:
+            return 0
+        # Rank of the target observation, 1-based, without float rounding
+        # ambiguity: ceil(fraction * count) via integer math on ppm.
+        ppm = int(fraction * 1_000_000)
+        rank = max(1, -(-self.count * ppm // 1_000_000))
+        cumulative = 0
+        for index, bucket in enumerate(self.bucket_counts):
+            cumulative += bucket
+            if cumulative >= rank:
+                if index < len(self.bounds):
+                    edge = self.bounds[index]
+                else:
+                    edge = self.max if self.max is not None else 0
+                low = self.min if self.min is not None else 0
+                high = self.max if self.max is not None else edge
+                return max(low, min(edge, high))
+        return self.max if self.max is not None else 0
+
+    def snapshot(self) -> dict:
+        """A stable JSON-able rendering of the histogram state."""
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.min is not None else 0,
+            "max": self.max if self.max is not None else 0,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class StatsView(MutableMapping):
+    """A dict-shaped facade over registry counters.
+
+    Components keep their historical ``self.stats["key"] += 1`` idiom
+    (and tests keep reading ``component.stats["key"]``) while every
+    increment lands in a named registry counter.  Keys are fixed at
+    construction; adding or deleting keys is an error — a counter that
+    exists must stay discoverable by the aggregation layer.
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(self, counters: dict[str, Counter]) -> None:
+        self._counters = counters
+
+    def __getitem__(self, key: str) -> int:
+        return self._counters[key].value
+
+    def __setitem__(self, key: str, value: int) -> None:
+        self._counters[key].set(value)
+
+    def __delitem__(self, key: str) -> None:
+        raise TypeError("registry-backed stats keys cannot be deleted")
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counters)
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (dict, StatsView)):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"StatsView({dict(self)!r})"
+
+
+class MetricsRegistry:
+    """The one place every metric in a deployment lives.
+
+    Instruments are created on first use (``counter``/``gauge``/
+    ``histogram`` are get-or-create); a name registered as one type
+    cannot be re-registered as another.  ``collectors`` are pull-based
+    callables contributing externally owned integer counters (the
+    network's per-endpoint tallies, the crypto profiler) to the
+    snapshot without putting attribute lookups on their hot paths.
+
+    ``clock`` is any object with ``now_us()``; under a ``SimClock`` the
+    :meth:`timer` histograms are fully deterministic.
+    """
+
+    def __init__(self, clock=None) -> None:
+        self._clock = clock
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._collectors: list[Callable[[], dict[str, int]]] = []
+
+    # -- instrument factories ---------------------------------------------
+
+    def _check_free(self, name: str, kind: dict) -> None:
+        for space in (self._counters, self._gauges, self._histograms):
+            if space is not kind and name in space:
+                raise ValueError(f"metric {name!r} already registered as another type")
+
+    def counter(self, name: str) -> Counter:
+        existing = self._counters.get(name)
+        if existing is None:
+            self._check_free(name, self._counters)
+            existing = self._counters[name] = Counter(name)
+        return existing
+
+    def gauge(self, name: str) -> Gauge:
+        existing = self._gauges.get(name)
+        if existing is None:
+            self._check_free(name, self._gauges)
+            existing = self._gauges[name] = Gauge(name)
+        return existing
+
+    def histogram(
+        self, name: str, bounds: Iterable[int] = DURATION_BOUNDS_US
+    ) -> Histogram:
+        existing = self._histograms.get(name)
+        if existing is None:
+            self._check_free(name, self._histograms)
+            existing = self._histograms[name] = Histogram(name, bounds)
+        return existing
+
+    def stats_dict(
+        self,
+        prefix: str,
+        keys: Iterable[str] = (),
+        names: dict[str, str] | None = None,
+    ) -> StatsView:
+        """A :class:`StatsView` mapping each key to ``prefix.key``.
+
+        ``names`` overrides the counter name for specific keys — how the
+        SDA parks every rejection reason under ``mws.sda.rejections.*``
+        while keeping the flat dict keys its callers already use.
+        """
+        names = names or {}
+        counters: dict[str, Counter] = {}
+        for key in keys:
+            counters[key] = self.counter(names.get(key, f"{prefix}.{key}"))
+        for key, full_name in names.items():
+            if key not in counters:
+                counters[key] = self.counter(full_name)
+        return StatsView(counters)
+
+    @contextmanager
+    def timer(self, name: str, bounds: Iterable[int] = DURATION_BOUNDS_US):
+        """Time a block on the registry clock into histogram ``name``."""
+        if self._clock is None:
+            raise ValueError("registry has no clock; pass one to time blocks")
+        histogram = self.histogram(name, bounds)
+        started = self._clock.now_us()
+        try:
+            yield histogram
+        finally:
+            histogram.observe(self._clock.now_us() - started)
+
+    # -- aggregation -------------------------------------------------------
+
+    def add_collector(self, collector: Callable[[], dict[str, int]]) -> None:
+        """Register a pull-based contributor of ``name -> int`` counters."""
+        self._collectors.append(collector)
+
+    def sum_prefix(self, prefix: str) -> int:
+        """Sum every owned counter whose name starts with ``prefix``.
+
+        Totals derived this way survive counter renames and additions:
+        anything parked under the prefix is counted, full stop.
+        """
+        return sum(
+            counter.value
+            for name, counter in self._counters.items()
+            if name.startswith(prefix)
+        )
+
+    def counter_values(self) -> dict[str, int]:
+        """All counters — owned and collected — as a sorted flat dict."""
+        values = {name: counter.value for name, counter in self._counters.items()}
+        for collector in self._collectors:
+            values.update(collector())
+        return dict(sorted(values.items()))
+
+    def snapshot(self) -> dict:
+        """The full registry state as a stable JSON-able dict."""
+        return {
+            "counters": self.counter_values(),
+            "gauges": dict(
+                sorted((name, g.value) for name, g in self._gauges.items())
+            ),
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,169 @@
+"""Span-based tracing for the three Fig. 4 protocol phases.
+
+A :class:`Tracer` records a forest of :class:`Span` trees.  The whole
+reproduction is single-threaded and synchronous — client call, network
+hop, server handler — so a simple span *stack* captures parent/child
+links exactly: whatever span is open when a child starts is its parent.
+A phase span opened by :class:`~repro.core.protocol.ProtocolDriver`
+therefore naturally contains the client-side crypto spans, which contain
+the server-side MAC-verify / token-generation / key-extraction spans
+reached through the in-process network.
+
+Timestamps come from the deployment clock.  Under a ``SimClock`` they
+are pure functions of the seed, so :meth:`Tracer.fingerprint` is
+byte-identical across same-seed runs — the property the determinism
+suite in ``tests/obs/`` locks down.
+
+Annotations are small ``str -> int|str`` pairs attached to a span:
+fault counts, retry counts, sizes, error class names.  Values must stay
+JSON-able and deterministic (no object reprs with addresses).
+
+``NULL_TRACER`` is a no-op stand-in so instrumented components built
+without a deployment (unit tests, direct construction) pay one ``if``
+per span and allocate nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One timed, annotated node in a trace tree."""
+
+    __slots__ = ("name", "start_us", "end_us", "annotations", "children")
+
+    def __init__(self, name: str, start_us: int) -> None:
+        self.name = name
+        self.start_us = start_us
+        self.end_us: int | None = None
+        self.annotations: dict[str, int | str] = {}
+        self.children: list[Span] = []
+
+    @property
+    def duration_us(self) -> int:
+        if self.end_us is None:
+            return 0
+        return self.end_us - self.start_us
+
+    def annotate(self, key: str, value: int | str) -> None:
+        self.annotations[key] = value
+
+    def to_dict(self) -> dict:
+        """Stable JSON-able rendering; annotation keys are sorted."""
+        return {
+            "name": self.name,
+            "start_us": self.start_us,
+            "end_us": self.end_us if self.end_us is not None else self.start_us,
+            "duration_us": self.duration_us,
+            "annotations": dict(sorted(self.annotations.items())),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def find(self, name: str) -> list["Span"]:
+        """All descendant spans (including self) with the given name."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+    def __repr__(self) -> str:
+        return f"Span({self.name}, {self.duration_us}us, {len(self.children)} children)"
+
+
+class Tracer:
+    """Records span trees off a deployment clock.
+
+    ``roots`` holds every finished top-level span in completion order.
+    The open-span stack gives nesting for free in this single-threaded
+    codebase; an exception propagating out of a ``span()`` block closes
+    the span and annotates it with the exception class name, so retried
+    operations show up as repeated sibling spans with ``error`` marks on
+    the failed attempts.
+    """
+
+    def __init__(self, clock) -> None:
+        self._clock = clock
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str):
+        span = Span(name, self._clock.now_us())
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.annotate("error", type(exc).__name__)
+            raise
+        finally:
+            self._stack.pop()
+            span.end_us = self._clock.now_us()
+
+    def current(self) -> Span | None:
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def annotate(self, key: str, value: int | str) -> None:
+        """Annotate the innermost open span; silently no-op outside one."""
+        if self._stack:
+            self._stack[-1].annotate(key, value)
+
+    def to_dict(self) -> dict:
+        return {"spans": [root.to_dict() for root in self.roots]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON rendering of all span trees."""
+        from repro.hashes import sha256
+
+        return sha256(self.to_json().encode()).hex()
+
+    def find(self, name: str) -> list[Span]:
+        found = []
+        for root in self.roots:
+            found.extend(root.find(name))
+        return found
+
+    def reset(self) -> None:
+        self.roots = []
+        self._stack = []
+
+
+class NullTracer:
+    """Drop-in no-op tracer for components built without a deployment."""
+
+    _SPAN = None  # one shared dead span, allocated lazily
+
+    @contextmanager
+    def span(self, name: str):
+        if NullTracer._SPAN is None:
+            NullTracer._SPAN = Span("null", 0)
+        yield NullTracer._SPAN
+
+    def current(self) -> None:
+        return None
+
+    def annotate(self, key: str, value: int | str) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {"spans": []}
+
+    def find(self, name: str) -> list[Span]:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

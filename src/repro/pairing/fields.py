@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.errors import MathError, NoSquareRootError, NotInvertibleError, ParameterError
 from repro.mathlib.modular import inverse_mod, sqrt_mod_p
 from repro.mathlib.rand import RandomSource
+from repro.obs import crypto as _obs_crypto
 
 __all__ = ["Fp", "FpElement", "Fp2", "Fp2Element"]
 
@@ -203,6 +204,9 @@ class Fp2Element:
         other = self._coerce(other)
         if other is NotImplemented:
             return NotImplemented
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.fp2_mul += 1
         p = self.field.p
         # (a + bi)(c + di) = (ac - bd) + (ad + bc) i
         ac = self.a * other.a
@@ -229,6 +233,9 @@ class Fp2Element:
         return Fp2Element(self.field, -self.a, -self.b)
 
     def square(self) -> "Fp2Element":
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.fp2_sqr += 1
         p = self.field.p
         # (a + bi)^2 = (a - b)(a + b) + 2ab i
         return Fp2Element(
@@ -250,6 +257,9 @@ class Fp2Element:
         return result
 
     def inverse(self) -> "Fp2Element":
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.fp2_inv += 1
         p = self.field.p
         norm = (self.a * self.a + self.b * self.b) % p
         if norm == 0:

@@ -17,6 +17,7 @@ instead of silently returning a wrong pairing value.
 from __future__ import annotations
 
 from repro.errors import PairingError
+from repro.obs import crypto as _obs_crypto
 from repro.pairing.curve import Point
 
 __all__ = ["miller_loop"]
@@ -67,6 +68,9 @@ def miller_loop(p_point: Point, q_point: Point, n: int):
     """
     if n <= 0:
         raise PairingError(f"Miller loop requires n > 0, got {n}")
+    prof = _obs_crypto.ACTIVE
+    if prof is not None:
+        prof.miller_loops += 1
     field = p_point.curve.field
     one = field.one()
     if p_point.is_infinity() or q_point.is_infinity():
@@ -77,12 +81,16 @@ def miller_loop(p_point: Point, q_point: Point, n: int):
     t_point = p_point
     bits = bin(n)[3:]  # skip the leading 1; process remaining MSB->LSB
     for bit in bits:
+        if prof is not None:
+            prof.miller_doublings += 1
         line_num, line_den, t_point = _line_value(
             t_point, t_point, eval_x, eval_y, one
         )
         f_num = f_num * f_num * line_num
         f_den = f_den * f_den * line_den
         if bit == "1":
+            if prof is not None:
+                prof.miller_additions += 1
             line_num, line_den, t_point = _line_value(
                 t_point, p_point, eval_x, eval_y, one
             )

@@ -21,6 +21,7 @@ from repro.errors import ParameterError
 from repro.mathlib.modular import sqrt_mod_p
 from repro.mathlib.primes import is_probable_prime
 from repro.mathlib.rand import HmacDrbg, RandomSource
+from repro.obs import crypto as _obs_crypto
 from repro.pairing.curve import Curve, Point
 from repro.pairing.fields import Fp, Fp2, Fp2Element
 from repro.pairing.tate import tate_pairing, weil_pairing
@@ -138,6 +139,9 @@ class BFParams:
 
     def pair(self, p_point: Point, q_point: Point) -> Fp2Element:
         """The modified (symmetric) pairing e(P, phi(Q)) on base-field points."""
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.pairings += 1
         distorted = self.distort(q_point)
         if self.pairing_algorithm == "weil":
             return weil_pairing(p_point, distorted, self.q, self.ext_curve)

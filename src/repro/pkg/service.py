@@ -30,6 +30,7 @@ from repro.errors import (
 )
 from repro.ibe.keys import MasterKeyPair
 from repro.mathlib.rand import RandomSource, SystemRandomSource
+from repro.obs.tracing import NULL_TRACER
 from repro.pairing.hashing import hash_to_point
 from repro.sim.clock import Clock, SimClock
 from repro.symciph.cipher import SymmetricScheme
@@ -77,6 +78,8 @@ class PrivateKeyGenerator:
         clock: Clock | None = None,
         rng: RandomSource | None = None,
         config: PkgConfig | None = None,
+        registry=None,
+        tracer=None,
     ) -> None:
         self._master = master
         self._mws_pkg_key = mws_pkg_key
@@ -85,14 +88,19 @@ class PrivateKeyGenerator:
         self._config = config if config is not None else PkgConfig()
         self._sessions: OrderedDict[bytes, _Session] = OrderedDict()
         self._seen_authenticators: OrderedDict[tuple[str, int], None] = OrderedDict()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         #: (rc_id, attribute, nonce_hex, timestamp) extraction audit trail.
         self.audit_log: list[tuple[str, str, str, int]] = []
-        self.stats = {
-            "sessions_established": 0,
-            "keys_extracted": 0,
-            "auth_failures": 0,
-            "extract_denials": 0,
-        }
+        stat_keys = (
+            "sessions_established",
+            "keys_extracted",
+            "auth_failures",
+            "extract_denials",
+        )
+        if registry is not None:
+            self.stats = registry.stats_dict("pkg", stat_keys)
+        else:
+            self.stats = {key: 0 for key in stat_keys}
 
     @property
     def public_params(self):
@@ -107,11 +115,16 @@ class PrivateKeyGenerator:
 
     def handle_auth(self, request: PkgAuthRequest) -> PkgAuthResponse:
         """Open the ticket, verify the authenticator, establish a session."""
-        try:
-            session = self._validate(request)
-        except (TicketError, ReplayError, DecryptionError) as exc:
-            self.stats["auth_failures"] += 1
-            return PkgAuthResponse(ok=False, error=str(exc))
+        with self._tracer.span("pkg.auth") as span:
+            try:
+                session = self._validate(request)
+            except (TicketError, ReplayError, DecryptionError) as exc:
+                self.stats["auth_failures"] += 1
+                span.annotate("rejected", type(exc).__name__)
+                return PkgAuthResponse(ok=False, error=str(exc))
+            return self._establish(session)
+
+    def _establish(self, session: _Session) -> PkgAuthResponse:
         session_id = self._rng.randbytes(16)
         self._sessions[session_id] = session
         while len(self._sessions) > self._config.session_cache_size:
@@ -187,8 +200,9 @@ class PrivateKeyGenerator:
                 ok=False, error="attribute denied by PKG policy"
             )
         identity = identity_string(attribute, request.nonce)
-        q_point = hash_to_point(self._master.public.params, identity)
-        private_point = self._master.extract_point(q_point)
+        with self._tracer.span("pkg.extract_key"):
+            q_point = hash_to_point(self._master.public.params, identity)
+            private_point = self._master.extract_point(q_point)
         scheme = SymmetricScheme(
             self._config.session_cipher, session.session_key, mac=True, rng=self._rng
         )

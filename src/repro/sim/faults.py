@@ -86,19 +86,20 @@ class FaultPlan:
         self,
         rng: RandomSource,
         default: FaultSpec | None = None,
+        registry=None,
     ) -> None:
         self._rng = rng
         self._default = default if default is not None else FaultSpec()
         self._links: dict[tuple[str, str], FaultSpec] = {}
         self._partitions: set[frozenset[str]] = set()
         #: Aggregate counters, also mirrored per-endpoint by the network.
-        self.counters = {
-            "drops": 0,
-            "duplicates": 0,
-            "corruptions": 0,
-            "delays": 0,
-            "partition_drops": 0,
-        }
+        #: With a registry they live under ``sim.faults.*``; standalone
+        #: plans keep a plain dict.
+        keys = ("drops", "duplicates", "corruptions", "delays", "partition_drops")
+        if registry is not None:
+            self.counters = registry.stats_dict("sim.faults", keys)
+        else:
+            self.counters = {key: 0 for key in keys}
 
     # -- configuration ----------------------------------------------------
 

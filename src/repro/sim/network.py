@@ -22,6 +22,7 @@ from repro.errors import (
     ResponseDroppedError,
 )
 from repro.mathlib.rand import RandomSource
+from repro.obs.registry import SIZE_BOUNDS_BYTES
 from repro.sim.clock import Clock, SimClock
 from repro.sim.faults import FaultPlan, apply_corruption
 
@@ -88,7 +89,12 @@ class Network:
     after the interceptors in each direction.
     """
 
-    def __init__(self, clock: Clock | None = None, latency_us: int = 0) -> None:
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        latency_us: int = 0,
+        registry=None,
+    ) -> None:
         self._endpoints: dict[str, Endpoint] = {}
         self._interceptors: list[Interceptor] = []
         self._response_interceptors: list[Interceptor] = []
@@ -98,6 +104,36 @@ class Network:
         self.messages_sent = 0
         self.bytes_sent = 0
         self.handler_errors = 0
+        self._request_sizes = None
+        self._response_sizes = None
+        if registry is not None:
+            self.attach_registry(registry)
+
+    def attach_registry(self, registry) -> None:
+        """Export network counters through a metrics registry.
+
+        The per-message tallies stay plain attributes (the hot path is
+        untouched); the registry pulls them through a collector at
+        snapshot time.  Message-size histograms are observed inline.
+        """
+        registry.add_collector(self._collect_metrics)
+        self._request_sizes = registry.histogram(
+            "net.request_bytes", SIZE_BOUNDS_BYTES
+        )
+        self._response_sizes = registry.histogram(
+            "net.response_bytes", SIZE_BOUNDS_BYTES
+        )
+
+    def _collect_metrics(self) -> dict[str, int]:
+        values = {
+            "net.messages_sent": self.messages_sent,
+            "net.bytes_sent": self.bytes_sent,
+            "net.handler_errors": self.handler_errors,
+        }
+        for name, stats in self.endpoint_stats().items():
+            for field_name, value in stats._asdict().items():
+                values[f"net.endpoint.{name}.{field_name}"] = value
+        return values
 
     def register(self, name: str, handler: Handler) -> Endpoint:
         """Attach a service; re-registering a name raises."""
@@ -187,6 +223,8 @@ class Network:
         for _ in range(deliveries):
             self.messages_sent += 1
             self.bytes_sent += len(payload)
+            if self._request_sizes is not None:
+                self._request_sizes.observe(len(payload))
             try:
                 response = endpoint.handler(payload)
             except Exception:
@@ -196,6 +234,8 @@ class Network:
             endpoint.requests_served += 1
             endpoint.bytes_in += len(payload)
             endpoint.bytes_out += len(response)
+            if self._response_sizes is not None:
+                self._response_sizes.observe(len(response))
         for interceptor in self._response_interceptors:
             result = interceptor(destination, source, response)
             if result is None:

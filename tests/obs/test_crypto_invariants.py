@@ -1,0 +1,182 @@
+"""Exact crypto-cost invariants via the profiling hooks.
+
+The Miller loop's shape is a pure function of the group order q —
+``bit_length(q) - 1`` doublings and ``popcount(q) - 1`` additions per
+loop — and each BF operation performs a fixed number of pairings.  The
+profiler counts must therefore be *exact*, not approximate: any drift
+means an algorithmic change (or a broken hook), which is precisely what
+these tests exist to catch.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import ProtocolDriver
+from repro.ibe import setup
+from repro.ibe.basic_ident import BasicIdent
+from repro.ibe.full_ident import FullIdent
+from repro.mathlib.rand import HmacDrbg
+from repro.obs.crypto import CryptoCounters, active, install, profiled, uninstall
+from repro.pairing import get_preset, weil_pairing
+from tests.conftest import build_deployment
+
+
+def miller_shape(q: int) -> tuple[int, int]:
+    """(doublings, additions) of one Miller loop over order q."""
+    return q.bit_length() - 1, bin(q).count("1") - 1
+
+
+class TestPairingCosts:
+    def test_tate_pairing_is_one_miller_loop_with_fixed_shape(self, toy_params):
+        generator = toy_params.generator
+        doublings, additions = miller_shape(toy_params.q)
+        with profiled() as counts:
+            toy_params.pair(generator, 2 * generator)
+        assert counts.pairings == 1
+        assert counts.miller_loops == 1
+        assert counts.miller_doublings == doublings
+        assert counts.miller_additions == additions
+
+    def test_tate_field_op_counts_are_reproducible(self, toy_params):
+        generator = toy_params.generator
+
+        def profile() -> tuple[int, int, int]:
+            with profiled() as counts:
+                toy_params.pair(generator, 2 * generator)
+            return (counts.fp2_mul, counts.fp2_sqr, counts.fp2_inv)
+
+        first = profile()
+        assert first == profile()
+        assert all(count > 0 for count in first)
+
+    def test_weil_pairing_costs_two_miller_loops(self, toy_params):
+        generator = toy_params.generator
+        doublings, additions = miller_shape(toy_params.q)
+        with profiled() as counts:
+            weil_pairing(
+                generator,
+                toy_params.distort(2 * generator),
+                toy_params.q,
+                toy_params.ext_curve,
+            )
+        assert counts.miller_loops == 2
+        assert counts.miller_doublings == 2 * doublings
+        assert counts.miller_additions == 2 * additions
+
+
+class TestIbeSchemeCosts:
+    def _scheme(self, master_keypair, scheme_cls):
+        return scheme_cls(master_keypair.public, rng=HmacDrbg(b"obs-ibe"))
+
+    def test_basic_ident_encrypt_decrypt_one_pairing_each(self, master_keypair):
+        scheme = self._scheme(master_keypair, BasicIdent)
+        key = master_keypair.extract(b"alice@example")
+        with profiled() as counts:
+            ciphertext = scheme.encrypt(b"alice@example", b"m" * 16)
+        assert counts.pairings == 1
+        assert counts.ibe_encrypts == 1
+        assert counts.ibe_decrypts == 0
+        with profiled() as counts:
+            assert scheme.decrypt(key, ciphertext) == b"m" * 16
+        assert counts.pairings == 1
+        assert counts.ibe_decrypts == 1
+
+    def test_full_ident_encrypt_decrypt_one_pairing_each(self, master_keypair):
+        scheme = self._scheme(master_keypair, FullIdent)
+        key = master_keypair.extract(b"bob@example")
+        with profiled() as counts:
+            ciphertext = scheme.encrypt(b"bob@example", b"w" * 24)
+        assert counts.pairings == 1
+        assert counts.ibe_encrypts == 1
+        with profiled() as counts:
+            assert scheme.decrypt(key, ciphertext) == b"w" * 24
+        assert counts.pairings == 1
+        assert counts.ibe_decrypts == 1
+
+    def test_key_extraction_uses_no_pairing(self, master_keypair):
+        with profiled() as counts:
+            master_keypair.extract(b"carol@example")
+        assert counts.key_extractions == 1
+        assert counts.pairings == 0
+
+
+class TestProtocolPhaseCosts:
+    def test_exact_counts_per_phase(self, toy_params):
+        messages = 3
+        doublings, additions = miller_shape(toy_params.q)
+        deployment = build_deployment(seed=b"crypto-costs")
+        try:
+            counters = deployment.crypto_counters
+            device = deployment.new_smart_device("cost-meter-001")
+            client = deployment.new_receiving_client(
+                "cost-utility", "cost-pw", attributes=["COST-ATTR"]
+            )
+            driver = ProtocolDriver(deployment)
+            deposits = [
+                ("COST-ATTR", b"x%d" % index) for index in range(messages)
+            ]
+
+            counters.reset()
+            transcript = driver.run_deposits(device, deposits)
+            # Deposit phase: one KEM encapsulation (one pairing) per
+            # message; nothing is decrypted or extracted yet.
+            assert counters.kem_encapsulations == messages
+            assert counters.pairings == messages
+            assert counters.miller_loops == messages  # tate: 1 loop/pairing
+            assert counters.miller_doublings == messages * doublings
+            assert counters.miller_additions == messages * additions
+            assert counters.kem_decapsulations == 0
+            assert counters.key_extractions == 0
+
+            counters.reset()
+            driver.run_retrieval(client, transcript)
+            # Retrieval: per message one PKG extraction (no pairing) and
+            # one KEM decapsulation (one pairing).
+            assert counters.key_extractions == messages
+            assert counters.kem_decapsulations == messages
+            assert counters.pairings == messages
+            assert counters.miller_loops == messages
+            assert counters.kem_encapsulations == 0
+        finally:
+            deployment.close()
+
+    def test_full_run_totals(self):
+        messages = 2
+        deployment = build_deployment(seed=b"crypto-totals")
+        try:
+            device = deployment.new_smart_device("tot-meter-001")
+            client = deployment.new_receiving_client(
+                "tot-utility", "tot-pw", attributes=["TOT-ATTR"]
+            )
+            ProtocolDriver(deployment).run_full(
+                device, client, [("TOT-ATTR", b"v")] * messages
+            )
+            counters = deployment.crypto_counters
+            assert counters.pairings == 2 * messages
+            assert counters.kem_encapsulations == messages
+            assert counters.kem_decapsulations == messages
+            assert counters.key_extractions == messages
+        finally:
+            deployment.close()
+
+
+class TestProfilerLifecycle:
+    def test_profiled_restores_previous_counters(self):
+        outer = CryptoCounters()
+        install(outer)
+        try:
+            with profiled() as inner:
+                assert active() is inner
+            assert active() is outer
+        finally:
+            uninstall(outer)
+        assert active() is None
+
+    def test_uninstall_only_clears_own_counters(self):
+        first = CryptoCounters()
+        second = CryptoCounters()
+        install(first)
+        install(second)  # last wins
+        uninstall(first)  # not active any more: must not clear
+        assert active() is second
+        uninstall(second)
+        assert active() is None

@@ -1,0 +1,88 @@
+"""Conservation law for deposit accounting, under arbitrary fault plans.
+
+Every request the mws-sd endpoint's handler actually served ended in
+exactly one of: a fresh acceptance, an idempotent retransmit replay, a
+rejection (any reason under ``mws.sda.rejections.*``), or a malformed
+parse.  Requests dropped on the wire never reach the handler; duplicate
+deliveries invoke it twice.  Whatever fault mix the plan injects, the
+four outcome counters must therefore sum to the endpoint's
+``requests_served`` — a property the registry's prefix aggregation keeps
+true even as rejection reasons are added or renamed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.clients.transport import RetryPolicy
+from repro.errors import ReproError
+from repro.sim.faults import FaultSpec
+from repro.sim.workload import SmartMeterFleet, WorkloadConfig
+from tests.conftest import build_deployment
+
+PROBABILITIES = st.floats(
+    min_value=0.0, max_value=0.15, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    drop=PROBABILITIES,
+    duplicate=PROBABILITIES,
+    corrupt=PROBABILITIES,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    readings_per_meter=st.integers(min_value=1, max_value=3),
+)
+def test_deposit_outcomes_sum_to_requests_served(
+    drop, duplicate, corrupt, seed, readings_per_meter
+):
+    fleet = SmartMeterFleet(
+        WorkloadConfig(meters_per_kind=1, seed=b"conservation-fleet")
+    )
+    deployment = build_deployment(
+        seed=b"conservation-%d" % seed,
+        faults=FaultSpec(drop=drop, duplicate=duplicate, corrupt=corrupt),
+        retry_policy=RetryPolicy(max_attempts=8, base_backoff_us=100),
+    )
+    try:
+        devices = {
+            device_id: deployment.new_smart_device(device_id)
+            for device_id in fleet.device_ids()
+        }
+        attempts = 0
+        for device_id, device in devices.items():
+            channel = deployment.sd_channel(device_id)
+            attribute = fleet.attribute_for(fleet.kind_of(device_id))
+            for reading in fleet.readings(device_id, readings_per_meter):
+                attempts += 1
+                try:
+                    device.deposit(channel, attribute, reading.payload())
+                except ReproError:
+                    pass  # retries exhausted under heavy faults
+
+        registry = deployment.registry
+        sda = deployment.mws.sda.stats
+        served = deployment.network.endpoint_stats()["mws-sd"].requests_served
+        outcomes = (
+            sda["accepted"]
+            + sda["retransmits_replayed"]
+            + registry.sum_prefix("mws.sda.rejections.")
+            + registry.counter("mws.deposits.malformed").value
+        )
+        assert outcomes == served
+        # Sanity on the workload itself: the client side really sent
+        # each deposit at least once (unless everything was dropped).
+        client_attempts = sum(
+            registry.counter(
+                f"client.sd.{device_id}.transport.attempts"
+            ).value
+            for device_id in devices
+        )
+        assert client_attempts >= attempts
+    finally:
+        deployment.close()

@@ -1,0 +1,199 @@
+"""Unit tests for the metrics registry, instruments and StatsView."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import (
+    DURATION_BOUNDS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StatsView,
+)
+from repro.sim.clock import SimClock
+
+
+class TestCounterGauge:
+    def test_counter_inc_and_set(self):
+        counter = Counter("x.y")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        counter.set(2)
+        assert counter.value == 2
+
+    def test_gauge_set(self):
+        gauge = Gauge("q.depth")
+        gauge.set(7)
+        assert gauge.value == 7
+
+    def test_registry_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_cross_type_name_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ValueError, match="another type"):
+            registry.gauge("name")
+        with pytest.raises(ValueError, match="another type"):
+            registry.histogram("name")
+
+
+class TestHistogram:
+    def test_bounds_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(10, 10, 20))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(20, 10))
+
+    def test_observe_buckets_and_overflow(self):
+        histogram = Histogram("h", bounds=(10, 100))
+        for value in (1, 10, 11, 100, 101, 5000):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [2, 2, 2]
+        assert histogram.count == 6
+        assert histogram.total == 5223
+        assert histogram.min == 1
+        assert histogram.max == 5000
+
+    def test_percentiles_are_bucket_edges_clamped_to_extremes(self):
+        histogram = Histogram("h", bounds=(10, 100, 1000))
+        for value in (3, 4, 5, 6, 90, 95, 99, 100, 400, 800):
+            histogram.observe(value)
+        # rank(p50) = 5 -> falls in the (10, 100] bucket, edge 100.
+        assert histogram.percentile(0.50) == 100
+        # rank(p99) = 10 -> (100, 1000] bucket, edge 1000 clamps to max.
+        assert histogram.percentile(0.99) == 800
+        # rank(p10) = 1 -> first bucket edge 10, clamped up to min=3.
+        assert histogram.percentile(0.10) == 10
+        assert histogram.percentile(0.01) == 10
+
+    def test_empty_histogram_percentile_is_zero(self):
+        assert Histogram("h").percentile(0.99) == 0
+
+    def test_snapshot_shape(self):
+        histogram = Histogram("h", bounds=(10,))
+        histogram.observe(7)
+        snapshot = histogram.snapshot()
+        assert snapshot == {
+            "bounds": [10],
+            "bucket_counts": [1, 0],
+            "count": 1,
+            "sum": 7,
+            "min": 7,
+            "max": 7,
+            "p50": 7,
+            "p95": 7,
+            "p99": 7,
+        }
+
+    def test_snapshot_is_deterministic_for_same_observations(self):
+        first = Histogram("h")
+        second = Histogram("h")
+        for value in (5, 77, 123456, 9, 500_001):
+            first.observe(value)
+            second.observe(value)
+        assert first.snapshot() == second.snapshot()
+
+
+class TestStatsView:
+    def _view(self):
+        registry = MetricsRegistry()
+        return registry, registry.stats_dict("mws.sda", ["accepted", "bad_mac"])
+
+    def test_mapping_semantics(self):
+        _, stats = self._view()
+        assert len(stats) == 2
+        assert set(stats) == {"accepted", "bad_mac"}
+        stats["accepted"] += 1
+        stats["accepted"] += 1
+        assert stats["accepted"] == 2
+        assert stats.get("missing", 5) == 5
+        assert dict(stats) == {"accepted": 2, "bad_mac": 0}
+        assert stats == {"accepted": 2, "bad_mac": 0}
+
+    def test_increments_land_in_named_counters(self):
+        registry, stats = self._view()
+        stats["bad_mac"] += 3
+        assert registry.counter("mws.sda.bad_mac").value == 3
+
+    def test_keys_cannot_be_deleted(self):
+        _, stats = self._view()
+        with pytest.raises(TypeError):
+            del stats["accepted"]
+
+    def test_names_override_parks_counters_under_prefix(self):
+        registry = MetricsRegistry()
+        stats = registry.stats_dict(
+            "mws.sda",
+            ["accepted"],
+            names={"bad_mac": "mws.sda.rejections.bad_mac"},
+        )
+        stats["bad_mac"] += 2
+        stats["accepted"] += 1
+        assert registry.counter("mws.sda.rejections.bad_mac").value == 2
+        assert registry.counter("mws.sda.accepted").value == 1
+
+    def test_two_views_over_same_names_share_counters(self):
+        registry = MetricsRegistry()
+        first = registry.stats_dict("tg", ["tokens_issued"])
+        second = registry.stats_dict("tg", ["tokens_issued"])
+        first["tokens_issued"] += 1
+        assert second["tokens_issued"] == 1
+
+
+class TestRegistryAggregation:
+    def test_sum_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("mws.sda.rejections.bad_mac").inc(2)
+        registry.counter("mws.sda.rejections.replayed").inc(3)
+        registry.counter("mws.sda.accepted").inc(10)
+        assert registry.sum_prefix("mws.sda.rejections.") == 5
+
+    def test_sum_prefix_survives_new_reasons(self):
+        registry = MetricsRegistry()
+        registry.counter("mws.sda.rejections.bad_mac").inc()
+        before = registry.sum_prefix("mws.sda.rejections.")
+        registry.counter("mws.sda.rejections.brand_new_reason").inc(4)
+        assert registry.sum_prefix("mws.sda.rejections.") == before + 4
+
+    def test_collectors_merge_into_counter_values(self):
+        registry = MetricsRegistry()
+        registry.counter("owned").inc(1)
+        registry.add_collector(lambda: {"external.pulled": 9})
+        values = registry.counter_values()
+        assert values["owned"] == 1
+        assert values["external.pulled"] == 9
+        assert list(values) == sorted(values)
+
+    def test_snapshot_structure_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc()
+        registry.counter("a").inc()
+        registry.gauge("g").set(2)
+        registry.histogram("h").observe(5)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "z"]
+        assert snapshot["gauges"] == {"g": 2}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_timer_requires_clock(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="clock"):
+            with registry.timer("t"):
+                pass
+
+    def test_timer_observes_sim_clock_duration(self):
+        clock = SimClock(tick_us=7)
+        registry = MetricsRegistry(clock)
+        with registry.timer("t"):
+            clock.advance(1234)
+        histogram = registry.histogram("t", DURATION_BOUNDS_US)
+        assert histogram.count == 1
+        # One auto-tick on each now_us() read brackets the advance.
+        assert histogram.total >= 1234

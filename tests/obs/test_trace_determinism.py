@@ -1,0 +1,187 @@
+"""Determinism of the whole observability surface.
+
+Same seed + same fault plan must reproduce the obs dump — metrics,
+span forest, crypto profile — byte for byte; a different seed must not.
+Also locks the `MwsAdmin.status()` contract: the report is a strict
+superset of the pre-observability fields, with unchanged values on the
+fault-free path, and its rejection total is derived from the registry
+prefix rather than a hard-coded key list.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.clients.transport import RetryPolicy
+from repro.core.protocol import ProtocolDriver
+from repro.mws.admin import MwsAdmin
+from repro.sim.faults import FaultSpec
+from tests.conftest import build_deployment
+
+CHAOS = FaultSpec(drop=0.08, duplicate=0.08, corrupt=0.08)
+POLICY = RetryPolicy(max_attempts=12, base_backoff_us=1_000, jitter=0.1)
+
+#: The MwsStatus fields (and their order) before this layer existed.
+PRE_OBS_FIELDS = [
+    "messages_stored",
+    "attributes_in_use",
+    "devices_registered",
+    "clients_registered",
+    "grants",
+    "deposits_accepted",
+    "deposits_rejected",
+    "deposits_stale",
+    "deposits_replayed",
+    "retransmits_served",
+    "retrievals_served",
+    "tokens_issued",
+    "alerts",
+]
+
+
+def run_workload(seed: bytes, faults=None, retry_policy=None, messages=4) -> str:
+    deployment = build_deployment(
+        seed=seed, faults=faults, retry_policy=retry_policy
+    )
+    try:
+        device = deployment.new_smart_device("obs-meter-001")
+        client = deployment.new_receiving_client(
+            "obs-utility", "obs-pw", attributes=["OBS-ATTR"]
+        )
+        deposits = [
+            ("OBS-ATTR", f"reading={index};q=obs".encode())
+            for index in range(messages)
+        ]
+        ProtocolDriver(deployment).run_full(device, client, deposits)
+        return deployment.obs_dump_json()
+    finally:
+        deployment.close()
+
+
+class TestDumpDeterminism:
+    def test_same_seed_fault_free_is_byte_identical(self):
+        first = run_workload(b"det-seed-1")
+        second = run_workload(b"det-seed-1")
+        assert first == second
+
+    def test_same_seed_under_chaos_is_byte_identical(self):
+        first = run_workload(b"det-chaos-1", faults=CHAOS, retry_policy=POLICY)
+        second = run_workload(b"det-chaos-1", faults=CHAOS, retry_policy=POLICY)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert run_workload(b"det-seed-a") != run_workload(b"det-seed-b")
+
+    def test_dump_shape(self):
+        dump = json.loads(run_workload(b"det-shape"))
+        assert dump["schema_version"] == 1
+        assert set(dump) == {"schema_version", "meta", "metrics", "trace", "crypto"}
+        counters = dump["metrics"]["counters"]
+        assert counters["mws.sda.accepted"] == 4
+        assert dump["crypto"]["crypto.pairings"] == 8
+        phase_names = [span["name"] for span in dump["trace"]["spans"]]
+        assert phase_names == ["phase.SD-MWS", "phase.MWS-RC", "phase.RC-PKG"]
+        # Phase spans contain the client/server crypto child spans.
+        text = json.dumps(dump["trace"])
+        for child in ("sd.ibe_encrypt", "sda.mac_verify", "tg.issue_token",
+                      "pkg.extract_key", "rc.ibe_decrypt"):
+            assert child in text
+
+    def test_histograms_present_and_populated(self):
+        dump = json.loads(run_workload(b"det-histo"))
+        histograms = dump["metrics"]["histograms"]
+        for name in (
+            "net.request_bytes",
+            "net.response_bytes",
+            "protocol.deposit.duration_us",
+            "protocol.phase.SD-MWS.duration_us",
+            "protocol.phase.MWS-RC.duration_us",
+            "protocol.phase.RC-PKG.duration_us",
+        ):
+            assert histograms[name]["count"] > 0, name
+        assert histograms["protocol.deposit.duration_us"]["count"] == 4
+
+
+class TestAdminStatus:
+    def run_deployment(self, **overrides):
+        deployment = build_deployment(**overrides)
+        device = deployment.new_smart_device("adm-meter-001")
+        client = deployment.new_receiving_client(
+            "adm-utility", "adm-pw", attributes=["ADM-ATTR"]
+        )
+        driver = ProtocolDriver(deployment)
+        driver.run_full(
+            device, client, [("ADM-ATTR", b"m-%d" % i) for i in range(3)]
+        )
+        return deployment
+
+    def test_status_is_superset_of_pre_obs_fields(self):
+        deployment = self.run_deployment()
+        try:
+            status = MwsAdmin(deployment.mws).status()
+            rows = status.as_rows()
+            names = [name for name, _ in rows]
+            # Historical fields keep their order at the front; new fields
+            # append after them.
+            assert names[: len(PRE_OBS_FIELDS)] == PRE_OBS_FIELDS
+            assert len(names) > len(PRE_OBS_FIELDS)
+        finally:
+            deployment.close()
+
+    def test_fault_free_values_match_component_stats(self):
+        deployment = self.run_deployment()
+        try:
+            status = MwsAdmin(deployment.mws).status()
+            sda = deployment.mws.sda.stats
+            assert status.deposits_accepted == sda["accepted"] == 3
+            assert status.deposits_rejected == 0
+            assert status.deposits_replayed == 0
+            assert status.retransmits_served == 0
+            assert status.retrievals_served == 1
+            assert status.tokens_issued == 1
+            assert status.deposits_malformed == 0
+            assert status.messages_served == 3
+            assert status.policy_denials == 0
+            assert status.gatekeeper_rejections == 0
+        finally:
+            deployment.close()
+
+    def test_rejected_total_derives_from_registry_prefix(self):
+        deployment = self.run_deployment()
+        try:
+            registry = deployment.mws.registry
+            # A rejection reason added later (not in any hard-coded key
+            # list) must still show up in the aggregate.
+            registry.counter("mws.sda.rejections.quarantined").inc(2)
+            status = MwsAdmin(deployment.mws).status()
+            assert status.deposits_rejected == 2
+        finally:
+            deployment.close()
+
+    def test_metrics_exposes_registry_counters(self):
+        deployment = self.run_deployment()
+        try:
+            metrics = MwsAdmin(deployment.mws).metrics()
+            assert metrics["mws.sda.accepted"] == 3
+            assert metrics["mws.tg.tokens_issued"] == 1
+            assert "net.endpoint.mws-sd.requests_served" in metrics
+        finally:
+            deployment.close()
+
+
+class TestCliDump:
+    def test_cli_obs_dump_same_seed_identical(self, tmp_path, capsys):
+        from repro.cli import main
+
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            code = main([
+                "obs", "dump", "--messages", "2",
+                "--seed", "cli-det", "--out", str(path),
+            ])
+            assert code == 0
+        first, second = (path.read_bytes() for path in paths)
+        assert first == second
+        dump = json.loads(first)
+        assert dump["schema_version"] == 1
+        assert dump["meta"]["workload"] == "cli-obs-dump"

@@ -1,0 +1,130 @@
+"""Unit tests for the span tracer and the no-op stand-in."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.sim.clock import SimClock
+
+
+def make_tracer() -> Tracer:
+    return Tracer(SimClock(tick_us=7))
+
+
+class TestSpans:
+    def test_nesting_follows_the_call_stack(self):
+        tracer = make_tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        assert [root.name for root in tracer.roots] == ["parent"]
+        parent = tracer.roots[0]
+        assert [child.name for child in parent.children] == ["child", "sibling"]
+        assert parent.children[0].children[0].name == "grandchild"
+
+    def test_sequential_roots(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [root.name for root in tracer.roots] == ["a", "b"]
+
+    def test_timestamps_come_from_the_clock(self):
+        tracer = make_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.start_us < inner.start_us
+        assert inner.end_us <= outer.end_us
+        assert outer.duration_us > 0
+
+    def test_annotate_current_span(self):
+        tracer = make_tracer()
+        with tracer.span("op") as span:
+            tracer.annotate("bytes", 42)
+            span.annotate("kind", "deposit")
+        assert span.annotations == {"bytes": 42, "kind": "deposit"}
+        # Outside any span annotate is a silent no-op.
+        tracer.annotate("ignored", 1)
+        assert tracer.current() is None
+
+    def test_exception_closes_and_marks_span(self):
+        tracer = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        span = tracer.roots[0]
+        assert span.annotations["error"] == "RuntimeError"
+        assert span.end_us is not None
+        assert tracer.current() is None
+
+    def test_find_recurses(self):
+        tracer = make_tracer()
+        with tracer.span("retry"):
+            with tracer.span("attempt"):
+                pass
+            with tracer.span("attempt"):
+                pass
+        assert len(tracer.find("attempt")) == 2
+        assert tracer.find("missing") == []
+
+
+class TestSerialisation:
+    def test_to_dict_shape(self):
+        tracer = make_tracer()
+        with tracer.span("op") as span:
+            span.annotate("b", 2)
+            span.annotate("a", 1)
+        rendered = tracer.to_dict()["spans"][0]
+        assert rendered["name"] == "op"
+        assert list(rendered["annotations"]) == ["a", "b"]
+        assert rendered["children"] == []
+        assert rendered["duration_us"] == rendered["end_us"] - rendered["start_us"]
+
+    def test_fingerprint_identical_for_identical_activity(self):
+        def run() -> str:
+            tracer = make_tracer()
+            with tracer.span("phase"):
+                with tracer.span("step") as span:
+                    span.annotate("n", 3)
+            return tracer.fingerprint()
+
+        assert run() == run()
+
+    def test_fingerprint_sensitive_to_annotations(self):
+        def run(value: int) -> str:
+            tracer = make_tracer()
+            with tracer.span("phase") as span:
+                span.annotate("n", value)
+            return tracer.fingerprint()
+
+        assert run(1) != run(2)
+
+    def test_reset_clears_state(self):
+        tracer = make_tracer()
+        with tracer.span("op"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.current() is None
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything") as span:
+            span.annotate("k", 1)
+            NULL_TRACER.annotate("k2", 2)
+        assert NULL_TRACER.current() is None
+        assert NULL_TRACER.to_dict() == {"spans": []}
+        assert NULL_TRACER.find("anything") == []
+        NULL_TRACER.reset()
+
+    def test_null_tracer_propagates_exceptions(self):
+        with pytest.raises(ValueError):
+            with NULL_TRACER.span("op"):
+                raise ValueError("surfaces")
