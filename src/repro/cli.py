@@ -52,6 +52,21 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("crypto-check",
                           help="self-test primitives against known vectors")
 
+    bench = subparsers.add_parser(
+        "bench", help="micro-benchmarks; writes a BENCH_*.json trajectory file"
+    )
+    bench.add_argument("target", choices=["pairing"],
+                       help="'pairing': legacy vs fast-path pairing and the "
+                       "FIG4-style deposit phase")
+    bench.add_argument("--preset", default="TEST80")
+    bench.add_argument("--pairings", type=int, default=20,
+                       help="pairing evaluations per timed variant")
+    bench.add_argument("--messages", type=int, default=20,
+                       help="deposits per timed deposit-phase variant")
+    bench.add_argument("--out", default="BENCH_pairing.json",
+                       help="output JSON path ('-' for stdout only)")
+    bench.add_argument("--indent", type=int, default=2)
+
     obs = subparsers.add_parser(
         "obs", help="observability: dump metrics/traces/crypto profiles"
     )
@@ -214,6 +229,134 @@ def _cmd_crypto_check(_args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_bench(args) -> int:
+    """Benchmark the pairing fast path and record a perf trajectory file.
+
+    Three sections, mirroring the ISSUE acceptance criteria:
+
+    * ``pairing``   — wall-clock per pairing: legacy affine Miller loop vs
+      the projective fast path vs fixed-argument evaluation.
+    * ``inversions`` — *deterministic* obs-counter budgets: field
+      inversions per pairing on each path (what CI gates on).
+    * ``deposit_phase`` — FIG4-style SD deposit build: legacy
+      (no fast path, no cache) vs fast+cache with per-message nonces vs
+      warm cache with a repeated static identity.
+    """
+    import json
+
+    from repro.core.deployment import Deployment, DeploymentConfig
+    from repro.mathlib.rand import HmacDrbg
+    from repro.obs.crypto import profiled
+    from repro.pairing import FixedArgumentTate, get_preset
+
+    params = get_preset(args.preset)
+    rng = HmacDrbg(b"repro-bench-pairing")
+    pairs = [
+        (
+            params.random_scalar(rng) * params.generator,
+            params.random_scalar(rng) * params.generator,
+        )
+        for _ in range(max(2, args.pairings))
+    ]
+
+    def per_op(callback) -> float:
+        started = time.perf_counter()
+        for a, b in pairs:
+            callback(a, b)
+        return (time.perf_counter() - started) / len(pairs)
+
+    legacy_s = per_op(lambda a, b: params.pair(a, b, fast=False))
+    fast_s = per_op(lambda a, b: params.pair(a, b, fast=True))
+    engine = FixedArgumentTate(pairs[0][0], params.q, params.ext_curve)
+    started = time.perf_counter()
+    for _, b in pairs:
+        engine(params.distort(b))
+    fixed_s = (time.perf_counter() - started) / len(pairs)
+
+    with profiled() as legacy_ops:
+        params.pair(*pairs[0], fast=False)
+    with profiled() as fast_ops:
+        params.pair(*pairs[0], fast=True)
+    legacy_inv = legacy_ops.fp2_inv + legacy_ops.fp_inversions
+    fast_inv = fast_ops.fp2_inv + fast_ops.fp_inversions
+
+    def deposit_per_msg(use_fast: bool, cache_size: int, use_nonce: bool) -> float:
+        from repro.pairing import curve as curve_mod
+
+        deployment = Deployment.build(
+            DeploymentConfig(
+                preset=args.preset,
+                seed=b"repro-bench-fig4",
+                use_fast_pairing=use_fast,
+                crypto_cache_size=cache_size,
+                use_nonce=use_nonce,
+            )
+        )
+        try:
+            device = deployment.new_smart_device("bench-meter")
+            body = b"reading=42.0kWh;bench"
+            if not use_nonce:
+                device.build_deposit("BENCH-ATTR", body)  # prime the cache
+            # The legacy lane also routes scalar mults through the
+            # original affine ladder, so the baseline matches the
+            # pre-optimisation code rather than half of the fast path.
+            curve_mod.USE_WNAF = use_fast
+            started = time.perf_counter()
+            for _ in range(args.messages):
+                device.build_deposit("BENCH-ATTR", body)
+            return (time.perf_counter() - started) / args.messages
+        finally:
+            curve_mod.USE_WNAF = True
+            deployment.close()
+
+    legacy_msg_s = deposit_per_msg(use_fast=False, cache_size=0, use_nonce=True)
+    fast_msg_s = deposit_per_msg(use_fast=True, cache_size=256, use_nonce=True)
+    warm_msg_s = deposit_per_msg(use_fast=True, cache_size=256, use_nonce=False)
+
+    dump = {
+        "bench": "pairing",
+        "schema_version": 1,
+        "meta": {
+            "preset": args.preset,
+            "pairings": len(pairs),
+            "messages": args.messages,
+        },
+        "pairing": {
+            "legacy_ms_per_op": round(legacy_s * 1e3, 3),
+            "fast_ms_per_op": round(fast_s * 1e3, 3),
+            "fixed_arg_ms_per_op": round(fixed_s * 1e3, 3),
+            "speedup": round(legacy_s / fast_s, 2),
+        },
+        "inversions": {
+            "legacy_per_pairing": legacy_inv,
+            "fast_per_pairing": fast_inv,
+            "ratio": round(legacy_inv / fast_inv, 1),
+        },
+        "deposit_phase": {
+            "legacy_ms_per_msg": round(legacy_msg_s * 1e3, 3),
+            "fast_ms_per_msg": round(fast_msg_s * 1e3, 3),
+            "warm_cache_ms_per_msg": round(warm_msg_s * 1e3, 3),
+            "speedup": round(legacy_msg_s / fast_msg_s, 2),
+            "warm_speedup": round(legacy_msg_s / warm_msg_s, 2),
+        },
+    }
+    text = json.dumps(dump, sort_keys=True, indent=args.indent) + "\n"
+    if args.out and args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    print(
+        f"pairing: {legacy_s * 1e3:.2f} -> {fast_s * 1e3:.2f} ms/op "
+        f"({legacy_s / fast_s:.1f}x); inversions {legacy_inv} -> {fast_inv} "
+        f"({legacy_inv / fast_inv:.0f}x); deposit {legacy_msg_s * 1e3:.2f} -> "
+        f"{fast_msg_s * 1e3:.2f} ms/msg ({legacy_msg_s / fast_msg_s:.1f}x, "
+        f"warm {legacy_msg_s / warm_msg_s:.1f}x)"
+    )
+    return 0
+
+
 def _cmd_obs(args) -> int:
     """Run a small deterministic workload and emit the obs dump JSON."""
     from repro.clients.transport import RetryPolicy
@@ -268,6 +411,7 @@ _COMMANDS = {
     "params": _cmd_params,
     "table1": _cmd_table1,
     "crypto-check": _cmd_crypto_check,
+    "bench": _cmd_bench,
     "obs": _cmd_obs,
 }
 

@@ -79,10 +79,15 @@ class ReceivingClient:
         retry_policy: RetryPolicy | None = None,
         registry=None,
         tracer=None,
+        crypto_cache=None,
     ) -> None:
         self.rc_id = rc_id
         self._password = password
         self._public = public_params
+        #: Optional :class:`repro.ibe.cache.CryptoCache` shared with the
+        #: rest of the deployment (cached values are public material).
+        if crypto_cache is not None:
+            public_params.cache = crypto_cache
         self._rsa = rsa_keypair
         self._clock = clock if clock is not None else WallClock()
         self._rng = rng if rng is not None else SystemRandomSource()

@@ -60,9 +60,14 @@ class SmartDevice:
         retry_policy: RetryPolicy | None = None,
         registry=None,
         tracer=None,
+        crypto_cache=None,
     ) -> None:
         self.device_id = device_id
         self._public = public_params
+        #: Optional :class:`repro.ibe.cache.CryptoCache` — attached to the
+        #: public parameters so every encryption through them is memoized.
+        if crypto_cache is not None:
+            public_params.cache = crypto_cache
         self._shared_key = shared_key
         self._clock = clock if clock is not None else WallClock()
         self._rng = rng if rng is not None else SystemRandomSource()

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.ibe import setup
+from repro.ibe.cache import CryptoCache
 from repro.ibe.keys import MasterKeyPair, PublicParams
 from repro.clients.receiving_client import ReceivingClient
 from repro.clients.smart_device import SmartDevice
@@ -62,6 +63,14 @@ class DeploymentConfig:
     rsa_bits: int = 1024
     #: Per-message nonces (True) vs static attribute keys — ablation 2.
     use_nonce: bool = True
+    #: Route pairings through the projective fast path (bit-identical
+    #: output; see docs/PERFORMANCE.md).  False forces the legacy affine
+    #: Miller loop everywhere — the benchmark baseline.
+    use_fast_pairing: bool = True
+    #: Capacity of the shared identity-keyed CryptoCache (H1 points and
+    #: G_T pairing values; see repro.ibe.cache).  0 disables caching
+    #: entirely — every pairing and MapToPoint is recomputed.
+    crypto_cache_size: int = 256
     #: Devices additionally sign deposits with identity-based signatures
     #: and the SDA verifies them (§VIII future work).
     use_device_signatures: bool = False
@@ -136,6 +145,11 @@ class Deployment:
             rng=rng.fork(b"master"),
             pairing_algorithm=config.pairing_algorithm,
         )
+        master.public.params.use_fast_path = config.use_fast_pairing
+        if config.crypto_cache_size > 0:
+            # One cache for the whole deployment: every component shares
+            # master.public, and cached values are public material.
+            master.public.cache = CryptoCache(config.crypto_cache_size)
         mws_pkg_key = rng.fork(b"mws-pkg").randbytes(SESSION_KEY_LENGTH)
         mws_config = config.mws
         mws_config.gatekeeper_cipher = config.gatekeeper_cipher
@@ -192,6 +206,11 @@ class Deployment:
     @property
     def public_params(self) -> PublicParams:
         return self.master.public
+
+    @property
+    def crypto_cache(self) -> CryptoCache | None:
+        """The shared identity-keyed cache (None when disabled by config)."""
+        return self.master.public.cache
 
     @property
     def fault_plan(self) -> FaultPlan | None:

@@ -12,6 +12,17 @@ from repro.errors import CipherError
 
 __all__ = ["Hmac", "hmac_sha1", "hmac_sha256", "hmac_md5", "constant_time_equal"]
 
+#: Per-(algorithm, key) cache of the two HMAC pad-block midstates.
+#: HMAC absorbs ``key ^ ipad`` / ``key ^ opad`` as the first block of
+#: the inner/outer hashes; for a repeated key (the HMAC-DRBG's generate
+#: loop, a device's per-registration MAC key) those two compressions
+#: are identical on every MAC, so the states are computed once and
+#: cloned per use.  Output is bit-identical to the uncached path.  The
+#: cache is bounded and flushed wholesale when full — correctness never
+#: depends on an entry being present.
+_PAD_STATE_CACHE: dict = {}
+_PAD_STATE_CACHE_MAX = 512
+
 
 def constant_time_equal(a: bytes, b: bytes) -> bool:
     """Compare two byte strings without data-dependent early exit.
@@ -43,12 +54,22 @@ class Hmac:
             raise CipherError(f"unknown hash algorithm {algorithm!r}")
         self._hash_cls = HASH_REGISTRY[algorithm]
         self.digest_size = self._hash_cls.digest_size
-        block_size = self._hash_cls.block_size
-        if len(key) > block_size:
-            key = self._hash_cls(key).digest()
-        key = key.ljust(block_size, b"\x00")
-        self._outer_key = bytes(b ^ 0x5C for b in key)
-        self._inner = self._hash_cls(bytes(b ^ 0x36 for b in key))
+        cache_key = (algorithm, key)
+        cached = _PAD_STATE_CACHE.get(cache_key)
+        if cached is None:
+            block_size = self._hash_cls.block_size
+            if len(key) > block_size:
+                key = self._hash_cls(key).digest()
+            padded = key.ljust(block_size, b"\x00")
+            cached = (
+                self._hash_cls(bytes(b ^ 0x36 for b in padded)),
+                self._hash_cls(bytes(b ^ 0x5C for b in padded)),
+            )
+            if len(_PAD_STATE_CACHE) >= _PAD_STATE_CACHE_MAX:
+                _PAD_STATE_CACHE.clear()
+            _PAD_STATE_CACHE[cache_key] = cached
+        self._inner = cached[0].copy()
+        self._outer = cached[1]
         if data:
             self.update(data)
 
@@ -59,8 +80,9 @@ class Hmac:
 
     def digest(self) -> bytes:
         """The digest of everything absorbed so far (non-finalising)."""
-        inner_digest = self._inner.digest()
-        return self._hash_cls(self._outer_key + inner_digest).digest()
+        outer = self._outer.copy()
+        outer.update(self._inner.digest())
+        return outer.digest()
 
     def hexdigest(self) -> str:
         """Hex form of :meth:`digest`."""

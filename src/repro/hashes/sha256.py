@@ -75,43 +75,65 @@ class SHA256:
             raise TypeError(f"SHA256.update expects bytes, got {type(data).__name__}")
         data = bytes(data)
         self._length += len(data)
-        self._buffer += data
-        while len(self._buffer) >= self.block_size:
-            self._compress(self._buffer[: self.block_size])
-            self._buffer = self._buffer[self.block_size :]
+        buffer = self._buffer + data
+        n = len(buffer)
+        if n >= 64:
+            compress = self._compress
+            end = n - (n & 63)
+            for offset in range(0, end, 64):
+                compress(buffer[offset : offset + 64])
+            buffer = buffer[end:]
+        self._buffer = buffer
         return self
 
     def _compress(self, block: bytes) -> None:
+        # Rotations are written out inline: a helper call per rotation
+        # (12 per round, 64 rounds) dominates the cost of the whole
+        # library when SHA-256 backs the DRBG and every MAC.  Unmasked
+        # intermediates are safe — stray bits above 2^32 never carry
+        # *down*, so masking only the final sums is equivalent.
+        mask = _MASK32
         w = list(struct.unpack(">16I", block))
+        append = w.append
         for t in range(16, 64):
-            s0 = _rotr(w[t - 15], 7) ^ _rotr(w[t - 15], 18) ^ (w[t - 15] >> 3)
-            s1 = _rotr(w[t - 2], 17) ^ _rotr(w[t - 2], 19) ^ (w[t - 2] >> 10)
-            w.append((w[t - 16] + s0 + w[t - 7] + s1) & _MASK32)
+            x = w[t - 15]
+            s0 = ((x >> 7) | (x << 25)) ^ ((x >> 18) | (x << 14)) ^ (x >> 3)
+            y = w[t - 2]
+            s1 = ((y >> 17) | (y << 15)) ^ ((y >> 19) | (y << 13)) ^ (y >> 10)
+            append((w[t - 16] + s0 + w[t - 7] + s1) & mask)
         a, b, c, d, e, f, g, h = self._state
-        for t in range(64):
-            big_s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
-            ch = (e & f) ^ (~e & g)
-            temp1 = (h + big_s1 + ch + _K[t] + w[t]) & _MASK32
-            big_s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
-            maj = (a & b) ^ (a & c) ^ (b & c)
-            temp2 = (big_s0 + maj) & _MASK32
-            h, g, f, e, d, c, b, a = (
-                g, f, e, (d + temp1) & _MASK32, c, b, a, (temp1 + temp2) & _MASK32,
-            )
-        self._state = [
-            (s + v) & _MASK32
-            for s, v in zip(self._state, (a, b, c, d, e, f, g, h))
-        ]
+        for kt, wt in zip(_K, w):
+            s1 = ((e >> 6) | (e << 26)) ^ ((e >> 11) | (e << 21)) ^ ((e >> 25) | (e << 7))
+            temp1 = (h + s1 + ((e & f) ^ (~e & g)) + kt + wt) & mask
+            s0 = ((a >> 2) | (a << 30)) ^ ((a >> 13) | (a << 19)) ^ ((a >> 22) | (a << 10))
+            temp2 = (s0 + ((a & b) ^ (a & c) ^ (b & c))) & mask
+            h = g
+            g = f
+            f = e
+            e = (d + temp1) & mask
+            d = c
+            c = b
+            b = a
+            a = (temp1 + temp2) & mask
+        state = self._state
+        state[0] = (state[0] + a) & mask
+        state[1] = (state[1] + b) & mask
+        state[2] = (state[2] + c) & mask
+        state[3] = (state[3] + d) & mask
+        state[4] = (state[4] + e) & mask
+        state[5] = (state[5] + f) & mask
+        state[6] = (state[6] + g) & mask
+        state[7] = (state[7] + h) & mask
 
     def digest(self) -> bytes:
         """The digest of everything absorbed so far (non-finalising)."""
         clone = self.copy()
-        bit_length = clone._length * 8
-        clone.update(b"\x80")
-        pad_len = (56 - clone._length % 64) % 64
-        clone.update(b"\x00" * pad_len)
-        clone._buffer += struct.pack(">Q", bit_length)
-        clone._compress(clone._buffer)
+        length = clone._length
+        clone.update(
+            b"\x80"
+            + b"\x00" * ((55 - length) % 64)
+            + struct.pack(">Q", length * 8)
+        )
         return struct.pack(">8I", *clone._state)
 
     def hexdigest(self) -> str:

@@ -13,6 +13,7 @@ Three schemes, matching the paper's usage:
 """
 
 from repro.ibe.basic_ident import BasicIdent, BasicCiphertext
+from repro.ibe.cache import CryptoCache
 from repro.ibe.full_ident import FullIdent, FullCiphertext
 from repro.ibe.kem import HybridCiphertext, IbeKem, hybrid_decrypt, hybrid_encrypt
 from repro.ibe.keys import (
@@ -32,6 +33,7 @@ from repro.ibe.signatures import (
 
 __all__ = [
     "setup",
+    "CryptoCache",
     "PublicParams",
     "MasterKeyPair",
     "IdentityPrivateKey",

@@ -62,11 +62,10 @@ class BasicIdent:
         if prof is not None:
             prof.ibe_encrypts += 1
         params = self._public.params
-        q_id = self._public.hash_identity(identity)
         r = params.random_scalar(self._rng)
-        g = self._public.pair(q_id, self._public.p_pub) ** r
+        g = self._public.gt_power(identity, r)
         mask = mask_bytes(gt_to_bytes(g), len(message))
-        return BasicCiphertext(u=r * params.generator, v=_xor(message, mask))
+        return BasicCiphertext(u=params.mul_generator(r), v=_xor(message, mask))
 
     def decrypt(self, private_key: IdentityPrivateKey, ciphertext: BasicCiphertext) -> bytes:
         """Decrypt with ``d_ID``; any key yields *some* bytes (CPA scheme:

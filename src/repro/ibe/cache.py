@@ -1,0 +1,228 @@
+"""Identity-keyed crypto cache: memoized MapToPoint and deposit pairings.
+
+The deposit hot path computes, per message, ``Q_ID = H1(A || Nonce)``
+(a cube root) and ``g = e(Q_ID, P_pub)`` (a Miller loop).  Both depend
+only on the identity string and the fixed public key, so under repeated
+attributes — the paper's warehouse traffic pattern with nonces disabled,
+or the PKG re-extracting for popular identities — they are pure
+recomputation.  :class:`CryptoCache` memoizes both layers:
+
+* ``H1(identity) -> Q_ID`` (saves the MapToPoint cube root), and
+* ``identity -> e(Q_ID, phi(P_pub))`` in G_T (saves the whole pairing),
+  evaluated through a :class:`repro.pairing.fast_tate.FixedArgumentTate`
+  engine whose Miller line coefficients for ``P_pub`` are precomputed
+  once (the modified pairing is symmetric, so
+  ``e(Q_ID, P_pub) = e(P_pub, Q_ID)`` — bit-for-bit).
+
+Both maps are bounded LRUs.  Entries are validated against fingerprints
+of the group parameters and of ``P_pub``: a PKG re-setup (new primes)
+invalidates everything, a ``P_pub`` rotation invalidates the G_T layer
+and the engine while the H1 layer survives (it depends only on the
+group).  Hits and misses are surfaced through the obs crypto counters
+(``crypto.cache.{h1,pairing}.{hit,miss}``) and :meth:`CryptoCache.stats`.
+
+Cached values are *public* material (identity hashes and the pairing of
+two public points); the secrets — ``r``, ``s``, ``d_ID`` — never enter
+the cache, so sharing one cache across components leaks nothing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ParameterError
+from repro.obs import crypto as _obs_crypto
+from repro.pairing.curve import Point
+from repro.pairing.fast_tate import FixedArgumentTate
+from repro.pairing.fields import Fp2Element
+from repro.pairing.hashing import hash_to_point
+from repro.pairing.precompute import FixedBaseGt
+
+__all__ = ["CryptoCache", "DEFAULT_CACHE_CAPACITY"]
+
+#: Default bound for each LRU layer (identities, not bytes).
+DEFAULT_CACHE_CAPACITY = 256
+
+
+class CryptoCache:
+    """Bounded LRU memoization of H1 and fixed-``P_pub`` pairings.
+
+    One instance is safely shared by every component of a deployment
+    (SmartDevice, ReceivingClient, PKG) — see module docstring for why.
+    ``capacity`` bounds each layer independently.
+    """
+
+    __slots__ = (
+        "capacity",
+        "_h1",
+        "_gt",
+        "_gt_pow",
+        "_engine",
+        "_group_fp",
+        "_pub_fp",
+        "h1_hits",
+        "h1_misses",
+        "pairing_hits",
+        "pairing_misses",
+        "invalidations",
+    )
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ParameterError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._h1: OrderedDict[bytes, Point] = OrderedDict()
+        self._gt: OrderedDict[bytes, Fp2Element] = OrderedDict()
+        self._gt_pow: OrderedDict[bytes, FixedBaseGt] = OrderedDict()
+        self._engine: FixedArgumentTate | None = None
+        self._group_fp = None
+        self._pub_fp = None
+        self.h1_hits = 0
+        self.h1_misses = 0
+        self.pairing_hits = 0
+        self.pairing_misses = 0
+        self.invalidations = 0
+
+    # -- invalidation ----------------------------------------------------
+
+    def _sync(self, public) -> None:
+        """Drop whatever the current ``public`` makes stale.
+
+        New group parameters (PKG re-setup) empty both layers; a new
+        ``P_pub`` under the same group (key rotation) empties only the
+        pairing layer and its precomputed engine.
+        """
+        group_fp = (
+            public.params.p,
+            public.params.q,
+            public.params.pairing_algorithm,
+        )
+        pub_fp = public.p_pub.to_bytes()
+        if group_fp != self._group_fp:
+            if self._group_fp is not None:
+                self.invalidations += 1
+            self._h1.clear()
+            self._gt.clear()
+            self._gt_pow.clear()
+            self._engine = None
+            self._group_fp = group_fp
+            self._pub_fp = pub_fp
+        elif pub_fp != self._pub_fp:
+            self.invalidations += 1
+            self._gt.clear()
+            self._gt_pow.clear()
+            self._engine = None
+            self._pub_fp = pub_fp
+
+    def clear(self) -> None:
+        """Explicitly drop every cached value and the pairing engine."""
+        self._h1.clear()
+        self._gt.clear()
+        self._gt_pow.clear()
+        self._engine = None
+        self._group_fp = None
+        self._pub_fp = None
+
+    # -- the two memoized layers -----------------------------------------
+
+    def h1_point(self, public, identity: bytes) -> Point:
+        """``H1(identity)`` with LRU memoization of the MapToPoint result."""
+        self._sync(public)
+        identity = bytes(identity)
+        prof = _obs_crypto.ACTIVE
+        cached = self._h1.get(identity)
+        if cached is not None:
+            self._h1.move_to_end(identity)
+            self.h1_hits += 1
+            if prof is not None:
+                prof.cache_h1_hit += 1
+            return cached
+        self.h1_misses += 1
+        if prof is not None:
+            prof.cache_h1_miss += 1
+        point = hash_to_point(public.params, identity)
+        self._h1[identity] = point
+        if len(self._h1) > self.capacity:
+            self._h1.popitem(last=False)
+        return point
+
+    def shared_gt(self, public, identity: bytes) -> Fp2Element:
+        """``e(H1(identity), P_pub)`` with LRU memoization in G_T.
+
+        A warm hit performs zero cube roots and zero Miller loops; a
+        miss goes through the fixed-argument engine (line coefficients
+        for ``P_pub`` computed once per rotation).
+        """
+        self._sync(public)
+        identity = bytes(identity)
+        prof = _obs_crypto.ACTIVE
+        cached = self._gt.get(identity)
+        if cached is not None:
+            self._gt.move_to_end(identity)
+            self.pairing_hits += 1
+            if prof is not None:
+                prof.cache_pairing_hit += 1
+            return cached
+        self.pairing_misses += 1
+        if prof is not None:
+            prof.cache_pairing_miss += 1
+        q_id = self.h1_point(public, identity)
+        if public.params.pairing_algorithm != "tate":
+            # Weil (and any future algorithm) is still memoizable — the
+            # value only depends on (identity, P_pub) — but must not go
+            # through the Tate-specific fixed-argument engine.
+            value = public.pair(q_id, public.p_pub)
+        else:
+            if self._engine is None:
+                self._engine = FixedArgumentTate(
+                    public.p_pub, public.params.q, public.params.ext_curve
+                )
+            value = self._engine(public.params.distort(q_id))
+        self._gt[identity] = value
+        if len(self._gt) > self.capacity:
+            self._gt.popitem(last=False)
+        return value
+
+    def gt_power(self, public, identity: bytes, exponent: int) -> Fp2Element:
+        """``e(H1(identity), P_pub) ** exponent`` via a cached window table.
+
+        The base is the memoized :meth:`shared_gt` value; the first power
+        for an identity additionally builds a
+        :class:`repro.pairing.precompute.FixedBaseGt` table, so repeated
+        deposits to the same identity cost ~``q_bits/4`` multiplications
+        instead of a full square-and-multiply ladder.  Bit-identical to
+        ``shared_gt(...) ** exponent`` (the base has order ``q``, so the
+        table's reduction mod ``q`` changes nothing).
+        """
+        base = self.shared_gt(public, identity)
+        identity = bytes(identity)
+        table = self._gt_pow.get(identity)
+        if table is None or table.base != base:
+            table = FixedBaseGt(base, public.params.q)
+            self._gt_pow[identity] = table
+            if len(self._gt_pow) > self.capacity:
+                self._gt_pow.popitem(last=False)
+        else:
+            self._gt_pow.move_to_end(identity)
+        return table(exponent)
+
+    # -- introspection ---------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime hit/miss/size numbers (independent of the obs sink)."""
+        return {
+            "h1_hits": self.h1_hits,
+            "h1_misses": self.h1_misses,
+            "h1_size": len(self._h1),
+            "pairing_hits": self.pairing_hits,
+            "pairing_misses": self.pairing_misses,
+            "pairing_size": len(self._gt),
+            "invalidations": self.invalidations,
+            "capacity": self.capacity,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CryptoCache(capacity={self.capacity}, "
+            f"h1={len(self._h1)}, gt={len(self._gt)})"
+        )

@@ -70,13 +70,12 @@ class FullIdent:
         if prof is not None:
             prof.ibe_encrypts += 1
         params = self._public.params
-        q_id = self._public.hash_identity(identity)
         sigma = self._rng.randbytes(_SIGMA_LEN)
         r = hash_to_scalar(params, sigma + message)
-        g_r = self._public.pair(q_id, self._public.p_pub) ** r
+        g_r = self._public.gt_power(identity, r)
         v = _xor(sigma, mask_bytes(gt_to_bytes(g_r), _SIGMA_LEN, _H2_DOMAIN))
         w = _xor(message, mask_bytes(sigma, len(message), _H4_DOMAIN))
-        return FullCiphertext(u=r * params.generator, v=v, w=w)
+        return FullCiphertext(u=params.mul_generator(r), v=v, w=w)
 
     def decrypt(self, private_key: IdentityPrivateKey, ciphertext: FullCiphertext) -> bytes:
         """Decrypt and verify the FO consistency check.
@@ -102,7 +101,7 @@ class FullIdent:
             ciphertext.w, mask_bytes(sigma, len(ciphertext.w), _H4_DOMAIN)
         )
         r = hash_to_scalar(params, sigma + message)
-        if r * params.generator != ciphertext.u:
+        if params.mul_generator(r) != ciphertext.u:
             raise DecryptionError(
                 "Fujisaki-Okamoto check failed: ciphertext is not a valid "
                 "encryption under this identity"

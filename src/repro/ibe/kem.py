@@ -47,11 +47,10 @@ class IbeKem:
         if prof is not None:
             prof.kem_encapsulations += 1
         params = self._public.params
-        i_point = self._public.hash_identity(identity)
         r = params.random_scalar(self._rng)
-        shared = self._public.pair(i_point, self._public.p_pub) ** r
+        shared = self._public.gt_power(identity, r)
         key = mask_bytes(gt_to_bytes(shared), key_length, _KEM_DOMAIN)
-        return r * params.generator, key
+        return params.mul_generator(r), key
 
     def decapsulate(self, private_point: Point, r_p: Point, key_length: int) -> bytes:
         """Recompute ``K`` from ``sI`` (the extracted key) and ``rP``."""

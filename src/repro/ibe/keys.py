@@ -9,9 +9,10 @@ cross the simulated network and be persisted in the storage engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import DecodeError, ParameterError
+from repro.ibe.cache import CryptoCache
 from repro.mathlib.rand import RandomSource, SystemRandomSource
 from repro.obs import crypto as _obs_crypto
 from repro.pairing.curve import Point
@@ -32,14 +33,42 @@ class PublicParams:
 
     params: BFParams
     p_pub: Point
+    #: Optional identity-keyed memoization (see :mod:`repro.ibe.cache`);
+    #: excluded from equality/serialisation — it is an accelerator, not
+    #: part of the public parameters.
+    cache: CryptoCache | None = field(default=None, compare=False, repr=False)
 
     def hash_identity(self, identity: bytes) -> Point:
         """Q_ID = H1(identity): the public key derived from a string."""
+        if self.cache is not None:
+            return self.cache.h1_point(self, identity)
         return hash_to_point(self.params, identity)
 
     def pair(self, a: Point, b: Point) -> Fp2Element:
         """The modified symmetric pairing over base-field points."""
         return self.params.pair(a, b)
+
+    def shared_gt(self, identity: bytes) -> Fp2Element:
+        """``e(H1(identity), P_pub)`` — the encryptor's fixed pairing.
+
+        This is the value every deposit-phase encryption raises to its
+        ephemeral ``r``; routing it here lets an attached cache skip the
+        whole MapToPoint + Miller computation for repeated identities.
+        """
+        if self.cache is not None:
+            return self.cache.shared_gt(self, identity)
+        q_id = self.hash_identity(identity)
+        return self.pair(q_id, self.p_pub)
+
+    def gt_power(self, identity: bytes, exponent: int) -> Fp2Element:
+        """``shared_gt(identity) ** exponent`` — the encryptor's ``g^r``.
+
+        With a cache attached the power runs through a per-identity
+        fixed-base window table; the value is bit-identical either way.
+        """
+        if self.cache is not None:
+            return self.cache.gt_power(self, identity, exponent)
+        return self.shared_gt(identity) ** exponent
 
     def to_bytes(self) -> bytes:
         """Serialise as ``p || q || algorithm || P || P_pub`` (self-describing)."""

@@ -10,6 +10,7 @@ rather than returning sentinel values.
 from __future__ import annotations
 
 from repro.errors import MathError, NoSquareRootError, NotInvertibleError
+from repro.obs import crypto as _obs_crypto
 
 __all__ = [
     "egcd",
@@ -175,4 +176,7 @@ def cube_root_mod_p(a: int, p: int) -> int:
     """
     if p % 3 != 2:
         raise MathError(f"cube_root_mod_p requires p % 3 == 2, got p % 3 == {p % 3}")
+    prof = _obs_crypto.ACTIVE
+    if prof is not None:
+        prof.cube_roots += 1
     return pow(a % p, (2 * p - 1) // 3, p)

@@ -20,7 +20,12 @@ import json
 __all__ = ["build_dump", "dump_to_json"]
 
 #: Bumped when the dump layout changes shape (not when values change).
-DUMP_SCHEMA_VERSION = 1
+#: v2: the ``crypto`` section (and the mirrored ``crypto.*`` metric
+#: counters) gained ``fp_inversions``, ``cube_roots`` and the four
+#: ``cache.{h1,pairing}.{hit,miss}`` keys.  Strictly additive — v1
+#: consumers that ignore unknown keys keep working (see
+#: docs/OBSERVABILITY.md §4).
+DUMP_SCHEMA_VERSION = 2
 
 
 def build_dump(registry, tracer=None, crypto=None, meta=None) -> dict:

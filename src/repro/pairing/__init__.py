@@ -9,7 +9,8 @@ non-degenerate, and the Boneh–Franklin MapToPoint hash.
 """
 
 from repro.pairing.curve import Curve, Point
-from repro.pairing.fields import Fp, Fp2, FpElement, Fp2Element
+from repro.pairing.fast_tate import FixedArgumentTate, tate_pairing_fast
+from repro.pairing.fields import Fp, Fp2, FpElement, Fp2Element, batch_inverse
 from repro.pairing.hashing import (
     gt_to_bytes,
     hash_to_point,
@@ -32,7 +33,10 @@ __all__ = [
     "Fp2Element",
     "Curve",
     "Point",
+    "batch_inverse",
     "tate_pairing",
+    "tate_pairing_fast",
+    "FixedArgumentTate",
     "FixedBasePoint",
     "FixedBaseGt",
     "weil_pairing",

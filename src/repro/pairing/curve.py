@@ -14,9 +14,137 @@ from __future__ import annotations
 from repro.errors import CurveError, PointNotOnCurveError
 from repro.mathlib.modular import cube_root_mod_p
 from repro.mathlib.rand import RandomSource
-from repro.pairing.fields import Fp, Fp2, Fp2Element, FpElement
+from repro.pairing.fields import Fp, Fp2, Fp2Element, FpElement, batch_inverse
 
 __all__ = ["Curve", "Point"]
+
+
+# -- Jacobian-coordinate group law (a = 0 short Weierstrass) ----------------
+#
+# Internal fast path for scalar multiplication: a point (X, Y, Z) with
+# Z != 0 represents the affine point (X/Z^2, Y/Z^3); Z == 0 (returned as
+# ``None`` by the helpers below) is the point at infinity.  Add and
+# double are inversion-free; a multiplication performs exactly one
+# batched normalisation (see :func:`repro.pairing.fields.batch_inverse`)
+# for the window table plus one inversion for the final result.
+
+
+def _jac_double(X1, Y1, Z1):
+    """Double (X1, Y1, Z1); returns None for the 2-torsion case Y1 == 0."""
+    if Y1.is_zero():
+        return None
+    A = X1 * X1
+    B = Y1 * Y1
+    C = B * B
+    t = X1 + B
+    D = t * t - A - C
+    D = D + D  # 4*X1*Y1^2
+    E = A + A + A  # 3*X1^2 (a = 0: no +a*Z^4 term)
+    X3 = E * E - (D + D)
+    Y3 = E * (D - X3) - 8 * C
+    Z3 = Y1 * Z1
+    return X3, Y3, Z3 + Z3
+
+
+def _jac_add(P, Q):
+    """General Jacobian + Jacobian addition; None means infinity."""
+    if P is None:
+        return Q
+    if Q is None:
+        return P
+    X1, Y1, Z1 = P
+    X2, Y2, Z2 = Q
+    Z1Z1 = Z1 * Z1
+    Z2Z2 = Z2 * Z2
+    U1 = X1 * Z2Z2
+    U2 = X2 * Z1Z1
+    S1 = Y1 * Z2 * Z2Z2
+    S2 = Y2 * Z1 * Z1Z1
+    H = U2 - U1
+    r = S2 - S1
+    if H.is_zero():
+        if r.is_zero():
+            return _jac_double(X1, Y1, Z1)
+        return None  # P + (-P)
+    HH = H * H
+    HHH = H * HH
+    V = U1 * HH
+    X3 = r * r - HHH - (V + V)
+    Y3 = r * (V - X3) - S1 * HHH
+    Z3 = Z1 * Z2 * H
+    return X3, Y3, Z3
+
+
+def _jac_add_mixed(P, x2, y2):
+    """Jacobian + affine (x2, y2) mixed addition; None means infinity."""
+    if P is None:
+        return x2, y2, x2.field.one()
+    X1, Y1, Z1 = P
+    Z1Z1 = Z1 * Z1
+    U2 = x2 * Z1Z1
+    S2 = y2 * Z1 * Z1Z1
+    H = U2 - X1
+    r = S2 - Y1
+    if H.is_zero():
+        if r.is_zero():
+            return _jac_double(X1, Y1, Z1)
+        return None
+    HH = H * H
+    HHH = H * HH
+    V = X1 * HH
+    X3 = r * r - HHH - (V + V)
+    Y3 = r * (V - X3) - Y1 * HHH
+    Z3 = Z1 * H
+    return X3, Y3, Z3
+
+
+def _batch_to_affine(curve: "Curve", jacobians):
+    """Normalise Jacobian triples to affine (x, y) pairs with ONE inversion.
+
+    ``None`` entries (infinity) pass through as ``None``; the rest share a
+    single :func:`batch_inverse` call over their Z coordinates.
+    """
+    finite = [jac for jac in jacobians if jac is not None]
+    z_invs = iter(batch_inverse([jac[2] for jac in finite]))
+    out = []
+    for jac in jacobians:
+        if jac is None:
+            out.append(None)
+            continue
+        z_inv = next(z_invs)
+        z_inv2 = z_inv * z_inv
+        out.append((jac[0] * z_inv2, jac[1] * z_inv2 * z_inv))
+    return out
+
+
+def _wnaf(scalar: int, width: int) -> list[int]:
+    """Width-``w`` non-adjacent form, least-significant digit first."""
+    digits = []
+    window = 1 << width
+    half = window >> 1
+    while scalar:
+        if scalar & 1:
+            digit = scalar & (window - 1)
+            if digit >= half:
+                digit -= window
+            scalar -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        scalar >>= 1
+    return digits
+
+
+#: Scalars at or below this bit length take the plain affine ladder —
+#: the wNAF table setup does not pay for itself there.
+_WNAF_THRESHOLD_BITS = 16
+_WNAF_WIDTH = 4
+
+#: Process-wide switch for the wNAF/Jacobian scalar-mult fast path.
+#: Flipping it to False routes every ``k * P`` through the original
+#: affine double-and-add ladder — only benchmarks use this, to measure
+#: against a baseline faithful to the pre-optimisation code.
+USE_WNAF = True
 
 
 class Point:
@@ -94,7 +222,16 @@ class Point:
         return self + (-other)
 
     def double(self) -> "Point":
-        return self + self
+        """Direct tangent-line doubling (no ``__add__`` branch re-checks)."""
+        if self.infinity:
+            return self
+        if self.y.is_zero():
+            # 2-torsion: the tangent is vertical.
+            return self.curve.infinity()
+        slope = (3 * self.x * self.x) / (2 * self.y)
+        x3 = slope * slope - self.x - self.x
+        y3 = slope * (self.x - x3) - self.y
+        return Point(self.curve, x3, y3)
 
     def __rmul__(self, scalar: int) -> "Point":
         return self.__mul__(scalar)
@@ -104,6 +241,14 @@ class Point:
             return NotImplemented
         if scalar < 0:
             return (-self) * (-scalar)
+        if scalar == 0 or self.infinity:
+            return self.curve.infinity()
+        if not USE_WNAF or scalar.bit_length() <= _WNAF_THRESHOLD_BITS:
+            return self._mul_ladder(scalar)
+        return self._mul_wnaf(scalar)
+
+    def _mul_ladder(self, scalar: int) -> "Point":
+        """Plain affine double-and-add, kept callable as the legacy path."""
         result = self.curve.infinity()
         addend = self
         while scalar:
@@ -112,6 +257,39 @@ class Point:
             addend = addend.double()
             scalar >>= 1
         return result
+
+    def _mul_wnaf(self, scalar: int) -> "Point":
+        """Width-4 wNAF multiplication over Jacobian coordinates.
+
+        The odd-multiple table {P, 3P, ..., 15P} is built inversion-free
+        and normalised with a single batched inversion; the main loop is
+        inversion-free; one final inversion converts back to affine.
+        Bit-for-bit equal to the affine ladder (same group, same result).
+        """
+        base = (self.x, self.y, self.x.field.one())
+        twice = _jac_double(*base)
+        if twice is None:
+            # Order-2 base point: k*P is P or O depending on parity.
+            return self if scalar & 1 else self.curve.infinity()
+        table_jac = [base]
+        for _ in range((1 << (_WNAF_WIDTH - 2)) - 1):
+            table_jac.append(_jac_add(table_jac[-1], twice))
+        table = _batch_to_affine(self.curve, table_jac)
+        acc = None
+        for digit in reversed(_wnaf(scalar, _WNAF_WIDTH)):
+            if acc is not None:
+                acc = _jac_double(*acc)
+            if digit:
+                entry = table[abs(digit) >> 1]
+                if entry is None:
+                    continue  # odd multiple happened to be infinity
+                x2, y2 = entry
+                acc = _jac_add_mixed(acc, x2, -y2 if digit < 0 else y2)
+        if acc is None:
+            return self.curve.infinity()
+        z_inv = acc[2].inverse()
+        z_inv2 = z_inv * z_inv
+        return Point(self.curve, acc[0] * z_inv2, acc[1] * z_inv2 * z_inv)
 
     # -- serialisation ----------------------------------------------------
 
@@ -168,13 +346,17 @@ class Curve:
         if isinstance(self.field, Fp):
             width = self.field.byte_length
             if len(body) != 2 * width:
-                raise CurveError(f"bad point encoding length {len(data)}")
+                raise CurveError(
+                    f"bad point encoding length {len(body)} (expected {2 * width})"
+                )
             x = self.field.from_bytes(body[:width])
             y = self.field.from_bytes(body[width:])
         else:
             width = 2 * self.field.byte_length
             if len(body) != 2 * width:
-                raise CurveError(f"bad point encoding length {len(data)}")
+                raise CurveError(
+                    f"bad point encoding length {len(body)} (expected {2 * width})"
+                )
             x = self.field.from_bytes(body[:width])
             y = self.field.from_bytes(body[width:])
         return self.point(x, y)

@@ -1,0 +1,113 @@
+"""Fast reduced Tate pairing: denominator elimination + fixed-argument reuse.
+
+Two layers on top of :mod:`repro.pairing.miller`'s projective loop:
+
+``tate_pairing_fast``
+    A drop-in equivalent of :func:`repro.pairing.tate.tate_pairing` for a
+    base-field first argument.  The Miller function is kept as a
+    (numerator, denominator) pair and the division is *eliminated*: for
+    ``d`` in F_p^2, ``1/d`` and ``conj(d)`` differ by the norm
+    ``N(d) = d * conj(d)`` which lies in F_p^*, and every F_p^* element
+    is killed by the final exponentiation (``c^(p-1) = 1`` and
+    ``(p+1)/q`` is an integer).  So ``(num * conj(den))^((p^2-1)/q)``
+    equals ``(num / den)^((p^2-1)/q)`` — bit-for-bit, one field
+    inversion per pairing (inside the final exponentiation) instead of
+    one per Miller step.
+
+``FixedArgumentTate``
+    For a *fixed* first argument P the Miller line coefficients depend
+    only on P and q, so they are precomputed once; each subsequent
+    pairing replays them against a new evaluation point (multiply-only).
+    This is the pairing-side companion of
+    :class:`repro.pairing.precompute.FixedBasePoint`, and the engine
+    behind the identity-keyed cache in :mod:`repro.ibe.cache` — the
+    protocol pairs everything against the fixed public key ``P_pub``
+    (using the modified pairing's symmetry ``e(Q, P_pub) = e(P_pub, Q)``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PairingError
+from repro.obs import crypto as _obs_crypto
+from repro.pairing.curve import Curve, Point
+from repro.pairing.fields import Fp2, Fp2Element
+from repro.pairing.miller import (
+    evaluate_line_coefficients,
+    miller_line_coefficients,
+    miller_loop_projective,
+)
+from repro.pairing.tate import _final_exponentiation
+
+__all__ = ["tate_pairing_fast", "FixedArgumentTate"]
+
+
+def tate_pairing_fast(
+    p_point: Point, q_point: Point, q: int, ext_curve: Curve
+) -> Fp2Element:
+    """Reduced Tate pairing, inversion-free Miller loop, same bits out.
+
+    ``p_point`` must carry base-field coordinates (the protocol always
+    pairs base-field points; the distortion happens on the *second*
+    argument).  Callers needing the general case keep using the legacy
+    :func:`repro.pairing.tate.tate_pairing`.
+    """
+    ext_field = ext_curve.field
+    if not isinstance(ext_field, Fp2):
+        raise PairingError("tate_pairing_fast requires the extension curve over F_p^2")
+    if p_point.is_infinity() or q_point.is_infinity():
+        return ext_field.one()
+    num, den = miller_loop_projective(p_point, q_point, q)
+    return _final_exponentiation(num * den.conjugate(), ext_field.p, q)
+
+
+class FixedArgumentTate:
+    """Pairing engine ``e(P, .)`` with the Miller walk hoisted out.
+
+    Precomputes the line coefficients of ``f_{q,P}`` at construction;
+    each call evaluates them against one extension-curve point and runs
+    the final exponentiation.  Bit-for-bit equal to
+    ``tate_pairing(P, Q, q, ext_curve)`` for every Q.
+
+    Counter semantics: a call counts as one pairing and one Miller loop
+    with the standard doubling/addition shape — the cost *shape* of a
+    pairing is unchanged, only the per-step field work shrinks.
+    """
+
+    __slots__ = ("q", "ext_field", "_steps")
+
+    def __init__(self, p_point: Point, q: int, ext_curve: Curve) -> None:
+        ext_field = ext_curve.field
+        if not isinstance(ext_field, Fp2):
+            raise PairingError(
+                "FixedArgumentTate requires the extension curve over F_p^2"
+            )
+        self.q = q
+        self.ext_field = ext_field
+        if p_point.is_infinity():
+            self._steps = None
+        else:
+            if not hasattr(p_point.x, "value"):
+                raise PairingError(
+                    "FixedArgumentTate requires a base-field fixed argument"
+                )
+            self._steps = miller_line_coefficients(
+                p_point.x.value, p_point.y.value, q, ext_field.p
+            )
+
+    def __call__(self, q_point: Point) -> Fp2Element:
+        one = self.ext_field.one()
+        if self._steps is None or q_point.is_infinity():
+            return one
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.pairings += 1
+            prof.miller_loops += 1
+        num, den = evaluate_line_coefficients(
+            self._steps, q_point.x, q_point.y, one, prof
+        )
+        if num.is_zero() or den.is_zero():
+            raise PairingError(
+                "degenerate Miller evaluation (evaluation point lies on a "
+                "chord/vertical of the base point's multiples)"
+            )
+        return _final_exponentiation(num * den.conjugate(), self.ext_field.p, self.q)

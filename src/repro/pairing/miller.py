@@ -20,7 +20,7 @@ from repro.errors import PairingError
 from repro.obs import crypto as _obs_crypto
 from repro.pairing.curve import Point
 
-__all__ = ["miller_loop"]
+__all__ = ["miller_loop", "miller_line_coefficients", "miller_loop_projective"]
 
 
 def _line_value(t_point: Point, p_point: Point, eval_x, eval_y, one):
@@ -102,3 +102,162 @@ def miller_loop(p_point: Point, q_point: Point, n: int):
             "chord/vertical of the base point's multiples)"
         )
     return f_num / f_den
+
+
+# -- inversion-free fast path -----------------------------------------------
+#
+# The affine loop above performs one field inversion per chord/tangent
+# step (inside the slope division).  The fast path removes all of them:
+# the base point walks in Jacobian coordinates over plain integers, and
+# each step is recorded as *line coefficients* — integers (a_y, a_x, a_0,
+# b_x, b_0) such that the step's line function is
+#
+#     L(x, y) = a_y*y + a_x*x + a_0        (chord/tangent numerator)
+#     V(x)    = b_x*x + b_0                (vertical denominator)
+#
+# These are the affine line functions scaled by a factor in F_p^*
+# (2*Y*Z^3 for a tangent, Z3 for a chord, Z3^2 for a vertical).  Any
+# F_p^* factor c satisfies c^((p^2-1)/q) = 1 because c^(p-1) = 1 and
+# (p+1)/q is an integer, so after the reduced Tate pairing's final
+# exponentiation the fast path is *bit-for-bit* equal to the affine one.
+#
+# Because the coefficients depend only on the base point and the order,
+# they can be precomputed once and replayed against many evaluation
+# points — the fixed-argument pairing in :mod:`repro.pairing.fast_tate`.
+
+
+def _double_step(T, p: int):
+    """One Jacobian doubling over ints mod p; returns (T', coefficients).
+
+    ``T`` is ``(X, Y, Z)`` or ``None`` for infinity.  Coefficients are
+    ``(a_y, a_x, a_0, b_x, b_0)`` as described above.
+    """
+    if T is None:
+        return None, (0, 0, 1, 0, 1)
+    X, Y, Z = T
+    if Y == 0:
+        # 2-torsion: vertical tangent, the double is infinity.
+        return None, (0, Z * Z % p, -X % p, 0, 1)
+    XX = X * X % p
+    YY = Y * Y % p
+    ZZ = Z * Z % p
+    Z3 = 2 * Y * Z % p
+    a_y = Z3 * ZZ % p  # 2*Y*Z^3
+    a_x = -3 * XX * ZZ % p
+    a_0 = (3 * X * XX - 2 * YY) % p
+    C = YY * YY % p
+    t = (X + YY) % p
+    D = 2 * (t * t - XX - C) % p  # 4*X*Y^2
+    E = 3 * XX % p
+    X3 = (E * E - 2 * D) % p
+    Y3 = (E * (D - X3) - 8 * C) % p
+    return (X3, Y3, Z3), (a_y, a_x, a_0, Z3 * Z3 % p, -X3 % p)
+
+
+def _add_step(T, px: int, py: int, p: int):
+    """One Jacobian + affine mixed addition over ints mod p."""
+    if T is None:
+        return (px, py, 1), (0, 0, 1, 0, 1)
+    X, Y, Z = T
+    ZZ = Z * Z % p
+    H = (px * ZZ - X) % p
+    r = (py * Z * ZZ - Y) % p
+    if H == 0:
+        if r == 0:
+            return _double_step(T, p)  # T == P: chord degenerates to tangent
+        # T == -P: vertical chord, the sum is infinity.
+        return None, (0, 1, -px % p, 0, 1)
+    HH = H * H % p
+    HHH = H * HH % p
+    V = X * HH % p
+    X3 = (r * r - HHH - 2 * V) % p
+    Y3 = (r * (V - X3) - Y * HHH) % p
+    Z3 = Z * H % p
+    a_0 = (r * px - Z3 * py) % p
+    return (X3, Y3, Z3), (Z3, -r % p, a_0, Z3 * Z3 % p, -X3 % p)
+
+
+def miller_line_coefficients(x_p: int, y_p: int, n: int, p: int):
+    """Precompute the Miller loop's line coefficients for base point (x_p, y_p).
+
+    Returns a list of ``(square_first, a_y, a_x, a_0, b_x, b_0)`` integer
+    tuples, one per doubling/addition step of ``f_{n,P}``:
+    ``square_first`` is True for doubling steps (the accumulator is
+    squared before the line is multiplied in).  The walk itself is
+    inversion-free and touches no profiling counters — it is pure
+    precomputation, independent of any evaluation point.
+    """
+    if n <= 0:
+        raise PairingError(f"Miller loop requires n > 0, got {n}")
+    x_p %= p
+    y_p %= p
+    steps = []
+    T = (x_p, y_p, 1)
+    for bit in bin(n)[3:]:  # skip the leading 1; process remaining MSB->LSB
+        T, coeffs = _double_step(T, p)
+        steps.append((True,) + coeffs)
+        if bit == "1":
+            T, coeffs = _add_step(T, x_p, y_p, p)
+            steps.append((False,) + coeffs)
+    return steps
+
+
+def evaluate_line_coefficients(steps, eval_x, eval_y, one, prof=None):
+    """Replay precomputed line coefficients against one evaluation point.
+
+    Returns the pair ``(f_num, f_den)`` — the Miller function value in
+    projective (numerator, denominator) form, with **zero** inversions.
+    Callers combine them either as ``f_num / f_den`` or via the
+    conjugation trick (see :mod:`repro.pairing.fast_tate`).
+    """
+    f_num = one
+    f_den = one
+    for square_first, a_y, a_x, a_0, b_x, b_0 in steps:
+        if prof is not None:
+            if square_first:
+                prof.miller_doublings += 1
+            else:
+                prof.miller_additions += 1
+        if square_first:
+            f_num = f_num * f_num
+            f_den = f_den * f_den
+        if a_y or a_x:
+            f_num = f_num * (eval_y * a_y + eval_x * a_x + a_0)
+        if b_x:
+            f_den = f_den * (eval_x * b_x + b_0)
+    return f_num, f_den
+
+
+def miller_loop_projective(p_point: Point, q_point: Point, n: int):
+    """Inversion-free f_{n,P}(Q) as a (numerator, denominator) pair.
+
+    ``p_point`` must have base-field (real) coordinates — that is what
+    makes the projective scaling factors land in F_p^* and cancel under
+    the final exponentiation.  ``q_point`` lives on the extension curve.
+    Bumps the same profiling counters with the same shape as the affine
+    :func:`miller_loop`.
+    """
+    if n <= 0:
+        raise PairingError(f"Miller loop requires n > 0, got {n}")
+    prof = _obs_crypto.ACTIVE
+    if prof is not None:
+        prof.miller_loops += 1
+    field = q_point.curve.field
+    one = field.one()
+    if p_point.is_infinity() or q_point.is_infinity():
+        return one, one
+    if not hasattr(p_point.x, "value"):
+        raise PairingError(
+            "miller_loop_projective requires a base-field first argument "
+            "(its real coordinates are what make the scaling factors cancel)"
+        )
+    steps = miller_line_coefficients(p_point.x.value, p_point.y.value, n, field.p)
+    f_num, f_den = evaluate_line_coefficients(
+        steps, q_point.x, q_point.y, one, prof
+    )
+    if f_den.is_zero() or f_num.is_zero():
+        raise PairingError(
+            "degenerate Miller evaluation (evaluation point lies on a "
+            "chord/vertical of the base point's multiples)"
+        )
+    return f_num, f_den

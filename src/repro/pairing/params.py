@@ -24,6 +24,7 @@ from repro.mathlib.rand import HmacDrbg, RandomSource
 from repro.obs import crypto as _obs_crypto
 from repro.pairing.curve import Curve, Point
 from repro.pairing.fields import Fp, Fp2, Fp2Element
+from repro.pairing.fast_tate import tate_pairing_fast
 from repro.pairing.tate import tate_pairing, weil_pairing
 
 __all__ = ["BFParams", "generate_params", "get_preset", "PRESETS"]
@@ -76,6 +77,13 @@ class BFParams:
     zeta: Fp2Element
     pairing_algorithm: str = "tate"
     name: str = field(default="custom")
+    #: Route Tate pairings of base-field points through the projective
+    #: fast path (bit-for-bit equal output).  Flip off to force the
+    #: legacy affine Miller loop everywhere, e.g. for A/B benchmarks.
+    use_fast_path: bool = True
+    #: Lazily-built windowed table for generator multiplication (the
+    #: per-deposit ``rP``); see :mod:`repro.pairing.precompute`.
+    _gen_table: object = field(default=None, compare=False, repr=False)
 
     @classmethod
     def from_primes(
@@ -137,15 +145,41 @@ class BFParams:
         """phi(x, y) = (zeta * x, y): F_p point -> independent F_p^2 point."""
         return self.curve.distort(point, self.zeta, self.ext_curve)
 
-    def pair(self, p_point: Point, q_point: Point) -> Fp2Element:
-        """The modified (symmetric) pairing e(P, phi(Q)) on base-field points."""
+    def pair(self, p_point: Point, q_point: Point, *, fast: bool | None = None) -> Fp2Element:
+        """The modified (symmetric) pairing e(P, phi(Q)) on base-field points.
+
+        ``fast`` overrides :attr:`use_fast_path` for this one call; both
+        routes produce bit-identical values (tested by
+        ``tests/pairing/test_fastpath_equiv.py``).
+        """
         prof = _obs_crypto.ACTIVE
         if prof is not None:
             prof.pairings += 1
         distorted = self.distort(q_point)
         if self.pairing_algorithm == "weil":
             return weil_pairing(p_point, distorted, self.q, self.ext_curve)
+        use_fast = self.use_fast_path if fast is None else fast
+        if use_fast and not p_point.is_infinity() and hasattr(p_point.x, "value"):
+            return tate_pairing_fast(p_point, distorted, self.q, self.ext_curve)
         return tate_pairing(p_point, distorted, self.q, self.ext_curve)
+
+    def mul_generator(self, scalar: int) -> Point:
+        """``scalar * generator`` through a fixed-base window table.
+
+        Identical output to ``scalar * self.generator`` (the generator
+        has order ``q``, so reduction mod ``q`` inside the table changes
+        nothing).  The table is built lazily on first use and only while
+        :attr:`use_fast_path` is on, so A/B baselines stay faithful.
+        """
+        if not self.use_fast_path:
+            return scalar * self.generator
+        table = self._gen_table
+        if table is None or table.base != self.generator:
+            from repro.pairing.precompute import FixedBasePoint
+
+            table = FixedBasePoint(self.generator, self.q)
+            self._gen_table = table
+        return table(scalar)
 
     def random_scalar(self, rng: RandomSource) -> int:
         """Uniform scalar in [1, q-1] (exponents of the pairing groups)."""

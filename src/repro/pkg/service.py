@@ -31,7 +31,6 @@ from repro.errors import (
 from repro.ibe.keys import MasterKeyPair
 from repro.mathlib.rand import RandomSource, SystemRandomSource
 from repro.obs.tracing import NULL_TRACER
-from repro.pairing.hashing import hash_to_point
 from repro.sim.clock import Clock, SimClock
 from repro.symciph.cipher import SymmetricScheme
 from repro.wire.messages import (
@@ -201,7 +200,10 @@ class PrivateKeyGenerator:
             )
         identity = identity_string(attribute, request.nonce)
         with self._tracer.span("pkg.extract_key"):
-            q_point = hash_to_point(self._master.public.params, identity)
+            # Cache-aware H1: repeated extractions for a popular identity
+            # skip the MapToPoint cube root when a CryptoCache is attached
+            # to the public parameters.
+            q_point = self._master.public.hash_identity(identity)
             private_point = self._master.extract_point(q_point)
         scheme = SymmetricScheme(
             self._config.session_cipher, session.session_key, mac=True, rng=self._rng

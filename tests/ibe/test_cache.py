@@ -1,0 +1,175 @@
+"""CryptoCache behaviour: LRU bounds, counters, invalidation semantics."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ibe import CryptoCache, setup
+from repro.ibe.keys import PublicParams
+from repro.mathlib.rand import HmacDrbg
+from repro.obs.crypto import profiled
+from repro.pairing.hashing import hash_to_point
+
+
+def _master(preset="TOY64", seed=b"cache-master"):
+    return setup(preset, rng=HmacDrbg(seed))
+
+
+class TestBasics:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            CryptoCache(0)
+        with pytest.raises(ParameterError):
+            CryptoCache(-3)
+
+    def test_h1_matches_uncached_hash(self):
+        master = _master()
+        cache = CryptoCache(8)
+        point = cache.h1_point(master.public, b"ident-a")
+        assert point == hash_to_point(master.public.params, b"ident-a")
+
+    def test_shared_gt_matches_uncached_pairing(self):
+        master = _master()
+        cache = CryptoCache(8)
+        value = cache.shared_gt(master.public, b"ident-a")
+        q_id = hash_to_point(master.public.params, b"ident-a")
+        assert value == master.public.pair(q_id, master.public.p_pub)
+
+    def test_weil_algorithm_bypasses_tate_engine(self):
+        """The cache must serve Weil deployments Weil values (regression:
+        the fixed-argument engine is Tate-specific)."""
+        master = setup(
+            "TOY64", rng=HmacDrbg(b"weil"), pairing_algorithm="weil"
+        )
+        cache = CryptoCache(8)
+        value = cache.shared_gt(master.public, b"a")
+        q_id = hash_to_point(master.public.params, b"a")
+        assert value == master.public.pair(q_id, master.public.p_pub)
+        assert cache.shared_gt(master.public, b"a") == value
+        assert cache.pairing_hits == 1
+
+    def test_repr_and_stats(self):
+        master = _master()
+        cache = CryptoCache(8)
+        cache.shared_gt(master.public, b"x")
+        stats = cache.stats()
+        assert stats["pairing_misses"] == 1
+        assert stats["h1_misses"] == 1
+        assert stats["capacity"] == 8
+        assert "CryptoCache" in repr(cache)
+
+
+class TestHitMissAccounting:
+    def test_counters_and_obs_export(self):
+        master = _master()
+        cache = CryptoCache(8)
+        with profiled() as ops:
+            cache.shared_gt(master.public, b"a")  # miss (h1 miss too)
+            cache.shared_gt(master.public, b"a")  # hit
+            cache.shared_gt(master.public, b"a")  # hit
+        assert cache.pairing_misses == 1
+        assert cache.pairing_hits == 2
+        assert ops.cache_pairing_miss == 1
+        assert ops.cache_pairing_hit == 2
+        exported = ops.as_dict()
+        assert exported["crypto.cache.pairing.hit"] == 2
+        assert exported["crypto.cache.pairing.miss"] == 1
+        assert exported["crypto.cache.h1.miss"] == 1
+
+    def test_h1_layer_counts_independently(self):
+        master = _master()
+        cache = CryptoCache(8)
+        cache.h1_point(master.public, b"a")
+        cache.h1_point(master.public, b"a")
+        assert cache.h1_misses == 1
+        assert cache.h1_hits == 1
+
+
+class TestLruBound:
+    def test_capacity_is_enforced(self):
+        master = _master()
+        cache = CryptoCache(2)
+        for name in (b"a", b"b", b"c", b"d"):
+            cache.shared_gt(master.public, name)
+        stats = cache.stats()
+        assert stats["h1_size"] == 2
+        assert stats["pairing_size"] == 2
+
+    def test_least_recently_used_is_evicted(self):
+        master = _master()
+        cache = CryptoCache(2)
+        cache.shared_gt(master.public, b"a")
+        cache.shared_gt(master.public, b"b")
+        cache.shared_gt(master.public, b"a")  # refresh a; b is now LRU
+        cache.shared_gt(master.public, b"c")  # evicts b
+        hits_before = cache.pairing_hits
+        cache.shared_gt(master.public, b"a")
+        assert cache.pairing_hits == hits_before + 1
+        misses_before = cache.pairing_misses
+        cache.shared_gt(master.public, b"b")
+        assert cache.pairing_misses == misses_before + 1
+
+
+class TestInvalidation:
+    def test_p_pub_rotation_clears_gt_keeps_h1(self):
+        master = _master()
+        cache = CryptoCache(8)
+        cache.shared_gt(master.public, b"a")
+        assert cache.stats()["pairing_size"] == 1
+        rotated = PublicParams(
+            params=master.public.params, p_pub=2 * master.public.p_pub
+        )
+        value = cache.shared_gt(rotated, b"a")
+        assert cache.invalidations == 1
+        # The fresh value reflects the rotated key...
+        q_id = hash_to_point(master.public.params, b"a")
+        assert value == master.public.params.pair(q_id, rotated.p_pub)
+        # ...and the H1 layer survived the rotation (hit, not miss).
+        assert cache.h1_hits >= 1
+
+    def test_group_change_clears_everything(self):
+        master_a = _master("TOY64")
+        master_b = _master("TEST80", seed=b"other-group")
+        cache = CryptoCache(8)
+        cache.shared_gt(master_a.public, b"a")
+        cache.shared_gt(master_b.public, b"a")
+        assert cache.invalidations == 1
+        assert cache.stats()["h1_size"] == 1  # only the new group's entry
+
+    def test_explicit_clear(self):
+        master = _master()
+        cache = CryptoCache(8)
+        cache.gt_power(master.public, b"a", 5)
+        cache.clear()
+        stats = cache.stats()
+        assert stats["h1_size"] == 0
+        assert stats["pairing_size"] == 0
+
+    def test_rotation_invalidates_power_tables(self):
+        master = _master()
+        cache = CryptoCache(8)
+        before = cache.gt_power(master.public, b"a", 9)
+        rotated = PublicParams(
+            params=master.public.params, p_pub=3 * master.public.p_pub
+        )
+        after = cache.gt_power(rotated, b"a", 9)
+        assert after != before
+        assert after == cache.shared_gt(rotated, b"a") ** 9
+
+
+class TestGtPower:
+    def test_matches_plain_exponentiation(self):
+        master = _master()
+        master.public.cache = CryptoCache(8)
+        reference = setup("TOY64", rng=HmacDrbg(b"cache-master"))
+        q = master.public.params.q
+        for exponent in (1, 2, q - 1, 777 % q):
+            cached = master.public.gt_power(b"ident", exponent)
+            plain = reference.public.shared_gt(b"ident") ** exponent
+            assert cached == plain
+
+    def test_power_table_is_bounded(self):
+        master = _master()
+        cache = CryptoCache(2)
+        for name in (b"a", b"b", b"c"):
+            cache.gt_power(master.public, name, 3)
+        assert len(cache._gt_pow) <= 2

@@ -1,0 +1,117 @@
+"""Deterministic perf-regression gates for the pairing fast path.
+
+Wall-clock benchmarks are noisy, so CI gates on *operation counts*
+instead: the obs crypto counters make the optimisation's claims exact —
+one field inversion per fast pairing (the final exponentiation), a
+>= 10x inversion reduction vs the legacy affine Miller loop, and zero
+Miller loops / zero MapToPoint cube roots on a warm-cache deposit.
+These numbers are properties of the algorithms, not the host.
+"""
+
+import pytest
+
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.mathlib.rand import HmacDrbg
+from repro.obs.crypto import profiled
+from repro.pairing import get_preset
+
+PARAMS = get_preset("TOY64")
+A = 5 * PARAMS.generator
+B = 9 * PARAMS.generator
+
+
+class TestInversionBudget:
+    def test_fast_pairing_costs_exactly_one_inversion(self):
+        """The projective path inverts once: the final exponentiation."""
+        with profiled() as ops:
+            PARAMS.pair(A, B, fast=True)
+        assert ops.fp2_inv == 1
+        assert ops.fp_inversions == 0
+
+    def test_legacy_vs_fast_inversion_ratio(self):
+        with profiled() as legacy:
+            PARAMS.pair(A, B, fast=False)
+        with profiled() as fast:
+            PARAMS.pair(A, B, fast=True)
+        legacy_total = legacy.fp2_inv + legacy.fp_inversions
+        fast_total = fast.fp2_inv + fast.fp_inversions
+        assert fast_total == 1
+        assert legacy_total >= 10 * fast_total
+
+    @pytest.mark.parametrize("preset", ["TOY64", "TEST80"])
+    def test_budget_holds_across_presets(self, preset):
+        params = get_preset(preset)
+        a = 7 * params.generator
+        b = 3 * params.generator
+        with profiled() as ops:
+            params.pair(a, b, fast=True)
+        assert ops.fp2_inv + ops.fp_inversions == 1
+
+    def test_miller_counter_shape_is_preserved(self):
+        """Fast path reports the same loop structure as the legacy path."""
+        with profiled() as legacy:
+            PARAMS.pair(A, B, fast=False)
+        with profiled() as fast:
+            PARAMS.pair(A, B, fast=True)
+        assert fast.miller_loops == legacy.miller_loops
+        assert fast.miller_doublings == legacy.miller_doublings
+        assert fast.miller_additions == legacy.miller_additions
+
+
+class TestWarmCacheDeposit:
+    def test_repeated_attribute_skips_all_pairing_work(self):
+        """A warm-cache deposit of a repeated attribute performs zero
+        Miller loops and zero MapToPoint cube roots."""
+        deployment = Deployment.build(
+            DeploymentConfig(
+                preset="TOY64", use_nonce=False, seed=b"perf-gate"
+            )
+        )
+        try:
+            device = deployment.new_smart_device("gate-meter")
+            device.build_deposit("GATE-ATTR", b"r1")
+            device.build_deposit("GATE-ATTR", b"r2")  # tables now warm
+            counters = deployment.crypto_counters
+            miller_before = counters.miller_loops
+            roots_before = counters.cube_roots
+            hits_before = counters.cache_pairing_hit
+            device.build_deposit("GATE-ATTR", b"r3")
+            assert counters.miller_loops == miller_before
+            assert counters.cube_roots == roots_before
+            assert counters.cache_pairing_hit > hits_before
+        finally:
+            deployment.close()
+
+    def test_cold_cache_still_pays_once(self):
+        deployment = Deployment.build(
+            DeploymentConfig(
+                preset="TOY64", use_nonce=False, seed=b"perf-gate-cold"
+            )
+        )
+        try:
+            device = deployment.new_smart_device("gate-meter")
+            counters = deployment.crypto_counters
+            miller_before = counters.miller_loops
+            device.build_deposit("COLD-ATTR", b"r1")
+            assert counters.miller_loops == miller_before + 1
+            assert counters.cache_pairing_miss >= 1
+        finally:
+            deployment.close()
+
+    def test_nonce_mode_cannot_reuse_pairings(self):
+        """With per-message nonces every identity is fresh: all misses."""
+        deployment = Deployment.build(
+            DeploymentConfig(
+                preset="TOY64", use_nonce=True, seed=b"perf-gate-nonce"
+            )
+        )
+        try:
+            device = deployment.new_smart_device("gate-meter")
+            counters = deployment.crypto_counters
+            hits_before = counters.cache_pairing_hit
+            device.build_deposit("NONCE-ATTR", b"r1")
+            device.build_deposit("NONCE-ATTR", b"r2")
+            assert counters.cache_pairing_hit == hits_before
+            assert counters.cache_pairing_miss >= 2
+        finally:
+            deployment.close()

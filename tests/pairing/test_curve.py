@@ -142,6 +142,17 @@ class TestSerialisation:
         with pytest.raises(CurveError):
             CURVE.from_bytes(b"\x04" + bytes(3))
 
+    def test_bad_length_message_reports_lengths(self):
+        """The error names the actual body length and the expected one."""
+        width = CURVE.field.byte_length
+        with pytest.raises(CurveError, match=rf"length 3 \(expected {2 * width}\)"):
+            CURVE.from_bytes(b"\x04" + bytes(3))
+        ext_width = 2 * EXT_CURVE.field.byte_length
+        with pytest.raises(
+            CurveError, match=rf"length 5 \(expected {2 * ext_width}\)"
+        ):
+            EXT_CURVE.from_bytes(b"\x04" + bytes(5))
+
     def test_off_curve_encoding_rejected(self):
         (point,) = random_points(1, b"oc")
         corrupt = bytearray(point.to_bytes())

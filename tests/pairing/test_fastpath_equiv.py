@@ -1,0 +1,174 @@
+"""Golden equivalence: the projective fast path vs the legacy affine path.
+
+Every optimisation in the PR keeps the *byte-identical output* contract:
+Jacobian/wNAF scalar multiplication, the inversion-free Miller loop, the
+fixed-argument Tate engine, the fixed-base window tables and the
+identity-keyed cache must all produce exactly the values the original
+affine code produces.  These tests pin that contract with Hypothesis
+over the TOY64 group plus spot checks on TEST80.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ibe import CryptoCache, IbeKem, setup
+from repro.mathlib.rand import HmacDrbg
+from repro.pairing import FixedArgumentTate, batch_inverse, get_preset
+from repro.pairing import curve as curve_mod
+from repro.pairing.fast_tate import tate_pairing_fast
+from repro.pairing.tate import tate_pairing
+
+PARAMS = get_preset("TOY64")
+Q = PARAMS.q
+GENERATOR = PARAMS.generator
+
+scalars = st.integers(0, 3 * Q)
+small_scalars = st.integers(1, Q - 1)
+
+
+def _pair_legacy(a, b):
+    return tate_pairing(a, PARAMS.distort(b), Q, PARAMS.ext_curve)
+
+
+def _pair_fast(a, b):
+    return tate_pairing_fast(a, PARAMS.distort(b), Q, PARAMS.ext_curve)
+
+
+class TestScalarMultiplication:
+    @given(k=scalars)
+    @settings(max_examples=60, deadline=None)
+    def test_wnaf_matches_ladder(self, k):
+        assert GENERATOR._mul_wnaf(k or 1) == GENERATOR._mul_ladder(k or 1)
+
+    @given(k1=scalars, k2=scalars)
+    @settings(max_examples=40, deadline=None)
+    def test_mul_is_homomorphic(self, k1, k2):
+        lhs = k1 * GENERATOR + k2 * GENERATOR
+        rhs = ((k1 + k2) % Q) * GENERATOR
+        assert lhs == rhs
+
+    @given(k=scalars)
+    @settings(max_examples=30, deadline=None)
+    def test_global_ladder_switch(self, k):
+        """curve.USE_WNAF = False must reroute without changing results."""
+        fast = k * GENERATOR
+        curve_mod.USE_WNAF = False
+        try:
+            assert k * GENERATOR == fast
+        finally:
+            curve_mod.USE_WNAF = True
+
+    def test_order_two_point(self):
+        """(x, 0) has order 2; large scalars route through _mul_wnaf."""
+        point = PARAMS.curve.point(PARAMS.p - 1, 0)
+        even = Q + 1  # Q is an odd prime, so Q + 1 is even
+        assert (even * point).is_infinity()
+        assert (even + 1) * point == point
+
+    def test_negative_scalars(self):
+        assert (-7) * GENERATOR == -(7 * GENERATOR)
+
+    def test_double_matches_ladder_square(self):
+        rng = HmacDrbg(b"dbl")
+        for _ in range(5):
+            point = PARAMS.curve.random_point(rng)
+            assert point.double() == point._mul_ladder(2)
+
+
+class TestBatchInverse:
+    @given(values=st.lists(st.integers(1, PARAMS.p - 1), min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_individual_inverses(self, values):
+        field = PARAMS.curve.field
+        elements = [field(v) for v in values]
+        batched = batch_inverse(elements)
+        for element, inverse in zip(elements, batched):
+            assert inverse == element.inverse()
+
+    def test_zero_element_rejected(self):
+        field = PARAMS.curve.field
+        with pytest.raises(Exception):
+            batch_inverse([field(1), field(0)])
+
+
+class TestPairingEquivalence:
+    @given(k1=small_scalars, k2=small_scalars)
+    @settings(max_examples=25, deadline=None)
+    def test_fast_tate_matches_legacy(self, k1, k2):
+        a = k1 * GENERATOR
+        b = k2 * GENERATOR
+        assert _pair_fast(a, b) == _pair_legacy(a, b)
+
+    @given(k=small_scalars)
+    @settings(max_examples=20, deadline=None)
+    def test_fixed_argument_engine_matches_legacy(self, k):
+        base = 3 * GENERATOR
+        engine = FixedArgumentTate(base, Q, PARAMS.ext_curve)
+        other = k * GENERATOR
+        assert engine(PARAMS.distort(other)) == _pair_legacy(base, other)
+
+    def test_params_pair_routes_identically(self):
+        a, b = 5 * GENERATOR, 11 * GENERATOR
+        assert PARAMS.pair(a, b, fast=True) == PARAMS.pair(a, b, fast=False)
+
+    def test_infinity_edge_cases(self):
+        infinity = PARAMS.curve.infinity()
+        one = PARAMS.ext_curve.field.one()
+        assert PARAMS.pair(infinity, GENERATOR, fast=True) == one
+        assert PARAMS.pair(GENERATOR, infinity, fast=True) == one
+
+    def test_bilinearity_on_fast_path(self):
+        g = PARAMS.pair(GENERATOR, GENERATOR, fast=True)
+        assert PARAMS.pair(2 * GENERATOR, 3 * GENERATOR, fast=True) == g ** 6
+
+    @pytest.mark.parametrize("preset", ["TOY64", "TEST80", "SMALL160"])
+    def test_presets_byte_identical(self, preset):
+        params = get_preset(preset)
+        a = 7 * params.generator
+        b = 13 * params.generator
+        fast = params.pair(a, b, fast=True)
+        legacy = params.pair(a, b, fast=False)
+        assert fast.to_bytes() == legacy.to_bytes()
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("preset", ["MED256", "STD512"])
+    def test_large_presets_byte_identical(self, preset):
+        params = get_preset(preset)
+        a = 1234567 * params.generator
+        b = 7654321 * params.generator
+        fast = params.pair(a, b, fast=True)
+        legacy = params.pair(a, b, fast=False)
+        assert fast.to_bytes() == legacy.to_bytes()
+        engine = FixedArgumentTate(a, params.q, params.ext_curve)
+        assert engine(params.distort(b)).to_bytes() == legacy.to_bytes()
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize("preset", ["TOY64", "TEST80"])
+    def test_kem_bytes_identical_cached_vs_legacy(self, preset):
+        outputs = []
+        for fast, cache in [(True, True), (True, False), (False, False)]:
+            master = setup(preset, rng=HmacDrbg(b"equiv-master"))
+            master.public.params.use_fast_path = fast
+            if cache:
+                master.public.cache = CryptoCache(16)
+            kem = IbeKem(master.public, rng=HmacDrbg(b"equiv-kem"))
+            r_p, key = kem.encapsulate(b"meter-7:attr", 16)
+            outputs.append((r_p.to_bytes(), key))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_gt_power_matches_plain_power(self):
+        master = setup("TOY64", rng=HmacDrbg(b"gp"))
+        master.public.cache = CryptoCache(4)
+        for r in (1, 2, Q - 1, 12345 % Q):
+            via_table = master.public.gt_power(b"ident", r)
+            plain = master.public.shared_gt(b"ident") ** r
+            assert via_table == plain
+
+    def test_mul_generator_matches_plain_mul(self):
+        params = get_preset("TOY64")
+        for k in (1, 2, Q - 1, Q + 7, 98765):
+            assert params.mul_generator(k) == k * params.generator
+        params.use_fast_path = False
+        assert params.mul_generator(17) == 17 * params.generator
