@@ -1,0 +1,56 @@
+"""Project-specific static analysis: crypto hygiene & protocol invariants.
+
+``repro lint`` (see :mod:`repro.analysis.cli`) runs a rule-based AST
+analyzer over the tree — stdlib ``ast`` only, honouring the repo's
+zero-dependency constraint.  The rule catalogue lives in
+docs/ANALYSIS.md; the rule IDs:
+
+======  ==============================================================
+CT001   secret-dependent branch / early return
+CT002   non-constant-time comparison of secret-derived bytes
+RNG001  ambient randomness outside ``mathlib/rand.py``
+TIME001 wall-clock read outside ``sim/clock.py``
+SER001  wire dataclass missing half of ``to_bytes``/``from_bytes``
+OBS001  metric name not in the obs dump schema catalogue
+EXC001  bare/overbroad except in ``mws/``/``pkg/``/``clients/``
+API001  mutable default argument
+API002  ``__all__`` drift
+======  ==============================================================
+
+Inline suppression: ``# repro-lint: disable=CT002`` on the finding's
+line; ``# repro-lint: nonsecret=name`` declares a MAC-shaped name
+public for the file (see :mod:`repro.analysis.suppress`).
+"""
+
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    load_baseline,
+    render_baseline,
+    split_findings,
+)
+from repro.analysis.engine import (
+    LintReport,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import LintConfig, ModuleContext, Rule, all_rules, rule_ids
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "load_baseline",
+    "render_baseline",
+    "rule_ids",
+    "split_findings",
+]

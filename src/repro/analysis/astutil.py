@@ -1,0 +1,135 @@
+"""Small AST helpers shared by the lint rules.
+
+Nothing here is rule-specific: import-alias resolution (so ``from time
+import time as now`` is still recognised as ``time.time``), dotted-name
+extraction, and literal resolution for constants assigned earlier in the
+module or enclosing function (the "interprocedural-lite" trick OBS001
+uses to read ``stats_dict`` key tuples through a local variable).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "import_map",
+    "dotted_name",
+    "resolve_qualified",
+    "literal_strings",
+    "literal_env",
+    "is_dataclass_decorated",
+    "walk_functions",
+]
+
+
+def import_map(tree: ast.Module) -> dict[str, str]:
+    """Map each locally bound name to the qualified thing it imports.
+
+    ``import time`` -> {"time": "time"};
+    ``from os import urandom as rnd`` -> {"rnd": "os.urandom"};
+    ``import os.path`` -> {"os": "os"}.
+    """
+    mapping: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                mapping[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                mapping[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_qualified(node: ast.AST, imports: dict[str, str]) -> str | None:
+    """The fully qualified dotted name ``node`` refers to, if resolvable.
+
+    The head segment is rewritten through the import map, so aliased
+    imports resolve to their canonical module path.
+    """
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    resolved_head = imports.get(head, head)
+    return f"{resolved_head}.{rest}" if rest else resolved_head
+
+
+def literal_strings(node: ast.AST) -> list[str] | None:
+    """The string elements of a literal str/tuple/list/set/dict, if pure.
+
+    For dict literals the *values* are returned (OBS001 checks the full
+    metric names a ``names=`` override maps to).  Returns None when any
+    element is not a plain string constant.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [node.value]
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        elements = node.elts
+    elif isinstance(node, ast.Dict):
+        elements = [value for value in node.values if value is not None]
+    else:
+        return None
+    out: list[str] = []
+    for element in elements:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            out.append(element.value)
+        else:
+            return None
+    return out
+
+
+def literal_env(*bodies: list[ast.stmt]) -> dict[str, list[str]]:
+    """Names assigned (once) to literal string collections in ``bodies``.
+
+    Later assignments win; only simple single-target assignments are
+    tracked.  Used to resolve ``stats_dict(prefix, stat_keys)`` where
+    ``stat_keys`` was defined a few lines up.
+    """
+    env: dict[str, list[str]] = {}
+    for body in bodies:
+        for stmt in body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                strings = literal_strings(stmt.value)
+                if strings is not None:
+                    env[stmt.targets[0].id] = strings
+    return env
+
+
+def is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    """True when ``node`` carries a ``@dataclass`` (possibly called)."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        dotted = dotted_name(target)
+        if dotted is not None and dotted.split(".")[-1] == "dataclass":
+            return True
+    return False
+
+
+def walk_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function/method definition in the module, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

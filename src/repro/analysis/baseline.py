@@ -1,0 +1,78 @@
+"""Baseline files: grandfathered findings the lint gate tolerates.
+
+A baseline is a committed JSON file listing findings that existed when
+the analyzer was introduced (or when a rule was added) and have not yet
+been fixed.  The gate fails only on findings *not* in the baseline, so
+new violations cannot land while old ones are being burned down.  This
+repository ships an **empty** baseline — every finding the analyzer
+surfaced was fixed in the same PR — so the file exists purely as the
+mechanism (and the round-trip tests keep it honest).
+
+Matching is on ``(rule_id, path, line)``.  Messages are stored for
+humans but ignored when matching, so reworded diagnostics do not
+invalidate a baseline.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import DecodeError
+
+from repro.analysis.findings import Finding
+
+__all__ = ["BASELINE_VERSION", "load_baseline", "render_baseline", "split_findings"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(text: str) -> set[tuple[str, str, int]]:
+    """Parse baseline JSON into the set of grandfathered keys."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DecodeError(f"baseline is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "findings" not in data:
+        raise DecodeError("baseline must be an object with a 'findings' list")
+    version = data.get("version", BASELINE_VERSION)
+    if version != BASELINE_VERSION:
+        raise DecodeError(f"unsupported baseline version {version!r}")
+    keys: set[tuple[str, str, int]] = set()
+    for entry in data["findings"]:
+        try:
+            keys.add((entry["rule_id"], entry["path"], int(entry["line"])))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DecodeError(f"malformed baseline entry {entry!r}") from exc
+    return keys
+
+
+def render_baseline(findings: list[Finding]) -> str:
+    """Serialise ``findings`` as a canonical baseline document."""
+    entries = [
+        {
+            "rule_id": finding.rule_id,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+        }
+        for finding in sorted(findings, key=lambda f: f.sort_key)
+    ]
+    return (
+        json.dumps(
+            {"version": BASELINE_VERSION, "findings": entries},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+
+def split_findings(
+    findings: list[Finding], baseline_keys: set[tuple[str, str, int]]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition into (new, baselined) against the grandfathered keys."""
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        (baselined if finding.baseline_key in baseline_keys else new).append(finding)
+    return new, baselined

@@ -1,0 +1,116 @@
+"""The ``repro lint`` subcommand: run the analyzer, gate on the baseline.
+
+Exit codes: 0 — clean (every finding baselined or suppressed);
+1 — at least one non-baselined finding; 2 — operational error (bad
+baseline file, unreadable path).
+
+``--json`` emits a machine-readable report (the CI artifact); the
+baseline workflow is ``--baseline FILE`` to apply and
+``--write-baseline`` to (re)generate the file from the current findings.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import DecodeError
+
+from repro.analysis.baseline import load_baseline, render_baseline, split_findings
+from repro.analysis.engine import analyze_paths
+from repro.analysis.rules import LintConfig, rule_ids
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+REPORT_VERSION = 1
+
+
+def add_lint_arguments(parser) -> None:
+    """Attach the ``lint`` options to an argparse (sub)parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the machine-readable JSON report on stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="lint_baseline.json",
+        help="baseline file of grandfathered findings "
+        "(default: lint_baseline.json; missing file = empty baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="also write the JSON report to this path",
+    )
+
+
+def _build_report(report, new, baselined) -> dict:
+    return {
+        "version": REPORT_VERSION,
+        "rule_ids": rule_ids(),
+        "files_scanned": report.files_scanned,
+        "counts": {
+            "new": len(new),
+            "baselined": len(baselined),
+            "suppressed": len(report.suppressed),
+        },
+        "findings": [finding.to_dict() for finding in new],
+        "baselined": [finding.to_dict() for finding in baselined],
+        "suppressed": [finding.to_dict() for finding in report.suppressed],
+    }
+
+
+def run_lint(args) -> int:
+    """Execute the lint run described by parsed ``args``."""
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"lint: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+    report = analyze_paths(paths, LintConfig())
+    findings = report.sorted_findings()
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        baseline_path.write_text(render_baseline(findings), encoding="utf-8")
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    baseline_keys: set = set()
+    if baseline_path.exists():
+        try:
+            baseline_keys = load_baseline(baseline_path.read_text(encoding="utf-8"))
+        except DecodeError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
+    new, baselined = split_findings(findings, baseline_keys)
+
+    payload = _build_report(report, new, baselined)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+    if args.as_json:
+        sys.stdout.write(text)
+    else:
+        for finding in new:
+            print(finding.render())
+        print(
+            f"lint: {len(new)} finding(s) ({len(baselined)} baselined, "
+            f"{len(report.suppressed)} suppressed) across "
+            f"{report.files_scanned} file(s)"
+        )
+    return 1 if new else 0

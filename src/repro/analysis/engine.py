@@ -1,0 +1,109 @@
+"""The analyzer engine: walk files, run every rule, apply suppressions.
+
+The engine is deliberately dumb plumbing — all judgement lives in the
+rules.  It parses each file once, hands the shared
+:class:`~repro.analysis.rules.ModuleContext` to every registered rule,
+drops findings suppressed by inline ``# repro-lint: disable=`` comments,
+and returns a :class:`LintReport` the CLI/baseline layer consumes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import LintConfig, ModuleContext, all_rules
+from repro.analysis.suppress import parse_annotations
+
+__all__ = ["LintReport", "analyze_source", "analyze_paths", "iter_python_files"]
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    #: Files that failed to parse, as (path, error) — reported as
+    #: findings too (rule id PARSE) so they can never pass silently.
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+
+    def extend(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files_scanned += other.files_scanned
+        self.parse_errors.extend(other.parse_errors)
+
+    def sorted_findings(self) -> list[Finding]:
+        return sorted(self.findings, key=lambda finding: finding.sort_key)
+
+
+def analyze_source(
+    source: str, path: str, config: LintConfig | None = None
+) -> LintReport:
+    """Lint one module given its source text and display path."""
+    config = config if config is not None else LintConfig()
+    report = LintReport(files_scanned=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.parse_errors.append((path, str(exc)))
+        report.findings.append(
+            Finding(
+                rule_id="PARSE",
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return report
+    annotations = parse_annotations(source)
+    ctx = ModuleContext(
+        path=path, source=source, tree=tree, annotations=annotations, config=config
+    )
+    for rule in all_rules():
+        for finding in rule.check(ctx):
+            if annotations.is_disabled(finding.rule_id, finding.line):
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+    return report
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            out.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def analyze_paths(
+    paths: list[Path],
+    config: LintConfig | None = None,
+    root: Path | None = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths``.
+
+    Finding paths are rendered posix-relative to ``root`` (default: the
+    current working directory) so baselines are stable across checkouts.
+    """
+    config = config if config is not None else LintConfig()
+    root = root if root is not None else Path.cwd()
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        try:
+            display = file_path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            display = file_path.as_posix()
+        source = file_path.read_text(encoding="utf-8")
+        report.extend(analyze_source(source, display, config))
+    return report

@@ -1,0 +1,77 @@
+"""Finding and severity types shared by every lint rule.
+
+A :class:`Finding` is one diagnostic anchored to a file location.  The
+identity used for baseline matching is ``(rule_id, path, line)`` — the
+message is carried for humans but deliberately excluded from matching so
+wording improvements do not invalidate a committed baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ordering is ERROR > WARNING > INFO."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a rule."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def baseline_key(self) -> tuple[str, str, int]:
+        """The identity a baseline entry matches on."""
+        return (self.rule_id, self.path, self.line)
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def render(self) -> str:
+        """Human one-liner: ``path:line:col: RULE severity: message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.severity.value}: {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able rendering (stable key order via sort_keys at dump)."""
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        """Parse a finding from its :meth:`to_dict` form."""
+        return cls(
+            rule_id=data["rule_id"],
+            severity=Severity(data["severity"]),
+            path=data["path"],
+            line=int(data["line"]),
+            col=int(data.get("col", 0)),
+            message=data.get("message", ""),
+        )

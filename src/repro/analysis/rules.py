@@ -1,0 +1,157 @@
+"""Rule base class, rule registry and the per-module analysis context.
+
+Every rule has a stable ID (``CT001``, ``RNG001``, ...) that baselines,
+suppressions and CI reports key on; IDs are never reused.  Rules are
+registered at import time via :func:`register` and looked up through
+:func:`all_rules` — the engine instantiates each once per run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.suppress import FileAnnotations
+
+__all__ = [
+    "LintConfig",
+    "ModuleContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "rule_ids",
+]
+
+
+@dataclass
+class LintConfig:
+    """Scoping knobs for a lint run.
+
+    The defaults encode this repository's layout; fixture tests override
+    them to exercise rules in isolation.  Path membership is tested with
+    posix-suffix matching, so configs stay valid regardless of where the
+    tree is checked out.
+    """
+
+    #: Files allowed to touch ambient RNG (``random``/``os.urandom``/...).
+    rng_allowed_suffixes: tuple[str, ...] = ("mathlib/rand.py",)
+    #: Files allowed to read the wall clock.
+    time_allowed_suffixes: tuple[str, ...] = ("sim/clock.py",)
+    #: Directories where EXC001 polices bare/overbroad excepts.
+    exc_scoped_parts: tuple[str, ...] = ("mws", "pkg", "clients")
+    #: Files exempt from the constant-time rules (the comparison
+    #: primitive itself lives here).
+    ct_allowed_suffixes: tuple[str, ...] = ("hashes/hmac.py",)
+    #: Full metric names the obs dump schema declares.  ``None`` loads
+    #: the repository catalogue (:mod:`repro.obs.schema`) lazily.
+    known_metrics: frozenset[str] | None = None
+    #: Name prefixes for per-instance metric families (trailing dot).
+    known_metric_prefixes: tuple[str, ...] | None = None
+
+    def resolved_metrics(self) -> tuple[frozenset, tuple]:
+        """The (names, prefixes) pair, defaulting to the repo catalogue."""
+        if self.known_metrics is not None:
+            return self.known_metrics, tuple(self.known_metric_prefixes or ())
+        from repro.obs.schema import KNOWN_METRIC_PREFIXES, KNOWN_METRICS
+
+        prefixes = self.known_metric_prefixes
+        if prefixes is None:
+            prefixes = KNOWN_METRIC_PREFIXES
+        return KNOWN_METRICS, tuple(prefixes)
+
+    @staticmethod
+    def _matches(path: str, suffixes: Iterable[str]) -> bool:
+        return any(path.endswith(suffix) for suffix in suffixes)
+
+    def rng_allowed(self, path: str) -> bool:
+        return self._matches(path, self.rng_allowed_suffixes)
+
+    def time_allowed(self, path: str) -> bool:
+        return self._matches(path, self.time_allowed_suffixes)
+
+    def ct_allowed(self, path: str) -> bool:
+        return self._matches(path, self.ct_allowed_suffixes)
+
+    def exc_scoped(self, path: str) -> bool:
+        parts = path.split("/")
+        return any(part in self.exc_scoped_parts for part in parts[:-1])
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to analyse one module."""
+
+    #: Display path (posix, relative to the lint root) used in findings.
+    path: str
+    source: str
+    tree: ast.Module
+    annotations: FileAnnotations
+    config: LintConfig = field(default_factory=LintConfig)
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST | None,
+        message: str,
+        line: int | None = None,
+        col: int | None = None,
+    ) -> Finding:
+        """Build a finding for ``node`` (or an explicit location)."""
+        return Finding(
+            rule_id=rule.rule_id,
+            severity=rule.severity,
+            path=self.path,
+            line=line if line is not None else getattr(node, "lineno", 1),
+            col=col if col is not None else getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class Rule:
+    """Base class: subclasses set the metadata and implement ``check``."""
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding ``cls`` to the global rule registry."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    existing = _REGISTRY.get(cls.rule_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every registered rule, in rule-ID order."""
+    _load_builtin_rules()
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> list[str]:
+    """Sorted stable IDs of every registered rule."""
+    _load_builtin_rules()
+    return sorted(_REGISTRY)
+
+
+def _load_builtin_rules() -> None:
+    """Import the rule modules so their ``@register`` decorators run."""
+    from repro.analysis import (  # noqa: F401  (import for side effects)
+        rules_determinism,
+        rules_hygiene,
+        rules_structural,
+        taint,
+    )

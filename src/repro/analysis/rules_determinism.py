@@ -1,0 +1,143 @@
+"""Determinism rules: ambient randomness (RNG001) and wall-clock (TIME001).
+
+PR 1's fault engine and PR 2's byte-identical obs dumps both rest on the
+property that a deployment seeded with the same bytes replays the same
+trajectory.  A single ``random.random()`` or ``time.time()`` smuggled
+into a protocol path silently breaks that, and nothing at runtime will
+notice — the run just stops being reproducible.  These rules make the
+two funnels (:mod:`repro.mathlib.rand` and :mod:`repro.sim.clock`) the
+only doors.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import import_map, resolve_qualified
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import ModuleContext, Rule, register
+
+__all__ = ["AmbientRngRule", "WallClockRule"]
+
+#: Modules whose *import alone* is banned outside the RNG funnel: any
+#: use of them yields process-dependent entropy.
+_BANNED_RNG_MODULES = {"random", "secrets"}
+
+#: Individual callables banned outside the funnel even though their
+#: parent module is fine in general.
+_BANNED_RNG_CALLS = {
+    "os.urandom": "os.urandom",
+    "os.getrandom": "os.getrandom",
+    "uuid.uuid1": "uuid.uuid1",
+    "uuid.uuid4": "uuid.uuid4",
+    "numpy.random": "numpy.random",
+}
+
+#: Wall-clock reads banned outside sim/clock.py.  Monotonic performance
+#: counters (``time.perf_counter``) stay allowed: they feed benchmark
+#: reports, never protocol state, and cannot be made deterministic.
+_BANNED_TIME_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "time.asctime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register
+class AmbientRngRule(Rule):
+    """RNG001: ambient randomness outside :mod:`repro.mathlib.rand`."""
+
+    rule_id = "RNG001"
+    severity = Severity.ERROR
+    title = "ambient RNG outside mathlib/rand.py"
+    rationale = (
+        "All randomness must flow through a repro.mathlib.rand.RandomSource "
+        "so seeded deployments replay byte-identically; random/secrets/"
+        "os.urandom bypass the seedable funnel."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.config.rng_allowed(ctx.path):
+            return
+        imports = import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _BANNED_RNG_MODULES:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"import of {alias.name!r} bypasses the seedable "
+                            "RandomSource funnel (repro.mathlib.rand)",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".")[0]
+                if root in _BANNED_RNG_MODULES:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"import from {node.module!r} bypasses the seedable "
+                        "RandomSource funnel (repro.mathlib.rand)",
+                    )
+                elif node.module == "os" and any(
+                    alias.name in ("urandom", "getrandom") for alias in node.names
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "import of os.urandom bypasses the seedable "
+                        "RandomSource funnel (repro.mathlib.rand)",
+                    )
+            elif isinstance(node, ast.Attribute):
+                qualified = resolve_qualified(node, imports)
+                if qualified in _BANNED_RNG_CALLS or (
+                    qualified is not None
+                    and qualified.split(".")[0] in _BANNED_RNG_MODULES
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{qualified} is ambient randomness; take a "
+                        "repro.mathlib.rand.RandomSource instead",
+                    )
+
+
+@register
+class WallClockRule(Rule):
+    """TIME001: wall-clock reads outside :mod:`repro.sim.clock`."""
+
+    rule_id = "TIME001"
+    severity = Severity.ERROR
+    title = "wall-clock read outside sim/clock.py"
+    rationale = (
+        "Timestamps feed tickets, replay windows and obs dumps; reading "
+        "the wall clock directly instead of an injected Clock makes runs "
+        "non-reproducible and untestable."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.config.time_allowed(ctx.path):
+            return
+        imports = import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            # Only the *outermost* chain matters; nested Names inside an
+            # Attribute are visited separately and resolve to partials.
+            qualified = resolve_qualified(node, imports)
+            if qualified in _BANNED_TIME_CALLS:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{qualified} reads the wall clock; take a "
+                    "repro.sim.clock.Clock (now_us) instead",
+                )

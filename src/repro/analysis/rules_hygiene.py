@@ -1,0 +1,120 @@
+"""Generic hygiene rules: API001 (mutable defaults), API002 (__all__ drift).
+
+Small, mechanical, and exactly the class of bug that slips through
+review in a 14k-line hand-rolled codebase: a shared default list, or an
+``__all__`` that silently stops matching the module surface the docs and
+star-imports rely on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import ModuleContext, Rule, register
+
+__all__ = ["MutableDefaultRule", "DunderAllDriftRule"]
+
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray"}
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_FACTORIES and not node.args
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """API001: mutable default argument values."""
+
+    rule_id = "API001"
+    severity = Severity.WARNING
+    title = "mutable default argument"
+    rationale = (
+        "A mutable default is evaluated once and shared across calls; "
+        "state leaks between invocations.  Use None and construct inside."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    yield ctx.finding(
+                        self,
+                        default,
+                        f"mutable default in {node.name}(); use None and "
+                        "construct per call",
+                    )
+
+
+@register
+class DunderAllDriftRule(Rule):
+    """API002: ``__all__`` out of sync with the module surface."""
+
+    rule_id = "API002"
+    severity = Severity.WARNING
+    title = "__all__ drift"
+    rationale = (
+        "__all__ is the documented public surface; a name listed but not "
+        "defined breaks star-imports, and a public def/class not listed "
+        "is invisible API."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        declared: list[str] | None = None
+        declared_node: ast.AST | None = None
+        defined: set[str] = set()
+        public_defs: dict[str, ast.AST] = {}
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        defined.add(target.id)
+                        if target.id == "__all__" and isinstance(
+                            node.value, (ast.List, ast.Tuple)
+                        ):
+                            declared_node = node
+                            declared = [
+                                element.value
+                                for element in node.value.elts
+                                if isinstance(element, ast.Constant)
+                                and isinstance(element.value, str)
+                            ]
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                defined.add(node.target.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                defined.add(node.name)
+                if not node.name.startswith("_"):
+                    public_defs[node.name] = node
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    defined.add(alias.asname or alias.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    defined.add((alias.asname or alias.name).split(".")[0])
+        if declared is None:
+            return
+        for name in declared:
+            if name not in defined:
+                yield ctx.finding(
+                    self,
+                    declared_node,
+                    f"__all__ lists {name!r} but the module does not define it",
+                )
+        for name, node in sorted(public_defs.items()):
+            if name not in declared:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"public {type(node).__name__.replace('Def', '').lower()} "
+                    f"{name!r} missing from __all__",
+                )

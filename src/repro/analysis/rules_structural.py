@@ -1,0 +1,282 @@
+"""Protocol/observability structural rules: SER001, OBS001, EXC001.
+
+These rules cut across layers: the wire format (serialisation pairs),
+the obs dump contract (metric names must be catalogued or the dump
+schema silently grows unreviewed keys), and the failure-semantics
+discipline of §7 (protocol services must not swallow arbitrary
+exceptions — a typo in a handler should crash a test, not be
+misreported as "malformed input").
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import is_dataclass_decorated, literal_env, literal_strings
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import ModuleContext, Rule, register
+
+__all__ = ["SerialisationPairRule", "MetricCatalogueRule", "OverbroadExceptRule"]
+
+
+@register
+class SerialisationPairRule(Rule):
+    """SER001: wire dataclasses must pair ``to_bytes``/``from_bytes``."""
+
+    rule_id = "SER001"
+    severity = Severity.ERROR
+    title = "unpaired to_bytes/from_bytes on a dataclass"
+    rationale = (
+        "A wire dataclass with only half of the to_bytes/from_bytes pair "
+        "cannot round-trip; the chaos/property suites (and any peer) "
+        "need both directions."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not is_dataclass_decorated(node):
+                continue
+            methods = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            has_to = "to_bytes" in methods
+            has_from = "from_bytes" in methods
+            if has_to != has_from:
+                present, missing = (
+                    ("to_bytes", "from_bytes") if has_to else ("from_bytes", "to_bytes")
+                )
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"dataclass {node.name} defines {present} but not "
+                    f"{missing}; wire types must round-trip",
+                )
+
+
+#: Registry factory methods whose first argument is a full metric name.
+_NAME_FACTORIES = {"counter", "gauge", "histogram", "timer"}
+
+
+@register
+class MetricCatalogueRule(Rule):
+    """OBS001: metric names created in code must be in the dump schema."""
+
+    rule_id = "OBS001"
+    severity = Severity.ERROR
+    title = "metric name missing from the obs dump schema"
+    rationale = (
+        "repro.obs.schema catalogues every metric the canonical dump may "
+        "contain; a name minted in code but absent from the catalogue is "
+        "an unreviewed schema change consumers cannot anticipate."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        known, prefixes = ctx.config.resolved_metrics()
+
+        def name_ok(name: str) -> bool:
+            return name in known or any(
+                name.startswith(prefix) for prefix in prefixes
+            )
+
+        module_env = literal_env(ctx.tree.body)
+        functions = [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        # Function scopes first (their env shadows the module's), then
+        # the module itself so class-body or module-level registrations
+        # are still checked; ``claimed`` stops double-reporting.
+        scopes: list[tuple[dict, ast.AST]] = [
+            (literal_env(ctx.tree.body, function.body), function)
+            for function in functions
+        ]
+        scopes.append((module_env, ctx.tree))
+        claimed: set[int] = set()
+        for env, scope in scopes:
+            for node in ast.walk(scope):
+                if scope is ctx.tree and isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue  # handled with its own env
+                if not isinstance(node, ast.Call) or id(node) in claimed:
+                    continue
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                yield from self._check_call(ctx, node, env, name_ok, claimed)
+
+    def _check_call(self, ctx, node, env, name_ok, claimed) -> Iterator[Finding]:
+        method = node.func.attr
+        if method in _NAME_FACTORIES:
+            claimed.add(id(node))
+            for name, anchor in self._resolve_names(node.args[:1], env):
+                if not name_ok(name):
+                    yield self._miss(ctx, anchor or node, name)
+        elif method == "stats_dict":
+            claimed.add(id(node))
+            yield from self._check_stats_dict(ctx, node, env, name_ok)
+
+    def _check_stats_dict(self, ctx, node, env, name_ok) -> Iterator[Finding]:
+        args = list(node.args)
+        keywords = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+        prefix_node = args[0] if args else keywords.get("prefix")
+        keys_node = args[1] if len(args) > 1 else keywords.get("keys")
+        names_node = args[2] if len(args) > 2 else keywords.get("names")
+        prefix = self._resolve_prefix(prefix_node, env)
+        overridden: set[str] = set()
+        if names_node is not None:
+            resolved = self._resolve_dict(names_node, env)
+            if resolved is not None:
+                overridden = set(resolved)
+                for key, full_name in resolved.items():
+                    if not name_ok(full_name):
+                        yield self._miss(ctx, names_node, full_name)
+        if prefix is None:
+            return  # dynamic prefix: cannot check statically
+        keys: list[str] = []
+        if keys_node is not None:
+            resolved_keys = self._resolve_collection(keys_node, env)
+            if resolved_keys is None:
+                return  # dynamic keys under a static prefix: skip
+            keys = resolved_keys
+        for key in keys:
+            if key in overridden:
+                continue
+            full_name = f"{prefix}{key}" if prefix.endswith(".") else f"{prefix}.{key}"
+            if not name_ok(full_name):
+                yield self._miss(ctx, keys_node or node, full_name)
+
+    def _miss(self, ctx, node, name: str) -> Finding:
+        return ctx.finding(
+            self,
+            node,
+            f"metric {name!r} is not in repro.obs.schema; add it to the "
+            "catalogue (and docs/OBSERVABILITY.md) or fix the name",
+        )
+
+    @staticmethod
+    def _resolve_names(nodes, env) -> list[tuple[str, ast.AST | None]]:
+        out: list[tuple[str, ast.AST | None]] = []
+        for node in nodes:
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                out.append((node.value, node))
+            elif isinstance(node, ast.Name) and node.id in env:
+                for value in env[node.id]:
+                    out.append((value, node))
+        return out
+
+    @staticmethod
+    def _resolve_prefix(node, env) -> str | None:
+        """A static prefix: literal str, resolvable Name, or f-string head.
+
+        An f-string like ``f"client.rc.{rc_id}"`` resolves to its static
+        head ``client.rc.`` which is then matched against the catalogue's
+        prefix families.
+        """
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.Name):
+            values = env.get(node.id)
+            if values is not None and len(values) == 1:
+                return values[0]
+            return None
+        if isinstance(node, ast.JoinedStr) and node.values:
+            head = node.values[0]
+            if isinstance(head, ast.Constant) and isinstance(head.value, str):
+                return head.value
+        return None
+
+    @staticmethod
+    def _resolve_collection(node, env) -> list[str] | None:
+        strings = literal_strings(node)
+        if strings is not None:
+            return strings
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        return None
+
+    @staticmethod
+    def _resolve_dict(node, env) -> dict[str, str] | None:
+        if isinstance(node, ast.Dict):
+            out: dict[str, str] = {}
+            for key, value in zip(node.keys, node.values):
+                if not (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                ):
+                    return None
+                out[key.value] = value.value
+            return out
+        if isinstance(node, ast.Name):
+            # literal_env keeps dict *values*; good enough to check the
+            # names, though per-key override tracking is lost.
+            values = env.get(node.id)
+            if values is not None:
+                return {value: value for value in values}
+        return None
+
+
+@register
+class OverbroadExceptRule(Rule):
+    """EXC001: bare/overbroad excepts in protocol service code."""
+
+    rule_id = "EXC001"
+    severity = Severity.WARNING
+    title = "bare or overbroad except in a protocol service"
+    rationale = (
+        "except Exception in mws/, pkg/ or clients/ swallows genuine bugs "
+        "(AttributeError, TypeError) and misreports them as protocol "
+        "failures; catch ReproError (or a narrower subclass) so defects "
+        "crash tests instead of corrupting accounting."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.config.exc_scoped(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    self,
+                    node,
+                    "bare except: catches everything including KeyboardInterrupt; "
+                    "catch repro.errors.ReproError or narrower",
+                )
+                continue
+            names = []
+            targets = (
+                node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.append(target.id)
+                elif isinstance(target, ast.Attribute):
+                    names.append(target.attr)
+            overbroad = [
+                name for name in names if name in ("Exception", "BaseException")
+            ]
+            if overbroad and not self._reraises(node):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"except {overbroad[0]} swallows non-protocol bugs; catch "
+                    "repro.errors.ReproError (or a narrower subclass)",
+                )
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        """True when the handler re-raises the caught exception bare."""
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise) and node.exc is None:
+                return True
+        return False

@@ -1,0 +1,62 @@
+"""Inline lint annotations: ``# repro-lint: disable=...`` / ``nonsecret=...``.
+
+Two annotation forms, both attached to the physical line they appear on:
+
+* ``# repro-lint: disable=CT002`` (or ``disable=CT002,RNG001``) —
+  suppress those rule IDs on this line.  A finding suppressed this way
+  is counted but not reported.
+* ``# repro-lint: nonsecret=tag`` (or ``nonsecret=tag,mac``) — declare
+  the named local variables non-secret *for this file*, clearing both
+  taint propagation and the CT002 secret-shaped-name heuristic.  Use it
+  where a name that looks like MAC material is actually public (a wire
+  dispatch byte, a test vector).  Everything after ``--`` or the next
+  comment is free-text rationale, kept for humans.
+
+Annotations are parsed textually (not via the tokenizer) so they work on
+any line, including continuation lines and lines inside expressions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["FileAnnotations", "parse_annotations"]
+
+_ANNOTATION_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable|nonsecret)\s*=\s*"
+    r"(?P<names>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+@dataclass
+class FileAnnotations:
+    """All annotations found in one file."""
+
+    #: line number -> set of rule IDs disabled on that line.
+    disabled: dict[int, set[str]] = field(default_factory=dict)
+    #: variable names declared non-secret anywhere in the file, with the
+    #: line each declaration appeared on (for reporting).
+    nonsecret: dict[str, int] = field(default_factory=dict)
+
+    def is_disabled(self, rule_id: str, line: int) -> bool:
+        return rule_id in self.disabled.get(line, ())
+
+    def is_nonsecret(self, name: str) -> bool:
+        return name in self.nonsecret
+
+
+def parse_annotations(source: str) -> FileAnnotations:
+    """Extract every ``repro-lint`` annotation from ``source``."""
+    annotations = FileAnnotations()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "repro-lint" not in line:
+            continue
+        for match in _ANNOTATION_RE.finditer(line):
+            names = [n.strip() for n in match.group("names").split(",")]
+            if match.group("kind") == "disable":
+                annotations.disabled.setdefault(lineno, set()).update(names)
+            else:
+                for name in names:
+                    annotations.nonsecret.setdefault(name, lineno)
+    return annotations

@@ -1,0 +1,483 @@
+"""Secret-taint pass: CT001 (secret-dependent branch) and CT002
+(non-constant-time comparison of secret-derived bytes).
+
+Boneh–Franklin's security analysis assumes the implementation does not
+leak secrets through timing.  Two mechanical invariants capture most of
+what a hand-rolled Python stack can enforce:
+
+* **CT002** — bytes derived from key material are never compared with
+  ``==``/``!=``; every such comparison must go through
+  :func:`repro.hashes.hmac.constant_time_equal`, which touches every
+  byte regardless of where the first difference is.
+* **CT001** — control flow (``if``/``while``/``assert``/ternary) never
+  branches on a raw secret-derived value; an early return conditioned on
+  a secret byte is a textbook timing oracle.
+
+The pass is *interprocedural-lite*: taint is tracked per function with a
+small fixed-point loop, and module-local helper functions whose return
+value is tainted become taint sources for their callers in the same
+module.  Taint seeds:
+
+* names (parameters, locals, ``self.`` attributes) matching the secret
+  lexicon — ``master_secret``, ``session_key``, ``shared_key``,
+  ``mac_key``, ``password_hash``, ``private_key``/``private_point``,
+  ``trapdoor``, ... — because this codebase names its secrets
+  consistently (PrivateKey, KEM session keys, HMAC keys, password
+  hashes);
+* calls to primitives whose output is secret regardless of inputs
+  (``extract_point``, ``derive_password_key``, ``compute_deposit_mac``,
+  ...).  Keyed primitives like ``Hmac``/``kdf2`` are *not* sources:
+  they propagate taint from their arguments (hashing a public identity
+  yields a public digest; deriving from a session key yields a secret).
+
+Taint propagates through arithmetic, indexing, method calls on tainted
+receivers and ordinary calls taking tainted arguments.  It is *cut* at
+explicit barriers: ``constant_time_equal`` (the sanctioned sink),
+``len``/``isinstance`` (shape, not content), authenticated
+``seal``/``open`` (ciphertext and post-verification plaintext are
+attacker-visible by design) and RNG output (nonces/IVs are public).
+
+Additionally, CT002 applies a *name heuristic*: a direct ``==`` on a
+variable named like MAC material (``mac``, ``tag``, ``digest``) is
+flagged even when taint cannot prove derivation — unless the file
+declares the name public with ``# repro-lint: nonsecret=NAME`` (see
+:mod:`repro.analysis.suppress`), which is how the PKG's wire dispatch
+byte documents its exemption.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import ModuleContext, Rule, register
+
+__all__ = ["SecretBranchRule", "SecretCompareRule", "FunctionTaint"]
+
+#: Exact (normalised) names seeding taint.  Normalisation strips leading
+#: underscores and lowercases.
+SECRET_NAMES = frozenset({
+    "secret",
+    "master_secret",
+    "secret_key",
+    "session_key",
+    "shared_key",
+    "mac_key",
+    "hmac_key",
+    "password_hash",
+    "hashed_password",
+    "private_key",
+    "private_point",
+    "signing_key",
+    "trapdoor",
+    "sk",
+    "ikm",
+})
+
+#: Name suffixes that also seed taint (``rc_session_key`` etc.).
+SECRET_SUFFIXES = (
+    "_secret",
+    "_session_key",
+    "_shared_key",
+    "_mac_key",
+    "_private_key",
+    "_password_hash",
+    "_signing_key",
+)
+
+#: Terminal callable names whose return value is secret-derived no
+#: matter what arguments they take.  ``Hmac``/``kdf1``/``kdf2``/``hkdf``
+#: are deliberately absent: they are keyed *propagators* — already
+#: covered by the call-with-tainted-argument rule — because e.g.
+#: ``kdf2(H1_domain || identity)`` over a public identity is public.
+SOURCE_CALLS = frozenset({
+    "compute_deposit_mac",
+    "derive_password_key",
+    "hash_password",
+    "password_key",
+    "extract_point",
+    "extract",
+})
+
+#: Terminal callable names that cut taint (output is public or
+#: content-independent by design).
+BARRIER_CALLS = frozenset({
+    "constant_time_equal",
+    "len",
+    "isinstance",
+    "type",
+    "id",
+    "repr",
+    "range",
+    "enumerate",
+    "hash",
+    # Authenticated container boundaries: sealed bytes are wire-visible
+    # ciphertext; opened bytes already passed the MAC check.
+    "seal",
+    "open",
+    "encrypt",
+    "decrypt",
+    "encrypt_block",
+    "decrypt_block",
+    # RNG output: nonces/IVs/session ids are public values.  Key
+    # material drawn from an RNG gets tainted by its *name* instead.
+    "randbytes",
+    "getrandbits",
+    "randbelow",
+    "randint",
+    # Boolean verdict predicates (PEKS test, signature verify): the
+    # match result is the protocol's public output; the comparison
+    # *inside* them is what CT002 polices.
+    "test",
+    "verify",
+})
+
+#: Names CT002 treats as MAC-shaped even without proven taint; matched
+#: exactly or as a ``_``-separated suffix (``expected_mac``, ``auth_tag``).
+SUSPECT_COMPARE_NAMES = frozenset({"mac", "tag", "digest", "mic", "hmac"})
+
+
+def _is_suspect_name(name: str) -> bool:
+    normalised = _normalise(name)
+    return normalised in SUSPECT_COMPARE_NAMES or any(
+        normalised.endswith("_" + suspect) for suspect in SUSPECT_COMPARE_NAMES
+    )
+
+
+def _normalise(name: str) -> str:
+    return name.lstrip("_").lower()
+
+
+def _is_secret_name(name: str) -> bool:
+    normalised = _normalise(name)
+    return normalised in SECRET_NAMES or any(
+        normalised.endswith(suffix) for suffix in SECRET_SUFFIXES
+    )
+
+
+def _terminal_name(func: ast.AST) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class FunctionTaint:
+    """Taint evaluation for one function body (or the module body).
+
+    ``extra_sources`` names module-local functions already known to
+    return tainted values.  ``nonsecret`` names are never tainted and
+    never suspect, regardless of lexicon matches.
+    """
+
+    _MAX_PASSES = 8
+
+    def __init__(
+        self,
+        body: list[ast.stmt],
+        extra_sources: frozenset[str] = frozenset(),
+        nonsecret: frozenset[str] = frozenset(),
+        params: list[str] = (),
+    ) -> None:
+        self._body = body
+        self._extra_sources = extra_sources
+        self._nonsecret = nonsecret
+        self.tainted: set[str] = set()
+        for param in params:
+            if _is_secret_name(param) and param not in nonsecret:
+                self.tainted.add(param)
+        self._fixed_point()
+
+    # -- taint state -------------------------------------------------------
+
+    def _fixed_point(self) -> None:
+        for _ in range(self._MAX_PASSES):
+            before = len(self.tainted)
+            for stmt in self._body:
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Assign) and self.is_tainted(node.value):
+                        for target in node.targets:
+                            self._taint_target(target)
+                    elif (
+                        isinstance(node, (ast.AnnAssign, ast.AugAssign))
+                        and node.value is not None
+                        and self.is_tainted(node.value)
+                    ):
+                        self._taint_target(node.target)
+                    elif isinstance(node, ast.withitem) and node.optional_vars:
+                        if self.is_tainted(node.context_expr):
+                            self._taint_target(node.optional_vars)
+            if len(self.tainted) == before:
+                return
+
+    def _taint_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            if target.id not in self._nonsecret:
+                self.tainted.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._taint_target(element)
+        elif isinstance(target, ast.Starred):
+            self._taint_target(target.value)
+        # Attribute/Subscript targets: taint is name-based for
+        # attributes (the lexicon covers self._mac_key and friends).
+
+    # -- taint queries -----------------------------------------------------
+
+    def is_tainted(self, node: ast.AST) -> bool:
+        """Whether ``node``'s value is secret-derived."""
+        if isinstance(node, ast.Name):
+            if node.id in self._nonsecret:
+                return False
+            return node.id in self.tainted or _is_secret_name(node.id)
+        if isinstance(node, ast.Attribute):
+            if node.attr in self._nonsecret:
+                return False
+            return _is_secret_name(node.attr) or self.is_tainted(node.value)
+        if isinstance(node, ast.Call):
+            name = _terminal_name(node.func)
+            if name in BARRIER_CALLS:
+                return False
+            if name in SOURCE_CALLS or name in self._extra_sources:
+                return True
+            if isinstance(node.func, ast.Attribute) and self.is_tainted(
+                node.func.value
+            ):
+                return True
+            return any(self.is_tainted(arg) for arg in node.args) or any(
+                self.is_tainted(kw.value) for kw in node.keywords
+            )
+        if isinstance(node, ast.BinOp):
+            return self.is_tainted(node.left) or self.is_tainted(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.is_tainted(node.operand)
+        if isinstance(node, ast.BoolOp):
+            return any(self.is_tainted(value) for value in node.values)
+        if isinstance(node, ast.Compare):
+            # The *result* of a comparison is a bool; it does not carry
+            # the secret bytes (the comparison itself is what CT002
+            # polices).  Sanctioned sinks therefore stop propagation.
+            return False
+        if isinstance(node, ast.Subscript):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.IfExp):
+            return self.is_tainted(node.body) or self.is_tainted(node.orelse)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any(self.is_tainted(element) for element in node.elts)
+        if isinstance(node, ast.Dict):
+            return any(
+                value is not None and self.is_tainted(value) for value in node.values
+            )
+        if isinstance(node, ast.JoinedStr):
+            return any(
+                isinstance(value, ast.FormattedValue) and self.is_tainted(value.value)
+                for value in node.values
+            )
+        if isinstance(node, ast.FormattedValue):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.Starred):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.Await):
+            return self.is_tainted(node.value)
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            return any(self.is_tainted(gen.iter) for gen in node.generators)
+        return False
+
+    def returns_tainted(self) -> bool:
+        """Whether any ``return`` in the body yields a tainted value."""
+        for stmt in self._body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    if self.is_tainted(node.value):
+                        return True
+        return False
+
+
+def _module_taint_sources(
+    tree: ast.Module, nonsecret: frozenset[str]
+) -> frozenset[str]:
+    """Module-local functions whose return value is secret-derived."""
+    sources: set[str] = set()
+    functions = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    for _ in range(3):  # helper-of-helper chains converge quickly
+        before = len(sources)
+        for function in functions:
+            if function.name in sources:
+                continue
+            params = [arg.arg for arg in function.args.args]
+            taint = FunctionTaint(
+                function.body,
+                extra_sources=frozenset(sources),
+                nonsecret=nonsecret,
+                params=params,
+            )
+            if taint.returns_tainted():
+                sources.add(function.name)
+        if len(sources) == before:
+            break
+    return frozenset(sources)
+
+
+class _TaintScan:
+    """Shared scan walking every function once for both CT rules."""
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        self.nonsecret = frozenset(ctx.annotations.nonsecret)
+        self.sources = _module_taint_sources(ctx.tree, self.nonsecret)
+
+    def scopes(self) -> Iterator[tuple[FunctionTaint, list[ast.stmt], str]]:
+        seen: set[int] = set()
+        for node in ast.walk(self.ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name == "constant_time_equal":
+                # The primitive itself necessarily handles secret bytes.
+                for child in ast.walk(node):
+                    seen.add(id(child))
+                continue
+            if id(node) in seen:
+                continue
+            for child in ast.walk(node):
+                seen.add(id(child))
+            params = [arg.arg for arg in node.args.args]
+            yield (
+                FunctionTaint(
+                    node.body,
+                    extra_sources=self.sources,
+                    nonsecret=self.nonsecret,
+                    params=params,
+                ),
+                node.body,
+                node.name,
+            )
+
+
+def _compare_is_flagged(taint: FunctionTaint, node: ast.Compare, nonsecret) -> bool:
+    """Whether a Compare is an eq/neq on secret or MAC-shaped bytes."""
+    if not all(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+        return False
+    operands = [node.left] + list(node.comparators)
+    # Comparisons against None/bool literals are presence checks.
+    for operand in operands:
+        if isinstance(operand, ast.Constant) and (
+            operand.value is None or isinstance(operand.value, bool)
+        ):
+            return False
+    for operand in operands:
+        if taint.is_tainted(operand):
+            return True
+        name = None
+        if isinstance(operand, ast.Name):
+            name = operand.id
+        elif isinstance(operand, ast.Attribute):
+            name = operand.attr
+        if name is not None and name not in nonsecret:
+            if _is_suspect_name(name):
+                return True
+    return False
+
+
+@register
+class SecretCompareRule(Rule):
+    """CT002: ``==``/``!=`` on secret-derived or MAC-shaped bytes."""
+
+    rule_id = "CT002"
+    severity = Severity.ERROR
+    title = "non-constant-time comparison of secret-derived bytes"
+    rationale = (
+        "Python's == short-circuits at the first differing byte, leaking "
+        "the match length through timing; MAC tags, digests and derived "
+        "keys must be compared with repro.hashes.hmac.constant_time_equal."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.config.ct_allowed(ctx.path):
+            return
+        scan = _TaintScan(ctx)
+        for taint, body, func_name in scan.scopes():
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Compare) and _compare_is_flagged(
+                        taint, node, scan.nonsecret
+                    ):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"equality comparison on secret-derived bytes in "
+                            f"{func_name}(); use repro.hashes.hmac."
+                            "constant_time_equal (or annotate the name with "
+                            "'# repro-lint: nonsecret=...' if it is public)",
+                        )
+
+
+@register
+class SecretBranchRule(Rule):
+    """CT001: control flow conditioned on a raw secret-derived value."""
+
+    rule_id = "CT001"
+    severity = Severity.ERROR
+    title = "secret-dependent branch or early return"
+    rationale = (
+        "Branching on secret-derived data (including ordering compares "
+        "and early returns) makes execution time a function of the "
+        "secret; route the decision through constant_time_equal or "
+        "restructure so the branch condition is public."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.config.ct_allowed(ctx.path):
+            return
+        scan = _TaintScan(ctx)
+        for taint, body, func_name in scan.scopes():
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    test = None
+                    if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+                        test = node.test
+                    elif isinstance(node, ast.Assert):
+                        test = node.test
+                    if test is None:
+                        continue
+                    if self._test_is_secret_dependent(taint, test, scan.nonsecret):
+                        yield ctx.finding(
+                            self,
+                            test,
+                            f"branch in {func_name}() conditioned on a "
+                            "secret-derived value; compare via "
+                            "constant_time_equal or restructure",
+                        )
+
+    def _test_is_secret_dependent(self, taint, test, nonsecret) -> bool:
+        """Raw tainted truthiness or an ordering compare on taint.
+
+        Eq/NotEq compares are CT002's; ``is``/``is not``/membership are
+        presence checks (replay caches hash their keys).  Sanitised
+        expressions (len, constant_time_equal, ...) are already cut by
+        the barrier list inside ``is_tainted``.
+        """
+        if isinstance(test, ast.Compare):
+            if _compare_is_flagged(taint, test, nonsecret):
+                return False  # CT002 reports it; do not double-flag
+            if all(
+                isinstance(op, (ast.Is, ast.IsNot, ast.In, ast.NotIn, ast.Eq, ast.NotEq))
+                for op in test.ops
+            ):
+                return False
+            return taint.is_tainted(test.left) or any(
+                taint.is_tainted(comparator) for comparator in test.comparators
+            )
+        if isinstance(test, ast.BoolOp):
+            return any(
+                self._test_is_secret_dependent(taint, value, nonsecret)
+                for value in test.values
+            )
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return self._test_is_secret_dependent(taint, test.operand, nonsecret)
+        return taint.is_tainted(test)

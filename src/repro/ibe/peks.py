@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import DecodeError
+from repro.hashes.hmac import constant_time_equal
 from repro.ibe.keys import _decode_blob, _encode_blob
 from repro.mathlib.rand import RandomSource, SystemRandomSource
 from repro.pairing.curve import Point
@@ -144,7 +145,7 @@ class PeksScheme:
         """
         shared = self._params.pair(trapdoor.point, tag.point)
         expected = mask_bytes(gt_to_bytes(shared), _CHECK_LENGTH, _CHECK_DOMAIN)
-        return expected == tag.check
+        return constant_time_equal(expected, tag.check)
 
 
 class SearchableIndex:

@@ -24,7 +24,12 @@ from collections import OrderedDict
 from typing import Callable
 
 from repro.core.conventions import compute_deposit_mac
-from repro.errors import MacMismatchError, ReplayError, UnknownIdentityError
+from repro.errors import (
+    MacMismatchError,
+    ReplayError,
+    ReproError,
+    UnknownIdentityError,
+)
 from repro.hashes.hmac import constant_time_equal
 from repro.obs.tracing import NULL_TRACER
 from repro.sim.clock import Clock
@@ -207,7 +212,9 @@ class SmartDeviceAuthenticator:
                 request.mac_payload(),
                 signature,
             )
-        except Exception:
+        except ReproError:
+            # Malformed signature blob or curve arithmetic rejecting the
+            # encoded point: either way the signature is invalid.
             valid = False
         if not valid:
             self.stats["bad_signature"] += 1

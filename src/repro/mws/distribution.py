@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ProtocolError
+from repro.errors import DecodeError, ProtocolError
 from repro.mws.authenticator import SmartDeviceAuthenticator
 from repro.mws.service import MessageWarehousingService
 from repro.sim.clock import Clock
@@ -82,7 +82,7 @@ class DistributionPoint:
         """Byte-level endpoint, same contract as the central MWS-SD server."""
         try:
             request = DepositRequest.from_bytes(payload)
-        except Exception as exc:
+        except DecodeError as exc:
             return DepositResponse(accepted=False, error=f"malformed: {exc}").to_bytes()
         return self.handle_deposit(request).to_bytes()
 

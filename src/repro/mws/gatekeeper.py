@@ -14,7 +14,12 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.core.conventions import derive_password_key
-from repro.errors import AuthenticationError, DecryptionError, ReplayError
+from repro.errors import (
+    AuthenticationError,
+    DecryptionError,
+    ReplayError,
+    ReproError,
+)
 from repro.obs.tracing import NULL_TRACER
 from repro.sim.clock import Clock
 from repro.storage.user_db import UserDatabase
@@ -117,7 +122,7 @@ class Gatekeeper:
             )
         try:
             assertion = IdentityAssertion.from_bytes(request.assertion)
-        except Exception as exc:
+        except ReproError as exc:
             self.stats["rejected"] += 1
             raise AuthenticationError(f"malformed assertion: {exc}") from exc
         try:

@@ -1,0 +1,75 @@
+"""The obs dump metric-name catalogue.
+
+Every metric name a deployment may mint — counters, gauges, histograms,
+collector-contributed values — is declared here, either exactly
+(:data:`KNOWN_METRICS`) or as a per-instance family prefix
+(:data:`KNOWN_METRIC_PREFIXES`).  The ``OBS001`` lint rule statically
+extracts metric names from registry factory calls and fails the build on
+any name missing from this catalogue, so the canonical dump's key set
+(docs/OBSERVABILITY.md) cannot grow or drift without a reviewed edit to
+this file.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KNOWN_METRICS", "KNOWN_METRIC_PREFIXES", "is_known_metric"]
+
+#: Exact metric names, grouped by owning component.
+KNOWN_METRICS: frozenset[str] = frozenset({
+    # -- smart-device authenticator (mws/authenticator.py) ----------------
+    "mws.sda.accepted",
+    "mws.sda.retransmits_replayed",
+    "mws.sda.rejections.bad_mac",
+    "mws.sda.rejections.replayed",
+    "mws.sda.rejections.stale_timestamp",
+    "mws.sda.rejections.unknown_device",
+    "mws.sda.rejections.bad_signature",
+    # -- other MWS components ---------------------------------------------
+    "mws.deposits.malformed",
+    "mws.gatekeeper.authenticated",
+    "mws.gatekeeper.rejected",
+    "mws.gatekeeper.assertion_auths",
+    "mws.mms.retrievals",
+    "mws.mms.messages_served",
+    "mws.mms.policy_denials",
+    "mws.tg.tokens_issued",
+    # -- private key generator (pkg/service.py) ---------------------------
+    "pkg.sessions_established",
+    "pkg.keys_extracted",
+    "pkg.auth_failures",
+    "pkg.extract_denials",
+    # -- simulated network / fault plan -----------------------------------
+    "sim.faults.drops",
+    "sim.faults.duplicates",
+    "sim.faults.corruptions",
+    "sim.faults.delays",
+    "sim.faults.partition_drops",
+    "net.request_bytes",
+    "net.response_bytes",
+    "net.messages_sent",
+    "net.bytes_sent",
+    "net.handler_errors",
+    # -- protocol driver histograms ---------------------------------------
+    "protocol.deposit.duration_us",
+})
+
+#: Name families minted per instance (device id, endpoint name, crypto
+#: counter group); a metric is catalogued if it starts with one of
+#: these.  Keep prefixes as long as possible — a short prefix is a hole
+#: in the gate.
+KNOWN_METRIC_PREFIXES: tuple[str, ...] = (
+    "client.rc.",        # per-RC stats + retrying transport
+    "client.sd.",        # per-device stats + retrying transport
+    "transport.",        # standalone RetryingTransport default name
+    "net.endpoint.",     # per-endpoint network tallies (collector)
+    "protocol.phase.",   # per-phase sim-time duration histograms
+    "crypto.",           # crypto profiler collector (incl. crypto.cache.*)
+    "cache.",            # CryptoCache hit/miss counters
+)
+
+
+def is_known_metric(name: str) -> bool:
+    """Whether ``name`` is declared by the catalogue."""
+    return name in KNOWN_METRICS or any(
+        name.startswith(prefix) for prefix in KNOWN_METRIC_PREFIXES
+    )

@@ -20,7 +20,12 @@ from repro.errors import PairingError
 from repro.obs import crypto as _obs_crypto
 from repro.pairing.curve import Point
 
-__all__ = ["miller_loop", "miller_line_coefficients", "miller_loop_projective"]
+__all__ = [
+    "miller_loop",
+    "miller_line_coefficients",
+    "miller_loop_projective",
+    "evaluate_line_coefficients",
+]
 
 
 def _line_value(t_point: Point, p_point: Point, eval_x, eval_y, one):

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from repro.core.conventions import identity_string
 from repro.errors import (
     AccessDeniedError,
+    DecodeError,
     DecryptionError,
     ReplayError,
     TicketError,
@@ -217,25 +218,32 @@ class PrivateKeyGenerator:
 
     # -- byte-level network handler ---------------------------------------------
 
-    #: Message-type tags on the single PKG endpoint.
+    #: Message-type tags on the single PKG endpoint.  These are public
+    #: wire-framing constants, not MAC material: the first byte of every
+    #: request is attacker-chosen and dispatch *must* branch on it.
+    #: ``_PUBLIC_WIRE_TAGS`` is the closed allowlist the handler checks
+    #: before any parser runs; the lint annotation below records that
+    #: ``tag`` in this file always means one of these constants.
+    #: # repro-lint: nonsecret=tag
     TAG_AUTH = 0x01
     TAG_KEY = 0x02
+    _PUBLIC_WIRE_TAGS = frozenset({TAG_AUTH, TAG_KEY})
 
     def handler(self, payload: bytes) -> bytes:
         """Single endpoint: first byte selects auth vs key extraction."""
         if not payload:
             return PkgAuthResponse(ok=False, error="empty request").to_bytes()
         tag, body = payload[0], payload[1:]
+        if tag not in self._PUBLIC_WIRE_TAGS:
+            return PkgAuthResponse(ok=False, error=f"unknown tag {tag}").to_bytes()
         if tag == self.TAG_AUTH:
             try:
                 request = PkgAuthRequest.from_bytes(body)
-            except Exception as exc:
+            except DecodeError as exc:
                 return PkgAuthResponse(ok=False, error=f"malformed: {exc}").to_bytes()
             return self.handle_auth(request).to_bytes()
-        if tag == self.TAG_KEY:
-            try:
-                request = KeyRequest.from_bytes(body)
-            except Exception as exc:
-                return KeyResponse(ok=False, error=f"malformed: {exc}").to_bytes()
-            return self.handle_key_request(request).to_bytes()
-        return PkgAuthResponse(ok=False, error=f"unknown tag {tag}").to_bytes()
+        try:
+            request = KeyRequest.from_bytes(body)
+        except DecodeError as exc:
+            return KeyResponse(ok=False, error=f"malformed: {exc}").to_bytes()
+        return self.handle_key_request(request).to_bytes()

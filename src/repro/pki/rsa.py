@@ -24,7 +24,14 @@ from repro.mathlib.primes import generate_prime
 from repro.mathlib.rand import RandomSource, SystemRandomSource
 from repro.wire.encoding import Reader, Writer
 
-__all__ = ["RsaPublicKey", "RsaPrivateKey", "RsaKeyPair", "generate_rsa_keypair"]
+__all__ = [
+    "RsaPublicKey",
+    "RsaPrivateKey",
+    "RsaKeyPair",
+    "generate_rsa_keypair",
+    "hybrid_seal",
+    "hybrid_open",
+]
 
 _HASH_LEN = 32  # SHA-256
 _DIGEST_PREFIX = b"repro-rsa-sig-sha256:"

@@ -23,7 +23,14 @@ from typing import Callable
 
 from repro.errors import NetworkError
 
-__all__ = ["FrameServer", "SocketChannel", "ServedDeployment", "serve_deployment"]
+__all__ = [
+    "FrameServer",
+    "SocketChannel",
+    "ServedDeployment",
+    "serve_deployment",
+    "read_frame",
+    "write_frame",
+]
 
 _LENGTH = struct.Struct(">I")
 _MAX_FRAME = 64 * 1024 * 1024  # defensive cap

@@ -22,7 +22,13 @@ import struct
 from repro.errors import CorruptRecordError, KeyNotFoundError, StorageError
 from repro.hashes.crc import crc32
 
-__all__ = ["RecordStore", "MemoryStore", "FlatFileStore", "LogStructuredStore"]
+__all__ = [
+    "RecordStore",
+    "MemoryStore",
+    "FlatFileStore",
+    "LogStructuredStore",
+    "open_store",
+]
 
 
 class RecordStore:

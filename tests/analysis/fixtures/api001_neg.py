@@ -1,0 +1,8 @@
+"""API001 negative: None default with in-body construction."""
+
+
+def collect(item: int, bucket: list | None = None) -> list:
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

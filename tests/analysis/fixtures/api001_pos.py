@@ -1,0 +1,6 @@
+"""API001 positive: mutable default argument."""
+
+
+def collect(item: int, bucket: list = []) -> list:
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,15 @@
+"""API002 negative: __all__ matches the public surface exactly."""
+
+__all__ = ["exported", "also_exported"]
+
+
+def exported() -> int:
+    return 1
+
+
+def also_exported() -> int:
+    return 2
+
+
+def _private_helper() -> int:
+    return 3

@@ -1,0 +1,11 @@
+"""API002 positive: __all__ drift in both directions."""
+
+__all__ = ["exported", "ghost_name"]
+
+
+def exported() -> int:
+    return 1
+
+
+def forgotten() -> int:
+    return 2

@@ -1,0 +1,7 @@
+"""CT001 negative: branching on shape (len) of a secret is public."""
+
+
+def unlock(session_key: bytes) -> bytes:
+    if len(session_key) != 32:
+        return b"reject"
+    return b"accept"

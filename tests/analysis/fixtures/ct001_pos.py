@@ -1,0 +1,7 @@
+"""CT001 positive: early return conditioned on a secret byte."""
+
+
+def unlock(session_key: bytes) -> bytes:
+    if session_key[0] > 3:
+        return b"fast path"
+    return b"slow path"

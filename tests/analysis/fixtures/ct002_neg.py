@@ -1,0 +1,9 @@
+"""CT002 negative: the sanctioned constant-time comparison."""
+
+from repro.core.conventions import compute_deposit_mac
+from repro.hashes.hmac import constant_time_equal
+
+
+def check(message: bytes, device_key: bytes, presented: bytes) -> bool:
+    expected = compute_deposit_mac(device_key, message)
+    return constant_time_equal(expected, presented)

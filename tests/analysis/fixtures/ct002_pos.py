@@ -1,0 +1,8 @@
+"""CT002 positive: raw == on a MAC computed from key material."""
+
+from repro.core.conventions import compute_deposit_mac
+
+
+def check(message: bytes, device_key: bytes, presented: bytes) -> bool:
+    expected = compute_deposit_mac(device_key, message)
+    return expected == presented

@@ -1,0 +1,17 @@
+"""EXC001 negative: narrow excepts; broad catch allowed when re-raising."""
+
+from repro.errors import DecodeError
+
+
+def parse(payload: bytes):
+    try:
+        return payload.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise DecodeError(str(exc)) from exc
+
+
+def boundary(payload: bytes):
+    try:
+        return payload.decode("utf-8")
+    except Exception:
+        raise

@@ -1,0 +1,15 @@
+"""EXC001 positive: bare/overbroad excepts swallowing errors."""
+
+
+def parse(payload: bytes):
+    try:
+        return payload.decode("utf-8")
+    except:  # noqa: E722
+        return None
+
+
+def guard(payload: bytes):
+    try:
+        return payload.decode("utf-8")
+    except Exception:
+        return None

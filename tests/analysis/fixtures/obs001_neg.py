@@ -1,0 +1,9 @@
+"""OBS001 negative: catalogued exact name plus a catalogued prefix family."""
+
+from repro.obs import MetricsRegistry
+
+
+def build(registry: MetricsRegistry, device_id: str):
+    accepted = registry.counter("mws.sda.accepted")
+    per_device = registry.counter(f"client.sd.{device_id}.deposits")
+    return accepted, per_device

@@ -1,0 +1,7 @@
+"""OBS001 positive: metric name missing from the obs dump schema."""
+
+from repro.obs import MetricsRegistry
+
+
+def build(registry: MetricsRegistry):
+    return registry.counter("mws.sda.definitely_not_in_schema")

@@ -1,0 +1,7 @@
+"""RNG001 negative: randomness flows through an injected RandomSource."""
+
+from repro.mathlib.rand import RandomSource
+
+
+def make_nonce(rng: RandomSource) -> bytes:
+    return rng.randbytes(16)

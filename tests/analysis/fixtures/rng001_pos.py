@@ -1,0 +1,10 @@
+"""RNG001 positive: ambient randomness instead of the RandomSource funnel."""
+
+import os
+import random
+
+
+def make_nonce() -> bytes:
+    if random.random() < 0.5:
+        return os.urandom(16)
+    return os.urandom(8)

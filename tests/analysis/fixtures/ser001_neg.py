@@ -1,0 +1,15 @@
+"""SER001 negative: symmetric to_bytes/from_bytes pair."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PairedFrame:
+    payload: bytes
+
+    def to_bytes(self) -> bytes:
+        return self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PairedFrame":
+        return cls(payload=data)

@@ -1,0 +1,11 @@
+"""SER001 positive: wire dataclass with an encoder but no decoder."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LonelyFrame:
+    payload: bytes
+
+    def to_bytes(self) -> bytes:
+        return self.payload

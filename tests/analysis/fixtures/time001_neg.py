@@ -1,0 +1,9 @@
+"""TIME001 negative: sim clock for protocol time, perf_counter for benches."""
+
+import time
+
+from repro.sim.clock import SimClock
+
+
+def stamp(clock: SimClock) -> tuple:
+    return clock.now_us(), time.perf_counter()

@@ -1,0 +1,8 @@
+"""TIME001 positive: wall-clock reads outside sim/clock.py."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> tuple:
+    return time.time(), datetime.now()

@@ -1,0 +1,96 @@
+"""Baseline file round-trip and the ``repro lint`` CLI contract."""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    analyze_source,
+    load_baseline,
+    render_baseline,
+    split_findings,
+)
+from repro.analysis.cli import run_lint
+from repro.errors import DecodeError
+
+DIRTY_SOURCE = "import random\nimport time\n\n\ndef now():\n    return time.time()\n"
+
+
+def make_args(tmp_path: Path, tree: Path, **overrides) -> argparse.Namespace:
+    defaults = dict(
+        paths=[str(tree)],
+        as_json=False,
+        baseline=str(tmp_path / "baseline.json"),
+        write_baseline=False,
+        out=None,
+    )
+    defaults.update(overrides)
+    return argparse.Namespace(**defaults)
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path: Path) -> Path:
+    tree = tmp_path / "mws"
+    tree.mkdir()
+    (tree / "dirty.py").write_text(DIRTY_SOURCE, encoding="utf-8")
+    return tree
+
+
+def test_render_load_round_trip():
+    report = analyze_source(DIRTY_SOURCE, "src/repro/mws/dirty.py")
+    findings = report.sorted_findings()
+    assert findings
+    keys = load_baseline(render_baseline(findings))
+    new, baselined = split_findings(findings, keys)
+    assert not new
+    assert baselined == findings
+
+
+def test_malformed_baseline_raises_decode_error():
+    with pytest.raises(DecodeError):
+        load_baseline("not json at all")
+    with pytest.raises(DecodeError):
+        load_baseline(json.dumps({"version": 999, "findings": []}))
+
+
+def test_cli_dirty_tree_fails_then_baseline_clears_it(tmp_path, dirty_tree, capsys):
+    args = make_args(tmp_path, dirty_tree)
+    assert run_lint(args) == 1
+    capsys.readouterr()
+
+    assert run_lint(make_args(tmp_path, dirty_tree, write_baseline=True)) == 0
+    capsys.readouterr()
+
+    # With every finding grandfathered the same tree exits clean.
+    assert run_lint(args) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_cli_json_report_parses_and_counts(tmp_path, dirty_tree, capsys):
+    out_path = tmp_path / "report.json"
+    args = make_args(tmp_path, dirty_tree, as_json=True, out=str(out_path))
+    assert run_lint(args) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == json.loads(out_path.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    assert payload["counts"]["new"] == len(payload["findings"]) > 0
+    reported_rules = {f["rule_id"] for f in payload["findings"]}
+    assert {"RNG001", "TIME001"} <= reported_rules
+    assert set(payload["rule_ids"]) >= reported_rules
+
+
+def test_cli_missing_path_is_operational_error(tmp_path):
+    args = make_args(tmp_path, tmp_path / "does-not-exist")
+    assert run_lint(args) == 2
+
+
+def test_cli_corrupt_baseline_is_operational_error(tmp_path, dirty_tree):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("{", encoding="utf-8")
+    args = make_args(tmp_path, dirty_tree, baseline=str(baseline))
+    assert run_lint(args) == 2

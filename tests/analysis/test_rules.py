@@ -1,0 +1,100 @@
+"""Per-rule fixture tests: every rule ID fires on its positive fixture
+and stays quiet on its negative one.
+
+Fixtures live in ``tests/analysis/fixtures/`` as real parseable modules;
+the *display path* each one is analyzed under is part of the fixture
+(several rules are path-scoped: EXC001 only polices ``mws``/``pkg``/
+``clients``, RNG001 exempts ``mathlib/rand.py``, ...).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_source, rule_ids
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id -> (fixture stem, display path the source is analyzed under)
+CASES = {
+    "CT001": ("ct001", "src/repro/ibe/fixture.py"),
+    "CT002": ("ct002", "src/repro/mws/fixture.py"),
+    "RNG001": ("rng001", "src/repro/mws/fixture.py"),
+    "TIME001": ("time001", "src/repro/mws/fixture.py"),
+    "SER001": ("ser001", "src/repro/wire/fixture.py"),
+    "OBS001": ("obs001", "src/repro/obs/fixture.py"),
+    "EXC001": ("exc001", "src/repro/mws/fixture.py"),
+    "API001": ("api001", "src/repro/core/fixture.py"),
+    "API002": ("api002", "src/repro/core/fixture.py"),
+}
+
+
+def run_fixture(stem: str, flavour: str, display_path: str):
+    source = (FIXTURES / f"{stem}_{flavour}.py").read_text(encoding="utf-8")
+    return analyze_source(source, display_path)
+
+
+def ids_of(report) -> set:
+    return {finding.rule_id for finding in report.findings}
+
+
+def test_every_rule_has_a_case():
+    assert set(CASES) == set(rule_ids())
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_positive_fixture_fires(rule_id):
+    stem, display_path = CASES[rule_id]
+    report = run_fixture(stem, "pos", display_path)
+    assert rule_id in ids_of(report)
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_negative_fixture_is_clean(rule_id):
+    stem, display_path = CASES[rule_id]
+    report = run_fixture(stem, "neg", display_path)
+    assert rule_id not in ids_of(report)
+
+
+def test_findings_carry_location_and_render(tmp_path):
+    report = run_fixture("rng001", "pos", "src/repro/mws/fixture.py")
+    rng = [f for f in report.findings if f.rule_id == "RNG001"]
+    assert rng, "RNG001 fixture must produce findings"
+    rendered = rng[0].render()
+    assert "src/repro/mws/fixture.py" in rendered
+    assert "RNG001" in rendered
+    assert rng[0].line >= 1
+
+
+def test_exc001_is_path_scoped():
+    # The same overbroad except is tolerated outside mws/pkg/clients
+    # (bench harnesses legitimately firewall arbitrary failures).
+    source = (FIXTURES / "exc001_pos.py").read_text(encoding="utf-8")
+    inside = analyze_source(source, "src/repro/mws/fixture.py")
+    outside = analyze_source(source, "src/repro/bench/fixture.py")
+    assert "EXC001" in ids_of(inside)
+    assert "EXC001" not in ids_of(outside)
+
+
+def test_rng001_exempts_the_rand_funnel():
+    source = "import random\n"
+    inside = analyze_source(source, "src/repro/mws/fixture.py")
+    funnel = analyze_source(source, "src/repro/mathlib/rand.py")
+    assert "RNG001" in ids_of(inside)
+    assert "RNG001" not in ids_of(funnel)
+
+
+def test_time001_exempts_the_sim_clock():
+    source = "import time\n\n\ndef now():\n    return time.time()\n"
+    inside = analyze_source(source, "src/repro/mws/fixture.py")
+    clock = analyze_source(source, "src/repro/sim/clock.py")
+    assert "TIME001" in ids_of(inside)
+    assert "TIME001" not in ids_of(clock)
+
+
+def test_syntax_error_becomes_parse_finding():
+    report = analyze_source("def broken(:\n", "src/repro/broken.py")
+    assert report.parse_errors
+    assert [f.rule_id for f in report.findings] == ["PARSE"]

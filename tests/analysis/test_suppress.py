@@ -1,0 +1,57 @@
+"""Inline suppression and nonsecret-annotation behaviour."""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_source
+from repro.analysis.suppress import parse_annotations
+
+MWS_PATH = "src/repro/mws/fixture.py"
+
+
+def test_disable_comment_suppresses_on_its_line():
+    source = (
+        "import random  # repro-lint: disable=RNG001\n"
+    )
+    report = analyze_source(source, MWS_PATH)
+    assert not [f for f in report.findings if f.rule_id == "RNG001"]
+    assert [f.rule_id for f in report.suppressed] == ["RNG001"]
+
+
+def test_disable_comment_is_rule_specific():
+    # Disabling TIME001 does not silence the RNG001 finding on the line.
+    source = "import random  # repro-lint: disable=TIME001\n"
+    report = analyze_source(source, MWS_PATH)
+    assert [f.rule_id for f in report.findings] == ["RNG001"]
+
+
+def test_disable_comment_accepts_multiple_rules():
+    source = "import random  # repro-lint: disable=TIME001,RNG001\n"
+    report = analyze_source(source, MWS_PATH)
+    assert not report.findings
+    assert [f.rule_id for f in report.suppressed] == ["RNG001"]
+
+
+def test_nonsecret_annotation_clears_mac_shaped_name():
+    body = (
+        "def dispatch(payload: bytes) -> bool:\n"
+        "    tag = payload[0]\n"
+        "    return tag == 1\n"
+    )
+    flagged = analyze_source(body, MWS_PATH)
+    assert "CT002" in {f.rule_id for f in flagged.findings}
+
+    annotated = "# repro-lint: nonsecret=tag\n" + body
+    cleared = analyze_source(annotated, MWS_PATH)
+    assert "CT002" not in {f.rule_id for f in cleared.findings}
+
+
+def test_parse_annotations_shapes():
+    source = (
+        "# repro-lint: nonsecret=tag, mac\n"
+        "x = 1  # repro-lint: disable=CT001, CT002\n"
+    )
+    annotations = parse_annotations(source)
+    assert annotations.is_disabled("CT001", 2)
+    assert annotations.is_disabled("CT002", 2)
+    assert not annotations.is_disabled("CT001", 1)
+    assert set(annotations.nonsecret) == {"tag", "mac"}
