@@ -57,17 +57,46 @@ def build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser(
         "bench", help="micro-benchmarks; writes a BENCH_*.json trajectory file"
     )
-    bench.add_argument("target", choices=["pairing"],
+    bench.add_argument("target", choices=["pairing", "scale"],
                        help="'pairing': legacy vs fast-path pairing and the "
-                       "FIG4-style deposit phase")
-    bench.add_argument("--preset", default="TEST80")
+                       "FIG4-style deposit phase; 'scale': fleet load "
+                       "generation against a sharded warehouse with batched "
+                       "deposits and paged retrieval")
+    bench.add_argument("--preset", default=None,
+                       help="pairing preset (default: TEST80 for 'pairing', "
+                       "TOY64 for 'scale')")
     bench.add_argument("--pairings", type=int, default=20,
                        help="pairing evaluations per timed variant")
     bench.add_argument("--messages", type=int, default=20,
                        help="deposits per timed deposit-phase variant")
-    bench.add_argument("--out", default="BENCH_pairing.json",
-                       help="output JSON path ('-' for stdout only)")
+    bench.add_argument("--shards", type=int, default=4,
+                       help="scale: message-warehouse shard count")
+    bench.add_argument("--meters", type=int, default=2,
+                       help="scale: meters per kind (fleet size / 3)")
+    bench.add_argument("--batch-size", type=int, default=8,
+                       help="scale: readings deposited per device batch")
+    bench.add_argument("--timing-batch", type=int, default=64,
+                       help="scale: messages in the batched-vs-sequential "
+                       "timing comparison")
+    bench.add_argument("--page-size", type=int, default=16,
+                       help="scale: page size for the retrieval sweep")
+    bench.add_argument("--seed", default="repro-scale",
+                       help="scale: deployment/fleet seed")
+    bench.add_argument("--out", default=None,
+                       help="output JSON path ('-' for stdout only; default: "
+                       "BENCH_<target>.json)")
     bench.add_argument("--indent", type=int, default=2)
+
+    gate = subparsers.add_parser(
+        "bench-gate",
+        help="compare a fresh bench run against a committed baseline and "
+        "fail on regression",
+    )
+    gate.add_argument("baseline", help="committed BENCH_*.json to gate against")
+    gate.add_argument("current", help="freshly produced BENCH_*.json")
+    gate.add_argument("--max-regression", type=float, default=0.25,
+                      help="allowed fractional drop in each gated ratio "
+                      "(default 0.25 = 25%%)")
 
     obs = subparsers.add_parser(
         "obs", help="observability: dump metrics/traces/crypto profiles"
@@ -240,6 +269,13 @@ def _cmd_crypto_check(_args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    """Dispatch to the selected benchmark target."""
+    if args.target == "scale":
+        return _bench_scale(args)
+    return _bench_pairing(args)
+
+
+def _bench_pairing(args) -> int:
     """Benchmark the pairing fast path and record a perf trajectory file.
 
     Three sections, mirroring the ISSUE acceptance criteria:
@@ -259,7 +295,9 @@ def _cmd_bench(args) -> int:
     from repro.obs.crypto import profiled
     from repro.pairing import FixedArgumentTate, get_preset
 
-    params = get_preset(args.preset)
+    preset = args.preset if args.preset else "TEST80"
+    out = args.out if args.out is not None else "BENCH_pairing.json"
+    params = get_preset(preset)
     rng = HmacDrbg(b"repro-bench-pairing")
     pairs = [
         (
@@ -295,7 +333,7 @@ def _cmd_bench(args) -> int:
 
         deployment = Deployment.build(
             DeploymentConfig(
-                preset=args.preset,
+                preset=preset,
                 seed=b"repro-bench-fig4",
                 use_fast_pairing=use_fast,
                 crypto_cache_size=cache_size,
@@ -327,7 +365,7 @@ def _cmd_bench(args) -> int:
         "bench": "pairing",
         "schema_version": 1,
         "meta": {
-            "preset": args.preset,
+            "preset": preset,
             "pairings": len(pairs),
             "messages": args.messages,
         },
@@ -351,10 +389,10 @@ def _cmd_bench(args) -> int:
         },
     }
     text = json.dumps(dump, sort_keys=True, indent=args.indent) + "\n"
-    if args.out and args.out != "-":
-        with open(args.out, "w", encoding="utf-8") as handle:
+    if out != "-":
+        with open(out, "w", encoding="utf-8") as handle:
             handle.write(text)
-        print(f"wrote {args.out}")
+        print(f"wrote {out}")
     else:
         sys.stdout.write(text)
     print(
@@ -364,6 +402,110 @@ def _cmd_bench(args) -> int:
         f"{fast_msg_s * 1e3:.2f} ms/msg ({legacy_msg_s / fast_msg_s:.1f}x, "
         f"warm {legacy_msg_s / warm_msg_s:.1f}x)"
     )
+    return 0
+
+
+def _bench_scale(args) -> int:
+    """Run the fleet load harness and write ``BENCH_scale.json``.
+
+    Exit status reflects the run's own invariants: a conservation or
+    retrieval-completeness failure is an error even before any CI
+    assertion looks at the JSON.
+    """
+    import json
+
+    from repro.sim.loadgen import ScaleConfig, run_scale
+
+    dump = run_scale(
+        ScaleConfig(
+            shards=args.shards,
+            meters_per_kind=args.meters,
+            batch_size=args.batch_size,
+            timing_batch=args.timing_batch,
+            page_size=args.page_size,
+            preset=args.preset if args.preset else "TOY64",
+            seed=args.seed.encode(),
+        )
+    )
+    out = args.out if args.out is not None else "BENCH_scale.json"
+    text = json.dumps(dump, sort_keys=True, indent=args.indent) + "\n"
+    if out != "-":
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {out}")
+    else:
+        sys.stdout.write(text)
+    timing = dump["batch_timing"]
+    print(
+        f"deposits: {dump['deposits']['accepted']} accepted across "
+        f"{dump['meta']['shards']} shards {dump['shards']['counts']}; "
+        f"retrieval: {dump['retrieval']['messages']} messages in "
+        f"{dump['retrieval']['pages']} pages; batch "
+        f"{timing['sequential_ms_per_msg']} -> {timing['batched_ms_per_msg']} "
+        f"ms/msg ({timing['speedup']}x)"
+    )
+    if not dump["shards"]["conservation_ok"]:
+        print("FAIL: per-shard counts do not sum to accepted deposits")
+        return 1
+    if not dump["retrieval"]["complete"]:
+        print("FAIL: paged retrieval did not return every accepted message")
+        return 1
+    return 0
+
+
+#: Ratios gated by ``repro bench-gate``, per bench kind.  Gating on
+#: speedups rather than absolute milliseconds keeps the gate meaningful
+#: across machines: a CI runner is slower than the laptop that wrote
+#: the baseline, but the fast-path/batch *ratio* should hold anywhere.
+_GATED_RATIOS = {
+    "pairing": [
+        ("pairing", "speedup"),
+        ("deposit_phase", "speedup"),
+        ("deposit_phase", "warm_speedup"),
+    ],
+    "scale": [
+        ("batch_timing", "speedup"),
+    ],
+}
+
+
+def _cmd_bench_gate(args) -> int:
+    """Fail when a gated ratio regressed beyond ``--max-regression``."""
+    import json
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.current, encoding="utf-8") as handle:
+        current = json.load(handle)
+    kind = baseline.get("bench")
+    if current.get("bench") != kind:
+        print(f"bench kinds differ: {kind!r} vs {current.get('bench')!r}")
+        return 2
+    ratios = _GATED_RATIOS.get(kind)
+    if ratios is None:
+        print(f"no gated ratios defined for bench kind {kind!r}")
+        return 2
+    failed = 0
+    for section, key in ratios:
+        base = baseline.get(section, {}).get(key)
+        cur = current.get(section, {}).get(key)
+        if base is None or cur is None:
+            print(f"{section}.{key}: missing (baseline={base}, current={cur})")
+            failed += 1
+            continue
+        floor = base * (1.0 - args.max_regression)
+        verdict = "OK" if cur >= floor else "REGRESSED"
+        print(
+            f"{section}.{key}: baseline {base} current {cur} "
+            f"floor {floor:.2f} {verdict}"
+        )
+        if cur < floor:
+            failed += 1
+    if failed:
+        print(f"bench-gate: {failed} ratio(s) regressed > "
+              f"{args.max_regression:.0%}")
+        return 1
+    print("bench-gate: all ratios within budget")
     return 0
 
 
@@ -428,6 +570,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "crypto-check": _cmd_crypto_check,
     "bench": _cmd_bench,
+    "bench-gate": _cmd_bench_gate,
     "obs": _cmd_obs,
     "lint": _cmd_lint,
 }

@@ -42,6 +42,8 @@ from repro.wire.messages import (
     Authenticator,
     KeyRequest,
     KeyResponse,
+    PagedRetrieveRequest,
+    PagedRetrieveResponse,
     PkgAuthRequest,
     PkgAuthResponse,
     RetrieveRequest,
@@ -109,6 +111,7 @@ class ReceivingClient:
         )
         stat_keys = (
             "retrievals",
+            "pages_fetched",
             "keys_fetched",
             "cache_hits",
             "decrypted",
@@ -175,23 +178,9 @@ class ReceivingClient:
             raw = channel.request(
                 self.build_retrieve_request(since_us, assertion).to_bytes()
             )
-            if raw.startswith(b"ERR:"):
-                parts = raw.split(b":", 2)
-                kind = parts[1].decode() if len(parts) > 1 else "ProtocolError"
-                detail = parts[2].decode() if len(parts) > 2 else ""
-                # Re-raise the MWS's error as the matching local class so
-                # callers can distinguish revocation from a bad password.
-                import repro.errors as errors_module
-
-                error_cls = getattr(errors_module, kind, ProtocolError)
-                if not (
-                    isinstance(error_cls, type)
-                    and issubclass(error_cls, ProtocolError)
-                ):
-                    error_cls = ProtocolError
-                raise error_cls(f"MWS rejected retrieval: {detail}")
-            if not raw.startswith(b"OK:"):
-                raise ProtocolError("malformed MWS retrieval response")
+            # Re-raise the MWS's error as the matching local class so
+            # callers can distinguish revocation from a bad password.
+            self._raise_tagged_error(raw)
             return RetrieveResponse.from_bytes(raw[3:])
 
         response = self.transport.call(
@@ -199,6 +188,104 @@ class ReceivingClient:
         )
         self.stats["retrievals"] += 1
         return response
+
+    def build_page_request(
+        self,
+        page_size: int,
+        cursor: int = 0,
+        since_us: int = 0,
+        assertion: bytes = b"",
+    ) -> PagedRetrieveRequest:
+        """A paged retrieval request with a fresh auth blob.
+
+        Builders are per page: every page carries its own nonce and
+        timestamp, so a paging loop never trips the gatekeeper's nonce
+        replay cache.
+        """
+        base = self.build_retrieve_request(since_us, assertion)
+        return PagedRetrieveRequest(
+            rc_id=base.rc_id,
+            rc_public_key=base.rc_public_key,
+            auth_blob=base.auth_blob,
+            page_size=page_size,
+            cursor=cursor,
+            since_us=since_us,
+            assertion=base.assertion,
+        )
+
+    def retrieve_page(
+        self,
+        channel: Channel,
+        page_size: int,
+        cursor: int = 0,
+        since_us: int = 0,
+        assertion: bytes = b"",
+    ) -> PagedRetrieveResponse:
+        """Fetch one page of at most ``page_size`` messages.
+
+        Retry attempts rebuild the request (fresh nonce/timestamp), the
+        same discipline as :meth:`retrieve`.
+        """
+
+        def attempt() -> PagedRetrieveResponse:
+            with self._tracer.span("rc.retrieve_page_attempt"):
+                raw = channel.request(
+                    self.build_page_request(
+                        page_size, cursor, since_us, assertion
+                    ).to_bytes()
+                )
+                self._raise_tagged_error(raw)
+                return PagedRetrieveResponse.from_bytes(raw[3:])
+
+        response = self.transport.call(
+            attempt, transient=(NetworkError, DecodeError, ProtocolError)
+        )
+        self.stats["pages_fetched"] += 1
+        return response
+
+    def retrieve_all(
+        self,
+        channel: Channel,
+        page_size: int = 64,
+        since_us: int = 0,
+        assertion: bytes = b"",
+    ) -> tuple[Token, list[StoredMessage]]:
+        """Drain the backlog in ``page_size`` chunks.
+
+        Pages until the MWS reports no more messages; returns the token
+        from the *last* page (the freshest ticket) plus every message in
+        id order.  Memory on the wire stays bounded by ``page_size``
+        regardless of backlog depth.
+        """
+        messages: list[StoredMessage] = []
+        cursor = 0
+        while True:
+            page = self.retrieve_page(
+                channel, page_size, cursor=cursor, since_us=since_us,
+                assertion=assertion,
+            )
+            messages.extend(page.messages)
+            cursor = page.next_cursor
+            if not page.has_more:
+                self.stats["retrievals"] += 1
+                return self.open_token(page.token), messages
+
+    def _raise_tagged_error(self, raw: bytes) -> None:
+        """Map an ``ERR:Kind:detail`` reply onto the local error class."""
+        if raw.startswith(b"ERR:"):
+            parts = raw.split(b":", 2)
+            kind = parts[1].decode() if len(parts) > 1 else "ProtocolError"
+            detail = parts[2].decode() if len(parts) > 2 else ""
+            import repro.errors as errors_module
+
+            error_cls = getattr(errors_module, kind, ProtocolError)
+            if not (
+                isinstance(error_cls, type) and issubclass(error_cls, ProtocolError)
+            ):
+                error_cls = ProtocolError
+            raise error_cls(f"MWS rejected retrieval: {detail}")
+        if not raw.startswith(b"OK:"):
+            raise ProtocolError("malformed MWS retrieval response")
 
     def open_token(self, sealed_token: bytes) -> Token:
         """Open the token with the RC's RSA private key."""

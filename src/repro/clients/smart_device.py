@@ -20,13 +20,14 @@ from repro.core.conventions import (
     identity_string,
 )
 from repro.errors import DecodeError, NetworkError, ProtocolError
-from repro.ibe.kem import hybrid_encrypt
+from repro.ibe.kem import hybrid_encrypt, hybrid_encrypt_many
 from repro.ibe.keys import PublicParams
 from repro.mathlib.rand import RandomSource, SystemRandomSource
 from repro.obs.tracing import NULL_TRACER
 from repro.sim.clock import Clock, WallClock
 from repro.sim.network import Channel
 from repro.wire.messages import (
+    BatchDepositReceipt,
     BatchDepositRequest,
     BatchDepositResponse,
     BatchEntry,
@@ -183,6 +184,83 @@ class SmartDevice:
                     f"MWS rejected batch from {self.device_id!r}: {response.error}"
                 )
             return response
+
+        return self.transport.call(attempt, transient=_DEPOSIT_TRANSIENT)
+
+    def build_many(self, items: list[tuple[str, bytes]]) -> BatchDepositRequest:
+        """Build a batch with KEM encapsulations amortised per identity.
+
+        Items are grouped by IBE identity (attribute + nonce) and each
+        group shares one encapsulation via
+        :func:`repro.ibe.kem.hybrid_encrypt_many` — with the static-key
+        ablation (``use_nonce=False``) a 64-reading batch to one
+        attribute pays one pairing instead of 64.  With per-message
+        nonces every item is its own group and the cost matches
+        :meth:`build_batch`.  Entry order always mirrors ``items`` so
+        receipt statuses line up by position.
+        """
+        with self._tracer.span("sd.build_many") as span:
+            span.annotate("items", len(items))
+            nonces = [
+                self._rng.randbytes(NONCE_LENGTH) if self._use_nonce else b""
+                for _ in items
+            ]
+            groups: dict[bytes, list[int]] = {}
+            for index, (attribute, _message) in enumerate(items):
+                identity = identity_string(attribute, nonces[index])
+                groups.setdefault(identity, []).append(index)
+            ciphertexts: list[bytes] = [b""] * len(items)
+            with self._tracer.span("sd.ibe_encrypt_many"):
+                for identity, indexes in groups.items():
+                    sealed = hybrid_encrypt_many(
+                        self._public,
+                        identity,
+                        [items[index][1] for index in indexes],
+                        cipher_name=self._cipher_name,
+                        rng=self._rng,
+                    )
+                    for index, ciphertext in zip(indexes, sealed):
+                        ciphertexts[index] = ciphertext.to_bytes()
+            entries = [
+                BatchEntry(
+                    attribute=items[index][0],
+                    nonce=nonces[index],
+                    ciphertext=ciphertexts[index],
+                )
+                for index in range(len(items))
+            ]
+            request = BatchDepositRequest(
+                device_id=self.device_id,
+                timestamp_us=self._clock.now_us(),
+                entries=entries,
+            )
+            with self._tracer.span("sd.mac"):
+                request.mac = compute_deposit_mac(
+                    self._shared_key, request.mac_payload()
+                )
+            self.stats["deposits_built"] += len(entries)
+            return request
+
+    def deposit_many(
+        self, channel: Channel, items: list[tuple[str, bytes]]
+    ) -> BatchDepositReceipt:
+        """Build and send a per-item batch; returns the itemised receipt.
+
+        Unlike :meth:`deposit_batch` (all-or-nothing), item failures are
+        reported in the receipt rather than raised — only an envelope
+        rejection (bad MAC, stale timestamp) raises ``ProtocolError``.
+        Retransmits reuse identical bytes, so the SDA replay cache
+        returns the committed receipt on a duplicate.
+        """
+        raw = self.build_many(items).to_bytes()
+
+        def attempt() -> BatchDepositReceipt:
+            receipt = BatchDepositReceipt.from_bytes(channel.request(raw))
+            if not receipt.accepted:
+                raise ProtocolError(
+                    f"MWS rejected batch from {self.device_id!r}: {receipt.error}"
+                )
+            return receipt
 
         return self.transport.call(attempt, transient=_DEPOSIT_TRANSIENT)
 

@@ -43,7 +43,9 @@ _RSA_KEYPAIR_CACHE: dict[tuple[bytes, str, int], RsaKeyPair] = {}
 #: Endpoint names, mirroring the prototype's servers.
 MWS_SD_ENDPOINT = "mws-sd"
 MWS_SD_BATCH_ENDPOINT = "mws-sd-batch"
+MWS_SD_MANY_ENDPOINT = "mws-sd-many"
 MWS_CLIENT_ENDPOINT = "mws-client"
+MWS_CLIENT_PAGE_ENDPOINT = "mws-client-page"
 PKG_ENDPOINT = "pkg"
 
 
@@ -180,7 +182,9 @@ class Deployment:
         )
         network.register(MWS_SD_ENDPOINT, mws.deposit_handler)
         network.register(MWS_SD_BATCH_ENDPOINT, mws.batch_deposit_handler)
+        network.register(MWS_SD_MANY_ENDPOINT, mws.deposit_many_handler)
         network.register(MWS_CLIENT_ENDPOINT, mws.retrieve_handler)
+        network.register(MWS_CLIENT_PAGE_ENDPOINT, mws.retrieve_page_handler)
         network.register(PKG_ENDPOINT, pkg.handler)
         if config.faults is not None:
             network.install_fault_plan(
@@ -294,8 +298,16 @@ class Deployment:
     def sd_batch_channel(self, device_id: str) -> Channel:
         return self.network.channel(device_id, MWS_SD_BATCH_ENDPOINT)
 
+    def sd_many_channel(self, device_id: str) -> Channel:
+        """Channel to the per-item batch pipeline endpoint."""
+        return self.network.channel(device_id, MWS_SD_MANY_ENDPOINT)
+
     def rc_mws_channel(self, rc_id: str) -> Channel:
         return self.network.channel(rc_id, MWS_CLIENT_ENDPOINT)
+
+    def rc_page_channel(self, rc_id: str) -> Channel:
+        """Channel to the paged retrieval endpoint."""
+        return self.network.channel(rc_id, MWS_CLIENT_PAGE_ENDPOINT)
 
     def rc_pkg_channel(self, rc_id: str) -> Channel:
         return self.network.channel(rc_id, PKG_ENDPOINT)

@@ -15,7 +15,13 @@ Three schemes, matching the paper's usage:
 from repro.ibe.basic_ident import BasicIdent, BasicCiphertext
 from repro.ibe.cache import CryptoCache
 from repro.ibe.full_ident import FullIdent, FullCiphertext
-from repro.ibe.kem import HybridCiphertext, IbeKem, hybrid_decrypt, hybrid_encrypt
+from repro.ibe.kem import (
+    HybridCiphertext,
+    IbeKem,
+    hybrid_decrypt,
+    hybrid_encrypt,
+    hybrid_encrypt_many,
+)
 from repro.ibe.keys import (
     IdentityPrivateKey,
     MasterKeyPair,
@@ -44,6 +50,7 @@ __all__ = [
     "IbeKem",
     "HybridCiphertext",
     "hybrid_encrypt",
+    "hybrid_encrypt_many",
     "hybrid_decrypt",
     "IbeSigner",
     "IbeVerifier",

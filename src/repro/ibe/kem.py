@@ -26,7 +26,13 @@ from repro.pairing.hashing import gt_to_bytes, mask_bytes
 from repro.pairing.params import BFParams
 from repro.symciph.cipher import CIPHER_REGISTRY, SymmetricScheme
 
-__all__ = ["IbeKem", "HybridCiphertext", "hybrid_encrypt", "hybrid_decrypt"]
+__all__ = [
+    "IbeKem",
+    "HybridCiphertext",
+    "hybrid_encrypt",
+    "hybrid_encrypt_many",
+    "hybrid_decrypt",
+]
 
 _KEM_DOMAIN = b"repro-ibe-kem-key"
 
@@ -113,6 +119,42 @@ def hybrid_encrypt(
     return HybridCiphertext(
         r_p=r_p, cipher_name=cipher_name, sealed=scheme.seal(message)
     )
+
+
+def hybrid_encrypt_many(
+    public: PublicParams,
+    identity: bytes,
+    messages: list[bytes],
+    cipher_name: str = "DES",
+    rng: RandomSource | None = None,
+) -> list[HybridCiphertext]:
+    """Encrypt a batch to one identity with a single KEM encapsulation.
+
+    The expensive part of :func:`hybrid_encrypt` is the encapsulation
+    (a fixed-base scalar multiplication plus a G_T exponentiation); for
+    a batch all destined to the *same* identity the transported ``rP``
+    and derived key are computed once and shared.  Each message is still
+    sealed independently — the symmetric layer draws a fresh IV per
+    seal, so ciphertexts stay distinct and individually decryptable:
+    the RC runs the ordinary :func:`hybrid_decrypt` per message with
+    the same ``sI``.
+
+    Sharing one encapsulated key across a batch is the standard
+    multi-message KEM/DEM usage: the DEM (CBC + encrypt-then-MAC with
+    per-seal IVs) is exactly the multi-encryption setting a symmetric
+    key is designed for.  Messages for *different* identities must not
+    share an encapsulation — callers group by identity first (see
+    ``SmartDevice.deposit_many``).
+    """
+    rng = rng if rng is not None else SystemRandomSource()
+    kem = IbeKem(public, rng)
+    key_size = CIPHER_REGISTRY[cipher_name].key_size
+    r_p, key = kem.encapsulate(identity, key_size)
+    scheme = SymmetricScheme(cipher_name, key, mac=True, rng=rng)
+    return [
+        HybridCiphertext(r_p=r_p, cipher_name=cipher_name, sealed=sealed)
+        for sealed in scheme.seal_many(messages)
+    ]
 
 
 def hybrid_decrypt(

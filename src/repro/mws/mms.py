@@ -20,7 +20,10 @@ from repro.storage.message_db import MessageDatabase
 from repro.storage.policy_db import PolicyDatabase
 from repro.wire.messages import StoredMessage
 
-__all__ = ["MessageManagementSystem"]
+__all__ = ["MessageManagementSystem", "PAGE_SIZE_BOUNDS"]
+
+#: Bucket edges for the page-size histogram (message counts per page).
+PAGE_SIZE_BOUNDS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
 
 class MessageManagementSystem:
@@ -38,10 +41,20 @@ class MessageManagementSystem:
         self._policy_engine = policy_engine
         if registry is not None:
             self.stats = registry.stats_dict(
-                "mws.mms", ["retrievals", "messages_served", "policy_denials"]
+                "mws.mms",
+                ["retrievals", "messages_served", "policy_denials", "pages_served"],
+            )
+            self._page_size = registry.histogram(
+                "mws.mms.page_size", bounds=PAGE_SIZE_BOUNDS
             )
         else:
-            self.stats = {"retrievals": 0, "messages_served": 0, "policy_denials": 0}
+            self.stats = {
+                "retrievals": 0,
+                "messages_served": 0,
+                "policy_denials": 0,
+                "pages_served": 0,
+            }
+            self._page_size = None
 
     @property
     def policy_db(self) -> PolicyDatabase:
@@ -97,3 +110,46 @@ class MessageManagementSystem:
         self.stats["retrievals"] += 1
         self.stats["messages_served"] += len(messages)
         return attribute_map, messages
+
+    def retrieve_page(
+        self,
+        rc_id: str,
+        now_us: int,
+        since_us: int = 0,
+        cursor: int = 0,
+        limit: int = 100,
+    ) -> tuple[dict[int, str], list[StoredMessage], int, bool]:
+        """One bounded page of the RC's backlog, oldest first.
+
+        ``cursor`` is the highest message id the RC has already
+        received; only strictly newer messages are returned, at most
+        ``limit`` of them.  Returns ``(attribute_map, messages,
+        next_cursor, has_more)`` — the RC echoes ``next_cursor`` into
+        its next request until ``has_more`` goes False.  Against a
+        sharded warehouse the underlying :meth:`by_attributes` already
+        groups the lookups so each shard is scanned once per page.
+        """
+        attribute_map = self.attributes_for(rc_id, now_us)
+        attribute_to_id = {attr: aid for aid, attr in attribute_map.items()}
+        records = [
+            record
+            for record in self._message_db.by_attributes(list(attribute_to_id))
+            if record.deposited_at_us >= since_us and record.message_id > cursor
+        ]
+        page = records[:limit]
+        messages = [
+            StoredMessage(
+                message_id=record.message_id,
+                attribute_id=attribute_to_id[record.attribute],
+                nonce=record.nonce,
+                ciphertext=record.ciphertext,
+                deposited_at_us=record.deposited_at_us,
+            )
+            for record in page
+        ]
+        next_cursor = page[-1].message_id if page else cursor
+        self.stats["pages_served"] += 1
+        self.stats["messages_served"] += len(messages)
+        if self._page_size is not None:
+            self._page_size.observe(len(messages))
+        return attribute_map, messages, next_cursor, len(records) > limit

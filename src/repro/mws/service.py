@@ -28,17 +28,30 @@ from repro.storage.engine import RecordStore
 from repro.storage.keystore import DeviceKeyStore
 from repro.storage.message_db import MessageDatabase
 from repro.storage.policy_db import PolicyDatabase
+from repro.storage.sharding import ShardedMessageDatabase
 from repro.storage.user_db import UserDatabase
 from repro.wire.messages import (
+    BATCH_ITEM_EMPTY_ATTRIBUTE,
+    BATCH_ITEM_EMPTY_CIPHERTEXT,
+    BATCH_ITEM_ENVELOPE_REJECTED,
+    BATCH_ITEM_OK,
+    BatchDepositReceipt,
     BatchDepositRequest,
     BatchDepositResponse,
+    BatchItemStatus,
     DepositRequest,
     DepositResponse,
+    PagedRetrieveRequest,
+    PagedRetrieveResponse,
     RetrieveRequest,
     RetrieveResponse,
 )
 
-__all__ = ["MwsConfig", "MessageWarehousingService"]
+__all__ = ["MwsConfig", "MessageWarehousingService", "BATCH_SIZE_BOUNDS"]
+
+#: Fixed bucket edges for batch-size and page-size histograms (counts of
+#: messages, powers of two up to the protocol's practical envelope cap).
+BATCH_SIZE_BOUNDS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
 
 @dataclass
@@ -58,6 +71,13 @@ class MwsConfig:
     policy_store: RecordStore | None = None
     user_store: RecordStore | None = None
     keystore_store: RecordStore | None = None
+    #: Number of message-warehouse shards.  1 keeps the classic single
+    #: ``MessageDatabase``; >1 routes deposits across that many backends
+    #: by consistent hash of the attribute (docs/SCALING.md).
+    message_shards: int = 1
+    #: Explicit per-shard backends (overrides ``message_shards``; None
+    #: entries mean in-memory).  Ignored when sharding is off.
+    message_shard_stores: list | None = None
     alerts: list = field(default_factory=list)
     #: Optional IbeVerifier: deposits may carry identity-based signatures
     #: (§VIII future work); with ``require_device_signature`` they must.
@@ -91,7 +111,22 @@ class MessageWarehousingService:
         )
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._malformed = self.registry.counter("mws.deposits.malformed")
-        self.message_db = MessageDatabase(self._config.message_store)
+        self._batch_size = self.registry.histogram(
+            "mws.deposits.batch_size", bounds=BATCH_SIZE_BOUNDS
+        )
+        self._batch_items_rejected = self.registry.counter(
+            "mws.deposits.batch_items_rejected"
+        )
+        if self._config.message_shard_stores is not None:
+            self.message_db = ShardedMessageDatabase(
+                self._config.message_shard_stores, registry=self.registry
+            )
+        elif self._config.message_shards > 1:
+            self.message_db = ShardedMessageDatabase(
+                self._config.message_shards, registry=self.registry
+            )
+        else:
+            self.message_db = MessageDatabase(self._config.message_store)
         self.policy_db = PolicyDatabase(self._config.policy_store)
         self.user_db = UserDatabase(self._config.user_store)
         self.device_keys = DeviceKeyStore(self._config.keystore_store, rng=self._rng)
@@ -220,6 +255,74 @@ class MessageWarehousingService:
         self.sda.record_response(request.mac, response.to_bytes())
         return response
 
+    def _rejected_receipt(
+        self, request: BatchDepositRequest, error: str
+    ) -> BatchDepositReceipt:
+        """Every item stamped ENVELOPE_REJECTED; nothing was stored."""
+        statuses = [
+            BatchItemStatus(BATCH_ITEM_ENVELOPE_REJECTED, error=error)
+            for _ in request.entries
+        ]
+        return BatchDepositReceipt(statuses=statuses, error=error)
+
+    def handle_deposit_many(self, request: BatchDepositRequest) -> BatchDepositReceipt:
+        """Per-item batch ingest: one MAC check, independent item fates.
+
+        Envelope authentication (MAC, freshness, replay) is amortised —
+        verified once for the whole batch — and stays all-or-nothing: a
+        bad envelope stores nothing and stamps every item
+        ENVELOPE_REJECTED.  Past that gate each entry commits or fails
+        on its own, so one malformed reading does not void its
+        siblings.  Retransmits replay the committed receipt.
+        """
+        try:
+            cached = self.sda.cached_response(request.device_id, request.mac)
+        except ProtocolError as exc:
+            return self._rejected_receipt(request, str(exc))
+        if cached is not None:
+            return BatchDepositReceipt.from_bytes(cached)
+        try:
+            self.sda.authenticate_batch(request)
+        except ProtocolError as exc:
+            return self._rejected_receipt(request, str(exc))
+        sharded = isinstance(self.message_db, ShardedMessageDatabase)
+        now_us = self._clock.now_us()
+        statuses = []
+        for entry in request.entries:
+            if not entry.attribute:
+                self._batch_items_rejected.inc()
+                statuses.append(
+                    BatchItemStatus(
+                        BATCH_ITEM_EMPTY_ATTRIBUTE, error="empty attribute"
+                    )
+                )
+                continue
+            if not entry.ciphertext:
+                self._batch_items_rejected.inc()
+                statuses.append(
+                    BatchItemStatus(
+                        BATCH_ITEM_EMPTY_CIPHERTEXT, error="empty ciphertext"
+                    )
+                )
+                continue
+            record = self.message_db.store(
+                device_id=request.device_id,
+                attribute=entry.attribute,
+                nonce=entry.nonce,
+                ciphertext=entry.ciphertext,
+                deposited_at_us=now_us,
+            )
+            shard = self.message_db.shard_for(entry.attribute) if sharded else 0
+            statuses.append(
+                BatchItemStatus(
+                    BATCH_ITEM_OK, message_id=record.message_id, shard=shard
+                )
+            )
+        self._batch_size.observe(len(request.entries))
+        receipt = BatchDepositReceipt(statuses=statuses)
+        self.sda.record_response(request.mac, receipt.to_bytes())
+        return receipt
+
     # -- retrieve path (MWS-Client server) -----------------------------------
 
     def handle_retrieve(self, request: RetrieveRequest) -> RetrieveResponse:
@@ -235,6 +338,34 @@ class MessageWarehousingService:
         rc_public_key = RsaPublicKey.from_bytes(request.rc_public_key)
         token = self.token_generator.issue(request.rc_id, rc_public_key, attribute_map)
         return RetrieveResponse(token=token, rc_nonce=rc_nonce, messages=messages)
+
+    def handle_retrieve_page(
+        self, request: PagedRetrieveRequest
+    ) -> PagedRetrieveResponse:
+        """One bounded page of the RC's backlog (gatekeeper-auth per page).
+
+        The credential surface is identical to :meth:`handle_retrieve`
+        — each page carries a fresh auth blob, so the gatekeeper's
+        nonce replay cache never trips on a paging loop.
+        """
+        rc_nonce = self.gatekeeper.authenticate(request.to_retrieve_request())
+        limit = max(1, request.page_size)
+        attribute_map, messages, next_cursor, has_more = self.mms.retrieve_page(
+            request.rc_id,
+            self._clock.now_us(),
+            since_us=request.since_us,
+            cursor=request.cursor,
+            limit=limit,
+        )
+        rc_public_key = RsaPublicKey.from_bytes(request.rc_public_key)
+        token = self.token_generator.issue(request.rc_id, rc_public_key, attribute_map)
+        return PagedRetrieveResponse(
+            token=token,
+            rc_nonce=rc_nonce,
+            next_cursor=next_cursor,
+            has_more=has_more,
+            messages=messages,
+        )
 
     # -- byte-level network handlers ------------------------------------------
 
@@ -258,6 +389,15 @@ class MessageWarehousingService:
             ).to_bytes()
         return self.handle_batch_deposit(request).to_bytes()
 
+    def deposit_many_handler(self, payload: bytes) -> bytes:
+        """Network endpoint for the per-item batch pipeline."""
+        try:
+            request = BatchDepositRequest.from_bytes(payload)
+        except ReproError as exc:
+            self._malformed.inc()
+            return BatchDepositReceipt(error=f"malformed: {exc}").to_bytes()
+        return self.handle_deposit_many(request).to_bytes()
+
     def retrieve_handler(self, payload: bytes) -> bytes:
         """Network endpoint: bytes in, bytes out (MWS-Client server).
 
@@ -268,6 +408,15 @@ class MessageWarehousingService:
         try:
             request = RetrieveRequest.from_bytes(payload)
             response = self.handle_retrieve(request)
+        except ReproError as exc:
+            return b"ERR:" + type(exc).__name__.encode() + b":" + str(exc).encode()
+        return b"OK:" + response.to_bytes()
+
+    def retrieve_page_handler(self, payload: bytes) -> bytes:
+        """Network endpoint for paged retrieval (same OK:/ERR: framing)."""
+        try:
+            request = PagedRetrieveRequest.from_bytes(payload)
+            response = self.handle_retrieve_page(request)
         except ReproError as exc:
             return b"ERR:" + type(exc).__name__.encode() + b":" + str(exc).encode()
         return b"OK:" + response.to_bytes()

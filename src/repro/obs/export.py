@@ -22,10 +22,14 @@ __all__ = ["build_dump", "dump_to_json"]
 #: Bumped when the dump layout changes shape (not when values change).
 #: v2: the ``crypto`` section (and the mirrored ``crypto.*`` metric
 #: counters) gained ``fp_inversions``, ``cube_roots`` and the four
-#: ``cache.{h1,pairing}.{hit,miss}`` keys.  Strictly additive — v1
-#: consumers that ignore unknown keys keep working (see
-#: docs/OBSERVABILITY.md §4).
-DUMP_SCHEMA_VERSION = 2
+#: ``cache.{h1,pairing}.{hit,miss}`` keys.
+#: v3: sharded deployments add ``storage.shard.<i>.deposits`` counters,
+#: ``storage.shard.<i>.messages`` gauges, ``storage.rebalance.moved``,
+#: and the batch pipeline adds the ``mws.deposits.batch_size`` /
+#: ``mws.mms.page_size`` histograms plus their companion counters.
+#: Strictly additive — v1/v2 consumers that ignore unknown keys keep
+#: working (see docs/OBSERVABILITY.md §4).
+DUMP_SCHEMA_VERSION = 3
 
 
 def build_dump(registry, tracer=None, crypto=None, meta=None) -> dict:

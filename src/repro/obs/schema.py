@@ -32,7 +32,14 @@ KNOWN_METRICS: frozenset[str] = frozenset({
     "mws.mms.retrievals",
     "mws.mms.messages_served",
     "mws.mms.policy_denials",
+    "mws.mms.pages_served",
+    "mws.mms.page_size",
     "mws.tg.tokens_issued",
+    # -- batched deposit pipeline (mws/service.py) -------------------------
+    "mws.deposits.batch_size",
+    "mws.deposits.batch_items_rejected",
+    # -- sharded message warehouse (storage/sharding.py) -------------------
+    "storage.rebalance.moved",
     # -- private key generator (pkg/service.py) ---------------------------
     "pkg.sessions_established",
     "pkg.keys_extracted",
@@ -65,6 +72,7 @@ KNOWN_METRIC_PREFIXES: tuple[str, ...] = (
     "protocol.phase.",   # per-phase sim-time duration histograms
     "crypto.",           # crypto profiler collector (incl. crypto.cache.*)
     "cache.",            # CryptoCache hit/miss counters
+    "storage.shard.",    # per-shard deposit counters and message gauges
 )
 
 

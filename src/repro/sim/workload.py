@@ -145,3 +145,19 @@ class SmartMeterFleet:
         """One reading from every device in the fleet (a reporting round)."""
         for device_id in self.device_ids():
             yield next(iter(self.readings(device_id, 1, start_us=start_us)))
+
+    def deposit_items(
+        self,
+        device_id: str,
+        count: int,
+        start_us: int = 1_000_000_000,
+    ) -> list[tuple[str, bytes]]:
+        """``(attribute, payload)`` pairs ready for ``deposit_many``.
+
+        The shape every batch API takes — one call turns a device's
+        reading stream into a batch the load harness can ship.
+        """
+        return [
+            (reading.attribute(), reading.payload())
+            for reading in self.readings(device_id, count, start_us=start_us)
+        ]

@@ -11,7 +11,10 @@ future work; this package provides both, behind one key-value interface:
 
 On top of the engine sit the paper's Fig. 3 databases: the Message
 Database (MD), Policy Database (PD, Table 1), User Database and the
-smart-device key store.
+smart-device key store.  For fleet-scale deployments the MD can be
+spread across N backends by :class:`ShardedMessageDatabase`, a
+consistent-hash router that colocates each attribute's messages on one
+shard (docs/SCALING.md).
 """
 
 from repro.storage.engine import (
@@ -24,6 +27,7 @@ from repro.storage.indexes import HashIndex, SortedIndex
 from repro.storage.keystore import DeviceKeyStore
 from repro.storage.message_db import MessageDatabase, MessageRecord
 from repro.storage.policy_db import PolicyDatabase, PolicyRow
+from repro.storage.sharding import HashRing, ShardedMessageDatabase
 from repro.storage.user_db import UserDatabase
 
 __all__ = [
@@ -35,6 +39,8 @@ __all__ = [
     "SortedIndex",
     "MessageDatabase",
     "MessageRecord",
+    "HashRing",
+    "ShardedMessageDatabase",
     "PolicyDatabase",
     "PolicyRow",
     "UserDatabase",

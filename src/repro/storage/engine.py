@@ -138,14 +138,27 @@ class FlatFileStore(RecordStore):
             raise KeyNotFoundError(f"key {key!r} not found") from None
 
     def keys(self) -> list[bytes]:
-        """All live keys (unordered)."""
+        """All live keys (unordered).
+
+        Only *canonically* encoded names are keys.  ``bytes.fromhex``
+        accepts case variants and whitespace that :meth:`_path` never
+        produces ("AB.rec" and "ab.rec" would both decode to b"\\xab"),
+        so a directory holding such a foreign file would yield duplicate
+        keys whose ``get`` reads only one of the files.  Re-encoding the
+        decoded key and demanding an exact name match makes decode the
+        true inverse of encode — injective in both directions.
+        """
         result = []
         for name in os.listdir(self._directory):
-            if name.endswith(".rec"):
-                try:
-                    result.append(bytes.fromhex(name[:-4]))
-                except ValueError:
-                    continue  # foreign file in the directory
+            if not name.endswith(".rec"):
+                continue
+            try:
+                key = bytes.fromhex(name[:-4])
+            except ValueError:
+                continue  # foreign file in the directory
+            if name != key.hex() + ".rec":
+                continue  # non-canonical encoding: not one of ours
+            result.append(key)
         return result
 
 

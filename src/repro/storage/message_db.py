@@ -102,11 +102,20 @@ class MessageDatabase:
             ciphertext=ciphertext,
             deposited_at_us=deposited_at_us,
         )
-        self._store.put(self._key(record.message_id), record.to_bytes())
-        self._by_attribute.add(attribute, record.message_id)
-        self._by_time.add(deposited_at_us, record.message_id)
-        self._next_id += 1
+        self.store_record(record)
         return record
+
+    def store_record(self, record: MessageRecord) -> None:
+        """Persist a record whose ``message_id`` was assigned by the caller.
+
+        The shard router allocates globally unique ids and routes the
+        finished record here; ``_next_id`` is bumped past it so a later
+        locally assigned id can never collide.
+        """
+        self._store.put(self._key(record.message_id), record.to_bytes())
+        self._by_attribute.add(record.attribute, record.message_id)
+        self._by_time.add(record.deposited_at_us, record.message_id)
+        self._next_id = max(self._next_id, record.message_id + 1)
 
     def delete(self, message_id: int) -> None:
         """Remove a message (e.g. retention policy)."""
@@ -139,6 +148,30 @@ class MessageDatabase:
     def attributes(self) -> list[str]:
         """Distinct attribute strings present in the warehouse."""
         return sorted(self._by_attribute.values())
+
+    def records(self) -> list[MessageRecord]:
+        """Every stored record, ordered by message id (rebalance scans)."""
+        ids = sorted(
+            int.from_bytes(key, "big") for key in self._store.keys()
+        )
+        return [self.fetch(message_id) for message_id in ids]
+
+    def max_id(self) -> int:
+        """Highest assigned message id (0 when empty)."""
+        return self._next_id - 1
+
+    # -- maintenance --------------------------------------------------------
+
+    def compact(self) -> None:
+        """Compact the backing store when the backend supports it.
+
+        Log-structured backends reclaim shadowed/tombstoned space;
+        memory and flat-file backends have nothing to compact and the
+        call is a no-op.
+        """
+        compactor = getattr(self._store, "compact", None)
+        if compactor is not None:
+            compactor()
 
     def __len__(self) -> int:
         return len(self._store)

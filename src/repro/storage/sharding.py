@@ -1,0 +1,278 @@
+"""Sharded Message DB: a consistent-hash router over N record stores.
+
+The paper pitches the MWS as a SaaS intermediary for fleets of smart
+meters; a single :class:`~repro.storage.message_db.MessageDatabase`
+serialises every deposit through one store.  This module spreads the
+warehouse across N independent shards, each a full ``MessageDatabase``
+(own :class:`RecordStore`, own ``HashIndex``/``SortedIndex``), routed by
+a deterministic consistent hash of the **attribute string**:
+
+* all messages under one attribute colocate on one shard, so an
+  attribute retrieval stays a single-shard index lookup;
+* the ring is built from SHA-256 positions of ``shard:<i>:vnode:<j>``
+  labels — pure data, no process state — so shard assignment is
+  byte-identical across runs and across backends;
+* :meth:`ShardedMessageDatabase.rebalance` grows the fleet by adding
+  shards; consistent hashing moves only the attributes whose ring
+  successor changed (~K/N of them), never reshuffles the rest.
+
+Message ids are allocated globally by the router (monotonic across
+shards) and an id→shard map is rebuilt on open by scanning, mirroring
+the durable-primary/volatile-index split of the engine layer.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.errors import KeyNotFoundError, StorageError
+from repro.hashes.sha256 import sha256
+from repro.storage.engine import MemoryStore, RecordStore
+from repro.storage.message_db import MessageDatabase, MessageRecord
+
+__all__ = ["HashRing", "ShardedMessageDatabase", "DEFAULT_VNODES"]
+
+#: Virtual nodes per shard.  128 keeps the expected per-shard attribute
+#: imbalance under a few percent for realistic fleet sizes while the
+#: ring stays small enough to rebuild instantly.
+DEFAULT_VNODES = 128
+
+
+def _ring_position(label: bytes) -> int:
+    """A point on the ring: the first 8 bytes of SHA-256, big-endian."""
+    return int.from_bytes(sha256(label)[:8], "big")
+
+
+class HashRing:
+    """Deterministic consistent-hash ring mapping strings to shard ids.
+
+    Positions depend only on shard indices and ``vnodes`` — two rings
+    built with the same shape are identical, which is what makes shard
+    assignment reproducible across runs, machines and backends.
+    """
+
+    def __init__(self, shard_count: int, vnodes: int = DEFAULT_VNODES) -> None:
+        if shard_count < 1:
+            raise StorageError(f"ring needs at least one shard, got {shard_count}")
+        if vnodes < 1:
+            raise StorageError(f"ring needs at least one vnode, got {vnodes}")
+        self.shard_count = shard_count
+        self.vnodes = vnodes
+        entries: list[tuple[int, int]] = []
+        for shard in range(shard_count):
+            for vnode in range(vnodes):
+                label = f"shard:{shard}:vnode:{vnode}".encode("ascii")
+                entries.append((_ring_position(label), shard))
+        entries.sort()
+        self._positions = [position for position, _ in entries]
+        self._shards = [shard for _, shard in entries]
+
+    def shard_for(self, value: str) -> int:
+        """The shard owning ``value``: its clockwise ring successor."""
+        point = _ring_position(value.encode("utf-8"))
+        index = bisect_right(self._positions, point)
+        if index == len(self._positions):
+            index = 0  # wrap past the top of the ring
+        return self._shards[index]
+
+
+class ShardedMessageDatabase:
+    """A drop-in ``MessageDatabase`` spread across N shard backends.
+
+    Exposes the same surface the MMS and the MWS facade consume
+    (``store``/``fetch``/``by_attribute``/``by_attributes``/
+    ``by_time_range``/``attributes``/``delete``/``len``/``close``) plus
+    shard-aware operations: :meth:`shard_for`, :meth:`shard_counts`,
+    :meth:`rebalance`, :meth:`compact`.
+
+    ``registry`` (a :class:`repro.obs.registry.MetricsRegistry`) adds
+    per-shard deposit counters and live message-count gauges under
+    ``storage.shard.<i>.*``.
+    """
+
+    def __init__(
+        self,
+        stores: list[RecordStore | None] | int,
+        vnodes: int = DEFAULT_VNODES,
+        registry=None,
+    ) -> None:
+        if isinstance(stores, int):
+            stores = [None] * stores
+        if not stores:
+            raise StorageError("sharded database needs at least one shard")
+        self._shards = [
+            MessageDatabase(store if store is not None else MemoryStore())
+            for store in stores
+        ]
+        self._vnodes = vnodes
+        self._ring = HashRing(len(self._shards), vnodes)
+        self._registry = registry
+        self._id_to_shard: dict[int, int] = {}
+        self._next_id = 1
+        for index, shard in enumerate(self._shards):
+            for record in shard.records():
+                self._id_to_shard[record.message_id] = index
+            self._next_id = max(self._next_id, shard.max_id() + 1)
+        self._install_metrics()
+
+    def _install_metrics(self) -> None:
+        self._deposit_counters = []
+        self._message_gauges = []
+        self._rebalance_moved = None
+        if self._registry is None:
+            return
+        for index, shard in enumerate(self._shards):
+            prefix = f"storage.shard.{index}"
+            self._deposit_counters.append(
+                self._registry.counter(f"{prefix}.deposits")
+            )
+            gauge = self._registry.gauge(f"{prefix}.messages")
+            gauge.set(len(shard))
+            self._message_gauges.append(gauge)
+        self._rebalance_moved = self._registry.counter("storage.rebalance.moved")
+
+    # -- routing ----------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_for(self, attribute: str) -> int:
+        """The shard index owning every message under ``attribute``."""
+        return self._ring.shard_for(attribute)
+
+    def shard(self, index: int) -> MessageDatabase:
+        """Direct access to one shard (tests, admin tooling)."""
+        return self._shards[index]
+
+    def shard_counts(self) -> list[int]:
+        """Live message count per shard (conservation checks sum this)."""
+        return [len(shard) for shard in self._shards]
+
+    # -- writes -----------------------------------------------------------
+
+    def store(
+        self,
+        device_id: str,
+        attribute: str,
+        nonce: bytes,
+        ciphertext: bytes,
+        deposited_at_us: int,
+    ) -> MessageRecord:
+        """Route one accepted deposit to its shard; assigns the global id."""
+        index = self.shard_for(attribute)
+        record = MessageRecord(
+            message_id=self._next_id,
+            device_id=device_id,
+            attribute=attribute,
+            nonce=nonce,
+            ciphertext=ciphertext,
+            deposited_at_us=deposited_at_us,
+        )
+        self._shards[index].store_record(record)
+        self._id_to_shard[record.message_id] = index
+        self._next_id += 1
+        if self._deposit_counters:
+            self._deposit_counters[index].inc()
+            self._message_gauges[index].set(len(self._shards[index]))
+        return record
+
+    def delete(self, message_id: int) -> None:
+        """Remove a message from whichever shard holds it."""
+        index = self._shard_of_id(message_id)
+        self._shards[index].delete(message_id)
+        del self._id_to_shard[message_id]
+        if self._message_gauges:
+            self._message_gauges[index].set(len(self._shards[index]))
+
+    # -- reads ------------------------------------------------------------
+
+    def _shard_of_id(self, message_id: int) -> int:
+        index = self._id_to_shard.get(message_id)
+        if index is None:
+            raise KeyNotFoundError(f"message id {message_id} not found")
+        return index
+
+    def fetch(self, message_id: int) -> MessageRecord:
+        return self._shards[self._shard_of_id(message_id)].fetch(message_id)
+
+    def by_attribute(self, attribute: str) -> list[MessageRecord]:
+        """All messages under one attribute — a single-shard index lookup."""
+        return self._shards[self.shard_for(attribute)].by_attribute(attribute)
+
+    def by_attributes(self, attributes: list[str]) -> list[MessageRecord]:
+        """Union over attributes, grouped so each shard is scanned once.
+
+        This is the MMS retrieval path: attributes are bucketed by
+        owning shard first, each shard answers its whole bucket in one
+        pass, and the union is re-sorted into global message-id order.
+        """
+        by_shard: dict[int, list[str]] = {}
+        for attribute in attributes:
+            by_shard.setdefault(self.shard_for(attribute), []).append(attribute)
+        records: list[MessageRecord] = []
+        for index in sorted(by_shard):
+            records.extend(self._shards[index].by_attributes(by_shard[index]))
+        records.sort(key=lambda record: record.message_id)
+        return records
+
+    def by_time_range(self, low_us: int, high_us: int) -> list[MessageRecord]:
+        """Messages in the inclusive window, merged across all shards."""
+        records: list[MessageRecord] = []
+        for shard in self._shards:
+            records.extend(shard.by_time_range(low_us, high_us))
+        records.sort(key=lambda record: record.message_id)
+        return records
+
+    def attributes(self) -> list[str]:
+        """Distinct attribute strings across the whole warehouse."""
+        merged: set[str] = set()
+        for shard in self._shards:
+            merged.update(shard.attributes())
+        return sorted(merged)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    # -- maintenance ------------------------------------------------------
+
+    def compact(self) -> None:
+        """Shard-local compaction: each backend compacts independently."""
+        for shard in self._shards:
+            shard.compact()
+
+    def rebalance(self, new_stores: list[RecordStore | None]) -> int:
+        """Grow the fleet by ``len(new_stores)`` shards; returns moves.
+
+        The ring keeps every existing vnode position, so only records
+        whose attribute's ring successor is now one of the new shards
+        migrate — the consistent-hashing guarantee that a split touches
+        ~K/N keys.  Moved records keep their bytes verbatim (same id,
+        same payload), so retrieval sets are unchanged.
+        """
+        if not new_stores:
+            return 0
+        for store in new_stores:
+            self._shards.append(
+                MessageDatabase(store if store is not None else MemoryStore())
+            )
+        self._ring = HashRing(len(self._shards), self._vnodes)
+        moved = 0
+        for index, shard in enumerate(self._shards):
+            for record in shard.records():
+                target = self.shard_for(record.attribute)
+                if target == index:
+                    continue
+                shard.delete(record.message_id)
+                self._shards[target].store_record(record)
+                self._id_to_shard[record.message_id] = target
+                moved += 1
+        self._install_metrics()
+        if self._rebalance_moved is not None:
+            self._rebalance_moved.inc(moved)
+        return moved
+
+    def close(self) -> None:
+        """Release every shard's resources."""
+        for shard in self._shards:
+            shard.close()

@@ -42,6 +42,14 @@ __all__ = [
     "BatchEntry",
     "BatchDepositRequest",
     "BatchDepositResponse",
+    "BatchItemStatus",
+    "BatchDepositReceipt",
+    "PagedRetrieveRequest",
+    "PagedRetrieveResponse",
+    "BATCH_ITEM_OK",
+    "BATCH_ITEM_EMPTY_ATTRIBUTE",
+    "BATCH_ITEM_EMPTY_CIPHERTEXT",
+    "BATCH_ITEM_ENVELOPE_REJECTED",
 ]
 
 
@@ -595,3 +603,212 @@ class BatchDepositResponse:
         error = reader.text()
         reader.finish()
         return cls(accepted=accepted, message_ids=message_ids, error=error)
+
+
+# ---------------------------------------------------------------------------
+# Per-item batch pipeline (sharded warehouse: partial acceptance + paging)
+# ---------------------------------------------------------------------------
+
+#: Per-item status codes carried in :class:`BatchItemStatus`.  ``OK``
+#: means the entry was stored; the rest name the reason the individual
+#: entry was rejected while the remainder of the batch committed.
+BATCH_ITEM_OK = 0
+BATCH_ITEM_EMPTY_ATTRIBUTE = 1
+BATCH_ITEM_EMPTY_CIPHERTEXT = 2
+#: The whole envelope was rejected (bad MAC, stale timestamp, replay):
+#: every item carries this code and nothing was stored.
+BATCH_ITEM_ENVELOPE_REJECTED = 3
+
+
+@dataclass
+class BatchItemStatus:
+    """Outcome of one entry in a batched deposit.
+
+    ``shard`` is the warehouse shard the message landed on (0 for an
+    unsharded deployment) — surfaced so fleet tooling can audit the
+    spread without another round-trip.
+    """
+
+    status: int
+    message_id: int = 0
+    shard: int = 0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == BATCH_ITEM_OK
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return (
+            Writer()
+            .u8(self.status)
+            .u64(self.message_id)
+            .u32(self.shard)
+            .text(self.error)
+            .getvalue()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BatchItemStatus":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        status = cls(
+            status=reader.u8(),
+            message_id=reader.u64(),
+            shard=reader.u32(),
+            error=reader.text(),
+        )
+        reader.finish()
+        return status
+
+
+@dataclass
+class BatchDepositReceipt:
+    """Per-item acknowledgement of a batched deposit.
+
+    Unlike the all-or-nothing :class:`BatchDepositResponse`, a receipt
+    reports each entry's fate independently: a structurally invalid
+    entry is rejected on its own while valid siblings commit.  Envelope
+    authentication stays all-or-nothing — a bad MAC rejects every item
+    with :data:`BATCH_ITEM_ENVELOPE_REJECTED` and ``error`` set.
+    """
+
+    statuses: list = field(default_factory=list)
+    error: str = ""
+
+    @property
+    def accepted_count(self) -> int:
+        return sum(1 for status in self.statuses if status.ok)
+
+    @property
+    def accepted(self) -> bool:
+        """Whether the envelope itself was accepted (items may still fail)."""
+        return not self.error
+
+    def message_ids(self) -> list[int]:
+        """Ids of the stored entries, in batch order."""
+        return [status.message_id for status in self.statuses if status.ok]
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        writer = Writer()
+        writer.blob_list([status.to_bytes() for status in self.statuses])
+        writer.text(self.error)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BatchDepositReceipt":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        statuses = [BatchItemStatus.from_bytes(raw) for raw in reader.blob_list()]
+        error = reader.text()
+        reader.finish()
+        return cls(statuses=statuses, error=error)
+
+
+@dataclass
+class PagedRetrieveRequest:
+    """A chunked retrieval: one page of at most ``page_size`` messages.
+
+    Carries the same credential surface as :class:`RetrieveRequest`
+    (password blob or IdP assertion) plus a cursor — the highest message
+    id already received; the MWS returns messages with strictly greater
+    ids, oldest first, so an RC pages through an arbitrarily large
+    backlog in bounded responses.
+    """
+
+    rc_id: str
+    rc_public_key: bytes
+    auth_blob: bytes
+    page_size: int
+    cursor: int = 0
+    since_us: int = 0
+    assertion: bytes = b""
+
+    def to_retrieve_request(self) -> RetrieveRequest:
+        """The equivalent single-shot request (gatekeeper reuse)."""
+        return RetrieveRequest(
+            rc_id=self.rc_id,
+            rc_public_key=self.rc_public_key,
+            auth_blob=self.auth_blob,
+            since_us=self.since_us,
+            assertion=self.assertion,
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        return (
+            Writer()
+            .text(self.rc_id)
+            .blob(self.rc_public_key)
+            .blob(self.auth_blob)
+            .u32(self.page_size)
+            .u64(self.cursor)
+            .u64(self.since_us)
+            .blob(self.assertion)
+            .getvalue()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PagedRetrieveRequest":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        message = cls(
+            rc_id=reader.text(),
+            rc_public_key=reader.blob(),
+            auth_blob=reader.blob(),
+            page_size=reader.u32(),
+            cursor=reader.u64(),
+            since_us=reader.u64(),
+            assertion=reader.blob(),
+        )
+        reader.finish()
+        return message
+
+
+@dataclass
+class PagedRetrieveResponse:
+    """One page of messages plus the paging state.
+
+    ``next_cursor`` is the highest message id in this page (echoed back
+    as the next request's ``cursor``); ``has_more`` tells the RC whether
+    another page is waiting.  Every page carries a fresh token so the
+    RC can start PKG key extraction before the backlog is drained.
+    """
+
+    token: bytes
+    rc_nonce: bytes
+    next_cursor: int = 0
+    has_more: bool = False
+    messages: list = field(default_factory=list)
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the canonical byte encoding."""
+        writer = (
+            Writer()
+            .blob(self.token)
+            .blob(self.rc_nonce)
+            .u64(self.next_cursor)
+            .bool(self.has_more)
+        )
+        writer.blob_list([m.to_bytes() for m in self.messages])
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PagedRetrieveResponse":
+        """Parse an instance from its canonical byte encoding."""
+        reader = Reader(data)
+        token = reader.blob()
+        rc_nonce = reader.blob()
+        next_cursor = reader.u64()
+        has_more = reader.bool()
+        raw_messages = reader.blob_list()
+        reader.finish()
+        return cls(
+            token=token,
+            rc_nonce=rc_nonce,
+            next_cursor=next_cursor,
+            has_more=has_more,
+            messages=[StoredMessage.from_bytes(raw) for raw in raw_messages],
+        )

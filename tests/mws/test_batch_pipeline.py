@@ -1,0 +1,323 @@
+"""The batched protocol pipeline: deposit_many / paged retrieval.
+
+End-to-end behaviour of the per-item batch envelopes against a sharded
+warehouse: partial acceptance, envelope-level rejection, idempotent
+retransmits, cursor paging, interop with the unbatched wire format, and
+same-seed determinism of the whole transcript.
+"""
+
+import pytest
+
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.errors import ProtocolError
+from repro.ibe import hybrid_decrypt, hybrid_encrypt_many
+from repro.ibe.kem import HybridCiphertext
+from repro.mws.service import MwsConfig
+from repro.wire.messages import (
+    BATCH_ITEM_EMPTY_ATTRIBUTE,
+    BATCH_ITEM_EMPTY_CIPHERTEXT,
+    BATCH_ITEM_ENVELOPE_REJECTED,
+    BatchDepositReceipt,
+)
+
+ATTRIBUTE = "ELECTRIC-GLENBROOK-SV-CA"
+OTHER = "WATER-GLENBROOK-SV-CA"
+
+
+def build_deployment(shards=4, use_nonce=True, seed=b"batch-pipeline"):
+    return Deployment.build(
+        DeploymentConfig(
+            seed=seed,
+            use_nonce=use_nonce,
+            mws=MwsConfig(message_shards=shards),
+        )
+    )
+
+
+@pytest.fixture
+def deployment():
+    dep = build_deployment()
+    yield dep
+    dep.close()
+
+
+class TestDepositMany:
+    def test_items_commit_with_shard_and_id(self, deployment):
+        device = deployment.new_smart_device("meter-001")
+        items = [(ATTRIBUTE, f"r{i}".encode()) for i in range(6)]
+        items += [(OTHER, b"wet")]
+        receipt = device.deposit_many(
+            deployment.sd_many_channel("meter-001"), items
+        )
+        assert receipt.accepted
+        assert receipt.accepted_count == 7
+        assert receipt.message_ids() == list(range(1, 8))
+        owner = deployment.mws.message_db.shard_for(ATTRIBUTE)
+        assert all(s.shard == owner for s in receipt.statuses[:6])
+        assert receipt.statuses[6].shard == deployment.mws.message_db.shard_for(
+            OTHER
+        )
+
+    def test_conservation_across_shards(self, deployment):
+        device = deployment.new_smart_device("meter-001")
+        items = [(f"KIND{i % 5}-X-SV", f"r{i}".encode()) for i in range(20)]
+        receipt = device.deposit_many(
+            deployment.sd_many_channel("meter-001"), items
+        )
+        counts = deployment.mws.message_db.shard_counts()
+        assert sum(counts) == receipt.accepted_count == 20
+
+    def test_bad_items_fail_alone(self, deployment):
+        device = deployment.new_smart_device("meter-001")
+        raw_items = [(ATTRIBUTE, b"good-1"), ("", b"no-attr"), (ATTRIBUTE, b"good-2")]
+        request = device.build_many(raw_items)
+        request.entries[1].ciphertext = b"x"  # keep entry non-empty ciphertext
+        # Rebuild with the doctored entry list so the MAC still matches.
+        request.mac = b""
+        from repro.core.conventions import compute_deposit_mac
+
+        request.mac = compute_deposit_mac(
+            deployment.mws.device_keys.shared_key("meter-001"), request.mac_payload()
+        )
+        receipt = BatchDepositReceipt.from_bytes(
+            deployment.sd_many_channel("meter-001").request(request.to_bytes())
+        )
+        assert [s.status for s in receipt.statuses] == [
+            0,
+            BATCH_ITEM_EMPTY_ATTRIBUTE,
+            0,
+        ]
+        assert receipt.accepted_count == 2
+        assert len(deployment.mws.message_db) == 2
+        assert (
+            deployment.registry.counter_values()[
+                "mws.deposits.batch_items_rejected"
+            ]
+            == 1
+        )
+
+    def test_empty_ciphertext_entry_rejected(self, deployment):
+        device = deployment.new_smart_device("meter-001")
+        request = device.build_many([(ATTRIBUTE, b"ok")])
+        request.entries[0].ciphertext = b""
+        from repro.core.conventions import compute_deposit_mac
+
+        request.mac = compute_deposit_mac(
+            deployment.mws.device_keys.shared_key("meter-001"), request.mac_payload()
+        )
+        receipt = BatchDepositReceipt.from_bytes(
+            deployment.sd_many_channel("meter-001").request(request.to_bytes())
+        )
+        assert receipt.statuses[0].status == BATCH_ITEM_EMPTY_CIPHERTEXT
+        assert len(deployment.mws.message_db) == 0
+
+    def test_bad_envelope_rejects_every_item_stores_nothing(self, deployment):
+        device = deployment.new_smart_device("meter-001")
+        request = device.build_many([(ATTRIBUTE, b"a"), (ATTRIBUTE, b"b")])
+        request.mac = bytes(32)  # forged envelope
+        receipt = BatchDepositReceipt.from_bytes(
+            deployment.sd_many_channel("meter-001").request(request.to_bytes())
+        )
+        assert not receipt.accepted
+        assert receipt.error
+        assert all(
+            s.status == BATCH_ITEM_ENVELOPE_REJECTED for s in receipt.statuses
+        )
+        assert len(receipt.statuses) == 2
+        assert len(deployment.mws.message_db) == 0
+
+    def test_client_raises_on_envelope_rejection(self, deployment):
+        device = deployment.new_smart_device("meter-001")
+        device._shared_key = bytes(32)  # desync the key: every MAC fails
+        with pytest.raises(ProtocolError):
+            device.deposit_many(
+                deployment.sd_many_channel("meter-001"), [(ATTRIBUTE, b"x")]
+            )
+
+    def test_retransmit_replays_committed_receipt(self, deployment):
+        device = deployment.new_smart_device("meter-001")
+        raw = device.build_many([(ATTRIBUTE, b"once")]).to_bytes()
+        channel = deployment.sd_many_channel("meter-001")
+        first = channel.request(raw)
+        second = channel.request(raw)
+        assert first == second
+        assert len(deployment.mws.message_db) == 1
+
+    def test_batch_size_histogram_observed(self, deployment):
+        device = deployment.new_smart_device("meter-001")
+        device.deposit_many(
+            deployment.sd_many_channel("meter-001"),
+            [(ATTRIBUTE, f"r{i}".encode()) for i in range(5)],
+        )
+        snapshot = deployment.registry.snapshot()["histograms"]
+        assert snapshot["mws.deposits.batch_size"]["count"] == 1
+
+
+class TestPagedRetrieval:
+    def deposit(self, deployment, count):
+        device = deployment.new_smart_device("meter-001")
+        device.deposit_many(
+            deployment.sd_many_channel("meter-001"),
+            [(ATTRIBUTE, f"reading-{i}".encode()) for i in range(count)],
+        )
+
+    def test_pages_partition_the_backlog(self, deployment):
+        self.deposit(deployment, 10)
+        client = deployment.new_receiving_client(
+            "alice", "pw", attributes=[ATTRIBUTE]
+        )
+        channel = deployment.rc_page_channel("alice")
+        first = client.retrieve_page(channel, page_size=4)
+        assert [m.message_id for m in first.messages] == [1, 2, 3, 4]
+        assert first.has_more and first.next_cursor == 4
+        second = client.retrieve_page(channel, page_size=4, cursor=4)
+        assert [m.message_id for m in second.messages] == [5, 6, 7, 8]
+        third = client.retrieve_page(channel, page_size=4, cursor=8)
+        assert [m.message_id for m in third.messages] == [9, 10]
+        assert not third.has_more and third.next_cursor == 10
+
+    def test_retrieve_all_matches_single_shot(self, deployment):
+        self.deposit(deployment, 9)
+        client = deployment.new_receiving_client(
+            "alice", "pw", attributes=[ATTRIBUTE]
+        )
+        single = client.retrieve(deployment.rc_mws_channel("alice"))
+        _token, paged = client.retrieve_all(
+            deployment.rc_page_channel("alice"), page_size=2
+        )
+        assert [m.to_bytes() for m in paged] == [
+            m.to_bytes() for m in single.messages
+        ]
+        assert client.stats["pages_fetched"] == 5
+
+    def test_page_token_opens_and_messages_decrypt(self, deployment):
+        self.deposit(deployment, 3)
+        client = deployment.new_receiving_client(
+            "alice", "pw", attributes=[ATTRIBUTE]
+        )
+        token, messages = client.retrieve_all(
+            deployment.rc_page_channel("alice"), page_size=2
+        )
+        session_id = client.authenticate_to_pkg(
+            deployment.rc_pkg_channel("alice"), token
+        )
+        for index, message in enumerate(messages):
+            point = client.fetch_key(
+                deployment.rc_pkg_channel("alice"),
+                session_id,
+                token.session_key,
+                message.attribute_id,
+                message.nonce,
+            )
+            assert client.decrypt_message(message, point) == (
+                f"reading-{index}".encode()
+            )
+
+    def test_empty_backlog_single_empty_page(self, deployment):
+        client = deployment.new_receiving_client(
+            "alice", "pw", attributes=[ATTRIBUTE]
+        )
+        _token, messages = client.retrieve_all(
+            deployment.rc_page_channel("alice"), page_size=8
+        )
+        assert messages == []
+        assert client.stats["pages_fetched"] == 1
+
+    def test_pages_served_metric(self, deployment):
+        self.deposit(deployment, 4)
+        client = deployment.new_receiving_client(
+            "alice", "pw", attributes=[ATTRIBUTE]
+        )
+        client.retrieve_all(deployment.rc_page_channel("alice"), page_size=2)
+        counters = deployment.registry.counter_values()
+        assert counters["mws.mms.pages_served"] == 2
+        histograms = deployment.registry.snapshot()["histograms"]
+        assert histograms["mws.mms.page_size"]["count"] == 2
+
+
+class TestInterop:
+    """Old single-message clients against a sharded batch-aware MWS."""
+
+    def test_single_deposit_and_retrieve_unchanged(self, deployment):
+        device = deployment.new_smart_device("legacy-meter")
+        client = deployment.new_receiving_client(
+            "legacy-rc", "pw", attributes=[ATTRIBUTE]
+        )
+        response = device.deposit(
+            deployment.sd_channel("legacy-meter"), ATTRIBUTE, b"legacy-reading"
+        )
+        assert response.accepted and response.message_id == 1
+        results = client.retrieve_and_decrypt(
+            deployment.rc_mws_channel("legacy-rc"),
+            deployment.rc_pkg_channel("legacy-rc"),
+        )
+        assert [r.plaintext for r in results] == [b"legacy-reading"]
+
+    def test_all_or_nothing_batch_endpoint_still_works(self, deployment):
+        device = deployment.new_smart_device("legacy-meter")
+        response = device.deposit_batch(
+            deployment.sd_batch_channel("legacy-meter"),
+            [(ATTRIBUTE, b"a"), (OTHER, b"b")],
+        )
+        assert response.accepted and response.message_ids == [1, 2]
+
+
+class TestDeterminism:
+    def run_workload(self):
+        deployment = build_deployment(seed=b"det-batch")
+        try:
+            device = deployment.new_smart_device("meter-001")
+            receipt = device.deposit_many(
+                deployment.sd_many_channel("meter-001"),
+                [(f"KIND{i % 3}-X-SV", f"r{i}".encode()) for i in range(8)],
+            )
+            client = deployment.new_receiving_client(
+                "alice", "pw", attributes=["KIND0-X-SV", "KIND1-X-SV"]
+            )
+            client.retrieve_all(deployment.rc_page_channel("alice"), page_size=3)
+            return (
+                [(s.status, s.message_id, s.shard) for s in receipt.statuses],
+                list(deployment.mws.message_db.shard_counts()),
+                deployment.obs_dump_json(meta={"workload": "det-batch"}),
+            )
+        finally:
+            deployment.close()
+
+    def test_same_seed_same_transcript_and_dump(self):
+        first = self.run_workload()
+        second = self.run_workload()
+        assert first[0] == second[0]  # per-item statuses incl. shards
+        assert first[1] == second[1]  # shard occupancy
+        assert first[2] == second[2]  # byte-identical obs dump
+
+
+class TestHybridEncryptMany:
+    def test_shared_encapsulation_individually_decryptable(self):
+        deployment = build_deployment(shards=1)
+        try:
+            public = deployment.public_params
+            identity = b"BATCH-IDENTITY"
+            messages = [f"msg-{i}".encode() for i in range(5)]
+            ciphertexts = hybrid_encrypt_many(public, identity, messages)
+            assert len({c.sealed for c in ciphertexts}) == 5  # fresh IV each
+            assert len({c.r_p.to_bytes() for c in ciphertexts}) == 1  # shared rP
+            private = deployment.master.extract(identity)
+            for ciphertext, message in zip(ciphertexts, messages):
+                assert (
+                    hybrid_decrypt(public, private.point, ciphertext) == message
+                )
+        finally:
+            deployment.close()
+
+    def test_roundtrip_through_wire_encoding(self):
+        deployment = build_deployment(shards=1)
+        try:
+            public = deployment.public_params
+            [ciphertext] = hybrid_encrypt_many(public, b"ID", [b"payload"])
+            decoded = HybridCiphertext.from_bytes(
+                ciphertext.to_bytes(), public.params
+            )
+            private = deployment.master.extract(b"ID")
+            assert hybrid_decrypt(public, private.point, decoded) == b"payload"
+        finally:
+            deployment.close()

@@ -207,6 +207,34 @@ class TestFlatFileSpecifics:
         (directory / "zzzz.rec").write_text("bad hex name")
         assert store.keys() == [b"\x01"]
 
+    def test_non_canonical_names_are_not_keys(self, tmp_path):
+        """Regression: decode must be the exact inverse of encode.
+
+        ``bytes.fromhex`` accepts uppercase and embedded whitespace, so
+        "AB.rec" and "ab  cd.rec" used to decode into keys whose
+        canonical file name differs from the file actually on disk —
+        yielding phantom (and potentially duplicate) keys that ``get``
+        then reads from the wrong file or fails on.
+        """
+        directory = tmp_path / "ff-canon"
+        store = FlatFileStore(str(directory))
+        store.put(b"\xab", b"canonical")
+        (directory / "AB.rec").write_bytes(b"foreign uppercase")
+        (directory / "ab cd.rec").write_bytes(b"foreign whitespace")
+        assert store.keys() == [b"\xab"]
+        assert store.get(b"\xab") == b"canonical"
+
+    def test_case_variant_file_never_shadows_key(self, tmp_path):
+        """A pre-existing uppercase name must not collide with a real put."""
+        directory = tmp_path / "ff-case"
+        directory.mkdir()
+        (directory / "AB.rec").write_bytes(b"imposter")
+        store = FlatFileStore(str(directory))
+        assert store.keys() == []
+        store.put(b"\xab", b"real")
+        assert sorted(store.keys()) == [b"\xab"]
+        assert store.get(b"\xab") == b"real"
+
     def test_atomic_replacement(self, tmp_path):
         """No .tmp files left behind after writes."""
         directory = tmp_path / "ff2"

@@ -1,0 +1,199 @@
+"""The consistent-hash shard router (repro.storage.sharding)."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError, StorageError
+from repro.obs.registry import MetricsRegistry
+from repro.sim.clock import SimClock
+from repro.storage.engine import LogStructuredStore, MemoryStore
+from repro.storage.message_db import MessageDatabase
+from repro.storage.sharding import DEFAULT_VNODES, HashRing, ShardedMessageDatabase
+
+
+def deposit(db, attribute, index=0, at_us=1_000):
+    return db.store(
+        device_id=f"meter-{index:03d}",
+        attribute=attribute,
+        nonce=bytes([index % 256]) * 4,
+        ciphertext=f"ct-{attribute}-{index}".encode(),
+        deposited_at_us=at_us + index,
+    )
+
+
+ATTRIBUTES = [f"ELECTRIC-COMPLEX{i:02d}-SV-CA" for i in range(40)]
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        first = HashRing(8)
+        second = HashRing(8)
+        assert [first.shard_for(a) for a in ATTRIBUTES] == [
+            second.shard_for(a) for a in ATTRIBUTES
+        ]
+
+    def test_every_shard_reachable(self):
+        ring = HashRing(4)
+        owners = {ring.shard_for(f"attr-{i}") for i in range(500)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert {ring.shard_for(a) for a in ATTRIBUTES} == {0}
+
+    def test_growth_only_moves_to_new_shards(self):
+        """Consistent-hashing invariant: old→old moves never happen."""
+        small, large = HashRing(4), HashRing(6)
+        moved = 0
+        for i in range(1000):
+            attribute = f"attr-{i}"
+            before, after = small.shard_for(attribute), large.shard_for(attribute)
+            if before != after:
+                moved += 1
+                assert after >= 4, f"{attribute} moved between old shards"
+        # Expected move fraction is 2/6; allow generous slack either side.
+        assert 0.05 < moved / 1000 < 0.60
+
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(StorageError):
+            HashRing(0)
+        with pytest.raises(StorageError):
+            HashRing(4, vnodes=0)
+
+    def test_default_vnodes_spread_load(self):
+        ring = HashRing(4, vnodes=DEFAULT_VNODES)
+        counts = [0, 0, 0, 0]
+        for i in range(2000):
+            counts[ring.shard_for(f"meter-attr-{i}")] += 1
+        assert min(counts) > 0.5 * (2000 / 4)
+
+
+class TestShardedMessageDatabase:
+    def test_colocation_single_shard_lookup(self):
+        db = ShardedMessageDatabase(4)
+        for index in range(12):
+            deposit(db, "WATER-GLENBROOK-SV-CA", index)
+        owner = db.shard_for("WATER-GLENBROOK-SV-CA")
+        assert len(db.shard(owner).by_attribute("WATER-GLENBROOK-SV-CA")) == 12
+        for other in range(4):
+            if other != owner:
+                assert db.shard(other).by_attribute("WATER-GLENBROOK-SV-CA") == []
+
+    def test_global_ids_monotonic_and_unique(self):
+        db = ShardedMessageDatabase(4)
+        ids = [deposit(db, a, i).message_id for i, a in enumerate(ATTRIBUTES)]
+        assert ids == list(range(1, len(ATTRIBUTES) + 1))
+
+    def test_fetch_and_delete_route_by_id(self):
+        db = ShardedMessageDatabase(3)
+        record = deposit(db, ATTRIBUTES[0])
+        assert db.fetch(record.message_id).ciphertext == record.ciphertext
+        db.delete(record.message_id)
+        with pytest.raises(KeyNotFoundError):
+            db.fetch(record.message_id)
+        assert len(db) == 0
+
+    def test_matches_unsharded_database(self):
+        """Same workload, same answers as the plain MessageDatabase."""
+        flat = MessageDatabase(MemoryStore())
+        sharded = ShardedMessageDatabase(5)
+        for index, attribute in enumerate(ATTRIBUTES * 3):
+            deposit(flat, attribute, index)
+            deposit(sharded, attribute, index)
+        assert sharded.attributes() == flat.attributes()
+        assert len(sharded) == len(flat)
+        for attribute in ATTRIBUTES:
+            assert [r.to_bytes() for r in sharded.by_attribute(attribute)] == [
+                r.to_bytes() for r in flat.by_attribute(attribute)
+            ]
+        assert [r.message_id for r in sharded.by_time_range(1_000, 1_060)] == [
+            r.message_id for r in flat.by_time_range(1_000, 1_060)
+        ]
+        assert [
+            r.to_bytes() for r in sharded.by_attributes(ATTRIBUTES[:7])
+        ] == [r.to_bytes() for r in flat.by_attributes(ATTRIBUTES[:7])]
+
+    def test_conservation_across_shards(self):
+        db = ShardedMessageDatabase(6)
+        for index, attribute in enumerate(ATTRIBUTES * 2):
+            deposit(db, attribute, index)
+        assert sum(db.shard_counts()) == len(ATTRIBUTES) * 2 == len(db)
+
+    def test_reopen_rebuilds_routing(self, tmp_path):
+        stores = [
+            LogStructuredStore(str(tmp_path / f"shard-{i}.log")) for i in range(3)
+        ]
+        db = ShardedMessageDatabase(stores)
+        records = [deposit(db, a, i) for i, a in enumerate(ATTRIBUTES[:9])]
+        db.close()
+        reopened = ShardedMessageDatabase(
+            [LogStructuredStore(str(tmp_path / f"shard-{i}.log")) for i in range(3)]
+        )
+        for record in records:
+            assert reopened.fetch(record.message_id).to_bytes() == record.to_bytes()
+        fresh = deposit(reopened, "NEW-ATTRIBUTE", 99)
+        assert fresh.message_id == records[-1].message_id + 1
+        reopened.close()
+
+    def test_rebalance_moves_only_to_new_shards(self):
+        db = ShardedMessageDatabase(4)
+        for index, attribute in enumerate(ATTRIBUTES * 2):
+            deposit(db, attribute, index)
+        before = {
+            record.message_id: record.to_bytes()
+            for attribute in ATTRIBUTES
+            for record in db.by_attribute(attribute)
+        }
+        owners_before = {a: db.shard_for(a) for a in ATTRIBUTES}
+        moved = db.rebalance([None, None])
+        assert db.shard_count == 6
+        assert sum(db.shard_counts()) == len(before)
+        for attribute in ATTRIBUTES:
+            owner = db.shard_for(attribute)
+            if owner != owners_before[attribute]:
+                assert owner >= 4  # only new shards gained attributes
+        after = {
+            record.message_id: record.to_bytes()
+            for attribute in ATTRIBUTES
+            for record in db.by_attribute(attribute)
+        }
+        assert after == before  # byte-identical records, identical sets
+        changed = [a for a in ATTRIBUTES if owners_before[a] != db.shard_for(a)]
+        assert moved == 2 * len(changed)  # each attribute was deposited twice
+
+    def test_rebalance_empty_is_noop(self):
+        db = ShardedMessageDatabase(2)
+        deposit(db, ATTRIBUTES[0])
+        assert db.rebalance([]) == 0
+        assert db.shard_count == 2
+
+    def test_compaction_preserves_contents(self, tmp_path):
+        stores = [
+            LogStructuredStore(str(tmp_path / f"c-{i}.log")) for i in range(2)
+        ]
+        db = ShardedMessageDatabase(stores)
+        records = [deposit(db, a, i) for i, a in enumerate(ATTRIBUTES[:8])]
+        db.delete(records[0].message_id)
+        db.compact()
+        for record in records[1:]:
+            assert db.fetch(record.message_id).to_bytes() == record.to_bytes()
+        assert len(db) == 7
+        db.close()
+
+    def test_registry_counters_and_gauges(self):
+        registry = MetricsRegistry(SimClock())
+        db = ShardedMessageDatabase(3, registry=registry)
+        for index, attribute in enumerate(ATTRIBUTES[:10]):
+            deposit(db, attribute, index)
+        counters = registry.counter_values()
+        per_shard = [
+            counters[f"storage.shard.{i}.deposits"] for i in range(3)
+        ]
+        assert sum(per_shard) == 10
+        snapshot = registry.snapshot()["gauges"]
+        assert [snapshot[f"storage.shard.{i}.messages"] for i in range(3)] == (
+            db.shard_counts()
+        )
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(StorageError):
+            ShardedMessageDatabase(0)

@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -58,3 +60,89 @@ class TestCommands:
         assert main(["serve", "--preset", "TOY64", "--duration", "0.2"]) == 0
         output = capsys.readouterr().out
         assert "mws-sd" in output and "pkg" in output and "stopped" in output
+
+
+class TestBenchScale:
+    def run_scale(self, tmp_path, **overrides):
+        out = tmp_path / "BENCH_scale.json"
+        argv = [
+            "bench", "scale", "--meters", "1", "--batch-size", "3",
+            "--timing-batch", "4", "--page-size", "4",
+            "--out", str(out),
+        ]
+        for flag, value in overrides.items():
+            argv += [flag, str(value)]
+        assert main(argv) == 0
+        return json.loads(out.read_text())
+
+    def test_scale_bench_writes_conserving_dump(self, tmp_path, capsys):
+        dump = self.run_scale(tmp_path)
+        assert dump["bench"] == "scale"
+        assert dump["shards"]["conservation_ok"]
+        assert dump["shards"]["sum"] == dump["deposits"]["accepted"] == 9
+        assert dump["retrieval"]["complete"]
+        assert dump["batch_timing"]["speedup"] > 0
+        assert "accepted across 4 shards" in capsys.readouterr().out
+
+    def test_scale_bench_deterministic_shard_assignment(self, tmp_path):
+        first = self.run_scale(tmp_path, **{"--seed": "cli-det"})
+        second = self.run_scale(tmp_path, **{"--seed": "cli-det"})
+        assert first["shards"]["counts"] == second["shards"]["counts"]
+        assert first["deposits"] == second["deposits"]
+
+
+class TestBenchGate:
+    BASELINE = {
+        "bench": "scale",
+        "batch_timing": {"speedup": 3.0},
+    }
+
+    def write(self, tmp_path, name, dump):
+        path = tmp_path / name
+        path.write_text(json.dumps(dump))
+        return str(path)
+
+    def test_within_budget_passes(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", self.BASELINE)
+        cur = self.write(
+            tmp_path, "cur.json", {"bench": "scale", "batch_timing": {"speedup": 2.4}}
+        )
+        assert main(["bench-gate", base, cur]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_fails(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", self.BASELINE)
+        cur = self.write(
+            tmp_path, "cur.json", {"bench": "scale", "batch_timing": {"speedup": 1.5}}
+        )
+        assert main(["bench-gate", base, cur]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_improvement_passes(self, tmp_path):
+        base = self.write(tmp_path, "base.json", self.BASELINE)
+        cur = self.write(
+            tmp_path, "cur.json", {"bench": "scale", "batch_timing": {"speedup": 9.0}}
+        )
+        assert main(["bench-gate", base, cur]) == 0
+
+    def test_kind_mismatch_is_usage_error(self, tmp_path):
+        base = self.write(tmp_path, "base.json", self.BASELINE)
+        cur = self.write(tmp_path, "cur.json", {"bench": "pairing"})
+        assert main(["bench-gate", base, cur]) == 2
+
+    def test_missing_ratio_fails(self, tmp_path):
+        base = self.write(tmp_path, "base.json", self.BASELINE)
+        cur = self.write(tmp_path, "cur.json", {"bench": "scale"})
+        assert main(["bench-gate", base, cur]) == 1
+
+    def test_pairing_kind_gates_three_ratios(self, tmp_path, capsys):
+        dump = {
+            "bench": "pairing",
+            "pairing": {"speedup": 2.0},
+            "deposit_phase": {"speedup": 1.6, "warm_speedup": 2.2},
+        }
+        base = self.write(tmp_path, "base.json", dump)
+        cur = self.write(tmp_path, "cur.json", dump)
+        assert main(["bench-gate", base, cur]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == 3

@@ -19,13 +19,17 @@ from repro.pki.rsa import RsaPrivateKey, RsaPublicKey
 from repro.pki.x509lite import Certificate
 from repro.wire.messages import (
     Authenticator,
+    BatchDepositReceipt,
     BatchDepositRequest,
     BatchDepositResponse,
     BatchEntry,
+    BatchItemStatus,
     DepositRequest,
     DepositResponse,
     KeyRequest,
     KeyResponse,
+    PagedRetrieveRequest,
+    PagedRetrieveResponse,
     PkgAuthRequest,
     PkgAuthResponse,
     RetrieveRequest,
@@ -50,6 +54,10 @@ BYTE_DECODERS = [
     PkgAuthResponse.from_bytes,
     KeyRequest.from_bytes,
     KeyResponse.from_bytes,
+    BatchItemStatus.from_bytes,
+    BatchDepositReceipt.from_bytes,
+    PagedRetrieveRequest.from_bytes,
+    PagedRetrieveResponse.from_bytes,
     RsaPublicKey.from_bytes,
     RsaPrivateKey.from_bytes,
     Certificate.from_bytes,
@@ -148,6 +156,13 @@ STORED_MESSAGES = st.builds(
 )
 BATCH_ENTRIES = st.builds(
     BatchEntry, attribute=SHORT_TEXT, nonce=SHORT_BYTES, ciphertext=SHORT_BYTES
+)
+BATCH_ITEM_STATUSES = st.builds(
+    BatchItemStatus,
+    status=st.integers(0, 255),
+    message_id=U64,
+    shard=st.integers(0, 2**32 - 1),
+    error=SHORT_TEXT,
 )
 
 MESSAGE_STRATEGIES = [
@@ -255,6 +270,39 @@ MESSAGE_STRATEGIES = [
             accepted=st.booleans(),
             message_ids=st.lists(U64, max_size=5),
             error=SHORT_TEXT,
+        ),
+    ),
+    (BatchItemStatus, BATCH_ITEM_STATUSES),
+    (
+        BatchDepositReceipt,
+        st.builds(
+            BatchDepositReceipt,
+            statuses=st.lists(BATCH_ITEM_STATUSES, max_size=4),
+            error=SHORT_TEXT,
+        ),
+    ),
+    (
+        PagedRetrieveRequest,
+        st.builds(
+            PagedRetrieveRequest,
+            rc_id=SHORT_TEXT,
+            rc_public_key=SHORT_BYTES,
+            auth_blob=SHORT_BYTES,
+            page_size=st.integers(0, 2**32 - 1),
+            cursor=U64,
+            since_us=U64,
+            assertion=SHORT_BYTES,
+        ),
+    ),
+    (
+        PagedRetrieveResponse,
+        st.builds(
+            PagedRetrieveResponse,
+            token=SHORT_BYTES,
+            rc_nonce=SHORT_BYTES,
+            next_cursor=U64,
+            has_more=st.booleans(),
+            messages=st.lists(STORED_MESSAGES, max_size=3),
         ),
     ),
 ]
