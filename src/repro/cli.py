@@ -82,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="scale: page size for the retrieval sweep")
     bench.add_argument("--seed", default="repro-scale",
                        help="scale: deployment/fleet seed")
+    bench.add_argument("--workers", type=int, default=1,
+                       help="scale: worker count for the concurrency "
+                       "lanes (simulated pool + process-pool sweep)")
+    bench.add_argument("--parallel-messages", type=int, default=48,
+                       help="scale: messages per width in the "
+                       "real-parallel throughput sweep")
     bench.add_argument("--out", default=None,
                        help="output JSON path ('-' for stdout only; default: "
                        "BENCH_<target>.json)")
@@ -425,6 +431,8 @@ def _bench_scale(args) -> int:
             page_size=args.page_size,
             preset=args.preset if args.preset else "TOY64",
             seed=args.seed.encode(),
+            workers=args.workers,
+            parallel_messages=args.parallel_messages,
         )
     )
     out = args.out if args.out is not None else "BENCH_scale.json"
@@ -444,12 +452,36 @@ def _bench_scale(args) -> int:
         f"{timing['sequential_ms_per_msg']} -> {timing['batched_ms_per_msg']} "
         f"ms/msg ({timing['speedup']}x)"
     )
+    simulated = dump["simulated"]
+    parallel = dump["parallel"]
+    print(
+        f"simulated pool ({simulated['workers']} workers): "
+        f"{simulated['accepted']} accepted, {simulated['crashes']} crashes, "
+        f"fingerprint {simulated['fingerprint'][:16]}; parallel lane "
+        f"({parallel['lane']}): {parallel['throughput']} msg/s, "
+        f"speedup {parallel['speedup']}x on {parallel['cpu_count']} cpu(s)"
+    )
     if not dump["shards"]["conservation_ok"]:
         print("FAIL: per-shard counts do not sum to accepted deposits")
         return 1
     if not dump["retrieval"]["complete"]:
         print("FAIL: paged retrieval did not return every accepted message")
         return 1
+    if not simulated["conservation_ok"]:
+        print("FAIL: simulated worker pool lost or duplicated messages")
+        return 1
+    # The near-linear-scaling floor is only meaningful where the cores
+    # exist to scale onto; a 1-cpu laptop still runs the sweep but only
+    # CI (4 vcpus) enforces the ratio.
+    import os
+
+    if args.workers >= 4 and (os.cpu_count() or 1) >= args.workers:
+        if parallel["speedup"] < 1.6:
+            print(
+                f"FAIL: parallel lane speedup {parallel['speedup']}x at "
+                f"{args.workers} workers is below the 1.6x floor"
+            )
+            return 1
     return 0
 
 
@@ -465,6 +497,7 @@ _GATED_RATIOS = {
     ],
     "scale": [
         ("batch_timing", "speedup"),
+        ("parallel", "speedup"),
     ],
 }
 

@@ -45,6 +45,7 @@ __all__ = [
     "RequestDroppedError",
     "ResponseDroppedError",
     "RetriesExhaustedError",
+    "SchedulerError",
 ]
 
 
@@ -226,4 +227,17 @@ class RetriesExhaustedError(NetworkError):
     """A retrying transport gave up after its attempt budget.
 
     Chained from the last underlying failure (``__cause__``).
+    """
+
+
+# --------------------------------------------------------------------------
+# Deterministic scheduler
+# --------------------------------------------------------------------------
+
+
+class SchedulerError(ReproError):
+    """The deterministic task scheduler hit an invalid state.
+
+    Raised for misuse (spawning after shutdown, duplicate task names)
+    and for runaway runs that exceed the step budget.
     """

@@ -16,7 +16,26 @@ import os
 
 from repro.errors import MathError
 
-__all__ = ["RandomSource", "SystemRandomSource", "HmacDrbg"]
+__all__ = ["RandomSource", "SystemRandomSource", "HmacDrbg", "derive_seed"]
+
+
+def derive_seed(seed: bytes | str, label: bytes | str) -> bytes:
+    """Derive an independent child seed bound to ``label``.
+
+    ``HMAC-SHA-256(seed, b"derive" + label)`` — a keyed one-way split, so
+    sibling labels yield unrelated streams and no child reveals the
+    parent.  Harnesses use this to give each lane (scheduler, load
+    generator, worker pool) its own seed: adding a lane, or changing how
+    often one lane draws, cannot perturb another lane's stream the way
+    sharing a single :class:`HmacDrbg` would.
+    """
+    from repro.hashes import hmac_sha256
+
+    if isinstance(seed, str):
+        seed = seed.encode("utf-8")
+    if isinstance(label, str):
+        label = label.encode("utf-8")
+    return hmac_sha256(seed, b"derive" + label)
 
 
 class RandomSource:

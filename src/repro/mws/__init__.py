@@ -14,6 +14,12 @@
 from repro.mws.authenticator import SmartDeviceAuthenticator
 from repro.mws.gatekeeper import Gatekeeper
 from repro.mws.mms import MessageManagementSystem
+from repro.mws.runtime import (
+    DepositJob,
+    ParallelDepositRunner,
+    RuntimeResult,
+    ShardWorkerPool,
+)
 from repro.mws.service import MessageWarehousingService, MwsConfig
 from repro.mws.token_gen import TokenGenerator
 
@@ -24,4 +30,8 @@ __all__ = [
     "Gatekeeper",
     "MessageWarehousingService",
     "MwsConfig",
+    "DepositJob",
+    "RuntimeResult",
+    "ShardWorkerPool",
+    "ParallelDepositRunner",
 ]

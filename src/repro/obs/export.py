@@ -27,9 +27,13 @@ __all__ = ["build_dump", "dump_to_json"]
 #: ``storage.shard.<i>.messages`` gauges, ``storage.rebalance.moved``,
 #: and the batch pipeline adds the ``mws.deposits.batch_size`` /
 #: ``mws.mms.page_size`` histograms plus their companion counters.
-#: Strictly additive — v1/v2 consumers that ignore unknown keys keep
+#: v4: the shard-parallel worker runtime adds ``runtime.*`` counters and
+#: histograms (``runtime.worker.<i>.jobs``/``.busy_steps`` per worker,
+#: ``runtime.queue.depth``, ``runtime.retrieval.*``) and the fault plan
+#: gains ``sim.faults.worker_crashes`` / ``sim.faults.worker_restarts``.
+#: Strictly additive — v1..v3 consumers that ignore unknown keys keep
 #: working (see docs/OBSERVABILITY.md §4).
-DUMP_SCHEMA_VERSION = 3
+DUMP_SCHEMA_VERSION = 4
 
 
 def build_dump(registry, tracer=None, crypto=None, meta=None) -> dict:

@@ -51,6 +51,8 @@ KNOWN_METRICS: frozenset[str] = frozenset({
     "sim.faults.corruptions",
     "sim.faults.delays",
     "sim.faults.partition_drops",
+    "sim.faults.worker_crashes",
+    "sim.faults.worker_restarts",
     "net.request_bytes",
     "net.response_bytes",
     "net.messages_sent",
@@ -58,6 +60,15 @@ KNOWN_METRICS: frozenset[str] = frozenset({
     "net.handler_errors",
     # -- protocol driver histograms ---------------------------------------
     "protocol.deposit.duration_us",
+    # -- shard-parallel worker runtime (mws/runtime.py, schema v4) ---------
+    "runtime.jobs.completed",
+    "runtime.jobs.requeued",
+    "runtime.crashes",
+    "runtime.restarts",
+    "runtime.queue.depth",
+    "runtime.steps",
+    "runtime.retrieval.pages",
+    "runtime.retrieval.retries",
 })
 
 #: Name families minted per instance (device id, endpoint name, crypto
@@ -73,6 +84,7 @@ KNOWN_METRIC_PREFIXES: tuple[str, ...] = (
     "crypto.",           # crypto profiler collector (incl. crypto.cache.*)
     "cache.",            # CryptoCache hit/miss counters
     "storage.shard.",    # per-shard deposit counters and message gauges
+    "runtime.worker.",   # per-worker job counters and busy-step histograms
 )
 
 

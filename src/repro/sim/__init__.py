@@ -7,7 +7,8 @@ encodings a socket deployment would.
 """
 
 from repro.sim.clock import Clock, SimClock, WallClock
-from repro.sim.faults import FaultDecision, FaultPlan, FaultSpec
+from repro.sim.faults import FaultDecision, FaultPlan, FaultSpec, WorkerFaultSpec
+from repro.sim.scheduler import DeterministicScheduler, SchedulerTask, TaskState
 from repro.sim.network import (
     Channel,
     Endpoint,
@@ -34,6 +35,10 @@ __all__ = [
     "FaultDecision",
     "FaultPlan",
     "FaultSpec",
+    "WorkerFaultSpec",
+    "DeterministicScheduler",
+    "SchedulerTask",
+    "TaskState",
     "MeterKind",
     "MeterReading",
     "SmartMeterFleet",

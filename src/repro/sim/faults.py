@@ -19,7 +19,13 @@ from dataclasses import dataclass
 
 from repro.mathlib.rand import RandomSource
 
-__all__ = ["FaultSpec", "FaultDecision", "FaultPlan", "apply_corruption"]
+__all__ = [
+    "FaultSpec",
+    "WorkerFaultSpec",
+    "FaultDecision",
+    "FaultPlan",
+    "apply_corruption",
+]
 
 #: The two directions a plan is consulted for.
 REQUEST = "request"
@@ -44,6 +50,23 @@ class FaultSpec:
 
     def any_faults(self) -> bool:
         return any((self.drop, self.duplicate, self.corrupt, self.delay))
+
+
+@dataclass(frozen=True)
+class WorkerFaultSpec:
+    """Worker crash/restart faults for the shard-parallel runtime.
+
+    ``crash`` is the per-step probability that a worker dies before its
+    next action; ``max_crashes`` caps the plan's total kills so a chaos
+    schedule always terminates (every crash costs a restart, and an
+    uncapped plan at ``crash=1.0`` would never let a worker finish).
+    """
+
+    crash: float = 0.0
+    max_crashes: int = 8
+
+    def any_faults(self) -> bool:
+        return self.crash > 0.0 and self.max_crashes > 0
 
 
 @dataclass(frozen=True)
@@ -95,11 +118,21 @@ class FaultPlan:
         #: Aggregate counters, also mirrored per-endpoint by the network.
         #: With a registry they live under ``sim.faults.*``; standalone
         #: plans keep a plain dict.
-        keys = ("drops", "duplicates", "corruptions", "delays", "partition_drops")
+        keys = (
+            "drops",
+            "duplicates",
+            "corruptions",
+            "delays",
+            "partition_drops",
+            "worker_crashes",
+            "worker_restarts",
+        )
         if registry is not None:
             self.counters = registry.stats_dict("sim.faults", keys)
         else:
             self.counters = {key: 0 for key in keys}
+        self._worker_spec = WorkerFaultSpec()
+        self._worker_rng: RandomSource = rng
 
     # -- configuration ----------------------------------------------------
 
@@ -122,6 +155,27 @@ class FaultPlan:
 
     def heal_all(self) -> None:
         self._partitions.clear()
+
+    def set_worker_faults(
+        self, spec: WorkerFaultSpec, rng: RandomSource | None = None
+    ) -> None:
+        """Enable worker crash/restart faults for the runtime.
+
+        Crash decisions draw from their own stream (``rng``, defaulting
+        to a ``fork`` of the plan's source when available) so enabling
+        worker chaos cannot shift the link-fault schedule of an
+        otherwise identical run.
+        """
+        self._worker_spec = spec
+        if rng is not None:
+            self._worker_rng = rng
+        else:
+            fork = getattr(self._rng, "fork", None)
+            self._worker_rng = fork(b"worker-faults") if fork else self._rng
+
+    @property
+    def worker_spec(self) -> WorkerFaultSpec:
+        return self._worker_spec
 
     def spec_for(self, source: str, destination: str) -> FaultSpec:
         spec = self._links.get((source, destination))
@@ -173,6 +227,30 @@ class FaultPlan:
         return FaultDecision(
             duplicate=duplicate, corrupt=corrupt, delay_us=delay_us
         )
+
+    def decide_worker_crash(self, worker_id: str) -> bool:
+        """Roll for one worker step: should ``worker_id`` crash now?
+
+        Honours the plan-wide ``max_crashes`` cap.  The draw uses the
+        dedicated worker stream, and only happens while crashes remain
+        possible, so a capped-out plan stops consuming randomness.
+        """
+        spec = self._worker_spec
+        if not spec.any_faults():
+            return False
+        if self.counters["worker_crashes"] >= spec.max_crashes:
+            return False
+        if spec.crash < 1.0:
+            if self._worker_rng.randbelow(1_000_000) >= int(
+                spec.crash * 1_000_000
+            ):
+                return False
+        self.counters["worker_crashes"] += 1
+        return True
+
+    def note_worker_restart(self) -> None:
+        """Record that the runtime replaced a crashed worker."""
+        self.counters["worker_restarts"] += 1
 
     def total_injected(self) -> int:
         """Total faults injected so far (partition drops count once)."""

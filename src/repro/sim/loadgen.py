@@ -21,15 +21,19 @@ Two properties come out of a run:
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 
 from repro.core.deployment import Deployment, DeploymentConfig
 from repro.errors import ProtocolError
+from repro.mathlib.rand import HmacDrbg, derive_seed
+from repro.mws.runtime import ParallelDepositRunner, ShardWorkerPool
 from repro.mws.service import MwsConfig
+from repro.sim.faults import FaultPlan, WorkerFaultSpec
 from repro.sim.workload import MeterKind, SmartMeterFleet, WorkloadConfig
 
-__all__ = ["ScaleConfig", "run_scale"]
+__all__ = ["ScaleConfig", "run_scale", "worker_sweep"]
 
 
 @dataclass
@@ -50,7 +54,22 @@ class ScaleConfig:
     preset: str = "TOY64"
     #: Seed for the deployment and the fleet; same seed => same shard
     #: assignment, same batch transcripts, byte-identical obs dump.
+    #: Every additional lane (scheduler, worker pool, parallel bench)
+    #: takes an *independent* child seed via
+    #: :func:`repro.mathlib.rand.derive_seed`, so adding workers or
+    #: lanes never perturbs the sections above.
     seed: bytes = b"repro-scale"
+    #: Worker count for the concurrency lanes (1 = both lanes degrade
+    #: to serial; the CI smoke runs 4).
+    workers: int = 1
+    #: Messages encrypted/deposited per width in the real-parallel lane.
+    parallel_messages: int = 48
+    #: Real-parallel executor lane: "process" or "inline".
+    parallel_lane: str = "process"
+    #: Per-step worker crash probability in the simulated lane.
+    worker_crash: float = 0.25
+    #: Cap on injected worker crashes in the simulated lane.
+    max_worker_crashes: int = 4
 
 
 def _measure_batch_speedup(deployment: Deployment, count: int) -> dict:
@@ -88,6 +107,146 @@ def _measure_batch_speedup(deployment: Deployment, count: int) -> dict:
         "sequential_ms_per_msg": round(sequential_s / count * 1e3, 3),
         "batched_ms_per_msg": round(batched_s / count * 1e3, 3),
         "speedup": round(sequential_s / batched_s, 2),
+    }
+
+
+def worker_sweep(workers: int) -> list[int]:
+    """Widths for the throughput-vs-workers sweep: 1, 2, 4, ... , N."""
+    widths = [1]
+    while widths[-1] * 2 <= workers:
+        widths.append(widths[-1] * 2)
+    if widths[-1] != workers:
+        widths.append(workers)
+    return widths
+
+
+def _run_simulated(config: ScaleConfig) -> dict:
+    """The deterministic simulated-concurrent lane, with worker chaos.
+
+    Runs on its own deployment with child seeds derived from
+    ``config.seed`` — the scheduler, the fault plan and the fleet each
+    get an isolated stream, so this lane cannot perturb the golden
+    sections of the main run (and vice versa).
+    """
+    deployment = Deployment.build(
+        DeploymentConfig(
+            preset=config.preset,
+            seed=derive_seed(config.seed, b"sim-deployment"),
+            use_nonce=False,
+            mws=MwsConfig(message_shards=config.shards),
+        )
+    )
+    try:
+        plan = FaultPlan(
+            HmacDrbg(derive_seed(config.seed, b"sim-faults")),
+            registry=deployment.registry,
+        )
+        plan.set_worker_faults(
+            WorkerFaultSpec(
+                crash=config.worker_crash,
+                max_crashes=config.max_worker_crashes,
+            )
+        )
+        deployment.network.install_fault_plan(plan)
+        fleet = SmartMeterFleet(
+            WorkloadConfig(
+                meters_per_kind=config.meters_per_kind,
+                seed=derive_seed(config.seed, b"sim-fleet"),
+            )
+        )
+        jobs = [
+            (device_id, fleet.deposit_items(device_id, config.batch_size))
+            for device_id in fleet.device_ids()
+        ]
+        pool = ShardWorkerPool(
+            deployment,
+            workers=max(1, config.workers),
+            scheduler_seed=derive_seed(config.seed, b"scheduler"),
+            page_size=config.page_size,
+        )
+        result = pool.run(jobs)
+        return {
+            "workers": max(1, config.workers),
+            "accepted": len(result.accepted_ids),
+            "rejected": result.rejected,
+            "crashes": result.crashes,
+            "restarts": result.restarts,
+            "steps": result.steps,
+            "pages": result.pages,
+            "conservation_ok": result.conservation_ok(),
+            "fingerprint": result.fingerprint(),
+        }
+    finally:
+        deployment.close()
+
+
+def _parallel_jobs(config: ScaleConfig) -> list[tuple[str, list[tuple[str, bytes]]]]:
+    """A fixed 8-device partitioning of ``parallel_messages`` readings.
+
+    The partitioning never depends on the worker count, so every width
+    in the sweep encrypts and deposits the identical byte stream.
+    """
+    devices = min(8, max(1, config.parallel_messages))
+    per_device = config.parallel_messages // devices
+    remainder = config.parallel_messages - per_device * devices
+    jobs = []
+    for index in range(devices):
+        count = per_device + (1 if index < remainder else 0)
+        items = [
+            (
+                "ELECTRIC-SCALE-SV",
+                f"device=scale-par-{index:02d};seq={seq};reading".encode("ascii"),
+            )
+            for seq in range(count)
+        ]
+        jobs.append((f"scale-par-{index:02d}", items))
+    return jobs
+
+
+def _run_parallel_sweep(config: ScaleConfig) -> dict:
+    """Throughput vs worker count through the real process-pool lane.
+
+    Each width gets a fresh deployment built from the same derived seed
+    (identical crypto work, no replay-cache cross-talk) with per-message
+    nonces, so every message is its own KEM group — the unit the pool
+    fans out.
+    """
+    jobs = _parallel_jobs(config)
+    throughput: dict[str, float] = {}
+    for width in worker_sweep(max(1, config.workers)):
+        deployment = Deployment.build(
+            DeploymentConfig(
+                preset=config.preset,
+                seed=derive_seed(config.seed, b"parallel-deployment"),
+                use_nonce=True,
+                mws=MwsConfig(message_shards=config.shards),
+            )
+        )
+        try:
+            runner = ParallelDepositRunner(
+                deployment,
+                workers=width,
+                lane=config.parallel_lane,
+                seed=derive_seed(config.seed, b"parallel-jobs"),
+            )
+            stats = runner.run(jobs)
+            if stats["accepted"] != config.parallel_messages:
+                raise ProtocolError(
+                    f"parallel lane at {width} worker(s) lost items: "
+                    f"{stats['accepted']}/{config.parallel_messages} accepted"
+                )
+            throughput[str(width)] = stats["throughput"]
+        finally:
+            deployment.close()
+    widths = worker_sweep(max(1, config.workers))
+    base = throughput[str(widths[0])]
+    peak = throughput[str(widths[-1])]
+    return {
+        "lane": config.parallel_lane,
+        "messages": config.parallel_messages,
+        "cpu_count": os.cpu_count() or 1,
+        "throughput": throughput,
+        "speedup": round(peak / base, 2) if base else 0.0,
     }
 
 
@@ -133,7 +292,10 @@ def run_scale(config: ScaleConfig | None = None) -> dict:
 
         return {
             "bench": "scale",
-            "schema_version": 1,
+            # v2: adds the ``simulated`` (deterministic worker pool under
+            # crash chaos) and ``parallel`` (process-pool throughput vs
+            # worker count) sections; everything from v1 is unchanged.
+            "schema_version": 2,
             "meta": {
                 "preset": config.preset,
                 "seed": config.seed.decode("utf-8", "replace"),
@@ -141,6 +303,7 @@ def run_scale(config: ScaleConfig | None = None) -> dict:
                 "devices": batches,
                 "batch_size": config.batch_size,
                 "page_size": config.page_size,
+                "workers": max(1, config.workers),
             },
             "deposits": {
                 "accepted": accepted,
@@ -158,6 +321,8 @@ def run_scale(config: ScaleConfig | None = None) -> dict:
                 "complete": retrieval_ok,
             },
             "batch_timing": timing,
+            "simulated": _run_simulated(config),
+            "parallel": _run_parallel_sweep(config),
         }
     finally:
         deployment.close()

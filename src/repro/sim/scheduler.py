@@ -1,0 +1,207 @@
+"""Deterministic cooperative task scheduler for concurrency tests.
+
+The shard-parallel runtime (:mod:`repro.mws.runtime`) needs *real*
+interleaving — deposits racing retrievals, workers dying mid-batch — but
+the test suite's golden fingerprints need every run to be exactly
+reproducible.  This module squares that: tasks are plain generators
+whose ``yield`` points are their preemption points, and the scheduler
+picks which runnable task advances next by drawing from a seeded
+:class:`~repro.mathlib.rand.RandomSource`.  Same seed, same task set ⇒
+same interleaving, same transcript, byte-identical obs dump; a
+different seed explores a different (but equally reproducible)
+schedule, which is how the Hypothesis conservation suite searches the
+interleaving space.
+
+Crash injection composes through the ``interrupt`` hook: before a task
+runs a step the hook may condemn it, the scheduler closes its generator
+(running ``finally`` blocks, like a worker's cleanup handler) and the
+``on_kill`` callback decides what survives — typically requeueing the
+task's in-flight work onto a replacement worker.
+
+Time: when a :class:`~repro.sim.clock.SimClock` is attached, each
+scheduler step advances it by ``step_us``, so schedules are visible in
+sim-time-stamped transcripts without any wall-clock dependence.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterator
+
+from repro.errors import SchedulerError
+from repro.mathlib.rand import RandomSource
+from repro.sim.clock import SimClock
+
+__all__ = ["TaskState", "SchedulerTask", "DeterministicScheduler"]
+
+
+class TaskState:
+    """Lifecycle of a scheduled task (plain string constants)."""
+
+    READY = "READY"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    KILLED = "KILLED"
+
+
+class SchedulerTask:
+    """One cooperative task: a generator plus its scheduling state.
+
+    ``result`` holds the generator's return value once the task is
+    ``DONE``; ``error`` holds the exception that ended a ``FAILED``
+    task.  ``steps`` counts how many times the scheduler advanced it —
+    the per-task share of the interleaving, exported by the runtime as
+    worker busy histograms.
+    """
+
+    def __init__(self, name: str, gen: Generator) -> None:
+        self.name = name
+        self.gen = gen
+        self.state = TaskState.READY
+        self.result = None
+        self.error: BaseException | None = None
+        self.steps = 0
+
+    @property
+    def runnable(self) -> bool:
+        return self.state == TaskState.READY
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SchedulerTask({self.name!r}, {self.state}, steps={self.steps})"
+
+
+class DeterministicScheduler:
+    """Seeded round-free scheduler over cooperative generator tasks.
+
+    Parameters
+    ----------
+    rng:
+        Source of interleaving decisions.  Give the scheduler its own
+        child stream (``derive_seed``/``fork``) — sharing a stream with
+        the workload would let scheduling perturb payload bytes.
+    clock:
+        Optional :class:`SimClock` advanced by ``step_us`` per step.
+    max_steps:
+        Hard budget; exceeding it raises :class:`SchedulerError` rather
+        than looping forever on a livelocked schedule.
+    interrupt:
+        Optional ``hook(task) -> bool`` consulted before each step; a
+        true return kills the task *instead of* running the step.
+    on_kill:
+        Optional ``hook(task)`` run after an interrupt (or explicit
+        :meth:`kill`) closed the task's generator — the place to requeue
+        in-flight work or spawn a replacement.
+    """
+
+    def __init__(
+        self,
+        rng: RandomSource,
+        clock: SimClock | None = None,
+        step_us: int = 1,
+        max_steps: int = 1_000_000,
+        interrupt: Callable[[SchedulerTask], bool] | None = None,
+        on_kill: Callable[[SchedulerTask], None] | None = None,
+    ) -> None:
+        self._rng = rng
+        self._clock = clock
+        self._step_us = step_us
+        self._max_steps = max_steps
+        self._interrupt = interrupt
+        self._on_kill = on_kill
+        self._tasks: list[SchedulerTask] = []
+        self._names: set[str] = set()
+        self.steps = 0
+
+    # -- task management --------------------------------------------------
+
+    def spawn(self, name: str, gen: Generator) -> SchedulerTask:
+        """Register a generator as a runnable task.
+
+        Names must be unique for the scheduler's lifetime so transcripts
+        and kill hooks can identify tasks unambiguously.
+        """
+        if name in self._names:
+            raise SchedulerError(f"duplicate task name {name!r}")
+        task = SchedulerTask(name, gen)
+        self._names.add(name)
+        self._tasks.append(task)
+        return task
+
+    @property
+    def tasks(self) -> list[SchedulerTask]:
+        return list(self._tasks)
+
+    def runnable_tasks(self) -> list[SchedulerTask]:
+        return [task for task in self._tasks if task.runnable]
+
+    def kill(self, task: SchedulerTask) -> None:
+        """Terminate a task: close its generator, mark it ``KILLED``.
+
+        Closing runs the generator's ``finally`` blocks — a killed
+        worker still releases what it holds — then ``on_kill`` gets a
+        chance to requeue the task's in-flight work.
+        """
+        if not task.runnable:
+            return
+        task.gen.close()
+        task.state = TaskState.KILLED
+        if self._on_kill is not None:
+            self._on_kill(task)
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> SchedulerTask | None:
+        """Advance one seeded-random runnable task by one step.
+
+        Returns the task that was scheduled (even if this step killed or
+        finished it), or ``None`` when nothing is runnable.  The rng is
+        only consulted when there is a real choice — a lone runnable
+        task costs no draw, so draining a tail does not shift the
+        stream.
+        """
+        runnable = self.runnable_tasks()
+        if not runnable:
+            return None
+        if self.steps >= self._max_steps:
+            raise SchedulerError(
+                f"scheduler exceeded {self._max_steps} steps with "
+                f"{len(runnable)} task(s) still runnable"
+            )
+        if len(runnable) == 1:
+            task = runnable[0]
+        else:
+            task = runnable[self._rng.randbelow(len(runnable))]
+        self.steps += 1
+        if self._clock is not None and self._step_us:
+            self._clock.advance(self._step_us)
+        if self._interrupt is not None and self._interrupt(task):
+            self.kill(task)
+            return task
+        task.steps += 1
+        try:
+            next(task.gen)
+        except StopIteration as stop:
+            task.state = TaskState.DONE
+            task.result = stop.value
+        except Exception as error:
+            task.state = TaskState.FAILED
+            task.error = error
+        return task
+
+    def run(self, raise_on_failure: bool = True) -> list[SchedulerTask]:
+        """Step until no task is runnable; return all tasks.
+
+        With ``raise_on_failure`` (the default) the first ``FAILED``
+        task re-raises its exception once the run drains — failures are
+        never silently swallowed, but the remaining tasks still get to
+        finish first so transcripts are complete.
+        """
+        while self.step() is not None:
+            pass
+        if raise_on_failure:
+            for task in self._tasks:
+                if task.state == TaskState.FAILED:
+                    raise task.error
+        return list(self._tasks)
+
+    def __iter__(self) -> Iterator[SchedulerTask]:  # pragma: no cover
+        return iter(self._tasks)

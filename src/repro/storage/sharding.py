@@ -24,6 +24,7 @@ the durable-primary/volatile-index split of the engine layer.
 from __future__ import annotations
 
 from bisect import bisect_right
+from contextlib import contextmanager
 
 from repro.errors import KeyNotFoundError, StorageError
 from repro.hashes.sha256 import sha256
@@ -107,6 +108,7 @@ class ShardedMessageDatabase:
         self._vnodes = vnodes
         self._ring = HashRing(len(self._shards), vnodes)
         self._registry = registry
+        self._live_workers = 0
         self._id_to_shard: dict[int, int] = {}
         self._next_id = 1
         for index, shard in enumerate(self._shards):
@@ -234,6 +236,38 @@ class ShardedMessageDatabase:
     def __len__(self) -> int:
         return sum(len(shard) for shard in self._shards)
 
+    # -- worker leases ----------------------------------------------------
+
+    @property
+    def live_workers(self) -> int:
+        """Workers currently attached (rebalance is refused while > 0)."""
+        return self._live_workers
+
+    def acquire_worker(self) -> None:
+        """Register one live deposit worker against this warehouse."""
+        self._live_workers += 1
+
+    def release_worker(self) -> None:
+        """Release one live worker lease."""
+        if self._live_workers <= 0:
+            raise StorageError("release_worker without a matching acquire")
+        self._live_workers -= 1
+
+    @contextmanager
+    def worker_lease(self, count: int = 1):
+        """Hold ``count`` worker leases for the duration of a ``with``.
+
+        The shard-parallel runtime wraps its whole run in one lease so
+        admin tooling cannot slide a rebalance under live traffic.
+        """
+        for _ in range(count):
+            self.acquire_worker()
+        try:
+            yield self
+        finally:
+            for _ in range(count):
+                self.release_worker()
+
     # -- maintenance ------------------------------------------------------
 
     def compact(self) -> None:
@@ -250,6 +284,13 @@ class ShardedMessageDatabase:
         ~K/N keys.  Moved records keep their bytes verbatim (same id,
         same payload), so retrieval sets are unchanged.
         """
+        if self._live_workers:
+            raise StorageError(
+                "rebalance is offline-only: "
+                f"{self._live_workers} live worker(s) attached; "
+                "drain the worker pool first (ROADMAP item 4 tracks "
+                "online rebalancing)"
+            )
         if not new_stores:
             return 0
         for store in new_stores:

@@ -6,6 +6,7 @@ from repro.clients.transport import RetryingTransport, RetryPolicy
 from repro.errors import (
     AuthenticationError,
     ChannelClosedError,
+    DecodeError,
     NetworkError,
     RetriesExhaustedError,
 )
@@ -103,6 +104,46 @@ class TestRetryingTransport:
         with pytest.raises(ValueError):
             transport.call(operation)
         assert state["calls"] == 1
+
+    def test_exhaustion_chains_to_the_last_network_error(self):
+        transport = RetryingTransport(
+            RetryPolicy(max_attempts=2, jitter=0.0), SimClock()
+        )
+        operation, _ = self.flaky(99)
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            transport.call(operation)
+        assert isinstance(excinfo.value.__cause__, NetworkError)
+        assert "gave up after 2 attempt(s)" in str(excinfo.value)
+
+    def test_exhaustion_counts_every_attempt_and_retry(self):
+        transport = RetryingTransport(
+            RetryPolicy(max_attempts=4, jitter=0.0), SimClock()
+        )
+        operation, state = self.flaky(99)
+        with pytest.raises(RetriesExhaustedError):
+            transport.call(operation)
+        assert state["calls"] == 4
+        assert transport.stats["attempts"] == 4
+        assert transport.stats["retries"] == 3  # final failure is not a retry
+        assert transport.stats["exhausted"] == 1
+        assert transport.stats["recovered"] == 0
+
+    def test_decode_error_exhaustion_reraises_decode_error(self):
+        """Persistent garbage exhausts as DecodeError, not a wire loss.
+
+        DecodeError is transient by default (corruption faults mangle
+        bytes in flight), but on exhaustion the caller should see what
+        actually went wrong — undecodable responses — rather than the
+        NetworkError-specific RetriesExhaustedError wrapper.
+        """
+        transport = RetryingTransport(
+            RetryPolicy(max_attempts=3, jitter=0.0), SimClock()
+        )
+        operation, state = self.flaky(99, exc=DecodeError)
+        with pytest.raises(DecodeError):
+            transport.call(operation)
+        assert state["calls"] == 3
+        assert transport.stats["exhausted"] == 1
 
     def test_backoff_advances_sim_clock_not_wall_time(self):
         clock = SimClock(start_us=0)

@@ -1,0 +1,112 @@
+"""Property suite: message conservation under seeded schedules and faults.
+
+The shard-parallel worker pool must never lose or duplicate a message,
+no matter how the deterministic scheduler interleaves deposit workers
+with the paging retrieval loop, and no matter how many workers the
+fault plan crashes mid-job.  The SDA's idempotent replay cache makes
+crash-requeue-resend safe (at-most-once storage), so any seeded
+schedule plus any crash plan must satisfy the PR 5 conservation law:
+every accepted id is retrieved exactly once and the per-shard counts
+sum to the accepted total.
+
+Determinism is part of the contract: re-running the same seeds must
+reproduce the transcript fingerprint and the observability dump byte
+for byte — that is what makes a failing schedule replayable.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.mathlib.rand import HmacDrbg
+from repro.mws.runtime import ShardWorkerPool
+from repro.mws.service import MwsConfig
+from repro.sim.faults import FaultPlan, WorkerFaultSpec
+
+ATTRIBUTES = ("ELECTRIC-P-SV", "WATER-P-SV")
+
+
+def run_once(scheduler_seed, plan_seed, workers, crash, max_crashes):
+    deployment = Deployment.build(
+        DeploymentConfig(
+            preset="TOY64",
+            rsa_bits=768,
+            seed=b"concurrent-conservation",
+            mws=MwsConfig(message_shards=4),
+        )
+    )
+    try:
+        if crash:
+            plan = FaultPlan(HmacDrbg(plan_seed), registry=deployment.registry)
+            plan.set_worker_faults(
+                WorkerFaultSpec(crash=crash, max_crashes=max_crashes)
+            )
+            deployment.network.install_fault_plan(plan)
+        jobs = [
+            (
+                f"cc-dev-{index}",
+                [
+                    (
+                        ATTRIBUTES[seq % len(ATTRIBUTES)],
+                        f"device=cc-{index};seq={seq}".encode("ascii"),
+                    )
+                    for seq in range(4)
+                ],
+            )
+            for index in range(3)
+        ]
+        pool = ShardWorkerPool(
+            deployment, workers=workers, scheduler_seed=scheduler_seed
+        )
+        result = pool.run(jobs)
+        return result, deployment.obs_dump_json()
+    finally:
+        deployment.close()
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    scheduler_seed=st.binary(min_size=1, max_size=8),
+    plan_seed=st.binary(min_size=1, max_size=8),
+    workers=st.integers(min_value=1, max_value=4),
+    crash=st.sampled_from([0.0, 0.2, 0.6, 1.0]),
+    max_crashes=st.integers(min_value=1, max_value=3),
+)
+def test_any_schedule_and_fault_plan_conserves_messages(
+    scheduler_seed, plan_seed, workers, crash, max_crashes
+):
+    result, _dump = run_once(
+        scheduler_seed, plan_seed, workers, crash, max_crashes
+    )
+    assert result.conservation_ok(), (
+        f"lost={sorted(result.lost_ids)} dup={sorted(result.duplicate_ids)} "
+        f"crashes={result.crashes}"
+    )
+    assert len(result.accepted_ids) == 12
+    assert result.restarts == result.crashes
+
+
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    scheduler_seed=st.binary(min_size=1, max_size=8),
+    workers=st.integers(min_value=1, max_value=3),
+    crash=st.sampled_from([0.0, 0.5]),
+)
+def test_same_seed_reproduces_fingerprint_and_obs_dump(
+    scheduler_seed, workers, crash
+):
+    first, dump_a = run_once(scheduler_seed, b"replay-plan", workers, crash, 2)
+    second, dump_b = run_once(scheduler_seed, b"replay-plan", workers, crash, 2)
+    assert first.fingerprint() == second.fingerprint()
+    assert dump_a == dump_b
+    assert first.conservation_ok()

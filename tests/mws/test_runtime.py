@@ -1,0 +1,201 @@
+"""Tests for the shard-parallel MWS worker runtime (both lanes)."""
+
+import pytest
+
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.errors import ProtocolError, StorageError
+from repro.mathlib.rand import HmacDrbg
+from repro.mws.runtime import ParallelDepositRunner, ShardWorkerPool
+from repro.mws.service import MwsConfig
+from repro.sim.faults import FaultPlan, WorkerFaultSpec
+
+ATTRIBUTES = ("ELECTRIC-G-SV", "WATER-G-SV", "GAS-G-SV")
+
+
+def build_deployment(seed=b"runtime-tests", shards=4, use_nonce=False):
+    return Deployment.build(
+        DeploymentConfig(
+            preset="TOY64",
+            rsa_bits=768,
+            seed=seed,
+            use_nonce=use_nonce,
+            mws=MwsConfig(message_shards=shards),
+        )
+    )
+
+
+def sample_jobs(messages_per_device=3, devices=3):
+    jobs = []
+    for index in range(devices):
+        items = [
+            (
+                ATTRIBUTES[seq % len(ATTRIBUTES)],
+                f"device=rt-{index:02d};seq={seq};reading".encode("ascii"),
+            )
+            for seq in range(messages_per_device)
+        ]
+        jobs.append((f"rt-dev-{index:02d}", items))
+    return jobs
+
+
+def run_pool(seed=b"sched-seed", crash=0.0, max_crashes=4, workers=3, jobs=None):
+    deployment = build_deployment()
+    try:
+        if crash:
+            plan = FaultPlan(HmacDrbg(b"plan-seed"), registry=deployment.registry)
+            plan.set_worker_faults(
+                WorkerFaultSpec(crash=crash, max_crashes=max_crashes)
+            )
+            deployment.network.install_fault_plan(plan)
+        pool = ShardWorkerPool(deployment, workers=workers, scheduler_seed=seed)
+        result = pool.run(jobs if jobs is not None else sample_jobs())
+        dump = deployment.obs_dump_json()
+        return result, dump
+    finally:
+        deployment.close()
+
+
+class TestShardWorkerPool:
+    def test_conservation_clean_run(self):
+        result, _dump = run_pool()
+        assert result.conservation_ok()
+        assert len(result.accepted_ids) == 9
+        assert result.rejected == 0
+        assert result.crashes == 0
+
+    def test_conservation_under_forced_crashes(self):
+        result, _dump = run_pool(crash=1.0, max_crashes=2)
+        assert result.crashes == 2
+        assert result.restarts == 2
+        assert result.conservation_ok()
+
+    def test_same_seed_identical_fingerprint_and_dump(self):
+        first, dump_a = run_pool(seed=b"fp-seed", crash=0.5)
+        second, dump_b = run_pool(seed=b"fp-seed", crash=0.5)
+        assert first.fingerprint() == second.fingerprint()
+        assert dump_a == dump_b
+
+    def test_different_scheduler_seed_changes_schedule_not_outcome(self):
+        first, _ = run_pool(seed=b"seed-a")
+        second, _ = run_pool(seed=b"seed-b")
+        assert sorted(first.accepted_ids) == sorted(second.accepted_ids)
+        assert first.conservation_ok() and second.conservation_ok()
+
+    def test_worker_count_does_not_change_stored_payloads(self):
+        def stored(workers):
+            deployment = build_deployment()
+            try:
+                pool = ShardWorkerPool(
+                    deployment, workers=workers, scheduler_seed=b"wc-seed"
+                )
+                pool.run(sample_jobs())
+                db = deployment.mws.message_db
+                return sorted(
+                    (record.attribute, record.ciphertext)
+                    for index in range(db.shard_count)
+                    for record in db.shard(index).records()
+                )
+            finally:
+                deployment.close()
+
+        assert stored(1) == stored(4)
+
+    def test_retrievals_interleave_with_deposits(self):
+        result, _dump = run_pool(jobs=sample_jobs(messages_per_device=6))
+        # Paging ran concurrently: more than one page, and the transcript
+        # shows page fetches between deposit completions.
+        assert result.pages >= 1
+        steps = result.transcript
+        first_page = next(i for i, e in enumerate(steps) if e.startswith("page:"))
+        last_done = max(i for i, e in enumerate(steps) if e.startswith("done:"))
+        assert first_page < last_done
+
+    def test_rebalance_refused_while_pool_holds_lease(self):
+        deployment = build_deployment()
+        try:
+            warehouse = deployment.mws.message_db
+            with warehouse.worker_lease(2):
+                with pytest.raises(StorageError, match="offline-only"):
+                    warehouse.rebalance([None])
+            # Lease released: rebalance works again.
+            assert warehouse.rebalance([None]) >= 0
+        finally:
+            deployment.close()
+
+    def test_rejects_zero_workers(self):
+        deployment = build_deployment()
+        try:
+            with pytest.raises(ProtocolError, match=">= 1 worker"):
+                ShardWorkerPool(deployment, workers=0)
+        finally:
+            deployment.close()
+
+    def test_worker_metrics_exported(self):
+        deployment = build_deployment()
+        try:
+            pool = ShardWorkerPool(deployment, workers=2, scheduler_seed=b"m-seed")
+            result = pool.run(sample_jobs())
+            snapshot = deployment.registry.snapshot()
+            counters = snapshot["counters"]
+            assert counters["runtime.jobs.completed"] >= 1
+            worker_jobs = sum(
+                value
+                for name, value in counters.items()
+                if name.startswith("runtime.worker.") and name.endswith(".jobs")
+            )
+            assert worker_jobs == counters["runtime.jobs.completed"]
+            assert snapshot["gauges"]["runtime.steps"] == result.steps
+        finally:
+            deployment.close()
+
+
+class TestParallelDepositRunner:
+    def test_inline_and_process_lanes_produce_identical_bytes(self):
+        def stored(lane, workers):
+            deployment = build_deployment(seed=b"par-eq", use_nonce=True)
+            try:
+                runner = ParallelDepositRunner(
+                    deployment, workers=workers, lane=lane, seed=b"par-eq-jobs"
+                )
+                stats = runner.run(sample_jobs(messages_per_device=2, devices=2))
+                assert stats["accepted"] == 4
+                db = deployment.mws.message_db
+                return sorted(
+                    (record.attribute, record.nonce, record.ciphertext)
+                    for index in range(db.shard_count)
+                    for record in db.shard(index).records()
+                )
+            finally:
+                deployment.close()
+
+        assert stored("inline", 1) == stored("process", 2)
+
+    def test_parallel_deposits_decrypt_end_to_end(self):
+        deployment = build_deployment(seed=b"par-dec", use_nonce=False)
+        try:
+            runner = ParallelDepositRunner(
+                deployment, workers=2, lane="inline", seed=b"par-dec-jobs"
+            )
+            jobs = [("par-dec-dev", [("ELECTRIC-G-SV", b"reading=7.5kWh")])]
+            stats = runner.run(jobs)
+            assert stats["accepted"] == 1
+            client = deployment.new_receiving_client(
+                "par-dec-rc", "par-dec-pw", attributes=["ELECTRIC-G-SV"]
+            )
+            retrieved = client.retrieve_and_decrypt(
+                deployment.rc_mws_channel(client.rc_id),
+                deployment.rc_pkg_channel(client.rc_id),
+            )
+            assert [message.plaintext for message in retrieved] == [
+                b"reading=7.5kWh"
+            ]
+        finally:
+            deployment.close()
+
+    def test_unknown_lane_rejected(self):
+        deployment = build_deployment()
+        try:
+            with pytest.raises(ProtocolError, match="unknown parallel lane"):
+                ParallelDepositRunner(deployment, lane="threads")
+        finally:
+            deployment.close()

@@ -1,0 +1,179 @@
+"""Tests for the deterministic cooperative task scheduler."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.mathlib.rand import HmacDrbg
+from repro.sim.clock import SimClock
+from repro.sim.scheduler import DeterministicScheduler, TaskState
+
+
+def _producer(log, name, count):
+    for index in range(count):
+        log.append(f"{name}:{index}")
+        yield
+    return count
+
+
+class TestScheduling:
+    def test_single_task_runs_to_completion(self):
+        log = []
+        scheduler = DeterministicScheduler(HmacDrbg(b"sched"))
+        task = scheduler.spawn("a", _producer(log, "a", 3))
+        scheduler.run()
+        assert task.state == TaskState.DONE
+        assert task.result == 3
+        assert log == ["a:0", "a:1", "a:2"]
+
+    def test_same_seed_same_interleaving(self):
+        def interleaving(seed):
+            log = []
+            scheduler = DeterministicScheduler(HmacDrbg(seed))
+            scheduler.spawn("a", _producer(log, "a", 5))
+            scheduler.spawn("b", _producer(log, "b", 5))
+            scheduler.spawn("c", _producer(log, "c", 5))
+            scheduler.run()
+            return log
+
+        assert interleaving(b"seed-1") == interleaving(b"seed-1")
+
+    def test_different_seeds_explore_different_interleavings(self):
+        def interleaving(seed):
+            log = []
+            scheduler = DeterministicScheduler(HmacDrbg(seed))
+            scheduler.spawn("a", _producer(log, "a", 8))
+            scheduler.spawn("b", _producer(log, "b", 8))
+            scheduler.run()
+            return log
+
+        logs = {tuple(interleaving(b"seed-%d" % index)) for index in range(6)}
+        assert len(logs) > 1
+
+    def test_interleaving_actually_mixes_tasks(self):
+        log = []
+        scheduler = DeterministicScheduler(HmacDrbg(b"mix"))
+        scheduler.spawn("a", _producer(log, "a", 10))
+        scheduler.spawn("b", _producer(log, "b", 10))
+        scheduler.run()
+        # A strictly serial schedule would be a:0..9 then b:0..9; the
+        # seeded picker interleaves.
+        assert log != sorted(log)
+
+    def test_results_and_states_recorded(self):
+        log = []
+        scheduler = DeterministicScheduler(HmacDrbg(b"sched"))
+        a = scheduler.spawn("a", _producer(log, "a", 2))
+        b = scheduler.spawn("b", _producer(log, "b", 4))
+        scheduler.run()
+        assert (a.result, b.result) == (2, 4)
+        assert a.steps == 3  # two yields + the final StopIteration step
+        assert scheduler.steps == len(log) + 2
+
+    def test_duplicate_task_name_rejected(self):
+        scheduler = DeterministicScheduler(HmacDrbg(b"sched"))
+        scheduler.spawn("a", _producer([], "a", 1))
+        with pytest.raises(SchedulerError, match="duplicate task name"):
+            scheduler.spawn("a", _producer([], "a", 1))
+
+    def test_clock_advances_per_step(self):
+        clock = SimClock(start_us=1_000)
+        scheduler = DeterministicScheduler(HmacDrbg(b"sched"), clock=clock, step_us=5)
+        scheduler.spawn("a", _producer([], "a", 3))
+        scheduler.run()
+        # 3 yields + 1 completing step, 5 us each.
+        assert clock.now_us() == 1_000 + 4 * 5
+
+
+class TestFailureAndKill:
+    def test_failure_propagates_after_drain(self):
+        log = []
+
+        def failing():
+            yield
+            raise ValueError("boom")
+
+        scheduler = DeterministicScheduler(HmacDrbg(b"sched"))
+        scheduler.spawn("bad", failing())
+        good = scheduler.spawn("good", _producer(log, "good", 4))
+        with pytest.raises(ValueError, match="boom"):
+            scheduler.run()
+        # The healthy task still drained before the failure re-raised.
+        assert good.state == TaskState.DONE
+        assert log == ["good:0", "good:1", "good:2", "good:3"]
+
+    def test_run_without_raise_collects_failures(self):
+        def failing():
+            yield
+            raise ValueError("boom")
+
+        scheduler = DeterministicScheduler(HmacDrbg(b"sched"))
+        bad = scheduler.spawn("bad", failing())
+        tasks = scheduler.run(raise_on_failure=False)
+        assert bad in tasks
+        assert bad.state == TaskState.FAILED
+        assert isinstance(bad.error, ValueError)
+
+    def test_kill_runs_finally_blocks(self):
+        cleaned = []
+
+        def holder():
+            try:
+                while True:
+                    yield
+            finally:
+                cleaned.append("released")
+
+        scheduler = DeterministicScheduler(HmacDrbg(b"sched"))
+        task = scheduler.spawn("holder", holder())
+        scheduler.step()
+        scheduler.kill(task)
+        assert task.state == TaskState.KILLED
+        assert cleaned == ["released"]
+
+    def test_interrupt_hook_kills_and_notifies(self):
+        killed = []
+        condemned = {"worker-1"}
+        scheduler = DeterministicScheduler(
+            HmacDrbg(b"sched"),
+            interrupt=lambda task: task.name in condemned,
+            on_kill=lambda task: killed.append(task.name),
+        )
+        log = []
+        scheduler.spawn("worker-0", _producer(log, "w0", 3))
+        doomed = scheduler.spawn("worker-1", _producer(log, "w1", 3))
+        scheduler.run()
+        assert killed == ["worker-1"]
+        assert doomed.state == TaskState.KILLED
+        # The doomed task never produced anything.
+        assert all(entry.startswith("w0") for entry in log)
+
+    def test_on_kill_may_spawn_replacement(self):
+        log = []
+        state = {"killed": False}
+
+        def interrupt(task):
+            return task.name == "worker-0-g0" and not state["killed"]
+
+        holder = {}
+
+        def on_kill(task):
+            state["killed"] = True
+            holder["scheduler"].spawn("worker-0-g1", _producer(log, "g1", 2))
+
+        scheduler = DeterministicScheduler(
+            HmacDrbg(b"sched"), interrupt=interrupt, on_kill=on_kill
+        )
+        holder["scheduler"] = scheduler
+        scheduler.spawn("worker-0-g0", _producer(log, "g0", 2))
+        scheduler.run()
+        assert log == ["g1:0", "g1:1"]
+
+    def test_max_steps_raises(self):
+        def forever():
+            while True:
+                yield
+
+        scheduler = DeterministicScheduler(HmacDrbg(b"sched"), max_steps=50)
+        scheduler.spawn("spin", forever())
+        with pytest.raises(SchedulerError, match="exceeded 50 steps"):
+            scheduler.run()

@@ -197,3 +197,66 @@ class TestShardedMessageDatabase:
     def test_rejects_zero_shards(self):
         with pytest.raises(StorageError):
             ShardedMessageDatabase(0)
+
+
+class TestWorkerLease:
+    """Pins for offline-only ``rebalance()`` under live workers.
+
+    Rebalance rewrites the routing ring while moving records between
+    shards; a concurrently-running worker could deposit into a shard
+    that is mid-migration.  The lease makes this impossible to do by
+    accident: the runtime holds one lease per worker, and rebalance
+    refuses outright while any lease is live.
+    """
+
+    def test_rebalance_refused_while_any_worker_is_live(self):
+        db = ShardedMessageDatabase(4)
+        deposit(db, ATTRIBUTES[0])
+        db.acquire_worker()
+        try:
+            with pytest.raises(StorageError, match="offline-only"):
+                db.rebalance([None])
+        finally:
+            db.release_worker()
+        # Fully drained: rebalance is allowed again.
+        assert db.shard_count == 4
+        db.rebalance([None])
+        assert db.shard_count == 5
+
+    def test_refusal_reports_live_worker_count(self):
+        db = ShardedMessageDatabase(2)
+        with db.worker_lease(3):
+            with pytest.raises(StorageError, match="3 live worker"):
+                db.rebalance([None])
+
+    def test_refusal_happens_even_for_empty_rebalance(self):
+        # The guard fires before the empty-new_stores fast path: an
+        # "offline" no-op is still an online-mutation hazard.
+        db = ShardedMessageDatabase(2)
+        with db.worker_lease():
+            with pytest.raises(StorageError, match="offline-only"):
+                db.rebalance([])
+        assert db.rebalance([]) == 0
+
+    def test_lease_counts_nest_and_release(self):
+        db = ShardedMessageDatabase(2)
+        assert db.live_workers == 0
+        with db.worker_lease(2):
+            assert db.live_workers == 2
+            with db.worker_lease():
+                assert db.live_workers == 3
+            assert db.live_workers == 2
+        assert db.live_workers == 0
+
+    def test_release_without_acquire_is_an_error(self):
+        db = ShardedMessageDatabase(2)
+        with pytest.raises(StorageError, match="release"):
+            db.release_worker()
+
+    def test_lease_released_when_body_raises(self):
+        db = ShardedMessageDatabase(2)
+        with pytest.raises(ValueError):
+            with db.worker_lease(2):
+                raise ValueError("worker died")
+        assert db.live_workers == 0
+        assert db.rebalance([]) == 0

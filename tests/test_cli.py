@@ -68,6 +68,7 @@ class TestBenchScale:
         argv = [
             "bench", "scale", "--meters", "1", "--batch-size", "3",
             "--timing-batch", "4", "--page-size", "4",
+            "--parallel-messages", "6",
             "--out", str(out),
         ]
         for flag, value in overrides.items():
@@ -95,6 +96,7 @@ class TestBenchGate:
     BASELINE = {
         "bench": "scale",
         "batch_timing": {"speedup": 3.0},
+        "parallel": {"speedup": 1.0},
     }
 
     def write(self, tmp_path, name, dump):
@@ -105,7 +107,7 @@ class TestBenchGate:
     def test_within_budget_passes(self, tmp_path, capsys):
         base = self.write(tmp_path, "base.json", self.BASELINE)
         cur = self.write(
-            tmp_path, "cur.json", {"bench": "scale", "batch_timing": {"speedup": 2.4}}
+            tmp_path, "cur.json", {"bench": "scale", "batch_timing": {"speedup": 2.4}, "parallel": {"speedup": 1.0}}
         )
         assert main(["bench-gate", base, cur]) == 0
         assert "OK" in capsys.readouterr().out
@@ -113,7 +115,7 @@ class TestBenchGate:
     def test_regression_fails(self, tmp_path, capsys):
         base = self.write(tmp_path, "base.json", self.BASELINE)
         cur = self.write(
-            tmp_path, "cur.json", {"bench": "scale", "batch_timing": {"speedup": 1.5}}
+            tmp_path, "cur.json", {"bench": "scale", "batch_timing": {"speedup": 1.5}, "parallel": {"speedup": 1.0}}
         )
         assert main(["bench-gate", base, cur]) == 1
         assert "REGRESSED" in capsys.readouterr().out
@@ -121,7 +123,7 @@ class TestBenchGate:
     def test_improvement_passes(self, tmp_path):
         base = self.write(tmp_path, "base.json", self.BASELINE)
         cur = self.write(
-            tmp_path, "cur.json", {"bench": "scale", "batch_timing": {"speedup": 9.0}}
+            tmp_path, "cur.json", {"bench": "scale", "batch_timing": {"speedup": 9.0}, "parallel": {"speedup": 1.0}}
         )
         assert main(["bench-gate", base, cur]) == 0
 
