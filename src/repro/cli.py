@@ -57,11 +57,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser(
         "bench", help="micro-benchmarks; writes a BENCH_*.json trajectory file"
     )
-    bench.add_argument("target", choices=["pairing", "scale"],
+    bench.add_argument("target", choices=["pairing", "scale", "availability"],
                        help="'pairing': legacy vs fast-path pairing and the "
                        "FIG4-style deposit phase; 'scale': fleet load "
                        "generation against a sharded warehouse with batched "
-                       "deposits and paged retrieval")
+                       "deposits and paged retrieval; 'availability': "
+                       "replicated-warehouse conservation under seeded "
+                       "fault plans plus online-rebalance p99 latency")
     bench.add_argument("--preset", default=None,
                        help="pairing preset (default: TEST80 for 'pairing', "
                        "TOY64 for 'scale')")
@@ -69,8 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pairing evaluations per timed variant")
     bench.add_argument("--messages", type=int, default=20,
                        help="deposits per timed deposit-phase variant")
-    bench.add_argument("--shards", type=int, default=4,
-                       help="scale: message-warehouse shard count")
+    bench.add_argument("--shards", type=int, default=None,
+                       help="message-warehouse shard count (default: 4 for "
+                       "'scale', 2 for 'availability' so the rebalance "
+                       "plans actually relocate attributes)")
     bench.add_argument("--meters", type=int, default=2,
                        help="scale: meters per kind (fleet size / 3)")
     bench.add_argument("--batch-size", type=int, default=8,
@@ -88,6 +92,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--parallel-messages", type=int, default=48,
                        help="scale: messages per width in the "
                        "real-parallel throughput sweep")
+    bench.add_argument("--replicas", type=int, default=2,
+                       help="availability: copies per shard (>= 2 so "
+                       "failover has a follower to promote)")
+    bench.add_argument("--quorum", type=int, default=None,
+                       help="availability: acks per mutation "
+                       "(default: majority)")
+    bench.add_argument("--devices", type=int, default=3,
+                       help="availability: devices in the workload")
+    bench.add_argument("--latency-samples", type=int, default=400,
+                       help="availability: per-store latency samples "
+                       "per timing block")
+    bench.add_argument("--p99-bound", type=float, default=3.0,
+                       help="availability: acceptance bound on "
+                       "p99(rebalance)/p99(steady)")
     bench.add_argument("--out", default=None,
                        help="output JSON path ('-' for stdout only; default: "
                        "BENCH_<target>.json)")
@@ -276,6 +294,8 @@ def _cmd_crypto_check(_args) -> int:
 
 def _cmd_bench(args) -> int:
     """Dispatch to the selected benchmark target."""
+    if args.target == "availability":
+        return _bench_availability(args)
     if args.target == "scale":
         return _bench_scale(args)
     return _bench_pairing(args)
@@ -424,7 +444,7 @@ def _bench_scale(args) -> int:
 
     dump = run_scale(
         ScaleConfig(
-            shards=args.shards,
+            shards=args.shards if args.shards is not None else 4,
             meters_per_kind=args.meters,
             batch_size=args.batch_size,
             timing_batch=args.timing_batch,
@@ -485,6 +505,71 @@ def _bench_scale(args) -> int:
     return 0
 
 
+def _bench_availability(args) -> int:
+    """Run the replicated-availability harness; write ``BENCH_availability.json``.
+
+    Exit status enforces the ISSUE 7 acceptance bar directly: every
+    seeded fault plan must conserve the message multiset with
+    byte-identical ciphertexts and a reproducible transcript, and the
+    online-rebalance p99 store latency must stay within ``--p99-bound``
+    of steady state.
+    """
+    import json
+
+    from repro.sim.availability import AvailabilityConfig, run_availability
+
+    dump = run_availability(
+        AvailabilityConfig(
+            shards=args.shards if args.shards is not None else 2,
+            replicas=args.replicas,
+            quorum=args.quorum,
+            workers=args.workers if args.workers > 1 else 2,
+            devices=args.devices,
+            batch_size=args.batch_size,
+            page_size=args.page_size,
+            preset=args.preset if args.preset else "TOY64",
+            seed=args.seed.encode()
+            if args.seed != "repro-scale"
+            else b"repro-availability",
+            latency_samples=args.latency_samples,
+            p99_bound=args.p99_bound,
+        )
+    )
+    out = args.out if args.out is not None else "BENCH_availability.json"
+    text = json.dumps(dump, sort_keys=True, indent=args.indent) + "\n"
+    if out != "-":
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {out}")
+    else:
+        sys.stdout.write(text)
+
+    for row in dump["fault_plans"]:
+        print(
+            f"plan {row['plan']}: accepted {row['accepted']}, "
+            f"failovers {row['failovers']}, crashes {row['crashes']}, "
+            f"moves {row['rebalance_moves']}, "
+            f"{'ok' if row['ok'] else 'FAILED'}"
+        )
+    latency = dump["rebalance_latency"]
+    print(
+        f"rebalance p99: steady {latency['steady_p99_ms']} ms -> "
+        f"during drain {latency['rebalance_p99_ms']} ms "
+        f"(ratio {latency['p99_ratio']}x, bound {latency['bound']}x)"
+    )
+    failed = [row["plan"] for row in dump["fault_plans"] if not row["ok"]]
+    if failed:
+        print(f"FAIL: fault plan(s) broke conservation: {', '.join(failed)}")
+        return 1
+    if not latency["within_bound"]:
+        print(
+            f"FAIL: rebalance p99 ratio {latency['p99_ratio']}x exceeds "
+            f"{latency['bound']}x bound"
+        )
+        return 1
+    return 0
+
+
 #: Ratios gated by ``repro bench-gate``, per bench kind.  Gating on
 #: speedups rather than absolute milliseconds keeps the gate meaningful
 #: across machines: a CI runner is slower than the laptop that wrote
@@ -498,6 +583,11 @@ _GATED_RATIOS = {
     "scale": [
         ("batch_timing", "speedup"),
         ("parallel", "speedup"),
+    ],
+    # ok_fraction is 1.0 when every seeded fault plan conserves; any
+    # broken plan drops it below the regression floor and fails CI.
+    "availability": [
+        ("summary", "ok_fraction"),
     ],
 }
 

@@ -104,11 +104,21 @@ class RuntimeResult:
     rejected: int = 0
     #: message_id -> times seen across all retrieval pages.
     retrieved_counts: dict[int, int] = field(default_factory=dict)
+    #: message_id -> sha256 hex of the retrieved ciphertext bytes.  The
+    #: availability suite compares these across fault plans to pin that
+    #: replication and rebalance never rewrite a stored ciphertext.
+    retrieved_digests: dict[int, str] = field(default_factory=dict)
     shard_counts: list[int] = field(default_factory=list)
     crashes: int = 0
     restarts: int = 0
+    #: Shard-leader failovers the chaos task injected this run.
+    failovers: int = 0
+    #: Records drained by the online rebalance task (if one ran).
+    rebalance_moves: int = 0
     steps: int = 0
     pages: int = 0
+    #: Times a re-retrieved message came back with different bytes.
+    digest_conflicts: int = 0
     transcript: list[str] = field(default_factory=list)
 
     @property
@@ -128,9 +138,10 @@ class RuntimeResult:
     def conservation_ok(self) -> bool:
         """The PR 5 law under concurrency: no loss, no duplication.
 
-        Every accepted deposit is retrieved exactly once, nothing extra
-        is retrieved, and the shards account for exactly the accepted
-        set.
+        Every accepted deposit is retrieved exactly once with its
+        original bytes, nothing extra is retrieved, and the shards
+        account for exactly the accepted set — even across failovers
+        and a live rebalance.
         """
         return (
             not self.duplicate_ids
@@ -138,6 +149,7 @@ class RuntimeResult:
             and set(self.retrieved_counts) == set(self.accepted_ids)
             and len(self.accepted_ids) == len(set(self.accepted_ids))
             and sum(self.shard_counts) == len(self.accepted_ids)
+            and self.digest_conflicts == 0
         )
 
     def fingerprint(self) -> str:
@@ -178,6 +190,10 @@ class ShardWorkerPool:
         page_size: int = 8,
         retrieve_every: int = 4,
         max_steps: int = 1_000_000,
+        failover_every: int = 8,
+        rebalance_stores: list | None = None,
+        rebalance_after: int = 1,
+        rebalance_crash_after: int | None = None,
     ) -> None:
         if workers < 1:
             raise ProtocolError(f"worker pool needs >= 1 worker, got {workers}")
@@ -186,12 +202,22 @@ class ShardWorkerPool:
         self._page_size = page_size
         self._retrieve_every = max(1, retrieve_every)
         self._max_steps = max_steps
+        #: Steps between chaos-task leader-kill rolls (fault-plan gated).
+        self._failover_every = max(1, failover_every)
+        #: When set, an online-rebalance task drains the warehouse onto
+        #: these extra shards once ``rebalance_after`` sub-jobs landed.
+        self._rebalance_stores = rebalance_stores
+        self._rebalance_after = max(0, rebalance_after)
+        #: Kill the drain after this many moves (mid-rebalance crash
+        #: model); recovery finishes the drain at end of run.
+        self._rebalance_crash_after = rebalance_crash_after
         self._rng = HmacDrbg(derive_seed(scheduler_seed, b"schedule"))
         registry = deployment.registry
         self._jobs_completed = registry.counter("runtime.jobs.completed")
         self._jobs_requeued = registry.counter("runtime.jobs.requeued")
         self._crashes = registry.counter("runtime.crashes")
         self._restarts = registry.counter("runtime.restarts")
+        self._failovers = registry.counter("runtime.failovers")
         self._pages = registry.counter("runtime.retrieval.pages")
         self._retrieval_retries = registry.counter("runtime.retrieval.retries")
         self._steps_gauge = registry.gauge("runtime.steps")
@@ -319,10 +345,72 @@ class ShardWorkerPool:
             for message in page.messages:
                 counts = self._result.retrieved_counts
                 counts[message.message_id] = counts.get(message.message_id, 0) + 1
+                # The digest fingerprints an already-public ciphertext for
+                # the conservation check; comparing it leaks nothing.
+                # # repro-lint: nonsecret=digest,known
+                digest = sha256(message.ciphertext).hex()
+                known = self._result.retrieved_digests.get(message.message_id)
+                if known is None:
+                    self._result.retrieved_digests[message.message_id] = digest
+                elif known != digest:
+                    self._result.digest_conflicts += 1
+                    self._note(f"digest-conflict:{message.message_id}")
             self._note(f"page:c{cursor}:n{len(page.messages)}")
             cursor = page.next_cursor
             if not page.has_more and self._deposits_done():
                 return
+
+    def _chaos_loop(self, warehouse):
+        """Roll the fault plan for shard-leader kills while deposits run.
+
+        Each tick consults ``decide_leader_kill`` (its own seeded
+        stream), fails over the chosen shard's leader, and records the
+        post-promotion watermark in the transcript — the promoted
+        follower is already caught up to it, which is the
+        read-your-writes guarantee the retrieval task rides on.
+        """
+        plan = getattr(self._deployment.network, "fault_plan", None)
+        shard_count = warehouse.shard_count
+        while not self._deposits_done():
+            for _ in range(self._failover_every):
+                if self._deposits_done():
+                    return
+                yield
+            victim = plan.decide_leader_kill(shard_count)
+            if victim is None:
+                continue
+            promoted = warehouse.fail_shard_leader(victim)
+            self._result.failovers += 1
+            self._failovers.inc()
+            watermark = warehouse.shard_watermarks()[victim]
+            self._note(f"failover:s{victim}:r{promoted}:w{watermark}")
+
+    def _rebalance_loop(self, warehouse):
+        """Drive an online drain one move per step while traffic flows.
+
+        With ``rebalance_crash_after`` the drain abandons mid-flight
+        (the crash model); the run's recovery path finishes the drain
+        after the scheduler stops, and the dual-ring read path keeps
+        every record retrievable in between.
+        """
+        while self._completed_subs < self._rebalance_after:
+            if self._deposits_done():
+                break
+            yield
+        self._note(f"rebalance:start:+{len(self._rebalance_stores)}")
+        drain = warehouse.rebalance_online(list(self._rebalance_stores))
+        moved = 0
+        for moved in drain:
+            self._result.rebalance_moves = moved
+            if (
+                self._rebalance_crash_after is not None
+                and moved >= self._rebalance_crash_after
+            ):
+                drain.close()
+                self._note(f"rebalance:crash:m{moved}")
+                return
+            yield
+        self._note(f"rebalance:done:m{moved}")
 
     # -- crash plumbing ---------------------------------------------------
 
@@ -423,6 +511,19 @@ class ShardWorkerPool:
             )
 
         warehouse = self._deployment.mws.message_db
+        plan = getattr(self._deployment.network, "fault_plan", None)
+        if plan is not None and hasattr(warehouse, "install_fault_plan"):
+            warehouse.install_fault_plan(plan)
+        if (
+            plan is not None
+            and getattr(plan.worker_spec, "leader_kill", 0.0) > 0.0
+            and getattr(warehouse, "replicas", 1) > 1
+        ):
+            self._scheduler.spawn("chaos-failover", self._chaos_loop(warehouse))
+        if self._rebalance_stores and hasattr(warehouse, "rebalance_online"):
+            self._scheduler.spawn(
+                "rebalance-drain", self._rebalance_loop(warehouse)
+            )
         lease = (
             warehouse.worker_lease(self._workers)
             if hasattr(warehouse, "worker_lease")
@@ -442,6 +543,13 @@ class ShardWorkerPool:
         finally:
             if lease is not None:
                 lease.__exit__(None, None, None)
+
+        if getattr(warehouse, "rebalancing", False):
+            # A crashed drain left the dual-ring read path active;
+            # recovery completes the remaining moves before accounting.
+            recovered = warehouse.finish_rebalance()
+            self._result.rebalance_moves += recovered
+            self._note(f"rebalance:recovered:m{recovered}")
 
         for name, index in self._task_workers.items():
             for task in self._scheduler.tasks:

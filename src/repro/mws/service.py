@@ -78,6 +78,12 @@ class MwsConfig:
     #: Explicit per-shard backends (overrides ``message_shards``; None
     #: entries mean in-memory).  Ignored when sharding is off.
     message_shard_stores: list | None = None
+    #: Copies kept per shard.  1 keeps the classic unreplicated layout;
+    #: >1 turns every shard into a WAL-shipped ReplicaSet with quorum
+    #: acks and leader failover (docs/REPLICATION.md).
+    message_replicas: int = 1
+    #: Acks required per mutation when replicated; None means majority.
+    replication_quorum: int | None = None
     alerts: list = field(default_factory=list)
     #: Optional IbeVerifier: deposits may carry identity-based signatures
     #: (§VIII future work); with ``require_device_signature`` they must.
@@ -117,13 +123,24 @@ class MessageWarehousingService:
         self._batch_items_rejected = self.registry.counter(
             "mws.deposits.batch_items_rejected"
         )
+        replicas = self._config.message_replicas
+        quorum = self._config.replication_quorum
         if self._config.message_shard_stores is not None:
             self.message_db = ShardedMessageDatabase(
-                self._config.message_shard_stores, registry=self.registry
+                self._config.message_shard_stores,
+                registry=self.registry,
+                replicas=replicas,
+                quorum=quorum,
             )
-        elif self._config.message_shards > 1:
+        elif self._config.message_shards > 1 or replicas > 1:
+            # Replication without explicit sharding still routes through
+            # the shard layer (a one-shard ring) so failover, watermarks
+            # and the lease surface are uniform.
             self.message_db = ShardedMessageDatabase(
-                self._config.message_shards, registry=self.registry
+                self._config.message_shards,
+                registry=self.registry,
+                replicas=replicas,
+                quorum=quorum,
             )
         else:
             self.message_db = MessageDatabase(self._config.message_store)

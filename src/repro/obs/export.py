@@ -33,7 +33,13 @@ __all__ = ["build_dump", "dump_to_json"]
 #: gains ``sim.faults.worker_crashes`` / ``sim.faults.worker_restarts``.
 #: Strictly additive — v1..v3 consumers that ignore unknown keys keep
 #: working (see docs/OBSERVABILITY.md §4).
-DUMP_SCHEMA_VERSION = 4
+#:
+#: v5 adds the replicated-warehouse families (``replication.shard.<i>.*``
+#: WAL-shipping/ack/failover counters, ``storage.wal.shard.<i>.*``
+#: append/byte counters, ``runtime.failovers``) and the fault plan gains
+#: ``sim.faults.leader_kills`` / ``sim.faults.follower_lags``.  Still
+#: strictly additive.
+DUMP_SCHEMA_VERSION = 5
 
 
 def build_dump(registry, tracer=None, crypto=None, meta=None) -> dict:

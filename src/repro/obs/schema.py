@@ -53,6 +53,8 @@ KNOWN_METRICS: frozenset[str] = frozenset({
     "sim.faults.partition_drops",
     "sim.faults.worker_crashes",
     "sim.faults.worker_restarts",
+    "sim.faults.leader_kills",
+    "sim.faults.follower_lags",
     "net.request_bytes",
     "net.response_bytes",
     "net.messages_sent",
@@ -69,6 +71,8 @@ KNOWN_METRICS: frozenset[str] = frozenset({
     "runtime.steps",
     "runtime.retrieval.pages",
     "runtime.retrieval.retries",
+    # -- replicated warehouse (storage/replication.py, schema v5) ----------
+    "runtime.failovers",
 })
 
 #: Name families minted per instance (device id, endpoint name, crypto
@@ -85,6 +89,8 @@ KNOWN_METRIC_PREFIXES: tuple[str, ...] = (
     "cache.",            # CryptoCache hit/miss counters
     "storage.shard.",    # per-shard deposit counters and message gauges
     "runtime.worker.",   # per-worker job counters and busy-step histograms
+    "replication.shard.",  # per-shard WAL-shipping/ack/failover counters
+    "storage.wal.",      # per-shard write-ahead-log append/byte counters
 )
 
 

@@ -1,0 +1,295 @@
+"""Availability harness: conservation + failover latency for replicas.
+
+``repro bench availability`` wraps this module into
+``BENCH_availability.json``.  It drives the replicated, sharded
+warehouse through a battery of **seeded fault plans** — leader kills,
+worker crashes, follower lag, a crash in the middle of an online
+rebalance — and asserts the conservation law on every one:
+
+* every accepted deposit is retrieved exactly once (no loss, no
+  duplication), the shard counts account for the accepted set, and the
+  retrieved ciphertext bytes are identical across all plans (faults may
+  reorder work, never rewrite a stored ciphertext);
+* every plan is **deterministic**: the same seed reproduces the
+  scheduler transcript fingerprint and the observability dump byte for
+  byte, so any failing plan is replayable.
+
+A second section measures what an *online* rebalance costs live
+traffic: per-store latency on the warehouse write path is sampled in
+steady state and again while a drain interleaves one record move per
+deposit, and the p99 ratio must stay within ``p99_bound`` (ISSUE 7
+acceptance: 3x).  This is the one wall-clock measurement in the
+harness; everything else runs on simulated time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.mathlib.rand import HmacDrbg, derive_seed
+from repro.mws.runtime import ShardWorkerPool
+from repro.mws.service import MwsConfig
+from repro.sim.faults import FaultPlan, WorkerFaultSpec
+from repro.storage.sharding import ShardedMessageDatabase
+
+__all__ = ["AvailabilityConfig", "FAULT_PLANS", "run_availability"]
+
+#: The seeded fault-plan battery: (name, spec kwargs, pool kwargs).
+#: Every plan runs the same workload on the same deployment seed, so
+#: the produced ciphertext multiset must be identical across rows.
+FAULT_PLANS: tuple[tuple[str, dict, dict], ...] = (
+    ("clean", {}, {}),
+    ("leader-kills", {"leader_kill": 0.7, "max_leader_kills": 3}, {}),
+    (
+        "crashes-and-leader-kills",
+        {
+            "crash": 0.3,
+            "max_crashes": 2,
+            "leader_kill": 0.5,
+            "max_leader_kills": 2,
+        },
+        {},
+    ),
+    # quorum=1 leaves the second replica outside the ack set — the only
+    # way a 2-replica deployment has a follower that is *allowed* to lag.
+    (
+        "follower-lag",
+        {"leader_kill": 0.7, "max_leader_kills": 3, "follower_lag": 0.8},
+        {"quorum": 1},
+    ),
+    ("online-rebalance", {}, {"rebalance": True}),
+    (
+        "rebalance-under-kills",
+        {"leader_kill": 0.5, "max_leader_kills": 2},
+        {"rebalance": True},
+    ),
+    ("mid-rebalance-crash", {}, {"rebalance": True, "rebalance_crash_after": 3}),
+)
+
+
+@dataclass
+class AvailabilityConfig:
+    """Knobs for one availability run (defaults sized for CI)."""
+
+    #: Warehouse shards in the fault-plan battery.
+    shards: int = 2
+    #: Copies per shard (>= 2 so failover has somewhere to promote).
+    replicas: int = 2
+    #: Acks per mutation; None = majority.
+    quorum: int | None = None
+    #: Deposit workers in the simulated pool.
+    workers: int = 2
+    #: Devices in the workload.
+    devices: int = 3
+    #: Readings per device.
+    batch_size: int = 4
+    #: Retrieval page size.
+    page_size: int = 8
+    #: Pairing preset (TOY64 keeps CI fast).
+    preset: str = "TOY64"
+    #: Master seed; each plan and lane takes a derived child stream.
+    seed: bytes = b"repro-availability"
+    #: Extra shards the rebalance plans drain onto.
+    rebalance_shards: int = 2
+    #: Per-store latency samples in each timing block.
+    latency_samples: int = 400
+    #: Acceptance bound on p99(rebalance) / p99(steady).
+    p99_bound: float = 3.0
+    #: Attribute names the workload cycles through.
+    attributes: tuple[str, ...] = (
+        "ELECTRIC-P-SV",
+        "WATER-P-SV",
+        "GAS-P-SV",
+    )
+    extra: dict = field(default_factory=dict)
+
+
+def _workload(config: AvailabilityConfig) -> list[tuple[str, list[tuple[str, bytes]]]]:
+    """The fixed job list every fault plan deposits (plan-independent)."""
+    return [
+        (
+            f"avail-dev-{index}",
+            [
+                (
+                    config.attributes[seq % len(config.attributes)],
+                    f"device=avail-{index};seq={seq};reading".encode("ascii"),
+                )
+                for seq in range(config.batch_size)
+            ],
+        )
+        for index in range(config.devices)
+    ]
+
+
+def _run_plan(config: AvailabilityConfig, name: str, spec_kwargs: dict, pool_kwargs: dict):
+    """One seeded run of one fault plan; returns (result, obs_dump)."""
+    deployment = Deployment.build(
+        DeploymentConfig(
+            preset=config.preset,
+            rsa_bits=768,
+            seed=derive_seed(config.seed, b"deployment"),
+            mws=MwsConfig(
+                message_shards=config.shards,
+                message_replicas=config.replicas,
+                replication_quorum=pool_kwargs.get("quorum", config.quorum),
+            ),
+        )
+    )
+    try:
+        plan = FaultPlan(
+            HmacDrbg(derive_seed(config.seed, b"plan:" + name.encode("ascii"))),
+            registry=deployment.registry,
+        )
+        plan.set_worker_faults(WorkerFaultSpec(**spec_kwargs))
+        deployment.network.install_fault_plan(plan)
+        rebalance = pool_kwargs.get("rebalance", False)
+        pool = ShardWorkerPool(
+            deployment,
+            workers=config.workers,
+            scheduler_seed=derive_seed(config.seed, b"schedule:" + name.encode("ascii")),
+            page_size=config.page_size,
+            failover_every=3,
+            rebalance_stores=[None] * config.rebalance_shards if rebalance else None,
+            rebalance_after=2,
+            rebalance_crash_after=pool_kwargs.get("rebalance_crash_after"),
+        )
+        result = pool.run(_workload(config))
+        counters = dict(plan.counters)
+        return result, deployment.obs_dump_json(), counters
+    finally:
+        deployment.close()
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    """The ``fraction`` percentile of ``samples`` (nearest-rank)."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+def _measure_rebalance_latency(config: AvailabilityConfig) -> dict:
+    """p99 per-store latency: steady state vs during an online drain.
+
+    Measures the warehouse write path directly (store through the
+    replicated shard router) so the comparison isolates exactly what the
+    drain adds — the dual-ring routing check and the interleaved record
+    moves — from protocol and crypto noise.  Steady-state samples come
+    first on a pre-populated warehouse of the same size.
+    """
+    samples = config.latency_samples
+    attributes = config.attributes
+
+    def populate(db: ShardedMessageDatabase, count: int) -> None:
+        for index in range(count):
+            db.store(
+                "lat-dev",
+                attributes[index % len(attributes)],
+                index.to_bytes(4, "big"),
+                b"ciphertext-" + index.to_bytes(4, "big"),
+                index * 10,
+            )
+
+    def timed_stores(db: ShardedMessageDatabase, count: int, offset: int, drain=None) -> list[float]:
+        durations = []
+        for index in range(count):
+            attribute = attributes[index % len(attributes)]
+            nonce = (offset + index).to_bytes(4, "big")
+            started = time.perf_counter()
+            db.store("lat-dev", attribute, nonce, b"ciphertext-" + nonce, offset + index)
+            durations.append(time.perf_counter() - started)
+            if drain is not None:
+                next(drain, None)
+        return durations
+
+    steady_db = ShardedMessageDatabase(config.shards, replicas=config.replicas, quorum=config.quorum)
+    populate(steady_db, samples)
+    steady = timed_stores(steady_db, samples, offset=10_000)
+    steady_db.close()
+
+    moving_db = ShardedMessageDatabase(config.shards, replicas=config.replicas, quorum=config.quorum)
+    populate(moving_db, samples)
+    with moving_db.worker_lease(1):
+        drain = moving_db.rebalance_online([None] * config.rebalance_shards)
+        during = timed_stores(moving_db, samples, offset=20_000, drain=drain)
+        for _ in drain:  # finish any remaining moves
+            pass
+    total = len(moving_db)
+    moving_db.close()
+
+    steady_p99 = _percentile(steady, 0.99)
+    during_p99 = _percentile(during, 0.99)
+    ratio = during_p99 / steady_p99 if steady_p99 > 0 else 0.0
+    return {
+        "samples": samples,
+        "steady_p99_ms": round(steady_p99 * 1e3, 4),
+        "rebalance_p99_ms": round(during_p99 * 1e3, 4),
+        "p99_ratio": round(ratio, 3),
+        "bound": config.p99_bound,
+        "within_bound": ratio <= config.p99_bound,
+        "messages_after": total,
+    }
+
+
+def run_availability(config: AvailabilityConfig | None = None) -> dict:
+    """Run the battery and return the ``BENCH_availability.json`` dict."""
+    config = config if config is not None else AvailabilityConfig()
+    plans = []
+    clean_digests: list[str] | None = None
+    for name, spec_kwargs, pool_kwargs in FAULT_PLANS:
+        result, dump, counters = _run_plan(config, name, spec_kwargs, pool_kwargs)
+        replay, replay_dump, _ = _run_plan(config, name, spec_kwargs, pool_kwargs)
+        digests = sorted(result.retrieved_digests.values())
+        if clean_digests is None:
+            clean_digests = digests
+        deterministic = (
+            result.fingerprint() == replay.fingerprint() and dump == replay_dump
+        )
+        row = {
+            "plan": name,
+            "accepted": len(result.accepted_ids),
+            "retrieved": len(result.retrieved_counts),
+            "shard_counts": result.shard_counts,
+            "crashes": result.crashes,
+            "failovers": result.failovers,
+            "leader_kills": counters.get("leader_kills", 0),
+            "follower_lags": counters.get("follower_lags", 0),
+            "rebalance_moves": result.rebalance_moves,
+            "conservation_ok": result.conservation_ok(),
+            "ciphertexts_identical": digests == clean_digests,
+            "deterministic": deterministic,
+            "fingerprint": result.fingerprint(),
+        }
+        row["ok"] = (
+            row["conservation_ok"]
+            and row["ciphertexts_identical"]
+            and row["deterministic"]
+        )
+        plans.append(row)
+
+    latency = _measure_rebalance_latency(config)
+    ok_plans = sum(1 for row in plans if row["ok"])
+    return {
+        "bench": "availability",
+        "schema_version": 1,
+        "meta": {
+            "preset": config.preset,
+            "seed": config.seed.decode("utf-8", "replace"),
+            "shards": config.shards,
+            "replicas": config.replicas,
+            "quorum": config.quorum,
+            "workers": config.workers,
+            "devices": config.devices,
+            "batch_size": config.batch_size,
+        },
+        "fault_plans": plans,
+        "rebalance_latency": latency,
+        "summary": {
+            "plans": len(plans),
+            "conserved": ok_plans,
+            "ok_fraction": round(ok_plans / len(plans), 3),
+            "p99_ratio": latency["p99_ratio"],
+            "p99_within_bound": latency["within_bound"],
+        },
+    }

@@ -54,19 +54,33 @@ class FaultSpec:
 
 @dataclass(frozen=True)
 class WorkerFaultSpec:
-    """Worker crash/restart faults for the shard-parallel runtime.
+    """Worker and replica faults for the shard-parallel runtime.
 
     ``crash`` is the per-step probability that a worker dies before its
     next action; ``max_crashes`` caps the plan's total kills so a chaos
     schedule always terminates (every crash costs a restart, and an
     uncapped plan at ``crash=1.0`` would never let a worker finish).
+
+    ``leader_kill`` is the per-roll probability that a shard leader is
+    crashed and a follower promoted (``max_leader_kills`` caps the
+    total, same rationale).  ``follower_lag`` is the per-shipment
+    probability that a non-quorum follower defers applying a WAL frame
+    — the replication layer's catch-up path must then close the gap
+    before that follower can ever be promoted or serve reads.
     """
 
     crash: float = 0.0
     max_crashes: int = 8
+    leader_kill: float = 0.0
+    max_leader_kills: int = 4
+    follower_lag: float = 0.0
 
     def any_faults(self) -> bool:
-        return self.crash > 0.0 and self.max_crashes > 0
+        return (
+            (self.crash > 0.0 and self.max_crashes > 0)
+            or (self.leader_kill > 0.0 and self.max_leader_kills > 0)
+            or self.follower_lag > 0.0
+        )
 
 
 @dataclass(frozen=True)
@@ -126,6 +140,8 @@ class FaultPlan:
             "partition_drops",
             "worker_crashes",
             "worker_restarts",
+            "leader_kills",
+            "follower_lags",
         )
         if registry is not None:
             self.counters = registry.stats_dict("sim.faults", keys)
@@ -133,6 +149,8 @@ class FaultPlan:
             self.counters = {key: 0 for key in keys}
         self._worker_spec = WorkerFaultSpec()
         self._worker_rng: RandomSource = rng
+        self._leader_rng: RandomSource = rng
+        self._lag_rng: RandomSource = rng
 
     # -- configuration ----------------------------------------------------
 
@@ -159,19 +177,24 @@ class FaultPlan:
     def set_worker_faults(
         self, spec: WorkerFaultSpec, rng: RandomSource | None = None
     ) -> None:
-        """Enable worker crash/restart faults for the runtime.
+        """Enable worker crash/restart and replica faults for the runtime.
 
-        Crash decisions draw from their own stream (``rng``, defaulting
-        to a ``fork`` of the plan's source when available) so enabling
-        worker chaos cannot shift the link-fault schedule of an
-        otherwise identical run.
+        Each fault class draws from its own stream (forks of ``rng`` or
+        of the plan's source when available) so enabling one class —
+        worker crashes, leader kills, follower lag — cannot shift
+        another class's schedule in an otherwise identical run.
         """
         self._worker_spec = spec
-        if rng is not None:
-            self._worker_rng = rng
+        base = rng if rng is not None else self._rng
+        fork = getattr(base, "fork", None)
+        if fork:
+            self._worker_rng = fork(b"worker-faults")
+            self._leader_rng = fork(b"leader-kills")
+            self._lag_rng = fork(b"follower-lag")
         else:
-            fork = getattr(self._rng, "fork", None)
-            self._worker_rng = fork(b"worker-faults") if fork else self._rng
+            self._worker_rng = base
+            self._leader_rng = base
+            self._lag_rng = base
 
     @property
     def worker_spec(self) -> WorkerFaultSpec:
@@ -236,7 +259,9 @@ class FaultPlan:
         possible, so a capped-out plan stops consuming randomness.
         """
         spec = self._worker_spec
-        if not spec.any_faults():
+        if spec.crash <= 0.0 or spec.max_crashes <= 0:
+            # Early-out *before* touching the worker stream so a plan
+            # with only replica faults enabled consumes no crash rolls.
             return False
         if self.counters["worker_crashes"] >= spec.max_crashes:
             return False
@@ -251,6 +276,45 @@ class FaultPlan:
     def note_worker_restart(self) -> None:
         """Record that the runtime replaced a crashed worker."""
         self.counters["worker_restarts"] += 1
+
+    def decide_leader_kill(self, shard_count: int) -> int | None:
+        """Roll for one chaos tick: crash a shard leader now?
+
+        Returns the shard index to fail over, or ``None``.  Draws from
+        the dedicated leader stream and honours ``max_leader_kills``;
+        the victim shard is part of the same roll so a plan's kill
+        schedule is one deterministic sequence.
+        """
+        spec = self._worker_spec
+        if spec.leader_kill <= 0.0 or shard_count <= 0:
+            return None
+        if self.counters["leader_kills"] >= spec.max_leader_kills:
+            return None
+        if spec.leader_kill < 1.0:
+            if self._leader_rng.randbelow(1_000_000) >= int(
+                spec.leader_kill * 1_000_000
+            ):
+                return None
+        victim = self._leader_rng.randbelow(shard_count)
+        self.counters["leader_kills"] += 1
+        return victim
+
+    def decide_follower_lag(self) -> bool:
+        """Roll once per shipped frame: does this follower defer applying?
+
+        Consulted by the replica set only for followers beyond the ack
+        quorum, so lag can never delay an acknowledged write.
+        """
+        spec = self._worker_spec
+        if spec.follower_lag <= 0.0:
+            return False
+        if spec.follower_lag < 1.0:
+            if self._lag_rng.randbelow(1_000_000) >= int(
+                spec.follower_lag * 1_000_000
+            ):
+                return False
+        self.counters["follower_lags"] += 1
+        return True
 
     def total_injected(self) -> int:
         """Total faults injected so far (partition drops count once)."""

@@ -42,6 +42,9 @@ class ScaleConfig:
 
     #: Number of message-warehouse shards.
     shards: int = 4
+    #: Copies per shard (1 = unreplicated; >1 WAL-ships to followers
+    #: with quorum acks — docs/REPLICATION.md).
+    replicas: int = 1
     #: Fleet size: meters per kind (electric/water/gas).
     meters_per_kind: int = 2
     #: Readings deposited per device, as one batch.
@@ -133,7 +136,10 @@ def _run_simulated(config: ScaleConfig) -> dict:
             preset=config.preset,
             seed=derive_seed(config.seed, b"sim-deployment"),
             use_nonce=False,
-            mws=MwsConfig(message_shards=config.shards),
+            mws=MwsConfig(
+                message_shards=config.shards,
+                message_replicas=config.replicas,
+            ),
         )
     )
     try:
@@ -167,6 +173,7 @@ def _run_simulated(config: ScaleConfig) -> dict:
         result = pool.run(jobs)
         return {
             "workers": max(1, config.workers),
+            "replicas": max(1, config.replicas),
             "accepted": len(result.accepted_ids),
             "rejected": result.rejected,
             "crashes": result.crashes,

@@ -1,0 +1,416 @@
+"""Leader/follower replication for one warehouse shard via WAL shipping.
+
+The ROADMAP's capacity model is shards × replicas × workers; this module
+supplies the replicas.  A :class:`ReplicaSet` presents the exact
+:class:`~repro.storage.message_db.MessageDatabase` surface the MMS and
+the shard router consume, but keeps N copies in sync:
+
+* every mutation is appended to a per-shard
+  :class:`~repro.storage.wal.WriteAheadLog` first, then applied to the
+  leader and **shipped** (as encoded WAL frames) to each follower;
+* an acknowledgement requires a **quorum** of replicas (leader
+  included) to have applied the record — a deposit acked to a device is
+  therefore on at least ``quorum`` copies before the receipt leaves the
+  MWS, which is what makes leader failover lossless;
+* followers may **lag**: a fault plan can defer a non-quorum follower's
+  application, leaving the frames queued.  Catch-up replays the queue
+  in LSN order, and the decode path re-verifies every frame's CRC — a
+  corrupted shipped frame is refused, never half-applied;
+* :meth:`fail_leader` models a leader crash: the most-caught-up
+  follower is promoted (deterministic tie-break on replica index),
+  catches up to the committed watermark **before serving any read**
+  (read-your-writes across failover), and a fresh replica is seeded
+  from the WAL to restore the set to full strength.
+
+With ``replicas=1`` the set degenerates to a thin wrapper over a single
+``MessageDatabase`` — a pre-replication store opens unchanged under
+this code path, which the interop regression suite pins.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import StorageError
+from repro.storage.engine import MemoryStore, RecordStore
+from repro.storage.message_db import MessageDatabase, MessageRecord
+from repro.storage.wal import OP_DELETE, OP_STORE, WalRecord, WriteAheadLog
+
+__all__ = ["Replica", "ReplicaSet"]
+
+
+class Replica:
+    """One copy of a shard: a ``MessageDatabase`` plus its WAL position.
+
+    ``pending`` holds *encoded* WAL frames shipped but not yet applied —
+    the follower-lag window.  Application decodes each frame (CRC
+    verified) and replays it onto the local database in LSN order.
+    """
+
+    def __init__(self, db: MessageDatabase, replica_id: int) -> None:
+        self.db = db
+        self.replica_id = replica_id
+        self.applied_lsn = 0
+        self.pending: deque[bytes] = deque()
+
+    @property
+    def shipped_lsn(self) -> int:
+        """The LSN this replica would reach by draining its queue."""
+        return self.applied_lsn + len(self.pending)
+
+    def enqueue(self, frame: bytes) -> None:
+        self.pending.append(frame)
+
+    def apply_next(self) -> WalRecord:
+        """Decode and apply the oldest pending frame."""
+        frame = self.pending.popleft()
+        record = WalRecord.from_bytes(frame)
+        if record.lsn != self.applied_lsn + 1:
+            raise StorageError(
+                f"replica {self.replica_id} got lsn {record.lsn}, "
+                f"expected {self.applied_lsn + 1}"
+            )
+        if record.op == OP_STORE:
+            self.db.store_record(MessageRecord.from_bytes(record.payload))
+        elif record.op == OP_DELETE:
+            self.db.delete(int.from_bytes(record.payload, "big"))
+        else:  # pragma: no cover - append() rejects unknown ops already
+            raise StorageError(f"unknown WAL opcode {record.op}")
+        self.applied_lsn = record.lsn
+        return record
+
+    def catch_up(self, target_lsn: int) -> int:
+        """Apply pending frames until ``applied_lsn >= target_lsn``.
+
+        Returns how many records were applied.  Raises when the queue
+        runs dry short of the target — the set then re-ships from the
+        WAL instead.
+        """
+        applied = 0
+        while self.applied_lsn < target_lsn:
+            if not self.pending:
+                raise StorageError(
+                    f"replica {self.replica_id} stuck at lsn "
+                    f"{self.applied_lsn}, target {target_lsn}"
+                )
+            self.apply_next()
+            applied += 1
+        return applied
+
+
+class ReplicaSet:
+    """N replicated copies of one shard behind the MessageDatabase surface.
+
+    Parameters
+    ----------
+    stores:
+        Backing :class:`RecordStore` per replica (``None`` entries mean
+        in-memory), or an integer count of in-memory replicas.  The
+        first entry seeds the initial leader; a non-empty leader store
+        back-fills the WAL so followers converge on open.
+    quorum:
+        Replicas (leader included) that must have applied a mutation
+        before it is acknowledged.  Defaults to a majority.
+    registry / shard_index:
+        Observability: counters live under ``replication.shard.<i>.*``
+        and the WAL's under ``storage.wal.shard.<i>.*``.
+    lag_decider:
+        Optional zero-argument callable consulted once per (append,
+        non-quorum follower); returning True defers that follower's
+        application (the fault plan's ``decide_follower_lag``).
+    """
+
+    def __init__(
+        self,
+        stores: list[RecordStore | None] | int,
+        quorum: int | None = None,
+        registry=None,
+        shard_index: int = 0,
+        lag_decider=None,
+    ) -> None:
+        if isinstance(stores, int):
+            stores = [None] * stores
+        if not stores:
+            raise StorageError("replica set needs at least one replica")
+        count = len(stores)
+        if quorum is None:
+            quorum = count // 2 + 1
+        if not 1 <= quorum <= count:
+            raise StorageError(
+                f"quorum {quorum} out of range for {count} replica(s)"
+            )
+        self.quorum = quorum
+        self._lag_decider = lag_decider
+        self._next_replica_id = 0
+        self._replicas: list[Replica] = []
+        for store in stores:
+            self._replicas.append(self._new_replica(store))
+        self._leader = 0
+        prefix = f"replication.shard.{shard_index}"
+        if registry is not None:
+            self._wal = WriteAheadLog(
+                registry, prefix=f"storage.wal.shard.{shard_index}"
+            )
+            self._shipped = registry.counter(f"{prefix}.shipped")
+            self._acks = registry.counter(f"{prefix}.acks")
+            self._lagged = registry.counter(f"{prefix}.lagged")
+            self._failovers = registry.counter(f"{prefix}.failovers")
+            self._catchup = registry.counter(f"{prefix}.catchup_records")
+        else:
+            self._wal = WriteAheadLog()
+            self._shipped = self._acks = self._lagged = None
+            self._failovers = self._catchup = None
+        # A pre-loaded leader store back-fills the log so followers and
+        # late joiners have a complete history to replay.
+        leader_db = self._replicas[0].db
+        for record in leader_db.records():
+            wal_record = self._wal.append(OP_STORE, record.to_bytes())
+            self._replicas[0].applied_lsn = wal_record.lsn
+        if len(leader_db) and len(self._replicas) > 1:
+            for follower in self._replicas[1:]:
+                self._reseed(follower)
+
+    def _new_replica(self, store: RecordStore | None) -> Replica:
+        replica = Replica(
+            MessageDatabase(store if store is not None else MemoryStore()),
+            self._next_replica_id,
+        )
+        self._next_replica_id += 1
+        return replica
+
+    def _reseed(self, replica: Replica) -> None:
+        """Bring a (possibly fresh) replica to the tip of the log.
+
+        History still in the WAL is shipped as frames; history already
+        truncated away is snapshot-copied from the current leader (the
+        re-seed path :meth:`WriteAheadLog.since` demands).
+        """
+        replica.pending.clear()
+        if replica.applied_lsn < self._wal.base_lsn:
+            leader = self.leader
+            for record in leader.db.records():
+                replica.db.store_record(record)
+            replica.applied_lsn = leader.applied_lsn
+        for wal_record in self._wal.since(replica.applied_lsn):
+            replica.enqueue(wal_record.to_bytes())
+        replica.catch_up(self._wal.last_lsn)
+
+    # -- replication topology ---------------------------------------------
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._replicas)
+
+    @property
+    def leader_index(self) -> int:
+        return self._leader
+
+    @property
+    def leader(self) -> Replica:
+        return self._replicas[self._leader]
+
+    @property
+    def replicas(self) -> list[Replica]:
+        return list(self._replicas)
+
+    @property
+    def committed_lsn(self) -> int:
+        """The shard's write watermark: every ack covered this LSN."""
+        return self._wal.last_lsn
+
+    def watermark(self) -> int:
+        """Read-your-writes watermark a retrieval cursor carries."""
+        return self._wal.last_lsn
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        return self._wal
+
+    def set_lag_decider(self, decider) -> None:
+        """Install/replace the follower-lag hook (fault-plan driven)."""
+        self._lag_decider = decider
+
+    # -- mutation path: WAL append + ship + quorum ack ---------------------
+
+    def _replicate(self, op: int, payload: bytes) -> None:
+        wal_record = self._wal.append(op, payload)
+        frame = wal_record.to_bytes()
+        acks = 0
+        for offset in range(len(self._replicas)):
+            # Walk from the leader so the ack set is deterministic:
+            # leader first, then followers in ring order.
+            replica = self._replicas[(self._leader + offset) % len(self._replicas)]
+            replica.enqueue(frame)
+            if self._shipped is not None:
+                self._shipped.inc()
+            must_apply = acks < self.quorum
+            may_lag = (
+                not must_apply
+                and self._lag_decider is not None
+                and self._lag_decider()
+            )
+            if may_lag:
+                if self._lagged is not None:
+                    self._lagged.inc()
+                continue
+            replica.catch_up(wal_record.lsn)
+            acks += 1
+            if self._acks is not None:
+                self._acks.inc()
+
+    # -- MessageDatabase surface ------------------------------------------
+
+    def store(
+        self,
+        device_id: str,
+        attribute: str,
+        nonce: bytes,
+        ciphertext: bytes,
+        deposited_at_us: int,
+    ) -> MessageRecord:
+        """Persist an accepted deposit; assigns the next local id."""
+        record = MessageRecord(
+            message_id=self.max_id() + 1,
+            device_id=device_id,
+            attribute=attribute,
+            nonce=nonce,
+            ciphertext=ciphertext,
+            deposited_at_us=deposited_at_us,
+        )
+        self.store_record(record)
+        return record
+
+    def store_record(self, record: MessageRecord) -> None:
+        """Quorum-replicated store of a caller-assigned record."""
+        self._replicate(OP_STORE, record.to_bytes())
+
+    def delete(self, message_id: int) -> None:
+        """Quorum-replicated delete."""
+        self.leader.db.fetch(message_id)  # raises KeyNotFoundError early
+        self._replicate(OP_DELETE, message_id.to_bytes(8, "big"))
+
+    def _serving_db(self) -> MessageDatabase:
+        """The database reads are served from, caught up to the watermark.
+
+        The leader normally *is* caught up (it applies at append time);
+        after a failover the promoted follower already replayed to the
+        committed LSN during promotion, so this check is a cheap
+        invariant rather than a hot-path catch-up — but it keeps
+        read-your-writes true by construction, not by convention.
+        """
+        leader = self.leader
+        if leader.applied_lsn < self._wal.last_lsn:
+            applied = leader.catch_up(self._wal.last_lsn)
+            if self._catchup is not None:
+                self._catchup.inc(applied)
+        return leader.db
+
+    def fetch(self, message_id: int) -> MessageRecord:
+        return self._serving_db().fetch(message_id)
+
+    def by_attribute(self, attribute: str) -> list[MessageRecord]:
+        return self._serving_db().by_attribute(attribute)
+
+    def by_attributes(self, attributes: list[str]) -> list[MessageRecord]:
+        return self._serving_db().by_attributes(attributes)
+
+    def by_time_range(self, low_us: int, high_us: int) -> list[MessageRecord]:
+        return self._serving_db().by_time_range(low_us, high_us)
+
+    def attributes(self) -> list[str]:
+        return self._serving_db().attributes()
+
+    def records(self) -> list[MessageRecord]:
+        return self._serving_db().records()
+
+    def max_id(self) -> int:
+        return self._serving_db().max_id()
+
+    def compact(self) -> None:
+        for replica in self._replicas:
+            replica.db.compact()
+
+    def __len__(self) -> int:
+        return len(self._serving_db())
+
+    def close(self) -> None:
+        for replica in self._replicas:
+            replica.db.close()
+
+    # -- failover ----------------------------------------------------------
+
+    def fail_leader(self, rejoin: bool = True) -> int:
+        """Crash the leader and promote the most-caught-up follower.
+
+        The dead leader's database is discarded outright — the model is
+        a machine loss, not a clean shutdown.  Promotion picks the
+        follower with the highest ``shipped_lsn`` (everything it holds,
+        applied or queued), breaking ties on the lower replica id, and
+        replays its queue to the committed watermark before the set
+        serves another read.  With ``rejoin`` a fresh in-memory replica
+        is seeded from the WAL so the set returns to full strength.
+
+        Requires at least one follower; a single-replica set has nowhere
+        to fail over to (the caller keeps its crash semantics instead).
+        Returns the new leader's replica id.
+        """
+        if len(self._replicas) < 2:
+            raise StorageError(
+                "cannot fail over a single-replica set; nothing to promote"
+            )
+        committed = self.committed_lsn
+        dead = self._replicas.pop(self._leader)
+        dead.db.close()
+        best = 0
+        for index, replica in enumerate(self._replicas):
+            if replica.shipped_lsn > self._replicas[best].shipped_lsn:
+                best = index
+        promoted = self._replicas[best]
+        if promoted.shipped_lsn < committed:  # pragma: no cover - quorum>=1
+            raise StorageError(
+                f"no follower holds the committed lsn {committed}; "
+                "quorum was misconfigured"
+            )
+        applied = promoted.catch_up(committed)
+        if self._catchup is not None:
+            self._catchup.inc(applied)
+        self._leader = best
+        if self._failovers is not None:
+            self._failovers.inc()
+        if rejoin:
+            joiner = self._new_replica(None)
+            self._reseed(joiner)
+            self._replicas.append(joiner)
+        return promoted.replica_id
+
+    # -- maintenance -------------------------------------------------------
+
+    def pump(self, max_records: int | None = None) -> int:
+        """Apply queued frames on lagging followers (background drain).
+
+        Walks followers round-robin, applying one frame at a time, so a
+        bounded ``max_records`` spreads progress evenly.  Returns how
+        many records were applied.
+        """
+        applied = 0
+        progressed = True
+        while progressed and (max_records is None or applied < max_records):
+            progressed = False
+            for replica in self._replicas:
+                if not replica.pending:
+                    continue
+                replica.apply_next()
+                applied += 1
+                progressed = True
+                if max_records is not None and applied >= max_records:
+                    break
+        if applied and self._catchup is not None:
+            self._catchup.inc(applied)
+        return applied
+
+    def min_applied_lsn(self) -> int:
+        return min(replica.applied_lsn for replica in self._replicas)
+
+    def truncate_applied(self) -> int:
+        """Reclaim WAL entries every replica has applied."""
+        return self._wal.truncate_until(self.min_applied_lsn())

@@ -4,8 +4,10 @@ The paper pitches the MWS as a SaaS intermediary for fleets of smart
 meters; a single :class:`~repro.storage.message_db.MessageDatabase`
 serialises every deposit through one store.  This module spreads the
 warehouse across N independent shards, each a full ``MessageDatabase``
-(own :class:`RecordStore`, own ``HashIndex``/``SortedIndex``), routed by
-a deterministic consistent hash of the **attribute string**:
+(own :class:`RecordStore`, own ``HashIndex``/``SortedIndex``) — or,
+with ``replicas > 1``, a WAL-shipped
+:class:`~repro.storage.replication.ReplicaSet` of such databases —
+routed by a deterministic consistent hash of the **attribute string**:
 
 * all messages under one attribute colocate on one shard, so an
   attribute retrieval stays a single-shard index lookup;
@@ -15,6 +17,15 @@ a deterministic consistent hash of the **attribute string**:
 * :meth:`ShardedMessageDatabase.rebalance` grows the fleet by adding
   shards; consistent hashing moves only the attributes whose ring
   successor changed (~K/N of them), never reshuffles the rest.
+
+Rebalance comes in two flavours.  The classic :meth:`rebalance` is
+offline-only (refused under live worker leases).  :meth:`rebalance_online`
+is a *generator* that drains record moves one at a time — deposits keep
+flowing between steps under the existing lease, routing updates
+incrementally per moved record (store on the target, repoint the id
+map, then delete from the source, so a concurrent ``fetch`` never hits
+a gap), and reads consult **both** the new and the previous ring until
+the drain finishes.
 
 Message ids are allocated globally by the router (monotonic across
 shards) and an id→shard map is rebuilt on open by scanning, mirroring
@@ -30,6 +41,7 @@ from repro.errors import KeyNotFoundError, StorageError
 from repro.hashes.sha256 import sha256
 from repro.storage.engine import MemoryStore, RecordStore
 from repro.storage.message_db import MessageDatabase, MessageRecord
+from repro.storage.replication import ReplicaSet
 
 __all__ = ["HashRing", "ShardedMessageDatabase", "DEFAULT_VNODES"]
 
@@ -84,11 +96,18 @@ class ShardedMessageDatabase:
     (``store``/``fetch``/``by_attribute``/``by_attributes``/
     ``by_time_range``/``attributes``/``delete``/``len``/``close``) plus
     shard-aware operations: :meth:`shard_for`, :meth:`shard_counts`,
-    :meth:`rebalance`, :meth:`compact`.
+    :meth:`rebalance`, :meth:`rebalance_online`, :meth:`compact`, and —
+    on a replicated warehouse — :meth:`fail_shard_leader` and
+    :meth:`shard_watermarks`.
 
-    ``registry`` (a :class:`repro.obs.registry.MetricsRegistry`) adds
-    per-shard deposit counters and live message-count gauges under
-    ``storage.shard.<i>.*``.
+    ``replicas`` > 1 turns every shard into a
+    :class:`~repro.storage.replication.ReplicaSet` (the given store
+    seeds the leader; followers are in-memory) with ``quorum`` acks per
+    mutation.  ``registry`` (a
+    :class:`repro.obs.registry.MetricsRegistry`) adds per-shard deposit
+    counters and live message-count gauges under ``storage.shard.<i>.*``
+    plus the replication layer's ``replication.shard.<i>.*`` /
+    ``storage.wal.shard.<i>.*`` families.
     """
 
     def __init__(
@@ -96,18 +115,26 @@ class ShardedMessageDatabase:
         stores: list[RecordStore | None] | int,
         vnodes: int = DEFAULT_VNODES,
         registry=None,
+        replicas: int = 1,
+        quorum: int | None = None,
     ) -> None:
         if isinstance(stores, int):
             stores = [None] * stores
         if not stores:
             raise StorageError("sharded database needs at least one shard")
-        self._shards = [
-            MessageDatabase(store if store is not None else MemoryStore())
-            for store in stores
-        ]
+        if replicas < 1:
+            raise StorageError(f"need at least one replica, got {replicas}")
+        self._replicas = replicas
+        self._quorum = quorum
+        self._registry = registry
+        self._shards: list = []
+        for store in stores:
+            self._shards.append(self._new_shard(store, len(self._shards)))
         self._vnodes = vnodes
         self._ring = HashRing(len(self._shards), vnodes)
-        self._registry = registry
+        #: Previous ring, non-None only while an online rebalance drains;
+        #: reads consult both rings so unmoved records stay reachable.
+        self._prev_ring: HashRing | None = None
         self._live_workers = 0
         self._id_to_shard: dict[int, int] = {}
         self._next_id = 1
@@ -116,6 +143,16 @@ class ShardedMessageDatabase:
                 self._id_to_shard[record.message_id] = index
             self._next_id = max(self._next_id, shard.max_id() + 1)
         self._install_metrics()
+
+    def _new_shard(self, store: RecordStore | None, index: int):
+        if self._replicas > 1:
+            return ReplicaSet(
+                [store] + [None] * (self._replicas - 1),
+                quorum=self._quorum,
+                registry=self._registry,
+                shard_index=index,
+            )
+        return MessageDatabase(store if store is not None else MemoryStore())
 
     def _install_metrics(self) -> None:
         self._deposit_counters = []
@@ -139,17 +176,74 @@ class ShardedMessageDatabase:
     def shard_count(self) -> int:
         return len(self._shards)
 
+    @property
+    def replicas(self) -> int:
+        """Copies kept per shard (1 = unreplicated classic layout)."""
+        return self._replicas
+
+    @property
+    def rebalancing(self) -> bool:
+        """True while an online drain is in flight (dual-ring reads)."""
+        return self._prev_ring is not None
+
     def shard_for(self, attribute: str) -> int:
         """The shard index owning every message under ``attribute``."""
         return self._ring.shard_for(attribute)
 
-    def shard(self, index: int) -> MessageDatabase:
-        """Direct access to one shard (tests, admin tooling)."""
+    def _read_shards_for(self, attribute: str) -> list[int]:
+        """Shards a read must consult: the owner, plus — while an online
+        drain is in flight — the previous owner still holding unmoved
+        records."""
+        owner = self._ring.shard_for(attribute)
+        if self._prev_ring is None:
+            return [owner]
+        previous = self._prev_ring.shard_for(attribute)
+        return [owner] if previous == owner else [owner, previous]
+
+    def shard(self, index: int):
+        """Direct access to one shard backend (tests, admin tooling)."""
         return self._shards[index]
 
     def shard_counts(self) -> list[int]:
         """Live message count per shard (conservation checks sum this)."""
         return [len(shard) for shard in self._shards]
+
+    # -- replication surface ----------------------------------------------
+
+    def fail_shard_leader(self, index: int) -> int:
+        """Crash shard ``index``'s leader and promote a follower.
+
+        Only meaningful on a replicated warehouse; returns the promoted
+        replica's id.
+        """
+        shard = self._shards[index]
+        if not isinstance(shard, ReplicaSet):
+            raise StorageError(
+                f"shard {index} is unreplicated; nothing to fail over"
+            )
+        return shard.fail_leader()
+
+    def shard_watermarks(self) -> list[int]:
+        """Per-shard committed-LSN watermarks (0 for unreplicated shards).
+
+        A cursor-paged retrieval captures these; the replication layer
+        guarantees the serving replica has applied at least this much
+        before answering, which is the read-your-writes contract across
+        a failover.
+        """
+        return [
+            shard.watermark() if isinstance(shard, ReplicaSet) else 0
+            for shard in self._shards
+        ]
+
+    def install_fault_plan(self, plan) -> None:
+        """Wire a fault plan's follower-lag decisions into every shard."""
+        decider = getattr(plan, "decide_follower_lag", None)
+        if decider is None:
+            return
+        for shard in self._shards:
+            if isinstance(shard, ReplicaSet):
+                shard.set_lag_decider(decider)
 
     # -- writes -----------------------------------------------------------
 
@@ -199,32 +293,42 @@ class ShardedMessageDatabase:
         return self._shards[self._shard_of_id(message_id)].fetch(message_id)
 
     def by_attribute(self, attribute: str) -> list[MessageRecord]:
-        """All messages under one attribute — a single-shard index lookup."""
-        return self._shards[self.shard_for(attribute)].by_attribute(attribute)
+        """All messages under one attribute — a single-shard index lookup
+        (two shards mid-drain, merged and de-duplicated by id)."""
+        indexes = self._read_shards_for(attribute)
+        if len(indexes) == 1:
+            return self._shards[indexes[0]].by_attribute(attribute)
+        seen: dict[int, MessageRecord] = {}
+        for index in indexes:
+            for record in self._shards[index].by_attribute(attribute):
+                seen[record.message_id] = record
+        return [seen[message_id] for message_id in sorted(seen)]
 
     def by_attributes(self, attributes: list[str]) -> list[MessageRecord]:
         """Union over attributes, grouped so each shard is scanned once.
 
         This is the MMS retrieval path: attributes are bucketed by
-        owning shard first, each shard answers its whole bucket in one
-        pass, and the union is re-sorted into global message-id order.
+        owning shard first (both owners while a drain is in flight),
+        each shard answers its whole bucket in one pass, and the union
+        is re-sorted into global message-id order.
         """
         by_shard: dict[int, list[str]] = {}
         for attribute in attributes:
-            by_shard.setdefault(self.shard_for(attribute), []).append(attribute)
-        records: list[MessageRecord] = []
+            for index in self._read_shards_for(attribute):
+                by_shard.setdefault(index, []).append(attribute)
+        seen: dict[int, MessageRecord] = {}
         for index in sorted(by_shard):
-            records.extend(self._shards[index].by_attributes(by_shard[index]))
-        records.sort(key=lambda record: record.message_id)
-        return records
+            for record in self._shards[index].by_attributes(by_shard[index]):
+                seen[record.message_id] = record
+        return [seen[message_id] for message_id in sorted(seen)]
 
     def by_time_range(self, low_us: int, high_us: int) -> list[MessageRecord]:
         """Messages in the inclusive window, merged across all shards."""
-        records: list[MessageRecord] = []
+        seen: dict[int, MessageRecord] = {}
         for shard in self._shards:
-            records.extend(shard.by_time_range(low_us, high_us))
-        records.sort(key=lambda record: record.message_id)
-        return records
+            for record in shard.by_time_range(low_us, high_us):
+                seen[record.message_id] = record
+        return [seen[message_id] for message_id in sorted(seen)]
 
     def attributes(self) -> list[str]:
         """Distinct attribute strings across the whole warehouse."""
@@ -240,7 +344,7 @@ class ShardedMessageDatabase:
 
     @property
     def live_workers(self) -> int:
-        """Workers currently attached (rebalance is refused while > 0)."""
+        """Workers currently attached (offline rebalance refused while > 0)."""
         return self._live_workers
 
     def acquire_worker(self) -> None:
@@ -258,7 +362,9 @@ class ShardedMessageDatabase:
         """Hold ``count`` worker leases for the duration of a ``with``.
 
         The shard-parallel runtime wraps its whole run in one lease so
-        admin tooling cannot slide a rebalance under live traffic.
+        admin tooling cannot slide an *offline* rebalance under live
+        traffic; the online drain is explicitly allowed to coexist with
+        the lease.
         """
         for _ in range(count):
             self.acquire_worker()
@@ -275,43 +381,133 @@ class ShardedMessageDatabase:
         for shard in self._shards:
             shard.compact()
 
+    def _move_record(self, source: int, record: MessageRecord, target: int) -> None:
+        """Move one record, keeping it continuously readable.
+
+        Order matters for live readers: store on the target first,
+        repoint the id route (so ``fetch`` follows the copy), and only
+        then delete the original.  On a replicated warehouse both the
+        store and the delete flow through the shard WALs.
+        """
+        self._shards[target].store_record(record)
+        self._id_to_shard[record.message_id] = target
+        self._shards[source].delete(record.message_id)
+
+    def _grow_ring(self, new_stores: list[RecordStore | None]) -> HashRing:
+        """Append the new shards and swap the ring; returns the old ring."""
+        for store in new_stores:
+            self._shards.append(self._new_shard(store, len(self._shards)))
+        old_ring = self._ring
+        self._ring = HashRing(len(self._shards), self._vnodes)
+        return old_ring
+
+    def _moves(self) -> list[tuple[int, MessageRecord, int]]:
+        """Snapshot of ``(source, record, target)`` moves the new ring asks
+        for.  Records deposited after the snapshot already route by the
+        new ring and never need moving."""
+        moves = []
+        for index, shard in enumerate(self._shards):
+            for record in shard.records():
+                target = self._ring.shard_for(record.attribute)
+                if target != index:
+                    moves.append((index, record, target))
+        return moves
+
     def rebalance(self, new_stores: list[RecordStore | None]) -> int:
         """Grow the fleet by ``len(new_stores)`` shards; returns moves.
 
-        The ring keeps every existing vnode position, so only records
-        whose attribute's ring successor is now one of the new shards
-        migrate — the consistent-hashing guarantee that a split touches
-        ~K/N keys.  Moved records keep their bytes verbatim (same id,
-        same payload), so retrieval sets are unchanged.
+        The offline path: refused under live worker leases (use
+        :meth:`rebalance_online` to drain under traffic).  The ring
+        keeps every existing vnode position, so only records whose
+        attribute's ring successor is now one of the new shards migrate
+        — the consistent-hashing guarantee that a split touches ~K/N
+        keys.  Moved records keep their bytes verbatim (same id, same
+        payload), so retrieval sets are unchanged.
         """
         if self._live_workers:
             raise StorageError(
                 "rebalance is offline-only: "
                 f"{self._live_workers} live worker(s) attached; "
-                "drain the worker pool first (ROADMAP item 4 tracks "
-                "online rebalancing)"
+                "drain the worker pool first or use rebalance_online() "
+                "to migrate under the lease"
             )
         if not new_stores:
             return 0
-        for store in new_stores:
-            self._shards.append(
-                MessageDatabase(store if store is not None else MemoryStore())
-            )
-        self._ring = HashRing(len(self._shards), self._vnodes)
+        self._grow_ring(new_stores)
         moved = 0
-        for index, shard in enumerate(self._shards):
-            for record in shard.records():
-                target = self.shard_for(record.attribute)
-                if target == index:
-                    continue
-                shard.delete(record.message_id)
-                self._shards[target].store_record(record)
-                self._id_to_shard[record.message_id] = target
-                moved += 1
+        for source, record, target in self._moves():
+            self._move_record(source, record, target)
+            moved += 1
         self._install_metrics()
         if self._rebalance_moved is not None:
             self._rebalance_moved.inc(moved)
         return moved
+
+    def rebalance_online(self, new_stores: list[RecordStore | None]):
+        """Online shard growth: a generator that drains one move per step.
+
+        Designed to run as a cooperative task under the deterministic
+        scheduler while deposit workers hold the lease: the ring is
+        swapped up front (new deposits route straight to their final
+        shard), then each ``yield`` moves exactly one old record —
+        store-then-repoint-then-delete, so every message stays
+        continuously fetchable and attribute reads merge both owners
+        until the drain completes.  Yields the running move count;
+        returns the total via ``StopIteration.value``.
+        """
+        if self._prev_ring is not None:
+            raise StorageError("an online rebalance is already in flight")
+        if not new_stores:
+            return 0
+        self._prev_ring = self._grow_ring(new_stores)
+        self._install_metrics()
+        moved = 0
+        try:
+            for source, record, target in self._moves():
+                self._move_record(source, record, target)
+                moved += 1
+                if self._rebalance_moved is not None:
+                    self._rebalance_moved.inc()
+                if self._message_gauges:
+                    self._message_gauges[source].set(len(self._shards[source]))
+                    self._message_gauges[target].set(len(self._shards[target]))
+                yield moved
+        finally:
+            # Even if the driver is killed mid-drain the dual-ring read
+            # path stays active only while moves remain; a crashed drain
+            # leaves both rings consulted, so nothing becomes unreadable.
+            if not self._pending_moves():
+                self._prev_ring = None
+        self._prev_ring = None
+        return moved
+
+    def finish_rebalance(self) -> int:
+        """Complete an interrupted online drain synchronously.
+
+        A drain task killed mid-flight leaves the dual-ring read path
+        active (nothing unreadable, nothing lost); recovery replays the
+        remaining moves in one pass and retires the previous ring.
+        Returns how many records were moved; 0 when no drain was
+        pending.
+        """
+        if self._prev_ring is None:
+            return 0
+        moved = 0
+        for source, record, target in self._moves():
+            self._move_record(source, record, target)
+            moved += 1
+        if self._rebalance_moved is not None:
+            self._rebalance_moved.inc(moved)
+        self._prev_ring = None
+        return moved
+
+    def _pending_moves(self) -> bool:
+        """Whether any record still lives off its ring-assigned shard."""
+        for index, shard in enumerate(self._shards):
+            for record in shard.records():
+                if self._ring.shard_for(record.attribute) != index:
+                    return True
+        return False
 
     def close(self) -> None:
         """Release every shard's resources."""

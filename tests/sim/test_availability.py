@@ -1,0 +1,47 @@
+"""The availability bench harness (repro.sim.availability)."""
+
+from repro.sim.availability import (
+    FAULT_PLANS,
+    AvailabilityConfig,
+    _measure_rebalance_latency,
+    run_availability,
+)
+
+#: One tiny config shared by the suite; every knob shrunk to keep the
+#: full battery (7 plans x 2 runs each) affordable in tier-1.
+SMALL = AvailabilityConfig(
+    devices=2,
+    batch_size=3,
+    latency_samples=60,
+)
+
+
+class TestRunAvailability:
+    def test_battery_conserves_and_reports(self):
+        dump = run_availability(SMALL)
+        assert dump["bench"] == "availability"
+        assert len(dump["fault_plans"]) == len(FAULT_PLANS)
+        for row in dump["fault_plans"]:
+            assert row["ok"], row
+            assert row["accepted"] == 6
+            assert row["retrieved"] == 6
+        summary = dump["summary"]
+        assert summary["ok_fraction"] == 1.0
+        assert summary["conserved"] == len(FAULT_PLANS)
+
+    def test_fault_plans_actually_inject(self):
+        dump = run_availability(SMALL)
+        rows = {row["plan"]: row for row in dump["fault_plans"]}
+        assert rows["leader-kills"]["failovers"] > 0
+        assert rows["follower-lag"]["follower_lags"] > 0
+        assert rows["online-rebalance"]["rebalance_moves"] > 0
+        assert rows["mid-rebalance-crash"]["rebalance_moves"] > 0
+        assert rows["clean"]["failovers"] == 0
+        assert rows["clean"]["crashes"] == 0
+
+    def test_latency_section_shape(self):
+        latency = _measure_rebalance_latency(SMALL)
+        assert latency["samples"] == 60
+        assert latency["steady_p99_ms"] > 0
+        assert latency["rebalance_p99_ms"] > 0
+        assert latency["p99_ratio"] > 0

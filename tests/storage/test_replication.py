@@ -1,0 +1,220 @@
+"""WAL-shipped replica sets and failover (repro.storage.replication).
+
+Includes the interop regressions ISSUE 7 asks for: a pre-replication
+single-shard ``MessageDatabase`` opens unchanged under the new code
+path, and old wire encodings round-trip through a replicated
+deployment.
+"""
+
+import pytest
+
+from repro.errors import KeyNotFoundError, StorageError
+from repro.obs.registry import MetricsRegistry
+from repro.sim.clock import SimClock
+from repro.storage.engine import LogStructuredStore, MemoryStore
+from repro.storage.message_db import MessageDatabase
+from repro.storage.replication import ReplicaSet
+from repro.storage.sharding import ShardedMessageDatabase
+
+
+def deposit(db, attribute, index=0, at_us=1_000):
+    return db.store(
+        device_id=f"meter-{index:03d}",
+        attribute=attribute,
+        nonce=bytes([index % 256]) * 4,
+        ciphertext=f"ct-{attribute}-{index}".encode(),
+        deposited_at_us=at_us + index,
+    )
+
+
+class TestReplicaSet:
+    def test_mutations_reach_every_replica(self):
+        rs = ReplicaSet(3)
+        for index in range(5):
+            deposit(rs, "ELECTRIC-P-SV", index)
+        for replica in rs.replicas:
+            assert len(replica.db) == 5
+            assert replica.applied_lsn == 5
+
+    def test_quorum_acks_before_return(self):
+        rs = ReplicaSet(3, quorum=2)
+        rs.set_lag_decider(lambda: True)  # every non-quorum follower lags
+        deposit(rs, "WATER-P-SV")
+        applied = [r for r in rs.replicas if r.applied_lsn >= rs.committed_lsn]
+        assert len(applied) >= 2  # leader + one follower acked
+        lagging = [r for r in rs.replicas if r.pending]
+        assert len(lagging) == 1  # the third deferred
+
+    def test_delete_replicates_and_missing_id_raises(self):
+        rs = ReplicaSet(2)
+        record = deposit(rs, "GAS-P-SV")
+        rs.delete(record.message_id)
+        for replica in rs.replicas:
+            assert len(replica.db) == 0
+        with pytest.raises(KeyNotFoundError):
+            rs.delete(record.message_id)
+
+    def test_failover_promotes_most_caught_up(self):
+        rs = ReplicaSet(3, quorum=2)
+        records = [deposit(rs, "ELECTRIC-P-SV", i) for i in range(4)]
+        old_leader = rs.leader.replica_id
+        promoted = rs.fail_leader()
+        assert promoted != old_leader
+        # Read-your-writes: everything committed pre-crash is served.
+        for record in records:
+            assert rs.fetch(record.message_id).ciphertext == record.ciphertext
+        assert rs.replica_count == 3  # a fresh replica rejoined
+
+    def test_failover_with_lagging_followers_loses_nothing(self):
+        rs = ReplicaSet(3, quorum=2)
+        rs.set_lag_decider(lambda: True)
+        for index in range(6):
+            deposit(rs, "WATER-P-SV", index)
+        rs.fail_leader()
+        assert len(rs) == 6
+        assert rs.leader.applied_lsn == rs.committed_lsn
+
+    def test_repeated_failovers_conserve(self):
+        rs = ReplicaSet(3, quorum=2)
+        records = [deposit(rs, "GAS-P-SV", i) for i in range(3)]
+        for _ in range(4):
+            rs.fail_leader()
+            records.append(deposit(rs, "GAS-P-SV", len(records)))
+        assert len(rs) == len(records)
+        for record in records:
+            assert rs.fetch(record.message_id).to_bytes() == record.to_bytes()
+
+    def test_single_replica_cannot_fail_over(self):
+        rs = ReplicaSet(1)
+        with pytest.raises(StorageError):
+            rs.fail_leader()
+
+    def test_quorum_bounds_validated(self):
+        with pytest.raises(StorageError):
+            ReplicaSet(3, quorum=0)
+        with pytest.raises(StorageError):
+            ReplicaSet(3, quorum=4)
+        with pytest.raises(StorageError):
+            ReplicaSet([])
+
+    def test_pump_drains_lagging_followers(self):
+        rs = ReplicaSet(3, quorum=2)
+        rs.set_lag_decider(lambda: True)
+        for index in range(4):
+            deposit(rs, "ELECTRIC-P-SV", index)
+        assert rs.min_applied_lsn() < rs.committed_lsn
+        rs.pump()
+        assert rs.min_applied_lsn() == rs.committed_lsn
+
+    def test_truncate_then_rejoin_reseeds_from_leader(self):
+        rs = ReplicaSet(2)
+        for index in range(5):
+            deposit(rs, "WATER-P-SV", index)
+        assert rs.truncate_applied() == 5
+        rs.fail_leader()  # the rejoiner must snapshot, the WAL is gone
+        assert len(rs) == 5
+        for replica in rs.replicas:
+            assert len(replica.db) == 5
+
+    def test_metrics_families(self):
+        registry = MetricsRegistry(SimClock())
+        rs = ReplicaSet(2, registry=registry, shard_index=3)
+        deposit(rs, "ELECTRIC-P-SV")
+        rs.fail_leader()
+        counters = registry.counter_values()
+        assert counters["replication.shard.3.shipped"] == 2
+        assert counters["replication.shard.3.failovers"] == 1
+        assert counters["storage.wal.shard.3.appends"] == 1
+
+
+class TestInterop:
+    """Pre-replication data and wire formats under the new code path."""
+
+    def test_pre_replication_store_opens_as_replica_set(self, tmp_path):
+        """A single-shard MessageDatabase written before replication
+        existed seeds a ReplicaSet leader unchanged, and followers
+        converge on open."""
+        path = tmp_path / "legacy.db"
+        legacy = MessageDatabase(LogStructuredStore(str(path)))
+        originals = [deposit(legacy, "ELECTRIC-P-SV", i) for i in range(6)]
+        legacy.close()
+
+        rs = ReplicaSet([LogStructuredStore(str(path)), None, None])
+        assert len(rs) == 6
+        for original in originals:
+            assert rs.fetch(original.message_id).to_bytes() == original.to_bytes()
+        for replica in rs.replicas:
+            assert len(replica.db) == 6
+        rs.fail_leader()
+        assert len(rs) == 6
+        rs.close()
+
+    def test_single_replica_set_matches_plain_database(self):
+        """replicas=1 degenerates to the classic store, byte for byte."""
+        plain = MessageDatabase(MemoryStore())
+        rs = ReplicaSet(1)
+        for index in range(8):
+            attribute = f"ATTR-{index % 3}"
+            a = deposit(plain, attribute, index)
+            b = deposit(rs, attribute, index)
+            assert a.to_bytes() == b.to_bytes()
+        assert [r.to_bytes() for r in plain.records()] == [
+            r.to_bytes() for r in rs.records()
+        ]
+
+    def test_sharded_replicated_matches_sharded_plain(self):
+        """Adding replicas must not change ids, routing or bytes."""
+        plain = ShardedMessageDatabase(4)
+        replicated = ShardedMessageDatabase(4, replicas=3)
+        for index in range(30):
+            attribute = f"INTEROP-ATTR-{index % 7}"
+            a = deposit(plain, attribute, index)
+            b = deposit(replicated, attribute, index)
+            assert a.to_bytes() == b.to_bytes()
+        assert plain.shard_counts() == replicated.shard_counts()
+
+    def test_old_wire_encodings_round_trip_replicated(self):
+        """Single-deposit and batch requests built by the existing
+        clients land and are retrieved through a replicated deployment
+        — the wire format carries no replication fields."""
+        from repro.core.deployment import Deployment, DeploymentConfig
+        from repro.mws.service import MwsConfig
+
+        deployment = Deployment.build(
+            DeploymentConfig(
+                preset="TOY64",
+                rsa_bits=768,
+                seed=b"replication-interop",
+                mws=MwsConfig(message_shards=2, message_replicas=2),
+            )
+        )
+        try:
+            device = deployment.new_smart_device("interop-sd-0")
+            response = device.deposit(
+                deployment.sd_channel(device.device_id),
+                "ELECTRIC-P-SV",
+                b"reading=1.0kWh;interop",
+            )
+            assert response.accepted
+            receipt = device.deposit_many(
+                deployment.sd_many_channel(device.device_id),
+                [("WATER-P-SV", b"reading=2.0m3;interop")] * 3,
+            )
+            assert receipt.accepted_count == 3
+            # Fail over every shard, then retrieve through the old
+            # paged protocol: nothing lost, nothing duplicated.
+            warehouse = deployment.mws.message_db
+            for index in range(warehouse.shard_count):
+                warehouse.fail_shard_leader(index)
+            client = deployment.new_receiving_client(
+                "interop-rc",
+                "interop-password",
+                attributes=["ELECTRIC-P-SV", "WATER-P-SV"],
+            )
+            _token, messages = client.retrieve_all(
+                deployment.rc_page_channel(client.rc_id), page_size=2
+            )
+            assert len(messages) == 4
+            assert len({m.message_id for m in messages}) == 4
+        finally:
+            deployment.close()

@@ -1,0 +1,158 @@
+"""Property suite: replication conserves the message multiset.
+
+The PR 6 concurrency-conservation pattern extended to replicas
+(ISSUE 7): for ANY seed and ANY fault plan drawn from leader kills,
+worker crashes, follower lag and a mid-rebalance drain crash, the
+replicated sharded warehouse must
+
+* accept, retrieve and account for exactly the same message multiset
+  (no loss, no duplication, per-shard counts summing to the accepted
+  set),
+* return byte-identical ciphertexts (faults reorder work, never
+  rewrite a record), and
+* reproduce the scheduler transcript fingerprint and the observability
+  dump byte for byte when re-run from the same seeds — any failing
+  plan is replayable.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.mathlib.rand import HmacDrbg
+from repro.mws.runtime import ShardWorkerPool
+from repro.mws.service import MwsConfig
+from repro.sim.faults import FaultPlan, WorkerFaultSpec
+
+ATTRIBUTES = ("ELECTRIC-P-SV", "WATER-P-SV", "GAS-P-SV")
+
+
+def run_once(
+    scheduler_seed,
+    plan_seed,
+    workers,
+    crash,
+    leader_kill,
+    follower_lag,
+    rebalance,
+    rebalance_crash_after,
+):
+    deployment = Deployment.build(
+        DeploymentConfig(
+            preset="TOY64",
+            rsa_bits=768,
+            seed=b"replication-conservation",
+            mws=MwsConfig(message_shards=2, message_replicas=2),
+        )
+    )
+    try:
+        plan = FaultPlan(HmacDrbg(plan_seed), registry=deployment.registry)
+        plan.set_worker_faults(
+            WorkerFaultSpec(
+                crash=crash,
+                max_crashes=2,
+                leader_kill=leader_kill,
+                max_leader_kills=2,
+                follower_lag=follower_lag,
+            )
+        )
+        deployment.network.install_fault_plan(plan)
+        jobs = [
+            (
+                f"rc-dev-{index}",
+                [
+                    (
+                        ATTRIBUTES[seq % len(ATTRIBUTES)],
+                        f"device=rc-{index};seq={seq}".encode("ascii"),
+                    )
+                    for seq in range(4)
+                ],
+            )
+            for index in range(3)
+        ]
+        pool = ShardWorkerPool(
+            deployment,
+            workers=workers,
+            scheduler_seed=scheduler_seed,
+            failover_every=3,
+            rebalance_stores=[None, None] if rebalance else None,
+            rebalance_after=1,
+            rebalance_crash_after=rebalance_crash_after if rebalance else None,
+        )
+        result = pool.run(jobs)
+        return result, deployment.obs_dump_json()
+    finally:
+        deployment.close()
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    scheduler_seed=st.binary(min_size=1, max_size=8),
+    plan_seed=st.binary(min_size=1, max_size=8),
+    workers=st.integers(min_value=1, max_value=3),
+    crash=st.sampled_from([0.0, 0.3]),
+    leader_kill=st.sampled_from([0.0, 0.5, 1.0]),
+    follower_lag=st.sampled_from([0.0, 0.8]),
+    rebalance=st.booleans(),
+    rebalance_crash_after=st.sampled_from([None, 1, 3]),
+)
+def test_any_fault_plan_conserves_and_replays(
+    scheduler_seed,
+    plan_seed,
+    workers,
+    crash,
+    leader_kill,
+    follower_lag,
+    rebalance,
+    rebalance_crash_after,
+):
+    args = (
+        scheduler_seed,
+        plan_seed,
+        workers,
+        crash,
+        leader_kill,
+        follower_lag,
+        rebalance,
+        rebalance_crash_after,
+    )
+    result, dump = run_once(*args)
+
+    assert result.conservation_ok(), {
+        "lost": result.lost_ids,
+        "duplicated": result.duplicate_ids,
+        "shards": result.shard_counts,
+        "accepted": len(result.accepted_ids),
+        "digest_conflicts": result.digest_conflicts,
+    }
+    assert len(result.accepted_ids) == 12
+    # Every retrieved message carries its original ciphertext bytes.
+    assert set(result.retrieved_digests) == set(result.accepted_ids)
+
+    replay, replay_dump = run_once(*args)
+    assert replay.fingerprint() == result.fingerprint()
+    assert replay_dump == dump
+
+
+def test_leader_kill_storm_conserves():
+    """The worst deterministic corner: a kill on every chaos tick."""
+    result, _dump = run_once(b"storm", b"storm-plan", 2, 0.0, 1.0, 0.8, True, 2)
+    assert result.conservation_ok()
+    assert result.failovers > 0
+    assert result.rebalance_moves > 0
+
+
+def test_digest_sets_identical_across_plans():
+    """Fault plans may reorder ids but never change the ciphertext
+    multiset the RC receives."""
+    clean, _ = run_once(b"seed", b"plan", 2, 0.0, 0.0, 0.0, False, None)
+    chaotic, _ = run_once(b"seed", b"plan", 2, 0.3, 1.0, 0.8, True, 2)
+    assert sorted(clean.retrieved_digests.values()) == sorted(
+        chaotic.retrieved_digests.values()
+    )

@@ -166,6 +166,120 @@ class TestShardedMessageDatabase:
         assert db.rebalance([]) == 0
         assert db.shard_count == 2
 
+
+class TestOnlineRebalance:
+    def test_retrieval_during_a_live_move(self):
+        """ISSUE 7 regression: routing updates incrementally per moved
+        record, so fetch/by_attribute stay complete mid-drain."""
+        db = ShardedMessageDatabase(4)
+        records = [
+            deposit(db, attribute, index)
+            for index, attribute in enumerate(ATTRIBUTES * 2)
+        ]
+        before = {r.message_id: r.to_bytes() for r in records}
+        with db.worker_lease(2):
+            drain = db.rebalance_online([None, None])
+            steps = 0
+            for steps in drain:
+                assert db.rebalancing
+                # Every record stays fetchable by id at every step...
+                for record in records:
+                    assert (
+                        db.fetch(record.message_id).to_bytes()
+                        == before[record.message_id]
+                    )
+                # ...and attribute reads merge both owners, no gaps,
+                # no duplicates.
+                seen = {
+                    r.message_id
+                    for a in ATTRIBUTES
+                    for r in db.by_attribute(a)
+                }
+                assert seen == set(before)
+                assert len(db.by_attributes(list(ATTRIBUTES))) == len(before)
+        assert steps > 0  # the growth actually moved something
+        assert not db.rebalancing
+        assert db.shard_count == 6
+        assert sum(db.shard_counts()) == len(before)
+
+    def test_deposits_during_drain_route_by_new_ring(self):
+        db = ShardedMessageDatabase(2)
+        for index, attribute in enumerate(ATTRIBUTES):
+            deposit(db, attribute, index)
+        total = len(ATTRIBUTES)
+        with db.worker_lease(1):
+            drain = db.rebalance_online([None, None])
+            for moves in drain:
+                record = deposit(db, ATTRIBUTES[moves % len(ATTRIBUTES)], 100 + moves)
+                total += 1
+                # A mid-drain deposit lands directly on its final shard.
+                assert db.fetch(record.message_id).to_bytes() == record.to_bytes()
+        assert len(db) == total
+        assert sum(db.shard_counts()) == total
+        # Post-drain: single-ring reads see everything exactly once.
+        assert len(db.by_attributes(list(ATTRIBUTES))) == total
+
+    def test_abandoned_drain_keeps_reads_complete_until_finished(self):
+        """A drain crashed mid-flight leaves dual-ring reads active;
+        finish_rebalance() completes the move and retires them."""
+        db = ShardedMessageDatabase(4)
+        for index, attribute in enumerate(ATTRIBUTES * 2):
+            deposit(db, attribute, index)
+        total = len(ATTRIBUTES) * 2
+        drain = db.rebalance_online([None, None])
+        next(drain)  # one move, then the driver dies
+        drain.close()
+        assert db.rebalancing
+        assert len(db.by_attributes(list(ATTRIBUTES))) == total
+        recovered = db.finish_rebalance()
+        assert recovered >= 0
+        assert not db.rebalancing
+        assert len(db.by_attributes(list(ATTRIBUTES))) == total
+        assert db.finish_rebalance() == 0  # idempotent once clean
+
+    def test_online_rebalance_allowed_under_lease_offline_refused(self):
+        db = ShardedMessageDatabase(2)
+        deposit(db, ATTRIBUTES[0])
+        with db.worker_lease(1):
+            with pytest.raises(StorageError):
+                db.rebalance([None])
+            for _ in db.rebalance_online([None]):
+                pass
+        assert db.shard_count == 3
+
+    def test_concurrent_online_rebalance_refused(self):
+        db = ShardedMessageDatabase(2)
+        deposit(db, ATTRIBUTES[0])
+        drain = db.rebalance_online([None, None])
+        next(drain, None)
+        if db.rebalancing:
+            with pytest.raises(StorageError):
+                next(db.rebalance_online([None]))
+        drain.close()
+        db.finish_rebalance()
+
+    def test_replicated_online_rebalance_ships_moves_through_wal(self):
+        db = ShardedMessageDatabase(2, replicas=2)
+        for index, attribute in enumerate(ATTRIBUTES * 2):
+            deposit(db, attribute, index)
+        total = len(ATTRIBUTES) * 2
+        with db.worker_lease(1):
+            moved = 0
+            for moved in db.rebalance_online([None, None]):
+                assert len(db.by_attributes(list(ATTRIBUTES))) == total
+        assert moved > 0
+        assert sum(db.shard_counts()) == total
+        # Every replica of every shard agrees with its leader.
+        from repro.storage.replication import ReplicaSet
+
+        for index in range(db.shard_count):
+            shard = db.shard(index)
+            assert isinstance(shard, ReplicaSet)
+            shard.pump()
+            leader_len = len(shard.leader.db)
+            for replica in shard.replicas:
+                assert len(replica.db) == leader_len
+
     def test_compaction_preserves_contents(self, tmp_path):
         stores = [
             LogStructuredStore(str(tmp_path / f"c-{i}.log")) for i in range(2)

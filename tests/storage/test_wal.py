@@ -1,0 +1,113 @@
+"""The per-shard write-ahead log (repro.storage.wal)."""
+
+import pytest
+
+from repro.errors import CorruptRecordError, DecodeError, StorageError
+from repro.obs.registry import MetricsRegistry
+from repro.sim.clock import SimClock
+from repro.storage.wal import (
+    OP_DELETE,
+    OP_STORE,
+    WAL_RECORD_TAG,
+    WalRecord,
+    WriteAheadLog,
+)
+
+
+class TestWalRecord:
+    def test_round_trip(self):
+        record = WalRecord(lsn=7, op=OP_STORE, payload=b"message-bytes")
+        assert WalRecord.from_bytes(record.to_bytes()) == record
+
+    def test_delete_round_trip(self):
+        record = WalRecord(lsn=1, op=OP_DELETE, payload=(42).to_bytes(8, "big"))
+        decoded = WalRecord.from_bytes(record.to_bytes())
+        assert decoded.op == OP_DELETE
+        assert int.from_bytes(decoded.payload, "big") == 42
+
+    def test_frame_opens_with_tag(self):
+        assert WalRecord(1, OP_STORE, b"x").to_bytes()[0] == WAL_RECORD_TAG
+
+    def test_bad_tag_rejected(self):
+        frame = bytearray(WalRecord(1, OP_STORE, b"x").to_bytes())
+        frame[0] ^= 0xFF
+        with pytest.raises(DecodeError):
+            WalRecord.from_bytes(bytes(frame))
+
+    def test_bit_flip_in_body_is_loud(self):
+        frame = bytearray(WalRecord(3, OP_STORE, b"payload-bytes").to_bytes())
+        frame[-1] ^= 0x01
+        with pytest.raises(CorruptRecordError):
+            WalRecord.from_bytes(bytes(frame))
+
+    def test_truncation_is_loud(self):
+        frame = WalRecord(3, OP_STORE, b"payload-bytes").to_bytes()
+        for cut in (1, len(frame) // 2, len(frame) - 1):
+            with pytest.raises((DecodeError, CorruptRecordError)):
+                WalRecord.from_bytes(frame[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        frame = WalRecord(1, OP_STORE, b"x").to_bytes()
+        with pytest.raises((DecodeError, CorruptRecordError)):
+            WalRecord.from_bytes(frame + b"\x00")
+
+    def test_unknown_opcode_rejected(self):
+        rogue = WalRecord(1, 9, b"x")
+        with pytest.raises(DecodeError):
+            WalRecord.from_bytes(rogue.to_bytes())
+
+
+class TestWriteAheadLog:
+    def test_lsns_monotone_from_one(self):
+        wal = WriteAheadLog()
+        lsns = [wal.append(OP_STORE, bytes([i])).lsn for i in range(5)]
+        assert lsns == [1, 2, 3, 4, 5]
+        assert wal.last_lsn == 5
+
+    def test_since_is_the_shipping_window(self):
+        wal = WriteAheadLog()
+        for i in range(6):
+            wal.append(OP_STORE, bytes([i]))
+        assert [r.lsn for r in wal.since(0)] == [1, 2, 3, 4, 5, 6]
+        assert [r.lsn for r in wal.since(4)] == [5, 6]
+        assert wal.since(6) == []
+
+    def test_truncate_reclaims_but_keeps_lsns(self):
+        wal = WriteAheadLog()
+        for i in range(6):
+            wal.append(OP_STORE, bytes([i]))
+        assert wal.truncate_until(4) == 4
+        assert wal.base_lsn == 4
+        assert len(wal) == 2
+        assert [r.lsn for r in wal.since(4)] == [5, 6]
+        # The next append continues the sequence, never reuses LSNs.
+        assert wal.append(OP_DELETE, b"\0" * 8).lsn == 7
+
+    def test_since_below_truncation_demands_reseed(self):
+        wal = WriteAheadLog()
+        for i in range(4):
+            wal.append(OP_STORE, bytes([i]))
+        wal.truncate_until(2)
+        with pytest.raises(StorageError):
+            wal.since(1)
+
+    def test_truncate_never_drops_past_tail(self):
+        wal = WriteAheadLog()
+        wal.append(OP_STORE, b"x")
+        assert wal.truncate_until(99) == 1
+        assert wal.base_lsn == 1
+        assert wal.truncate_until(99) == 0
+
+    def test_unknown_opcode_refused_at_append(self):
+        wal = WriteAheadLog()
+        with pytest.raises(StorageError):
+            wal.append(7, b"x")
+
+    def test_metrics_count_appends_and_bytes(self):
+        registry = MetricsRegistry(SimClock())
+        wal = WriteAheadLog(registry, prefix="storage.wal.shard.0")
+        wal.append(OP_STORE, b"four")
+        wal.append(OP_STORE, b"bytes!")
+        counters = registry.counter_values()
+        assert counters["storage.wal.shard.0.appends"] == 2
+        assert counters["storage.wal.shard.0.bytes"] == 10

@@ -17,6 +17,7 @@ from repro.ibe.keys import IdentityPrivateKey, PublicParams
 from repro.pairing import get_preset
 from repro.pki.rsa import RsaPrivateKey, RsaPublicKey
 from repro.pki.x509lite import Certificate
+from repro.storage.wal import OP_DELETE, OP_STORE, WalRecord
 from repro.wire.messages import (
     Authenticator,
     BatchDepositReceipt,
@@ -61,6 +62,7 @@ BYTE_DECODERS = [
     RsaPublicKey.from_bytes,
     RsaPrivateKey.from_bytes,
     Certificate.from_bytes,
+    WalRecord.from_bytes,
 ]
 
 PARAMS_DECODERS = [
@@ -138,6 +140,31 @@ class TestMutationFuzz:
             except ReproError:
                 continue
             pytest.fail(f"truncation at {cut} accepted: {decoded!r}")
+
+
+class TestWalRecordMutationFuzz:
+    """The WAL frame is stricter than the plain wire messages: the CRC
+    covers the whole body, so EVERY single-bit flip must raise — a
+    corrupted shipped frame may never be applied to a replica."""
+
+    VALID = WalRecord(lsn=42, op=OP_STORE, payload=b"replicated-record").to_bytes()
+
+    @given(position=st.integers(0, len(VALID) - 1), flip=st.integers(1, 255))
+    @settings(max_examples=150, deadline=None)
+    def test_every_byte_mutation_raises(self, position, flip):
+        mutated = bytearray(self.VALID)
+        mutated[position] ^= flip
+        with pytest.raises(ReproError):
+            WalRecord.from_bytes(bytes(mutated))
+
+    def test_every_truncation_raises(self):
+        for cut in range(len(self.VALID)):
+            with pytest.raises(ReproError):
+                WalRecord.from_bytes(self.VALID[:cut])
+
+    def test_trailing_bytes_raise(self):
+        with pytest.raises(ReproError):
+            WalRecord.from_bytes(self.VALID + b"\x00")
 
 
 # -- encode/decode round-trip properties over every wire dataclass ----------
@@ -303,6 +330,15 @@ MESSAGE_STRATEGIES = [
             next_cursor=U64,
             has_more=st.booleans(),
             messages=st.lists(STORED_MESSAGES, max_size=3),
+        ),
+    ),
+    (
+        WalRecord,
+        st.builds(
+            WalRecord,
+            lsn=U64,
+            op=st.sampled_from([OP_STORE, OP_DELETE]),
+            payload=SHORT_BYTES,
         ),
     ),
 ]
