@@ -121,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
     gate.add_argument("--max-regression", type=float, default=0.25,
                       help="allowed fractional drop in each gated ratio "
                       "(default 0.25 = 25%%)")
+    gate.add_argument("--only", choices=["all", "ratios", "budgets"],
+                      default="all",
+                      help="restrict the gate to speedup ratios or "
+                      "op-count budgets (default: both)")
 
     obs = subparsers.add_parser(
         "obs", help="observability: dump metrics/traces/crypto profiles"
@@ -304,12 +308,18 @@ def _cmd_bench(args) -> int:
 def _bench_pairing(args) -> int:
     """Benchmark the pairing fast path and record a perf trajectory file.
 
-    Three sections, mirroring the ISSUE acceptance criteria:
+    Five sections, mirroring the ISSUE acceptance criteria:
 
     * ``pairing``   — wall-clock per pairing: legacy affine Miller loop vs
-      the projective fast path vs fixed-argument evaluation.
+      the projective fast path vs fixed-argument evaluation (on the
+      preset's default field backend).
+    * ``backend``   — the same fast path on each field backend, plus the
+      ``montgomery_speedup`` ratio CI gates on.
     * ``inversions`` — *deterministic* obs-counter budgets: field
       inversions per pairing on each path (what CI gates on).
+    * ``opcounts``  — machine-independent base-field operation counts per
+      fast-path pairing on each backend (the ``bench-gate --only
+      budgets`` quantities; identical on every host).
     * ``deposit_phase`` — FIG4-style SD deposit build: legacy
       (no fast path, no cache) vs fast+cache with per-message nonces vs
       warm cache with a repeated static identity.
@@ -324,23 +334,28 @@ def _bench_pairing(args) -> int:
     preset = args.preset if args.preset else "TEST80"
     out = args.out if args.out is not None else "BENCH_pairing.json"
     params = get_preset(preset)
+    school = get_preset(preset, field_backend="schoolbook")
     rng = HmacDrbg(b"repro-bench-pairing")
-    pairs = [
-        (
-            params.random_scalar(rng) * params.generator,
-            params.random_scalar(rng) * params.generator,
-        )
+    scalars = [
+        (params.random_scalar(rng), params.random_scalar(rng))
         for _ in range(max(2, args.pairings))
     ]
+    pairs = [(a * params.generator, b * params.generator) for a, b in scalars]
+    school_pairs = [
+        (a * school.generator, b * school.generator) for a, b in scalars
+    ]
 
-    def per_op(callback) -> float:
+    def per_op(point_pairs, callback) -> float:
         started = time.perf_counter()
-        for a, b in pairs:
+        for a, b in point_pairs:
             callback(a, b)
-        return (time.perf_counter() - started) / len(pairs)
+        return (time.perf_counter() - started) / len(point_pairs)
 
-    legacy_s = per_op(lambda a, b: params.pair(a, b, fast=False))
-    fast_s = per_op(lambda a, b: params.pair(a, b, fast=True))
+    legacy_s = per_op(pairs, lambda a, b: params.pair(a, b, fast=False))
+    fast_s = per_op(pairs, lambda a, b: params.pair(a, b, fast=True))
+    school_fast_s = per_op(
+        school_pairs, lambda a, b: school.pair(a, b, fast=True)
+    )
     engine = FixedArgumentTate(pairs[0][0], params.q, params.ext_curve)
     started = time.perf_counter()
     for _, b in pairs:
@@ -351,6 +366,8 @@ def _bench_pairing(args) -> int:
         params.pair(*pairs[0], fast=False)
     with profiled() as fast_ops:
         params.pair(*pairs[0], fast=True)
+    with profiled() as school_fast_ops:
+        school.pair(*school_pairs[0], fast=True)
     legacy_inv = legacy_ops.fp2_inv + legacy_ops.fp_inversions
     fast_inv = fast_ops.fp2_inv + fast_ops.fp_inversions
 
@@ -389,9 +406,13 @@ def _bench_pairing(args) -> int:
 
     dump = {
         "bench": "pairing",
-        "schema_version": 1,
+        # v2: adds the ``backend`` wall-clock comparison and the
+        # machine-independent ``opcounts`` section; ``meta`` records the
+        # preset's default field backend.  Strictly additive over v1.
+        "schema_version": 2,
         "meta": {
             "preset": preset,
+            "field_backend": params.field_backend,
             "pairings": len(pairs),
             "messages": args.messages,
         },
@@ -401,10 +422,25 @@ def _bench_pairing(args) -> int:
             "fixed_arg_ms_per_op": round(fixed_s * 1e3, 3),
             "speedup": round(legacy_s / fast_s, 2),
         },
+        "backend": {
+            "schoolbook_fast_ms_per_op": round(school_fast_s * 1e3, 3),
+            "montgomery_fast_ms_per_op": round(fast_s * 1e3, 3),
+            "montgomery_speedup": round(school_fast_s / fast_s, 2),
+        },
         "inversions": {
             "legacy_per_pairing": legacy_inv,
             "fast_per_pairing": fast_inv,
             "ratio": round(legacy_inv / fast_inv, 1),
+        },
+        "opcounts": {
+            "montgomery_fp_muls": fast_ops.fp_muls,
+            "montgomery_fp_sqrs": fast_ops.fp_sqrs,
+            "montgomery_fp_adds": fast_ops.fp_adds,
+            "montgomery_fp2_muls": fast_ops.fp2_mul,
+            "schoolbook_fp_muls": school_fast_ops.fp_muls,
+            "schoolbook_fp_sqrs": school_fast_ops.fp_sqrs,
+            "schoolbook_fp_adds": school_fast_ops.fp_adds,
+            "schoolbook_fp2_muls": school_fast_ops.fp2_mul,
         },
         "deposit_phase": {
             "legacy_ms_per_msg": round(legacy_msg_s * 1e3, 3),
@@ -427,6 +463,12 @@ def _bench_pairing(args) -> int:
         f"({legacy_inv / fast_inv:.0f}x); deposit {legacy_msg_s * 1e3:.2f} -> "
         f"{fast_msg_s * 1e3:.2f} ms/msg ({legacy_msg_s / fast_msg_s:.1f}x, "
         f"warm {legacy_msg_s / warm_msg_s:.1f}x)"
+    )
+    print(
+        f"backend: schoolbook {school_fast_s * 1e3:.2f} -> montgomery "
+        f"{fast_s * 1e3:.2f} ms/op ({school_fast_s / fast_s:.1f}x); "
+        f"fp muls {school_fast_ops.fp_muls} -> {fast_ops.fp_muls}, "
+        f"adds {school_fast_ops.fp_adds} -> {fast_ops.fp_adds}"
     )
     return 0
 
@@ -579,6 +621,7 @@ _GATED_RATIOS = {
         ("pairing", "speedup"),
         ("deposit_phase", "speedup"),
         ("deposit_phase", "warm_speedup"),
+        ("backend", "montgomery_speedup"),
     ],
     "scale": [
         ("batch_timing", "speedup"),
@@ -591,9 +634,34 @@ _GATED_RATIOS = {
     ],
 }
 
+#: Lower-is-better budgets gated by ``repro bench-gate``: deterministic
+#: operation counts from the crypto profiler, identical on every host.
+#: A key absent from the *baseline* is skipped (pre-v2 baselines have no
+#: ``opcounts`` section); a key absent from the *current* run fails —
+#: the fresh bench must always produce the full schema.
+_GATED_BUDGETS = {
+    "pairing": [
+        ("opcounts", "montgomery_fp_muls"),
+        ("opcounts", "montgomery_fp_sqrs"),
+        ("opcounts", "montgomery_fp_adds"),
+        ("opcounts", "montgomery_fp2_muls"),
+        ("opcounts", "schoolbook_fp_muls"),
+        ("opcounts", "schoolbook_fp_sqrs"),
+        ("opcounts", "schoolbook_fp_adds"),
+        ("opcounts", "schoolbook_fp2_muls"),
+    ],
+}
+
 
 def _cmd_bench_gate(args) -> int:
-    """Fail when a gated ratio regressed beyond ``--max-regression``."""
+    """Fail when a gated ratio or budget regressed beyond ``--max-regression``.
+
+    Ratios (speedups) are higher-is-better and must stay above
+    ``base * (1 - max_regression)``; budgets (op counts) are
+    lower-is-better and must stay below ``base * (1 + max_regression)``.
+    ``--only ratios``/``--only budgets`` restricts the gate to one class
+    (CI runs the budget gate as a separate, machine-independent step).
+    """
     import json
 
     with open(args.baseline, encoding="utf-8") as handle:
@@ -604,31 +672,56 @@ def _cmd_bench_gate(args) -> int:
     if current.get("bench") != kind:
         print(f"bench kinds differ: {kind!r} vs {current.get('bench')!r}")
         return 2
-    ratios = _GATED_RATIOS.get(kind)
-    if ratios is None:
-        print(f"no gated ratios defined for bench kind {kind!r}")
-        return 2
+    only = getattr(args, "only", "all")
     failed = 0
-    for section, key in ratios:
-        base = baseline.get(section, {}).get(key)
-        cur = current.get(section, {}).get(key)
-        if base is None or cur is None:
-            print(f"{section}.{key}: missing (baseline={base}, current={cur})")
-            failed += 1
-            continue
-        floor = base * (1.0 - args.max_regression)
-        verdict = "OK" if cur >= floor else "REGRESSED"
-        print(
-            f"{section}.{key}: baseline {base} current {cur} "
-            f"floor {floor:.2f} {verdict}"
-        )
-        if cur < floor:
-            failed += 1
+    if only in ("all", "ratios"):
+        ratios = _GATED_RATIOS.get(kind)
+        if ratios is None:
+            print(f"no gated ratios defined for bench kind {kind!r}")
+            return 2
+        for section, key in ratios:
+            base = baseline.get(section, {}).get(key)
+            cur = current.get(section, {}).get(key)
+            if base is None or cur is None:
+                print(
+                    f"{section}.{key}: missing (baseline={base}, current={cur})"
+                )
+                failed += 1
+                continue
+            floor = base * (1.0 - args.max_regression)
+            verdict = "OK" if cur >= floor else "REGRESSED"
+            print(
+                f"{section}.{key}: baseline {base} current {cur} "
+                f"floor {floor:.2f} {verdict}"
+            )
+            if cur < floor:
+                failed += 1
+    if only in ("all", "budgets"):
+        for section, key in _GATED_BUDGETS.get(kind, []):
+            base = baseline.get(section, {}).get(key)
+            cur = current.get(section, {}).get(key)
+            if base is None:
+                # Baseline predates this budget (pre-v2 schema): nothing
+                # to compare against yet; the regenerated baseline will
+                # arm the gate.
+                continue
+            if cur is None:
+                print(f"{section}.{key}: missing from current run")
+                failed += 1
+                continue
+            ceiling = base * (1.0 + args.max_regression)
+            verdict = "OK" if cur <= ceiling else "REGRESSED"
+            print(
+                f"{section}.{key}: baseline {base} current {cur} "
+                f"ceiling {ceiling:.2f} {verdict}"
+            )
+            if cur > ceiling:
+                failed += 1
     if failed:
-        print(f"bench-gate: {failed} ratio(s) regressed > "
+        print(f"bench-gate: {failed} gate(s) regressed > "
               f"{args.max_regression:.0%}")
         return 1
-    print("bench-gate: all ratios within budget")
+    print("bench-gate: all gates within budget")
     return 0
 
 

@@ -57,6 +57,10 @@ class DeploymentConfig:
     preset: str = "TEST80"
     #: "tate" (default) or "weil" — DESIGN.md ablation 1.
     pairing_algorithm: str = "tate"
+    #: Prime-field backend: None = the preset's default (montgomery),
+    #: or "schoolbook"/"montgomery" explicitly — the A/B knob for the
+    #: lazy-reduction lane (see repro.pairing.montgomery).
+    field_backend: str | None = None
     #: Device-side message cipher (paper: DES).
     message_cipher: str = "DES"
     #: Gatekeeper auth-blob cipher (paper: DES).
@@ -146,6 +150,7 @@ class Deployment:
             config.preset,
             rng=rng.fork(b"master"),
             pairing_algorithm=config.pairing_algorithm,
+            field_backend=config.field_backend,
         )
         master.public.params.use_fast_path = config.use_fast_pairing
         if config.crypto_cache_size > 0:

@@ -198,7 +198,7 @@ class CryptoCache:
         identity = bytes(identity)
         table = self._gt_pow.get(identity)
         if table is None or table.base != base:
-            table = FixedBaseGt(base, public.params.q)
+            table = FixedBaseGt.shared(base, public.params.q)
             self._gt_pow[identity] = table
             if len(self._gt_pow) > self.capacity:
                 self._gt_pow.popitem(last=False)

@@ -153,14 +153,19 @@ def setup(
     preset: str | BFParams = "TEST80",
     rng: RandomSource | None = None,
     pairing_algorithm: str = "tate",
+    field_backend: str | None = None,
 ) -> MasterKeyPair:
     """The paper's Setup: fix parameters, draw ``s``, publish ``sP``.
 
     ``preset`` may be a preset name or a ready :class:`BFParams`.
+    ``field_backend`` selects the arithmetic lane for named presets
+    (``None`` = the preset's default; ignored for ready params).
     """
     rng = rng if rng is not None else SystemRandomSource()
     if isinstance(preset, str):
-        params = get_preset(preset, pairing_algorithm=pairing_algorithm)
+        params = get_preset(
+            preset, pairing_algorithm=pairing_algorithm, field_backend=field_backend
+        )
     elif isinstance(preset, BFParams):
         params = preset
     else:

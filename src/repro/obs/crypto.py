@@ -44,6 +44,9 @@ class CryptoCounters:
         "fp2_mul",
         "fp2_sqr",
         "fp2_inv",
+        "fp_muls",
+        "fp_sqrs",
+        "fp_adds",
         "fp_inversions",
         "cube_roots",
         "cache_h1_hit",

@@ -39,7 +39,13 @@ __all__ = ["build_dump", "dump_to_json"]
 #: append/byte counters, ``runtime.failovers``) and the fault plan gains
 #: ``sim.faults.leader_kills`` / ``sim.faults.follower_lags``.  Still
 #: strictly additive.
-DUMP_SCHEMA_VERSION = 5
+#:
+#: v6: the ``crypto`` section (and the mirrored ``crypto.*`` metric
+#: counters) gains the base-field operation splits ``fp_muls``,
+#: ``fp_sqrs`` and ``fp_adds`` — the machine-independent quantities the
+#: op-count perf gates compare across field backends.  Strictly
+#: additive; the pre-existing counters keep their cross-backend parity.
+DUMP_SCHEMA_VERSION = 6
 
 
 def build_dump(registry, tracer=None, crypto=None, meta=None) -> dict:

@@ -85,7 +85,9 @@ KNOWN_METRIC_PREFIXES: tuple[str, ...] = (
     "transport.",        # standalone RetryingTransport default name
     "net.endpoint.",     # per-endpoint network tallies (collector)
     "protocol.phase.",   # per-phase sim-time duration histograms
-    "crypto.",           # crypto profiler collector (incl. crypto.cache.*)
+    "crypto.",           # crypto profiler collector (incl. crypto.cache.*
+                         # and the schema-v6 crypto.fp_{muls,sqrs,adds}
+                         # base-field op splits)
     "cache.",            # CryptoCache hit/miss counters
     "storage.shard.",    # per-shard deposit counters and message gauges
     "runtime.worker.",   # per-worker job counters and busy-step histograms

@@ -11,6 +11,11 @@ non-degenerate, and the Boneh–Franklin MapToPoint hash.
 from repro.pairing.curve import Curve, Point
 from repro.pairing.fast_tate import FixedArgumentTate, tate_pairing_fast
 from repro.pairing.fields import Fp, Fp2, FpElement, Fp2Element, batch_inverse
+from repro.pairing.montgomery import (
+    MontgomeryFp,
+    montgomery_context,
+    tate_pairing_mont,
+)
 from repro.pairing.hashing import (
     gt_to_bytes,
     hash_to_point,
@@ -36,6 +41,9 @@ __all__ = [
     "batch_inverse",
     "tate_pairing",
     "tate_pairing_fast",
+    "tate_pairing_mont",
+    "MontgomeryFp",
+    "montgomery_context",
     "FixedArgumentTate",
     "FixedBasePoint",
     "FixedBaseGt",

@@ -265,7 +265,30 @@ class Point:
         and normalised with a single batched inversion; the main loop is
         inversion-free; one final inversion converts back to affine.
         Bit-for-bit equal to the affine ladder (same group, same result).
+
+        Base-field points whose field carries a Montgomery REDC context
+        take the raw-integer lane in Montgomery-weighted Jacobian
+        coordinates (:func:`repro.pairing.montgomery.scalar_mult_raw`) —
+        same digits, same two inversions, same point out.
         """
+        mont = getattr(self.x.field, "mont", None)
+        if mont is not None and hasattr(self.x, "value"):
+            if self.y.is_zero():
+                # Order-2 base point: k*P is P or O depending on parity.
+                return self if scalar & 1 else self.curve.infinity()
+            from repro.pairing.montgomery import scalar_mult_raw
+
+            result = scalar_mult_raw(
+                self.x.value,
+                self.y.value,
+                _wnaf(scalar, _WNAF_WIDTH),
+                _WNAF_WIDTH,
+                mont,
+            )
+            if result is None:
+                return self.curve.infinity()
+            field = self.x.field
+            return Point(self.curve, field(result[0]), field(result[1]))
         base = (self.x, self.y, self.x.field.one())
         twice = _jac_double(*base)
         if twice is None:

@@ -41,6 +41,9 @@ class FpElement:
         other = self._coerce(other)
         if other is NotImplemented:
             return NotImplemented
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.fp_adds += 1
         return FpElement(self.field, self.value + other.value)
 
     __radd__ = __add__
@@ -49,18 +52,27 @@ class FpElement:
         other = self._coerce(other)
         if other is NotImplemented:
             return NotImplemented
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.fp_adds += 1
         return FpElement(self.field, self.value - other.value)
 
     def __rsub__(self, other):
         other = self._coerce(other)
         if other is NotImplemented:
             return NotImplemented
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.fp_adds += 1
         return FpElement(self.field, other.value - self.value)
 
     def __mul__(self, other):
         other = self._coerce(other)
         if other is NotImplemented:
             return NotImplemented
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.fp_muls += 1
         return FpElement(self.field, self.value * other.value)
 
     __rmul__ = __mul__
@@ -81,6 +93,10 @@ class FpElement:
         return FpElement(self.field, -self.value)
 
     def __pow__(self, exponent: int):
+        if not isinstance(exponent, int):
+            raise MathError(
+                f"field exponent must be an int, got {type(exponent).__name__}"
+            )
         if exponent < 0:
             return self.inverse() ** (-exponent)
         return FpElement(self.field, pow(self.value, exponent, self.field.p))
@@ -133,6 +149,12 @@ class Fp:
             raise ParameterError(f"field prime must be >= 3, got {p}")
         self.p = p
         self.byte_length = (p.bit_length() + 7) // 8
+        #: Optional :class:`repro.pairing.montgomery.MontgomeryFp` REDC
+        #: context.  ``None`` selects the schoolbook backend; parameter
+        #: construction attaches a context when the Montgomery backend is
+        #: chosen.  Elements always *store* canonical residues — the
+        #: Montgomery representation lives only inside the raw kernels.
+        self.mont = None
 
     def __call__(self, value: int) -> FpElement:
         return FpElement(self, value)
@@ -187,6 +209,9 @@ class Fp2Element:
         other = self._coerce(other)
         if other is NotImplemented:
             return NotImplemented
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.fp_adds += 2
         return Fp2Element(self.field, self.a + other.a, self.b + other.b)
 
     __radd__ = __add__
@@ -195,6 +220,9 @@ class Fp2Element:
         other = self._coerce(other)
         if other is NotImplemented:
             return NotImplemented
+        prof = _obs_crypto.ACTIVE
+        if prof is not None:
+            prof.fp_adds += 2
         return Fp2Element(self.field, self.a - other.a, self.b - other.b)
 
     def __rsub__(self, other):
@@ -210,6 +238,8 @@ class Fp2Element:
         prof = _obs_crypto.ACTIVE
         if prof is not None:
             prof.fp2_mul += 1
+            prof.fp_muls += 3  # interleaved Karatsuba: 3 base muls
+            prof.fp_adds += 5
         p = self.field.p
         # (a + bi)(c + di) = (ac - bd) + (ad + bc) i
         ac = self.a * other.a
@@ -239,6 +269,8 @@ class Fp2Element:
         prof = _obs_crypto.ACTIVE
         if prof is not None:
             prof.fp2_sqr += 1
+            prof.fp_sqrs += 2  # complex squaring: two base products
+            prof.fp_adds += 3
         p = self.field.p
         # (a + bi)^2 = (a - b)(a + b) + 2ab i
         return Fp2Element(
@@ -248,6 +280,10 @@ class Fp2Element:
         )
 
     def __pow__(self, exponent: int) -> "Fp2Element":
+        if not isinstance(exponent, int):
+            raise MathError(
+                f"field exponent must be an int, got {type(exponent).__name__}"
+            )
         if exponent < 0:
             return self.inverse() ** (-exponent)
         result = self.field.one()
@@ -357,6 +393,10 @@ class Fp2:
         self.p = p
         self.base = Fp(p)
         self.byte_length = self.base.byte_length
+        #: Mirrors :attr:`Fp.mont` — set alongside it at parameter
+        #: construction so extension-level consumers (the fixed-argument
+        #: pairing tables) can find the REDC context.
+        self.mont = None
 
     def __call__(self, a: int, b: int = 0) -> Fp2Element:
         return Fp2Element(self, a, b)

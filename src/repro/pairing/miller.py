@@ -143,6 +143,9 @@ def _double_step(T, p: int):
     if Y == 0:
         # 2-torsion: vertical tangent, the double is infinity.
         return None, (0, Z * Z % p, -X % p, 0, 1)
+    # Lazily reduced: short sums like X + YY and 3*XX stay unreduced
+    # (they are < a few p, so the following product still fits easily)
+    # and each emitted coefficient is reduced exactly once.
     XX = X * X % p
     YY = Y * Y % p
     ZZ = Z * Z % p
@@ -151,9 +154,9 @@ def _double_step(T, p: int):
     a_x = -3 * XX * ZZ % p
     a_0 = (3 * X * XX - 2 * YY) % p
     C = YY * YY % p
-    t = (X + YY) % p
+    t = X + YY
     D = 2 * (t * t - XX - C) % p  # 4*X*Y^2
-    E = 3 * XX % p
+    E = 3 * XX
     X3 = (E * E - 2 * D) % p
     Y3 = (E * (D - X3) - 8 * C) % p
     return (X3, Y3, Z3), (a_y, a_x, a_0, Z3 * Z3 % p, -X3 % p)

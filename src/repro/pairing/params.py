@@ -25,9 +25,18 @@ from repro.obs import crypto as _obs_crypto
 from repro.pairing.curve import Curve, Point
 from repro.pairing.fields import Fp, Fp2, Fp2Element
 from repro.pairing.fast_tate import tate_pairing_fast
+from repro.pairing.montgomery import montgomery_context, tate_pairing_mont
 from repro.pairing.tate import tate_pairing, weil_pairing
 
-__all__ = ["BFParams", "generate_params", "get_preset", "PRESETS"]
+__all__ = [
+    "BFParams",
+    "generate_params",
+    "get_preset",
+    "PRESETS",
+    "FIELD_BACKENDS",
+    "DEFAULT_FIELD_BACKEND",
+    "PRESET_FIELD_BACKENDS",
+]
 
 #: Deterministic (p, q) presets, named by the bit length of p.  Approximate
 #: classical security: TOY64/TEST80 none (tests only), SMALL160 toy,
@@ -45,6 +54,21 @@ PRESETS: dict[str, tuple[int, int]] = {
         0xE311DFB8BFD2AB2D20C4605C471709BFAEDCE795,
     ),
 }
+
+#: The selectable prime-field backends.  ``schoolbook`` is the golden
+#: reference (plain reduced big-int arithmetic); ``montgomery`` routes
+#: the pairing and scalar-multiplication hot paths through the
+#: Montgomery-form lazy-reduction kernels in
+#: :mod:`repro.pairing.montgomery` — bit-identical outputs, enforced by
+#: the golden-equivalence Hypothesis suite.
+FIELD_BACKENDS = ("schoolbook", "montgomery")
+
+DEFAULT_FIELD_BACKEND = "montgomery"
+
+#: Backend selected per preset when the caller does not override it.
+#: All presets default to the Montgomery lane; flip an entry (or pass
+#: ``field_backend="schoolbook"``) to A/B against the reference.
+PRESET_FIELD_BACKENDS: dict[str, str] = {name: DEFAULT_FIELD_BACKEND for name in PRESETS}
 
 
 @dataclass
@@ -77,6 +101,9 @@ class BFParams:
     zeta: Fp2Element
     pairing_algorithm: str = "tate"
     name: str = field(default="custom")
+    #: Which prime-field backend the fast paths use — ``"montgomery"``
+    #: (default) or ``"schoolbook"`` (the golden reference lane).
+    field_backend: str = "montgomery"
     #: Route Tate pairings of base-field points through the projective
     #: fast path (bit-for-bit equal output).  Flip off to force the
     #: legacy affine Miller loop everywhere, e.g. for A/B benchmarks.
@@ -93,12 +120,15 @@ class BFParams:
         generator_seed: bytes = b"repro-bf-generator",
         pairing_algorithm: str = "tate",
         name: str = "custom",
+        field_backend: str | None = None,
     ) -> "BFParams":
         """Build the full parameter object from the two primes.
 
         The generator is derived deterministically from
         ``generator_seed`` so independently constructed parties agree on
-        it without communication.
+        it without communication.  ``field_backend`` selects the
+        arithmetic lane (:data:`FIELD_BACKENDS`); ``None`` means
+        :data:`DEFAULT_FIELD_BACKEND`.
         """
         if p % 12 != 11:
             raise ParameterError(f"p % 12 must be 11, got {p % 12}")
@@ -108,9 +138,19 @@ class BFParams:
             raise ParameterError(
                 f"pairing_algorithm must be 'tate' or 'weil', got {pairing_algorithm!r}"
             )
+        if field_backend is None:
+            field_backend = DEFAULT_FIELD_BACKEND
+        if field_backend not in FIELD_BACKENDS:
+            raise ParameterError(
+                f"field_backend must be one of {FIELD_BACKENDS}, got {field_backend!r}"
+            )
         cofactor = (p + 1) // q
         base_field = Fp(p)
         ext_field = Fp2(p)
+        if field_backend == "montgomery":
+            ctx = montgomery_context(p)
+            base_field.mont = ctx
+            ext_field.mont = ctx
         curve = Curve(base_field)
         ext_curve = Curve(ext_field)
         # zeta = (-1 + sqrt(3) * i) / 2: a primitive cube root of unity.
@@ -129,6 +169,7 @@ class BFParams:
             zeta=zeta,
             pairing_algorithm=pairing_algorithm,
             name=name,
+            field_backend=field_backend,
         )
 
     @staticmethod
@@ -160,6 +201,8 @@ class BFParams:
             return weil_pairing(p_point, distorted, self.q, self.ext_curve)
         use_fast = self.use_fast_path if fast is None else fast
         if use_fast and not p_point.is_infinity() and hasattr(p_point.x, "value"):
+            if self.field_backend == "montgomery":
+                return tate_pairing_mont(p_point, distorted, self.q, self.ext_curve)
             return tate_pairing_fast(p_point, distorted, self.q, self.ext_curve)
         return tate_pairing(p_point, distorted, self.q, self.ext_curve)
 
@@ -177,7 +220,7 @@ class BFParams:
         if table is None or table.base != self.generator:
             from repro.pairing.precompute import FixedBasePoint
 
-            table = FixedBasePoint(self.generator, self.q)
+            table = FixedBasePoint.shared(self.generator, self.q)
             self._gen_table = table
         return table(scalar)
 
@@ -221,13 +264,23 @@ class BFParams:
         )
 
 
-def get_preset(name: str = "TEST80", pairing_algorithm: str = "tate") -> BFParams:
-    """Load a named deterministic parameter preset (see :data:`PRESETS`)."""
+def get_preset(
+    name: str = "TEST80",
+    pairing_algorithm: str = "tate",
+    field_backend: str | None = None,
+) -> BFParams:
+    """Load a named deterministic parameter preset (see :data:`PRESETS`).
+
+    ``field_backend=None`` selects the preset's entry in
+    :data:`PRESET_FIELD_BACKENDS`.
+    """
     if name not in PRESETS:
         raise ParameterError(f"unknown preset {name!r}; known: {sorted(PRESETS)}")
     p, q = PRESETS[name]
+    if field_backend is None:
+        field_backend = PRESET_FIELD_BACKENDS[name]
     return BFParams.from_primes(
-        p, q, pairing_algorithm=pairing_algorithm, name=name
+        p, q, pairing_algorithm=pairing_algorithm, name=name, field_backend=field_backend
     )
 
 
@@ -236,11 +289,16 @@ def generate_params(
     p_bits: int = 512,
     rng: RandomSource | None = None,
     pairing_algorithm: str = "tate",
+    field_backend: str | None = None,
 ) -> BFParams:
     """Generate fresh parameters (the PKG's one-time group setup)."""
     from repro.mathlib.primes import generate_bf_prime_pair
 
     p, q, _l = generate_bf_prime_pair(q_bits, p_bits, rng=rng)
     return BFParams.from_primes(
-        p, q, pairing_algorithm=pairing_algorithm, name=f"gen-{p_bits}/{q_bits}"
+        p,
+        q,
+        pairing_algorithm=pairing_algorithm,
+        name=f"gen-{p_bits}/{q_bits}",
+        field_backend=field_backend,
     )

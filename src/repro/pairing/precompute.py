@@ -18,11 +18,70 @@ functions.  The EXT-D addendum bench measures the gain.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.errors import ParameterError
+from repro.obs import crypto as _obs_crypto
 from repro.pairing.curve import Point
 from repro.pairing.fields import Fp2Element
 
-__all__ = ["FixedBasePoint", "FixedBaseGt"]
+__all__ = [
+    "FixedBasePoint",
+    "FixedBaseGt",
+    "shared_table_stats",
+    "clear_shared_tables",
+]
+
+
+# -- shared table memo -------------------------------------------------------
+#
+# Deployments built in the same process (tests, the load harness) keep
+# re-deriving the same generator and G_T bases, so identical window
+# tables were being rebuilt over and over.  The memo below keys tables
+# by a (kind, field, base-bytes, order, window_bits) fingerprint.
+#
+# Two deliberate choices preserve the same-seed byte-identical obs-dump
+# property: construction runs with the active profiler *suspended*
+# (whether a table is a hit or a miss depends on process history, so
+# charging build cost to whichever deployment builds first would make
+# dumps diverge), and the hit/miss counters live here as module-level
+# stats rather than CryptoCounters slots (same reason — they are
+# process-history, not per-deployment, quantities).
+
+_SHARED_TABLES: OrderedDict = OrderedDict()
+_SHARED_CAPACITY = 64
+_SHARED_STATS = {"hits": 0, "misses": 0}
+
+
+def shared_table_stats() -> dict[str, int]:
+    """Process-wide hit/miss counters for the shared window-table memo."""
+    return dict(_SHARED_STATS)
+
+
+def clear_shared_tables() -> None:
+    """Drop all memoized tables and reset the hit/miss counters (tests)."""
+    _SHARED_TABLES.clear()
+    _SHARED_STATS["hits"] = 0
+    _SHARED_STATS["misses"] = 0
+
+
+def _shared_lookup(key, builder):
+    table = _SHARED_TABLES.get(key)
+    if table is not None:
+        _SHARED_TABLES.move_to_end(key)
+        _SHARED_STATS["hits"] += 1
+        return table
+    _SHARED_STATS["misses"] += 1
+    previous = _obs_crypto.ACTIVE
+    _obs_crypto.ACTIVE = None
+    try:
+        table = builder()
+    finally:
+        _obs_crypto.ACTIVE = previous
+    _SHARED_TABLES[key] = table
+    while len(_SHARED_TABLES) > _SHARED_CAPACITY:
+        _SHARED_TABLES.popitem(last=False)
+    return table
 
 
 class FixedBasePoint:
@@ -34,6 +93,16 @@ class FixedBasePoint:
     >>> fast(12345) == 12345 * params.generator
     True
     """
+
+    @classmethod
+    def shared(cls, base: Point, order: int, window_bits: int = 4) -> "FixedBasePoint":
+        """Memoized constructor keyed by (base, order, window_bits).
+
+        Repeated ``Deployment.build`` calls in one process share one
+        table per fingerprint; see :func:`shared_table_stats`.
+        """
+        key = ("point", base.curve.field, base.to_bytes(), order, window_bits)
+        return _shared_lookup(key, lambda: cls(base, order, window_bits))
 
     def __init__(self, base: Point, order: int, window_bits: int = 4) -> None:
         if not 1 <= window_bits <= 8:
@@ -82,6 +151,12 @@ class FixedBaseGt:
     (attribute, key) pair, and per-message work reduces to ``g^r`` —
     with this table, additions-only in the multiplicative group.
     """
+
+    @classmethod
+    def shared(cls, base: Fp2Element, order: int, window_bits: int = 4) -> "FixedBaseGt":
+        """Memoized constructor keyed by (base, order, window_bits)."""
+        key = ("gt", base.field, base.to_bytes(), order, window_bits)
+        return _shared_lookup(key, lambda: cls(base, order, window_bits))
 
     def __init__(self, base: Fp2Element, order: int, window_bits: int = 4) -> None:
         if not 1 <= window_bits <= 8:

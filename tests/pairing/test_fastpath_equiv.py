@@ -144,6 +144,92 @@ class TestPairingEquivalence:
         assert engine(params.distort(b)).to_bytes() == legacy.to_bytes()
 
 
+#: One params object per (preset, backend) draw — building them once
+#: keeps the Hypothesis examples fast and shares Montgomery contexts.
+BACKEND_PARAMS = {
+    (preset, backend): get_preset(preset, field_backend=backend)
+    for preset in ("TOY64", "TEST80")
+    for backend in ("schoolbook", "montgomery")
+}
+presets = st.sampled_from(["TOY64", "TEST80"])
+backends = st.sampled_from(["schoolbook", "montgomery"])
+
+
+class TestBackendEquivalence:
+    """The field backend is an arithmetic strategy, never an output bit.
+
+    Hypothesis draws the backend *per example*: whatever combination of
+    preset, backend and scalars comes up, the pairing bytes must equal
+    the schoolbook reference and the counter budget must be unchanged.
+    """
+
+    @given(preset=presets, backend=backends, k1=st.integers(1, 1 << 64),
+           k2=st.integers(1, 1 << 64))
+    @settings(max_examples=30, deadline=None)
+    def test_pair_bytes_match_schoolbook_reference(self, preset, backend, k1, k2):
+        params = BACKEND_PARAMS[(preset, backend)]
+        reference = BACKEND_PARAMS[(preset, "schoolbook")]
+        a, b = k1 % params.q or 1, k2 % params.q or 1
+        value = params.pair(a * params.generator, b * params.generator)
+        expected = reference.pair(
+            a * reference.generator, b * reference.generator
+        )
+        assert value.to_bytes() == expected.to_bytes()
+
+    @given(preset=presets, backend=backends, k=st.integers(0, 1 << 64))
+    @settings(max_examples=30, deadline=None)
+    def test_scalar_mult_and_to_bytes_round_trip(self, preset, backend, k):
+        params = BACKEND_PARAMS[(preset, backend)]
+        reference = BACKEND_PARAMS[(preset, "schoolbook")]
+        point = k * params.generator
+        assert point == k * reference.generator
+        if not point.is_infinity():
+            encoded = point.to_bytes()
+            assert params.curve.from_bytes(encoded) == point
+            assert encoded == (k * reference.generator).to_bytes()
+
+    @given(preset=presets, backend=backends, k=st.integers(1, 1 << 64))
+    @settings(max_examples=16, deadline=None)
+    def test_fixed_argument_engine_backend_agnostic(self, preset, backend, k):
+        params = BACKEND_PARAMS[(preset, backend)]
+        reference = BACKEND_PARAMS[(preset, "schoolbook")]
+        scalar = k % params.q or 1
+        engine = FixedArgumentTate(
+            7 * params.generator, params.q, params.ext_curve
+        )
+        value = engine(params.distort(scalar * params.generator))
+        expected = reference.pair(
+            7 * reference.generator, scalar * reference.generator
+        )
+        assert value.to_bytes() == expected.to_bytes()
+
+    @given(backend=backends, k1=small_scalars, k2=small_scalars)
+    @settings(max_examples=16, deadline=None)
+    def test_inversion_budget_unchanged(self, backend, k1, k2):
+        from repro.obs.crypto import profiled
+
+        params = BACKEND_PARAMS[("TOY64", backend)]
+        a, b = k1 * params.generator, k2 * params.generator
+        with profiled() as ops:
+            params.pair(a, b)
+        assert ops.fp2_inv + ops.fp_inversions == 1
+
+    @pytest.mark.parametrize("backend", ["schoolbook", "montgomery"])
+    def test_kem_ciphertexts_identical_across_backends(self, backend):
+        master = setup(
+            "TOY64", rng=HmacDrbg(b"backend-master"), field_backend=backend
+        )
+        kem = IbeKem(master.public, rng=HmacDrbg(b"backend-kem"))
+        r_p, key = kem.encapsulate(b"meter-9:attr", 16)
+        reference = setup(
+            "TOY64", rng=HmacDrbg(b"backend-master"),
+            field_backend="schoolbook",
+        )
+        ref_kem = IbeKem(reference.public, rng=HmacDrbg(b"backend-kem"))
+        ref_r_p, ref_key = ref_kem.encapsulate(b"meter-9:attr", 16)
+        assert (r_p.to_bytes(), key) == (ref_r_p.to_bytes(), ref_key)
+
+
 class TestEndToEndEquivalence:
     @pytest.mark.parametrize("preset", ["TOY64", "TEST80"])
     def test_kem_bytes_identical_cached_vs_legacy(self, preset):

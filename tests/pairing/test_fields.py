@@ -66,6 +66,22 @@ class TestFpAxioms:
     def test_fermat_little_theorem(self):
         assert FP(1234) ** (P - 1) == FP.one()
 
+    @given(a=fp_elements, e=st.integers(1, 50))
+    @settings(max_examples=30)
+    def test_negative_exponent_is_inverse_power(self, a, e):
+        if not a.is_zero():
+            assert a ** -e == (a ** e).inverse()
+            assert a ** -e == a.inverse() ** e
+
+    def test_zero_to_negative_exponent_not_invertible(self):
+        with pytest.raises(NotInvertibleError):
+            FP.zero() ** -1
+
+    @pytest.mark.parametrize("exponent", [2.0, "3", None, FP(2)])
+    def test_non_int_exponent_is_typed_error(self, exponent):
+        with pytest.raises(MathError, match="field exponent must be an int"):
+            FP(7) ** exponent
+
 
 class TestFpOperations:
     def test_int_coercion_both_sides(self):
@@ -168,6 +184,17 @@ class TestFp2Axioms:
 
     def test_multiplicative_group_order(self):
         assert FP2(3, 4) ** (P * P - 1) == FP2.one()
+
+    @given(a=fp2_elements, e=st.integers(1, 40))
+    @settings(max_examples=30)
+    def test_negative_exponent_is_inverse_power(self, a, e):
+        if not a.is_zero():
+            assert a ** -e == (a ** e).inverse()
+
+    @pytest.mark.parametrize("exponent", [1.5, b"2", object()])
+    def test_non_int_exponent_is_typed_error(self, exponent):
+        with pytest.raises(MathError, match="field exponent must be an int"):
+            FP2(3, 4) ** exponent
 
 
 class TestFp2Operations:

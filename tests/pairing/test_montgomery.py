@@ -1,0 +1,293 @@
+"""The Montgomery-form field backend: REDC, folded kernel, raw wNAF.
+
+The backend's contract has three parts, each pinned here:
+
+* **Arithmetic**: REDC round-trips and ``mont_mul``/``mont_sqr`` agree
+  with plain modular arithmetic (Hypothesis over random residues).
+* **Byte identity**: the folded kernel — ad-hoc lane, fixed-argument
+  table and raw scalar multiplication — produces exactly the bytes the
+  schoolbook backend produces, including every edge case (infinity,
+  order-2 points, negative scalars, degenerate evaluations).
+* **Counter parity**: the legacy profiler counters (``pairings``,
+  ``miller_*``, ``fp2_*``, ``fp_inversions``) are equal across backends
+  so same-seed obs dumps stay byte-identical; only the new
+  ``fp_muls``/``fp_sqrs``/``fp_adds`` splits may differ.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PairingError, ParameterError
+from repro.mathlib.rand import HmacDrbg
+from repro.obs.crypto import CryptoCounters, profiled
+from repro.pairing import FixedArgumentTate, get_preset
+from repro.pairing.fast_tate import tate_pairing_fast
+from repro.pairing.montgomery import (
+    MontgomeryFp,
+    montgomery_context,
+    scalar_mult_raw,
+    tate_pairing_mont,
+)
+from tests.conftest import build_deployment
+
+MONT = get_preset("TOY64")
+SCHOOL = get_preset("TOY64", field_backend="schoolbook")
+Q = MONT.q
+P = MONT.p
+CTX = montgomery_context(P)
+
+residues = st.integers(0, P - 1)
+small_scalars = st.integers(1, Q - 1)
+
+
+class TestMontgomeryFp:
+    def test_r_is_word_aligned_and_exceeds_p(self):
+        assert CTX.r_bits % 64 == 0
+        assert (1 << CTX.r_bits) > P
+
+    @given(x=residues)
+    @settings(max_examples=60, deadline=None)
+    def test_to_from_mont_round_trip(self, x):
+        assert CTX.from_mont(CTX.to_mont(x)) == x
+
+    @given(a=residues, b=residues)
+    @settings(max_examples=60, deadline=None)
+    def test_mont_mul_matches_plain_product(self, a, b):
+        ma, mb = CTX.to_mont(a), CTX.to_mont(b)
+        assert CTX.from_mont(CTX.mont_mul(ma, mb)) == a * b % P
+
+    @given(a=residues)
+    @settings(max_examples=40, deadline=None)
+    def test_mont_sqr_matches_mont_mul(self, a):
+        ma = CTX.to_mont(a)
+        assert CTX.mont_sqr(ma) == CTX.mont_mul(ma, ma)
+
+    @given(a=residues, b=residues)
+    @settings(max_examples=40, deadline=None)
+    def test_mont_add_sub_stay_canonical(self, a, b):
+        s = CTX.mont_add(a, b)
+        d = CTX.mont_sub(a, b)
+        assert 0 <= s < P and s == (a + b) % P
+        assert 0 <= d < P and d == (a - b) % P
+
+    def test_profiler_splits_muls_from_sqrs(self):
+        with profiled() as prof:
+            CTX.mont_mul(CTX.r1, CTX.r2)
+            CTX.mont_sqr(CTX.r1)
+            CTX.mont_add(1, 2)
+            CTX.mont_sub(2, 1)
+        assert (prof.fp_muls, prof.fp_sqrs, prof.fp_adds) == (1, 1, 2)
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(ParameterError):
+            MontgomeryFp(2 ** 64)
+
+    def test_context_cached_per_prime(self):
+        assert montgomery_context(P) is CTX
+
+
+class TestBackendAttachment:
+    def test_montgomery_preset_carries_context(self):
+        assert MONT.field_backend == "montgomery"
+        assert MONT.curve.field.mont is CTX
+        assert MONT.ext_curve.field.mont is CTX
+
+    def test_schoolbook_preset_has_no_context(self):
+        assert SCHOOL.field_backend == "schoolbook"
+        assert SCHOOL.curve.field.mont is None
+        assert SCHOOL.ext_curve.field.mont is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ParameterError):
+            get_preset("TOY64", field_backend="barrett")
+
+
+class TestKernelEquivalence:
+    @given(k1=small_scalars, k2=small_scalars)
+    @settings(max_examples=30, deadline=None)
+    def test_ad_hoc_lane_matches_schoolbook_fast_path(self, k1, k2):
+        a = k1 * SCHOOL.generator
+        b = SCHOOL.distort(k2 * SCHOOL.generator)
+        mont = tate_pairing_mont(a, b, Q, MONT.ext_curve)
+        school = tate_pairing_fast(a, b, Q, SCHOOL.ext_curve)
+        assert mont.to_bytes() == school.to_bytes()
+
+    @given(k=small_scalars)
+    @settings(max_examples=20, deadline=None)
+    def test_fixed_table_matches_ad_hoc_lane(self, k):
+        base = 5 * MONT.generator
+        engine = FixedArgumentTate(base, Q, MONT.ext_curve)
+        assert engine._mont is not None
+        other = MONT.distort(k * MONT.generator)
+        assert engine(other).to_bytes() == tate_pairing_mont(
+            base, other, Q, MONT.ext_curve
+        ).to_bytes()
+
+    def test_infinity_edges(self):
+        one = MONT.ext_curve.field.one()
+        infinity = MONT.curve.infinity()
+        assert MONT.pair(infinity, MONT.generator) == one
+        assert MONT.pair(MONT.generator, infinity) == one
+
+    def test_degenerate_evaluation_raises_like_schoolbook(self):
+        # e(P, phi(P)-ish) is fine, but evaluating the Miller function of
+        # P at a point on P's own vertical is degenerate on every lane.
+        point = MONT.generator
+        ext_point = MONT.ext_curve.point(
+            MONT.ext_curve.field(point.x.value),
+            MONT.ext_curve.field(point.y.value),
+        )
+        with pytest.raises(PairingError):
+            tate_pairing_mont(point, ext_point, Q, MONT.ext_curve)
+        with pytest.raises(PairingError):
+            tate_pairing_fast(point, ext_point, Q, SCHOOL.ext_curve)
+
+    def test_complex_y_falls_back_to_projective_lane(self):
+        # A contrived evaluation point with complex y exercises the
+        # fallback branch; both lanes agree by F_p^* cancellation.
+        # distort(aG) has real y and embed(bG) real coordinates; their
+        # chord sum generically has complex x *and* y.
+        ext = MONT.ext_curve
+        base = 17 * MONT.generator
+        embedded = ext.point(
+            ext.field(base.x.value), ext.field(base.y.value)
+        )
+        point = MONT.distort(29 * MONT.generator) + embedded
+        assert point.y.b != 0
+        a = 7 * MONT.generator
+        mont = tate_pairing_mont(a, point, Q, ext)
+        school = tate_pairing_fast(a, point, Q, SCHOOL.ext_curve)
+        assert mont.to_bytes() == school.to_bytes()
+
+    def test_ext_field_first_argument_rejected(self):
+        ext_gen = MONT.distort(MONT.generator)
+        with pytest.raises(PairingError):
+            tate_pairing_mont(ext_gen, ext_gen, Q, MONT.ext_curve)
+
+
+class TestRawScalarMult:
+    @given(k=st.integers(0, 3 * Q))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_schoolbook_wnaf(self, k):
+        mont = k * MONT.generator
+        school = k * SCHOOL.generator
+        if mont.is_infinity():
+            assert school.is_infinity()
+        else:
+            assert mont.to_bytes() == school.to_bytes()
+
+    def test_negative_scalar(self):
+        assert ((-11) * MONT.generator).to_bytes() == (
+            (Q - 11) * MONT.generator
+        ).to_bytes()
+
+    def test_order_two_point(self):
+        point = MONT.curve.point(P - 1, 0)
+        assert (2 * point).is_infinity()
+        assert (Q + 1) * point == ((Q + 1) % 2) * point or (
+            (Q + 1) * point
+        ).is_infinity()
+        assert (3 * point) == point
+
+    def test_scalar_hitting_infinity(self):
+        assert (Q * MONT.generator).is_infinity()
+
+    def test_raw_helper_returns_canonical_coordinates(self):
+        gen = MONT.generator
+        from repro.pairing.curve import _wnaf
+
+        raw = scalar_mult_raw(gen.x.value, gen.y.value, _wnaf(12345, 4), 4, CTX)
+        expected = 12345 * SCHOOL.generator
+        assert raw == (expected.x.value, expected.y.value)
+
+    def test_exactly_two_inversions_like_schoolbook(self):
+        with profiled() as mont_prof:
+            _ = 987654321 * MONT.generator
+        with profiled() as school_prof:
+            _ = 987654321 * SCHOOL.generator
+        assert mont_prof.fp_inversions == school_prof.fp_inversions == 2
+
+
+class TestCounterParity:
+    def run_profiled(self, params, operations=3):
+        rng = HmacDrbg(b"parity")
+        prof = CryptoCounters()
+        with profiled(prof):
+            for _ in range(operations):
+                a = params.random_scalar(rng) * params.generator
+                b = params.random_scalar(rng) * params.generator
+                value = params.pair(a, b)
+                _ = value ** 12345
+        return prof.as_dict()
+
+    def test_legacy_counters_identical_fp_splits_differ(self):
+        mont = self.run_profiled(MONT)
+        school = self.run_profiled(SCHOOL)
+        fp_keys = {"crypto.fp_muls", "crypto.fp_sqrs", "crypto.fp_adds"}
+        assert {k: v for k, v in mont.items() if k not in fp_keys} == {
+            k: v for k, v in school.items() if k not in fp_keys
+        }
+        # The splits record each lane's actual work, so they must differ
+        # (the Montgomery kernel trades muls/adds for squarings).
+        assert mont["crypto.fp_muls"] < school["crypto.fp_muls"]
+        assert mont["crypto.fp_adds"] < school["crypto.fp_adds"]
+
+    def test_fixed_table_counter_parity(self):
+        def run(params):
+            base = 9 * params.generator
+            engine = FixedArgumentTate(base, Q, params.ext_curve)
+            target = params.distort(13 * params.generator)
+            with profiled() as prof:
+                engine(target)
+            return prof
+
+        mont, school = run(MONT), run(SCHOOL)
+        for name in ("pairings", "miller_loops", "miller_doublings",
+                     "miller_additions", "fp2_mul", "fp2_sqr", "fp2_inv",
+                     "fp_inversions"):
+            assert getattr(mont, name) == getattr(school, name), name
+        assert mont.fp_muls > 0 and mont.fp_sqrs > 0 and mont.fp_adds > 0
+
+    @pytest.mark.parametrize("backend", ["schoolbook", "montgomery"])
+    def test_same_seed_dumps_byte_identical_modulo_fp_splits(self, backend):
+        # The full-deployment determinism contract: the only keys allowed
+        # to vary across backends are the new additive fp_* splits.
+        def dump_for(field_backend):
+            deployment = build_deployment(
+                seed=b"mont-parity", field_backend=field_backend
+            )
+            try:
+                device = deployment.new_smart_device("mont-meter-001")
+                client = deployment.new_receiving_client(
+                    "mont-utility", "mont-pw", attributes=["MONT-ATTR"]
+                )
+                from repro.core.protocol import ProtocolDriver
+
+                ProtocolDriver(deployment).run_full(
+                    device, client, [("MONT-ATTR", b"reading=1;mont")]
+                )
+                return json.loads(deployment.obs_dump_json())
+            finally:
+                deployment.close()
+
+        def strip(dump):
+            fp_keys = {"fp_muls", "fp_sqrs", "fp_adds"}
+            dump["crypto"] = {
+                k: v for k, v in dump["crypto"].items()
+                if k.removeprefix("crypto.") not in fp_keys
+            }
+            counters = dump["metrics"]["counters"]
+            dump["metrics"]["counters"] = {
+                k: v for k, v in counters.items()
+                if k.removeprefix("crypto.") not in fp_keys
+            }
+            return dump
+
+        ours = strip(dump_for(backend))
+        theirs = strip(dump_for(
+            "montgomery" if backend == "schoolbook" else "schoolbook"
+        ))
+        assert ours == theirs

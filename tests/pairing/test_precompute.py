@@ -6,8 +6,14 @@ from hypothesis import strategies as st
 
 from repro.errors import ParameterError
 from repro.mathlib.rand import HmacDrbg
+from repro.obs.crypto import profiled
 from repro.pairing import get_preset
-from repro.pairing.precompute import FixedBaseGt, FixedBasePoint
+from repro.pairing.precompute import (
+    FixedBaseGt,
+    FixedBasePoint,
+    clear_shared_tables,
+    shared_table_stats,
+)
 
 PARAMS = get_preset("TOY64")
 Q = PARAMS.q
@@ -76,3 +82,53 @@ class TestFixedBaseGt:
         fast = table(r)
         slow = PARAMS.pair(GENERATOR, r * GENERATOR)
         assert fast == slow
+
+
+class TestSharedTables:
+    @pytest.fixture(autouse=True)
+    def fresh_memo(self):
+        clear_shared_tables()
+        yield
+        clear_shared_tables()
+
+    def test_point_table_memoized_by_fingerprint(self):
+        first = FixedBasePoint.shared(GENERATOR, Q)
+        again = FixedBasePoint.shared(GENERATOR, Q)
+        assert first is again
+        stats = shared_table_stats()
+        assert stats == {"hits": 1, "misses": 1}
+
+    def test_distinct_fingerprints_miss(self):
+        FixedBasePoint.shared(GENERATOR, Q)
+        FixedBasePoint.shared(2 * GENERATOR, Q)
+        FixedBasePoint.shared(GENERATOR, Q, window_bits=2)
+        FixedBaseGt.shared(GT_BASE, Q)
+        assert shared_table_stats() == {"hits": 0, "misses": 4}
+
+    def test_gt_table_memoized_and_correct(self):
+        first = FixedBaseGt.shared(GT_BASE, Q)
+        again = FixedBaseGt.shared(GT_BASE, Q)
+        assert first is again
+        assert first(12345) == GT_BASE ** (12345 % Q)
+
+    def test_shared_matches_unshared(self):
+        shared = FixedBasePoint.shared(GENERATOR, Q)
+        plain = FixedBasePoint(GENERATOR, Q)
+        for scalar in (0, 1, 777, Q - 1):
+            assert shared(scalar) == plain(scalar)
+
+    def test_clear_resets_memo_and_stats(self):
+        FixedBasePoint.shared(GENERATOR, Q)
+        clear_shared_tables()
+        assert shared_table_stats() == {"hits": 0, "misses": 0}
+        FixedBasePoint.shared(GENERATOR, Q)
+        assert shared_table_stats() == {"hits": 0, "misses": 1}
+
+    def test_build_is_invisible_to_active_profiler(self):
+        # A memo hit skips the build, so the build itself must never
+        # touch the active profiler — otherwise the first and second
+        # same-seed runs of a process would produce different obs dumps.
+        with profiled() as prof:
+            FixedBaseGt.shared(GT_BASE, Q)
+            FixedBasePoint.shared(GENERATOR, Q)
+        assert prof.as_dict() == type(prof)().as_dict()

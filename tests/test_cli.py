@@ -137,14 +137,72 @@ class TestBenchGate:
         cur = self.write(tmp_path, "cur.json", {"bench": "scale"})
         assert main(["bench-gate", base, cur]) == 1
 
-    def test_pairing_kind_gates_three_ratios(self, tmp_path, capsys):
-        dump = {
-            "bench": "pairing",
-            "pairing": {"speedup": 2.0},
-            "deposit_phase": {"speedup": 1.6, "warm_speedup": 2.2},
-        }
-        base = self.write(tmp_path, "base.json", dump)
-        cur = self.write(tmp_path, "cur.json", dump)
+    PAIRING_DUMP = {
+        "bench": "pairing",
+        "pairing": {"speedup": 2.0},
+        "deposit_phase": {"speedup": 1.6, "warm_speedup": 2.2},
+        "backend": {"montgomery_speedup": 2.1},
+    }
+    PAIRING_OPCOUNTS = {
+        "montgomery_fp_muls": 546,
+        "montgomery_fp_sqrs": 128,
+        "montgomery_fp_adds": 861,
+        "montgomery_fp2_muls": 305,
+        "schoolbook_fp_muls": 915,
+        "schoolbook_fp_sqrs": 64,
+        "schoolbook_fp_adds": 1891,
+        "schoolbook_fp2_muls": 305,
+    }
+
+    def test_pairing_kind_gates_four_ratios(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", self.PAIRING_DUMP)
+        cur = self.write(tmp_path, "cur.json", self.PAIRING_DUMP)
         assert main(["bench-gate", base, cur]) == 0
         out = capsys.readouterr().out
-        assert out.count("OK") == 3
+        assert out.count("OK") == 4
+
+    def test_backend_speedup_regression_fails(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", self.PAIRING_DUMP)
+        cur_dump = json.loads(json.dumps(self.PAIRING_DUMP))
+        cur_dump["backend"]["montgomery_speedup"] = 1.0
+        cur = self.write(tmp_path, "cur.json", cur_dump)
+        assert main(["bench-gate", base, cur]) == 1
+        assert "backend.montgomery_speedup" in capsys.readouterr().out
+
+    def test_opcount_budget_within_ceiling_passes(self, tmp_path, capsys):
+        dump = dict(self.PAIRING_DUMP, opcounts=self.PAIRING_OPCOUNTS)
+        base = self.write(tmp_path, "base.json", dump)
+        cur = self.write(tmp_path, "cur.json", dump)
+        assert main(["bench-gate", base, cur, "--only", "budgets"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == 8
+        assert "speedup" not in out
+
+    def test_opcount_budget_regression_fails(self, tmp_path, capsys):
+        base_dump = dict(self.PAIRING_DUMP, opcounts=self.PAIRING_OPCOUNTS)
+        cur_dump = json.loads(json.dumps(base_dump))
+        cur_dump["opcounts"]["montgomery_fp_muls"] = 900
+        base = self.write(tmp_path, "base.json", base_dump)
+        cur = self.write(tmp_path, "cur.json", cur_dump)
+        assert main(["bench-gate", base, cur, "--only", "budgets"]) == 1
+        assert "opcounts.montgomery_fp_muls" in capsys.readouterr().out
+
+    def test_budget_gate_skips_pre_v2_baseline(self, tmp_path, capsys):
+        # A baseline without opcounts (schema v1) must not fail the
+        # budget gate — the regenerated baseline arms it.
+        base = self.write(tmp_path, "base.json", self.PAIRING_DUMP)
+        cur = self.write(
+            tmp_path, "cur.json",
+            dict(self.PAIRING_DUMP, opcounts=self.PAIRING_OPCOUNTS),
+        )
+        assert main(["bench-gate", base, cur, "--only", "budgets"]) == 0
+        assert "REGRESSED" not in capsys.readouterr().out
+
+    def test_only_ratios_ignores_budget_regression(self, tmp_path):
+        base_dump = dict(self.PAIRING_DUMP, opcounts=self.PAIRING_OPCOUNTS)
+        cur_dump = json.loads(json.dumps(base_dump))
+        cur_dump["opcounts"]["montgomery_fp_adds"] = 5000
+        base = self.write(tmp_path, "base.json", base_dump)
+        cur = self.write(tmp_path, "cur.json", cur_dump)
+        assert main(["bench-gate", base, cur, "--only", "ratios"]) == 0
+        assert main(["bench-gate", base, cur, "--only", "budgets"]) == 1
