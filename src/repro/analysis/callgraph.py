@@ -1,0 +1,442 @@
+"""Project-wide call graph over the lint run's parsed modules.
+
+The whole-program rules (CONC/REPL/BACK, and the transitive secret-taint
+pass behind CT001/CT002) need to answer "who calls whom" across module
+boundaries.  This module builds that graph once per lint run from the
+ASTs the engine already parsed — no re-parsing, no imports executed.
+
+Name resolution is deliberately *static and lite*:
+
+* module-qualified names — ``src/repro/storage/wal.py`` indexes its
+  functions as ``repro.storage.wal.<name>`` and its methods as
+  ``repro.storage.wal.<Class>.<name>``;
+* import-map resolution — ``from repro.storage.wal import
+  WriteAheadLog as W`` resolves ``W(...)`` and ``W.append`` through the
+  alias (see :func:`repro.analysis.astutil.import_map`);
+* method dispatch via class-attribute lookup — ``self.meth()`` searches
+  the enclosing class then its (project-resolvable) bases;
+  ``self._wal.append()`` resolves through the receiver type recorded
+  when ``__init__`` assigned ``self._wal = WriteAheadLog(...)``;
+* bare-name fallback — an attribute call whose receiver type is unknown
+  dispatches to *every* project class defining that method, capped at
+  :data:`MAX_AMBIGUOUS_TARGETS` candidates so hyper-common names do not
+  drown the graph in false edges.
+
+Soundness caveats (documented in docs/ANALYSIS.md): dynamic dispatch
+through callables stored in variables, ``getattr``, and monkeypatching
+are invisible; decorated functions are indexed by their ``def`` name and
+the decorator's wrapping semantics are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.analysis.astutil import dotted_name, import_map
+
+__all__ = [
+    "MAX_AMBIGUOUS_TARGETS",
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleSource",
+    "CallGraph",
+    "module_name_for_path",
+    "param_names",
+]
+
+#: Upper bound on bare-name method-dispatch fan-out; above it the call
+#: is treated as unresolvable rather than flooding the graph.
+MAX_AMBIGUOUS_TARGETS = 4
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a posix display path.
+
+    ``src/repro/storage/wal.py`` -> ``repro.storage.wal``; a leading
+    ``src/`` segment is stripped, ``__init__`` collapses to the package.
+    """
+    parts = [part for part in path.split("/") if part]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def param_names(args: ast.arguments) -> tuple[str, ...]:
+    """Every bindable parameter name, in binding order (incl. ``*args``)."""
+    names = [arg.arg for arg in (*args.posonlyargs, *args.args)]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    names.extend(arg.arg for arg in args.kwonlyargs)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return tuple(names)
+
+
+@dataclass
+class ModuleSource:
+    """One parsed module handed to the graph builder."""
+
+    path: str
+    module: str
+    tree: ast.Module
+
+
+@dataclass
+class FunctionInfo:
+    """One indexed function or method."""
+
+    qualname: str
+    module: str
+    path: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None
+    params: tuple[str, ...]
+    #: Content hash of the definition — the summary-cache key.  Changes
+    #: whenever the function body, signature or decorators change.
+    fingerprint: str
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+
+@dataclass
+class ClassInfo:
+    """One indexed class: its methods and inferred attribute types."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    #: Base-class qualnames resolvable inside the project.
+    bases: tuple[str, ...] = ()
+    #: method name -> function qualname
+    methods: dict[str, str] = field(default_factory=dict)
+    #: ``self.<attr>`` -> class qualname, from ``self.attr = Class(...)``
+    #: assignments anywhere in the class body.
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+def _fingerprint(module: str, qualname: str, node: ast.AST) -> str:
+    payload = f"{module}:{qualname}:{ast.dump(node)}".encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+class CallGraph:
+    """Functions, classes, and resolved call edges for one project."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: caller qualname -> callee qualnames
+        self.edges: dict[str, set[str]] = {}
+        #: callee qualname -> caller qualnames
+        self.callers: dict[str, set[str]] = {}
+        #: functions whose *call expression* appears as a scheduler
+        #: ``spawn(name, fn(...))`` argument — the task entry points.
+        self.spawn_targets: set[str] = set()
+        #: id(ast.Call) -> resolved callee qualnames (memoised once at
+        #: build time; shared with the dataflow pass).
+        self._resolution: dict[int, tuple[str, ...]] = {}
+        #: id(def node) -> qualname, so rules can map an AST node they
+        #: are visiting back to its graph identity.
+        self._by_node: dict[int, str] = {}
+        self._methods_by_name: dict[str, list[str]] = {}
+        self._imports: dict[str, dict[str, str]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, modules: list[ModuleSource]) -> "CallGraph":
+        graph = cls()
+        for source in modules:
+            graph._index_module(source)
+        graph._resolve_bases_and_attr_types(modules)
+        for source in modules:
+            graph._build_edges(source)
+        return graph
+
+    def _index_module(self, source: ModuleSource) -> None:
+        self._imports[source.module] = import_map(source.tree)
+        for stmt in source.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(source, stmt, class_info=None)
+            elif isinstance(stmt, ast.ClassDef):
+                qualname = f"{source.module}.{stmt.name}"
+                info = ClassInfo(
+                    qualname=qualname,
+                    module=source.module,
+                    name=stmt.name,
+                    node=stmt,
+                )
+                self.classes[qualname] = info
+                for child in stmt.body:
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._index_function(source, child, class_info=info)
+
+    def _index_function(self, source, node, class_info: ClassInfo | None) -> None:
+        if class_info is None:
+            qualname = f"{source.module}.{node.name}"
+        else:
+            qualname = f"{class_info.qualname}.{node.name}"
+            class_info.methods[node.name] = qualname
+        info = FunctionInfo(
+            qualname=qualname,
+            module=source.module,
+            path=source.path,
+            name=node.name,
+            node=node,
+            class_name=class_info.qualname if class_info is not None else None,
+            params=param_names(node.args),
+            fingerprint=_fingerprint(source.module, qualname, node),
+        )
+        self.functions[qualname] = info
+        self._by_node[id(node)] = qualname
+        self._methods_by_name.setdefault(node.name, []).append(qualname)
+
+    def _resolve_bases_and_attr_types(self, modules: list[ModuleSource]) -> None:
+        for info in self.classes.values():
+            imports = self._imports.get(info.module, {})
+            bases = []
+            for base in info.node.bases:
+                resolved = self._resolve_class_name(base, info.module, imports)
+                if resolved is not None:
+                    bases.append(resolved)
+            info.bases = tuple(bases)
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not isinstance(node.value, ast.Call):
+                    continue
+                target_class = self._resolve_class_name(
+                    node.value.func, info.module, imports
+                )
+                if target_class is None:
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        info.attr_types[target.attr] = target_class
+
+    def _resolve_class_name(
+        self, node: ast.AST, module: str, imports: dict[str, str]
+    ) -> str | None:
+        """Class qualname ``node`` names, through aliases, else None."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        resolved = imports.get(head, head)
+        candidate = f"{resolved}.{rest}" if rest else resolved
+        if candidate in self.classes:
+            return candidate
+        local = f"{module}.{dotted}"
+        if local in self.classes:
+            return local
+        return None
+
+    # -- call resolution ---------------------------------------------------
+
+    def _local_types(
+        self, node: ast.AST, module: str, imports: dict[str, str]
+    ) -> dict[str, str]:
+        """Variable -> class qualname, from constructors and annotations."""
+        types: dict[str, str] = {}
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for arg in (*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs):
+                if arg.annotation is not None:
+                    resolved = self._resolve_class_name(arg.annotation, module, imports)
+                    if resolved is not None:
+                        types[arg.arg] = resolved
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Assign)
+                and isinstance(child.value, ast.Call)
+                and len(child.targets) == 1
+                and isinstance(child.targets[0], ast.Name)
+            ):
+                resolved = self._resolve_class_name(child.value.func, module, imports)
+                if resolved is not None:
+                    types[child.targets[0].id] = resolved
+        return types
+
+    def _method_in_class(self, class_qualname: str, method: str) -> str | None:
+        """Look ``method`` up in ``class_qualname`` and its bases (BFS)."""
+        queue = [class_qualname]
+        seen: set[str] = set()
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            found = info.methods.get(method)
+            if found is not None:
+                return found
+            queue.extend(info.bases)
+        return None
+
+    def _constructor_of(self, class_qualname: str) -> str | None:
+        return self._method_in_class(class_qualname, "__init__")
+
+    def _resolve_call(
+        self,
+        call: ast.Call,
+        module: str,
+        imports: dict[str, str],
+        enclosing_class: str | None,
+        local_types: dict[str, str],
+    ) -> tuple[str, ...]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            local = f"{module}.{func.id}"
+            if local in self.functions:
+                return (local,)
+            resolved_class = self._resolve_class_name(func, module, imports)
+            if resolved_class is not None:
+                ctor = self._constructor_of(resolved_class)
+                return (ctor,) if ctor is not None else ()
+            resolved = imports.get(func.id)
+            if resolved is not None and resolved in self.functions:
+                return (resolved,)
+            return ()
+        if not isinstance(func, ast.Attribute):
+            return ()
+        receiver = func.value
+        method = func.attr
+        if isinstance(receiver, ast.Name) and receiver.id in ("self", "cls"):
+            if enclosing_class is not None:
+                found = self._method_in_class(enclosing_class, method)
+                if found is not None:
+                    return (found,)
+            return self._ambiguous(method)
+        dotted = dotted_name(func)
+        if dotted is not None:
+            head, _, rest = dotted.partition(".")
+            resolved = imports.get(head, head)
+            qualified = f"{resolved}.{rest}" if rest else resolved
+            if qualified in self.functions:
+                return (qualified,)
+            # ClassName.method — a staticmethod-style reference.
+            owner = qualified.rsplit(".", 1)[0] if "." in qualified else None
+            if owner is not None and owner in self.classes:
+                found = self._method_in_class(owner, method)
+                if found is not None:
+                    return (found,)
+        receiver_class = self._receiver_class(
+            receiver, module, enclosing_class, local_types
+        )
+        if receiver_class is not None:
+            found = self._method_in_class(receiver_class, method)
+            if found is not None:
+                return (found,)
+        return self._ambiguous(method)
+
+    def _receiver_class(
+        self,
+        receiver: ast.AST,
+        module: str,
+        enclosing_class: str | None,
+        local_types: dict[str, str],
+    ) -> str | None:
+        if isinstance(receiver, ast.Name):
+            return local_types.get(receiver.id)
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+            and enclosing_class is not None
+        ):
+            info = self.classes.get(enclosing_class)
+            if info is not None:
+                return info.attr_types.get(receiver.attr)
+        return None
+
+    def _ambiguous(self, method: str) -> tuple[str, ...]:
+        candidates = self._methods_by_name.get(method, [])
+        if 0 < len(candidates) <= MAX_AMBIGUOUS_TARGETS:
+            return tuple(sorted(candidates))
+        return ()
+
+    def _build_edges(self, source: ModuleSource) -> None:
+        imports = self._imports[source.module]
+        for info in self.functions.values():
+            if info.module != source.module:
+                continue
+            local_types = self._local_types(info.node, info.module, imports)
+            self.edges.setdefault(info.qualname, set())
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callees = self._resolve_call(
+                    node, info.module, imports, info.class_name, local_types
+                )
+                self._resolution[id(node)] = callees
+                for callee in callees:
+                    self.edges[info.qualname].add(callee)
+                    self.callers.setdefault(callee, set()).add(info.qualname)
+                # ``scheduler.spawn(name, self._worker_loop(i))`` — the
+                # generator call in argument position is a task root.
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "spawn"
+                ):
+                    for arg in node.args[1:]:
+                        if isinstance(arg, ast.Call):
+                            spawned = self._resolution.get(id(arg))
+                            if spawned is None:
+                                spawned = self._resolve_call(
+                                    arg,
+                                    info.module,
+                                    imports,
+                                    info.class_name,
+                                    local_types,
+                                )
+                                self._resolution[id(arg)] = spawned
+                            self.spawn_targets.update(spawned)
+
+    # -- queries -----------------------------------------------------------
+
+    def resolution_of(self, call: ast.Call) -> tuple[str, ...]:
+        """Callee qualnames for a call node seen during edge building."""
+        return self._resolution.get(id(call), ())
+
+    def qualname_of(self, node: ast.AST) -> str | None:
+        """Graph identity of a function/method ``def`` node, if indexed."""
+        return self._by_node.get(id(node))
+
+    def reachable(self, roots) -> dict[str, str]:
+        """BFS over edges: reachable qualname -> the root it came from."""
+        origin: dict[str, str] = {}
+        queue: list[str] = []
+        for root in sorted(roots):
+            if root in self.functions and root not in origin:
+                origin[root] = root
+                queue.append(root)
+        while queue:
+            current = queue.pop(0)
+            for callee in sorted(self.edges.get(current, ())):
+                if callee not in origin and callee in self.functions:
+                    origin[callee] = origin[current]
+                    queue.append(callee)
+        return origin
+
+    def stats(self) -> dict:
+        """The CI-artifact counters for this graph."""
+        return {
+            "functions": len(self.functions),
+            "classes": len(self.classes),
+            "edges": sum(len(callees) for callees in self.edges.values()),
+        }

@@ -12,6 +12,7 @@ baseline workflow is ``--baseline FILE`` to apply and
 from __future__ import annotations
 
 import json
+import subprocess
 import sys
 from pathlib import Path
 
@@ -23,7 +24,9 @@ from repro.analysis.rules import LintConfig, rule_ids
 
 __all__ = ["add_lint_arguments", "run_lint"]
 
-REPORT_VERSION = 1
+#: v2: report gains the ``callgraph`` stats section and findings sort
+#: by (path, line, rule_id, col) — byte-stable ``--json`` output.
+REPORT_VERSION = 2
 
 
 def add_lint_arguments(parser) -> None:
@@ -56,6 +59,51 @@ def add_lint_arguments(parser) -> None:
         default=None,
         help="also write the JSON report to this path",
     )
+    parser.add_argument(
+        "--changed-only",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="report findings only in files changed vs REF (default "
+        "HEAD) plus untracked files; the analysis itself stays "
+        "whole-program so cross-function findings keep their traces",
+    )
+
+
+def _changed_files(ref: str) -> set[str] | None:
+    """Posix cwd-relative paths changed vs ``ref`` plus untracked files.
+
+    Returns ``None`` when git fails (not a repository, bad ref) — the
+    caller reports the operational error and exits 2.
+    """
+    try:
+        toplevel = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", ref],
+            capture_output=True, text=True, check=True,
+        ).stdout
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    cwd = Path.cwd().resolve()
+    out: set[str] = set()
+    for name in (diff + untracked).splitlines():
+        if not name:
+            continue
+        # git paths are toplevel-relative; findings are cwd-relative.
+        absolute = (Path(toplevel) / name).resolve()
+        try:
+            out.add(absolute.relative_to(cwd).as_posix())
+        except ValueError:
+            continue
+    return out
 
 
 def _build_report(report, new, baselined) -> dict:
@@ -63,6 +111,7 @@ def _build_report(report, new, baselined) -> dict:
         "version": REPORT_VERSION,
         "rule_ids": rule_ids(),
         "files_scanned": report.files_scanned,
+        "callgraph": report.callgraph,
         "counts": {
             "new": len(new),
             "baselined": len(baselined),
@@ -83,6 +132,21 @@ def run_lint(args) -> int:
         return 2
     report = analyze_paths(paths, LintConfig())
     findings = report.sorted_findings()
+
+    changed_ref = getattr(args, "changed_only", None)
+    if changed_ref is not None:
+        changed = _changed_files(changed_ref)
+        if changed is None:
+            print(
+                f"lint: --changed-only {changed_ref}: git failed "
+                "(not a repository, or bad ref)",
+                file=sys.stderr,
+            )
+            return 2
+        findings = [f for f in findings if f.path in changed]
+        report.suppressed = [
+            f for f in report.suppressed if f.path in changed
+        ]
 
     baseline_path = Path(args.baseline)
     if args.write_baseline:

@@ -1,0 +1,432 @@
+"""Worklist dataflow over the project call graph.
+
+Two layers live here:
+
+* **Function taint summaries** — for every function in the
+  :class:`~repro.analysis.callgraph.CallGraph`, a
+  :class:`TaintSummary` saying whether its return value is
+  secret-derived outright and which parameters flow to the return
+  value.  Summaries are computed by a monotone worklist (callers are
+  re-queued when a callee's summary grows) so taint is *transitive*
+  across modules: ``a()`` returning ``extract_point(...)`` taints
+  ``b()`` returning ``a()`` taints any branch on ``b()`` two modules
+  away.  A :class:`SummaryCache` keyed by function fingerprint skips
+  recomputation when a function's callee summaries have not changed
+  between worklist visits.
+
+* **Guard dominance** — an AST-level approximation of "every path to
+  this statement passes a guard": either the statement is nested in an
+  ``if``/``while`` whose test satisfies the predicate, or an earlier
+  sibling (at any enclosing nesting level) is an early-exit
+  ``if <test>: raise/return/continue/break`` whose test satisfies it.
+  Polarity is deliberately ignored — the discipline the CONC rules
+  enforce is "the function consulted the interlock", not the exact
+  boolean sense (see docs/ANALYSIS.md for the soundness caveats).
+
+:class:`ValueFlow` is the generic single-function engine the BACK rules
+reuse with a different source/barrier vocabulary (Montgomery-form
+residues instead of secrets).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = [
+    "TaintSummary",
+    "SummaryCache",
+    "compute_taint_summaries",
+    "make_call_verdict",
+    "ValueFlow",
+    "guard_dominates",
+    "test_mentions",
+    "statement_chain",
+]
+
+
+# ---------------------------------------------------------------------------
+# Function taint summaries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaintSummary:
+    """What a caller needs to know about one function's taint behaviour."""
+
+    #: The return value is secret-derived regardless of arguments.
+    returns_secret: bool = False
+    #: Parameter indices whose taint flows to the return value
+    #: (index 0 is ``self`` for methods).
+    param_flow: frozenset = frozenset()
+    #: Qualname chain explaining *why* the return is secret — shown in
+    #: CT001/CT002 findings as the cross-function trace.
+    trace: tuple = ()
+
+    def merged_with(self, other: "TaintSummary") -> "TaintSummary":
+        """Monotone join (the worklist only ever grows summaries)."""
+        return TaintSummary(
+            returns_secret=self.returns_secret or other.returns_secret,
+            param_flow=self.param_flow | other.param_flow,
+            trace=other.trace or self.trace,
+        )
+
+
+class SummaryCache:
+    """Fingerprint-keyed summary store with dependency stamps.
+
+    A worklist revisit whose function fingerprint *and* callee-summary
+    stamp both match the stored entry reuses the cached summary instead
+    of re-running the fixed point.  ``hits``/``entries`` feed the
+    ``summaries_cached`` CI stat.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, tuple] = {}
+        self.hits = 0
+
+    def lookup(self, fingerprint: str, dep_stamp) -> TaintSummary | None:
+        entry = self._entries.get(fingerprint)
+        if entry is not None and entry[0] == dep_stamp:
+            return entry[1]
+        return None
+
+    def store(self, fingerprint: str, dep_stamp, summary: TaintSummary) -> None:
+        self._entries[fingerprint] = (dep_stamp, summary)
+
+    def stats(self) -> dict:
+        return {"summaries_cached": len(self._entries), "summary_cache_hits": self.hits}
+
+
+#: Longest qualname chain carried in a finding trace.
+_MAX_TRACE = 4
+
+
+def make_call_verdict(graph, summaries) -> Callable:
+    """A ``(call, taint) -> (tainted, trace) | None`` resolver closure.
+
+    ``None`` means the call could not be resolved in the graph and the
+    caller should fall back to its local heuristics.  A definite
+    ``False`` *cuts* taint: every resolved candidate's summary says the
+    return value is clean given the (un)tainted arguments at this site.
+    """
+
+    def verdict(call: ast.Call, taint) -> tuple | None:
+        candidates = graph.resolution_of(call)
+        if not candidates:
+            return None
+        traces = []
+        for qualname in candidates:
+            summary = summaries.get(qualname)
+            if summary is None:
+                return None
+            info = graph.functions.get(qualname)
+            if info is None:
+                return None
+            if _call_flows_taint(call, summary, info, taint):
+                traces.append(((qualname,) + summary.trace)[:_MAX_TRACE])
+        if traces:
+            return True, min(traces)
+        return False, ()
+
+    return verdict
+
+
+def _call_flows_taint(call: ast.Call, summary: TaintSummary, info, taint) -> bool:
+    """Whether this call site's arguments make the return tainted."""
+    # # repro-lint: nonsecret=summary,returns_secret -- meta-level
+    # analysis state *about* secrets, not key material itself.
+    if summary.returns_secret:
+        return True
+    if not summary.param_flow:
+        return False
+    offset = 0
+    if info.is_method and isinstance(call.func, ast.Attribute):
+        offset = 1  # positional arg i binds parameter i+1 (after self)
+        if 0 in summary.param_flow and taint.is_tainted(call.func.value):
+            return True
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            # ``f(*args)`` — the forwarded tuple may land on any
+            # flowing parameter.
+            if taint.is_tainted(arg.value):
+                return True
+        elif taint.is_tainted(arg) and (index + offset) in summary.param_flow:
+            return True
+    for keyword in call.keywords:
+        if not taint.is_tainted(keyword.value):
+            continue
+        if keyword.arg is None:  # **kwargs forwarding
+            return True
+        if keyword.arg in info.params:
+            if info.params.index(keyword.arg) in summary.param_flow:
+                return True
+    return False
+
+
+def compute_taint_summaries(
+    graph,
+    nonsecret_for: Callable[[str], frozenset],
+    cache: SummaryCache | None = None,
+) -> dict:
+    """Worklist fixed point over the whole graph.
+
+    ``nonsecret_for(path)`` supplies the per-file ``# repro-lint:
+    nonsecret=`` names.  Returns ``{qualname: TaintSummary}``.
+    """
+    from repro.analysis.taint import FunctionTaint
+
+    cache = cache if cache is not None else SummaryCache()
+    summaries: dict[str, TaintSummary] = {
+        qualname: TaintSummary() for qualname in graph.functions
+    }
+    pending = deque(sorted(graph.functions))
+    queued = set(pending)
+    # Monotone summaries over a finite lattice converge; the budget is
+    # a belt-and-braces bound against resolver bugs, not a tuning knob.
+    budget = 20 * max(1, len(graph.functions))
+    while pending and budget:
+        budget -= 1
+        qualname = pending.popleft()
+        queued.discard(qualname)
+        info = graph.functions[qualname]
+        dep_stamp = tuple(
+            sorted((callee, summaries[callee]) for callee in graph.edges.get(qualname, ()) if callee in summaries)
+        )
+        summary = cache.lookup(info.fingerprint, dep_stamp)
+        if summary is not None:
+            cache.hits += 1
+        else:
+            summary = summaries[qualname].merged_with(
+                _summarize(FunctionTaint, info, graph, summaries, nonsecret_for(info.path))
+            )
+            cache.store(info.fingerprint, dep_stamp, summary)
+        if summary != summaries[qualname]:
+            summaries[qualname] = summary
+            for caller in sorted(graph.callers.get(qualname, ())):
+                if caller not in queued and caller in summaries:
+                    pending.append(caller)
+                    queued.add(caller)
+    return summaries
+
+
+def _summarize(FunctionTaint, info, graph, summaries, nonsecret) -> TaintSummary:
+    resolver = make_call_verdict(graph, summaries)
+    body = info.node.body
+    params = list(info.params)
+    base = FunctionTaint(
+        body, nonsecret=nonsecret, params=params, call_resolver=resolver
+    )
+    if base.returns_tainted():
+        return TaintSummary(
+            returns_secret=True, trace=_return_trace(base, body)
+        )
+    flow: set[int] = set()
+    if params:
+        probe_all = FunctionTaint(
+            body,
+            nonsecret=nonsecret,
+            params=params,
+            seed=frozenset(params),
+            call_resolver=resolver,
+        )
+        if probe_all.returns_tainted():
+            for index, param in enumerate(params):
+                probe = FunctionTaint(
+                    body,
+                    nonsecret=nonsecret,
+                    params=params,
+                    seed=frozenset({param}),
+                    call_resolver=resolver,
+                )
+                if probe.returns_tainted():
+                    flow.add(index)
+            if not flow:
+                # Only a parameter *combination* taints the return;
+                # stay conservative and charge every parameter.
+                flow = set(range(len(params)))
+    return TaintSummary(param_flow=frozenset(flow))
+
+
+def _return_trace(taint, body) -> tuple:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if taint.is_tainted(node.value):
+                    trace = taint.trace_for(node.value)
+                    if trace:
+                        return trace[:_MAX_TRACE]
+    return ()
+
+
+# ---------------------------------------------------------------------------
+# Generic single-function value flow (used by the BACK rules)
+# ---------------------------------------------------------------------------
+
+
+class ValueFlow:
+    """Fixed-point flow of a call-rooted value domain through one body.
+
+    ``source_calls`` produce domain values, ``barrier_calls`` convert
+    them back out; assignments, arithmetic, subscripts and tuples
+    propagate.  The secret-taint pass has its own richer engine
+    (:class:`repro.analysis.taint.FunctionTaint`); this one is the
+    small reusable core for other value disciplines.
+    """
+
+    _MAX_PASSES = 8
+
+    def __init__(
+        self,
+        body: list,
+        source_calls: frozenset,
+        barrier_calls: frozenset,
+        seed_names: frozenset = frozenset(),
+    ) -> None:
+        self._body = body
+        self._sources = source_calls
+        self._barriers = barrier_calls
+        self.tainted: set[str] = set(seed_names)
+        for _ in range(self._MAX_PASSES):
+            before = len(self.tainted)
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Assign) and self.is_tainted(node.value):
+                        for target in node.targets:
+                            self._mark(target)
+                    elif (
+                        isinstance(node, (ast.AnnAssign, ast.AugAssign))
+                        and node.value is not None
+                        and self.is_tainted(node.value)
+                    ):
+                        self._mark(node.target)
+            if len(self.tainted) == before:
+                break
+
+    def _mark(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.tainted.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._mark(element)
+
+    def is_tainted(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted
+        if isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            if name in self._barriers:
+                return False
+            if name in self._sources:
+                return True
+            return any(self.is_tainted(arg) for arg in node.args)
+        if isinstance(node, ast.BinOp):
+            return self.is_tainted(node.left) or self.is_tainted(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.is_tainted(node.operand)
+        if isinstance(node, ast.IfExp):
+            return self.is_tainted(node.body) or self.is_tainted(node.orelse)
+        if isinstance(node, ast.Subscript):
+            return self.is_tainted(node.value)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return any(self.is_tainted(element) for element in node.elts)
+        if isinstance(node, ast.Starred):
+            return self.is_tainted(node.value)
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Guard dominance
+# ---------------------------------------------------------------------------
+
+_BODY_FIELDS = ("body", "orelse", "finalbody")
+
+
+def statement_chain(
+    func_node: ast.AST, target: ast.AST
+) -> Iterator[tuple[ast.AST, list, int]]:
+    """Yield ``(container, body_list, index)`` from ``target`` outward.
+
+    Each tuple locates the statement on ``target``'s ancestry inside its
+    containing statement list, innermost first, ending at the function
+    body itself.
+    """
+    parents: dict[int, ast.AST] = {}
+    for parent in ast.walk(func_node):
+        for child in ast.iter_child_nodes(parent):
+            parents.setdefault(id(child), parent)
+    # Hoist target up to its enclosing statement.
+    node = target
+    while id(node) in parents and not isinstance(node, ast.stmt):
+        node = parents[id(node)]
+    while isinstance(node, ast.stmt):
+        parent = parents.get(id(node))
+        if parent is None:
+            return
+        located = False
+        containers = [parent]
+        if isinstance(parent, ast.Try):
+            containers.extend(parent.handlers)
+        for container in containers:
+            for field_name in _BODY_FIELDS:
+                body = getattr(container, field_name, None)
+                if isinstance(body, list) and any(
+                    child is node for child in body
+                ):
+                    yield container, body, body.index(node)
+                    located = True
+                    break
+            if located:
+                break
+        if not located:
+            return
+        node = parent
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+
+
+def _exits_early(body: list) -> bool:
+    return bool(body) and isinstance(
+        body[-1], (ast.Raise, ast.Return, ast.Continue, ast.Break)
+    )
+
+
+def guard_dominates(
+    func_node: ast.AST, target: ast.AST, predicate: Callable[[ast.AST], bool]
+) -> bool:
+    """Whether a guard satisfying ``predicate`` dominates ``target``.
+
+    AST approximation: the target is nested under an ``if``/``while``
+    whose test satisfies the predicate, or some earlier sibling on its
+    ancestry is an early-exit ``if`` whose test satisfies it.
+    """
+    for container, body, index in statement_chain(func_node, target):
+        if isinstance(container, (ast.If, ast.While)) and predicate(container.test):
+            return True
+        for prior in body[:index]:
+            if (
+                isinstance(prior, ast.If)
+                and predicate(prior.test)
+                and (_exits_early(prior.body) or _exits_early(prior.orelse))
+            ):
+                return True
+    return False
+
+
+def test_mentions(test: ast.AST, fragments: tuple[str, ...]) -> bool:
+    """Whether any name/attribute in ``test`` contains a fragment."""
+    for node in ast.walk(test):
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is not None and any(fragment in name for fragment in fragments):
+            return True
+    return False

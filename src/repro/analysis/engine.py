@@ -1,21 +1,25 @@
 """The analyzer engine: walk files, run every rule, apply suppressions.
 
 The engine is deliberately dumb plumbing — all judgement lives in the
-rules.  It parses each file once, hands the shared
-:class:`~repro.analysis.rules.ModuleContext` to every registered rule,
-drops findings suppressed by inline ``# repro-lint: disable=`` comments,
-and returns a :class:`LintReport` the CLI/baseline layer consumes.
+rules.  Each file is read and parsed **exactly once** into a shared
+:class:`~repro.analysis.project.SourceModule` cache (a meta-test pins
+this); the set of parsed modules becomes one
+:class:`~repro.analysis.project.ProjectContext` whose call graph and
+taint summaries every whole-program rule shares.  Per module, the
+engine hands the shared :class:`~repro.analysis.rules.ModuleContext` to
+every registered rule, drops findings suppressed by inline
+``# repro-lint: disable=`` comments, and returns a :class:`LintReport`
+the CLI/baseline layer consumes.
 """
 
 from __future__ import annotations
 
-import ast
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import ProjectContext, SourceModule
 from repro.analysis.rules import LintConfig, ModuleContext, all_rules
-from repro.analysis.suppress import parse_annotations
 
 __all__ = ["LintReport", "analyze_source", "analyze_paths", "iter_python_files"]
 
@@ -30,6 +34,9 @@ class LintReport:
     #: Files that failed to parse, as (path, error) — reported as
     #: findings too (rule id PARSE) so they can never pass silently.
     parse_errors: list[tuple[str, str]] = field(default_factory=list)
+    #: Call-graph / summary-cache counters (``functions``, ``edges``,
+    #: ``summaries_cached``, ...) — the CI artifact payload.
+    callgraph: dict = field(default_factory=dict)
 
     def extend(self, other: "LintReport") -> None:
         self.findings.extend(other.findings)
@@ -41,14 +48,11 @@ class LintReport:
         return sorted(self.findings, key=lambda finding: finding.sort_key)
 
 
-def analyze_source(
-    source: str, path: str, config: LintConfig | None = None
-) -> LintReport:
-    """Lint one module given its source text and display path."""
-    config = config if config is not None else LintConfig()
-    report = LintReport(files_scanned=1)
+def _parse_into(report: LintReport, source: str, path: str) -> SourceModule | None:
+    """Parse one file into the shared cache; record PARSE findings."""
+    report.files_scanned += 1
     try:
-        tree = ast.parse(source, filename=path)
+        return SourceModule.parse(source, path)
     except SyntaxError as exc:
         report.parse_errors.append((path, str(exc)))
         report.findings.append(
@@ -61,17 +65,48 @@ def analyze_source(
                 message=f"file does not parse: {exc.msg}",
             )
         )
-        return report
-    annotations = parse_annotations(source)
+        return None
+
+
+def _run_rules(
+    report: LintReport,
+    rules: list,
+    module: SourceModule,
+    config: LintConfig,
+    project: ProjectContext,
+) -> None:
     ctx = ModuleContext(
-        path=path, source=source, tree=tree, annotations=annotations, config=config
+        path=module.path,
+        source=module.source,
+        tree=module.tree,
+        annotations=module.annotations,
+        config=config,
+        project=project,
     )
-    for rule in all_rules():
+    for rule in rules:
         for finding in rule.check(ctx):
-            if annotations.is_disabled(finding.rule_id, finding.line):
+            if module.annotations.is_disabled(finding.rule_id, finding.line):
                 report.suppressed.append(finding)
             else:
                 report.findings.append(finding)
+
+
+def analyze_source(
+    source: str, path: str, config: LintConfig | None = None
+) -> LintReport:
+    """Lint one module given its source text and display path.
+
+    The module is wrapped in a single-file project, so whole-program
+    rules still run (module-local resolution only).
+    """
+    config = config if config is not None else LintConfig()
+    report = LintReport()
+    module = _parse_into(report, source, path)
+    if module is None:
+        return report
+    project = ProjectContext([module])
+    _run_rules(report, all_rules(), module, config, project)
+    report.callgraph = project.stats()
     return report
 
 
@@ -95,15 +130,25 @@ def analyze_paths(
 
     Finding paths are rendered posix-relative to ``root`` (default: the
     current working directory) so baselines are stable across checkouts.
+    All files are parsed up front into one project; the call graph and
+    taint summaries are whole-program even when ``paths`` is a subset.
     """
     config = config if config is not None else LintConfig()
     root = root if root is not None else Path.cwd()
     report = LintReport()
+    modules: list[SourceModule] = []
     for file_path in iter_python_files(paths):
         try:
             display = file_path.resolve().relative_to(root.resolve()).as_posix()
         except ValueError:
             display = file_path.as_posix()
         source = file_path.read_text(encoding="utf-8")
-        report.extend(analyze_source(source, display, config))
+        module = _parse_into(report, source, display)
+        if module is not None:
+            modules.append(module)
+    project = ProjectContext(modules)
+    rules = all_rules()
+    for module in modules:
+        _run_rules(report, rules, module, config, project)
+    report.callgraph = project.stats()
     return report

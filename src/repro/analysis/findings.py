@@ -44,7 +44,13 @@ class Finding:
 
     @property
     def sort_key(self) -> tuple:
-        return (self.path, self.line, self.col, self.rule_id)
+        """Deterministic report order: file, then line, then rule id.
+
+        The rule id sorts before the column so two rules firing on the
+        same statement render in a stable, registration-independent
+        order even when their anchor columns differ.
+        """
+        return (self.path, self.line, self.rule_id, self.col)
 
     def render(self) -> str:
         """Human one-liner: ``path:line:col: RULE severity: message``."""

@@ -1,0 +1,170 @@
+"""Whole-program context shared by every rule in one lint run.
+
+The engine parses each file exactly once into a :class:`SourceModule`
+and wraps the set in a :class:`ProjectContext`.  Rules reach it through
+``ctx.project``; everything expensive (the call graph, the transitive
+taint summaries, reachability from task roots) is built lazily on first
+use and then shared, so single-rule unit tests that never touch the
+project pay nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.astutil import is_dataclass_decorated
+from repro.analysis.callgraph import CallGraph, ModuleSource, module_name_for_path
+from repro.analysis.dataflow import SummaryCache, compute_taint_summaries, make_call_verdict
+from repro.analysis.suppress import FileAnnotations
+
+__all__ = ["SourceModule", "ProjectContext"]
+
+
+@dataclass
+class SourceModule:
+    """One parsed file: the per-file AST cache entry."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    annotations: FileAnnotations
+
+    @classmethod
+    def parse(cls, source: str, path: str) -> "SourceModule":
+        """Parse ``source`` once; raises SyntaxError for the engine."""
+        from repro.analysis.suppress import parse_annotations
+
+        return cls(
+            path=path,
+            module=module_name_for_path(path),
+            source=source,
+            tree=ast.parse(source, filename=path),
+            annotations=parse_annotations(source),
+        )
+
+
+class ProjectContext:
+    """Lazily built whole-program facts over one set of modules."""
+
+    def __init__(self, modules: list[SourceModule]) -> None:
+        self.modules: dict[str, SourceModule] = {m.path: m for m in modules}
+        self._graph: CallGraph | None = None
+        self._summaries: dict | None = None
+        self._summary_cache = SummaryCache()
+        self._task_origins: dict | None = None
+        self._secret_fields: frozenset | None = None
+        self._local_types: dict[str, dict] = {}
+
+    # -- call graph --------------------------------------------------------
+
+    @property
+    def graph(self) -> CallGraph:
+        if self._graph is None:
+            self._graph = CallGraph.build(
+                [
+                    ModuleSource(path=m.path, module=m.module, tree=m.tree)
+                    for m in sorted(self.modules.values(), key=lambda m: m.path)
+                ]
+            )
+        return self._graph
+
+    def local_types(self, qualname: str) -> dict[str, str]:
+        """Receiver-type map for one function (memoised)."""
+        cached = self._local_types.get(qualname)
+        if cached is None:
+            graph = self.graph
+            info = graph.functions[qualname]
+            cached = graph._local_types(
+                info.node, info.module, graph._imports.get(info.module, {})
+            )
+            self._local_types[qualname] = cached
+        return cached
+
+    # -- transitive taint --------------------------------------------------
+
+    def nonsecret_for(self, path: str) -> frozenset:
+        module = self.modules.get(path)
+        if module is None:
+            return frozenset()
+        return frozenset(module.annotations.nonsecret)
+
+    def taint_summaries(self) -> dict:
+        if self._summaries is None:
+            self._summaries = compute_taint_summaries(
+                self.graph, self.nonsecret_for, self._summary_cache
+            )
+        return self._summaries
+
+    def call_verdict(self):
+        """The ``(call, taint) -> (tainted, trace) | None`` resolver."""
+        return make_call_verdict(self.graph, self.taint_summaries())
+
+    def secret_dataclass_fields(self) -> frozenset:
+        """``(class_qualname, field)`` pairs holding secret values.
+
+        A dataclass field is secret when some resolved construction site
+        passes it a tainted keyword argument — the cross-function leg of
+        "taint propagates through dataclass fields".  One round only: a
+        field marked here does not re-seed the summary fixed point
+        (soundness caveat in docs/ANALYSIS.md).
+        """
+        if self._secret_fields is not None:
+            return self._secret_fields
+        from repro.analysis.taint import FunctionTaint
+
+        graph = self.graph
+        summaries = self.taint_summaries()
+        resolver = make_call_verdict(graph, summaries)
+        dataclass_fields: dict[str, set[str]] = {}
+        for class_qualname, class_info in graph.classes.items():
+            if is_dataclass_decorated(class_info.node):
+                dataclass_fields[class_qualname] = {
+                    stmt.target.id
+                    for stmt in class_info.node.body
+                    if isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                }
+        found: set[tuple[str, str]] = set()
+        for qualname, info in graph.functions.items():
+            taint = FunctionTaint(
+                info.node.body,
+                nonsecret=self.nonsecret_for(info.path),
+                params=list(info.params),
+                call_resolver=resolver,
+            )
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                for callee in graph.resolution_of(node):
+                    owner = callee.rsplit(".", 1)[0]
+                    fields = dataclass_fields.get(owner)
+                    if not fields or not callee.endswith(".__init__"):
+                        continue
+                    for keyword in node.keywords:
+                        if (
+                            keyword.arg in fields
+                            and taint.is_tainted(keyword.value)
+                        ):
+                            found.add((owner, keyword.arg))
+        self._secret_fields = frozenset(found)
+        return self._secret_fields
+
+    # -- task reachability (CONC rules) ------------------------------------
+
+    def task_origins(self) -> dict:
+        """Reachable-from-a-spawned-task map: qualname -> root qualname."""
+        if self._task_origins is None:
+            graph = self.graph
+            self._task_origins = graph.reachable(graph.spawn_targets)
+        return self._task_origins
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Call-graph + summary-cache counters for the CI artifact."""
+        stats = dict(self.graph.stats())
+        stats["spawn_roots"] = len(self.graph.spawn_targets)
+        stats.update(self._summary_cache.stats())
+        return stats

@@ -49,6 +49,17 @@ class LintConfig:
     known_metrics: frozenset[str] | None = None
     #: Name prefixes for per-instance metric families (trailing dot).
     known_metric_prefixes: tuple[str, ...] | None = None
+    #: Shard-state container attributes CONC001 polices inside worker
+    #: tasks (``self._queues[i]`` etc. must be owner-indexed).
+    conc_state_names: tuple[str, ...] = ("_shards", "_queues", "_inflight")
+    #: Name fragments identifying the worker-count in ``s % workers``
+    #: ownership expressions and guards.
+    conc_workers_fragments: tuple[str, ...] = ("workers",)
+    #: Name fragments a CONC002 lease/interlock guard must mention.
+    conc_lease_fragments: tuple[str, ...] = ("live_workers", "_prev_ring")
+    #: Files allowed to hold raw Montgomery-form arithmetic (the REDC
+    #: kernel itself).
+    back_allowed_suffixes: tuple[str, ...] = ("pairing/montgomery.py",)
 
     def resolved_metrics(self) -> tuple[frozenset, tuple]:
         """The (names, prefixes) pair, defaulting to the repo catalogue."""
@@ -78,6 +89,9 @@ class LintConfig:
         parts = path.split("/")
         return any(part in self.exc_scoped_parts for part in parts[:-1])
 
+    def back_allowed(self, path: str) -> bool:
+        return self._matches(path, self.back_allowed_suffixes)
+
 
 @dataclass
 class ModuleContext:
@@ -89,6 +103,13 @@ class ModuleContext:
     tree: ast.Module
     annotations: FileAnnotations
     config: LintConfig = field(default_factory=LintConfig)
+    #: The whole-program context (call graph, taint summaries) shared
+    #: by every module in the run; ``None`` only in bare unit tests
+    #: that construct a context by hand.
+    project: object | None = None
+    #: Per-module scratch shared between rules in one run (e.g. the
+    #: taint scan CT001 and CT002 both need is built once).
+    cache: dict = field(default_factory=dict)
 
     def finding(
         self,
@@ -150,8 +171,11 @@ def rule_ids() -> list[str]:
 def _load_builtin_rules() -> None:
     """Import the rule modules so their ``@register`` decorators run."""
     from repro.analysis import (  # noqa: F401  (import for side effects)
+        rules_backend,
+        rules_concurrency,
         rules_determinism,
         rules_hygiene,
+        rules_replication,
         rules_structural,
         taint,
     )

@@ -1,0 +1,108 @@
+"""Field-backend discipline rule: BACK001.
+
+The Montgomery backend (``pairing/montgomery.py``) keeps residues in
+``aR mod p`` form; everything outside it speaks canonical integers.
+Mixing the two without a REDC conversion (``from_mont``/``mont_mul``)
+produces values that are wrong by a factor of R — and because both
+domains are plain Python ints, nothing crashes: the pairing just
+computes garbage that may even be consistent enough to pass a smoke
+test.  BACK001 runs a small value-flow
+(:class:`repro.analysis.dataflow.ValueFlow`) over each function outside
+the allowed backend files and flags schoolbook arithmetic touching a
+Montgomery-domain value.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.dataflow import ValueFlow
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import ModuleContext, Rule, register
+
+__all__ = ["MontgomeryDomainRule"]
+
+#: Calls producing Montgomery-domain residues.
+_MONT_SOURCES = frozenset({"to_mont", "mont_mul", "mont_sqr", "mont_pow"})
+
+#: Calls converting back to the canonical domain (the REDC boundary).
+_MONT_BARRIERS = frozenset({"from_mont", "redc"})
+
+#: Schoolbook operators that are meaningless on a raw residue unless
+#: both sides share the domain *and* a REDC follows (which ``ValueFlow``
+#: cannot see) — outside the backend they are always a mixing bug.
+_SCHOOLBOOK_OPS = (ast.Mult, ast.Pow, ast.FloorDiv, ast.Div)
+
+
+@register
+class MontgomeryDomainRule(Rule):
+    """BACK001: no schoolbook arithmetic on Montgomery-form values."""
+
+    rule_id = "BACK001"
+    severity = Severity.ERROR
+    title = "Montgomery-form value mixed into schoolbook arithmetic"
+    rationale = (
+        "A residue in Montgomery form (aR mod p) fed to ordinary "
+        "arithmetic is silently wrong by a factor of R; products need "
+        "REDC (mont_mul) and cross-domain sums need from_mont() first. "
+        "Only the backend kernel may manipulate raw residues."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.config.back_allowed(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            flow = ValueFlow(node.body, _MONT_SOURCES, _MONT_BARRIERS)
+            if not flow.tainted and not self._has_source(node):
+                continue
+            yield from self._check_function(ctx, node, flow)
+
+    @staticmethod
+    def _has_source(node: ast.AST) -> bool:
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, (ast.Name, ast.Attribute))
+            ):
+                name = (
+                    child.func.id
+                    if isinstance(child.func, ast.Name)
+                    else child.func.attr
+                )
+                if name in _MONT_SOURCES:
+                    return True
+        return False
+
+    def _check_function(
+        self, ctx: ModuleContext, node: ast.AST, flow: ValueFlow
+    ) -> Iterator[Finding]:
+        for child in ast.walk(node):
+            if isinstance(child, ast.BinOp):
+                left = flow.is_tainted(child.left)
+                right = flow.is_tainted(child.right)
+                if not (left or right):
+                    continue
+                mixing = left != right
+                schoolbook = isinstance(child.op, _SCHOOLBOOK_OPS)
+                if mixing or schoolbook:
+                    yield ctx.finding(
+                        self,
+                        child,
+                        "Montgomery-form value used in schoolbook "
+                        "arithmetic outside the backend; convert with "
+                        "from_mont() or use mont_mul()/mont_sqr()",
+                    )
+            elif isinstance(child, ast.Compare):
+                sides = [child.left, *child.comparators]
+                taints = [flow.is_tainted(side) for side in sides]
+                if any(taints) and not all(taints):
+                    yield ctx.finding(
+                        self,
+                        child,
+                        "Montgomery-form value compared against a "
+                        "canonical-domain value; convert with from_mont() "
+                        "before comparing",
+                    )

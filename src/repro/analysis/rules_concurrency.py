@@ -1,0 +1,286 @@
+"""Concurrency-discipline rules: CONC001, CONC002.
+
+The shard-parallel runtime's correctness argument rests on two
+disciplines the deterministic scheduler cannot enforce at runtime for
+*every* interleaving:
+
+* **shard ownership** — a spawned worker task may only touch the shard
+  state it owns.  Ownership is provable when the container index is the
+  owner parameter the task was spawned with, or an explicit
+  ``shard % workers`` expression (the routing function itself).
+* **lease interlocks** — topology mutations on a lease-scoped warehouse
+  (ring swaps, shard growth, wholesale close/compact) must consult the
+  worker-lease or drain interlock before acting, or an admin call can
+  slide a rebalance under live traffic.
+
+Both rules lean on the whole-program layer: CONC001 only polices
+functions *reachable from a spawned task* (via
+:meth:`repro.analysis.project.ProjectContext.task_origins`), and scopes
+itself to functions living in the same module as their task root — the
+storage layer reached from a drain task enforces its own interlocks,
+which is CONC002's job, not CONC001's.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.dataflow import guard_dominates, test_mentions
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import ModuleContext, Rule, register
+
+__all__ = ["SharedShardStateRule", "LeaseInterlockRule"]
+
+#: Attribute names whose assignment marks a method as a topology
+#: mutation (ring swap / drain bookkeeping) inside a lease class.
+_TOPOLOGY_FRAGMENTS = ("ring",)
+
+#: Wholesale per-shard lifecycle calls a ``for shard in self._shards``
+#: loop may only issue behind the lease interlock.
+_LIFECYCLE_CALLS = ("close", "compact")
+
+#: How far sensitivity propagates from a private helper to its callers.
+_PROPAGATION_DEPTH = 3
+
+
+def _module_functions(ctx: ModuleContext):
+    """(qualname, def node) for every graph-indexed function here."""
+    project = ctx.project
+    if project is None:
+        return
+    graph = project.graph
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        qualname = graph.qualname_of(node)
+        if qualname is not None:
+            yield qualname, node
+
+
+@register
+class SharedShardStateRule(Rule):
+    """CONC001: worker tasks must own the shard state they index."""
+
+    rule_id = "CONC001"
+    severity = Severity.ERROR
+    title = "shard state accessed from a task without a provable owner index"
+    rationale = (
+        "A spawned worker task indexing _queues/_shards/_inflight with "
+        "anything but its own owner index (a spawn-time parameter or a "
+        "'shard % workers' expression) races its siblings; the "
+        "deterministic scheduler will happily replay the corruption."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        project = ctx.project
+        if project is None:
+            return
+        graph = project.graph
+        origins = project.task_origins()
+        for qualname, node in _module_functions(ctx):
+            root = origins.get(qualname)
+            if root is None:
+                continue
+            root_info = graph.functions.get(root)
+            info = graph.functions.get(qualname)
+            if root_info is None or info is None:
+                continue
+            if root_info.module != info.module:
+                # Cross-module reachability (e.g. a drain task calling
+                # into the storage layer) is governed by that layer's
+                # own interlocks — CONC002 territory.
+                continue
+            yield from self._check_function(ctx, node, root)
+
+    def _check_function(
+        self, ctx: ModuleContext, node: ast.AST, root: str
+    ) -> Iterator[Finding]:
+        fragments = ctx.config.conc_workers_fragments
+        owned = self._owned_names(node, fragments)
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Subscript):
+                continue
+            value = child.value
+            if not (
+                isinstance(value, ast.Attribute)
+                and value.attr in ctx.config.conc_state_names
+            ):
+                continue
+            if self._index_owned(child.slice, owned, fragments):
+                continue
+            if guard_dominates(
+                node, child, lambda test: test_mentions(test, fragments)
+            ):
+                continue
+            yield ctx.finding(
+                self,
+                child,
+                f"task {root.rsplit('.', 1)[-1]!r} indexes shared shard "
+                f"state {value.attr!r} without a provable owner index; "
+                "pass the owner index as a task parameter or index by "
+                "'shard % workers'",
+            )
+
+    @staticmethod
+    def _owned_names(node: ast.AST, fragments: tuple[str, ...]) -> set[str]:
+        """Parameters plus names assigned from owner-index expressions."""
+        owned: set[str] = set()
+        args = getattr(node, "args", None)
+        if args is not None:
+            from repro.analysis.callgraph import param_names
+
+            owned.update(param_names(args))
+        for _ in range(3):  # tiny fixed point over chained assignments
+            before = len(owned)
+            for child in ast.walk(node):
+                if not (
+                    isinstance(child, ast.Assign)
+                    and len(child.targets) == 1
+                    and isinstance(child.targets[0], ast.Name)
+                ):
+                    continue
+                if SharedShardStateRule._index_owned(
+                    child.value, owned, fragments
+                ):
+                    owned.add(child.targets[0].id)
+            if len(owned) == before:
+                break
+        return owned
+
+    @staticmethod
+    def _index_owned(
+        index: ast.AST, owned: set[str], fragments: tuple[str, ...]
+    ) -> bool:
+        if isinstance(index, ast.Name):
+            return index.id in owned
+        if isinstance(index, ast.BinOp) and isinstance(index.op, ast.Mod):
+            return test_mentions(index.right, fragments)
+        return False
+
+
+@register
+class LeaseInterlockRule(Rule):
+    """CONC002: topology mutations must consult the lease interlock."""
+
+    rule_id = "CONC002"
+    severity = Severity.ERROR
+    title = "topology mutation without a dominating lease/interlock check"
+    rationale = (
+        "On a lease-scoped warehouse, swapping the ring, growing the "
+        "shard list or close/compact-ing every shard while workers hold "
+        "leases corrupts in-flight routing; every such public API must "
+        "check live_workers or the drain interlock first."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                item.name: item
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if not ({"worker_lease", "acquire_worker"} & set(methods)):
+                continue
+            yield from self._check_class(ctx, methods)
+
+    def _check_class(self, ctx: ModuleContext, methods: dict) -> Iterator[Finding]:
+        # Direct triggers first, then propagate through private helpers:
+        # a call to a sensitive private method is itself a trigger site.
+        triggers: dict[str, list[ast.AST]] = {
+            name: list(self._direct_triggers(ctx, node))
+            for name, node in methods.items()
+        }
+        for _ in range(_PROPAGATION_DEPTH):
+            grown = False
+            sensitive_private = {
+                name for name, found in triggers.items()
+                if found and name.startswith("_")
+            }
+            for name, node in methods.items():
+                for child in ast.walk(node):
+                    if not (
+                        isinstance(child, ast.Call)
+                        and isinstance(child.func, ast.Attribute)
+                        and isinstance(child.func.value, ast.Name)
+                        and child.func.value.id == "self"
+                        and child.func.attr in sensitive_private
+                        and child.func.attr != name
+                    ):
+                        continue
+                    if not any(t is child for t in triggers[name]):
+                        triggers[name].append(child)
+                        grown = True
+            if not grown:
+                break
+        fragments = ctx.config.conc_lease_fragments
+        for name in sorted(methods):
+            if name.startswith("_"):
+                continue  # private helpers are policed at their callers
+            node = methods[name]
+            for trigger in triggers[name]:
+                if guard_dominates(
+                    node, trigger, lambda test: test_mentions(test, fragments)
+                ):
+                    continue
+                yield ctx.finding(
+                    self,
+                    trigger,
+                    f"lease-scoped method {name!r} mutates shard topology "
+                    "without a dominating interlock check (live_workers / "
+                    "drain state); refuse or defer under live leases",
+                )
+                break  # one finding per method
+
+    def _direct_triggers(self, ctx: ModuleContext, node: ast.AST):
+        for child in ast.walk(node):
+            if isinstance(child, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    child.targets
+                    if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and any(f in target.attr for f in _TOPOLOGY_FRAGMENTS)
+                    ):
+                        yield child
+            elif (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr == "append"
+                and isinstance(child.func.value, ast.Attribute)
+                and isinstance(child.func.value.value, ast.Name)
+                and child.func.value.value.id == "self"
+                and child.func.value.attr in ctx.config.conc_state_names
+            ):
+                yield child
+            elif isinstance(child, ast.For):
+                yield from self._wholesale_lifecycle(ctx, child)
+
+    @staticmethod
+    def _wholesale_lifecycle(ctx: ModuleContext, loop: ast.For):
+        """``for shard in self._shards: shard.close()/compact()``."""
+        if not (
+            isinstance(loop.iter, ast.Attribute)
+            and isinstance(loop.iter.value, ast.Name)
+            and loop.iter.value.id == "self"
+            and loop.iter.attr in ctx.config.conc_state_names
+            and isinstance(loop.target, ast.Name)
+        ):
+            return
+        for child in ast.walk(loop):
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr in _LIFECYCLE_CALLS
+                and isinstance(child.func.value, ast.Name)
+                and child.func.value.id == loop.target.id
+            ):
+                yield loop
+                return

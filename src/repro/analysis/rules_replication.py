@@ -1,0 +1,183 @@
+"""Replication-discipline rules: REPL001, REPL002.
+
+The replication layer's safety story is an ordering story:
+
+* **REPL001** — inside a WAL-holding replica set, every mutation of a
+  member database must flow through the WAL append path.  A direct
+  ``replica.db.store_record(...)`` that the WAL never saw diverges the
+  copies silently: the next failover promotes a follower that never
+  heard about the write.  The sanctioned exceptions (frame application,
+  snapshot re-seed) all *mention the WAL* — they read positions from it
+  or replay its frames — which is the heuristic the rule keys on.
+
+* **REPL002** — LSN state only ever moves forward.  A persisted LSN
+  (``something.applied_lsn = ...``) must be provably monotone: guarded
+  by an LSN comparison, computed via ``max(...)``, or derived from a
+  fresh WAL append (whose LSNs are monotone by construction).  The WAL
+  kernel itself (``storage/wal.py``) owns the counter and is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.dataflow import guard_dominates, test_mentions
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import ModuleContext, Rule, register
+
+__all__ = ["WalBypassRule", "MonotoneLsnRule"]
+
+#: Method names that mutate a member MessageDatabase.
+_MUTATORS = ("store", "store_record", "delete")
+
+#: Name fragment identifying WAL state (``self._wal``, ``wal_record``).
+_WAL_FRAGMENTS = ("wal",)
+
+#: The WAL kernel owns the LSN counter; REPL002 does not police it.
+_LSN_ALLOWED_SUFFIXES = ("storage/wal.py",)
+
+
+def _class_holds_wal(node: ast.ClassDef) -> bool:
+    """Whether the class assigns a ``self.<...wal...>`` attribute."""
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Assign):
+            continue
+        for target in child.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and any(f in target.attr for f in _WAL_FRAGMENTS)
+            ):
+                return True
+    return False
+
+
+@register
+class WalBypassRule(Rule):
+    """REPL001: replica-database mutations must go through the WAL."""
+
+    rule_id = "REPL001"
+    severity = Severity.ERROR
+    title = "replica database mutated without the WAL append path"
+    rationale = (
+        "A mutation applied to a member database that the shard WAL "
+        "never recorded cannot be shipped, replayed or recovered; the "
+        "next failover silently loses it.  All mutations must go "
+        "through the append-ship-ack path (or a WAL-aware re-seed)."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) or not _class_holds_wal(node):
+                continue
+            for method in node.body:
+                if not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if test_mentions(method, _WAL_FRAGMENTS):
+                    # The function reads WAL positions or replays WAL
+                    # frames — the sanctioned apply/re-seed paths.
+                    continue
+                for child in ast.walk(method):
+                    if (
+                        isinstance(child, ast.Call)
+                        and isinstance(child.func, ast.Attribute)
+                        and child.func.attr in _MUTATORS
+                        and isinstance(child.func.value, ast.Attribute)
+                        and child.func.value.attr == "db"
+                    ):
+                        yield ctx.finding(
+                            self,
+                            child,
+                            f"{method.name!r} calls "
+                            f".db.{child.func.attr}(...) directly, "
+                            "bypassing the WAL append path; route the "
+                            "mutation through the replicated write path",
+                        )
+
+
+@register
+class MonotoneLsnRule(Rule):
+    """REPL002: persisted LSNs must be provably monotone."""
+
+    rule_id = "REPL002"
+    severity = Severity.ERROR
+    title = "LSN persisted without a monotonicity proof"
+    rationale = (
+        "An LSN that can move backwards breaks every replication "
+        "invariant downstream: catch-up targets, quorum watermarks and "
+        "read-your-writes cursors all assume the log position only "
+        "advances.  Guard the store with an LSN comparison, use "
+        "max(old, new), or derive the value from a fresh WAL append."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if any(ctx.path.endswith(s) for s in _LSN_ALLOWED_SUFFIXES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            wal_derived = self._wal_derived_names(node)
+            for child in ast.walk(node):
+                if not isinstance(child, ast.Assign):
+                    continue
+                for target in child.targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and "lsn" in target.attr
+                    ):
+                        continue
+                    if self._monotone(node, child, wal_derived):
+                        continue
+                    yield ctx.finding(
+                        self,
+                        child,
+                        f"assignment to {target.attr!r} has no "
+                        "monotonicity proof (no dominating LSN guard, no "
+                        "max(), not derived from a WAL append); a replayed "
+                        "or stale frame could move the log position "
+                        "backwards",
+                    )
+
+    @staticmethod
+    def _wal_derived_names(node: ast.AST) -> set[str]:
+        """Names assigned from a call on a WAL-ish receiver."""
+        derived: set[str] = set()
+        for child in ast.walk(node):
+            if not (
+                isinstance(child, ast.Assign)
+                and isinstance(child.value, ast.Call)
+                and isinstance(child.value.func, ast.Attribute)
+                and test_mentions(child.value.func.value, _WAL_FRAGMENTS)
+            ):
+                continue
+            for target in child.targets:
+                if isinstance(target, ast.Name):
+                    derived.add(target.id)
+        return derived
+
+    def _monotone(
+        self, func: ast.AST, assign: ast.Assign, wal_derived: set[str]
+    ) -> bool:
+        value = assign.value
+        if isinstance(value, ast.Constant):
+            return True  # initialisation, not an advance
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "max"
+        ):
+            return True
+        if test_mentions(value, _WAL_FRAGMENTS):
+            return True  # read straight off the WAL (monotone source)
+        root = value
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        if isinstance(root, ast.Name) and root.id in wal_derived:
+            return True
+        return guard_dominates(
+            func, assign, lambda test: test_mentions(test, ("lsn",))
+        )

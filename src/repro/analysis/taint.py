@@ -13,10 +13,17 @@ what a hand-rolled Python stack can enforce:
   branches on a raw secret-derived value; an early return conditioned on
   a secret byte is a textbook timing oracle.
 
-The pass is *interprocedural-lite*: taint is tracked per function with a
-small fixed-point loop, and module-local helper functions whose return
-value is tainted become taint sources for their callers in the same
-module.  Taint seeds:
+The pass is *transitive*: taint is tracked per function with a small
+fixed-point loop, and function calls resolved through the project call
+graph (:mod:`repro.analysis.callgraph`) consult worklist-computed
+:class:`~repro.analysis.dataflow.TaintSummary` objects, so taint
+propagates through return values across module boundaries, through
+``*args`` forwarding, and through dataclass fields a resolved
+construction site filled with secret material.  Findings carry the
+cross-function qualname trace (``[secret flows via a.f -> b.g]``).
+Module-local helper functions whose return value is tainted are also
+kept as bare-name sources, covering code analysed without a project
+context.  Taint seeds:
 
 * names (parameters, locals, ``self.`` attributes) matching the secret
   lexicon — ``master_secret``, ``session_key``, ``shared_key``,
@@ -50,6 +57,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.analysis.callgraph import param_names
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.rules import ModuleContext, Rule, register
 
@@ -169,7 +177,12 @@ class FunctionTaint:
 
     ``extra_sources`` names module-local functions already known to
     return tainted values.  ``nonsecret`` names are never tainted and
-    never suspect, regardless of lexicon matches.
+    never suspect, regardless of lexicon matches.  ``seed`` forces
+    names tainted regardless of the lexicon (the dataflow pass probes
+    parameter flow this way).  ``call_resolver`` is the project's
+    summary-backed ``(call, taint) -> (tainted, trace) | None``
+    callback; ``attr_resolver`` answers whether an attribute access
+    reads a project-known secret dataclass field.
     """
 
     _MAX_PASSES = 8
@@ -180,11 +193,22 @@ class FunctionTaint:
         extra_sources: frozenset[str] = frozenset(),
         nonsecret: frozenset[str] = frozenset(),
         params: list[str] = (),
+        seed: frozenset[str] = frozenset(),
+        call_resolver=None,
+        attr_resolver=None,
     ) -> None:
         self._body = body
         self._extra_sources = extra_sources
         self._nonsecret = nonsecret
-        self.tainted: set[str] = set()
+        self._call_resolver = call_resolver
+        self._attr_resolver = attr_resolver
+        #: id(ast.Call) -> qualname chain, recorded when a resolved
+        #: callee's summary supplied the taint — the finding trace.
+        self.call_traces: dict[int, tuple[str, ...]] = {}
+        #: local name -> qualname chain, carried across assignments so
+        #: ``k = helper(); if k:`` still reports the helper chain.
+        self.name_traces: dict[str, tuple[str, ...]] = {}
+        self.tainted: set[str] = set(name for name in seed if name not in nonsecret)
         for param in params:
             if _is_secret_name(param) and param not in nonsecret:
                 self.tainted.add(param)
@@ -198,29 +222,32 @@ class FunctionTaint:
             for stmt in self._body:
                 for node in ast.walk(stmt):
                     if isinstance(node, ast.Assign) and self.is_tainted(node.value):
+                        trace = self.trace_for(node.value)
                         for target in node.targets:
-                            self._taint_target(target)
+                            self._taint_target(target, trace)
                     elif (
                         isinstance(node, (ast.AnnAssign, ast.AugAssign))
                         and node.value is not None
                         and self.is_tainted(node.value)
                     ):
-                        self._taint_target(node.target)
+                        self._taint_target(node.target, self.trace_for(node.value))
                     elif isinstance(node, ast.withitem) and node.optional_vars:
                         if self.is_tainted(node.context_expr):
                             self._taint_target(node.optional_vars)
             if len(self.tainted) == before:
                 return
 
-    def _taint_target(self, target: ast.AST) -> None:
+    def _taint_target(self, target: ast.AST, trace: tuple[str, ...] = ()) -> None:
         if isinstance(target, ast.Name):
             if target.id not in self._nonsecret:
                 self.tainted.add(target.id)
+                if trace and target.id not in self.name_traces:
+                    self.name_traces[target.id] = trace
         elif isinstance(target, (ast.Tuple, ast.List)):
             for element in target.elts:
-                self._taint_target(element)
+                self._taint_target(element, trace)
         elif isinstance(target, ast.Starred):
-            self._taint_target(target.value)
+            self._taint_target(target.value, trace)
         # Attribute/Subscript targets: taint is name-based for
         # attributes (the lexicon covers self._mac_key and friends).
 
@@ -235,13 +262,29 @@ class FunctionTaint:
         if isinstance(node, ast.Attribute):
             if node.attr in self._nonsecret:
                 return False
-            return _is_secret_name(node.attr) or self.is_tainted(node.value)
+            if _is_secret_name(node.attr) or self.is_tainted(node.value):
+                return True
+            if self._attr_resolver is not None:
+                return bool(self._attr_resolver(node))
+            return False
         if isinstance(node, ast.Call):
             name = _terminal_name(node.func)
             if name in BARRIER_CALLS:
                 return False
             if name in SOURCE_CALLS or name in self._extra_sources:
                 return True
+            if self._call_resolver is not None:
+                verdict = self._call_resolver(node, self)
+                if verdict is not None:
+                    is_tainted, trace = verdict
+                    if is_tainted:
+                        if trace:
+                            self.call_traces[id(node)] = tuple(trace)
+                        return True
+                    # Every resolved candidate's summary says the
+                    # return is clean for these arguments: cut here
+                    # instead of falling back to the blunt heuristics.
+                    return False
             if isinstance(node.func, ast.Attribute) and self.is_tainted(
                 node.func.value
             ):
@@ -294,6 +337,22 @@ class FunctionTaint:
                         return True
         return False
 
+    def trace_for(self, node: ast.AST) -> tuple[str, ...]:
+        """The cross-function qualname chain behind ``node``'s taint.
+
+        Empty when the taint is module-local (lexicon name, source
+        call) — findings then read as before, without a trace suffix.
+        """
+        for child in ast.walk(node):
+            trace = self.call_traces.get(id(child))
+            if trace:
+                return trace
+            if isinstance(child, ast.Name):
+                trace = self.name_traces.get(child.id, ())
+                if trace:
+                    return trace
+        return ()
+
 
 def _module_taint_sources(
     tree: ast.Module, nonsecret: frozenset[str]
@@ -324,15 +383,86 @@ def _module_taint_sources(
     return frozenset(sources)
 
 
+def _shared_scan(ctx: ModuleContext) -> "_TaintScan":
+    """The per-module scan, built once and shared by CT001 and CT002."""
+    scan = ctx.cache.get("taint_scan")
+    if scan is None:
+        scan = _TaintScan(ctx)
+        ctx.cache["taint_scan"] = scan
+    return scan
+
+
 class _TaintScan:
-    """Shared scan walking every function once for both CT rules."""
+    """Shared scan walking every function once for both CT rules.
+
+    With a project context attached, each function's taint consults the
+    whole-program call-graph summaries (transitive return-value taint,
+    with qualname traces) and the secret-dataclass-field set.
+    """
 
     def __init__(self, ctx: ModuleContext) -> None:
         self.ctx = ctx
+        self.project = ctx.project
         self.nonsecret = frozenset(ctx.annotations.nonsecret)
         self.sources = _module_taint_sources(ctx.tree, self.nonsecret)
+        self._call_resolver = None
+        self._secret_fields: frozenset = frozenset()
+        if self.project is not None:
+            self._call_resolver = self.project.call_verdict()
+            self._secret_fields = self.project.secret_dataclass_fields()
+        self._scopes: list[tuple[FunctionTaint, list, str]] | None = None
+
+    def _attr_resolver(self, qualname: str | None):
+        if self.project is None or qualname is None or not self._secret_fields:
+            return None
+        graph = self.project.graph
+        info = graph.functions.get(qualname)
+        if info is None:
+            return None
+        local_types = self.project.local_types(qualname)
+        enclosing = info.class_name
+        class_info = graph.classes.get(enclosing) if enclosing else None
+        secret_fields = self._secret_fields
+
+        def resolver(attr_node: ast.Attribute):
+            receiver = attr_node.value
+            receiver_class = None
+            if isinstance(receiver, ast.Name):
+                if receiver.id in ("self", "cls"):
+                    receiver_class = enclosing
+                else:
+                    receiver_class = local_types.get(receiver.id)
+            elif (
+                isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self"
+                and class_info is not None
+            ):
+                receiver_class = class_info.attr_types.get(receiver.attr)
+            if receiver_class is None:
+                return None
+            queue = [receiver_class]
+            seen: set[str] = set()
+            while queue:
+                current = queue.pop(0)
+                if current in seen:
+                    continue
+                seen.add(current)
+                if (current, attr_node.attr) in secret_fields:
+                    return True
+                current_info = graph.classes.get(current)
+                if current_info is not None:
+                    queue.extend(current_info.bases)
+            return None
+
+        return resolver
 
     def scopes(self) -> Iterator[tuple[FunctionTaint, list[ast.stmt], str]]:
+        if self._scopes is not None:
+            yield from self._scopes
+            return
+        scopes: list[tuple[FunctionTaint, list, str]] = []
+        graph = self.project.graph if self.project is not None else None
         seen: set[int] = set()
         for node in ast.walk(self.ctx.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -346,17 +476,30 @@ class _TaintScan:
                 continue
             for child in ast.walk(node):
                 seen.add(id(child))
-            params = [arg.arg for arg in node.args.args]
-            yield (
-                FunctionTaint(
+            qualname = graph.qualname_of(node) if graph is not None else None
+            scopes.append(
+                (
+                    FunctionTaint(
+                        node.body,
+                        extra_sources=self.sources,
+                        nonsecret=self.nonsecret,
+                        params=list(param_names(node.args)),
+                        call_resolver=self._call_resolver,
+                        attr_resolver=self._attr_resolver(qualname),
+                    ),
                     node.body,
-                    extra_sources=self.sources,
-                    nonsecret=self.nonsecret,
-                    params=params,
-                ),
-                node.body,
-                node.name,
+                    node.name,
+                )
             )
+        self._scopes = scopes
+        yield from scopes
+
+
+def _trace_suffix(taint: FunctionTaint, node: ast.AST) -> str:
+    trace = taint.trace_for(node)
+    if not trace:
+        return ""
+    return " [secret flows via " + " -> ".join(trace) + "]"
 
 
 def _compare_is_flagged(taint: FunctionTaint, node: ast.Compare, nonsecret) -> bool:
@@ -400,7 +543,7 @@ class SecretCompareRule(Rule):
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if ctx.config.ct_allowed(ctx.path):
             return
-        scan = _TaintScan(ctx)
+        scan = _shared_scan(ctx)
         for taint, body, func_name in scan.scopes():
             for stmt in body:
                 for node in ast.walk(stmt):
@@ -413,7 +556,8 @@ class SecretCompareRule(Rule):
                             f"equality comparison on secret-derived bytes in "
                             f"{func_name}(); use repro.hashes.hmac."
                             "constant_time_equal (or annotate the name with "
-                            "'# repro-lint: nonsecret=...' if it is public)",
+                            "'# repro-lint: nonsecret=...' if it is public)"
+                            + _trace_suffix(taint, node),
                         )
 
 
@@ -434,7 +578,7 @@ class SecretBranchRule(Rule):
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if ctx.config.ct_allowed(ctx.path):
             return
-        scan = _TaintScan(ctx)
+        scan = _shared_scan(ctx)
         for taint, body, func_name in scan.scopes():
             for stmt in body:
                 for node in ast.walk(stmt):
@@ -451,7 +595,8 @@ class SecretBranchRule(Rule):
                             test,
                             f"branch in {func_name}() conditioned on a "
                             "secret-derived value; compare via "
-                            "constant_time_equal or restructure",
+                            "constant_time_equal or restructure"
+                            + _trace_suffix(taint, test),
                         )
 
     def _test_is_secret_dependent(self, taint, test, nonsecret) -> bool:

@@ -106,6 +106,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--p99-bound", type=float, default=3.0,
                        help="availability: acceptance bound on "
                        "p99(rebalance)/p99(steady)")
+    bench.add_argument("--sanitize", action="store_true",
+                       help="availability: run every fault plan under the "
+                       "deterministic ownership sanitizer (cross-task "
+                       "shard/queue access raises SanitizerError)")
     bench.add_argument("--out", default=None,
                        help="output JSON path ('-' for stdout only; default: "
                        "BENCH_<target>.json)")
@@ -575,6 +579,7 @@ def _bench_availability(args) -> int:
             else b"repro-availability",
             latency_samples=args.latency_samples,
             p99_bound=args.p99_bound,
+            sanitize=args.sanitize,
         )
     )
     out = args.out if args.out is not None else "BENCH_availability.json"

@@ -46,6 +46,7 @@ __all__ = [
     "ResponseDroppedError",
     "RetriesExhaustedError",
     "SchedulerError",
+    "SanitizerError",
 ]
 
 
@@ -240,4 +241,13 @@ class SchedulerError(ReproError):
 
     Raised for misuse (spawning after shutdown, duplicate task names)
     and for runaway runs that exceed the step budget.
+    """
+
+
+class SanitizerError(ReproError):
+    """The ownership sanitizer caught a cross-task access.
+
+    Raised deterministically (same seed, same step) when a scheduler
+    task touches shard state tagged to a different owner task; see
+    :mod:`repro.sim.sanitizer`.
     """

@@ -51,6 +51,7 @@ from repro.core.conventions import (
 from repro.hashes.sha256 import sha256
 from repro.ibe.kem import hybrid_encrypt_many
 from repro.mathlib.rand import HmacDrbg, derive_seed
+from repro.sim.sanitizer import ANY_OWNER, active as _sanitizer_active
 from repro.sim.scheduler import DeterministicScheduler, SchedulerTask, TaskState
 from repro.wire.messages import (
     BatchDepositReceipt,
@@ -278,6 +279,11 @@ class ShardWorkerPool:
 
     def _worker_loop(self, index: int):
         queue = self._queues[index]
+        sanitizer = _sanitizer_active()
+        if sanitizer is not None:
+            # First-step ownership check: runs inside the task context,
+            # so a loop driven for the wrong worker trips immediately.
+            sanitizer.check(queue)
         while queue:
             job = queue.popleft()
             self._queue_depth.observe(len(queue) + 1)
@@ -442,6 +448,11 @@ class ShardWorkerPool:
         self._generations[index] += 1
         name = f"worker-{index}-g{self._generations[index]}"
         self._task_workers[name] = index
+        sanitizer = _sanitizer_active()
+        if sanitizer is not None:
+            # The replacement generation keeps the same owner key, so
+            # requeued in-flight work stays legal for it.
+            sanitizer.register_task(name, ("worker", index))
         self._scheduler.spawn(name, self._worker_loop(index))
         self._note(f"restart:{name}")
 
@@ -452,6 +463,37 @@ class ShardWorkerPool:
 
     def _note(self, event: str) -> None:
         self._result.transcript.append(event)
+
+    def _install_sanitizer(self, sanitizer, warehouse):
+        """Wire the ownership sanitizer into this run.
+
+        Worker tasks register under ``("worker", index)`` (restarted
+        generations keep the key); the chaos and drain tasks are
+        maintenance parties allowed to touch any shard.  Queues are
+        tagged to their worker; shard backends to the worker that
+        ``shard % workers`` routing sends their deposits to.  Returns
+        the warehouse's previous mutation hook so ``run`` can restore
+        it.
+        """
+        for name, index in sorted(self._task_workers.items()):
+            sanitizer.register_task(name, ("worker", index))
+        sanitizer.register_task("retrieval", ("retrieval",))
+        sanitizer.register_task("chaos-failover", ANY_OWNER)
+        sanitizer.register_task("rebalance-drain", ANY_OWNER)
+        for index, queue in enumerate(self._queues):
+            sanitizer.tag(queue, ("worker", index), f"queue-{index}")
+        saved_hook = None
+        if hasattr(warehouse, "shard") and hasattr(warehouse, "shard_count"):
+            for shard in range(warehouse.shard_count):
+                sanitizer.tag(
+                    warehouse.shard(shard),
+                    ("worker", shard % self._workers),
+                    f"shard-{shard}",
+                )
+        if hasattr(warehouse, "mutation_hook"):
+            saved_hook = warehouse.mutation_hook
+            warehouse.mutation_hook = sanitizer.check
+        return saved_hook
 
     def run(
         self,
@@ -524,6 +566,10 @@ class ShardWorkerPool:
             self._scheduler.spawn(
                 "rebalance-drain", self._rebalance_loop(warehouse)
             )
+        sanitizer = _sanitizer_active()
+        saved_hook = None
+        if sanitizer is not None:
+            saved_hook = self._install_sanitizer(sanitizer, warehouse)
         lease = (
             warehouse.worker_lease(self._workers)
             if hasattr(warehouse, "worker_lease")
@@ -541,6 +587,8 @@ class ShardWorkerPool:
                 if task.state == TaskState.FAILED:
                     raise task.error
         finally:
+            if sanitizer is not None and hasattr(warehouse, "mutation_hook"):
+                warehouse.mutation_hook = saved_hook
             if lease is not None:
                 lease.__exit__(None, None, None)
 

@@ -45,7 +45,13 @@ __all__ = ["build_dump", "dump_to_json"]
 #: ``fp_sqrs`` and ``fp_adds`` — the machine-independent quantities the
 #: op-count perf gates compare across field backends.  Strictly
 #: additive; the pre-existing counters keep their cross-backend parity.
-DUMP_SCHEMA_VERSION = 6
+#:
+#: v7: the deterministic ownership sanitizer (sim/sanitizer.py) exports
+#: ``sim.sanitizer.checks`` / ``sim.sanitizer.violations`` /
+#: ``sim.sanitizer.tagged`` when installed with a registry.  Strictly
+#: additive — deployments that never install the sanitizer emit no
+#: ``sim.sanitizer.*`` keys at all.
+DUMP_SCHEMA_VERSION = 7
 
 
 def build_dump(registry, tracer=None, crypto=None, meta=None) -> dict:

@@ -55,6 +55,9 @@ KNOWN_METRICS: frozenset[str] = frozenset({
     "sim.faults.worker_restarts",
     "sim.faults.leader_kills",
     "sim.faults.follower_lags",
+    "sim.sanitizer.checks",
+    "sim.sanitizer.violations",
+    "sim.sanitizer.tagged",
     "net.request_bytes",
     "net.response_bytes",
     "net.messages_sent",

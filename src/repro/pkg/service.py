@@ -133,6 +133,10 @@ class PrivateKeyGenerator:
         return PkgAuthResponse(ok=True, session_id=session_id)
 
     def _validate(self, request: PkgAuthRequest) -> _Session:
+        # # repro-lint: nonsecret=issued_at_us,lifetime_us,rc_id -- the
+        # ticket parses out of a sealed blob (so the transitive taint
+        # pass marks the whole record secret-derived), but these fields
+        # are public header metadata; only session_key is key material.
         ticket_scheme = SymmetricScheme("AES-256", self._mws_pkg_key, mac=True)
         try:
             ticket = Ticket.from_bytes(ticket_scheme.open(request.sealed_ticket))

@@ -8,6 +8,7 @@ encodings a socket deployment would.
 
 from repro.sim.clock import Clock, SimClock, WallClock
 from repro.sim.faults import FaultDecision, FaultPlan, FaultSpec, WorkerFaultSpec
+from repro.sim.sanitizer import ANY_OWNER, OwnershipSanitizer
 from repro.sim.scheduler import DeterministicScheduler, SchedulerTask, TaskState
 from repro.sim.network import (
     Channel,
@@ -36,6 +37,8 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "WorkerFaultSpec",
+    "ANY_OWNER",
+    "OwnershipSanitizer",
     "DeterministicScheduler",
     "SchedulerTask",
     "TaskState",

@@ -32,6 +32,7 @@ from repro.mathlib.rand import HmacDrbg, derive_seed
 from repro.mws.runtime import ShardWorkerPool
 from repro.mws.service import MwsConfig
 from repro.sim.faults import FaultPlan, WorkerFaultSpec
+from repro.sim.sanitizer import OwnershipSanitizer, install, uninstall
 from repro.storage.sharding import ShardedMessageDatabase
 
 __all__ = ["AvailabilityConfig", "FAULT_PLANS", "run_availability"]
@@ -97,6 +98,9 @@ class AvailabilityConfig:
     latency_samples: int = 400
     #: Acceptance bound on p99(rebalance) / p99(steady).
     p99_bound: float = 3.0
+    #: Run every fault plan under the ownership sanitizer — any
+    #: cross-task shard/queue access raises instead of completing.
+    sanitize: bool = False
     #: Attribute names the workload cycles through.
     attributes: tuple[str, ...] = (
         "ELECTRIC-P-SV",
@@ -155,7 +159,14 @@ def _run_plan(config: AvailabilityConfig, name: str, spec_kwargs: dict, pool_kwa
             rebalance_after=2,
             rebalance_crash_after=pool_kwargs.get("rebalance_crash_after"),
         )
-        result = pool.run(_workload(config))
+        previous = None
+        if config.sanitize:
+            previous = install(OwnershipSanitizer(registry=deployment.registry))
+        try:
+            result = pool.run(_workload(config))
+        finally:
+            if config.sanitize:
+                uninstall(previous)
         counters = dict(plan.counters)
         return result, deployment.obs_dump_json(), counters
     finally:

@@ -1,0 +1,158 @@
+"""Deterministic ownership sanitizer for scheduler tasks.
+
+The static CONC001 rule proves shard-ownership discipline where it can;
+this module enforces the same discipline *dynamically*, at yield-point
+granularity, under the deterministic scheduler.  Shared objects (shard
+backends, worker queues) are **tagged** with the owner task that may
+touch them; the scheduler tells the sanitizer which task is running
+around every generator step; checked accesses from the wrong task raise
+:class:`~repro.errors.SanitizerError` immediately — on the exact seeded
+step the violation happens, every run, because nothing here consults a
+clock or an unseeded RNG.
+
+Design points:
+
+* **zero cost when disabled** — the scheduler and the runtime consult
+  the module-level :data:`_ACTIVE` slot (via :func:`active`); when no
+  sanitizer is installed that is one ``is None`` test per step.
+* **owner keys survive restarts** — a crashed worker's replacement task
+  (``worker-3-g1`` → ``worker-3-g2``) registers the same ``("worker",
+  3)`` key, so requeued work stays legal.
+* **maintenance tasks** — the online-rebalance drain legitimately moves
+  records across every shard under the dual-ring interlock; it
+  registers as :data:`ANY_OWNER` and passes every check.
+* **outside-task accesses pass** — setup and teardown code (routing the
+  initial queues, recovery after the scheduler stops) runs with no
+  current task and is never a violation.
+
+Tags hold strong references so ``id()`` reuse cannot mis-attribute an
+object; a sanitizer's lifetime is one run, installed/uninstalled by the
+harness (or the test suite's autouse fixture).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SanitizerError
+
+__all__ = [
+    "ANY_OWNER",
+    "OwnershipSanitizer",
+    "install",
+    "uninstall",
+    "active",
+]
+
+#: Owner key for maintenance tasks allowed to touch every tagged object.
+ANY_OWNER = ("*",)
+
+
+class OwnershipSanitizer:
+    """Tracks object ownership and the currently running task.
+
+    ``registry`` (a :class:`repro.obs.registry.MetricsRegistry`) is
+    optional; when given, ``sim.sanitizer.checks`` / ``.violations`` /
+    ``.tagged`` counters feed the obs dump (schema v7).
+    """
+
+    def __init__(self, registry=None) -> None:
+        #: id(obj) -> (obj, owner key, label).  The strong reference
+        #: pins the id for the sanitizer's lifetime.
+        self._tags: dict[int, tuple] = {}
+        #: task name -> owner key.
+        self._owners: dict[str, tuple] = {}
+        self._current: str | None = None
+        self.checks = 0
+        self.violations = 0
+        if registry is not None:
+            self._checks_counter = registry.counter("sim.sanitizer.checks")
+            self._violations_counter = registry.counter(
+                "sim.sanitizer.violations"
+            )
+            self._tagged_counter = registry.counter("sim.sanitizer.tagged")
+        else:
+            self._checks_counter = None
+            self._violations_counter = None
+            self._tagged_counter = None
+
+    # -- task context (driven by the scheduler) ----------------------------
+
+    def register_task(self, task_name: str, owner: tuple) -> None:
+        """Declare which owner key ``task_name`` runs as."""
+        self._owners[task_name] = tuple(owner)
+
+    def enter_task(self, task_name: str) -> None:
+        self._current = task_name
+
+    def exit_task(self) -> None:
+        self._current = None
+
+    @property
+    def current_task(self) -> str | None:
+        return self._current
+
+    # -- tagging and checking ----------------------------------------------
+
+    def tag(self, obj, owner: tuple, label: str) -> None:
+        """Mark ``obj`` as owned by ``owner`` (a hashable key tuple)."""
+        self._tags[id(obj)] = (obj, tuple(owner), label)
+        if self._tagged_counter is not None:
+            self._tagged_counter.inc()
+
+    def check(self, obj) -> None:
+        """Raise :class:`SanitizerError` if the running task does not
+        own ``obj``.  Untagged objects, unregistered/absent tasks and
+        :data:`ANY_OWNER` parties always pass."""
+        self.checks += 1
+        if self._checks_counter is not None:
+            self._checks_counter.inc()
+        if self._current is None:
+            return
+        entry = self._tags.get(id(obj))
+        if entry is None:
+            return
+        _obj, owner, label = entry
+        if owner == ANY_OWNER:
+            return
+        accessor = self._owners.get(self._current)
+        if accessor is None or accessor == ANY_OWNER or accessor == owner:
+            return
+        self.violations += 1
+        if self._violations_counter is not None:
+            self._violations_counter.inc()
+        raise SanitizerError(
+            f"task {self._current!r} (owner {accessor!r}) touched "
+            f"{label!r} owned by {owner!r}; cross-task access to shard "
+            "state is forbidden"
+        )
+
+    def stats(self) -> dict:
+        """Counters for assertions and reports."""
+        return {
+            "checks": self.checks,
+            "violations": self.violations,
+            "tagged": len(self._tags),
+        }
+
+
+#: The installed sanitizer, or ``None``.  Read via :func:`active`; the
+#: scheduler reads the slot directly on its hot path.
+_ACTIVE: OwnershipSanitizer | None = None
+
+
+def install(sanitizer: OwnershipSanitizer) -> OwnershipSanitizer | None:
+    """Install ``sanitizer`` globally; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = sanitizer
+    return previous
+
+
+def uninstall(previous: OwnershipSanitizer | None = None) -> None:
+    """Remove the installed sanitizer (or restore ``previous``)."""
+    global _ACTIVE
+    _ACTIVE = previous
+
+
+def active() -> OwnershipSanitizer | None:
+    """The installed sanitizer, or ``None`` when disabled."""
+    return _ACTIVE

@@ -27,9 +27,10 @@ from __future__ import annotations
 
 from typing import Callable, Generator, Iterator
 
-from repro.errors import SchedulerError
+from repro.errors import SanitizerError, SchedulerError
 from repro.mathlib.rand import RandomSource
 from repro.sim.clock import SimClock
+from repro.sim.sanitizer import active as _sanitizer_active
 
 __all__ = ["TaskState", "SchedulerTask", "DeterministicScheduler"]
 
@@ -142,7 +143,15 @@ class DeterministicScheduler:
         """
         if not task.runnable:
             return
-        task.gen.close()
+        sanitizer = _sanitizer_active()
+        if sanitizer is not None:
+            # ``finally`` blocks run in the dying task's context.
+            sanitizer.enter_task(task.name)
+        try:
+            task.gen.close()
+        finally:
+            if sanitizer is not None:
+                sanitizer.exit_task()
         task.state = TaskState.KILLED
         if self._on_kill is not None:
             self._on_kill(task)
@@ -177,14 +186,25 @@ class DeterministicScheduler:
             self.kill(task)
             return task
         task.steps += 1
+        sanitizer = _sanitizer_active()
+        if sanitizer is not None:
+            sanitizer.enter_task(task.name)
         try:
             next(task.gen)
         except StopIteration as stop:
             task.state = TaskState.DONE
             task.result = stop.value
+        except SanitizerError:
+            # An ownership violation is a harness-level defect, not a
+            # modeled fault: surface it on the exact step it happened.
+            task.state = TaskState.FAILED
+            raise
         except Exception as error:
             task.state = TaskState.FAILED
             task.error = error
+        finally:
+            if sanitizer is not None:
+                sanitizer.exit_task()
         return task
 
     def run(self, raise_on_failure: bool = True) -> list[SchedulerTask]:

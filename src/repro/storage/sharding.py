@@ -136,6 +136,11 @@ class ShardedMessageDatabase:
         #: reads consult both rings so unmoved records stay reachable.
         self._prev_ring: HashRing | None = None
         self._live_workers = 0
+        #: Optional callable invoked with the target shard backend
+        #: before every mutation — the ownership sanitizer's probe
+        #: point (:mod:`repro.sim.sanitizer`).  ``None`` costs one
+        #: attribute test per write.
+        self.mutation_hook = None
         self._id_to_shard: dict[int, int] = {}
         self._next_id = 1
         for index, shard in enumerate(self._shards):
@@ -257,6 +262,8 @@ class ShardedMessageDatabase:
     ) -> MessageRecord:
         """Route one accepted deposit to its shard; assigns the global id."""
         index = self.shard_for(attribute)
+        if self.mutation_hook is not None:
+            self.mutation_hook(self._shards[index])
         record = MessageRecord(
             message_id=self._next_id,
             device_id=device_id,
@@ -276,6 +283,8 @@ class ShardedMessageDatabase:
     def delete(self, message_id: int) -> None:
         """Remove a message from whichever shard holds it."""
         index = self._shard_of_id(message_id)
+        if self.mutation_hook is not None:
+            self.mutation_hook(self._shards[index])
         self._shards[index].delete(message_id)
         del self._id_to_shard[message_id]
         if self._message_gauges:
@@ -377,7 +386,18 @@ class ShardedMessageDatabase:
     # -- maintenance ------------------------------------------------------
 
     def compact(self) -> None:
-        """Shard-local compaction: each backend compacts independently."""
+        """Shard-local compaction: each backend compacts independently.
+
+        Offline-only, like :meth:`rebalance`: compaction rewrites the
+        backing stores wholesale, which must not race live deposit
+        workers.
+        """
+        if self._live_workers:
+            raise StorageError(
+                "compact is offline-only: "
+                f"{self._live_workers} live worker(s) attached; "
+                "drain the worker pool first"
+            )
         for shard in self._shards:
             shard.compact()
 
@@ -389,6 +409,9 @@ class ShardedMessageDatabase:
         then delete the original.  On a replicated warehouse both the
         store and the delete flow through the shard WALs.
         """
+        if self.mutation_hook is not None:
+            self.mutation_hook(self._shards[target])
+            self.mutation_hook(self._shards[source])
         self._shards[target].store_record(record)
         self._id_to_shard[record.message_id] = target
         self._shards[source].delete(record.message_id)
@@ -510,6 +533,16 @@ class ShardedMessageDatabase:
         return False
 
     def close(self) -> None:
-        """Release every shard's resources."""
+        """Release every shard's resources.
+
+        Refused while worker leases are live: a task still attached to
+        the warehouse would be left holding closed stores.
+        """
+        if self._live_workers:
+            raise StorageError(
+                "close is offline-only: "
+                f"{self._live_workers} live worker(s) attached; "
+                "release the leases first"
+            )
         for shard in self._shards:
             shard.close()

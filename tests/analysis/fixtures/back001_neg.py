@@ -1,0 +1,9 @@
+"""BACK001 negative: all residue arithmetic stays behind REDC calls."""
+
+
+def good_mix(ctx, a, b):
+    am = ctx.to_mont(a)
+    bm = ctx.to_mont(b)
+    pm = ctx.mont_mul(am, bm)
+    product = ctx.from_mont(pm)
+    return product * 2 + b

@@ -1,0 +1,8 @@
+"""BACK001 positive: schoolbook arithmetic on Montgomery residues."""
+
+
+def bad_mix(ctx, a, b):
+    am = ctx.to_mont(a)
+    bm = ctx.to_mont(b)
+    product = am * bm  # wrong by a factor of R: needs mont_mul (REDC)
+    return product + b  # and this mixes domains outright

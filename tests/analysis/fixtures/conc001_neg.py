@@ -1,0 +1,21 @@
+"""CONC001 negative: every shard access is owner-indexed."""
+
+
+class Pool:
+    def __init__(self, scheduler, workers):
+        self._scheduler = scheduler
+        self._workers = workers
+        self._queues = [[] for _ in range(workers)]
+        self._inflight = {}
+
+    def start(self):
+        for index in range(self._workers):
+            self._scheduler.spawn(f"worker-{index}", self._worker_loop(index))
+
+    def _worker_loop(self, index):
+        while True:
+            queue = self._queues[index]  # spawn-time owner parameter
+            if queue:
+                job = queue.pop()
+                self._inflight[job % self._workers] = job  # routing mod
+            yield

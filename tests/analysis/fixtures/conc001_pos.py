@@ -1,0 +1,20 @@
+"""CONC001 positive: a worker task indexing a sibling's queue."""
+
+
+class Pool:
+    def __init__(self, scheduler, workers):
+        self._scheduler = scheduler
+        self._workers = workers
+        self._queues = [[] for _ in range(workers)]
+        self._inflight = {}
+
+    def start(self):
+        for index in range(self._workers):
+            self._scheduler.spawn(f"worker-{index}", self._worker_loop(index))
+
+    def _worker_loop(self, index):
+        while True:
+            queue = self._queues[(index + 1) % 3]  # a sibling's queue
+            if queue:
+                self._inflight[index] = queue.pop()
+            yield

@@ -1,0 +1,21 @@
+"""CONC002 negative: the topology mutation checks the lease first."""
+
+
+class Warehouse:
+    def __init__(self):
+        self._shards = []
+        self._ring = None
+        self._live_workers = 0
+
+    def acquire_worker(self):
+        self._live_workers += 1
+
+    def release_worker(self):
+        self._live_workers -= 1
+
+    def rebalance(self, new_shards):
+        if self._live_workers:
+            raise RuntimeError("rebalance is offline-only under live leases")
+        for shard in new_shards:
+            self._shards.append(shard)
+        self._ring = tuple(range(len(self._shards)))

@@ -1,0 +1,19 @@
+"""CONC002 positive: ring swap + shard growth without the interlock."""
+
+
+class Warehouse:
+    def __init__(self):
+        self._shards = []
+        self._ring = None
+        self._live_workers = 0
+
+    def acquire_worker(self):
+        self._live_workers += 1
+
+    def release_worker(self):
+        self._live_workers -= 1
+
+    def rebalance(self, new_shards):
+        for shard in new_shards:
+            self._shards.append(shard)
+        self._ring = tuple(range(len(self._shards)))

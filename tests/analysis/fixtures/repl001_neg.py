@@ -1,0 +1,17 @@
+"""REPL001 negative: every member mutation rides a WAL append."""
+
+
+class ReplicaGroup:
+    def __init__(self, wal, members):
+        self._wal = wal
+        self._members = members
+
+    def write(self, payload):
+        frame = self._wal.append(payload)
+        for member in self._members:
+            member.enqueue(frame)
+
+    def delete(self, message_id):
+        self._wal.append(("delete", message_id))
+        for member in self._members:
+            member.db.delete(message_id)

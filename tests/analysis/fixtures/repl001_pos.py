@@ -1,0 +1,16 @@
+"""REPL001 positive: a member database mutated behind the WAL's back."""
+
+
+class ReplicaGroup:
+    def __init__(self, wal, members):
+        self._wal = wal
+        self._members = members
+
+    def write(self, payload):
+        frame = self._wal.append(payload)
+        for member in self._members:
+            member.enqueue(frame)
+
+    def backdoor_delete(self, message_id):
+        # Never appended to the WAL: followers and recovery diverge.
+        self._members[0].db.delete(message_id)

@@ -1,0 +1,11 @@
+"""REPL002 negative: the LSN advance is guarded against replay."""
+
+
+class Follower:
+    def __init__(self):
+        self.applied_lsn = 0
+
+    def apply(self, frame):
+        if frame.lsn != self.applied_lsn + 1:
+            raise ValueError("gap or replayed frame")
+        self.applied_lsn = frame.lsn

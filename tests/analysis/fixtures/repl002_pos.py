@@ -1,0 +1,10 @@
+"""REPL002 positive: an applied-LSN store with no monotonicity proof."""
+
+
+class Follower:
+    def __init__(self):
+        self.applied_lsn = 0
+
+    def apply(self, frame):
+        # A replayed or stale frame moves the log position backwards.
+        self.applied_lsn = frame.lsn

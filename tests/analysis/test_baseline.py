@@ -27,6 +27,7 @@ def make_args(tmp_path: Path, tree: Path, **overrides) -> argparse.Namespace:
         baseline=str(tmp_path / "baseline.json"),
         write_baseline=False,
         out=None,
+        changed_only=None,
     )
     defaults.update(overrides)
     return argparse.Namespace(**defaults)
@@ -77,11 +78,83 @@ def test_cli_json_report_parses_and_counts(tmp_path, dirty_tree, capsys):
     assert run_lint(args) == 1
     payload = json.loads(capsys.readouterr().out)
     assert payload == json.loads(out_path.read_text(encoding="utf-8"))
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["counts"]["new"] == len(payload["findings"]) > 0
     reported_rules = {f["rule_id"] for f in payload["findings"]}
     assert {"RNG001", "TIME001"} <= reported_rules
     assert set(payload["rule_ids"]) >= reported_rules
+    callgraph = payload["callgraph"]
+    assert callgraph["functions"] > 0
+    assert "edges" in callgraph and "spawn_roots" in callgraph
+
+
+def test_cli_json_findings_are_deterministically_ordered(
+    tmp_path, dirty_tree, capsys
+):
+    # Two identical runs emit byte-identical reports, and findings sort
+    # by (path, line, rule_id) — rule id breaks same-line ties.
+    out_a, out_b = tmp_path / "a.json", tmp_path / "b.json"
+    for out_path in (out_a, out_b):
+        args = make_args(tmp_path, dirty_tree, as_json=True, out=str(out_path))
+        assert run_lint(args) == 1
+        capsys.readouterr()
+    assert out_a.read_bytes() == out_b.read_bytes()
+    findings = json.loads(out_a.read_text(encoding="utf-8"))["findings"]
+    keys = [(f["path"], f["line"], f["rule_id"], f["col"]) for f in findings]
+    assert keys == sorted(keys)
+
+
+def test_cli_changed_only_filters_and_fails_outside_git(tmp_path, dirty_tree, capsys):
+    # tmp_path is not a git repository: git fails -> operational error.
+    import os
+
+    cwd = os.getcwd()
+    os.chdir(tmp_path)
+    try:
+        args = make_args(tmp_path, dirty_tree, changed_only="HEAD")
+        assert run_lint(args) == 2
+    finally:
+        os.chdir(cwd)
+
+
+def test_cli_changed_only_reports_only_touched_files(tmp_path, capsys):
+    import os
+    import subprocess
+
+    def git(*argv):
+        subprocess.run(
+            ["git", *argv], cwd=tmp_path, check=True, capture_output=True,
+            env={**os.environ, "GIT_CONFIG_GLOBAL": "/dev/null",
+                 "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                 "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"},
+        )
+
+    tree = tmp_path / "pkg"
+    tree.mkdir()
+    (tree / "committed.py").write_text(DIRTY_SOURCE, encoding="utf-8")
+    git("init", "-q")
+    git("add", ".")
+    git("commit", "-q", "-m", "seed")
+    # One untracked dirty file on top of the committed dirty one.
+    (tree / "fresh.py").write_text(DIRTY_SOURCE, encoding="utf-8")
+
+    cwd = os.getcwd()
+    os.chdir(tmp_path)
+    try:
+        out_path = tmp_path / "changed.json"
+        args = make_args(
+            tmp_path, tree, as_json=True, out=str(out_path),
+            changed_only="HEAD",
+        )
+        assert run_lint(args) == 1
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        touched = {f["path"] for f in payload["findings"]}
+        assert touched == {"pkg/fresh.py"}
+        # The analysis itself stayed whole-program: both files scanned.
+        assert payload["files_scanned"] == 2
+    finally:
+        os.chdir(cwd)
 
 
 def test_cli_missing_path_is_operational_error(tmp_path):

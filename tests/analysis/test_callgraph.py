@@ -1,0 +1,205 @@
+"""Unit tests for the project-wide call graph."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import (
+    MAX_AMBIGUOUS_TARGETS,
+    CallGraph,
+    ModuleSource,
+    module_name_for_path,
+    param_names,
+)
+
+ALPHA = '''
+from proj.beta import Helper, helper_func as hf
+
+
+def free():
+    return hf()
+
+
+class Pool:
+    def __init__(self):
+        self._helper = Helper()
+
+    def start(self, scheduler):
+        scheduler.spawn("w-0", self.worker(0))
+
+    def worker(self, index):
+        self._helper.run()
+        yield index
+
+    def unreached(self):
+        return free()
+'''
+
+BETA = '''
+def helper_func():
+    return 1
+
+
+def deco(fn):
+    return fn
+
+
+@deco
+def decorated():
+    return helper_func()
+
+
+class Base:
+    def __init__(self):
+        self.ready = True
+
+    def run(self):
+        return helper_func()
+
+
+class Helper(Base):
+    pass
+'''
+
+
+def build_graph(sources: dict[str, str]) -> CallGraph:
+    modules = [
+        ModuleSource(
+            path=path,
+            module=module_name_for_path(path),
+            tree=ast.parse(text),
+        )
+        for path, text in sorted(sources.items())
+    ]
+    return CallGraph.build(modules)
+
+
+def two_module_graph() -> CallGraph:
+    return build_graph(
+        {"src/proj/alpha.py": ALPHA, "src/proj/beta.py": BETA}
+    )
+
+
+class TestNaming:
+    def test_module_name_for_path(self):
+        assert module_name_for_path("src/repro/storage/wal.py") == "repro.storage.wal"
+        assert module_name_for_path("src/repro/sim/__init__.py") == "repro.sim"
+        assert module_name_for_path("tools/check.py") == "tools.check"
+
+    def test_param_names_all_binding_kinds(self):
+        node = ast.parse(
+            "def f(a, b, /, c, *rest, d, e=1, **kw): pass"
+        ).body[0]
+        assert param_names(node.args) == ("a", "b", "c", "rest", "d", "e", "kw")
+
+
+class TestIndexing:
+    def test_functions_and_methods_indexed(self):
+        graph = two_module_graph()
+        assert "proj.alpha.free" in graph.functions
+        assert "proj.alpha.Pool.worker" in graph.functions
+        assert graph.functions["proj.alpha.Pool.worker"].is_method
+        assert not graph.functions["proj.alpha.free"].is_method
+        assert graph.functions["proj.alpha.Pool.worker"].params == ("self", "index")
+
+    def test_decorated_function_indexed_by_def_name(self):
+        graph = two_module_graph()
+        assert "proj.beta.decorated" in graph.functions
+        assert "proj.beta.helper_func" in graph.edges["proj.beta.decorated"]
+
+    def test_attr_types_from_init_assignment(self):
+        graph = two_module_graph()
+        pool = graph.classes["proj.alpha.Pool"]
+        assert pool.attr_types["_helper"] == "proj.beta.Helper"
+
+    def test_bases_resolved_in_project(self):
+        graph = two_module_graph()
+        assert graph.classes["proj.beta.Helper"].bases == ("proj.beta.Base",)
+
+
+class TestEdges:
+    def test_aliased_import_resolves(self):
+        graph = two_module_graph()
+        assert "proj.beta.helper_func" in graph.edges["proj.alpha.free"]
+
+    def test_constructor_edge_through_inherited_init(self):
+        graph = two_module_graph()
+        assert "proj.beta.Base.__init__" in graph.edges["proj.alpha.Pool.__init__"]
+
+    def test_attr_receiver_dispatch_through_base(self):
+        # self._helper.run() -> Helper has no run; found on Base.
+        graph = two_module_graph()
+        assert "proj.beta.Base.run" in graph.edges["proj.alpha.Pool.worker"]
+
+    def test_ambiguous_dispatch_capped(self):
+        many = "\n".join(
+            f"class C{i}:\n    def common(self):\n        return {i}\n"
+            for i in range(MAX_AMBIGUOUS_TARGETS + 1)
+        )
+        graph = build_graph(
+            {
+                "src/proj/many.py": many,
+                "src/proj/caller.py": (
+                    "def use(x):\n    return x.common()\n"
+                ),
+            }
+        )
+        assert graph.edges["proj.caller.use"] == set()
+
+    def test_small_ambiguous_fanout_kept(self):
+        graph = build_graph(
+            {
+                "src/proj/pair.py": (
+                    "class A:\n    def poke(self):\n        return 1\n"
+                    "class B:\n    def poke(self):\n        return 2\n"
+                ),
+                "src/proj/caller.py": "def use(x):\n    return x.poke()\n",
+            }
+        )
+        assert graph.edges["proj.caller.use"] == {
+            "proj.pair.A.poke",
+            "proj.pair.B.poke",
+        }
+
+
+class TestQueries:
+    def test_spawn_targets(self):
+        graph = two_module_graph()
+        assert "proj.alpha.Pool.worker" in graph.spawn_targets
+
+    def test_reachable_maps_back_to_root(self):
+        graph = two_module_graph()
+        origin = graph.reachable(graph.spawn_targets)
+        assert origin["proj.alpha.Pool.worker"] == "proj.alpha.Pool.worker"
+        assert origin["proj.beta.Base.run"] == "proj.alpha.Pool.worker"
+        assert origin["proj.beta.helper_func"] == "proj.alpha.Pool.worker"
+        assert "proj.alpha.unreached" not in origin
+
+    def test_qualname_of_def_node(self):
+        graph = two_module_graph()
+        info = graph.functions["proj.alpha.Pool.worker"]
+        assert graph.qualname_of(info.node) == "proj.alpha.Pool.worker"
+
+    def test_resolution_of_call_nodes(self):
+        graph = two_module_graph()
+        free = graph.functions["proj.alpha.free"]
+        calls = [
+            node for node in ast.walk(free.node) if isinstance(node, ast.Call)
+        ]
+        assert len(calls) == 1
+        assert graph.resolution_of(calls[0]) == ("proj.beta.helper_func",)
+
+    def test_stats_counts(self):
+        graph = two_module_graph()
+        stats = graph.stats()
+        assert stats["functions"] == len(graph.functions)
+        assert stats["classes"] == 3  # Pool, Base, Helper
+        assert stats["edges"] > 0
+
+    def test_fingerprint_changes_with_body(self):
+        before = build_graph({"src/proj/x.py": "def f():\n    return 1\n"})
+        after = build_graph({"src/proj/x.py": "def f():\n    return 2\n"})
+        assert (
+            before.functions["proj.x.f"].fingerprint
+            != after.functions["proj.x.f"].fingerprint
+        )

@@ -1,0 +1,272 @@
+"""Unit tests for the worklist dataflow pass and guard dominance."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import CallGraph, ModuleSource, module_name_for_path
+from repro.analysis.dataflow import (
+    SummaryCache,
+    ValueFlow,
+    compute_taint_summaries,
+    guard_dominates,
+    make_call_verdict,
+)
+from repro.analysis.dataflow import test_mentions as mentions  # noqa: F401
+# (aliased so pytest does not collect the production helper as a test)
+
+NO_NONSECRET = lambda path: frozenset()
+
+
+def build_graph(sources: dict[str, str]) -> CallGraph:
+    modules = [
+        ModuleSource(
+            path=path,
+            module=module_name_for_path(path),
+            tree=ast.parse(text),
+        )
+        for path, text in sorted(sources.items())
+    ]
+    return CallGraph.build(modules)
+
+
+def summarise(sources: dict[str, str], cache: SummaryCache | None = None):
+    graph = build_graph(sources)
+    return graph, compute_taint_summaries(graph, NO_NONSECRET, cache=cache)
+
+
+class TestTaintSummaries:
+    def test_direct_source_call_returns_secret(self):
+        _graph, summaries = summarise(
+            {"src/p/keys.py": (
+                "def fetch(store):\n"
+                "    return extract_point(store, b'id')\n"
+            )}
+        )
+        assert summaries["p.keys.fetch"].returns_secret
+
+    def test_param_flow_indices(self):
+        _graph, summaries = summarise(
+            {"src/p/mix.py": (
+                "def pick(first, second):\n"
+                "    return second\n"
+            )}
+        )
+        assert summaries["p.mix.pick"].param_flow == frozenset({1})
+
+    def test_transitive_across_modules(self):
+        # extract_point -> fetch -> relay -> serve: three hops, two
+        # module boundaries, all secret.
+        _graph, summaries = summarise(
+            {
+                "src/p/keys.py": (
+                    "def fetch(store):\n"
+                    "    return extract_point(store, b'id')\n"
+                ),
+                "src/p/mid.py": (
+                    "from p.keys import fetch\n"
+                    "def relay(store):\n"
+                    "    return fetch(store)\n"
+                ),
+                "src/p/top.py": (
+                    "from p.mid import relay\n"
+                    "def serve(store):\n"
+                    "    value = relay(store)\n"
+                    "    return value\n"
+                ),
+            }
+        )
+        assert summaries["p.mid.relay"].returns_secret
+        assert summaries["p.top.serve"].returns_secret
+        # The trace names the callee chain the taint came through.
+        assert "p.mid.relay" in summaries["p.top.serve"].trace
+
+    def test_mutual_recursion_converges(self):
+        _graph, summaries = summarise(
+            {"src/p/loop.py": (
+                "def ping(n):\n"
+                "    if n == 0:\n"
+                "        return extract_point(n, b'x')\n"
+                "    return pong(n - 1)\n"
+                "def pong(n):\n"
+                "    return ping(n)\n"
+            )}
+        )
+        assert summaries["p.loop.ping"].returns_secret
+        assert summaries["p.loop.pong"].returns_secret
+
+    def test_star_args_forwarding_flows(self):
+        graph, summaries = summarise(
+            {"src/p/fwd.py": (
+                "def inner(value):\n"
+                "    return value\n"
+                "def outer(*args):\n"
+                "    return inner(*args)\n"
+            )}
+        )
+        assert summaries["p.fwd.inner"].param_flow == frozenset({0})
+        assert summaries["p.fwd.outer"].param_flow == frozenset({0})
+
+    def test_clean_function_cuts_taint(self):
+        graph, summaries = summarise(
+            {"src/p/clean.py": (
+                "def count(items):\n"
+                "    return len(items)\n"
+                "def use(session_key):\n"
+                "    return count(session_key)\n"
+            )}
+        )
+        assert not summaries["p.clean.count"].returns_secret
+        assert summaries["p.clean.count"].param_flow == frozenset()
+        assert not summaries["p.clean.use"].returns_secret
+
+    def test_summary_cache_hits_on_revisit(self):
+        cache = SummaryCache()
+        sources = {
+            "src/p/keys.py": (
+                "def fetch(store):\n"
+                "    return extract_point(store, b'id')\n"
+            ),
+            "src/p/top.py": (
+                "from p.keys import fetch\n"
+                "def serve(store):\n"
+                "    return fetch(store)\n"
+            ),
+        }
+        summarise(sources, cache)
+        first_hits = cache.hits
+        # Second full run over identical sources: every fingerprint and
+        # dep stamp matches, so the fixed point is pure cache replay.
+        summarise(sources, cache)
+        assert cache.hits > first_hits
+        assert cache.stats()["summaries_cached"] >= 2
+
+
+class TestCallVerdict:
+    def test_unresolved_call_is_none(self):
+        graph, summaries = summarise({"src/p/only.py": "def f():\n    return 1\n"})
+        verdict = make_call_verdict(graph, summaries)
+        orphan = ast.parse("mystery()").body[0].value
+        assert verdict(orphan, None) is None
+
+    def test_resolved_clean_call_is_definite_false(self):
+        graph, summaries = summarise(
+            {"src/p/two.py": (
+                "def callee():\n"
+                "    return 1\n"
+                "def caller():\n"
+                "    return callee()\n"
+            )}
+        )
+        verdict = make_call_verdict(graph, summaries)
+        info = graph.functions["p.two.caller"]
+        call = next(
+            node for node in ast.walk(info.node) if isinstance(node, ast.Call)
+        )
+        assert verdict(call, None) == (False, ())
+
+
+def guard_case(source: str):
+    """Parse one function and return (func_node, the marked call)."""
+    func = ast.parse(source).body[0]
+    target = next(
+        node
+        for node in ast.walk(func)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "touch"
+    )
+    return func, target
+
+
+MENTIONS_LIVE = lambda test: mentions(test, ("live_workers",))
+
+
+class TestGuardDominance:
+    def test_nested_if_guard(self):
+        func, target = guard_case(
+            "def f(self):\n"
+            "    if self._live_workers:\n"
+            "        touch()\n"
+        )
+        assert guard_dominates(func, target, MENTIONS_LIVE)
+
+    def test_early_exit_sibling_guard(self):
+        func, target = guard_case(
+            "def f(self):\n"
+            "    if self._live_workers:\n"
+            "        raise RuntimeError('busy')\n"
+            "    touch()\n"
+        )
+        assert guard_dominates(func, target, MENTIONS_LIVE)
+
+    def test_early_exit_at_outer_nesting_level(self):
+        func, target = guard_case(
+            "def f(self):\n"
+            "    if self._live_workers:\n"
+            "        return None\n"
+            "    for item in self._items:\n"
+            "        touch()\n"
+        )
+        assert guard_dominates(func, target, MENTIONS_LIVE)
+
+    def test_unguarded_is_not_dominated(self):
+        func, target = guard_case(
+            "def f(self):\n"
+            "    touch()\n"
+            "    if self._live_workers:\n"
+            "        return None\n"
+        )
+        assert not guard_dominates(func, target, MENTIONS_LIVE)
+
+    def test_non_exiting_if_does_not_count(self):
+        func, target = guard_case(
+            "def f(self):\n"
+            "    if self._live_workers:\n"
+            "        log()\n"
+            "    touch()\n"
+        )
+        assert not guard_dominates(func, target, MENTIONS_LIVE)
+
+    def test_test_mentions_names_and_attributes(self):
+        test = ast.parse("self._live_workers > 0").body[0].value
+        assert mentions(test, ("live_workers",))
+        test = ast.parse("count > 0").body[0].value
+        assert not mentions(test, ("live_workers",))
+
+
+class TestValueFlow:
+    SOURCES = frozenset({"to_mont"})
+    BARRIERS = frozenset({"from_mont"})
+
+    def flow(self, source: str) -> ValueFlow:
+        return ValueFlow(
+            ast.parse(source).body,
+            source_calls=self.SOURCES,
+            barrier_calls=self.BARRIERS,
+        )
+
+    def test_source_propagates_through_assignments(self):
+        flow = self.flow(
+            "am = to_mont(a)\n"
+            "bm = am\n"
+            "cm, dm = bm, am\n"
+        )
+        assert flow.tainted == {"am", "bm", "cm", "dm"}
+
+    def test_barrier_cuts(self):
+        flow = self.flow(
+            "am = to_mont(a)\n"
+            "plain = from_mont(am)\n"
+        )
+        assert "am" in flow.tainted
+        assert "plain" not in flow.tainted
+
+    def test_binop_and_subscript_propagate(self):
+        flow = self.flow(
+            "am = to_mont(a)\n"
+            "sum_ = am + am\n"
+            "table = [am]\n"
+            "entry = table[0]\n"
+        )
+        assert {"sum_", "table", "entry"} <= flow.tainted

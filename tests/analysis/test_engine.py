@@ -1,0 +1,125 @@
+"""Engine-level behaviour: cross-module findings and the parse-once bug fix."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+from repro.analysis.engine import SourceModule
+
+
+def write_tree(tmp_path: Path, files: dict[str, str]) -> Path:
+    for name, text in files.items():
+        target = tmp_path / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text, encoding="utf-8")
+    return tmp_path
+
+
+class TestCrossModuleTaint:
+    def test_branch_on_secret_from_another_module_traces(self, tmp_path):
+        # The secret is minted in keys.py; the offending branch lives
+        # two calls away in service.py.  Only the whole-program summary
+        # pass can see it — and the finding must carry the chain.
+        tree = write_tree(
+            tmp_path,
+            {
+                "keys.py": (
+                    "def fetch_key(store):\n"
+                    "    return extract_point(store, b'id')\n"
+                ),
+                "mid.py": (
+                    "from keys import fetch_key\n"
+                    "\n"
+                    "def relay(store):\n"
+                    "    return fetch_key(store)\n"
+                ),
+                "service.py": (
+                    "from mid import relay\n"
+                    "\n"
+                    "def handle(store):\n"
+                    "    value = relay(store)\n"
+                    "    if value:\n"
+                    "        return 1\n"
+                    "    return 0\n"
+                ),
+            },
+        )
+        report = analyze_paths([tree], root=tree)
+        ct001 = [
+            f for f in report.findings
+            if f.rule_id == "CT001" and f.path == "service.py"
+        ]
+        assert ct001, [f.render() for f in report.findings]
+        message = ct001[0].message
+        assert "[secret flows via" in message
+        assert "mid.relay" in message
+        assert "keys.fetch_key" in message
+
+    def test_single_module_has_no_cross_finding(self, tmp_path):
+        # Same branch without the tainted callee: no CT001.
+        tree = write_tree(
+            tmp_path,
+            {
+                "service.py": (
+                    "def handle(store):\n"
+                    "    value = lookup(store)\n"
+                    "    if value:\n"
+                    "        return 1\n"
+                    "    return 0\n"
+                ),
+            },
+        )
+        report = analyze_paths([tree], root=tree)
+        assert not [f for f in report.findings if f.rule_id == "CT001"]
+
+
+class TestParseOnce:
+    def test_each_file_parsed_exactly_once(self, tmp_path, monkeypatch):
+        # The shared SourceModule cache is the fix for the repeated-parse
+        # bug: N files, N parses — however many rules run over them.
+        tree = write_tree(
+            tmp_path,
+            {
+                "one.py": "def a():\n    return 1\n",
+                "two.py": "def b():\n    return a()\n",
+                "pkg/three.py": "import time\n\ndef c():\n    return time.time()\n",
+            },
+        )
+        calls: list[str] = []
+        real_parse = SourceModule.parse.__func__
+
+        def counting_parse(source, path):
+            calls.append(path)
+            return real_parse(SourceModule, source, path)
+
+        monkeypatch.setattr(SourceModule, "parse", staticmethod(counting_parse))
+        report = analyze_paths([tree], root=tree)
+        assert report.files_scanned == 3
+        assert sorted(calls) == ["one.py", "pkg/three.py", "two.py"]
+
+    def test_ast_parse_called_once_per_file(self, tmp_path, monkeypatch):
+        # Belt and braces at the stdlib level: no rule or project pass
+        # re-parses source text behind the cache's back.
+        tree = write_tree(
+            tmp_path,
+            {
+                "one.py": "def a():\n    return 1\n",
+                "two.py": "def b():\n    return 2\n",
+            },
+        )
+        real_parse = ast.parse
+        counts: dict[str, int] = {}
+
+        def counting(source, filename="<unknown>", *args, **kwargs):
+            counts[filename] = counts.get(filename, 0) + 1
+            return real_parse(source, filename, *args, **kwargs)
+
+        monkeypatch.setattr(ast, "parse", counting)
+        analyze_paths([tree], root=tree)
+        per_file = {
+            name: count for name, count in counts.items() if name.endswith(".py")
+        }
+        assert all(count == 1 for count in per_file.values()), per_file
+        assert len(per_file) == 2

@@ -28,6 +28,11 @@ CASES = {
     "EXC001": ("exc001", "src/repro/mws/fixture.py"),
     "API001": ("api001", "src/repro/core/fixture.py"),
     "API002": ("api002", "src/repro/core/fixture.py"),
+    "CONC001": ("conc001", "src/repro/mws/fixture.py"),
+    "CONC002": ("conc002", "src/repro/storage/fixture.py"),
+    "REPL001": ("repl001", "src/repro/storage/fixture.py"),
+    "REPL002": ("repl002", "src/repro/storage/fixture.py"),
+    "BACK001": ("back001", "src/repro/pairing/fixture.py"),
 }
 
 

@@ -14,6 +14,21 @@ from repro.core.deployment import Deployment, DeploymentConfig
 from repro.ibe import setup
 from repro.mathlib.rand import HmacDrbg
 from repro.pairing import get_preset
+from repro.sim import sanitizer as _sanitizer
+
+
+@pytest.fixture(autouse=True)
+def _ownership_sanitizer():
+    """Every tier-1 test runs under the ownership sanitizer.
+
+    Any scheduler-driven run that touches a tagged shard or queue from
+    the wrong task raises :class:`~repro.errors.SanitizerError` instead
+    of passing silently.  Tests that never enter a scheduler pay only
+    one module-global read per run() call.
+    """
+    previous = _sanitizer.install(_sanitizer.OwnershipSanitizer())
+    yield
+    _sanitizer.uninstall(previous)
 
 
 @pytest.fixture(scope="session")

@@ -1,9 +1,13 @@
 """The availability bench harness (repro.sim.availability)."""
 
+import dataclasses
+import json
+
 from repro.sim.availability import (
     FAULT_PLANS,
     AvailabilityConfig,
     _measure_rebalance_latency,
+    _run_plan,
     run_availability,
 )
 
@@ -45,3 +49,15 @@ class TestRunAvailability:
         assert latency["steady_p99_ms"] > 0
         assert latency["rebalance_p99_ms"] > 0
         assert latency["p99_ratio"] > 0
+
+    def test_sanitize_plan_runs_clean_and_exports_counters(self):
+        # One plan under the registry-backed sanitizer (the `--sanitize`
+        # CLI path): conservation holds and the schema-v7 counters land
+        # in the obs dump.
+        config = dataclasses.replace(SMALL, sanitize=True)
+        result, dump, _counters = _run_plan(config, "clean", {}, {})
+        assert result.conservation_ok()
+        counters = json.loads(dump)["metrics"]["counters"]
+        assert counters["sim.sanitizer.checks"] > 0
+        assert counters["sim.sanitizer.violations"] == 0
+        assert counters["sim.sanitizer.tagged"] > 0

@@ -1,0 +1,307 @@
+"""Tests for the deterministic ownership sanitizer.
+
+Three layers: the :class:`OwnershipSanitizer` object itself (tagging,
+checking, owner keys), its scheduler integration (violations surface on
+the exact seeded step, reproducibly), and the runtime wiring (a worker
+pool whose loops touch a sibling's queue or shard trips the sanitizer,
+while the stock pool runs clean with checks actually happening).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.errors import SanitizerError
+from repro.mathlib.rand import HmacDrbg
+from repro.mws.runtime import ShardWorkerPool
+from repro.mws.service import MwsConfig
+from repro.obs.registry import MetricsRegistry
+from repro.sim.sanitizer import (
+    ANY_OWNER,
+    OwnershipSanitizer,
+    active,
+    install,
+    uninstall,
+)
+from repro.sim.scheduler import DeterministicScheduler, TaskState
+
+ATTRIBUTES = ("ELECTRIC-S-SV", "WATER-S-SV", "GAS-S-SV")
+
+
+class TestOwnershipSanitizer:
+    def test_untagged_objects_always_pass(self):
+        sanitizer = OwnershipSanitizer()
+        sanitizer.register_task("t", ("worker", 0))
+        sanitizer.enter_task("t")
+        sanitizer.check(object())
+        assert sanitizer.violations == 0
+
+    def test_no_current_task_passes_even_on_tagged(self):
+        sanitizer = OwnershipSanitizer()
+        shared = []
+        sanitizer.tag(shared, ("worker", 1), "queue-1")
+        sanitizer.check(shared)  # setup/teardown context: no task
+        assert sanitizer.violations == 0
+
+    def test_matching_owner_passes(self):
+        sanitizer = OwnershipSanitizer()
+        shared = []
+        sanitizer.tag(shared, ("worker", 0), "queue-0")
+        sanitizer.register_task("worker-0-g0", ("worker", 0))
+        sanitizer.enter_task("worker-0-g0")
+        sanitizer.check(shared)
+        assert sanitizer.violations == 0
+
+    def test_restarted_generation_keeps_owner_key(self):
+        sanitizer = OwnershipSanitizer()
+        shared = []
+        sanitizer.tag(shared, ("worker", 2), "queue-2")
+        sanitizer.register_task("worker-2-g5", ("worker", 2))
+        sanitizer.enter_task("worker-2-g5")
+        sanitizer.check(shared)
+        assert sanitizer.violations == 0
+
+    def test_wrong_owner_raises(self):
+        sanitizer = OwnershipSanitizer()
+        shared = []
+        sanitizer.tag(shared, ("worker", 1), "queue-1")
+        sanitizer.register_task("worker-0-g0", ("worker", 0))
+        sanitizer.enter_task("worker-0-g0")
+        with pytest.raises(SanitizerError, match="queue-1"):
+            sanitizer.check(shared)
+        assert sanitizer.violations == 1
+
+    def test_any_owner_object_open_to_all(self):
+        sanitizer = OwnershipSanitizer()
+        shared = []
+        sanitizer.tag(shared, ANY_OWNER, "shared-log")
+        sanitizer.register_task("worker-0-g0", ("worker", 0))
+        sanitizer.enter_task("worker-0-g0")
+        sanitizer.check(shared)
+        assert sanitizer.violations == 0
+
+    def test_any_owner_task_may_touch_anything(self):
+        sanitizer = OwnershipSanitizer()
+        shared = []
+        sanitizer.tag(shared, ("worker", 3), "shard-3")
+        sanitizer.register_task("rebalance-drain", ANY_OWNER)
+        sanitizer.enter_task("rebalance-drain")
+        sanitizer.check(shared)
+        assert sanitizer.violations == 0
+
+    def test_unregistered_task_passes(self):
+        # Tasks the harness never registered (ad-hoc test generators)
+        # are outside the discipline, not violations.
+        sanitizer = OwnershipSanitizer()
+        shared = []
+        sanitizer.tag(shared, ("worker", 1), "queue-1")
+        sanitizer.enter_task("mystery-task")
+        sanitizer.check(shared)
+        assert sanitizer.violations == 0
+
+    def test_stats_and_registry_counters(self):
+        registry = MetricsRegistry()
+        sanitizer = OwnershipSanitizer(registry=registry)
+        shared = []
+        sanitizer.tag(shared, ("worker", 1), "queue-1")
+        sanitizer.register_task("worker-0-g0", ("worker", 0))
+        sanitizer.enter_task("worker-0-g0")
+        sanitizer.check(object())
+        with pytest.raises(SanitizerError):
+            sanitizer.check(shared)
+        assert sanitizer.stats() == {"checks": 2, "violations": 1, "tagged": 1}
+        counters = registry.counter_values()
+        assert counters["sim.sanitizer.checks"] == 2
+        assert counters["sim.sanitizer.violations"] == 1
+        assert counters["sim.sanitizer.tagged"] == 1
+
+    def test_install_uninstall_roundtrip(self):
+        outer = active()  # the autouse fixture's sanitizer
+        mine = OwnershipSanitizer()
+        previous = install(mine)
+        assert previous is outer
+        assert active() is mine
+        uninstall(previous)
+        assert active() is outer
+
+
+def scheduled_violation(seed: bytes):
+    """Two tasks sharing one list; ``bad`` touches it while ``good``
+    owns it.  Returns (scheduler, error) after draining."""
+    sanitizer = OwnershipSanitizer()
+    shared = []
+    sanitizer.tag(shared, ("worker", 0), "queue-0")
+    sanitizer.register_task("good", ("worker", 0))
+    sanitizer.register_task("bad", ("worker", 1))
+
+    def good_loop():
+        for index in range(6):
+            sanitizer.check(shared)
+            shared.append(("good", index))
+            yield
+
+    def bad_loop():
+        for _ in range(3):
+            yield
+        sanitizer.check(shared)  # cross-task access: must raise
+        shared.append(("bad", -1))
+        yield
+
+    previous = install(sanitizer)
+    try:
+        scheduler = DeterministicScheduler(HmacDrbg(seed))
+        scheduler.spawn("good", good_loop())
+        scheduler.spawn("bad", bad_loop())
+        error = None
+        try:
+            scheduler.run()
+        except SanitizerError as exc:
+            error = exc
+        return scheduler, error, sanitizer
+    finally:
+        uninstall(previous)
+
+
+class TestSchedulerIntegration:
+    def test_violation_raises_on_the_offending_step(self):
+        scheduler, error, sanitizer = scheduled_violation(b"sani-sched-1")
+        assert error is not None
+        assert "queue-0" in str(error)
+        bad = next(task for task in scheduler.tasks if task.name == "bad")
+        assert bad.state == TaskState.FAILED
+        assert sanitizer.violations == 1
+
+    def test_violation_step_is_seed_deterministic(self):
+        first, error_a, _ = scheduled_violation(b"sani-sched-det")
+        second, error_b, _ = scheduled_violation(b"sani-sched-det")
+        assert error_a is not None and error_b is not None
+        assert first.steps == second.steps
+        assert str(error_a) == str(error_b)
+
+    def test_same_owner_run_is_clean(self):
+        sanitizer = OwnershipSanitizer()
+        shared = []
+        sanitizer.tag(shared, ("worker", 0), "queue-0")
+        sanitizer.register_task("solo", ("worker", 0))
+
+        def loop():
+            for index in range(4):
+                sanitizer.check(shared)
+                shared.append(index)
+                yield
+
+        previous = install(sanitizer)
+        try:
+            scheduler = DeterministicScheduler(HmacDrbg(b"sani-clean"))
+            scheduler.spawn("solo", loop())
+            tasks = scheduler.run()
+        finally:
+            uninstall(previous)
+        assert all(task.state == TaskState.DONE for task in tasks)
+        assert sanitizer.violations == 0
+        assert sanitizer.checks == 4
+
+    def test_disabled_sanitizer_never_checks(self):
+        # With nothing installed the scheduler takes the None fast path
+        # and the same cross-task access completes silently.
+        outer = active()
+        uninstall(None)
+        try:
+            assert active() is None
+            shared = []
+
+            def toucher():
+                shared.append("x")
+                yield
+
+            scheduler = DeterministicScheduler(HmacDrbg(b"sani-off"))
+            scheduler.spawn("toucher", toucher())
+            tasks = scheduler.run()
+            assert tasks[0].state == TaskState.DONE
+        finally:
+            install(outer) if outer is not None else uninstall(None)
+
+
+def build_deployment(seed=b"sanitizer-tests", shards=4):
+    return Deployment.build(
+        DeploymentConfig(
+            preset="TOY64",
+            rsa_bits=768,
+            seed=seed,
+            mws=MwsConfig(message_shards=shards),
+        )
+    )
+
+
+def sample_jobs(messages_per_device=3, devices=3):
+    return [
+        (
+            f"sani-dev-{index:02d}",
+            [
+                (
+                    ATTRIBUTES[seq % len(ATTRIBUTES)],
+                    f"device=sani-{index};seq={seq};reading".encode("ascii"),
+                )
+                for seq in range(messages_per_device)
+            ],
+        )
+        for index in range(devices)
+    ]
+
+
+class EvilPool(ShardWorkerPool):
+    """A pool whose workers each drive their *sibling's* loop.
+
+    ``worker-0`` runs the loop for queue 1 and vice versa — exactly the
+    seeded cross-task shard access the ISSUE's acceptance test demands.
+    The static CONC001 rule catches this shape in fixtures; here the
+    sanitizer must catch it dynamically.
+    """
+
+    def _worker_loop(self, index: int):
+        yield from super()._worker_loop((index + 1) % self._workers)
+
+
+class TestRuntimeWiring:
+    def test_cross_task_queue_access_is_caught(self):
+        deployment = build_deployment(seed=b"sanitizer-evil")
+        try:
+            pool = EvilPool(
+                deployment, workers=2, scheduler_seed=b"sani-evil-seed"
+            )
+            with pytest.raises(SanitizerError, match="queue-"):
+                pool.run(sample_jobs())
+        finally:
+            deployment.close()
+
+    def test_stock_pool_runs_clean_with_checks(self):
+        sanitizer = active()
+        assert sanitizer is not None, "autouse fixture should be installed"
+        before = sanitizer.checks
+        deployment = build_deployment(seed=b"sanitizer-clean")
+        try:
+            pool = ShardWorkerPool(
+                deployment, workers=2, scheduler_seed=b"sani-clean-seed"
+            )
+            result = pool.run(sample_jobs())
+        finally:
+            deployment.close()
+        assert result.conservation_ok()
+        assert sanitizer.checks > before  # the run was actually checked
+        assert sanitizer.violations == 0
+
+    def test_evil_failure_is_seed_deterministic(self):
+        messages = []
+        for _ in range(2):
+            deployment = build_deployment(seed=b"sanitizer-evil-det")
+            try:
+                pool = EvilPool(
+                    deployment, workers=2, scheduler_seed=b"sani-det-seed"
+                )
+                with pytest.raises(SanitizerError) as excinfo:
+                    pool.run(sample_jobs())
+                messages.append(str(excinfo.value))
+            finally:
+                deployment.close()
+        assert messages[0] == messages[1]
