@@ -57,13 +57,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser(
         "bench", help="micro-benchmarks; writes a BENCH_*.json trajectory file"
     )
-    bench.add_argument("target", choices=["pairing", "scale", "availability"],
+    bench.add_argument("target",
+                       choices=["pairing", "scale", "availability",
+                                "revocation"],
                        help="'pairing': legacy vs fast-path pairing and the "
                        "FIG4-style deposit phase; 'scale': fleet load "
                        "generation against a sharded warehouse with batched "
                        "deposits and paged retrieval; 'availability': "
                        "replicated-warehouse conservation under seeded "
-                       "fault plans plus online-rebalance p99 latency")
+                       "fault plans plus online-rebalance p99 latency; "
+                       "'revocation': epoch rolls and RC revocations "
+                       "churning under fleet load — revoked RCs must stay "
+                       "blocked and lazy re-encryption must conserve the "
+                       "origin-ciphertext multiset on every fault plan")
     bench.add_argument("--preset", default=None,
                        help="pairing preset (default: TEST80 for 'pairing', "
                        "TOY64 for 'scale')")
@@ -107,9 +113,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="availability: acceptance bound on "
                        "p99(rebalance)/p99(steady)")
     bench.add_argument("--sanitize", action="store_true",
-                       help="availability: run every fault plan under the "
-                       "deterministic ownership sanitizer (cross-task "
-                       "shard/queue access raises SanitizerError)")
+                       help="availability/revocation: run every fault plan "
+                       "under the deterministic ownership sanitizer "
+                       "(cross-task shard/queue access raises "
+                       "SanitizerError)")
+    bench.add_argument("--reencrypt-every", type=int, default=5,
+                       help="revocation: scheduler steps between background "
+                       "re-encryption sweeps")
+    bench.add_argument("--reencrypt-batch", type=int, default=4,
+                       help="revocation: records re-wrapped per sweep")
     bench.add_argument("--out", default=None,
                        help="output JSON path ('-' for stdout only; default: "
                        "BENCH_<target>.json)")
@@ -304,6 +316,8 @@ def _cmd_bench(args) -> int:
     """Dispatch to the selected benchmark target."""
     if args.target == "availability":
         return _bench_availability(args)
+    if args.target == "revocation":
+        return _bench_revocation(args)
     if args.target == "scale":
         return _bench_scale(args)
     return _bench_pairing(args)
@@ -617,6 +631,76 @@ def _bench_availability(args) -> int:
     return 0
 
 
+def _bench_revocation(args) -> int:
+    """Run the revocation-churn harness; write ``BENCH_revocation.json``.
+
+    Exit status enforces the lifecycle acceptance bar directly: every
+    plan must conserve the origin-ciphertext multiset with a
+    reproducible transcript, a non-revoked RC must decrypt everything
+    (including post-roll deposits), and **every** revoked-access probe
+    must be blocked — a single revoked RC reaching a post-revocation
+    deposit fails the run regardless of what the JSON gate would say.
+    """
+    import json
+
+    from repro.sim.revocation import RevocationConfig, run_revocation
+
+    dump = run_revocation(
+        RevocationConfig(
+            shards=args.shards if args.shards is not None else 2,
+            replicas=args.replicas,
+            quorum=args.quorum,
+            workers=args.workers if args.workers > 1 else 2,
+            devices=args.devices,
+            batch_size=args.batch_size,
+            page_size=args.page_size,
+            preset=args.preset if args.preset else "TOY64",
+            seed=args.seed.encode()
+            if args.seed != "repro-scale"
+            else b"repro-revocation",
+            reencrypt_every=args.reencrypt_every,
+            reencrypt_batch=args.reencrypt_batch,
+            sanitize=args.sanitize,
+        )
+    )
+    out = args.out if args.out is not None else "BENCH_revocation.json"
+    text = json.dumps(dump, sort_keys=True, indent=args.indent) + "\n"
+    if out != "-":
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {out}")
+    else:
+        sys.stdout.write(text)
+
+    for row in dump["plans"]:
+        print(
+            f"plan {row['plan']}: accepted {row['accepted']}, rolls "
+            f"{row['epoch_rolls']} -> epoch {row['final_epoch']}, rewraps "
+            f"{row['reencrypt_moves']}, blocked "
+            f"{row['revoked_blocked']}/{row['revoked_attempts']}, "
+            f"decrypted {row['decrypted']}, "
+            f"{'ok' if row['ok'] else 'FAILED'}"
+        )
+    summary = dump["summary"]
+    print(
+        f"revocation: {summary['revoked_blocked']}/"
+        f"{summary['revoked_attempts']} probes blocked, "
+        f"{summary['reencrypt_moves_total']} re-wraps across "
+        f"{summary['plans']} plans (ok_fraction {summary['ok_fraction']})"
+    )
+    failed = [row["plan"] for row in dump["plans"] if not row["ok"]]
+    if failed:
+        print(f"FAIL: plan(s) broke the lifecycle laws: {', '.join(failed)}")
+        return 1
+    if summary["revoked_blocked_fraction"] < 1.0:
+        print(
+            "FAIL: a revoked RC reached a post-revocation deposit "
+            f"(blocked fraction {summary['revoked_blocked_fraction']})"
+        )
+        return 1
+    return 0
+
+
 #: Ratios gated by ``repro bench-gate``, per bench kind.  Gating on
 #: speedups rather than absolute milliseconds keeps the gate meaningful
 #: across machines: a CI runner is slower than the laptop that wrote
@@ -636,6 +720,13 @@ _GATED_RATIOS = {
     # broken plan drops it below the regression floor and fails CI.
     "availability": [
         ("summary", "ok_fraction"),
+    ],
+    # Both gates sit at 1.0 in the committed baseline; a single broken
+    # plan or a single revoked RC reaching a post-revocation deposit
+    # drops the fraction below any sane regression floor and fails CI.
+    "revocation": [
+        ("summary", "ok_fraction"),
+        ("summary", "revoked_blocked_fraction"),
     ],
 }
 

@@ -30,6 +30,7 @@ from repro.errors import (
 )
 from repro.ibe.kem import HybridCiphertext, hybrid_decrypt
 from repro.ibe.keys import PublicParams
+from repro.ibe.reencrypt import is_wrapped, parse_wrap, unwrap_layer
 from repro.mathlib.rand import RandomSource, SystemRandomSource
 from repro.obs.tracing import NULL_TRACER
 from repro.pairing.curve import Point
@@ -95,7 +96,10 @@ class ReceivingClient:
         self._rng = rng if rng is not None else SystemRandomSource()
         self._gatekeeper_cipher = gatekeeper_cipher
         self._session_cipher = session_cipher
-        self._key_cache: dict[tuple[int, bytes], Point] = {}
+        #: Extracted keys by ``(AID, nonce, epoch)`` — the epoch is part
+        #: of the identity, so keys for the same attribute at different
+        #: epochs are unrelated points and must never alias.
+        self._key_cache: dict[tuple[int, bytes, int], Point] = {}
         #: Cached live PKG session: (session_id, session_key) or None.
         self._pkg_session: tuple[bytes, bytes] | None = None
         self._tracer = tracer if tracer is not None else NULL_TRACER
@@ -341,9 +345,10 @@ class ReceivingClient:
         session_key: bytes,
         attribute_id: int,
         nonce: bytes,
+        epoch: int = 0,
     ) -> Point:
-        """Obtain ``sI`` for ``AID || Nonce`` (cached per pair)."""
-        cache_key = (attribute_id, nonce)
+        """Obtain ``sI`` for ``AID || Nonce || Epoch`` (cached per triple)."""
+        cache_key = (attribute_id, nonce, epoch)
         cached = self._key_cache.get(cache_key)
         if cached is not None:
             self.stats["cache_hits"] += 1
@@ -351,7 +356,10 @@ class ReceivingClient:
         raw = (
             b"\x02"
             + KeyRequest(
-                session_id=session_id, attribute_id=attribute_id, nonce=nonce
+                session_id=session_id,
+                attribute_id=attribute_id,
+                nonce=nonce,
+                epoch=epoch,
             ).to_bytes()
         )
 
@@ -383,11 +391,20 @@ class ReceivingClient:
 
     def decrypt_message(self, message: StoredMessage, private_point: Point) -> bytes:
         with self._tracer.span("rc.ibe_decrypt"):
-            return self._decrypt_message(message, private_point)
+            return self._decrypt_base(
+                message, message.ciphertext, private_point, message.epoch
+            )
 
-    def _decrypt_message(self, message: StoredMessage, private_point: Point) -> bytes:
+    def _decrypt_base(
+        self,
+        message: StoredMessage,
+        ciphertext_bytes: bytes,
+        private_point: Point,
+        epoch: int,
+    ) -> bytes:
+        """Decrypt the base hybrid layer with the key for ``epoch``."""
         ciphertext = HybridCiphertext.from_bytes(
-            message.ciphertext, self._public.params
+            ciphertext_bytes, self._public.params
         )
         try:
             plaintext = hybrid_decrypt(self._public, private_point, ciphertext)
@@ -398,7 +415,9 @@ class ReceivingClient:
             # wrong identity — which the client would otherwise cache
             # under the right one and fail with forever.  Evict so a
             # retry re-fetches.
-            self._key_cache.pop((message.attribute_id, message.nonce), None)
+            self._key_cache.pop(
+                (message.attribute_id, message.nonce, epoch), None
+            )
             raise
         self.stats["decrypted"] += 1
         return plaintext
@@ -442,34 +461,65 @@ class ReceivingClient:
         if not response.messages:
             return []
         if self._pkg_session is not None:
-            session_id, session_key = self._pkg_session
+            session = self._pkg_session
             self.stats["session_reuses"] += 1
         else:
-            session_id = self.authenticate_to_pkg(pkg_channel, token)
-            session_key = token.session_key
-        results = []
-        for message in response.messages:
+            session = (
+                self.authenticate_to_pkg(pkg_channel, token),
+                token.session_key,
+            )
+
+        def fetch(attribute_id: int, nonce: bytes, epoch: int) -> Point:
+            nonlocal session
             try:
-                private_point = self.fetch_key(
-                    pkg_channel,
-                    session_id,
-                    session_key,
-                    message.attribute_id,
-                    message.nonce,
+                return self.fetch_key(
+                    pkg_channel, session[0], session[1],
+                    attribute_id, nonce, epoch=epoch,
                 )
             except TicketError:
                 # Cached session expired server-side: re-auth and retry.
+                # A revocation denial also lands here — the fresh
+                # session fails identically and the error propagates.
                 self._pkg_session = None
-                session_id = self.authenticate_to_pkg(pkg_channel, token)
-                session_key = token.session_key
-                private_point = self.fetch_key(
-                    pkg_channel,
-                    session_id,
-                    session_key,
-                    message.attribute_id,
-                    message.nonce,
+                session = (
+                    self.authenticate_to_pkg(pkg_channel, token),
+                    token.session_key,
                 )
-            plaintext = self.decrypt_message(message, private_point)
+                return self.fetch_key(
+                    pkg_channel, session[0], session[1],
+                    attribute_id, nonce, epoch=epoch,
+                )
+
+        results = []
+        for message in response.messages:
+            # Peel re-encryption wraps outermost-in: each layer's header
+            # names the epoch whose key opens it, so one extraction per
+            # layer walks back to the original deposit.
+            ciphertext = message.ciphertext
+            layer_epoch = message.epoch
+            while is_wrapped(ciphertext):
+                outer_epoch, _inner, _sealed = parse_wrap(ciphertext)
+                point = fetch(message.attribute_id, message.nonce, outer_epoch)
+                with self._tracer.span("rc.unwrap_layer"):
+                    try:
+                        layer_epoch, ciphertext = unwrap_layer(
+                            self._public, point, ciphertext
+                        )
+                    except DecryptionError:
+                        # Same poisoned-cache hazard as the base layer:
+                        # evict the layer key so a retry re-fetches.
+                        self._key_cache.pop(
+                            (message.attribute_id, message.nonce, outer_epoch),
+                            None,
+                        )
+                        raise
+            private_point = fetch(
+                message.attribute_id, message.nonce, layer_epoch
+            )
+            with self._tracer.span("rc.ibe_decrypt"):
+                plaintext = self._decrypt_base(
+                    message, ciphertext, private_point, layer_epoch
+                )
             results.append(
                 RetrievedMessage(
                     message_id=message.message_id,

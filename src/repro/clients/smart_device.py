@@ -97,6 +97,18 @@ class SmartDevice:
         else:
             self.stats = {"deposits_built": 0}
 
+    def _current_epoch(self) -> int:
+        """The key epoch to encrypt under, read off the public params.
+
+        The PKG publishes epoch rolls by bumping
+        ``PublicParams.current_epoch`` on the shared object, so devices
+        pick the new identity up on their next deposit without any
+        re-provisioning round-trip.  Deposits built just before a roll
+        carry the old epoch and still land — the warehouse accepts any
+        epoch back to its retirement threshold.
+        """
+        return getattr(self._public, "current_epoch", 0)
+
     def build_deposit(self, attribute: str, message: bytes) -> DepositRequest:
         """Encrypt ``message`` under ``attribute`` and MAC the deposit.
 
@@ -106,7 +118,8 @@ class SmartDevice:
         with self._tracer.span("sd.build_deposit") as span:
             span.annotate("message_bytes", len(message))
             nonce = self._rng.randbytes(NONCE_LENGTH) if self._use_nonce else b""
-            identity = identity_string(attribute, nonce)
+            epoch = self._current_epoch()
+            identity = identity_string(attribute, nonce, epoch)
             with self._tracer.span("sd.ibe_encrypt"):
                 ciphertext = hybrid_encrypt(
                     self._public,
@@ -121,6 +134,7 @@ class SmartDevice:
                 nonce=nonce,
                 ciphertext=ciphertext.to_bytes(),
                 timestamp_us=self._clock.now_us(),
+                epoch=epoch,
             )
             with self._tracer.span("sd.mac"):
                 request.mac = compute_deposit_mac(
@@ -140,9 +154,10 @@ class SmartDevice:
         MAC and the network round-trip are amortised over the batch.
         """
         entries = []
+        epoch = self._current_epoch()
         for attribute, message in items:
             nonce = self._rng.randbytes(NONCE_LENGTH) if self._use_nonce else b""
-            identity = identity_string(attribute, nonce)
+            identity = identity_string(attribute, nonce, epoch)
             ciphertext = hybrid_encrypt(
                 self._public,
                 identity,
@@ -155,6 +170,7 @@ class SmartDevice:
                     attribute=attribute,
                     nonce=nonce,
                     ciphertext=ciphertext.to_bytes(),
+                    epoch=epoch,
                 )
             )
         request = BatchDepositRequest(
@@ -201,13 +217,14 @@ class SmartDevice:
         """
         with self._tracer.span("sd.build_many") as span:
             span.annotate("items", len(items))
+            epoch = self._current_epoch()
             nonces = [
                 self._rng.randbytes(NONCE_LENGTH) if self._use_nonce else b""
                 for _ in items
             ]
             groups: dict[bytes, list[int]] = {}
             for index, (attribute, _message) in enumerate(items):
-                identity = identity_string(attribute, nonces[index])
+                identity = identity_string(attribute, nonces[index], epoch)
                 groups.setdefault(identity, []).append(index)
             ciphertexts: list[bytes] = [b""] * len(items)
             with self._tracer.span("sd.ibe_encrypt_many"):
@@ -226,6 +243,7 @@ class SmartDevice:
                     attribute=items[index][0],
                     nonce=nonces[index],
                     ciphertext=ciphertexts[index],
+                    epoch=epoch,
                 )
                 for index in range(len(items))
             ]

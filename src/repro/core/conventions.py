@@ -31,16 +31,33 @@ MAC_LENGTH = 32
 NONCE_LENGTH = 16
 #: RC <-> PKG session key length.
 SESSION_KEY_LENGTH = 32
+#: Tag byte framing the optional epoch suffix of an identity string.
+#: Chosen outside the range a length-prefixed field could open with in
+#: practice purely for legibility in hexdumps; uniqueness comes from the
+#: framing (the suffix only ever follows a complete ``A || Nonce``).
+_EPOCH_TAG = 0x45  # 'E'
 
 
-def identity_string(attribute: str, nonce: bytes) -> bytes:
-    """The IBE identity ``A || Nonce`` with unambiguous framing.
+def identity_string(attribute: str, nonce: bytes, epoch: int = 0) -> bytes:
+    """The IBE identity ``A || Nonce [|| Epoch]`` with unambiguous framing.
 
     This is the string both the SD (at encryption time) and the PKG (at
     extraction time) hash to a curve point: ``I = H1(A || Nonce)``.
     An empty nonce is the "static keys" ablation mode (DESIGN.md §6.2).
+
+    ``epoch`` scopes the identity to one key-lifecycle epoch
+    (docs/REVOCATION.md): epoch 0 produces the exact pre-epoch byte
+    string, so every identity derived before the lifecycle existed is an
+    epoch-0 identity by construction — old ciphertexts and extracted
+    keys keep working unchanged.  A non-zero epoch appends a tagged
+    suffix, so identities from different epochs can never collide with
+    each other or with the legacy encoding (the string is only ever
+    hashed, never parsed).
     """
-    return Writer().text(attribute).blob(nonce).getvalue()
+    writer = Writer().text(attribute).blob(nonce)
+    if epoch:
+        writer.u8(_EPOCH_TAG).u32(epoch)
+    return writer.getvalue()
 
 
 def derive_password_key(password_hash: bytes, cipher_name: str) -> bytes:

@@ -21,8 +21,10 @@ from repro.clients.smart_device import SmartDevice
 from repro.clients.transport import RetryPolicy
 from repro.core.conventions import SESSION_KEY_LENGTH
 from repro.mathlib.rand import HmacDrbg, RandomSource
+from repro.mws.reencrypt import ReencryptionEngine
 from repro.mws.service import MessageWarehousingService, MwsConfig
 from repro.obs import crypto as obs_crypto
+from repro.policy.revocation import RevocationRegistry
 from repro.obs.export import build_dump, dump_to_json
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import Tracer
@@ -158,8 +160,14 @@ class Deployment:
             # master.public, and cached values are public material.
             master.public.cache = CryptoCache(config.crypto_cache_size)
         mws_pkg_key = rng.fork(b"mws-pkg").randbytes(SESSION_KEY_LENGTH)
+        # One revocation registry shared by the MWS and the PKG: a
+        # revocation or epoch roll publishes one atomic view that every
+        # component reads, so it bites everywhere in the same step.
+        revocation = RevocationRegistry(registry)
         mws_config = config.mws
         mws_config.gatekeeper_cipher = config.gatekeeper_cipher
+        mws_config.revocation = revocation
+        config.pkg.revocation = revocation
         if config.use_device_signatures:
             from repro.ibe.signatures import IbeVerifier
 
@@ -181,6 +189,16 @@ class Deployment:
             config=config.pkg,
             registry=registry,
             tracer=tracer,
+        )
+        # The warehouse re-keys stored ciphertexts with *public*
+        # material only — requirement i survives the lifecycle layer.
+        mws.attach_reencryptor(
+            ReencryptionEngine(
+                master.public,
+                mws.message_db,
+                revocation,
+                rng=rng.fork(b"reencrypt"),
+            )
         )
         network = Network(
             clock=clock, latency_us=config.latency_us, registry=registry
@@ -225,6 +243,42 @@ class Deployment:
     def fault_plan(self) -> FaultPlan | None:
         """The seeded chaos plan, when the config asked for one."""
         return self.network.fault_plan
+
+    # -- key lifecycle ----------------------------------------------------
+
+    @property
+    def revocation(self) -> RevocationRegistry:
+        """The registry shared by the MWS and the PKG."""
+        return self.mws.revocation
+
+    @property
+    def reencryptor(self) -> ReencryptionEngine:
+        """The warehouse's lazy re-encryption engine."""
+        return self.mws.reencryptor
+
+    def roll_epoch(self) -> int:
+        """Advance the key epoch everywhere; returns the new epoch.
+
+        Publishes the roll to the revocation view (MWS admission, MMS
+        filtering, PKG extraction bounds) and to the shared public
+        parameters (devices stamp new deposits; the crypto cache sees a
+        fingerprint change and drops every pre-roll entry).
+        """
+        epoch = self.revocation.roll_epoch()
+        self.master.public.current_epoch = epoch
+        return epoch
+
+    def revoke_rc(self, rc_id: str, attribute: str | None = None,
+                  roll: bool = True):
+        """Revoke an RC (optionally one attribute), rolling by default.
+
+        Returns the recorded :class:`RevocationEntry`.  With
+        ``roll=False`` the entry waits for a later :meth:`roll_epoch`,
+        letting several revocations share one roll.
+        """
+        entry = self.revocation.revoke(rc_id, attribute, roll=roll)
+        self.master.public.current_epoch = self.revocation.current_epoch
+        return entry
 
     def new_smart_device(self, device_id: str) -> SmartDevice:
         """Register a device with the MWS and hand back the client object.

@@ -90,12 +90,18 @@ class CryptoCache:
 
         New group parameters (PKG re-setup) empty both layers; a new
         ``P_pub`` under the same group (key rotation) empties only the
-        pairing layer and its precomputed engine.
+        pairing layer and its precomputed engine.  The key-lifecycle
+        epoch is part of the group fingerprint: an epoch roll is a key
+        rotation event for every identity at once, so a cache warmed at
+        epoch N must miss at epoch N+1 even though entries are keyed by
+        identity bytes — a stale H1/G_T value surviving a roll would
+        quietly re-derive a retired epoch's key material.
         """
         group_fp = (
             public.params.p,
             public.params.q,
             public.params.pairing_algorithm,
+            getattr(public, "current_epoch", 0),
         )
         pub_fp = public.p_pub.to_bytes()
         if group_fp != self._group_fp:

@@ -37,6 +37,13 @@ class PublicParams:
     #: excluded from equality/serialisation — it is an accelerator, not
     #: part of the public parameters.
     cache: CryptoCache | None = field(default=None, compare=False, repr=False)
+    #: The current key-lifecycle epoch (docs/REVOCATION.md).  Folded
+    #: into identity derivation by callers and into the crypto-cache
+    #: fingerprint so a rolled epoch can never serve a stale H1/G_T
+    #: entry.  Excluded from equality/serialisation: epoch 0 is the
+    #: legacy single-epoch mode and serialised params are epoch-free by
+    #: design (the epoch travels in the protocol messages instead).
+    current_epoch: int = field(default=0, compare=False)
 
     def hash_identity(self, identity: bytes) -> Point:
         """Q_ID = H1(identity): the public key derived from a string."""

@@ -1,0 +1,110 @@
+"""Warehouse-side lazy re-encryption: epoch re-wrapping without decryption.
+
+On an epoch roll the warehouse must deny *already extracted* keys any
+purchase on stored ciphertexts going forward — the ciphertext-update
+half of a revocable-storage scheme.  The MWS cannot decrypt (the whole
+point of the paper), but it *can* encrypt: the public parameters are
+public.  So re-keying is a **wrap**: the stored ciphertext bytes —
+already an opaque blob to the warehouse — become the plaintext of a
+fresh hybrid encryption under the *current* epoch's identity
+``H1(A || Nonce || Epoch)``.
+
+The wrap frame is self-describing::
+
+    magic | u32 outer_epoch | u32 inner_epoch | blob(sealed)
+
+``outer_epoch`` names the key that opens this layer; ``inner_epoch`` is
+the epoch of whatever is inside (another wrap frame, or the original
+deposit at its deposit-time epoch), so an RC peels layers with one key
+fetch per layer and always knows which epoch to ask the PKG for next.
+Consecutive rolls nest — the warehouse can add layers but never remove
+them (removal would require decryption).
+
+Conservation: a wrap is reversible by any party holding the outer
+epoch's key, and the *innermost* bytes are the original deposit
+verbatim.  :func:`origin_digest_of` is therefore not computable by the
+warehouse after the fact — the re-encryption engine records the digest
+of the pre-wrap bytes at first wrap, and the revocation bench compares
+those origin digests across fault plans where the availability bench
+compares raw ciphertext bytes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CiphertextFormatError
+from repro.ibe.kem import HybridCiphertext, hybrid_decrypt, hybrid_encrypt
+from repro.wire.encoding import Reader, Writer
+
+__all__ = [
+    "WRAP_MAGIC",
+    "is_wrapped",
+    "wrap",
+    "parse_wrap",
+    "unwrap_layer",
+]
+
+#: Frame magic opening every re-encryption wrap.  A serialised
+#: :class:`HybridCiphertext` opens with a 2-byte blob length prefix of
+#: the curve point, which for any real curve is far shorter than this
+#: 6-byte tag pattern — and both writers live in this codebase, so the
+#: discriminator only has to separate the two formats we emit.
+WRAP_MAGIC = b"RWRAP\x01"
+
+
+def is_wrapped(ciphertext: bytes) -> bool:
+    """Whether ``ciphertext`` is a re-encryption wrap frame."""
+    return ciphertext.startswith(WRAP_MAGIC)
+
+
+def wrap(
+    public,
+    attribute: str,
+    nonce: bytes,
+    ciphertext: bytes,
+    outer_epoch: int,
+    inner_epoch: int,
+    identity: bytes,
+    cipher_name: str = "AES-128",
+    rng=None,
+) -> bytes:
+    """Seal ``ciphertext`` under ``identity`` into a wrap frame.
+
+    ``identity`` must be ``identity_string(attribute, nonce,
+    outer_epoch)`` — the caller derives it (the conventions module owns
+    the encoding; this layer stays below it).  ``attribute``/``nonce``
+    are accepted for interface clarity but the binding lives entirely in
+    the identity string.
+    """
+    sealed = hybrid_encrypt(
+        public, identity, ciphertext, cipher_name=cipher_name, rng=rng
+    ).to_bytes()
+    return (
+        WRAP_MAGIC
+        + Writer().u32(outer_epoch).u32(inner_epoch).blob(sealed).getvalue()
+    )
+
+
+def parse_wrap(ciphertext: bytes) -> tuple[int, int, bytes]:
+    """Split a wrap frame into ``(outer_epoch, inner_epoch, sealed)``."""
+    if not is_wrapped(ciphertext):
+        raise CiphertextFormatError("not a re-encryption wrap frame")
+    reader = Reader(ciphertext[len(WRAP_MAGIC):])
+    outer_epoch = reader.u32()
+    inner_epoch = reader.u32()
+    sealed = reader.blob()
+    reader.finish()
+    return outer_epoch, inner_epoch, sealed
+
+
+def unwrap_layer(public, private_point, ciphertext: bytes) -> tuple[int, bytes]:
+    """Open one wrap layer with the outer epoch's extracted key.
+
+    Returns ``(inner_epoch, inner_bytes)`` — ``inner_bytes`` is either
+    another wrap frame or the original hybrid ciphertext.  Raises
+    :class:`repro.errors.DecryptionError` when ``private_point`` was
+    extracted for the wrong identity or epoch, which is exactly how a
+    retired key fails against re-wrapped storage.
+    """
+    _outer, inner_epoch, sealed = parse_wrap(ciphertext)
+    container = HybridCiphertext.from_bytes(sealed, public.params)
+    return inner_epoch, hybrid_decrypt(public, private_point, container)

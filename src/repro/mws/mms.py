@@ -15,7 +15,7 @@ XACML-style rule layer the paper lists as future work.
 
 from __future__ import annotations
 
-from repro.errors import AccessDeniedError
+from repro.errors import AccessDeniedError, RevokedError
 from repro.storage.message_db import MessageDatabase
 from repro.storage.policy_db import PolicyDatabase
 from repro.wire.messages import StoredMessage
@@ -35,10 +35,19 @@ class MessageManagementSystem:
         policy_db: PolicyDatabase,
         policy_engine=None,
         registry=None,
+        revocation=None,
     ) -> None:
         self._message_db = message_db
         self._policy_db = policy_db
         self._policy_engine = policy_engine
+        #: Optional :class:`repro.policy.revocation.RevocationRegistry`;
+        #: when set, revoked (RC, attribute) pairs are filtered out of
+        #: every retrieval before anything leaves the MWS.
+        self._revocation = revocation
+        #: Optional :class:`repro.mws.reencrypt.ReencryptionEngine`
+        #: (attached by the service) — the lazy re-keying hook every
+        #: served record passes through.
+        self.reencryptor = None
         if registry is not None:
             self.stats = registry.stats_dict(
                 "mws.mms",
@@ -65,8 +74,37 @@ class MessageManagementSystem:
         return self._message_db
 
     def attributes_for(self, rc_id: str, now_us: int) -> dict[int, str]:
-        """The RC's AID -> attribute map after policy filtering."""
+        """The RC's AID -> attribute map after policy filtering.
+
+        Revocation is applied first, against one atomic view: a
+        wholesale-revoked RC is refused outright, attribute-scoped
+        revocations silently drop the affected grants (the RC simply
+        stops seeing those messages — it never learns which attribute
+        string was involved).
+        """
         granted = self._policy_db.attributes_for(rc_id)
+        if self._revocation is not None:
+            view = self._revocation.view()
+            revoked = view.revoked_attributes(rc_id)
+            if revoked is None:
+                if self._revocation.retrieval_filtered is not None:
+                    self._revocation.retrieval_filtered.inc(len(granted))
+                raise RevokedError(f"{rc_id!r} is revoked")
+            if revoked:
+                kept = {
+                    attribute_id: attribute
+                    for attribute_id, attribute in granted.items()
+                    if attribute not in revoked
+                }
+                if self._revocation.retrieval_filtered is not None:
+                    self._revocation.retrieval_filtered.inc(
+                        len(granted) - len(kept)
+                    )
+                granted = kept
+                if not granted:
+                    raise RevokedError(
+                        f"every grant for {rc_id!r} is revoked"
+                    )
         if self._policy_engine is None:
             return granted
         allowed = {}
@@ -80,6 +118,27 @@ class MessageManagementSystem:
                 f"policy engine denied every grant for {rc_id!r}"
             )
         return allowed
+
+    def _to_stored(
+        self, record, attribute_to_id: dict[str, int]
+    ) -> StoredMessage:
+        """Record -> wire message, re-keying lazily on the way out.
+
+        With a re-encryption engine attached, any record whose
+        outermost layer lags the current epoch is wrapped (and
+        persisted) *before* it is served — an RC only ever sees
+        current-epoch ciphertexts once an epoch rolls.
+        """
+        if self.reencryptor is not None:
+            record = self.reencryptor.maybe_reencrypt(record)
+        return StoredMessage(
+            message_id=record.message_id,
+            attribute_id=attribute_to_id[record.attribute],
+            nonce=record.nonce,
+            ciphertext=record.ciphertext,
+            deposited_at_us=record.deposited_at_us,
+            epoch=record.epoch,
+        )
 
     def retrieve_for(
         self,
@@ -97,13 +156,7 @@ class MessageManagementSystem:
         attribute_to_id = {attr: aid for aid, attr in attribute_map.items()}
         records = self._message_db.by_attributes(list(attribute_to_id))
         messages = [
-            StoredMessage(
-                message_id=record.message_id,
-                attribute_id=attribute_to_id[record.attribute],
-                nonce=record.nonce,
-                ciphertext=record.ciphertext,
-                deposited_at_us=record.deposited_at_us,
-            )
+            self._to_stored(record, attribute_to_id)
             for record in records
             if record.deposited_at_us >= since_us
         ]
@@ -137,16 +190,7 @@ class MessageManagementSystem:
             if record.deposited_at_us >= since_us and record.message_id > cursor
         ]
         page = records[:limit]
-        messages = [
-            StoredMessage(
-                message_id=record.message_id,
-                attribute_id=attribute_to_id[record.attribute],
-                nonce=record.nonce,
-                ciphertext=record.ciphertext,
-                deposited_at_us=record.deposited_at_us,
-            )
-            for record in page
-        ]
+        messages = [self._to_stored(record, attribute_to_id) for record in page]
         next_cursor = page[-1].message_id if page else cursor
         self.stats["pages_served"] += 1
         self.stats["messages_served"] += len(messages)

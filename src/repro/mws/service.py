@@ -34,6 +34,7 @@ from repro.wire.messages import (
     BATCH_ITEM_EMPTY_ATTRIBUTE,
     BATCH_ITEM_EMPTY_CIPHERTEXT,
     BATCH_ITEM_ENVELOPE_REJECTED,
+    BATCH_ITEM_EPOCH_REJECTED,
     BATCH_ITEM_OK,
     BatchDepositReceipt,
     BatchDepositRequest,
@@ -92,6 +93,11 @@ class MwsConfig:
     #: Optional AssertionValidator: the gatekeeper additionally accepts
     #: IdP-signed assertions as RC credentials (§VIII "SAML").
     assertion_validator: object | None = None
+    #: Optional :class:`repro.policy.revocation.RevocationRegistry`
+    #: shared with the PKG.  When set, deposits are validated against
+    #: the epoch window, retrievals filter revoked grants, and tickets
+    #: carry the epoch + policy version they were issued under.
+    revocation: object | None = None
 
 
 class MessageWarehousingService:
@@ -158,11 +164,16 @@ class MessageWarehousingService:
             registry=self.registry,
             tracer=self.tracer,
         )
+        self.revocation = self._config.revocation
+        #: Optional ReencryptionEngine, attached by the deployment once
+        #: the public parameters exist (:meth:`attach_reencryptor`).
+        self.reencryptor = None
         self.mms = MessageManagementSystem(
             self.message_db,
             self.policy_db,
             policy_engine=policy_engine,
             registry=self.registry,
+            revocation=self.revocation,
         )
         self.token_generator = TokenGenerator(
             mws_pkg_key,
@@ -210,6 +221,44 @@ class MessageWarehousingService:
     def revoke(self, rc_id: str, attribute: str) -> None:
         self.policy_db.revoke(rc_id, attribute)
 
+    def attach_reencryptor(self, engine) -> None:
+        """Wire the lazy re-encryption engine into the serve path."""
+        self.reencryptor = engine
+        self.mms.reencryptor = engine
+
+    # -- epoch admission ----------------------------------------------------
+
+    def _epoch_problem(self, epoch: int, view) -> str | None:
+        """Why a deposit stamped ``epoch`` is inadmissible (None = fine).
+
+        ``view`` is one atomic revocation snapshot taken per request, so
+        every item in a batch is judged against the same policy state
+        even if a revocation lands mid-batch.  Stale-but-live epochs
+        (``min_deposit_epoch <= epoch <= view.epoch``) are accepted —
+        that is the in-flight window that lets traffic built just before
+        a roll land instead of bouncing.
+        """
+        if view is None:
+            return None
+        if epoch > view.epoch:
+            return f"epoch {epoch} is ahead of warehouse epoch {view.epoch}"
+        if epoch < view.min_deposit_epoch:
+            return (
+                f"epoch {epoch} retired "
+                f"(threshold {view.min_deposit_epoch})"
+            )
+        return None
+
+    def _revocation_view(self):
+        return self.revocation.view() if self.revocation is not None else None
+
+    def _count_epoch_rejection(self) -> None:
+        if (
+            self.revocation is not None
+            and self.revocation.deposits_rejected is not None
+        ):
+            self.revocation.deposits_rejected.inc()
+
     # -- deposit path (MWS-SD server) --------------------------------------
 
     def handle_deposit(self, request: DepositRequest) -> DepositResponse:
@@ -230,12 +279,17 @@ class MessageWarehousingService:
             self.sda.authenticate(request)
         except ProtocolError as exc:
             return DepositResponse(accepted=False, error=str(exc))
+        problem = self._epoch_problem(request.epoch, self._revocation_view())
+        if problem is not None:
+            self._count_epoch_rejection()
+            return DepositResponse(accepted=False, error=problem)
         record = self.message_db.store(
             device_id=request.device_id,
             attribute=request.attribute,
             nonce=request.nonce,
             ciphertext=request.ciphertext,
             deposited_at_us=self._clock.now_us(),
+            epoch=request.epoch,
         )
         response = DepositResponse(accepted=True, message_id=record.message_id)
         self.sda.record_response(request.mac, response.to_bytes())
@@ -257,6 +311,14 @@ class MessageWarehousingService:
             self.sda.authenticate_batch(request)
         except ProtocolError as exc:
             return BatchDepositResponse(accepted=False, error=str(exc))
+        view = self._revocation_view()
+        for entry in request.entries:
+            # All-or-nothing surface: one inadmissible epoch voids the
+            # whole batch (the per-item pipeline is handle_deposit_many).
+            problem = self._epoch_problem(entry.epoch, view)
+            if problem is not None:
+                self._count_epoch_rejection()
+                return BatchDepositResponse(accepted=False, error=problem)
         message_ids = []
         now_us = self._clock.now_us()
         for entry in request.entries:
@@ -266,6 +328,7 @@ class MessageWarehousingService:
                 nonce=entry.nonce,
                 ciphertext=entry.ciphertext,
                 deposited_at_us=now_us,
+                epoch=entry.epoch,
             )
             message_ids.append(record.message_id)
         response = BatchDepositResponse(accepted=True, message_ids=message_ids)
@@ -304,6 +367,9 @@ class MessageWarehousingService:
             return self._rejected_receipt(request, str(exc))
         sharded = isinstance(self.message_db, ShardedMessageDatabase)
         now_us = self._clock.now_us()
+        # One view for the whole batch: a revocation landing mid-batch
+        # changes the *next* request's fate, never splits this one.
+        view = self._revocation_view()
         statuses = []
         for entry in request.entries:
             if not entry.attribute:
@@ -322,12 +388,21 @@ class MessageWarehousingService:
                     )
                 )
                 continue
+            problem = self._epoch_problem(entry.epoch, view)
+            if problem is not None:
+                self._batch_items_rejected.inc()
+                self._count_epoch_rejection()
+                statuses.append(
+                    BatchItemStatus(BATCH_ITEM_EPOCH_REJECTED, error=problem)
+                )
+                continue
             record = self.message_db.store(
                 device_id=request.device_id,
                 attribute=entry.attribute,
                 nonce=entry.nonce,
                 ciphertext=entry.ciphertext,
                 deposited_at_us=now_us,
+                epoch=entry.epoch,
             )
             shard = self.message_db.shard_for(entry.attribute) if sharded else 0
             statuses.append(
@@ -349,11 +424,18 @@ class MessageWarehousingService:
         layer maps it to an error response).
         """
         rc_nonce = self.gatekeeper.authenticate(request)
+        view = self._revocation_view()
         attribute_map, messages = self.mms.retrieve_for(
             request.rc_id, self._clock.now_us(), since_us=request.since_us
         )
         rc_public_key = RsaPublicKey.from_bytes(request.rc_public_key)
-        token = self.token_generator.issue(request.rc_id, rc_public_key, attribute_map)
+        token = self.token_generator.issue(
+            request.rc_id,
+            rc_public_key,
+            attribute_map,
+            epoch=view.epoch if view is not None else 0,
+            policy_version=self.policy_db.version,
+        )
         return RetrieveResponse(token=token, rc_nonce=rc_nonce, messages=messages)
 
     def handle_retrieve_page(
@@ -367,6 +449,7 @@ class MessageWarehousingService:
         """
         rc_nonce = self.gatekeeper.authenticate(request.to_retrieve_request())
         limit = max(1, request.page_size)
+        view = self._revocation_view()
         attribute_map, messages, next_cursor, has_more = self.mms.retrieve_page(
             request.rc_id,
             self._clock.now_us(),
@@ -375,7 +458,13 @@ class MessageWarehousingService:
             limit=limit,
         )
         rc_public_key = RsaPublicKey.from_bytes(request.rc_public_key)
-        token = self.token_generator.issue(request.rc_id, rc_public_key, attribute_map)
+        token = self.token_generator.issue(
+            request.rc_id,
+            rc_public_key,
+            attribute_map,
+            epoch=view.epoch if view is not None else 0,
+            policy_version=self.policy_db.version,
+        )
         return PagedRetrieveResponse(
             token=token,
             rc_nonce=rc_nonce,

@@ -59,6 +59,8 @@ class TokenGenerator:
         rc_id: str,
         rc_public_key: RsaPublicKey,
         attribute_map: dict[int, str],
+        epoch: int = 0,
+        policy_version: int = 0,
     ) -> bytes:
         """Build the sealed token for ``rc_id``.
 
@@ -66,6 +68,11 @@ class TokenGenerator:
         attribute mapping) in a ticket sealed under the MWS–PKG secret,
         then seals ``session_key || ticket`` under the RC's public key.
         Returns the sealed token bytes ready for transmission.
+
+        ``epoch`` and ``policy_version`` are the version-stamped read
+        the MWS took at the top of the retrieval: the ticket proves
+        exactly which key epoch and Policy-DB state it was issued
+        under, and the PKG bounds extraction requests by the former.
         """
         with self._tracer.span("tg.issue_token") as span:
             span.annotate("attributes", len(attribute_map))
@@ -76,6 +83,8 @@ class TokenGenerator:
                 attribute_map=dict(attribute_map),
                 issued_at_us=self._clock.now_us(),
                 lifetime_us=self._ticket_lifetime_us,
+                epoch=epoch,
+                policy_version=policy_version,
             )
             ticket_scheme = SymmetricScheme(
                 "AES-256", self._ticket_key(), mac=True, rng=self._rng

@@ -51,7 +51,14 @@ __all__ = ["build_dump", "dump_to_json"]
 #: ``sim.sanitizer.tagged`` when installed with a registry.  Strictly
 #: additive — deployments that never install the sanitizer emit no
 #: ``sim.sanitizer.*`` keys at all.
-DUMP_SCHEMA_VERSION = 7
+#:
+#: v8: the key-lifecycle layer (policy/revocation.py) adds the
+#: ``revocation.*`` family — ``revocations``, ``epoch_rolls``,
+#: ``extract_denied``, ``deposits_rejected``, ``reencryptions``,
+#: ``retrieval_filtered`` counters and the ``current_epoch`` gauge.
+#: Strictly additive: every pre-v8 key keeps its name and meaning, and
+#: deployments built without a revocation registry emit none of these.
+DUMP_SCHEMA_VERSION = 8
 
 
 def build_dump(registry, tracer=None, crypto=None, meta=None) -> dict:

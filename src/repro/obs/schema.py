@@ -76,6 +76,14 @@ KNOWN_METRICS: frozenset[str] = frozenset({
     "runtime.retrieval.retries",
     # -- replicated warehouse (storage/replication.py, schema v5) ----------
     "runtime.failovers",
+    # -- key lifecycle / revocation (policy/revocation.py, schema v8) ------
+    "revocation.revocations",
+    "revocation.epoch_rolls",
+    "revocation.extract_denied",
+    "revocation.deposits_rejected",
+    "revocation.reencryptions",
+    "revocation.retrieval_filtered",
+    "revocation.current_epoch",
 })
 
 #: Name families minted per instance (device id, endpoint name, crypto

@@ -58,6 +58,11 @@ class PkgConfig:
     denied_attributes: set = field(default_factory=set)
     #: Maximum live sessions before the oldest is evicted.
     session_cache_size: int = 4096
+    #: Optional :class:`repro.policy.revocation.RevocationRegistry`
+    #: shared with the MWS (the deployment wires this).  When set, key
+    #: requests are checked against the revocation list at the requested
+    #: epoch, and that epoch may never exceed the ticket's.
+    revocation: object | None = None
 
 
 @dataclass
@@ -66,6 +71,9 @@ class _Session:
     session_key: bytes
     attribute_map: dict[int, str]
     expires_at_us: int
+    #: Key epoch the ticket was issued under; extraction requests may
+    #: not ask for a later one (0 for legacy/pre-lifecycle tickets).
+    epoch: int = 0
 
 
 class PrivateKeyGenerator:
@@ -176,6 +184,7 @@ class PrivateKeyGenerator:
             session_key=ticket.session_key,
             attribute_map=dict(ticket.attribute_map),
             expires_at_us=expires_at_us,
+            epoch=ticket.epoch,
         )
 
     # -- phase 3b: extraction --------------------------------------------------
@@ -203,7 +212,33 @@ class PrivateKeyGenerator:
             return KeyResponse(
                 ok=False, error="attribute denied by PKG policy"
             )
-        identity = identity_string(attribute, request.nonce)
+        if request.epoch > session.epoch:
+            # A ticket issued at epoch N never authorises epoch-(N+1)
+            # keys: the RC must go back through the gatekeeper — where
+            # revocation already bit — to obtain a fresher ticket.
+            self.stats["extract_denials"] += 1
+            return KeyResponse(
+                ok=False,
+                error=(
+                    f"epoch {request.epoch} beyond ticket epoch "
+                    f"{session.epoch}"
+                ),
+            )
+        revocation = self._config.revocation
+        if revocation is not None and revocation.view().is_revoked(
+            session.rc_id, attribute, epoch=request.epoch
+        ):
+            self.stats["extract_denials"] += 1
+            if revocation.extract_denied is not None:
+                revocation.extract_denied.inc()
+            return KeyResponse(
+                ok=False,
+                error=(
+                    f"identity revoked for epoch {request.epoch} "
+                    "and beyond"
+                ),
+            )
+        identity = identity_string(attribute, request.nonce, request.epoch)
         with self._tracer.span("pkg.extract_key"):
             # Cache-aware H1: repeated extractions for a popular identity
             # skip the MapToPoint cube root when a CryptoCache is attached

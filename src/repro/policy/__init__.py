@@ -17,6 +17,11 @@ from repro.policy.language import (
     Rule,
     parse_policy,
 )
+from repro.policy.revocation import (
+    RevocationEntry,
+    RevocationRegistry,
+    RevocationView,
+)
 
 __all__ = [
     "Effect",
@@ -25,4 +30,7 @@ __all__ = [
     "Policy",
     "parse_policy",
     "PolicyEngine",
+    "RevocationEntry",
+    "RevocationRegistry",
+    "RevocationView",
 ]

@@ -1,0 +1,254 @@
+"""Epoch-based revocation registry: the key-lifecycle state machine.
+
+The paper's only revocation lever is the per-message nonce (§V.B): a
+revoked RC keeps every key it already extracted, and containment relies
+on the PKG refusing *future* extractions.  ROADMAP item 1 asks for a
+real lifecycle on top — this module is its source of truth:
+
+* **Epochs.**  Time is divided into numbered key epochs.  Identity
+  derivation folds the epoch into the hashed string
+  (``identity_string(A, nonce, epoch)``), so the private key for
+  ``(A, nonce)`` at epoch N and at epoch N+1 are unrelated curve
+  points.  Epoch 0 is the legacy single-epoch encoding — byte-identical
+  to the pre-lifecycle identity string, which is what keeps old
+  ciphertexts and extracted keys working (docs/REVOCATION.md §3).
+* **Revocations.**  Revoking an RC (optionally scoped to one attribute)
+  records the entry with ``effective_epoch = current_epoch + 1`` and
+  rolls the epoch.  Everything deposited from the new epoch on is
+  encrypted under identities the revoked RC can never obtain a key
+  for; everything from before stays exactly as exposed as it already
+  was (the paper's freeze-at-revocation property, now made epoch-wide).
+* **Versioned atomic views.**  Every mutation builds a brand-new
+  immutable :class:`RevocationView` and publishes it with a single
+  reference assignment.  Readers (the Token Generator mid-retrieval,
+  the PKG mid-extraction, the warehouse mid-batch) grab one view and
+  use it for the whole request — there is no moment at which a torn
+  half-applied revocation is visible, and the monotone ``version``
+  stamp lets a ticket prove which policy state it was issued under.
+
+The registry is deliberately storage-free: it is policy metadata, tiny
+and rebuildable, and sharing one instance between the MWS and the PKG
+(the deployment wires this) is what makes a revocation bite everywhere
+in the same scheduler step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = ["RevocationEntry", "RevocationView", "RevocationRegistry"]
+
+
+@dataclass(frozen=True)
+class RevocationEntry:
+    """One revocation: ``rc_id`` loses ``attribute`` from ``effective_epoch``.
+
+    ``attribute`` of ``None`` revokes the RC wholesale (every attribute).
+    The entry never expires — un-revoking is a new grant under a fresh
+    epoch, not an edit of history.
+    """
+
+    rc_id: str
+    attribute: str | None
+    effective_epoch: int
+
+
+@dataclass(frozen=True)
+class RevocationView:
+    """An immutable snapshot of the whole lifecycle state.
+
+    One view answers every policy question for one request; because the
+    registry swaps views with a single reference assignment, a reader
+    holding a view is immune to concurrent revocations and epoch rolls
+    (it sees either all of a mutation or none of it).
+    """
+
+    #: Monotone policy version; bumps on every mutation.
+    version: int
+    #: The epoch new deposits/extractions should use.
+    epoch: int
+    #: All revocations ever recorded, in application order.
+    entries: tuple[RevocationEntry, ...] = ()
+    #: Deposits stamped with an epoch below this are refused (the
+    #: warehouse's retirement threshold; 0 accepts all history).
+    min_deposit_epoch: int = 0
+
+    def is_revoked(self, rc_id: str, attribute: str | None = None,
+                   epoch: int | None = None) -> bool:
+        """Whether ``rc_id`` is revoked for ``attribute`` at ``epoch``.
+
+        ``epoch`` defaults to the view's current epoch.  A wholesale
+        entry (``attribute is None``) matches every attribute; asking
+        with ``attribute=None`` matches any entry for the RC.  Epochs
+        before an entry's ``effective_epoch`` are unaffected — that is
+        the freeze-at-revocation property: revocation bounds *future*
+        exposure, it does not rewrite the past.
+        """
+        at = self.epoch if epoch is None else epoch
+        for entry in self.entries:
+            if entry.rc_id != rc_id:
+                continue
+            if attribute is not None and entry.attribute is not None \
+                    and entry.attribute != attribute:
+                continue
+            if at >= entry.effective_epoch:
+                return True
+        return False
+
+    def revoked_attributes(self, rc_id: str, epoch: int | None = None) -> set[str] | None:
+        """The attributes revoked for ``rc_id`` at ``epoch``.
+
+        Returns ``None`` when a wholesale revocation applies (everything
+        is revoked), otherwise the — possibly empty — set of revoked
+        attribute names.
+        """
+        at = self.epoch if epoch is None else epoch
+        revoked: set[str] = set()
+        for entry in self.entries:
+            if entry.rc_id != rc_id or at < entry.effective_epoch:
+                continue
+            if entry.attribute is None:
+                return None
+            revoked.add(entry.attribute)
+        return revoked
+
+
+class RevocationRegistry:
+    """Mutable holder publishing immutable :class:`RevocationView` snapshots.
+
+    Counters (minted when built with a :class:`MetricsRegistry`) live in
+    the ``revocation.*`` family (obs dump schema v8):
+
+    * ``revocation.revocations`` — entries recorded,
+    * ``revocation.epoch_rolls`` — epoch advances,
+    * ``revocation.extract_denied`` — PKG refusals on revoked pairs,
+    * ``revocation.deposits_rejected`` — warehouse refusals of
+      retired/future epoch stamps,
+    * ``revocation.reencryptions`` — stored ciphertexts re-wrapped to
+      the current epoch (lazy or background),
+    * ``revocation.retrieval_filtered`` — messages withheld from a
+      ticket because the requesting RC is revoked for their attribute,
+    * ``revocation.current_epoch`` — gauge mirroring the epoch.
+    """
+
+    def __init__(self, registry=None) -> None:
+        self._view = RevocationView(version=0, epoch=0)
+        if registry is not None:
+            self._revocations = registry.counter("revocation.revocations")
+            self._rolls = registry.counter("revocation.epoch_rolls")
+            self.extract_denied = registry.counter("revocation.extract_denied")
+            self.deposits_rejected = registry.counter(
+                "revocation.deposits_rejected"
+            )
+            self.reencryptions = registry.counter("revocation.reencryptions")
+            self.retrieval_filtered = registry.counter(
+                "revocation.retrieval_filtered"
+            )
+            self._epoch_gauge = registry.gauge("revocation.current_epoch")
+        else:
+            self._revocations = self._rolls = None
+            self.extract_denied = self.deposits_rejected = None
+            self.reencryptions = self.retrieval_filtered = None
+            self._epoch_gauge = None
+
+    # -- reads -------------------------------------------------------------
+
+    def view(self) -> RevocationView:
+        """The current snapshot (atomic: one reference read)."""
+        return self._view
+
+    @property
+    def current_epoch(self) -> int:
+        return self._view.epoch
+
+    @property
+    def version(self) -> int:
+        return self._view.version
+
+    def is_revoked(self, rc_id: str, attribute: str | None = None,
+                   epoch: int | None = None) -> bool:
+        return self._view.is_revoked(rc_id, attribute, epoch)
+
+    # -- mutations (each publishes one new immutable view) ------------------
+
+    def _publish(self, view: RevocationView) -> RevocationView:
+        if self._epoch_gauge is not None:
+            self._epoch_gauge.set(view.epoch)
+        # Single reference assignment: readers see the old complete view
+        # or the new complete view, never a mixture.
+        self._view = view
+        return view
+
+    def roll_epoch(self) -> int:
+        """Advance to the next epoch; returns the new epoch number."""
+        old = self._view
+        view = self._publish(
+            RevocationView(
+                version=old.version + 1,
+                epoch=old.epoch + 1,
+                entries=old.entries,
+                min_deposit_epoch=old.min_deposit_epoch,
+            )
+        )
+        if self._rolls is not None:
+            self._rolls.inc()
+        return view.epoch
+
+    def revoke(self, rc_id: str, attribute: str | None = None,
+               roll: bool = True) -> RevocationEntry:
+        """Record a revocation effective from the *next* epoch.
+
+        With ``roll`` (the default) the epoch advances in the same
+        atomic publish, so the revocation bites immediately: the very
+        next deposit is encrypted under an epoch the revoked RC has no
+        key path to.  ``roll=False`` queues the entry for an explicit
+        later :meth:`roll_epoch` — several revocations can then share
+        one roll (the mid-batch churn pattern the bench drives).
+        """
+        old = self._view
+        entry = RevocationEntry(
+            rc_id=rc_id,
+            attribute=attribute,
+            effective_epoch=old.epoch + 1,
+        )
+        self._publish(
+            RevocationView(
+                version=old.version + 1,
+                epoch=old.epoch + 1 if roll else old.epoch,
+                entries=old.entries + (entry,),
+                min_deposit_epoch=old.min_deposit_epoch,
+            )
+        )
+        if self._revocations is not None:
+            self._revocations.inc()
+        if roll and self._rolls is not None:
+            self._rolls.inc()
+        return entry
+
+    def retire_before(self, epoch: int) -> None:
+        """Refuse future deposits stamped with an epoch below ``epoch``.
+
+        Raising the threshold is how an operator ends the interop window
+        for long-retired epochs; it never exceeds the current epoch (a
+        warehouse that refuses the *current* epoch accepts nothing).
+        """
+        old = self._view
+        if epoch > old.epoch:
+            raise ParameterError(
+                f"cannot retire epoch {epoch}: current epoch is {old.epoch}"
+            )
+        if epoch < old.min_deposit_epoch:
+            raise ParameterError(
+                f"retirement threshold only advances "
+                f"({old.min_deposit_epoch} -> {epoch})"
+            )
+        self._publish(
+            RevocationView(
+                version=old.version + 1,
+                epoch=old.epoch,
+                entries=old.entries,
+                min_deposit_epoch=epoch,
+            )
+        )

@@ -1,0 +1,448 @@
+"""Revocation-churn harness: key lifecycle correctness under live load.
+
+``repro bench revocation`` wraps this module into
+``BENCH_revocation.json``.  It drives the replicated, sharded warehouse
+through a battery of **seeded fault plans** while a revocation schedule
+churns underneath the traffic — a wholesale RC revocation, a
+per-attribute revocation and a bare epoch roll all land while deposit
+workers, the paged retrieval task and the background re-encryption
+drain are running — and asserts the lifecycle laws on every plan:
+
+* **Blocked** — after the run, a revoked RC can never reach a
+  post-revocation deposit: the gatekeeper refuses the wholesale-revoked
+  RC outright, the attribute-revoked RC is never served the revoked
+  attribute's messages, and even a ticket minted with the full
+  pre-revocation attribute map (the in-flight ticket race) cannot
+  extract the revoked key from the PKG.
+* **Conserved** — lazy re-encryption re-wraps bytes, so raw ciphertext
+  digests are not comparable across plans; the *origin* digests (the
+  pre-wrap bytes, recorded by the engine at first touch) must form the
+  same multiset on every plan, and the runtime's own no-loss /
+  no-duplication law must hold.
+* **Decryptable** — a non-revoked auditor RC decrypts every accepted
+  message end to end, peeling however many re-encryption layers the
+  plan's roll/drain interleaving produced, plus the post-roll deposits.
+* **Deterministic** — same seed, same plan: the scheduler transcript
+  fingerprint and the observability dump replay byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.errors import RevokedError, TicketError
+from repro.mathlib.rand import HmacDrbg, derive_seed
+from repro.mws.runtime import ShardWorkerPool
+from repro.mws.service import MwsConfig
+from repro.sim.faults import FaultPlan, WorkerFaultSpec
+from repro.sim.sanitizer import OwnershipSanitizer, install, uninstall
+from repro.wire.messages import BatchDepositReceipt
+
+__all__ = ["RevocationConfig", "CHURN_PLANS", "run_revocation"]
+
+#: The RC the schedule revokes wholesale mid-run.
+VICTIM = "rev-victim-rc"
+#: The RC the schedule revokes for one attribute mid-run.
+VICTIM_ATTR = "rev-victim-attr-rc"
+#: The non-revoked RC that must still decrypt everything afterwards.
+AUDITOR = "rev-auditor-rc"
+
+#: The seeded fault-plan battery: (name, worker-fault kwargs, pool
+#: kwargs).  Every plan runs the same workload *and the same revocation
+#: schedule* on the same deployment seed, so the origin-digest multiset
+#: must be identical across rows no matter how faults and epoch rolls
+#: interleave.
+CHURN_PLANS: tuple[tuple[str, dict, dict], ...] = (
+    ("clean-churn", {}, {}),
+    # Epoch rolls concurrent with leader failover: the chaos task and
+    # the revocation-churn task interleave under the same scheduler.
+    ("leader-kill-churn", {"leader_kill": 0.7, "max_leader_kills": 3}, {}),
+    # Worker crashes adjacent to rolls — the mid-epoch-roll crash model:
+    # a worker dies with its sub-batch in flight while the view moves.
+    ("crash-churn", {"crash": 0.3, "max_crashes": 2}, {}),
+    (
+        "follower-lag-churn",
+        {"leader_kill": 0.7, "max_leader_kills": 3, "follower_lag": 0.8},
+        {"quorum": 1},
+    ),
+    # Rolls concurrent with an online rebalance: re-wrapped records move
+    # between shards while the drain and the re-encryption sweep run.
+    ("rebalance-churn", {}, {"rebalance": True}),
+    (
+        "mid-roll-crash",
+        {
+            "crash": 0.4,
+            "max_crashes": 2,
+            "leader_kill": 0.5,
+            "max_leader_kills": 2,
+        },
+        {"rebalance": True, "rebalance_crash_after": 3},
+    ),
+)
+
+
+@dataclass
+class RevocationConfig:
+    """Knobs for one revocation-churn run (defaults sized for CI)."""
+
+    #: Warehouse shards in the fault-plan battery.
+    shards: int = 2
+    #: Copies per shard (>= 2 so failover has somewhere to promote).
+    replicas: int = 2
+    #: Acks per mutation; None = majority.
+    quorum: int | None = None
+    #: Deposit workers in the simulated pool.
+    workers: int = 2
+    #: Devices in the workload.
+    devices: int = 3
+    #: Readings per device.
+    batch_size: int = 4
+    #: Retrieval page size.
+    page_size: int = 8
+    #: Pairing preset (TOY64 keeps CI fast).
+    preset: str = "TOY64"
+    #: Master seed; each plan and lane takes a derived child stream.
+    seed: bytes = b"repro-revocation"
+    #: Extra shards the rebalance plans drain onto.
+    rebalance_shards: int = 2
+    #: Scheduler steps between background re-encryption sweeps.
+    reencrypt_every: int = 5
+    #: Records re-wrapped per sweep.
+    reencrypt_batch: int = 4
+    #: Run every fault plan under the ownership sanitizer — any
+    #: cross-task shard/queue access raises instead of completing.
+    sanitize: bool = False
+    #: Attribute names the workload cycles through; the schedule revokes
+    #: ``attributes[0]`` for the per-attribute victim.
+    attributes: tuple[str, ...] = (
+        "ELECTRIC-P-SV",
+        "WATER-P-SV",
+        "GAS-P-SV",
+    )
+    extra: dict = field(default_factory=dict)
+
+
+def _workload(config: RevocationConfig) -> list[tuple[str, list[tuple[str, bytes]]]]:
+    """The fixed job list every plan deposits (plan-independent)."""
+    return [
+        (
+            f"rev-dev-{index}",
+            [
+                (
+                    config.attributes[seq % len(config.attributes)],
+                    f"device=rev-{index};seq={seq};reading".encode("ascii"),
+                )
+                for seq in range(config.batch_size)
+            ],
+        )
+        for index in range(config.devices)
+    ]
+
+
+def _revoked_attribute_payloads(config: RevocationConfig) -> set[bytes]:
+    """Workload payloads deposited under ``attributes[0]``."""
+    return {
+        payload
+        for _device, items in _workload(config)
+        for attribute, payload in items
+        if attribute == config.attributes[0]
+    }
+
+
+def _schedule(config: RevocationConfig) -> list[tuple[int, str | None, str | None]]:
+    """The churn every plan applies: two revocations and a bare roll.
+
+    Triggers are sub-job watermarks, so under every fault plan the
+    wholesale revocation, the per-attribute revocation and the final
+    roll land *between* committed sub-batches — deposits prepared at
+    epoch 0 keep flowing through the in-flight admission window.
+    """
+    return [
+        (2, VICTIM, None),
+        (3, VICTIM_ATTR, config.attributes[0]),
+        (4, None, None),
+    ]
+
+
+def _run_plan(
+    config: RevocationConfig,
+    name: str,
+    spec_kwargs: dict,
+    pool_kwargs: dict,
+    verify: bool = True,
+):
+    """One seeded run of one plan.
+
+    Returns ``(result, obs_dump, fault_counters, origin_digests,
+    verification)``.  The dump and the origin-digest multiset are
+    captured *before* the verification traffic, so a ``verify=False``
+    replay reproduces both byte for byte.
+    """
+    deployment = Deployment.build(
+        DeploymentConfig(
+            preset=config.preset,
+            rsa_bits=768,
+            seed=derive_seed(config.seed, b"deployment"),
+            mws=MwsConfig(
+                message_shards=config.shards,
+                message_replicas=config.replicas,
+                replication_quorum=pool_kwargs.get("quorum", config.quorum),
+            ),
+        )
+    )
+    try:
+        # The victims exist (and hold grants) before the run so the
+        # mid-run schedule has identities to revoke; building them here
+        # also keeps the replay's RNG and metric state identical.
+        victim = deployment.new_receiving_client(
+            VICTIM, "victim-password", attributes=list(config.attributes)
+        )
+        victim_attr = deployment.new_receiving_client(
+            VICTIM_ATTR, "victim-attr-password", attributes=list(config.attributes)
+        )
+        plan = FaultPlan(
+            HmacDrbg(derive_seed(config.seed, b"plan:" + name.encode("ascii"))),
+            registry=deployment.registry,
+        )
+        plan.set_worker_faults(WorkerFaultSpec(**spec_kwargs))
+        deployment.network.install_fault_plan(plan)
+        rebalance = pool_kwargs.get("rebalance", False)
+        pool = ShardWorkerPool(
+            deployment,
+            workers=config.workers,
+            scheduler_seed=derive_seed(config.seed, b"schedule:" + name.encode("ascii")),
+            page_size=config.page_size,
+            failover_every=3,
+            rebalance_stores=[None] * config.rebalance_shards if rebalance else None,
+            rebalance_after=2,
+            rebalance_crash_after=pool_kwargs.get("rebalance_crash_after"),
+            revocation_schedule=_schedule(config),
+            reencrypt_every=config.reencrypt_every,
+            reencrypt_batch=config.reencrypt_batch,
+        )
+        previous = None
+        if config.sanitize:
+            previous = install(OwnershipSanitizer(registry=deployment.registry))
+        try:
+            result = pool.run(_workload(config))
+        finally:
+            if config.sanitize:
+                uninstall(previous)
+        dump = deployment.obs_dump_json()
+        counters = dict(plan.counters)
+        engine = deployment.reencryptor
+        origin = sorted(
+            engine.origin_digest_of(record)
+            for record in deployment.mws.message_db.records()
+        )
+        verification = (
+            _verify_lifecycle(deployment, config, result, victim, victim_attr)
+            if verify
+            else None
+        )
+        return result, dump, counters, origin, verification
+    finally:
+        deployment.close()
+
+
+def _verify_lifecycle(deployment, config, result, victim, victim_attr) -> dict:
+    """Post-run audit: revoked RCs blocked, everyone else still whole.
+
+    Runs on clean links (the fault plan is removed first — the audit
+    probes correctness of the *end state*, not transport resilience)
+    and after the schedule has fully applied, so ``current_epoch`` is
+    the final epoch and every stored record has converged onto it.
+    """
+    deployment.network.install_fault_plan(None)
+    current = deployment.revocation.current_epoch
+    attributes = list(config.attributes)
+
+    # Fresh post-revocation deposits, stamped with the final epoch.
+    device = deployment.new_smart_device("rev-post-dev")
+    post_payloads = [
+        b"post-roll;attr=0;reading",
+        b"post-roll;attr=1;reading",
+    ]
+    request = device.build_many(
+        [(attributes[0], post_payloads[0]), (attributes[1], post_payloads[1])]
+    )
+    receipt = BatchDepositReceipt.from_bytes(
+        deployment.sd_many_channel("rev-post-dev").request(request.to_bytes())
+    )
+    post_ids = [status.message_id for status in receipt.statuses if status.ok]
+    post_accepted = not receipt.error and len(post_ids) == len(post_payloads)
+
+    attempts = 0
+    blocked = 0
+
+    # 1. Wholesale revocation bites at the gatekeeper: the RC cannot
+    #    even open a retrieval session, let alone touch the new deposit.
+    attempts += 1
+    try:
+        victim.retrieve(deployment.rc_mws_channel(VICTIM))
+    except RevokedError:
+        blocked += 1
+
+    # 2. Per-attribute revocation bites at the MMS filter: the RC still
+    #    retrieves, but no plaintext under the revoked attribute — old
+    #    or new — is ever served to it.
+    forbidden = _revoked_attribute_payloads(config) | {post_payloads[0]}
+    attempts += 1
+    served = victim_attr.retrieve_and_decrypt(
+        deployment.rc_mws_channel(VICTIM_ATTR),
+        deployment.rc_pkg_channel(VICTIM_ATTR),
+    )
+    served_plaintexts = {message.plaintext for message in served}
+    if served_plaintexts and not (served_plaintexts & forbidden):
+        blocked += 1
+
+    # 3. The in-flight ticket race: a ticket minted with the *full*
+    #    pre-revocation attribute map at the current epoch (as if the
+    #    Token Generator raced the revocation) still cannot extract the
+    #    revoked attribute's key — the PKG checks the revocation view
+    #    again at extraction time.
+    attempts += 1
+    aid_map = deployment.mws.policy_db.attributes_for(VICTIM_ATTR)
+    revoked_aid = next(
+        aid for aid, attribute in aid_map.items() if attribute == attributes[0]
+    )
+    post_record = deployment.mws.message_db.fetch(post_ids[0])
+    sealed = deployment.mws.token_generator.issue(
+        VICTIM_ATTR,
+        victim_attr._rsa.public,  # white-box: the sim forges the race
+        aid_map,
+        epoch=current,
+        policy_version=deployment.mws.policy_db.version,
+    )
+    token = victim_attr.open_token(sealed)
+    session_id = victim_attr.authenticate_to_pkg(
+        deployment.rc_pkg_channel(VICTIM_ATTR), token
+    )
+    try:
+        victim_attr.fetch_key(
+            deployment.rc_pkg_channel(VICTIM_ATTR),
+            session_id,
+            token.session_key,
+            revoked_aid,
+            post_record.nonce,
+            epoch=current,
+        )
+    except TicketError:
+        blocked += 1
+
+    # A non-revoked RC still decrypts the whole warehouse end to end —
+    # every workload message (through however many re-encryption layers
+    # the plan produced) plus the fresh post-roll deposits.
+    auditor = deployment.new_receiving_client(
+        AUDITOR, "auditor-password", attributes=attributes
+    )
+    decrypted = auditor.retrieve_and_decrypt(
+        deployment.rc_mws_channel(AUDITOR),
+        deployment.rc_pkg_channel(AUDITOR),
+    )
+    plaintexts = {message.plaintext for message in decrypted}
+    decrypted_ok = (
+        len(decrypted) == len(result.accepted_ids) + len(post_ids)
+        and all(payload in plaintexts for payload in post_payloads)
+    )
+
+    return {
+        "final_epoch": current,
+        "post_accepted": post_accepted,
+        "attempts": attempts,
+        "blocked": blocked,
+        "victim_attr_served": len(served),
+        "decrypted": len(decrypted),
+        "decrypted_ok": decrypted_ok,
+    }
+
+
+def run_revocation(config: RevocationConfig | None = None) -> dict:
+    """Run the battery and return the ``BENCH_revocation.json`` dict."""
+    config = config if config is not None else RevocationConfig()
+    plans = []
+    clean_origin: list[str] | None = None
+    total_attempts = 0
+    total_blocked = 0
+    for name, spec_kwargs, pool_kwargs in CHURN_PLANS:
+        result, dump, counters, origin, verification = _run_plan(
+            config, name, spec_kwargs, pool_kwargs
+        )
+        replay, replay_dump, _, replay_origin, _ = _run_plan(
+            config, name, spec_kwargs, pool_kwargs, verify=False
+        )
+        if clean_origin is None:
+            clean_origin = origin
+        deterministic = (
+            result.fingerprint() == replay.fingerprint()
+            and dump == replay_dump
+            and origin == replay_origin
+        )
+        total_attempts += verification["attempts"]
+        total_blocked += verification["blocked"]
+        row = {
+            "plan": name,
+            "accepted": len(result.accepted_ids),
+            "retrieved": len(result.retrieved_counts),
+            "shard_counts": result.shard_counts,
+            "crashes": result.crashes,
+            "failovers": result.failovers,
+            "leader_kills": counters.get("leader_kills", 0),
+            "follower_lags": counters.get("follower_lags", 0),
+            "rebalance_moves": result.rebalance_moves,
+            "epoch_rolls": result.epoch_rolls,
+            "final_epoch": verification["final_epoch"],
+            "reencrypt_moves": result.reencrypt_moves,
+            "conservation_ok": result.conservation_ok(),
+            "origin_conserved": origin == clean_origin,
+            "revoked_attempts": verification["attempts"],
+            "revoked_blocked": verification["blocked"],
+            "post_accepted": verification["post_accepted"],
+            "decrypted": verification["decrypted"],
+            "decrypted_ok": verification["decrypted_ok"],
+            "deterministic": deterministic,
+            "fingerprint": result.fingerprint(),
+        }
+        row["ok"] = (
+            row["conservation_ok"]
+            and row["origin_conserved"]
+            and row["deterministic"]
+            and row["post_accepted"]
+            and row["decrypted_ok"]
+            and row["revoked_blocked"] == row["revoked_attempts"]
+        )
+        plans.append(row)
+
+    ok_plans = sum(1 for row in plans if row["ok"])
+    return {
+        "bench": "revocation",
+        "schema_version": 1,
+        "meta": {
+            "preset": config.preset,
+            "seed": config.seed.decode("utf-8", "replace"),
+            "shards": config.shards,
+            "replicas": config.replicas,
+            "quorum": config.quorum,
+            "workers": config.workers,
+            "devices": config.devices,
+            "batch_size": config.batch_size,
+            "reencrypt_every": config.reencrypt_every,
+            "schedule": [
+                [trigger, rc_id, attribute]
+                for trigger, rc_id, attribute in _schedule(config)
+            ],
+        },
+        "plans": plans,
+        "summary": {
+            "plans": len(plans),
+            "ok_fraction": round(ok_plans / len(plans), 3),
+            "revoked_attempts": total_attempts,
+            "revoked_blocked": total_blocked,
+            "revoked_blocked_fraction": (
+                round(total_blocked / total_attempts, 3) if total_attempts else 0.0
+            ),
+            "reencrypt_moves_total": sum(row["reencrypt_moves"] for row in plans),
+            "epoch_rolls_total": sum(row["epoch_rolls"] for row in plans),
+        },
+    }

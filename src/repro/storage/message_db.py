@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import StorageError
+from repro.errors import KeyNotFoundError, StorageError
 from repro.storage.engine import MemoryStore, RecordStore
 from repro.storage.indexes import HashIndex, SortedIndex
 from repro.wire.encoding import Reader, Writer
@@ -32,10 +32,15 @@ class MessageRecord:
     nonce: bytes
     ciphertext: bytes
     deposited_at_us: int
+    #: Key-lifecycle epoch of the *outermost* ciphertext layer; lazy
+    #: re-encryption advances it.  0 is the legacy encoding and is not
+    #: emitted, so pre-epoch records (and the WAL frames carrying them)
+    #: stay byte-identical.
+    epoch: int = 0
 
     def to_bytes(self) -> bytes:
         """Serialise to the canonical byte encoding."""
-        return (
+        writer = (
             Writer()
             .u64(self.message_id)
             .text(self.device_id)
@@ -43,8 +48,10 @@ class MessageRecord:
             .blob(self.nonce)
             .blob(self.ciphertext)
             .u64(self.deposited_at_us)
-            .getvalue()
         )
+        if self.epoch:
+            writer.u32(self.epoch)
+        return writer.getvalue()
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "MessageRecord":
@@ -58,6 +65,8 @@ class MessageRecord:
             ciphertext=reader.blob(),
             deposited_at_us=reader.u64(),
         )
+        if reader.remaining:
+            record.epoch = reader.u32()
         reader.finish()
         return record
 
@@ -92,6 +101,7 @@ class MessageDatabase:
         nonce: bytes,
         ciphertext: bytes,
         deposited_at_us: int,
+        epoch: int = 0,
     ) -> MessageRecord:
         """Persist an accepted deposit; assigns and returns the record."""
         record = MessageRecord(
@@ -101,6 +111,7 @@ class MessageDatabase:
             nonce=nonce,
             ciphertext=ciphertext,
             deposited_at_us=deposited_at_us,
+            epoch=epoch,
         )
         self.store_record(record)
         return record
@@ -111,11 +122,35 @@ class MessageDatabase:
         The shard router allocates globally unique ids and routes the
         finished record here; ``_next_id`` is bumped past it so a later
         locally assigned id can never collide.
+
+        Overwrite-idempotent: storing an id that already exists replaces
+        the record and repairs the indexes first.  Re-encryption ships
+        its updates as plain store frames over the WAL, so followers
+        replay the same id twice — without this, each replay would
+        duplicate the sorted time-index entry and a later promoted
+        follower would serve the message twice per time scan.
         """
-        self._store.put(self._key(record.message_id), record.to_bytes())
+        key = self._key(record.message_id)
+        try:
+            existing = MessageRecord.from_bytes(self._store.get(key))
+        except KeyNotFoundError:
+            existing = None
+        if existing is not None:
+            self._by_attribute.remove(existing.attribute, existing.message_id)
+            self._by_time.remove(existing.deposited_at_us, existing.message_id)
+        self._store.put(key, record.to_bytes())
         self._by_attribute.add(record.attribute, record.message_id)
         self._by_time.add(record.deposited_at_us, record.message_id)
         self._next_id = max(self._next_id, record.message_id + 1)
+
+    def update_record(self, record: MessageRecord) -> None:
+        """Overwrite an *existing* record in place (re-encryption path).
+
+        Raises :class:`KeyNotFoundError` when the id was never stored —
+        an update inventing a message would break conservation.
+        """
+        self.fetch(record.message_id)  # existence check, raises early
+        self.store_record(record)
 
     def delete(self, message_id: int) -> None:
         """Remove a message (e.g. retention policy)."""

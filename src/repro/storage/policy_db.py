@@ -68,7 +68,51 @@ class PolicyDatabase:
         self._by_identity: dict[str, dict[int, str]] = {}
         self._by_pair: dict[tuple[str, str], int] = {}
         self._next_attribute_id = 1
+        #: Monotone policy version: bumps once per completed mutation
+        #: (or per completed atomic batch).  Readers stamp tickets with
+        #: it so a token provably reflects one coherent policy state.
+        self._version = 0
         self._rebuild()
+
+    @property
+    def version(self) -> int:
+        """The policy version the current state reflects."""
+        return self._version
+
+    def apply_batch(self, mutations) -> int:
+        """Apply ``(op, identity, attribute)`` mutations as one version.
+
+        ``op`` is ``"grant"`` or ``"revoke"``.  The whole batch bumps
+        the version exactly once, *after* every mutation landed — a
+        reader that snapshots ``attributes_for`` + ``version`` either
+        predates the batch entirely or sees all of it (the
+        no-torn-policy guarantee the Token Generator relies on while
+        deposits are in flight).  A failing mutation rolls the already
+        applied prefix back before re-raising, so a half-applied batch
+        is never visible at any version.
+        """
+        applied: list[tuple[str, str, str]] = []
+        try:
+            for op, identity, attribute in mutations:
+                if op == "grant":
+                    before = self._by_pair.get((identity, attribute))
+                    self._grant_row(identity, attribute)
+                    if before is None:
+                        applied.append(("grant", identity, attribute))
+                elif op == "revoke":
+                    self._revoke_row(identity, attribute)
+                    applied.append(("revoke", identity, attribute))
+                else:
+                    raise ValueError(f"unknown policy mutation {op!r}")
+        except Exception:
+            for op, identity, attribute in reversed(applied):
+                if op == "grant":
+                    self._revoke_row(identity, attribute)
+                else:
+                    self._grant_row(identity, attribute)
+            raise
+        self._version += 1
+        return self._version
 
     def _rebuild(self) -> None:
         for _key, value in self._store.items():
@@ -87,11 +131,7 @@ class PolicyDatabase:
 
     # -- grants ---------------------------------------------------------
 
-    def grant(self, identity: str, attribute: str) -> int:
-        """Authorize ``identity`` for ``attribute``; returns the AID.
-
-        Idempotent: granting an existing pair returns the existing AID.
-        """
+    def _grant_row(self, identity: str, attribute: str) -> int:
         existing = self._by_pair.get((identity, attribute))
         if existing is not None:
             return existing
@@ -103,8 +143,7 @@ class PolicyDatabase:
         self._by_pair[(identity, attribute)] = attribute_id
         return attribute_id
 
-    def revoke(self, identity: str, attribute: str) -> None:
-        """Remove a grant (paper requirement iii).  Unknown pairs raise."""
+    def _revoke_row(self, identity: str, attribute: str) -> None:
         attribute_id = self._by_pair.pop((identity, attribute), None)
         if attribute_id is None:
             raise UnknownAttributeError(
@@ -116,11 +155,35 @@ class PolicyDatabase:
         if not bucket:
             self._by_identity.pop(identity, None)
 
+    def grant(self, identity: str, attribute: str) -> int:
+        """Authorize ``identity`` for ``attribute``; returns the AID.
+
+        Idempotent: granting an existing pair returns the existing AID
+        (and, being a no-op, leaves the policy version unchanged).
+        """
+        existing = self._by_pair.get((identity, attribute))
+        if existing is not None:
+            return existing
+        attribute_id = self._grant_row(identity, attribute)
+        self._version += 1
+        return attribute_id
+
+    def revoke(self, identity: str, attribute: str) -> None:
+        """Remove a grant (paper requirement iii).  Unknown pairs raise."""
+        self._revoke_row(identity, attribute)
+        self._version += 1
+
     def revoke_identity(self, identity: str) -> int:
-        """Remove every grant for ``identity``; returns the count removed."""
+        """Remove every grant for ``identity``; returns the count removed.
+
+        Atomic: all rows disappear under a single version bump, so no
+        reader sees the identity half-revoked.
+        """
         attributes = list(self._by_identity.get(identity, {}).values())
         for attribute in attributes:
-            self.revoke(identity, attribute)
+            self._revoke_row(identity, attribute)
+        if attributes:
+            self._version += 1
         return len(attributes)
 
     # -- queries ----------------------------------------------------------

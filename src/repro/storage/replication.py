@@ -267,6 +267,7 @@ class ReplicaSet:
         nonce: bytes,
         ciphertext: bytes,
         deposited_at_us: int,
+        epoch: int = 0,
     ) -> MessageRecord:
         """Persist an accepted deposit; assigns the next local id."""
         record = MessageRecord(
@@ -276,12 +277,25 @@ class ReplicaSet:
             nonce=nonce,
             ciphertext=ciphertext,
             deposited_at_us=deposited_at_us,
+            epoch=epoch,
         )
         self.store_record(record)
         return record
 
     def store_record(self, record: MessageRecord) -> None:
         """Quorum-replicated store of a caller-assigned record."""
+        self._replicate(OP_STORE, record.to_bytes())
+
+    def update_record(self, record: MessageRecord) -> None:
+        """Quorum-replicated in-place overwrite (the re-encryption path).
+
+        Ships as an ordinary store frame: ``MessageDatabase.store_record``
+        is overwrite-idempotent, so every replica replays the frame onto
+        the same id and converges on the new ciphertext — no new opcode,
+        no divergence, and failover after a re-encryption promotes a
+        follower already holding the re-wrapped bytes.
+        """
+        self.leader.db.fetch(record.message_id)  # raises KeyNotFoundError early
         self._replicate(OP_STORE, record.to_bytes())
 
     def delete(self, message_id: int) -> None:

@@ -259,6 +259,7 @@ class ShardedMessageDatabase:
         nonce: bytes,
         ciphertext: bytes,
         deposited_at_us: int,
+        epoch: int = 0,
     ) -> MessageRecord:
         """Route one accepted deposit to its shard; assigns the global id."""
         index = self.shard_for(attribute)
@@ -271,6 +272,7 @@ class ShardedMessageDatabase:
             nonce=nonce,
             ciphertext=ciphertext,
             deposited_at_us=deposited_at_us,
+            epoch=epoch,
         )
         self._shards[index].store_record(record)
         self._id_to_shard[record.message_id] = index
@@ -279,6 +281,19 @@ class ShardedMessageDatabase:
             self._deposit_counters[index].inc()
             self._message_gauges[index].set(len(self._shards[index]))
         return record
+
+    def update_record(self, record: MessageRecord) -> None:
+        """Overwrite an existing record on whichever shard holds it.
+
+        The lazy re-encryption path: the message count, id→shard map and
+        deposit counters are untouched (the message is the *same*
+        message, just re-wrapped), and on a replicated shard the
+        overwrite ships through the WAL so every follower converges.
+        """
+        index = self._shard_of_id(record.message_id)
+        if self.mutation_hook is not None:
+            self.mutation_hook(self._shards[index])
+        self._shards[index].update_record(record)
 
     def delete(self, message_id: int) -> None:
         """Remove a message from whichever shard holds it."""
@@ -336,6 +351,19 @@ class ShardedMessageDatabase:
         seen: dict[int, MessageRecord] = {}
         for shard in self._shards:
             for record in shard.by_time_range(low_us, high_us):
+                seen[record.message_id] = record
+        return [seen[message_id] for message_id in sorted(seen)]
+
+    def records(self) -> list[MessageRecord]:
+        """Every stored record in global id order (re-encryption sweeps).
+
+        Mid-drain a moved record can briefly exist on both its old and
+        new shard; de-duplicating by id keeps the sweep seeing each
+        message exactly once either way.
+        """
+        seen: dict[int, MessageRecord] = {}
+        for shard in self._shards:
+            for record in shard.records():
                 seen[record.message_id] = record
         return [seen[message_id] for message_id in sorted(seen)]
 

@@ -18,6 +18,14 @@ Each dataclass mirrors a line of the paper's §V.D notation:
 ``mac_payload``/``auth_payload`` helpers return the exact byte strings
 MACs and authenticators are computed over, so the signer and the
 verifier cannot drift apart.
+
+Key-lifecycle epochs (docs/REVOCATION.md) ride as **optional trailing
+fields**, the same interop pattern the batch envelope introduced: a
+message at epoch 0 serialises to the exact pre-epoch byte string (the
+field is simply not emitted), and parsers read the suffix only when
+``reader.remaining`` says it is present.  A pre-epoch peer therefore
+round-trips unchanged, and an epoch-0 encoding is indistinguishable
+from a legacy one — which is precisely the interop rule.
 """
 
 from __future__ import annotations
@@ -50,6 +58,7 @@ __all__ = [
     "BATCH_ITEM_EMPTY_ATTRIBUTE",
     "BATCH_ITEM_EMPTY_CIPHERTEXT",
     "BATCH_ITEM_ENVELOPE_REJECTED",
+    "BATCH_ITEM_EPOCH_REJECTED",
 ]
 
 
@@ -77,22 +86,32 @@ class DepositRequest:
     #: Optional identity-based signature over :meth:`mac_payload` —
     #: the §VIII future-work alternative to the shared-key MAC.
     signature: bytes = b""
+    #: Key-lifecycle epoch the ciphertext was encrypted under; 0 is the
+    #: legacy single-epoch encoding and is not emitted on the wire.
+    epoch: int = 0
 
     def mac_payload(self) -> bytes:
-        """The exact bytes the paper MACs: rP || C || (A || Nonce) || ID_SD || T."""
-        return (
+        """The exact bytes the paper MACs: rP || C || (A || Nonce) || ID_SD || T.
+
+        A non-zero epoch extends the covered bytes (so a relay cannot
+        re-stamp a deposit into another epoch); epoch 0 covers the
+        legacy payload exactly, keeping pre-epoch MACs verifiable.
+        """
+        writer = (
             Writer()
             .blob(self.ciphertext)
             .text(self.attribute)
             .blob(self.nonce)
             .text(self.device_id)
             .u64(self.timestamp_us)
-            .getvalue()
         )
+        if self.epoch:
+            writer.u32(self.epoch)
+        return writer.getvalue()
 
     def to_bytes(self) -> bytes:
         """Serialise to the canonical byte encoding."""
-        return (
+        writer = (
             Writer()
             .text(self.device_id)
             .text(self.attribute)
@@ -101,8 +120,10 @@ class DepositRequest:
             .u64(self.timestamp_us)
             .blob(self.mac)
             .blob(self.signature)
-            .getvalue()
         )
+        if self.epoch:
+            writer.u32(self.epoch)
+        return writer.getvalue()
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "DepositRequest":
@@ -117,6 +138,8 @@ class DepositRequest:
             mac=reader.blob(),
             signature=reader.blob(),
         )
+        if reader.remaining:
+            message.epoch = reader.u32()
         reader.finish()
         return message
 
@@ -231,18 +254,23 @@ class StoredMessage:
     nonce: bytes
     ciphertext: bytes
     deposited_at_us: int
+    #: Epoch whose identity the *outermost* ciphertext layer is
+    #: encrypted under (re-encryption advances it); 0 = legacy.
+    epoch: int = 0
 
     def to_bytes(self) -> bytes:
         """Serialise to the canonical byte encoding."""
-        return (
+        writer = (
             Writer()
             .u64(self.message_id)
             .u64(self.attribute_id)
             .blob(self.nonce)
             .blob(self.ciphertext)
             .u64(self.deposited_at_us)
-            .getvalue()
         )
+        if self.epoch:
+            writer.u32(self.epoch)
+        return writer.getvalue()
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "StoredMessage":
@@ -255,6 +283,8 @@ class StoredMessage:
             ciphertext=reader.blob(),
             deposited_at_us=reader.u64(),
         )
+        if reader.remaining:
+            message.epoch = reader.u32()
         reader.finish()
         return message
 
@@ -307,6 +337,14 @@ class Ticket:
     attribute_map: dict[int, str]
     issued_at_us: int
     lifetime_us: int
+    #: Key-lifecycle epoch the ticket was issued at (0 = legacy) —
+    #: the PKG refuses extraction requests for *later* epochs, so a
+    #: pre-revocation ticket cannot reach post-revocation key material.
+    epoch: int = 0
+    #: Policy-DB version the attribute map was snapshotted at: the
+    #: version-stamped read proving the ticket reflects one coherent,
+    #: untorn policy state.
+    policy_version: int = 0
 
     def to_bytes(self) -> bytes:
         """Serialise to the canonical byte encoding."""
@@ -320,6 +358,8 @@ class Ticket:
         )
         for attribute_id in sorted(self.attribute_map):
             writer.u64(attribute_id).text(self.attribute_map[attribute_id])
+        if self.epoch or self.policy_version:
+            writer.u32(self.epoch).u64(self.policy_version)
         return writer.getvalue()
 
     @classmethod
@@ -335,6 +375,8 @@ class Ticket:
         for _ in range(count):
             attribute_id = reader.u64()
             attribute_map[attribute_id] = reader.text()
+        epoch = reader.u32() if reader.remaining else 0
+        policy_version = reader.u64() if reader.remaining else 0
         reader.finish()
         return cls(
             rc_id=rc_id,
@@ -342,6 +384,8 @@ class Ticket:
             attribute_map=attribute_map,
             issued_at_us=issued_at_us,
             lifetime_us=lifetime_us,
+            epoch=epoch,
+            policy_version=policy_version,
         )
 
 
@@ -449,16 +493,21 @@ class KeyRequest:
     session_id: bytes
     attribute_id: int
     nonce: bytes
+    #: Epoch to extract for (0 = legacy identity encoding).  The PKG
+    #: enforces ``epoch <= session epoch`` and the revocation list.
+    epoch: int = 0
 
     def to_bytes(self) -> bytes:
         """Serialise to the canonical byte encoding."""
-        return (
+        writer = (
             Writer()
             .blob(self.session_id)
             .u64(self.attribute_id)
             .blob(self.nonce)
-            .getvalue()
         )
+        if self.epoch:
+            writer.u32(self.epoch)
+        return writer.getvalue()
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "KeyRequest":
@@ -469,6 +518,8 @@ class KeyRequest:
             attribute_id=reader.u64(),
             nonce=reader.blob(),
         )
+        if reader.remaining:
+            message.epoch = reader.u32()
         reader.finish()
         return message
 
@@ -507,16 +558,21 @@ class BatchEntry:
     attribute: str
     nonce: bytes
     ciphertext: bytes
+    #: Key-lifecycle epoch the entry was encrypted under (0 = legacy,
+    #: not emitted — a pre-epoch batch round-trips byte-identically).
+    epoch: int = 0
 
     def to_bytes(self) -> bytes:
         """Serialise to the canonical byte encoding."""
-        return (
+        writer = (
             Writer()
             .text(self.attribute)
             .blob(self.nonce)
             .blob(self.ciphertext)
-            .getvalue()
         )
+        if self.epoch:
+            writer.u32(self.epoch)
+        return writer.getvalue()
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "BatchEntry":
@@ -527,6 +583,8 @@ class BatchEntry:
             nonce=reader.blob(),
             ciphertext=reader.blob(),
         )
+        if reader.remaining:
+            entry.epoch = reader.u32()
         reader.finish()
         return entry
 
@@ -618,6 +676,11 @@ BATCH_ITEM_EMPTY_CIPHERTEXT = 2
 #: The whole envelope was rejected (bad MAC, stale timestamp, replay):
 #: every item carries this code and nothing was stored.
 BATCH_ITEM_ENVELOPE_REJECTED = 3
+#: The entry's epoch stamp was refused: either from the future (ahead
+#: of the warehouse's current epoch) or below the retirement threshold.
+#: Siblings with valid stamps still commit — how a revocation landing
+#: mid-batch surfaces per item instead of failing the envelope.
+BATCH_ITEM_EPOCH_REJECTED = 4
 
 
 @dataclass

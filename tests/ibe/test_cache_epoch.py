@@ -1,0 +1,63 @@
+"""Epoch rolls must invalidate the crypto cache (regression).
+
+The cache layers are keyed by identity *bytes*, and legacy (epoch-0)
+identity strings do not change when the deployment's epoch rolls — so
+without the epoch folded into the group fingerprint, a cache warmed at
+epoch N would keep serving H1/G_T values that re-derive key material the
+roll just retired.
+"""
+
+from repro.ibe import setup
+from repro.ibe.cache import CryptoCache
+from repro.mathlib.rand import HmacDrbg
+
+IDENTITY = b"cache-epoch-identity"
+
+
+def _fresh_public():
+    # A private keypair, not the session fixture: this test mutates
+    # ``current_epoch`` on the public parameters.
+    return setup("TOY64", rng=HmacDrbg(b"tests-cache-epoch")).public
+
+
+class TestEpochInvalidation:
+    def test_warm_cache_misses_after_roll(self):
+        public = _fresh_public()
+        cache = CryptoCache()
+
+        point = cache.h1_point(public, IDENTITY)
+        gt = cache.shared_gt(public, IDENTITY)
+        assert cache.h1_point(public, IDENTITY) == point
+        assert cache.shared_gt(public, IDENTITY) == gt
+        warm = cache.stats()
+        assert warm["h1_hits"] >= 1 and warm["pairing_hits"] == 1
+        assert warm["invalidations"] == 0
+
+        public.current_epoch += 1
+
+        # Same identity bytes, new epoch: both layers must miss.
+        assert cache.h1_point(public, IDENTITY) == point
+        rolled = cache.stats()
+        assert rolled["invalidations"] == 1
+        assert rolled["h1_misses"] == warm["h1_misses"] + 1
+        # The G_T layer was emptied wholesale, not just demoted.
+        assert rolled["pairing_size"] == 0
+        cache.shared_gt(public, IDENTITY)
+        assert cache.stats()["pairing_misses"] == warm["pairing_misses"] + 1
+
+    def test_values_survive_roll_bitwise(self):
+        # Epoch-0 identities hash identically after a roll; only the
+        # memoization is dropped, never the math.
+        public = _fresh_public()
+        cache = CryptoCache()
+        before = (cache.h1_point(public, IDENTITY), cache.shared_gt(public, IDENTITY))
+        public.current_epoch += 3
+        after = (cache.h1_point(public, IDENTITY), cache.shared_gt(public, IDENTITY))
+        assert before == after
+
+    def test_same_epoch_is_not_an_invalidation(self):
+        public = _fresh_public()
+        cache = CryptoCache()
+        cache.shared_gt(public, IDENTITY)
+        cache.shared_gt(public, IDENTITY)
+        assert cache.stats()["invalidations"] == 0

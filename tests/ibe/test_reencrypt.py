@@ -1,0 +1,114 @@
+"""The re-encryption wrap format (repro.ibe.reencrypt)."""
+
+import pytest
+
+from repro.core.conventions import identity_string
+from repro.errors import CiphertextFormatError, DecodeError, DecryptionError
+from repro.ibe.kem import HybridCiphertext, hybrid_decrypt, hybrid_encrypt
+from repro.ibe.reencrypt import (
+    WRAP_MAGIC,
+    is_wrapped,
+    parse_wrap,
+    unwrap_layer,
+    wrap,
+)
+
+ATTRIBUTE = "REWRAP-ATTR"
+NONCE = b"rewrap-nonce-01"
+PAYLOAD = b"reading=42.0kWh;rewrap"
+
+
+def _extract(master, epoch: int):
+    identity = identity_string(ATTRIBUTE, NONCE, epoch)
+    return master.extract_point(master.public.hash_identity(identity))
+
+
+def _base_ciphertext(master, rng) -> bytes:
+    """An ordinary epoch-0 deposit ciphertext (the innermost bytes)."""
+    return hybrid_encrypt(
+        master.public,
+        identity_string(ATTRIBUTE, NONCE, 0),
+        PAYLOAD,
+        cipher_name="AES-128",
+        rng=rng,
+    ).to_bytes()
+
+
+def _wrap_to(master, rng, ciphertext: bytes, outer: int, inner: int) -> bytes:
+    return wrap(
+        master.public,
+        ATTRIBUTE,
+        NONCE,
+        ciphertext,
+        outer_epoch=outer,
+        inner_epoch=inner,
+        identity=identity_string(ATTRIBUTE, NONCE, outer),
+        rng=rng,
+    )
+
+
+class TestWrapFormat:
+    def test_single_layer_round_trip(self, master_keypair, rng):
+        base = _base_ciphertext(master_keypair, rng)
+        assert not is_wrapped(base)
+        wrapped = _wrap_to(master_keypair, rng, base, outer=1, inner=0)
+        assert is_wrapped(wrapped)
+        assert wrapped.startswith(WRAP_MAGIC)
+        outer, inner, sealed = parse_wrap(wrapped)
+        assert (outer, inner) == (1, 0)
+        assert sealed  # the sealed blob is the whole remainder
+
+        epoch, recovered = unwrap_layer(
+            master_keypair.public, _extract(master_keypair, 1), wrapped
+        )
+        assert epoch == 0
+        assert recovered == base
+        plaintext = hybrid_decrypt(
+            master_keypair.public,
+            _extract(master_keypair, 0),
+            HybridCiphertext.from_bytes(recovered, master_keypair.public.params),
+        )
+        assert plaintext == PAYLOAD
+
+    def test_layers_nest_and_peel_outermost_in(self, master_keypair, rng):
+        base = _base_ciphertext(master_keypair, rng)
+        once = _wrap_to(master_keypair, rng, base, outer=1, inner=0)
+        twice = _wrap_to(master_keypair, rng, once, outer=3, inner=1)
+
+        # Each layer's header names the key that opens it.
+        assert parse_wrap(twice)[:2] == (3, 1)
+        epoch, inner_bytes = unwrap_layer(
+            master_keypair.public, _extract(master_keypair, 3), twice
+        )
+        assert epoch == 1
+        assert inner_bytes == once
+        epoch, innermost = unwrap_layer(
+            master_keypair.public, _extract(master_keypair, 1), inner_bytes
+        )
+        assert epoch == 0
+        assert innermost == base
+
+    def test_parse_rejects_non_wrap(self, master_keypair, rng):
+        base = _base_ciphertext(master_keypair, rng)
+        with pytest.raises(CiphertextFormatError):
+            parse_wrap(base)
+        with pytest.raises(DecodeError):
+            parse_wrap(WRAP_MAGIC)  # magic with a truncated body
+
+    def test_wrong_epoch_key_fails_closed(self, master_keypair, rng):
+        base = _base_ciphertext(master_keypair, rng)
+        wrapped = _wrap_to(master_keypair, rng, base, outer=1, inner=0)
+        with pytest.raises(DecryptionError):
+            unwrap_layer(
+                master_keypair.public, _extract(master_keypair, 2), wrapped
+            )
+
+    def test_epoch_identities_are_distinct(self):
+        legacy = identity_string(ATTRIBUTE, NONCE)
+        assert identity_string(ATTRIBUTE, NONCE, 0) == legacy
+        assert identity_string(ATTRIBUTE, NONCE, 1) != legacy
+        assert identity_string(ATTRIBUTE, NONCE, 1) != identity_string(
+            ATTRIBUTE, NONCE, 2
+        )
+        # The epoch suffix extends the legacy string, never mutates it.
+        assert identity_string(ATTRIBUTE, NONCE, 7).startswith(legacy)

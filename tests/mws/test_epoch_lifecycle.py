@@ -1,0 +1,304 @@
+"""Epoch lifecycle end to end: admission windows, lazy re-wrap, churn.
+
+Satellite coverage for the key-lifecycle tentpole — the edge cases the
+revocation bench drives statistically, pinned here deterministically:
+a deposit accepted in epoch N retrieved in N+1, revocation landing
+mid-batch with per-item status codes, and epoch rolls racing a leader
+failover and an online rebalance.
+"""
+
+import pytest
+
+from repro.core.conventions import compute_deposit_mac
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.errors import RevokedError, TicketError
+from repro.ibe.reencrypt import is_wrapped
+from repro.mathlib.rand import HmacDrbg
+from repro.mws.runtime import ShardWorkerPool
+from repro.mws.service import MwsConfig
+from repro.sim.faults import FaultPlan, WorkerFaultSpec
+from repro.wire.messages import BATCH_ITEM_EPOCH_REJECTED, BatchDepositReceipt
+
+ATTRIBUTE = "ELECTRIC-EP-SV"
+OTHER = "WATER-EP-SV"
+
+
+def build_deployment(seed=b"epoch-lifecycle", **mws_kwargs):
+    return Deployment.build(
+        DeploymentConfig(
+            preset="TOY64",
+            rsa_bits=768,
+            seed=seed,
+            mws=MwsConfig(**mws_kwargs),
+        )
+    )
+
+
+def retrieve(deployment, client):
+    return client.retrieve_and_decrypt(
+        deployment.rc_mws_channel(client.rc_id),
+        deployment.rc_pkg_channel(client.rc_id),
+    )
+
+
+class TestCrossEpochRetrieval:
+    def test_deposit_in_epoch_n_retrieved_in_n_plus_1(self):
+        deployment = build_deployment()
+        try:
+            device = deployment.new_smart_device("ep-meter")
+            client = deployment.new_receiving_client(
+                "ep-rc", "pw", attributes=[ATTRIBUTE]
+            )
+            message_id = device.deposit(
+                deployment.sd_channel("ep-meter"), ATTRIBUTE, b"pre-roll reading"
+            ).message_id
+            assert deployment.roll_epoch() == 1
+
+            # Retrieval after the roll serves — and persists — the
+            # re-wrapped copy; the RC peels the wrap with the epoch-1
+            # key and decrypts the epoch-0 base underneath.
+            messages = retrieve(deployment, client)
+            assert [m.plaintext for m in messages] == [b"pre-roll reading"]
+            record = deployment.mws.message_db.fetch(message_id)
+            assert record.epoch == 1
+            assert is_wrapped(record.ciphertext)
+            assert deployment.revocation.reencryptions.value == 1
+
+            # A second retrieval serves the already-current copy: no
+            # further re-wrap, same plaintext.
+            again = retrieve(deployment, client)
+            assert [m.plaintext for m in again] == [b"pre-roll reading"]
+            assert deployment.revocation.reencryptions.value == 1
+        finally:
+            deployment.close()
+
+    def test_background_drain_converges_storage(self):
+        deployment = build_deployment()
+        try:
+            device = deployment.new_smart_device("ep-meter")
+            client = deployment.new_receiving_client(
+                "ep-rc", "pw", attributes=[ATTRIBUTE, OTHER]
+            )
+            device.deposit_many(
+                deployment.sd_many_channel("ep-meter"),
+                [(ATTRIBUTE, b"r0"), (OTHER, b"r1"), (ATTRIBUTE, b"r2")],
+            )
+            deployment.roll_epoch()
+            moved = deployment.reencryptor.drain()
+            assert moved == 3
+            assert all(
+                record.epoch == 1 and is_wrapped(record.ciphertext)
+                for record in deployment.mws.message_db.records()
+            )
+            assert deployment.reencryptor.drain() == 0  # idempotent
+            plaintexts = {m.plaintext for m in retrieve(deployment, client)}
+            assert plaintexts == {b"r0", b"r1", b"r2"}
+        finally:
+            deployment.close()
+
+
+class TestAdmissionWindow:
+    def test_request_built_before_roll_is_still_accepted(self):
+        deployment = build_deployment()
+        try:
+            device = deployment.new_smart_device("ep-meter")
+            stale = device.build_many([(ATTRIBUTE, b"in-flight")]).to_bytes()
+            deployment.roll_epoch()
+            receipt = BatchDepositReceipt.from_bytes(
+                deployment.sd_many_channel("ep-meter").request(stale)
+            )
+            assert receipt.accepted_count == 1
+            # Stored at its deposit-time epoch, not silently restamped.
+            record = deployment.mws.message_db.fetch(receipt.message_ids()[0])
+            assert record.epoch == 0
+        finally:
+            deployment.close()
+
+    def test_retired_epoch_rejected_per_item(self):
+        deployment = build_deployment()
+        try:
+            device = deployment.new_smart_device("ep-meter")
+            stale = device.build_many(
+                [(ATTRIBUTE, b"too-old-1"), (OTHER, b"too-old-2")]
+            ).to_bytes()
+            deployment.roll_epoch()
+            deployment.revocation.retire_before(1)
+
+            receipt = BatchDepositReceipt.from_bytes(
+                deployment.sd_many_channel("ep-meter").request(stale)
+            )
+            # The envelope is honest, so rejection is per-item: every
+            # entry carries the retired-epoch status, nothing commits.
+            assert not receipt.error
+            assert receipt.accepted_count == 0
+            assert [s.status for s in receipt.statuses] == [
+                BATCH_ITEM_EPOCH_REJECTED,
+                BATCH_ITEM_EPOCH_REJECTED,
+            ]
+            assert len(deployment.mws.message_db) == 0
+            assert deployment.revocation.deposits_rejected.value == 2
+
+            # A fresh build stamps the current epoch and sails through.
+            fresh = device.build_many([(ATTRIBUTE, b"current")]).to_bytes()
+            fresh_receipt = BatchDepositReceipt.from_bytes(
+                deployment.sd_many_channel("ep-meter").request(fresh)
+            )
+            assert fresh_receipt.accepted_count == 1
+        finally:
+            deployment.close()
+
+    def test_future_epoch_stamp_rejected(self):
+        deployment = build_deployment()
+        try:
+            device = deployment.new_smart_device("ep-meter")
+            request = device.build_many([(ATTRIBUTE, b"from-the-future")])
+            request.entries[0].epoch = 7  # beyond the warehouse's epoch
+            request.mac = compute_deposit_mac(
+                deployment.mws.device_keys.shared_key("ep-meter"),
+                request.mac_payload(),
+            )
+            receipt = BatchDepositReceipt.from_bytes(
+                deployment.sd_many_channel("ep-meter").request(request.to_bytes())
+            )
+            assert receipt.statuses[0].status == BATCH_ITEM_EPOCH_REJECTED
+            assert len(deployment.mws.message_db) == 0
+        finally:
+            deployment.close()
+
+
+class TestRevocationMidStream:
+    def test_wholesale_revocation_blocks_retrieval(self):
+        deployment = build_deployment()
+        try:
+            device = deployment.new_smart_device("ep-meter")
+            client = deployment.new_receiving_client(
+                "ep-victim", "pw", attributes=[ATTRIBUTE]
+            )
+            device.deposit(
+                deployment.sd_channel("ep-meter"), ATTRIBUTE, b"reading"
+            )
+            assert len(retrieve(deployment, client)) == 1
+            deployment.revoke_rc("ep-victim")
+            with pytest.raises(RevokedError):
+                client.retrieve(deployment.rc_mws_channel("ep-victim"))
+        finally:
+            deployment.close()
+
+    def test_pkg_rechecks_revocation_on_inflight_ticket(self):
+        """A ticket that raced the revocation cannot extract the key.
+
+        The Token Generator stamps tickets with (epoch, policy version);
+        even a ticket forged with the full pre-revocation attribute map
+        at the *current* epoch is re-checked against the live revocation
+        view at extraction time — the PKG is the second gate.
+        """
+        deployment = build_deployment()
+        try:
+            device = deployment.new_smart_device("ep-meter")
+            client = deployment.new_receiving_client(
+                "ep-victim", "pw", attributes=[ATTRIBUTE, OTHER]
+            )
+            message_id = device.deposit(
+                deployment.sd_channel("ep-meter"), ATTRIBUTE, b"reading"
+            ).message_id
+            deployment.revoke_rc("ep-victim", attribute=ATTRIBUTE)
+            current = deployment.revocation.current_epoch
+
+            aid_map = deployment.mws.policy_db.attributes_for("ep-victim")
+            revoked_aid = next(
+                aid for aid, attr in aid_map.items() if attr == ATTRIBUTE
+            )
+            nonce = deployment.mws.message_db.fetch(message_id).nonce
+            sealed = deployment.mws.token_generator.issue(
+                "ep-victim",
+                client._rsa.public,  # white-box: forge the race
+                aid_map,
+                epoch=current,
+                policy_version=deployment.mws.policy_db.version,
+            )
+            token = client.open_token(sealed)
+            session_id = client.authenticate_to_pkg(
+                deployment.rc_pkg_channel("ep-victim"), token
+            )
+            denied_before = deployment.revocation.extract_denied.value
+            with pytest.raises(TicketError, match="revoked"):
+                client.fetch_key(
+                    deployment.rc_pkg_channel("ep-victim"),
+                    session_id,
+                    token.session_key,
+                    revoked_aid,
+                    nonce,
+                    epoch=current,
+                )
+            assert deployment.revocation.extract_denied.value == denied_before + 1
+        finally:
+            deployment.close()
+
+
+class TestChurnUnderConcurrency:
+    def jobs(self, count=3, per_device=4):
+        return [
+            (
+                f"ep-dev-{index}",
+                [
+                    (
+                        (ATTRIBUTE, OTHER)[seq % 2],
+                        f"device=ep-{index};seq={seq};reading".encode("ascii"),
+                    )
+                    for seq in range(per_device)
+                ],
+            )
+            for index in range(count)
+        ]
+
+    def run_pool(self, deployment, spec_kwargs=None, **pool_kwargs):
+        if spec_kwargs:
+            plan = FaultPlan(
+                HmacDrbg(b"epoch-churn-plan"), registry=deployment.registry
+            )
+            plan.set_worker_faults(WorkerFaultSpec(**spec_kwargs))
+            deployment.network.install_fault_plan(plan)
+        pool = ShardWorkerPool(
+            deployment,
+            workers=2,
+            scheduler_seed=b"epoch-churn",
+            revocation_schedule=[(1, None, None), (3, None, None)],
+            reencrypt_every=3,
+            reencrypt_batch=4,
+            **pool_kwargs,
+        )
+        return pool.run(self.jobs())
+
+    def test_epoch_roll_concurrent_with_leader_failover(self):
+        deployment = build_deployment(
+            message_shards=2, message_replicas=2, replication_quorum=2
+        )
+        try:
+            result = self.run_pool(
+                deployment,
+                spec_kwargs={"leader_kill": 0.9, "max_leader_kills": 2},
+                failover_every=2,
+            )
+            assert result.failovers >= 1
+            assert result.epoch_rolls == 2
+            assert result.conservation_ok()
+            assert deployment.revocation.current_epoch == 2
+        finally:
+            deployment.close()
+
+    def test_epoch_roll_concurrent_with_online_rebalance(self):
+        deployment = build_deployment(message_shards=2)
+        try:
+            result = self.run_pool(
+                deployment,
+                rebalance_stores=[None, None],
+                rebalance_after=1,
+            )
+            assert result.rebalance_moves > 0
+            assert result.epoch_rolls == 2
+            assert result.conservation_ok()
+            # The background drain kept converging storage while records
+            # were moving between shards.
+            assert result.reencrypt_moves > 0
+        finally:
+            deployment.close()

@@ -74,7 +74,7 @@ class TestDumpDeterminism:
 
     def test_dump_shape(self):
         dump = json.loads(run_workload(b"det-shape"))
-        assert dump["schema_version"] == 7
+        assert dump["schema_version"] == 8
         assert set(dump) == {"schema_version", "meta", "metrics", "trace", "crypto"}
         counters = dump["metrics"]["counters"]
         assert counters["mws.sda.accepted"] == 4
@@ -183,5 +183,5 @@ class TestCliDump:
         first, second = (path.read_bytes() for path in paths)
         assert first == second
         dump = json.loads(first)
-        assert dump["schema_version"] == 7
+        assert dump["schema_version"] == 8
         assert dump["meta"]["workload"] == "cli-obs-dump"

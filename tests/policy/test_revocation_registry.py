@@ -1,0 +1,122 @@
+"""RevocationRegistry / RevocationView lifecycle semantics."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.registry import MetricsRegistry
+from repro.policy.revocation import RevocationRegistry
+
+
+class TestViewPublication:
+    def test_fresh_registry_is_epoch_zero(self):
+        registry = RevocationRegistry()
+        view = registry.view()
+        assert (view.version, view.epoch) == (0, 0)
+        assert view.entries == ()
+        assert view.min_deposit_epoch == 0
+        assert not registry.is_revoked("anyone")
+
+    def test_every_mutation_bumps_version_monotonically(self):
+        registry = RevocationRegistry()
+        versions = [registry.version]
+        registry.roll_epoch()
+        versions.append(registry.version)
+        registry.revoke("rc-a")
+        versions.append(registry.version)
+        registry.retire_before(1)
+        versions.append(registry.version)
+        assert versions == [0, 1, 2, 3]
+
+    def test_old_views_are_frozen_snapshots(self):
+        registry = RevocationRegistry()
+        before = registry.view()
+        registry.revoke("rc-a")
+        registry.roll_epoch()
+        # The captured view still answers with pre-mutation state: a
+        # reader mid-request is immune to concurrent churn.
+        assert before.epoch == 0
+        assert before.entries == ()
+        assert not before.is_revoked("rc-a")
+        assert registry.view() is not before
+        with pytest.raises(AttributeError):
+            before.epoch = 99  # frozen dataclass
+
+
+class TestRevocationSemantics:
+    def test_revoke_rolls_and_takes_effect_next_epoch(self):
+        registry = RevocationRegistry()
+        entry = registry.revoke("rc-a")
+        assert entry.effective_epoch == 1
+        assert registry.current_epoch == 1
+        view = registry.view()
+        assert view.is_revoked("rc-a")  # at the (new) current epoch
+        # Freeze-at-revocation: epoch 0 material stays reachable.
+        assert not view.is_revoked("rc-a", epoch=0)
+        assert view.is_revoked("rc-a", epoch=5)
+
+    def test_roll_false_queues_entry_for_a_shared_roll(self):
+        registry = RevocationRegistry()
+        registry.revoke("rc-a", roll=False)
+        registry.revoke("rc-b", roll=False)
+        # Entries recorded, epoch unmoved: nothing bites yet.
+        assert registry.current_epoch == 0
+        assert not registry.is_revoked("rc-a")
+        assert not registry.is_revoked("rc-b")
+        registry.roll_epoch()
+        assert registry.current_epoch == 1
+        assert registry.is_revoked("rc-a")
+        assert registry.is_revoked("rc-b")
+
+    def test_attribute_scope(self):
+        registry = RevocationRegistry()
+        registry.revoke("rc-a", attribute="WATER")
+        view = registry.view()
+        assert view.is_revoked("rc-a", "WATER")
+        assert not view.is_revoked("rc-a", "GAS")
+        # attribute=None asks "revoked for anything?"
+        assert view.is_revoked("rc-a")
+        assert view.revoked_attributes("rc-a") == {"WATER"}
+        assert view.revoked_attributes("rc-b") == set()
+
+    def test_wholesale_entry_dominates(self):
+        registry = RevocationRegistry()
+        registry.revoke("rc-a", attribute="WATER")
+        registry.revoke("rc-a")  # wholesale
+        view = registry.view()
+        assert view.is_revoked("rc-a", "GAS")
+        assert view.revoked_attributes("rc-a") is None
+        # Below the wholesale entry's effective epoch only the
+        # attribute-scoped entry applies.
+        assert view.revoked_attributes("rc-a", epoch=1) == {"WATER"}
+        assert view.revoked_attributes("rc-a", epoch=0) == set()
+
+
+class TestRetirement:
+    def test_threshold_advances_only_within_history(self):
+        registry = RevocationRegistry()
+        registry.roll_epoch()
+        registry.roll_epoch()
+        registry.retire_before(2)
+        assert registry.view().min_deposit_epoch == 2
+        with pytest.raises(ParameterError):
+            registry.retire_before(3)  # beyond the current epoch
+        with pytest.raises(ParameterError):
+            registry.retire_before(1)  # regression
+        registry.retire_before(2)  # idempotent re-pin is fine
+        assert registry.view().min_deposit_epoch == 2
+
+
+class TestCounters:
+    def test_metrics_registry_wiring(self):
+        metrics = MetricsRegistry()
+        registry = RevocationRegistry(metrics)
+        registry.revoke("rc-a")           # +1 revocation, +1 roll
+        registry.revoke("rc-b", roll=False)
+        registry.roll_epoch()
+        registry.extract_denied.inc()
+        snapshot = metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["revocation.revocations"] == 2
+        assert counters["revocation.epoch_rolls"] == 2
+        assert counters["revocation.extract_denied"] == 1
+        assert snapshot["gauges"]["revocation.current_epoch"] == 2

@@ -1,0 +1,110 @@
+"""Epoch fields on the wire: optional-trailing encoding, epoch-0 interop.
+
+The TLV-extension rule for the lifecycle layer: epoch 0 is never
+emitted, so every epoch-0 encoding is byte-identical to the
+pre-lifecycle format — old peers parse new frames and new peers parse
+old frames.  Non-zero epochs append to the frame tail and round-trip.
+"""
+
+from repro.core.conventions import compute_deposit_mac, identity_string
+from repro.wire.messages import (
+    BatchDepositRequest,
+    BatchEntry,
+    DepositRequest,
+    KeyRequest,
+    StoredMessage,
+    Ticket,
+)
+
+NONCE = b"wire-epoch-nonce"
+
+
+def _deposit(epoch=0):
+    return DepositRequest(
+        device_id="meter-7",
+        attribute="ELECTRIC-W-SV",
+        nonce=NONCE,
+        ciphertext=b"opaque-ct",
+        timestamp_us=1234567,
+        mac=b"m" * 20,
+        epoch=epoch,
+    )
+
+
+class TestEpochZeroInterop:
+    def test_epoch_zero_encodings_are_legacy_bytes(self):
+        # Epoch 0 adds nothing: the frames are the exact pre-epoch bytes.
+        for zero, nonzero in [
+            (_deposit(0), _deposit(3)),
+            (
+                StoredMessage(1, 2, NONCE, b"ct", 99, epoch=0),
+                StoredMessage(1, 2, NONCE, b"ct", 99, epoch=3),
+            ),
+            (
+                KeyRequest(b"sess", 5, NONCE, epoch=0),
+                KeyRequest(b"sess", 5, NONCE, epoch=3),
+            ),
+            (
+                BatchEntry("A", NONCE, b"ct", epoch=0),
+                BatchEntry("A", NONCE, b"ct", epoch=3),
+            ),
+        ]:
+            encoded = zero.to_bytes()
+            assert len(encoded) < len(nonzero.to_bytes())
+            decoded = type(zero).from_bytes(encoded)
+            assert decoded.epoch == 0
+            assert decoded.to_bytes() == encoded
+
+    def test_identity_string_epoch_zero_is_legacy(self):
+        assert identity_string("A", NONCE, 0) == identity_string("A", NONCE)
+        assert identity_string("A", NONCE, 1) != identity_string("A", NONCE)
+
+    def test_ticket_epoch_and_policy_version_travel_together(self):
+        base = dict(
+            rc_id="rc-1",
+            session_key=b"k" * 16,
+            attribute_map={3: "WATER-W-SV", 9: "GAS-W-SV"},
+            issued_at_us=1000,
+            lifetime_us=2000,
+        )
+        legacy = Ticket(**base)
+        stamped = Ticket(**base, epoch=2, policy_version=17)
+        assert len(legacy.to_bytes()) < len(stamped.to_bytes())
+
+        decoded = Ticket.from_bytes(stamped.to_bytes())
+        assert (decoded.epoch, decoded.policy_version) == (2, 17)
+        assert decoded.attribute_map == base["attribute_map"]
+        # A version stamp alone still forces the pair onto the wire —
+        # the reader must never see a version without its epoch.
+        versioned = Ticket(**base, policy_version=4)
+        round_trip = Ticket.from_bytes(versioned.to_bytes())
+        assert (round_trip.epoch, round_trip.policy_version) == (0, 4)
+
+
+class TestNonZeroEpochRoundTrip:
+    def test_deposit_round_trip(self):
+        decoded = DepositRequest.from_bytes(_deposit(5).to_bytes())
+        assert decoded.epoch == 5
+        assert decoded.attribute == "ELECTRIC-W-SV"
+
+    def test_batch_request_round_trip(self):
+        request = BatchDepositRequest(
+            device_id="meter-7",
+            timestamp_us=777,
+            entries=[
+                BatchEntry("A", NONCE, b"ct-a", epoch=2),
+                BatchEntry("B", NONCE, b"ct-b"),
+            ],
+        )
+        request.mac = compute_deposit_mac(b"k" * 16, request.mac_payload())
+        decoded = BatchDepositRequest.from_bytes(request.to_bytes())
+        assert [entry.epoch for entry in decoded.entries] == [2, 0]
+        assert decoded.mac_payload() == request.mac_payload()
+
+    def test_mac_payload_binds_the_epoch(self):
+        stamped = _deposit(5)
+        restamped = _deposit(6)
+        assert stamped.mac_payload() != restamped.mac_payload()
+        # ...and the epoch-0 payload is the exact legacy MAC input.
+        legacy_payload = _deposit(0).mac_payload()
+        assert stamped.mac_payload().startswith(legacy_payload)
